@@ -1,0 +1,107 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+namespace bbsmine::bench {
+
+TransactionDatabase MakeQuest(uint32_t num_transactions, uint32_t num_items,
+                              double t, double i, uint64_t seed) {
+  QuestConfig config;
+  config.num_transactions = num_transactions;
+  config.num_items = num_items;
+  config.avg_transaction_size = t;
+  config.avg_pattern_size = i;
+  config.seed = seed;
+  auto db = GenerateQuest(config);
+  if (!db.ok()) {
+    std::cerr << "dataset generation failed: " << db.status().ToString()
+              << "\n";
+    std::exit(1);
+  }
+  return std::move(db).value();
+}
+
+BbsIndex MakeBbs(const TransactionDatabase& db, uint32_t num_bits,
+                 uint32_t num_hashes) {
+  BbsConfig config;
+  config.num_bits = num_bits;
+  config.num_hashes = num_hashes;
+  auto bbs = BbsIndex::Create(config);
+  if (!bbs.ok()) {
+    std::cerr << "index creation failed: " << bbs.status().ToString() << "\n";
+    std::exit(1);
+  }
+  bbs->InsertAll(db);
+  return std::move(bbs).value();
+}
+
+SchemeResult Summarize(std::string name, const MiningResult& result) {
+  SchemeResult r;
+  r.name = std::move(name);
+  r.patterns = result.patterns.size();
+  r.candidates = result.stats.candidates;
+  r.false_drops = result.stats.false_drops;
+  r.certified = result.stats.certified;
+  r.probed = result.stats.probed_transactions;
+  r.db_scans = result.stats.db_scans;
+  r.fdr = result.FalseDropRatio();
+  r.wall_seconds = result.stats.total_seconds;
+  r.sim_io_seconds =
+      SimulatedIoSeconds(result.stats.io, IoCostParams::PaperEraDisk());
+  return r;
+}
+
+SchemeResult RunBbsScheme(const TransactionDatabase& db, const BbsIndex& bbs,
+                          Algorithm algorithm, double min_support,
+                          uint64_t memory_budget) {
+  MineConfig config;
+  config.algorithm = algorithm;
+  config.min_support = min_support;
+  config.memory_budget_bytes = memory_budget;
+  return Summarize(AlgorithmName(algorithm),
+                   MineFrequentPatterns(db, bbs, config));
+}
+
+SchemeResult RunApriori(const TransactionDatabase& db, double min_support,
+                        uint64_t memory_budget, bool pair_matrix) {
+  AprioriConfig config;
+  config.min_support = min_support;
+  config.memory_budget_bytes = memory_budget;
+  config.use_pair_count_matrix = pair_matrix;
+  return Summarize(pair_matrix ? "APS+pairs" : "APS",
+                   MineApriori(db, config));
+}
+
+SchemeResult RunFpGrowth(const TransactionDatabase& db, double min_support,
+                         uint64_t memory_budget) {
+  FpGrowthConfig config;
+  config.min_support = min_support;
+  config.memory_budget_bytes = memory_budget;
+  return Summarize("FPS", MineFpGrowth(db, config));
+}
+
+void AppendSchemeHeaders(const std::string& prefix,
+                         std::vector<std::string>* header) {
+  header->push_back(prefix + "_wall_ms");
+  header->push_back(prefix + "_resp_s");
+  header->push_back(prefix + "_fdr");
+}
+
+void AppendSchemeCells(const SchemeResult& r, std::vector<std::string>* row) {
+  row->push_back(ResultTable::Num(r.wall_seconds * 1e3, 1));
+  row->push_back(ResultTable::Num(r.response_seconds(), 3));
+  row->push_back(ResultTable::Num(r.fdr, 4));
+}
+
+bool QuickMode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) return true;
+  }
+  const char* env = std::getenv("BBSMINE_BENCH_QUICK");
+  return env != nullptr && env[0] == '1';
+}
+
+}  // namespace bbsmine::bench

@@ -1,0 +1,65 @@
+// Figure 7: effect of the minimum support threshold (0.1% .. 1.2%) on all
+// six schemes.
+//
+// Expected shape (paper Section 4.3): response time decreases as the
+// threshold rises (fewer candidates); the relative order of the schemes is
+// unchanged; DFP's FDR stays below ~3% throughout, and 80-90% of its
+// candidates are certified without probing.
+
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace bbsmine;
+using namespace bbsmine::bench;
+
+int main(int argc, char** argv) {
+  bool quick = QuickMode(argc, argv);
+  TransactionDatabase db = MakeQuest(quick ? 4'000 : 10'000, 10'000, 10, 10);
+  BbsIndex bbs = MakeBbs(db, 1600);
+
+  // The paper sweeps 0.1%..1.2%. Our Quest-generated data is considerably
+  // denser in long patterns than the authors' instance (|F| explodes past
+  // 3.5M itemsets at 0.1%), so the sweep starts at 0.3% — see
+  // EXPERIMENTS.md. The paper's monotone-decreasing shape and unchanged
+  // scheme ordering are fully visible in this range.
+  const std::vector<double> supports =
+      quick ? std::vector<double>{0.003, 0.012}
+            : std::vector<double>{0.003, 0.0045, 0.006, 0.009, 0.012};
+
+  ResultTable table("Figure 7: response time vs minimum support");
+  std::vector<std::string> header = {"minsup_pct", "patterns"};
+  for (const char* name : {"APS", "FPS", "SFS", "SFP", "DFS", "DFP"}) {
+    header.push_back(std::string(name) + "_wall_ms");
+  }
+  header.push_back("DFP_fdr");
+  header.push_back("DFP_certified_pct");
+  table.SetHeader(header);
+
+  for (double s : supports) {
+    std::vector<SchemeResult> results;
+    results.push_back(RunApriori(db, s));
+    results.push_back(RunFpGrowth(db, s));
+    for (Algorithm a : {Algorithm::kSFS, Algorithm::kSFP, Algorithm::kDFS,
+                        Algorithm::kDFP}) {
+      results.push_back(RunBbsScheme(db, bbs, a, s));
+    }
+    const SchemeResult& dfp = results.back();
+    std::vector<std::string> row = {
+        ResultTable::Num(s * 100, 2),
+        ResultTable::Int(static_cast<long long>(dfp.patterns))};
+    for (const SchemeResult& r : results) {
+      row.push_back(ResultTable::Num(r.wall_seconds * 1e3, 1));
+    }
+    row.push_back(ResultTable::Num(dfp.fdr, 4));
+    row.push_back(ResultTable::Num(
+        dfp.candidates ? 100.0 * static_cast<double>(dfp.certified) /
+                             static_cast<double>(dfp.candidates)
+                       : 0.0,
+        1));
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+  table.PrintCsv(std::cout);
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 8: scalability in the number of transactions (10K .. 100K).
+//
+// Expected shape (paper Section 4.4): all schemes scale linearly in the
+// database size; SFP and DFP are the least affected thanks to their low FDR
+// and CheckCount certification; the efficiency order is DFP, SFP, FPS, DFS,
+// SFS, APS.
+
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace bbsmine;
+using namespace bbsmine::bench;
+
+int main(int argc, char** argv) {
+  bool quick = QuickMode(argc, argv);
+  const std::vector<uint32_t> sizes =
+      quick ? std::vector<uint32_t>{5'000, 20'000}
+            : std::vector<uint32_t>{10'000, 25'000, 50'000, 100'000};
+  double min_support = 0.003;
+
+  ResultTable table("Figure 8: response time vs number of transactions");
+  std::vector<std::string> header = {"transactions", "patterns"};
+  for (const char* name : {"APS", "FPS", "SFS", "SFP", "DFS", "DFP"}) {
+    header.push_back(std::string(name) + "_wall_ms");
+  }
+  table.SetHeader(header);
+
+  for (uint32_t d : sizes) {
+    TransactionDatabase db = MakeQuest(d, 10'000, 10, 10);
+    BbsIndex bbs = MakeBbs(db, 1600);
+    std::vector<SchemeResult> results;
+    results.push_back(RunApriori(db, min_support));
+    results.push_back(RunFpGrowth(db, min_support));
+    for (Algorithm a : {Algorithm::kSFS, Algorithm::kSFP, Algorithm::kDFS,
+                        Algorithm::kDFP}) {
+      results.push_back(RunBbsScheme(db, bbs, a, min_support));
+    }
+    std::vector<std::string> row = {
+        std::to_string(d),
+        ResultTable::Int(static_cast<long long>(results.back().patterns))};
+    for (const SchemeResult& r : results) {
+      row.push_back(ResultTable::Num(r.wall_seconds * 1e3, 1));
+    }
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+  table.PrintCsv(std::cout);
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Dynamic database scenario (paper Section 4.8): a web server's access log
+// grows day by day while the set of "hot" files churns. The BBS absorbs the
+// new transactions incrementally; the FP-tree must be rebuilt from scratch
+// after every batch, and Apriori re-scans the whole history.
+//
+//   $ ./weblog_dynamic [days]
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "baseline/apriori.h"
+#include "baseline/fp_tree.h"
+#include "core/bbs_index.h"
+#include "core/miner.h"
+#include "datagen/weblog_gen.h"
+#include "util/stopwatch.h"
+
+using namespace bbsmine;
+
+int main(int argc, char** argv) {
+  int days = argc > 1 ? std::atoi(argv[1]) : 4;
+  if (days < 1) days = 1;
+
+  WebLogConfig weblog;
+  weblog.num_files = 5'000;
+  weblog.transactions_per_day = 10'000;
+  auto gen = WebLogGenerator::Create(weblog);
+  if (!gen.ok()) {
+    std::cerr << gen.status().ToString() << "\n";
+    return 1;
+  }
+
+  BbsConfig bbs_config;
+  bbs_config.num_bits = 1600;
+  bbs_config.num_hashes = 4;
+  auto bbs = BbsIndex::Create(bbs_config);
+  if (!bbs.ok()) {
+    std::cerr << bbs.status().ToString() << "\n";
+    return 1;
+  }
+
+  TransactionDatabase db;
+  double min_support = 0.01;
+
+  std::cout << "day | txns total | DFP ms (incremental) | FPS ms (rebuild) | "
+               "APS ms (rescan)\n";
+  for (int day = 1; day <= days; ++day) {
+    // New day's sessions arrive; the BBS absorbs them in place.
+    size_t before = db.size();
+    gen->GenerateDay(&db);
+    Stopwatch insert_timer;
+    for (size_t t = before; t < db.size(); ++t) bbs->Insert(db.At(t).items);
+    double insert_ms = insert_timer.ElapsedMillis();
+
+    MineConfig mine;
+    mine.algorithm = Algorithm::kDFP;
+    mine.min_support = min_support;
+    MiningResult dfp = MineFrequentPatterns(db, *bbs, mine);
+
+    FpGrowthConfig fp;
+    fp.min_support = min_support;
+    MiningResult fps = MineFpGrowth(db, fp);
+
+    AprioriConfig ap;
+    ap.min_support = min_support;
+    MiningResult aps = MineApriori(db, ap);
+
+    std::printf("%3d | %10zu | %8.1f (+%.1f ins) | %16.1f | %15.1f   "
+                "[%zu patterns]\n",
+                day, db.size(), dfp.stats.total_seconds * 1e3, insert_ms,
+                fps.stats.total_seconds * 1e3, aps.stats.total_seconds * 1e3,
+                dfp.patterns.size());
+    if (dfp.patterns.size() != fps.patterns.size() ||
+        fps.patterns.size() != aps.patterns.size()) {
+      std::cerr << "ERROR: algorithms disagree!\n";
+      return 1;
+    }
+  }
+  std::cout << "\nThe DFP column stays flat-ish because only the new day's "
+               "transactions\nare inserted; FPS pays a full rebuild and APS "
+               "full rescans every day.\n";
+  return 0;
+}

@@ -1,0 +1,211 @@
+#include "baseline/apriori.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "baseline/hash_tree.h"
+#include "util/stopwatch.h"
+
+namespace bbsmine {
+
+namespace {
+
+/// Lexicographic order used for the join step.
+bool LexLess(const Itemset& a, const Itemset& b) { return a < b; }
+
+/// True iff every (k-1)-subset of `candidate` appears in the sorted
+/// `frequent` list (the Apriori prune).
+bool AllSubsetsFrequent(const Itemset& candidate,
+                        const std::vector<Itemset>& frequent) {
+  Itemset subset;
+  subset.reserve(candidate.size() - 1);
+  for (size_t skip = 0; skip < candidate.size(); ++skip) {
+    subset.clear();
+    for (size_t i = 0; i < candidate.size(); ++i) {
+      if (i != skip) subset.push_back(candidate[i]);
+    }
+    if (!std::binary_search(frequent.begin(), frequent.end(), subset,
+                            LexLess)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Approximate resident bytes of one candidate during counting (itemset,
+/// counter, hash-tree overhead).
+uint64_t CandidateBytes(const Itemset& items) {
+  return 48 + 4 * static_cast<uint64_t>(items.size());
+}
+
+}  // namespace
+
+std::vector<Itemset> AprioriGenerateCandidates(
+    const std::vector<Itemset>& frequent) {
+  std::vector<Itemset> candidates;
+  if (frequent.empty()) return candidates;
+  size_t k = frequent[0].size();
+
+  // Join: pairs sharing the first k-1 items, in lexicographic order. Within
+  // a shared-prefix block, every ordered pair (i, j), i < j, joins.
+  for (size_t block_start = 0; block_start < frequent.size();) {
+    size_t block_end = block_start + 1;
+    while (block_end < frequent.size() &&
+           std::equal(frequent[block_start].begin(),
+                      frequent[block_start].end() - (k > 0 ? 1 : 0),
+                      frequent[block_end].begin(),
+                      frequent[block_end].end() - (k > 0 ? 1 : 0))) {
+      ++block_end;
+    }
+    for (size_t i = block_start; i < block_end; ++i) {
+      for (size_t j = i + 1; j < block_end; ++j) {
+        Itemset candidate = frequent[i];
+        candidate.push_back(frequent[j].back());
+        if (AllSubsetsFrequent(candidate, frequent)) {
+          candidates.push_back(std::move(candidate));
+        }
+      }
+    }
+    block_start = block_end;
+  }
+  return candidates;
+}
+
+MiningResult MineApriori(const TransactionDatabase& db,
+                         const AprioriConfig& config) {
+  Stopwatch total_timer;
+  MiningResult result;
+  MineStats& stats = result.stats;
+  uint64_t tau = AbsoluteThreshold(config.min_support, db.size());
+
+  // --- Pass 1: frequent 1-itemsets ----------------------------------------
+  std::unordered_map<ItemId, uint64_t> item_counts;
+  ++stats.db_scans;
+  db.ForEach(&stats.io, [&](const Transaction& txn) {
+    for (ItemId item : txn.items) ++item_counts[item];
+  });
+
+  std::vector<Itemset> level;  // L_k, lexicographically sorted
+  for (const auto& [item, count] : item_counts) {
+    if (count >= tau) {
+      level.push_back(Itemset{item});
+      result.patterns.push_back(Pattern{Itemset{item}, count});
+    }
+  }
+  std::sort(level.begin(), level.end(), LexLess);
+  stats.candidates += item_counts.size();
+
+  // --- Pass 2 fast path: triangular pair-count array ------------------------
+  // C2 is the full cross product of L1; materializing it in a hash tree is
+  // the classic Apriori bottleneck. When the count matrix fits in memory we
+  // count all pairs directly in one scan (Agrawal & Srikant's second-pass
+  // optimization). Otherwise the generic batched hash-tree path below
+  // handles level 2 like any other level.
+  size_t n1 = level.size();
+  uint64_t tri_cells = n1 * (n1 - 1) / 2;
+  uint64_t tri_bytes = tri_cells * sizeof(uint32_t);
+  bool pair_fast_path =
+      config.use_pair_count_matrix && n1 >= 2 && tri_bytes <= (1ull << 28) &&
+      (config.memory_budget_bytes == 0 ||
+       tri_bytes <= config.memory_budget_bytes);
+  if (pair_fast_path) {
+    std::unordered_map<ItemId, uint32_t> rank;
+    std::vector<ItemId> f1(n1);
+    for (size_t i = 0; i < n1; ++i) {
+      f1[i] = level[i][0];
+      rank.emplace(f1[i], static_cast<uint32_t>(i));
+    }
+    std::vector<uint32_t> tri(tri_cells, 0);
+    auto cell = [n1](size_t i, size_t j) {
+      return i * (2 * n1 - i - 1) / 2 + (j - i - 1);
+    };
+    stats.candidates += tri_cells;
+    ++stats.db_scans;
+    std::vector<uint32_t> ranks;
+    db.ForEach(&stats.io, [&](const Transaction& txn) {
+      ranks.clear();
+      for (ItemId item : txn.items) {
+        auto it = rank.find(item);
+        if (it != rank.end()) ranks.push_back(it->second);
+      }
+      for (size_t a = 0; a < ranks.size(); ++a) {
+        for (size_t b = a + 1; b < ranks.size(); ++b) {
+          ++tri[cell(ranks[a], ranks[b])];
+        }
+      }
+    });
+
+    std::vector<Itemset> l2;
+    for (size_t i = 0; i < n1; ++i) {
+      for (size_t j = i + 1; j < n1; ++j) {
+        uint32_t count = tri[cell(i, j)];
+        if (count >= tau) {
+          Itemset pair = {f1[i], f1[j]};
+          l2.push_back(pair);
+          result.patterns.push_back(Pattern{std::move(pair), count});
+        }
+      }
+    }
+    std::sort(l2.begin(), l2.end(), LexLess);
+    level = std::move(l2);
+  }
+
+  // --- Passes 2..k (generic hash-tree counting) -----------------------------
+  while (!level.empty()) {
+    std::vector<Itemset> candidates = AprioriGenerateCandidates(level);
+    if (candidates.empty()) break;
+    stats.candidates += candidates.size();
+    size_t k = candidates[0].size();
+
+    std::vector<Itemset> next_level;
+    size_t begin = 0;
+    while (begin < candidates.size()) {
+      // One memory batch; one database scan per batch.
+      size_t end = begin;
+      uint64_t used = 0;
+      while (end < candidates.size()) {
+        uint64_t bytes = CandidateBytes(candidates[end]);
+        if (config.memory_budget_bytes != 0 && end > begin &&
+            used + bytes > config.memory_budget_bytes) {
+          break;
+        }
+        used += bytes;
+        ++end;
+      }
+
+      // Size the interior fanout to the batch so leaves stay shallow: with
+      // fanout ~ sqrt(|batch|), two interior levels spread the candidates
+      // thin. A fixed small fanout would degenerate into long leaf scans
+      // for the (huge) C2 level.
+      size_t fanout = 32;
+      while (fanout * fanout < end - begin && fanout < 8192) fanout *= 2;
+      CandidateHashTree tree(k, fanout);
+      for (size_t c = begin; c < end; ++c) {
+        tree.Insert(static_cast<uint32_t>(c - begin), &candidates[c]);
+      }
+      std::vector<uint64_t> counts(end - begin, 0);
+      ++stats.db_scans;
+      db.ForEach(&stats.io, [&](const Transaction& txn) {
+        tree.CountSubsets(txn.items, &counts);
+      });
+
+      for (size_t c = begin; c < end; ++c) {
+        if (counts[c - begin] >= tau) {
+          next_level.push_back(candidates[c]);
+          result.patterns.push_back(
+              Pattern{std::move(candidates[c]), counts[c - begin]});
+        }
+      }
+      begin = end;
+    }
+
+    std::sort(next_level.begin(), next_level.end(), LexLess);
+    level = std::move(next_level);
+  }
+
+  stats.total_seconds = total_timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace bbsmine

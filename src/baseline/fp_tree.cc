@@ -1,0 +1,274 @@
+#include "baseline/fp_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "util/stopwatch.h"
+
+namespace bbsmine {
+
+void FpTree::InsertPath(const std::vector<ItemId>& path, uint64_t count) {
+  int32_t current = 0;  // root
+  for (ItemId item : path) {
+    auto& children = nodes_[current].children;
+    auto it = std::lower_bound(
+        children.begin(), children.end(), item,
+        [](const std::pair<ItemId, int32_t>& child, ItemId key) {
+          return child.first < key;
+        });
+    if (it != children.end() && it->first == item) {
+      current = it->second;
+    } else {
+      int32_t fresh = static_cast<int32_t>(nodes_.size());
+      // Note: taking `it` before emplace_back is safe because `children`
+      // belongs to nodes_[current], which emplace_back may reallocate —
+      // so re-acquire after the mutation.
+      size_t child_pos = static_cast<size_t>(it - children.begin());
+      nodes_.emplace_back();
+      nodes_[fresh].item = item;
+      nodes_[fresh].parent = current;
+      auto& children_after = nodes_[current].children;
+      children_after.insert(children_after.begin() + child_pos,
+                            {item, fresh});
+      current = fresh;
+    }
+    nodes_[current].count += count;
+  }
+}
+
+void FpTree::BuildHeader(const std::vector<ItemId>& order) {
+  header_.clear();
+  header_.reserve(order.size());
+  std::unordered_map<ItemId, size_t> slot;
+  for (ItemId item : order) {
+    slot.emplace(item, header_.size());
+    header_.push_back(HeaderEntry{item, 0, -1});
+  }
+  // Chain nodes in arena order; arena order is irrelevant to correctness
+  // because conditional pattern bases read whole chains.
+  for (size_t idx = nodes_.size(); idx-- > 1;) {
+    Node& node = nodes_[idx];
+    auto it = slot.find(node.item);
+    assert(it != slot.end());
+    HeaderEntry& entry = header_[it->second];
+    node.next_same_item = entry.head;
+    entry.head = static_cast<int32_t>(idx);
+    entry.total += node.count;
+  }
+}
+
+bool FpTree::IsSinglePath() const {
+  int32_t current = 0;
+  while (true) {
+    const Node& node = nodes_[current];
+    if (node.children.empty()) return true;
+    if (node.children.size() > 1) return false;
+    current = node.children[0].second;
+  }
+}
+
+uint64_t FpTree::MemoryBytes() const {
+  // item + count + parent + next + children vector header/entries.
+  uint64_t bytes = 0;
+  for (const Node& node : nodes_) {
+    bytes += sizeof(Node) + node.children.capacity() * sizeof(std::pair<ItemId, int32_t>);
+  }
+  return bytes;
+}
+
+namespace {
+
+/// Recursive FP-growth.
+class FpGrowthMiner {
+ public:
+  FpGrowthMiner(uint64_t tau, std::vector<Pattern>* out)
+      : tau_(tau), out_(out) {}
+
+  void Mine(const FpTree& tree, Itemset* suffix) {
+    if (tree.IsSinglePath()) {
+      MineSinglePath(tree, suffix);
+      return;
+    }
+    // Process header items from least frequent to most frequent.
+    const auto& header = tree.header();
+    for (size_t h = header.size(); h-- > 0;) {
+      const FpTree::HeaderEntry& entry = header[h];
+      if (entry.total < tau_) continue;
+
+      suffix->push_back(entry.item);
+      Emit(*suffix, entry.total);
+
+      // Conditional pattern base: prefix paths of every node of this item.
+      std::unordered_map<ItemId, uint64_t> conditional_counts;
+      for (int32_t n = entry.head; n >= 0; n = tree.node(n).next_same_item) {
+        uint64_t count = tree.node(n).count;
+        for (int32_t p = tree.node(n).parent; p > 0;
+             p = tree.node(p).parent) {
+          conditional_counts[tree.node(p).item] += count;
+        }
+      }
+      // Conditional frequent items, ordered by descending conditional count
+      // (ties by item id for determinism).
+      std::vector<std::pair<uint64_t, ItemId>> ranked;
+      for (const auto& [item, count] : conditional_counts) {
+        if (count >= tau_) ranked.push_back({count, item});
+      }
+      if (!ranked.empty()) {
+        std::sort(ranked.begin(), ranked.end(),
+                  [](const auto& a, const auto& b) {
+                    if (a.first != b.first) return a.first > b.first;
+                    return a.second < b.second;
+                  });
+        std::unordered_map<ItemId, size_t> rank;
+        std::vector<ItemId> order;
+        order.reserve(ranked.size());
+        for (const auto& [count, item] : ranked) {
+          rank.emplace(item, order.size());
+          order.push_back(item);
+        }
+
+        FpTree conditional;
+        std::vector<ItemId> path;
+        for (int32_t n = entry.head; n >= 0;
+             n = tree.node(n).next_same_item) {
+          uint64_t count = tree.node(n).count;
+          path.clear();
+          for (int32_t p = tree.node(n).parent; p > 0;
+               p = tree.node(p).parent) {
+            if (rank.contains(tree.node(p).item)) {
+              path.push_back(tree.node(p).item);
+            }
+          }
+          if (path.empty()) continue;
+          // The walk collected the path leaf-to-root; tree order is rank
+          // order (most frequent first).
+          std::sort(path.begin(), path.end(), [&](ItemId a, ItemId b) {
+            return rank.at(a) < rank.at(b);
+          });
+          conditional.InsertPath(path, count);
+        }
+        conditional.BuildHeader(order);
+        Mine(conditional, suffix);
+      }
+      suffix->pop_back();
+    }
+  }
+
+ private:
+  /// Single-path shortcut: every combination of the path's nodes, joined
+  /// with the suffix, is frequent; its support is the count of its deepest
+  /// node.
+  void MineSinglePath(const FpTree& tree, Itemset* suffix) {
+    std::vector<std::pair<ItemId, uint64_t>> path;
+    int32_t current = 0;
+    while (!tree.node(current).children.empty()) {
+      current = tree.node(current).children[0].second;
+      const FpTree::Node& node = tree.node(current);
+      if (node.count >= tau_) path.push_back({node.item, node.count});
+    }
+    EnumeratePath(path, 0, 0, suffix);
+  }
+
+  void EnumeratePath(const std::vector<std::pair<ItemId, uint64_t>>& path,
+                     size_t idx, uint64_t support, Itemset* suffix) {
+    if (idx == path.size()) return;
+    // Either skip path[idx]...
+    EnumeratePath(path, idx + 1, support, suffix);
+    // ...or take it: the deepest taken node bounds the support.
+    suffix->push_back(path[idx].first);
+    Emit(*suffix, path[idx].second);
+    EnumeratePath(path, idx + 1, path[idx].second, suffix);
+    suffix->pop_back();
+  }
+
+  void Emit(const Itemset& items, uint64_t support) {
+    Pattern pattern;
+    pattern.items = items;
+    Canonicalize(&pattern.items);
+    pattern.support = support;
+    out_->push_back(std::move(pattern));
+  }
+
+  uint64_t tau_;
+  std::vector<Pattern>* out_;
+};
+
+}  // namespace
+
+MiningResult MineFpGrowth(const TransactionDatabase& db,
+                          const FpGrowthConfig& config) {
+  Stopwatch total_timer;
+  MiningResult result;
+  MineStats& stats = result.stats;
+  uint64_t tau = AbsoluteThreshold(config.min_support, db.size());
+
+  // --- Scan 1: global item counts ------------------------------------------
+  std::unordered_map<ItemId, uint64_t> item_counts;
+  ++stats.db_scans;
+  db.ForEach(&stats.io, [&](const Transaction& txn) {
+    for (ItemId item : txn.items) ++item_counts[item];
+  });
+
+  // F-list: frequent items by descending count (ties by ascending id).
+  std::vector<std::pair<uint64_t, ItemId>> ranked;
+  for (const auto& [item, count] : item_counts) {
+    if (count >= tau) ranked.push_back({count, item});
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  std::unordered_map<ItemId, size_t> rank;
+  std::vector<ItemId> order;
+  order.reserve(ranked.size());
+  for (const auto& [count, item] : ranked) {
+    rank.emplace(item, order.size());
+    order.push_back(item);
+  }
+
+  // --- Scan 2: build the FP-tree -------------------------------------------
+  FpTree tree;
+  std::vector<ItemId> path;
+  ++stats.db_scans;
+  db.ForEach(&stats.io, [&](const Transaction& txn) {
+    path.clear();
+    for (ItemId item : txn.items) {
+      if (rank.contains(item)) path.push_back(item);
+    }
+    std::sort(path.begin(), path.end(),
+              [&](ItemId a, ItemId b) { return rank.at(a) < rank.at(b); });
+    tree.InsertPath(path, 1);
+  });
+  tree.BuildHeader(order);
+
+  // Memory model: an FP-tree larger than the budget forces partitioned
+  // construction — charged as additional full scans of the database.
+  if (config.memory_budget_bytes != 0) {
+    uint64_t tree_bytes = tree.MemoryBytes();
+    if (tree_bytes > config.memory_budget_bytes) {
+      uint64_t extra =
+          (tree_bytes + config.memory_budget_bytes - 1) /
+              config.memory_budget_bytes -
+          1;
+      for (uint64_t i = 0; i < extra; ++i) {
+        ++stats.db_scans;
+        db.ChargeFullScan(&stats.io);
+        // Partitioned construction projects the database to disk and reads
+        // the projections back: charge the projection writes too.
+        stats.io.writes += BlocksFor(db.SerializedBytes(), 4096);
+      }
+    }
+  }
+
+  // --- FP-growth ------------------------------------------------------------
+  Itemset suffix;
+  FpGrowthMiner miner(tau, &result.patterns);
+  miner.Mine(tree, &suffix);
+
+  stats.candidates = result.patterns.size();
+  stats.total_seconds = total_timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace bbsmine

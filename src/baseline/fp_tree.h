@@ -1,0 +1,89 @@
+// The FP-tree and FP-growth algorithm (Han, Pei & Yin, SIGMOD'00) — the
+// paper's second baseline, denoted FPS in Section 4.
+//
+// The FP-tree is a prefix tree of transactions restricted to frequent items,
+// with items ordered by descending global frequency; a header table links
+// together all nodes of the same item. FP-growth mines the complete set of
+// frequent patterns by recursively building conditional FP-trees from the
+// prefix paths of each item, with the single-path shortcut.
+//
+// As the paper emphasizes, the FP-tree is *not* dynamic: it must be rebuilt
+// from scratch whenever the database changes, and its construction (two full
+// database scans) is charged as part of every mining run.
+
+#ifndef BBSMINE_BASELINE_FP_TREE_H_
+#define BBSMINE_BASELINE_FP_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/mining_types.h"
+#include "storage/transaction_db.h"
+
+namespace bbsmine {
+
+/// An in-memory FP-tree. Nodes live in an arena indexed by int32.
+class FpTree {
+ public:
+  struct Node {
+    ItemId item = 0;
+    uint64_t count = 0;
+    int32_t parent = -1;
+    int32_t next_same_item = -1;  // header-table chain
+    // Children sorted by item for binary search.
+    std::vector<std::pair<ItemId, int32_t>> children;
+  };
+
+  /// One header-table row: an item, its total count in the tree, and the
+  /// head of its node chain.
+  struct HeaderEntry {
+    ItemId item = 0;
+    uint64_t total = 0;
+    int32_t head = -1;
+  };
+
+  FpTree() { nodes_.emplace_back(); /* root */ }
+
+  /// Inserts a path of items (already filtered to frequent items and sorted
+  /// in tree order) with the given count.
+  void InsertPath(const std::vector<ItemId>& path, uint64_t count);
+
+  /// Finalizes the header table. `order` lists the tree's items in the
+  /// insertion order used by InsertPath (most frequent first); entries are
+  /// produced in that order. Call once after all InsertPath calls.
+  void BuildHeader(const std::vector<ItemId>& order);
+
+  const std::vector<HeaderEntry>& header() const { return header_; }
+  const Node& node(int32_t idx) const { return nodes_[idx]; }
+  size_t num_nodes() const { return nodes_.size(); }
+
+  /// True if the tree consists of a single path from the root.
+  bool IsSinglePath() const;
+
+  /// Approximate resident bytes of the tree (memory-model input).
+  uint64_t MemoryBytes() const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<HeaderEntry> header_;
+};
+
+/// Tuning knobs for an FP-growth run.
+struct FpGrowthConfig {
+  /// Minimum support as a fraction of the number of transactions.
+  double min_support = 0.003;
+
+  /// Memory budget in bytes; 0 = unlimited. When the FP-tree exceeds the
+  /// budget the run charges extra database scans, modeling the partitioned
+  /// construction the FP-tree paper prescribes for small memories (and which
+  /// this paper's Section 4.7 exercises).
+  uint64_t memory_budget_bytes = 0;
+};
+
+/// Mines all frequent patterns of `db` with FP-growth. Supports are exact.
+MiningResult MineFpGrowth(const TransactionDatabase& db,
+                          const FpGrowthConfig& config);
+
+}  // namespace bbsmine
+
+#endif  // BBSMINE_BASELINE_FP_TREE_H_

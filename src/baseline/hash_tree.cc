@@ -1,0 +1,101 @@
+#include "baseline/hash_tree.h"
+
+#include <cassert>
+
+namespace bbsmine {
+
+CandidateHashTree::CandidateHashTree(size_t itemset_length, size_t fanout,
+                                     size_t leaf_capacity)
+    : itemset_length_(itemset_length),
+      fanout_(fanout),
+      leaf_capacity_(leaf_capacity) {
+  assert(itemset_length_ > 0 && fanout_ > 1 && leaf_capacity_ > 0);
+  NewNode();  // root (index 0)
+}
+
+int32_t CandidateHashTree::NewNode() {
+  nodes_.emplace_back();
+  return static_cast<int32_t>(nodes_.size() - 1);
+}
+
+void CandidateHashTree::Insert(uint32_t id, const Itemset* items) {
+  assert(items->size() == itemset_length_);
+  if (id >= candidate_items_.size()) candidate_items_.resize(id + 1, nullptr);
+  candidate_items_[id] = items;
+  ++num_candidates_;
+  InsertAt(0, 0, id);
+}
+
+void CandidateHashTree::InsertAt(int32_t node_idx, size_t depth, uint32_t id) {
+  while (!nodes_[node_idx].is_leaf) {
+    const Itemset& items = *candidate_items_[id];
+    size_t h = HashItem(items[depth]);
+    int32_t child = nodes_[node_idx].children[h];
+    if (child < 0) {
+      child = NewNode();
+      nodes_[node_idx].children[h] = child;
+    }
+    node_idx = child;
+    ++depth;
+  }
+  nodes_[node_idx].bucket.push_back(id);
+  // Split once over capacity, unless every hashable position is exhausted
+  // (then the leaf simply grows).
+  if (nodes_[node_idx].bucket.size() > leaf_capacity_ &&
+      depth < itemset_length_) {
+    SplitLeaf(node_idx, depth);
+  }
+}
+
+void CandidateHashTree::SplitLeaf(int32_t node_idx, size_t depth) {
+  std::vector<uint32_t> bucket = std::move(nodes_[node_idx].bucket);
+  nodes_[node_idx].bucket.clear();
+  nodes_[node_idx].is_leaf = false;
+  nodes_[node_idx].children.assign(fanout_, -1);
+  for (uint32_t id : bucket) {
+    // Re-insert below this node. InsertAt handles chained splits.
+    size_t h = HashItem((*candidate_items_[id])[depth]);
+    int32_t child = nodes_[node_idx].children[h];
+    if (child < 0) {
+      child = NewNode();
+      nodes_[node_idx].children[h] = child;
+    }
+    InsertAt(child, depth + 1, id);
+  }
+}
+
+void CandidateHashTree::CountSubsets(const Itemset& txn,
+                                     std::vector<uint64_t>* counts) const {
+  if (txn.size() < itemset_length_ || num_candidates_ == 0) return;
+  if (mark_.size() < candidate_items_.size()) {
+    mark_.resize(candidate_items_.size(), 0);
+  }
+  ++epoch_;
+  CountAt(0, 0, txn, 0, counts);
+}
+
+void CandidateHashTree::CountAt(int32_t node_idx, size_t depth,
+                                const Itemset& txn, size_t start,
+                                std::vector<uint64_t>* counts) const {
+  const Node& node = nodes_[node_idx];
+  if (node.is_leaf) {
+    for (uint32_t id : node.bucket) {
+      if (mark_[id] == epoch_) continue;  // already counted this transaction
+      if (IsSubsetOf(*candidate_items_[id], txn)) {
+        mark_[id] = epoch_;
+        ++(*counts)[id];
+      }
+    }
+    return;
+  }
+  // At depth d the candidate's d-th item is hashed; it can be any remaining
+  // transaction item that still leaves enough items to finish the candidate.
+  size_t remaining_needed = itemset_length_ - depth - 1;
+  size_t limit = txn.size() - remaining_needed;
+  for (size_t p = start; p < limit; ++p) {
+    int32_t child = node.children[HashItem(txn[p])];
+    if (child >= 0) CountAt(child, depth + 1, txn, p + 1, counts);
+  }
+}
+
+}  // namespace bbsmine

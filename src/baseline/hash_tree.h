@@ -1,0 +1,71 @@
+// The candidate hash tree of the Apriori algorithm (Agrawal & Srikant,
+// VLDB'94, Section 2.1.2): stores all length-k candidate itemsets and, for a
+// given transaction, finds every stored candidate contained in it without
+// enumerating the transaction's subsets.
+//
+// Interior nodes hash on one item; leaves hold candidate ids and split into
+// interior nodes once they overflow (while items remain to hash on).
+
+#ifndef BBSMINE_BASELINE_HASH_TREE_H_
+#define BBSMINE_BASELINE_HASH_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/transaction.h"
+
+namespace bbsmine {
+
+/// A hash tree over equal-length candidate itemsets.
+class CandidateHashTree {
+ public:
+  /// `itemset_length` is k (all inserted candidates must have k items);
+  /// `fanout` is the hash width of interior nodes; `leaf_capacity` is the
+  /// split threshold.
+  explicit CandidateHashTree(size_t itemset_length, size_t fanout = 32,
+                             size_t leaf_capacity = 16);
+
+  /// Inserts candidate `id` with the given (canonical) itemset. The itemset
+  /// storage is borrowed: `items` must outlive the tree.
+  void Insert(uint32_t id, const Itemset* items);
+
+  /// For a canonical transaction, increments counts[id] for every stored
+  /// candidate contained in the transaction.
+  void CountSubsets(const Itemset& txn, std::vector<uint64_t>* counts) const;
+
+  size_t size() const { return num_candidates_; }
+
+ private:
+  struct Node {
+    bool is_leaf = true;
+    // Leaf payload: candidate ids (indices into candidates_).
+    std::vector<uint32_t> bucket;
+    // Interior payload: child node index per hash value, -1 = absent.
+    std::vector<int32_t> children;
+  };
+
+  size_t HashItem(ItemId item) const { return item % fanout_; }
+
+  int32_t NewNode();
+  void InsertAt(int32_t node_idx, size_t depth, uint32_t id);
+  void SplitLeaf(int32_t node_idx, size_t depth);
+  void CountAt(int32_t node_idx, size_t depth, const Itemset& txn,
+               size_t start, std::vector<uint64_t>* counts) const;
+
+  size_t itemset_length_;
+  size_t fanout_;
+  size_t leaf_capacity_;
+  size_t num_candidates_ = 0;
+  std::vector<Node> nodes_;
+  std::vector<const Itemset*> candidate_items_;  // indexed by candidate id
+
+  // Per-transaction dedup: a transaction can reach the same leaf through
+  // several hash paths; a candidate is counted once per epoch. Mutable
+  // because CountSubsets is logically const. Not thread-safe.
+  mutable std::vector<uint64_t> mark_;
+  mutable uint64_t epoch_ = 0;
+};
+
+}  // namespace bbsmine
+
+#endif  // BBSMINE_BASELINE_HASH_TREE_H_

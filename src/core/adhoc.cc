@@ -1,0 +1,40 @@
+#include "core/adhoc.h"
+
+#include "core/mining_types.h"
+#include "core/refine.h"
+
+namespace bbsmine {
+
+BitVector MakeConstraintSlice(
+    const TransactionDatabase& db,
+    const std::function<bool(const Transaction&)>& predicate, IoStats* io) {
+  BitVector slice(db.size());
+  size_t position = 0;
+  db.ForEach(io, [&](const Transaction& txn) {
+    if (predicate(txn)) slice.Set(position);
+    ++position;
+  });
+  return slice;
+}
+
+AdhocQueryResult CountPatternExact(const TransactionDatabase& db,
+                                   const BbsIndex& bbs, const Itemset& items,
+                                   const BitVector* constraint) {
+  AdhocQueryResult result;
+  BitVector matches;
+  if (constraint != nullptr) {
+    result.estimate =
+        bbs.CountItemSetConstrained(items, *constraint, &matches, &result.io);
+  } else {
+    result.estimate = bbs.CountItemSet(items, &matches, &result.io);
+  }
+
+  MineStats probe_stats;
+  result.exact = ProbeCount(db, items, matches, /*cache=*/nullptr,
+                            &probe_stats);
+  result.probed_transactions = probe_stats.probed_transactions;
+  result.io += probe_stats.io;
+  return result;
+}
+
+}  // namespace bbsmine

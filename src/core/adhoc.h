@@ -1,0 +1,53 @@
+// Ad-hoc queries over the BBS (paper Sections 3.4 and 4.9).
+//
+// Because the BBS stores every transaction — not just the frequent patterns —
+// it can answer queries that Apriori's output and the FP-tree cannot:
+//   * "what is the count of this (possibly non-frequent) pattern?"
+//   * "what is the count of pattern I among transactions satisfying a
+//     constraint?" — implemented by ANDing one extra *constraint slice*
+//     (bit t set iff transaction t satisfies the predicate) into the
+//     CountItemSet result.
+//
+// Both run as a single CountItemSet followed by a probe of the matching
+// transactions for the exact answer.
+
+#ifndef BBSMINE_CORE_ADHOC_H_
+#define BBSMINE_CORE_ADHOC_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "core/bbs_index.h"
+#include "storage/transaction_db.h"
+#include "util/bitvector.h"
+
+namespace bbsmine {
+
+/// The answer to an ad-hoc count query.
+struct AdhocQueryResult {
+  uint64_t estimate = 0;   ///< BBS estimate (upper bound on the exact count)
+  uint64_t exact = 0;      ///< exact count after probing
+  uint64_t probed_transactions = 0;
+  IoStats io;
+};
+
+/// Builds a constraint slice: bit t is set iff `predicate` holds for the
+/// t-th transaction of `db`. Building the slice scans the database once
+/// (charged to `io` when non-null); in a production deployment constraint
+/// slices for common predicates would be maintained incrementally like the
+/// BBS itself.
+BitVector MakeConstraintSlice(
+    const TransactionDatabase& db,
+    const std::function<bool(const Transaction&)>& predicate,
+    IoStats* io = nullptr);
+
+/// Exact count of `items` in `db`, optionally restricted to the
+/// transactions selected by `constraint` (pass nullptr for none). Uses
+/// CountItemSet for the filter and probes only the matching transactions.
+AdhocQueryResult CountPatternExact(const TransactionDatabase& db,
+                                   const BbsIndex& bbs, const Itemset& items,
+                                   const BitVector* constraint = nullptr);
+
+}  // namespace bbsmine
+
+#endif  // BBSMINE_CORE_ADHOC_H_

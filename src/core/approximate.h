@@ -1,0 +1,67 @@
+// Approximate mining — the extension sketched in the paper's conclusion
+// (Section 5): "doing away with phase 2 ... the answer patterns are but an
+// approximate set of the actual answers ... we are looking into mechanisms
+// to provide some kind of probability on the likelihood of a pattern to be
+// a frequent pattern."
+//
+// This module runs the DualFilter alone (no refinement) and annotates every
+// returned pattern with such a probability:
+//
+//   * patterns certified by CheckCount (Lemma 5 / Corollary 1) have
+//     confidence exactly 1;
+//   * for the rest, the number of *spurious* transactions in the
+//     CountItemSet result (signatures that cover the query bits by chance)
+//     is modeled as Poisson with mean
+//         lambda = sum over counted transactions t of (s_t / m)^b
+//     where s_t is transaction t's signature popcount (maintained by the
+//     index), m the vector width, and b the number of distinct query bits.
+//     The pattern is frequent iff spurious <= est - tau, so
+//         confidence = P[Poisson(lambda) <= est - tau].
+//
+// By Lemma 4 the returned set always contains every truly frequent pattern
+// (recall 1); `min_confidence` trades precision for output size.
+
+#ifndef BBSMINE_CORE_APPROXIMATE_H_
+#define BBSMINE_CORE_APPROXIMATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bbs_index.h"
+#include "core/mining_types.h"
+
+namespace bbsmine {
+
+/// A pattern from the approximate (filter-only) miner.
+struct ApproxPattern {
+  Itemset items;          // canonical
+  uint64_t est = 0;       // BBS estimate (>= true support)
+  double confidence = 0;  // P[pattern is truly frequent] under the model
+  bool certified = false; // true when CheckCount guaranteed frequency
+};
+
+/// Knobs for approximate mining.
+struct ApproxMineConfig {
+  /// Minimum support as a fraction of the number of transactions.
+  double min_support = 0.003;
+
+  /// Patterns with modeled confidence below this are dropped. 0 keeps
+  /// everything the filter produces (maximum recall).
+  double min_confidence = 0.0;
+};
+
+/// Filter-only mining over the BBS: every estimated-frequent itemset, each
+/// with a confidence annotation. Requires an index with 1-itemset counts.
+/// The returned list is in walk order; stats (optional) accrues filter
+/// counters.
+std::vector<ApproxPattern> MineApproximate(const BbsIndex& bbs,
+                                           const ApproxMineConfig& config,
+                                           const Itemset& universe,
+                                           MineStats* stats = nullptr);
+
+/// P[Poisson(lambda) <= k], exposed for tests.
+double PoissonCdf(double lambda, uint64_t k);
+
+}  // namespace bbsmine
+
+#endif  // BBSMINE_CORE_APPROXIMATE_H_

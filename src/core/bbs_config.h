@@ -1,0 +1,50 @@
+// Configuration of a BBS (Bit-Sliced Bloom-Filtered Signature File) index.
+
+#ifndef BBSMINE_CORE_BBS_CONFIG_H_
+#define BBSMINE_CORE_BBS_CONFIG_H_
+
+#include <cstdint>
+
+namespace bbsmine {
+
+/// The hash family used to map items to bit positions.
+enum class HashKind : uint8_t {
+  /// Disjoint 32-bit groups of the MD5 digest of the item name, extended by
+  /// hashing the name concatenated with itself when more groups are needed —
+  /// exactly the construction of the paper (Section 4).
+  kMd5 = 0,
+  /// Fast multiply-shift mixing of the item id (ablation alternative; not in
+  /// the paper, provided to measure whether MD5's quality matters).
+  kMultiplyShift = 1,
+  /// h_j(x) = (x + j) mod m. Reproduces the paper's running example
+  /// (Section 2.1, h(x) = x mod 8 with one hash function); intended for
+  /// examples and tests, not production use.
+  kModulo = 2,
+};
+
+/// Parameters of a BBS index.
+struct BbsConfig {
+  /// Size of the per-transaction bit vector (m in the paper). The paper
+  /// sweeps 400..6400 and settles on 1600 as the default for T10.I10.D10K.
+  uint32_t num_bits = 1600;
+
+  /// Number of independent hash functions per item (k).
+  uint32_t num_hashes = 4;
+
+  /// Hash family.
+  HashKind hash_kind = HashKind::kMd5;
+
+  /// Seed mixed into the hash family (lets tests build independent indexes).
+  uint64_t seed = 0;
+
+  /// Whether the index maintains exact occurrence counts of all 1-itemsets.
+  /// Required by the DualFilter schemes (Section 3.1: "we only maintain the
+  /// counts of all 1-itemsets"). Costs 8 bytes per distinct item.
+  bool track_item_counts = true;
+
+  bool operator==(const BbsConfig& other) const = default;
+};
+
+}  // namespace bbsmine
+
+#endif  // BBSMINE_CORE_BBS_CONFIG_H_

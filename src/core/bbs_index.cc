@@ -1,0 +1,405 @@
+#include "core/bbs_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "storage/transaction_db.h"
+#include "util/crc32.h"
+
+namespace bbsmine {
+
+namespace {
+
+constexpr char kMagic[8] = {'B', 'B', 'S', 'I', 'D', 'X', '0', '1'};
+constexpr uint32_t kFormatVersion = 1;
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+bool ReadU32(const std::string& in, size_t* pos, uint32_t* v) {
+  if (*pos + 4 > in.size()) return false;
+  uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<uint32_t>(static_cast<uint8_t>(in[*pos + i])) << (8 * i);
+  }
+  *pos += 4;
+  *v = out;
+  return true;
+}
+
+bool ReadU64(const std::string& in, size_t* pos, uint64_t* v) {
+  if (*pos + 8 > in.size()) return false;
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(static_cast<uint8_t>(in[*pos + i])) << (8 * i);
+  }
+  *pos += 8;
+  *v = out;
+  return true;
+}
+
+}  // namespace
+
+BbsIndex::BbsIndex(const BbsConfig& config, BloomHashFamily family,
+                   uint32_t folded)
+    : config_(config), family_(std::move(family)), folded_bits_(folded) {
+  slices_.resize(num_bits());
+  slice_popcount_.resize(num_bits(), 0);
+}
+
+Result<BbsIndex> BbsIndex::Create(const BbsConfig& config) {
+  Result<BloomHashFamily> family = BloomHashFamily::Create(
+      config.num_bits, config.num_hashes, config.hash_kind, config.seed);
+  if (!family.ok()) return family.status();
+  return BbsIndex(config, std::move(family).value(), /*folded=*/0);
+}
+
+void BbsIndex::Insert(const Itemset& items) {
+  size_t position = num_transactions_;
+  ++num_transactions_;
+  for (BitVector& slice : slices_) slice.PushBack(false);
+  signature_bits_.push_back(0);
+
+  for (ItemId item : items) {
+    for (uint32_t raw : family_.Positions(item)) {
+      uint32_t pos = folded_bits_ != 0 ? raw % folded_bits_ : raw;
+      if (!slices_[pos].Get(position)) {
+        slices_[pos].Set(position);
+        ++slice_popcount_[pos];
+        ++signature_bits_.back();
+      }
+    }
+    if (config_.track_item_counts) {
+      if (item >= item_counts_.size()) item_counts_.resize(item + 1, 0);
+      ++item_counts_[item];
+    }
+  }
+}
+
+void BbsIndex::InsertAll(const TransactionDatabase& db) {
+  for (size_t i = 0; i < db.size(); ++i) Insert(db.At(i).items);
+}
+
+void BbsIndex::ItemPositions(ItemId item, std::vector<uint32_t>* out) const {
+  out->clear();
+  for (uint32_t raw : family_.Positions(item)) {
+    out->push_back(folded_bits_ != 0 ? raw % folded_bits_ : raw);
+  }
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+}
+
+BitVector BbsIndex::MakeSignature(const Itemset& items) const {
+  BitVector signature(num_bits());
+  for (ItemId item : items) {
+    for (uint32_t raw : family_.Positions(item)) {
+      signature.Set(folded_bits_ != 0 ? raw % folded_bits_ : raw);
+    }
+  }
+  return signature;
+}
+
+void BbsIndex::CollectPositions(const Itemset& items,
+                                std::vector<uint32_t>* positions) const {
+  positions->clear();
+  for (ItemId item : items) {
+    for (uint32_t raw : family_.Positions(item)) {
+      positions->push_back(folded_bits_ != 0 ? raw % folded_bits_ : raw);
+    }
+  }
+  std::sort(positions->begin(), positions->end());
+  positions->erase(std::unique(positions->begin(), positions->end()),
+                   positions->end());
+  // Sparsest slice first: ANDing the most selective slice early shrinks the
+  // intermediate result fastest.
+  std::sort(positions->begin(), positions->end(),
+            [this](uint32_t a, uint32_t b) {
+              return slice_popcount_[a] < slice_popcount_[b];
+            });
+}
+
+size_t BbsIndex::CountWithSeed(const std::vector<uint32_t>& positions,
+                               const BitVector* seed, BitVector* result,
+                               IoStats* io, uint64_t min_count) const {
+  if (io != nullptr) {
+    // Each touched slice is streamed once.
+    io->sequential_reads +=
+        positions.size() * BlocksFor(SliceBytes(), 4096);
+  }
+
+  BitVector local;
+  BitVector& out = result != nullptr ? *result : local;
+
+  if (positions.empty()) {
+    // Empty itemset: every transaction matches (optionally constrained).
+    if (seed != nullptr) {
+      out = *seed;
+    } else {
+      out = BitVector(num_transactions_);
+      out.SetAll();
+    }
+    return out.Count();
+  }
+
+  size_t idx = 0;
+  if (seed != nullptr) {
+    out = *seed;
+    out.AndWith(slices_[positions[idx++]]);
+  } else {
+    out = slices_[positions[idx++]];
+  }
+  // The running count after ANDing a prefix of slices only shrinks with
+  // further ANDs, so the loop can stop as soon as it falls below min_count.
+  size_t count = out.Count();
+  for (; idx < positions.size() && count >= min_count; ++idx) {
+    count = out.AndWithCount(slices_[positions[idx]]);
+  }
+  return count;
+}
+
+size_t BbsIndex::CountItemSet(const Itemset& items, BitVector* result,
+                              IoStats* io) const {
+  std::vector<uint32_t>& positions = scratch_positions_;
+  CollectPositions(items, &positions);
+  return CountWithSeed(positions, /*seed=*/nullptr, result, io);
+}
+
+size_t BbsIndex::CountItemSetAtLeast(const Itemset& items, uint64_t tau,
+                                     BitVector* result, IoStats* io) const {
+  std::vector<uint32_t>& positions = scratch_positions_;
+  CollectPositions(items, &positions);
+  if (!positions.empty()) {
+    // The sparsest selected slice (positions are popcount-ordered) bounds
+    // the estimate from above: below tau means no AND is needed at all.
+    size_t bound = slice_popcount_[positions.front()];
+    if (bound < tau) {
+      if (io != nullptr) {
+        io->sequential_reads += BlocksFor(SliceBytes(), 4096);
+      }
+      return bound;
+    }
+  }
+  return CountWithSeed(positions, /*seed=*/nullptr, result, io,
+                       /*min_count=*/tau);
+}
+
+size_t BbsIndex::CountItemSetConstrained(const Itemset& items,
+                                         const BitVector& constraint,
+                                         BitVector* result,
+                                         IoStats* io) const {
+  assert(constraint.size() == num_transactions_);
+  std::vector<uint32_t>& positions = scratch_positions_;
+  CollectPositions(items, &positions);
+  return CountWithSeed(positions, &constraint, result, io);
+}
+
+size_t BbsIndex::AndItemSlices(ItemId item, BitVector* result,
+                               IoStats* io) const {
+  assert(result->size() == num_transactions_);
+  std::vector<uint32_t>& positions = scratch_positions_;
+  ItemPositions(item, &positions);
+  if (io != nullptr) {
+    io->sequential_reads +=
+        positions.size() * BlocksFor(SliceBytes(), 4096);
+  }
+  size_t count = 0;
+  for (size_t i = 0; i < positions.size(); ++i) {
+    count = result->AndWithCount(slices_[positions[i]]);
+    if (count == 0) break;
+  }
+  return count;
+}
+
+uint64_t BbsIndex::ExactItemCount(ItemId item) const {
+  assert(config_.track_item_counts);
+  return item < item_counts_.size() ? item_counts_[item] : 0;
+}
+
+BbsIndex BbsIndex::Fold(uint32_t new_bits) const {
+  assert(new_bits > 0 && new_bits <= num_bits());
+  BbsIndex folded(config_,
+                  *BloomHashFamily::Create(config_.num_bits,
+                                           config_.num_hashes,
+                                           config_.hash_kind, config_.seed),
+                  new_bits);
+  folded.num_transactions_ = num_transactions_;
+  for (uint32_t pos = 0; pos < new_bits; ++pos) {
+    folded.slices_[pos].Resize(num_transactions_);
+  }
+  for (uint32_t pos = 0; pos < num_bits(); ++pos) {
+    folded.slices_[pos % new_bits].OrWith(slices_[pos]);
+  }
+  for (uint32_t pos = 0; pos < new_bits; ++pos) {
+    folded.slice_popcount_[pos] = folded.slices_[pos].Count();
+  }
+  folded.item_counts_ = item_counts_;
+  folded.RecomputeSignatureBits();
+  return folded;
+}
+
+void BbsIndex::RecomputeSignatureBits() {
+  signature_bits_.assign(num_transactions_, 0);
+  std::vector<uint32_t> set_positions;
+  for (const BitVector& slice : slices_) {
+    set_positions.clear();
+    slice.AppendSetBits(&set_positions);
+    for (uint32_t t : set_positions) ++signature_bits_[t];
+  }
+}
+
+size_t BbsIndex::MemoryUsage() const {
+  size_t total = 0;
+  for (const BitVector& slice : slices_) total += slice.MemoryUsage();
+  return total;
+}
+
+void BbsIndex::ChargeFullScan(IoStats* io, uint32_t block_size) const {
+  if (io != nullptr) {
+    io->sequential_reads += BlocksFor(SerializedBytes(), block_size);
+  }
+}
+
+Status BbsIndex::Save(const std::string& path) const {
+  std::string payload;
+  AppendU32(&payload, config_.num_bits);
+  AppendU32(&payload, config_.num_hashes);
+  AppendU32(&payload, static_cast<uint32_t>(config_.hash_kind));
+  AppendU64(&payload, config_.seed);
+  AppendU32(&payload, config_.track_item_counts ? 1 : 0);
+  AppendU32(&payload, folded_bits_);
+  AppendU64(&payload, num_transactions_);
+  AppendU64(&payload, item_counts_.size());
+  for (uint64_t count : item_counts_) AppendU64(&payload, count);
+  for (const BitVector& slice : slices_) {
+    for (BitVector::Word word : slice.words()) AppendU64(&payload, word);
+  }
+
+  std::string file;
+  file.append(kMagic, sizeof(kMagic));
+  AppendU32(&file, kFormatVersion);
+  AppendU32(&file, Crc32(payload));
+  file += payload;
+
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> fp(
+      std::fopen(path.c_str(), "wb"), &std::fclose);
+  if (fp == nullptr) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  if (std::fwrite(file.data(), 1, file.size(), fp.get()) != file.size()) {
+    return Status::IoError("short write: " + path);
+  }
+  return Status::Ok();
+}
+
+Result<BbsIndex> BbsIndex::Load(const std::string& path) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> fp(
+      std::fopen(path.c_str(), "rb"), &std::fclose);
+  if (fp == nullptr) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  std::string file;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), fp.get())) > 0) {
+    file.append(buf, n);
+  }
+  if (std::ferror(fp.get())) {
+    return Status::IoError("read error: " + path);
+  }
+  if (file.size() < sizeof(kMagic) + 8 ||
+      std::memcmp(file.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad magic in " + path);
+  }
+  size_t pos = sizeof(kMagic);
+  uint32_t version = 0;
+  uint32_t expected_crc = 0;
+  if (!ReadU32(file, &pos, &version) || !ReadU32(file, &pos, &expected_crc)) {
+    return Status::Corruption("truncated header in " + path);
+  }
+  if (version != kFormatVersion) {
+    return Status::Corruption("unsupported format version " +
+                              std::to_string(version));
+  }
+  if (Crc32(std::string_view(file.data() + pos, file.size() - pos)) !=
+      expected_crc) {
+    return Status::Corruption("checksum mismatch in " + path);
+  }
+
+  BbsConfig config;
+  uint32_t hash_kind = 0;
+  uint32_t track = 0;
+  uint32_t folded = 0;
+  uint64_t num_transactions = 0;
+  uint64_t num_item_counts = 0;
+  if (!ReadU32(file, &pos, &config.num_bits) ||
+      !ReadU32(file, &pos, &config.num_hashes) ||
+      !ReadU32(file, &pos, &hash_kind) || !ReadU64(file, &pos, &config.seed) ||
+      !ReadU32(file, &pos, &track) || !ReadU32(file, &pos, &folded) ||
+      !ReadU64(file, &pos, &num_transactions) ||
+      !ReadU64(file, &pos, &num_item_counts)) {
+    return Status::Corruption("truncated payload in " + path);
+  }
+  if (hash_kind > static_cast<uint32_t>(HashKind::kModulo)) {
+    return Status::Corruption("unknown hash kind");
+  }
+  config.hash_kind = static_cast<HashKind>(hash_kind);
+  config.track_item_counts = track != 0;
+
+  Result<BloomHashFamily> family = BloomHashFamily::Create(
+      config.num_bits, config.num_hashes, config.hash_kind, config.seed);
+  if (!family.ok()) return family.status();
+  if (folded > config.num_bits) {
+    return Status::Corruption("fold target exceeds num_bits");
+  }
+
+  BbsIndex index(config, std::move(family).value(), folded);
+  index.num_transactions_ = num_transactions;
+  index.item_counts_.resize(num_item_counts);
+  for (uint64_t& count : index.item_counts_) {
+    if (!ReadU64(file, &pos, &count)) {
+      return Status::Corruption("truncated item counts in " + path);
+    }
+  }
+  size_t words_per_slice =
+      (num_transactions + BitVector::kWordBits - 1) / BitVector::kWordBits;
+  for (uint32_t slice_idx = 0; slice_idx < index.num_bits(); ++slice_idx) {
+    BitVector& slice = index.slices_[slice_idx];
+    slice.Resize(num_transactions);
+    for (size_t w = 0; w < words_per_slice; ++w) {
+      uint64_t word = 0;
+      if (!ReadU64(file, &pos, &word)) {
+        return Status::Corruption("truncated slice data in " + path);
+      }
+      // Reconstruct bit by bit only at the tail; bulk words via Set is slow,
+      // so rebuild through the word interface: BitVector guarantees
+      // contiguous word layout.
+      for (uint32_t bit = 0; bit < BitVector::kWordBits; ++bit) {
+        size_t position = w * BitVector::kWordBits + bit;
+        if (position >= num_transactions) break;
+        if ((word >> bit) & 1u) slice.Set(position);
+      }
+    }
+    index.slice_popcount_[slice_idx] = slice.Count();
+  }
+  if (pos != file.size()) {
+    return Status::Corruption("trailing bytes in " + path);
+  }
+  index.RecomputeSignatureBits();
+  return index;
+}
+
+bool BbsIndex::operator==(const BbsIndex& other) const {
+  return config_ == other.config_ && folded_bits_ == other.folded_bits_ &&
+         num_transactions_ == other.num_transactions_ &&
+         slices_ == other.slices_ && item_counts_ == other.item_counts_;
+}
+
+}  // namespace bbsmine

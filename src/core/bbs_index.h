@@ -1,0 +1,180 @@
+// The Bit-Sliced Bloom-Filtered Signature File (BBS) — the paper's core
+// contribution (Section 2).
+//
+// Every transaction is encoded as an m-bit Bloom filter of its items (k hash
+// functions per item); the file stores the *transpose*: m bit-slices, each
+// with one bit per transaction. Counting the occurrences of an itemset
+// (algorithm CountItemSet, Figure 1 of the paper) ANDs the slices selected by
+// the itemset's query vector and popcounts the result. The count never
+// misses a containing transaction (Lemma 3) and never underestimates
+// (Lemma 4); it may overestimate (false drops).
+//
+// The structure is dynamic and persistent: Insert appends one transaction
+// (bit per slice) without rebuilding anything, and Save/Load round-trips the
+// index through a checksummed file.
+
+#ifndef BBSMINE_CORE_BBS_INDEX_H_
+#define BBSMINE_CORE_BBS_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/bbs_config.h"
+#include "core/bloom_hash.h"
+#include "storage/transaction.h"
+#include "util/bitvector.h"
+#include "util/iomodel.h"
+#include "util/status.h"
+
+namespace bbsmine {
+
+/// The bit-sliced Bloom-filtered signature file.
+class BbsIndex {
+ public:
+  /// Validates `config` and constructs an empty index.
+  static Result<BbsIndex> Create(const BbsConfig& config);
+
+  const BbsConfig& config() const { return config_; }
+
+  /// Effective number of bit-slices: config().num_bits normally, or the fold
+  /// target after Fold().
+  uint32_t num_bits() const {
+    return folded_bits_ != 0 ? folded_bits_ : config_.num_bits;
+  }
+
+  /// True if this index is a folded (MemBBS) view produced by Fold().
+  bool is_folded() const { return folded_bits_ != 0; }
+
+  /// Number of transactions inserted.
+  size_t num_transactions() const { return num_transactions_; }
+
+  /// Appends one transaction. `items` must be canonical.
+  void Insert(const Itemset& items);
+
+  /// Bulk helper: inserts every transaction of `db` in order.
+  void InsertAll(const class TransactionDatabase& db);
+
+  /// The effective hash positions (deduplicated, ascending) of `item`.
+  void ItemPositions(ItemId item, std::vector<uint32_t>* out) const;
+
+  /// Builds the m-bit signature / query vector of a canonical itemset
+  /// (the bit at every hash position of every item is set).
+  BitVector MakeSignature(const Itemset& items) const;
+
+  /// Bit-slice at position `pos` (one bit per transaction).
+  const BitVector& Slice(uint32_t pos) const { return slices_[pos]; }
+
+  /// Cached popcount of slice `pos`.
+  size_t SlicePopcount(uint32_t pos) const { return slice_popcount_[pos]; }
+
+  /// Algorithm CountItemSet (paper Figure 1): estimated number of
+  /// transactions containing `items`. Never less than the true support.
+  /// If `result` is non-null it receives the resulting transaction bit
+  /// vector (bit t set => transaction t is a potential container).
+  /// If `io` is non-null, one sequential slice read is charged per slice
+  /// touched (for the non-memory-resident cost model).
+  size_t CountItemSet(const Itemset& items, BitVector* result = nullptr,
+                      IoStats* io = nullptr) const;
+
+  /// Threshold-aware CountItemSet: returns the exact estimate when it is at
+  /// least `tau`; otherwise returns *some* value below tau (the computation
+  /// aborts as soon as the estimate provably cannot reach the threshold,
+  /// and `result` is left unspecified). Used by the filtering phase, which
+  /// only distinguishes "reaches tau" from "does not".
+  size_t CountItemSetAtLeast(const Itemset& items, uint64_t tau,
+                             BitVector* result = nullptr,
+                             IoStats* io = nullptr) const;
+
+  /// CountItemSet restricted by a constraint slice (Section 3.4): only
+  /// transactions whose bit is set in `constraint` are counted.
+  size_t CountItemSetConstrained(const Itemset& items,
+                                 const BitVector& constraint,
+                                 BitVector* result = nullptr,
+                                 IoStats* io = nullptr) const;
+
+  /// Incremental extension used by the recursive miners: ANDs the slices of
+  /// `item` into `result` (which must have num_transactions() bits) and
+  /// returns the popcount of the updated vector. Equivalent to CountItemSet
+  /// of (parent itemset + item) when `result` holds the parent's vector.
+  size_t AndItemSlices(ItemId item, BitVector* result,
+                       IoStats* io = nullptr) const;
+
+  /// Whether exact 1-itemset counts are maintained (DualFilter support).
+  bool tracks_item_counts() const { return config_.track_item_counts; }
+
+  /// Number of distinct bits set in transaction `position`'s signature.
+  /// Maintained on Insert; used by the approximate miner's false-drop
+  /// probability model (core/approximate.h).
+  uint32_t SignatureBits(size_t position) const {
+    return signature_bits_[position];
+  }
+
+  /// Exact number of transactions containing `item` (0 for unseen items).
+  /// Requires tracks_item_counts().
+  uint64_t ExactItemCount(ItemId item) const;
+
+  /// Builds a folded MemBBS view with `new_bits` slices: the slice at
+  /// position p of this index is folded into position (p % new_bits)
+  /// (preprocessing phase of the adaptive filter, Section 3.1). Counts from
+  /// the folded index are still upper bounds on true support.
+  /// Precondition: 0 < new_bits <= num_bits().
+  BbsIndex Fold(uint32_t new_bits) const;
+
+  /// Size of one serialized slice, in bytes.
+  uint64_t SliceBytes() const { return (num_transactions_ + 7) / 8; }
+
+  /// Total serialized size of all slices, in bytes.
+  uint64_t SerializedBytes() const {
+    return static_cast<uint64_t>(num_bits()) * SliceBytes();
+  }
+
+  /// Approximate resident memory of the slice data, in bytes.
+  size_t MemoryUsage() const;
+
+  /// Charges a full sequential pass over all slices to `io`.
+  void ChargeFullScan(IoStats* io, uint32_t block_size = 4096) const;
+
+  /// Writes the index to `path`.
+  Status Save(const std::string& path) const;
+
+  /// Reads an index previously written by Save.
+  static Result<BbsIndex> Load(const std::string& path);
+
+  /// Structural equality (config, transactions, slice contents).
+  bool operator==(const BbsIndex& other) const;
+
+ private:
+  BbsIndex(const BbsConfig& config, BloomHashFamily family, uint32_t folded);
+
+  /// Rebuilds signature_bits_ by summing slice columns (after Fold/Load).
+  void RecomputeSignatureBits();
+
+  /// Collects the distinct effective slice positions of `items`, sorted by
+  /// ascending slice popcount (sparsest-first AND order).
+  void CollectPositions(const Itemset& items,
+                        std::vector<uint32_t>* positions) const;
+
+  /// Shared implementation of the CountItemSet overloads. The AND loop
+  /// aborts once the running count drops below `min_count` (the running
+  /// count only shrinks, so the final estimate is provably below it too).
+  size_t CountWithSeed(const std::vector<uint32_t>& positions,
+                       const BitVector* seed, BitVector* result,
+                       IoStats* io, uint64_t min_count = 1) const;
+
+  BbsConfig config_;
+  BloomHashFamily family_;
+  uint32_t folded_bits_;  // 0 = unfolded
+  size_t num_transactions_ = 0;
+  std::vector<BitVector> slices_;        // num_bits() slices of N bits each
+  std::vector<size_t> slice_popcount_;   // cached popcounts
+  std::vector<uint64_t> item_counts_;    // exact 1-itemset counts (optional)
+  std::vector<uint32_t> signature_bits_; // per-transaction signature popcount
+
+  // Scratch for ItemPositions folding (avoids per-call allocation).
+  mutable std::vector<uint32_t> scratch_positions_;
+};
+
+}  // namespace bbsmine
+
+#endif  // BBSMINE_CORE_BBS_INDEX_H_

@@ -1,0 +1,77 @@
+// The Bloom-filter hash family mapping items to bit positions in [0, m).
+//
+// Paper, Section 4: "we take the four disjoint groups of bits from the
+// 128-bit MD5 signature of the item name; if more bits are needed, we
+// calculate the MD5 signature of the item name concatenated with itself."
+// Item names here are the decimal renderings of the item ids.
+//
+// Positions are memoized per item: mining touches the same (few hundred)
+// frequent items millions of times, so the MD5 cost is paid once per item,
+// matching the paper's observation that "the computational overhead of MD5 is
+// negligible".
+
+#ifndef BBSMINE_CORE_BLOOM_HASH_H_
+#define BBSMINE_CORE_BLOOM_HASH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/bbs_config.h"
+#include "storage/transaction.h"
+#include "util/status.h"
+
+namespace bbsmine {
+
+/// A family of `num_hashes` hash functions h_j : ItemId -> [0, num_bits).
+///
+/// Not thread-safe: the position cache is grown lazily on first use of each
+/// item.
+class BloomHashFamily {
+ public:
+  /// Validates the parameters and constructs the family.
+  /// Fails if num_bits == 0 or num_hashes == 0.
+  static Result<BloomHashFamily> Create(uint32_t num_bits, uint32_t num_hashes,
+                                        HashKind kind, uint64_t seed = 0);
+
+  uint32_t num_bits() const { return num_bits_; }
+  uint32_t num_hashes() const { return num_hashes_; }
+  HashKind kind() const { return kind_; }
+  uint64_t seed() const { return seed_; }
+
+  /// The `num_hashes` positions of `item`, each in [0, num_bits).
+  /// The returned reference is stable until the next call for a new item.
+  const std::vector<uint32_t>& Positions(ItemId item) const;
+
+  /// Number of items with memoized positions (diagnostics).
+  size_t cached_items() const { return cache_filled_; }
+
+ private:
+  BloomHashFamily(uint32_t num_bits, uint32_t num_hashes, HashKind kind,
+                  uint64_t seed)
+      : num_bits_(num_bits),
+        num_hashes_(num_hashes),
+        kind_(kind),
+        seed_(seed) {}
+
+  /// Computes positions without consulting the cache.
+  void ComputePositions(ItemId item, std::vector<uint32_t>* out) const;
+  void ComputeMd5Positions(const std::string& name,
+                           std::vector<uint32_t>* out) const;
+  void ComputeMultiplyShiftPositions(ItemId item,
+                                     std::vector<uint32_t>* out) const;
+
+  uint32_t num_bits_;
+  uint32_t num_hashes_;
+  HashKind kind_;
+  uint64_t seed_;
+
+  // cache_[item] holds the positions once cache_valid_[item] is true.
+  mutable std::vector<std::vector<uint32_t>> cache_;
+  mutable std::vector<bool> cache_valid_;
+  mutable size_t cache_filled_ = 0;
+};
+
+}  // namespace bbsmine
+
+#endif  // BBSMINE_CORE_BLOOM_HASH_H_

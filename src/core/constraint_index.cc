@@ -1,0 +1,76 @@
+#include "core/constraint_index.h"
+
+namespace bbsmine {
+
+Status ConstraintIndex::Register(const std::string& name, Predicate predicate,
+                                 const std::vector<Transaction>& backfill) {
+  if (index_.contains(name)) {
+    return Status::InvalidArgument("constraint already registered: " + name);
+  }
+  if (backfill.size() < num_transactions_) {
+    return Status::InvalidArgument(
+        "backfill covers " + std::to_string(backfill.size()) +
+        " transactions but " + std::to_string(num_transactions_) +
+        " were already inserted");
+  }
+
+  Entry entry;
+  entry.predicate = std::move(predicate);
+  entry.slice = BitVector(num_transactions_);
+  for (size_t t = 0; t < num_transactions_; ++t) {
+    if (entry.predicate(backfill[t])) entry.slice.Set(t);
+  }
+
+  index_.emplace(name, slices_.size());
+  names_.push_back(name);
+  slices_.push_back(std::move(entry));
+  return Status::Ok();
+}
+
+void ConstraintIndex::OnInsert(const Transaction& txn) {
+  for (Entry& entry : slices_) {
+    entry.slice.PushBack(entry.predicate(txn));
+  }
+  ++num_transactions_;
+}
+
+Result<const BitVector*> ConstraintIndex::Slice(
+    const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound("unknown constraint: " + name);
+  }
+  return &slices_[it->second].slice;
+}
+
+Result<BitVector> ConstraintIndex::And(
+    const std::vector<std::string>& names) const {
+  BitVector out(num_transactions_, true);
+  for (const std::string& name : names) {
+    Result<const BitVector*> slice = Slice(name);
+    if (!slice.ok()) return slice.status();
+    out.AndWith(**slice);
+  }
+  return out;
+}
+
+Result<BitVector> ConstraintIndex::Or(
+    const std::vector<std::string>& names) const {
+  BitVector out(num_transactions_);
+  for (const std::string& name : names) {
+    Result<const BitVector*> slice = Slice(name);
+    if (!slice.ok()) return slice.status();
+    out.OrWith(**slice);
+  }
+  return out;
+}
+
+Result<BitVector> ConstraintIndex::Not(const std::string& name) const {
+  Result<const BitVector*> slice = Slice(name);
+  if (!slice.ok()) return slice.status();
+  BitVector out = **slice;
+  out.FlipAll();
+  return out;
+}
+
+}  // namespace bbsmine

@@ -1,0 +1,86 @@
+// Named, incrementally maintained constraint slices (paper Section 3.4).
+//
+// Ad-hoc constrained queries AND one extra bit-slice into CountItemSet's
+// result: "we only need to generate a bit slice such that a bit is set if
+// the corresponding transaction falls in the month of October". Building
+// that slice on demand costs a database scan; a production deployment keeps
+// the slices for its common predicates *maintained incrementally like the
+// BBS itself*. ConstraintIndex does exactly that: predicates are registered
+// once, and every OnInsert extends all slices by one bit — keeping them
+// aligned with the BBS's transaction positions forever.
+//
+// Slices compose with plain bit-vector algebra (AND/OR/NOT), so conjunctive
+// and disjunctive constraints need no re-scan either.
+
+#ifndef BBSMINE_CORE_CONSTRAINT_INDEX_H_
+#define BBSMINE_CORE_CONSTRAINT_INDEX_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/transaction.h"
+#include "util/bitvector.h"
+#include "util/status.h"
+
+namespace bbsmine {
+
+/// A registry of named constraint slices kept in lockstep with the
+/// database/BBS insert stream.
+class ConstraintIndex {
+ public:
+  using Predicate = std::function<bool(const Transaction&)>;
+
+  ConstraintIndex() = default;
+
+  /// Registers `name` with its predicate. If transactions were already
+  /// inserted, `backfill` (the existing transactions, in insert order) must
+  /// be supplied so the new slice covers them. Fails if the name exists.
+  Status Register(const std::string& name, Predicate predicate,
+                  const std::vector<Transaction>& backfill = {});
+
+  /// Extends every registered slice with the verdicts for `txn`. Call once
+  /// per transaction, in the same order as BbsIndex::Insert.
+  void OnInsert(const Transaction& txn);
+
+  /// Number of transactions observed.
+  size_t num_transactions() const { return num_transactions_; }
+
+  /// Number of registered constraints.
+  size_t size() const { return slices_.size(); }
+
+  bool Contains(const std::string& name) const {
+    return index_.contains(name);
+  }
+
+  /// The slice for `name`. Fails with kNotFound for unknown names.
+  Result<const BitVector*> Slice(const std::string& name) const;
+
+  /// Conjunction of the named slices (all must exist).
+  Result<BitVector> And(const std::vector<std::string>& names) const;
+
+  /// Disjunction of the named slices (all must exist).
+  Result<BitVector> Or(const std::vector<std::string>& names) const;
+
+  /// Complement of the named slice.
+  Result<BitVector> Not(const std::string& name) const;
+
+  /// Registered names, in registration order.
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  struct Entry {
+    Predicate predicate;
+    BitVector slice;
+  };
+
+  std::vector<std::string> names_;
+  std::vector<Entry> slices_;
+  std::unordered_map<std::string, size_t> index_;
+  size_t num_transactions_ = 0;
+};
+
+}  // namespace bbsmine
+
+#endif  // BBSMINE_CORE_CONSTRAINT_INDEX_H_

@@ -1,0 +1,140 @@
+#include "core/dual_filter.h"
+
+#include <cassert>
+
+namespace bbsmine {
+
+CheckCountResult CheckCount(uint64_t item_exact, uint64_t item_est,
+                            const ParentState& parent, uint64_t union_est,
+                            uint64_t tau) {
+  // Lines 1-3 (Figure 3): the extension of the empty itemset is the
+  // singleton itself, whose exact count is maintained.
+  if (parent.empty) {
+    if (item_exact < tau) return {-1, item_exact};
+    return {1, item_exact};
+  }
+
+  // Lines 4-12: the bounds only apply when the parent's count is the actual
+  // count with certainty (flag == 1).
+  if (parent.flag == 1) {
+    bool item_tight = item_est == item_exact;
+    bool parent_tight = parent.est == parent.count;
+    // Corollary 1: both sides tight => the union's estimate is exact.
+    if (item_tight && parent_tight) {
+      return {1, union_est};
+    }
+    // Lemma 5 lower bound with I1 = {item} tight:
+    //   act(I1 u I2) >= est(I1 u I2) - (est(I2) - act(I2)).
+    // Written additively to avoid unsigned underflow when the slack exceeds
+    // the union estimate.
+    if (item_tight && union_est >= (parent.est - parent.count) + tau) {
+      return {2, union_est};
+    }
+    // Lemma 5 with roles swapped (I2 tight, I1's exact count maintained):
+    //   act(I1 u I2) >= est(I1 u I2) - (est(I1) - act(I1)).
+    if (parent_tight && union_est >= (item_est - item_exact) + tau) {
+      return {2, union_est};
+    }
+  }
+  return {0, union_est};
+}
+
+namespace {
+
+/// Recursive GenerateAndFilter of Figure 4, as a narrowed-sibling walk (see
+/// single_filter.cc for why narrowing preserves the candidate set).
+class DualFilterWalk {
+ public:
+  DualFilterWalk(const FilterEngine& engine, MineStats* stats,
+                 DualFilterOutput* out)
+      : engine_(engine), stats_(stats), out_(out) {}
+
+  void Run() {
+    const auto& singles = engine_.singletons();
+    ParentState root;  // empty itemset
+    std::vector<Node> roots;
+    roots.reserve(singles.size());
+    for (size_t idx = 0; idx < singles.size(); ++idx) {
+      const FilterEngine::Singleton& single = singles[idx];
+      CheckCountResult check = CheckCount(single.exact, single.est, root,
+                                          single.est, engine_.tau());
+      if (check.flag < 0) continue;  // exactly-known infrequent singleton
+      Node node;
+      node.idx = idx;
+      node.est = single.est;
+      node.check = check;
+      node.set =
+          TidSet::FromDense(single.vector, engine_.sparse_threshold());
+      roots.push_back(std::move(node));
+    }
+    Recurse(&roots);
+  }
+
+ private:
+  struct Node {
+    size_t idx = 0;
+    uint64_t est = 0;
+    CheckCountResult check;
+    TidSet set;
+  };
+
+  void Recurse(std::vector<Node>* siblings) {
+    const auto& singles = engine_.singletons();
+    for (size_t i = 0; i < siblings->size(); ++i) {
+      Node& node = (*siblings)[i];
+      current_.push_back(singles[node.idx].item);
+
+      Itemset canonical = current_;
+      Canonicalize(&canonical);
+      DualCandidate candidate{std::move(canonical), node.est,
+                              node.check.count, node.check.flag};
+      if (stats_ != nullptr) ++stats_->candidates;
+      if (node.check.flag > 0) {
+        if (stats_ != nullptr) ++stats_->certified;
+        out_->certain.push_back(std::move(candidate));
+      } else {
+        out_->uncertain.push_back(std::move(candidate));
+      }
+
+      ParentState state;
+      state.flag = node.check.flag;
+      state.count = node.check.count;
+      state.est = node.est;
+      state.empty = false;
+
+      std::vector<Node> children;
+      for (size_t j = i + 1; j < siblings->size(); ++j) {
+        size_t idx = (*siblings)[j].idx;
+        const FilterEngine::Singleton& single = singles[idx];
+        Node child;
+        child.idx = idx;
+        child.est = engine_.ExtendHybrid(idx, node.set, &child.set);
+        if (stats_ != nullptr) ++stats_->extension_tests;
+        if (child.est < engine_.tau()) continue;
+        child.check = CheckCount(single.exact, single.est, state, child.est,
+                                 engine_.tau());
+        // flag < 0 cannot occur below the root (the parent is non-empty).
+        children.push_back(std::move(child));
+      }
+      if (!children.empty()) Recurse(&children);
+      current_.pop_back();
+    }
+  }
+
+  const FilterEngine& engine_;
+  MineStats* stats_;
+  DualFilterOutput* out_;
+  Itemset current_;
+};
+
+}  // namespace
+
+DualFilterOutput RunDualFilter(const FilterEngine& engine, MineStats* stats) {
+  assert(engine.bbs().tracks_item_counts() &&
+         "DualFilter requires exact 1-itemset counts");
+  DualFilterOutput out;
+  DualFilterWalk(engine, stats, &out).Run();
+  return out;
+}
+
+}  // namespace bbsmine

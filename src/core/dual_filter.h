@@ -1,0 +1,75 @@
+// Algorithm DualFilter (paper Figures 3 and 4).
+//
+// DualFilter partitions the candidates into two groups: patterns *certain*
+// to be frequent (no refinement needed) and patterns whose validity is
+// uncertain. The certainty comes from the exact occurrence counts of all
+// 1-itemsets maintained alongside the BBS, combined with:
+//
+//   Lemma 5:      if actCount(I1) == estCount(I1) then
+//                 actCount(I1 u I2) >= estCount(I1 u I2)
+//                                      - (estCount(I2) - actCount(I2))
+//   Corollary 1:  if additionally actCount(I2) == estCount(I2) then
+//                 actCount(I1 u I2) == estCount(I1 u I2)
+//
+// Routine CheckCount classifies each accepted extension:
+//   flag -1: not frequent (exact count below threshold)
+//   flag  0: frequent per the estimate, validity uncertain
+//   flag  1: frequent with 100% guarantee, count is exact
+//   flag  2: frequent with 100% guarantee, count is an estimate
+
+#ifndef BBSMINE_CORE_DUAL_FILTER_H_
+#define BBSMINE_CORE_DUAL_FILTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/filter_engine.h"
+#include "core/mining_types.h"
+#include "core/single_filter.h"
+
+namespace bbsmine {
+
+/// Classification outcome of CheckCount (paper Figure 3).
+struct CheckCountResult {
+  int flag = 0;        ///< -1, 0, 1 or 2 (see file comment)
+  uint64_t count = 0;  ///< exact count if flag is 1 or -1, estimate otherwise
+};
+
+/// Knowledge about the parent itemset I2 carried through the recursion.
+struct ParentState {
+  int flag = 1;        ///< parent's CheckCount flag (root: 1, "empty set")
+  uint64_t count = 0;  ///< parent's count (meaning depends on flag)
+  uint64_t est = 0;    ///< parent's estimated count estCount(I2)
+  bool empty = true;   ///< true at the root (I2 == empty itemset)
+};
+
+/// Classifies the extension of parent I2 by singleton I1 = {item}.
+///
+/// `item_exact` / `item_est` are actCount({item}) / estCount({item});
+/// `union_est` is estCount(I1 u I2) (already known to be >= tau by the
+/// caller's filter test, except at the root where no pre-test happens).
+CheckCountResult CheckCount(uint64_t item_exact, uint64_t item_est,
+                            const ParentState& parent, uint64_t union_est,
+                            uint64_t tau);
+
+/// A candidate emitted by DualFilter, with its certainty classification.
+struct DualCandidate {
+  Itemset items;       // canonical
+  uint64_t est = 0;    // estCount(items)
+  uint64_t count = 0;  // exact count if flag == 1, estimate otherwise
+  int flag = 0;        // 0 (uncertain), 1 or 2 (certain)
+};
+
+/// Output of DualFilter: `certain` needs no refinement; `uncertain` does.
+struct DualFilterOutput {
+  std::vector<DualCandidate> certain;    // flag 1 or 2
+  std::vector<DualCandidate> uncertain;  // flag 0
+};
+
+/// Runs DualFilter on a prepared engine. The engine's index must track
+/// 1-itemset counts. Updates stats->{candidates, certified, extension_tests}.
+DualFilterOutput RunDualFilter(const FilterEngine& engine, MineStats* stats);
+
+}  // namespace bbsmine
+
+#endif  // BBSMINE_CORE_DUAL_FILTER_H_

@@ -1,0 +1,44 @@
+#include "core/filter_engine.h"
+
+#include <algorithm>
+
+namespace bbsmine {
+
+void FilterEngine::Prepare(const Itemset& universe, MineStats* stats,
+                           bool rare_first) {
+  // Below this count the walk's transaction sets switch to the sparse
+  // representation; one word of the dense vector covers 64 transactions.
+  sparse_threshold_ =
+      std::max<size_t>(64, bbs_.num_transactions() / BitVector::kWordBits);
+  singletons_.clear();
+  Itemset single(1);
+  BitVector vector;
+  for (ItemId item : universe) {
+    single[0] = item;
+    size_t est = bbs_.CountItemSetAtLeast(single, tau_, &vector, io_);
+    if (stats != nullptr) ++stats->extension_tests;
+    if (est < tau_) continue;
+    Singleton s;
+    s.item = item;
+    s.est = est;
+    s.exact = bbs_.tracks_item_counts() ? bbs_.ExactItemCount(item) : 0;
+    s.vector = std::move(vector);
+    vector = BitVector();
+    singletons_.push_back(std::move(s));
+  }
+  if (rare_first) {
+    std::stable_sort(singletons_.begin(), singletons_.end(),
+                     [](const Singleton& a, const Singleton& b) {
+                       if (a.est != b.est) return a.est < b.est;
+                       return a.item < b.item;
+                     });
+  }
+}
+
+BitVector FilterEngine::AllTransactions() const {
+  BitVector all(bbs_.num_transactions());
+  all.SetAll();
+  return all;
+}
+
+}  // namespace bbsmine

@@ -1,0 +1,108 @@
+// Shared machinery of the filtering phase.
+//
+// All four schemes enumerate candidate itemsets the same way (routine
+// GenerateAndFilter, Figures 2 and 4 of the paper): a depth-first walk over
+// items in ascending order, extending the current itemset only while its
+// estimated count stays above the threshold. FilterEngine hosts the shared
+// precomputation:
+//
+//  * the table of "estimated-frequent" singletons. BBS estimates are
+//    anti-monotone (the query vector of a superset selects a superset of
+//    slices, so its AND is a subset), hence any itemset containing an
+//    estimated-infrequent item is itself estimated-infrequent and only
+//    estimated-frequent singletons can extend a candidate; and
+//
+//  * each such singleton's transaction vector (the AND of its k slices),
+//    so that extending a candidate by one item is a single N-bit AND with
+//    popcount rather than k slice ANDs. This is algebraically identical to
+//    re-running CountItemSet on the extended itemset.
+
+#ifndef BBSMINE_CORE_FILTER_ENGINE_H_
+#define BBSMINE_CORE_FILTER_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bbs_index.h"
+#include "core/mining_types.h"
+#include "core/tidset.h"
+#include "storage/transaction.h"
+#include "util/bitvector.h"
+
+namespace bbsmine {
+
+/// Precomputed filtering state over one BBS index. The engine borrows the
+/// index, which must outlive it.
+class FilterEngine {
+ public:
+  /// One estimated-frequent singleton.
+  struct Singleton {
+    ItemId item = 0;
+    uint64_t est = 0;    ///< CountItemSet({item})
+    uint64_t exact = 0;  ///< true occurrence count (iff tracks_item_counts)
+    BitVector vector;    ///< AND of the item's slices; one bit per transaction
+  };
+
+  /// `tau` is the absolute occurrence threshold; `io` (optional) accrues
+  /// slice-read charges when the BBS is modeled as non-resident.
+  FilterEngine(const BbsIndex& bbs, uint64_t tau, IoStats* io = nullptr)
+      : bbs_(bbs), tau_(tau), io_(io) {}
+
+  /// Scans the singleton universe and caches every item whose estimated
+  /// count reaches tau. `universe` must be canonical. Extension-test and
+  /// I/O counters accrue into `stats`.
+  ///
+  /// When `rare_first` is true (default) the cached singletons are ordered
+  /// by ascending estimated count instead of item id. The set of itemsets
+  /// the walk accepts is order-independent, but the rare-first order keeps
+  /// the enumeration tree narrow, which is markedly cheaper (the classic
+  /// vertical-mining ordering). Emitted itemsets are canonicalized either
+  /// way.
+  void Prepare(const Itemset& universe, MineStats* stats,
+               bool rare_first = true);
+
+  const BbsIndex& bbs() const { return bbs_; }
+  uint64_t tau() const { return tau_; }
+
+  /// The estimated-frequent singletons, in walk order (see Prepare).
+  const std::vector<Singleton>& singletons() const { return singletons_; }
+
+  /// Computes est(parent itemset + singletons()[idx]): *out receives
+  /// parent_vector AND singleton vector; returns its popcount.
+  size_t Extend(size_t idx, const BitVector& parent_vector,
+                BitVector* out) const {
+    *out = parent_vector;
+    return out->AndWithCount(singletons_[idx].vector);
+  }
+
+  /// Hybrid variant: intersects `parent` with singleton idx's vector into
+  /// *out (switching to the sparse representation below the threshold) and
+  /// returns the count. The intersection aborts early once the count
+  /// provably cannot reach tau; the walks discard such extensions.
+  size_t ExtendHybrid(size_t idx, const TidSet& parent, TidSet* out) const {
+    return out->AssignIntersection(parent, singletons_[idx].vector,
+                                   sparse_threshold_, tau_);
+  }
+
+  /// An all-ones vector of num_transactions bits (the root of the walk).
+  BitVector AllTransactions() const;
+
+  /// A TidSet containing every transaction (the root of the walk).
+  TidSet AllTransactionsSet() const {
+    return TidSet::AllOf(bbs_.num_transactions());
+  }
+
+  /// Counts at or below this switch the walk's TidSets to sparse form.
+  size_t sparse_threshold() const { return sparse_threshold_; }
+
+ private:
+  const BbsIndex& bbs_;
+  uint64_t tau_;
+  IoStats* io_;
+  size_t sparse_threshold_ = 0;
+  std::vector<Singleton> singletons_;
+};
+
+}  // namespace bbsmine
+
+#endif  // BBSMINE_CORE_FILTER_ENGINE_H_

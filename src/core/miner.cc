@@ -1,0 +1,372 @@
+#include "core/miner.h"
+
+#include <algorithm>
+#include <cassert>
+#include <optional>
+
+#include "core/dual_filter.h"
+#include "core/filter_engine.h"
+#include "core/refine.h"
+#include "core/single_filter.h"
+#include "storage/page_cache.h"
+#include "util/stopwatch.h"
+
+namespace bbsmine {
+
+namespace {
+
+/// Shared per-run context.
+struct RunContext {
+  const TransactionDatabase& db;
+  const BbsIndex& bbs;       // the full (on-disk) index
+  const BbsIndex* filter_index;  // the index the filter runs on (may be folded)
+  const MineConfig& config;
+  uint64_t tau;
+  PageCache* cache;          // buffer pool model for probes (may be null)
+  MiningResult* result;
+};
+
+/// Integrated filter+probe recursion shared by SFP and DFP.
+///
+/// For SFP every accepted candidate is probed immediately; for DFP only the
+/// flag-0 (uncertain) candidates are. In both schemes the recursion only
+/// descends into candidates known to be truly frequent (or, for DFP flag 2,
+/// guaranteed frequent), which prevents false drops from triggering further
+/// false drops.
+class IntegratedProbeWalk {
+ public:
+  IntegratedProbeWalk(RunContext* ctx, const FilterEngine& engine, bool dual,
+                      MineStats* stats)
+      : ctx_(ctx), engine_(engine), dual_(dual), stats_(stats) {}
+
+  void Run() {
+    const auto& singles = engine_.singletons();
+    ParentState root;
+    std::vector<Node> roots;
+    roots.reserve(singles.size());
+    for (size_t idx = 0; idx < singles.size(); ++idx) {
+      const FilterEngine::Singleton& single = singles[idx];
+      Node node;
+      node.idx = idx;
+      node.est = single.est;
+      if (dual_) {
+        node.check = CheckCount(single.exact, single.est, root, single.est,
+                                ctx_->tau);
+        if (node.check.flag < 0) continue;  // exactly-known infrequent
+      }
+      node.set =
+          TidSet::FromDense(single.vector, engine_.sparse_threshold());
+      roots.push_back(std::move(node));
+    }
+    Recurse(&roots);
+  }
+
+  double probe_seconds() const { return probe_seconds_; }
+
+ private:
+  struct Node {
+    size_t idx = 0;
+    uint64_t est = 0;
+    CheckCountResult check;  // only meaningful for DFP
+    TidSet set;
+  };
+
+  void Recurse(std::vector<Node>* siblings) {
+    const auto& singles = engine_.singletons();
+    for (size_t i = 0; i < siblings->size(); ++i) {
+      Node& node = (*siblings)[i];
+      current_.push_back(singles[node.idx].item);
+      canonical_ = current_;
+      Canonicalize(&canonical_);
+      ++stats_->candidates;
+
+      ParentState state;
+      state.est = node.est;
+      state.empty = false;
+      bool keep = false;
+
+      if (dual_) {
+        if (node.check.flag > 0) {
+          ++stats_->certified;
+          ctx_->result->patterns.push_back(
+              Pattern{canonical_, node.check.count,
+                      node.check.flag == 1 ? SupportKind::kExact
+                                           : SupportKind::kGuaranteedEstimate});
+          state.flag = node.check.flag;
+          state.count = node.check.count;
+          keep = true;
+        } else {
+          keep = ProbeAndEmit(&node.set, &state);
+        }
+      } else {
+        keep = ProbeAndEmit(&node.set, &state);
+      }
+
+      if (keep) {
+        std::vector<Node> children;
+        for (size_t j = i + 1; j < siblings->size(); ++j) {
+          size_t idx = (*siblings)[j].idx;
+          const FilterEngine::Singleton& single = singles[idx];
+          Node child;
+          child.idx = idx;
+          child.est = engine_.ExtendHybrid(idx, node.set, &child.set);
+          ++stats_->extension_tests;
+          if (child.est < ctx_->tau) continue;
+          if (dual_) {
+            child.check = CheckCount(single.exact, single.est, state,
+                                     child.est, ctx_->tau);
+          }
+          children.push_back(std::move(child));
+        }
+        if (!children.empty()) Recurse(&children);
+      }
+      current_.pop_back();
+    }
+  }
+
+  /// Probes the database for the current itemset. On success emits the
+  /// pattern with its exact support, fills `next` (flag 1), and returns
+  /// true. On failure records a false drop and returns false.
+  bool ProbeAndEmit(TidSet* extended, ParentState* next) {
+    Stopwatch probe_timer;
+    std::vector<uint32_t> matching;
+    std::vector<uint32_t>* matching_out =
+        ctx_->config.tighten_after_probe ? &matching : nullptr;
+    uint64_t actual = ProbeCount(ctx_->db, canonical_, *extended, ctx_->cache,
+                                 stats_, matching_out);
+    probe_seconds_ += probe_timer.ElapsedSeconds();
+    if (actual < ctx_->tau) {
+      ++stats_->false_drops;
+      return false;
+    }
+    ctx_->result->patterns.push_back(
+        Pattern{canonical_, actual, SupportKind::kExact});
+    next->flag = 1;
+    next->count = actual;
+    if (ctx_->config.tighten_after_probe) {
+      extended->AssignSparse(std::move(matching));
+      // The tightened set makes the estimate exact for descendants.
+      next->est = actual;
+    }
+    return true;
+  }
+
+  RunContext* ctx_;
+  const FilterEngine& engine_;
+  bool dual_;
+  MineStats* stats_;
+  Itemset current_;
+  Itemset canonical_;
+  std::vector<TidSet> scratch_;
+  double probe_seconds_ = 0;
+};
+
+/// Phase-3 postprocessing of the adaptive variant: re-estimates every
+/// candidate on the full BBS in one streaming pass and drops the ones below
+/// threshold. Returns the survivors with their (tighter) full-BBS estimates.
+std::vector<Candidate> PostprocessOnFullBbs(const BbsIndex& bbs,
+                                            std::vector<Candidate> candidates,
+                                            uint64_t tau, uint32_t block_size,
+                                            MineStats* stats) {
+  bbs.ChargeFullScan(&stats->io, block_size);  // one pass over the full BBS
+  std::vector<Candidate> survivors;
+  survivors.reserve(candidates.size());
+  for (Candidate& candidate : candidates) {
+    size_t est = bbs.CountItemSet(candidate.items);
+    ++stats->extension_tests;
+    if (est >= tau) {
+      candidate.est = est;
+      survivors.push_back(std::move(candidate));
+    }
+  }
+  return survivors;
+}
+
+}  // namespace
+
+MiningResult MineFrequentPatterns(const TransactionDatabase& db,
+                                  const BbsIndex& bbs,
+                                  const MineConfig& config,
+                                  const Itemset& universe) {
+  assert(bbs.num_transactions() == db.size() &&
+         "the BBS must index exactly the database's transactions");
+  Stopwatch total_timer;
+  MiningResult result;
+  MineStats& stats = result.stats;
+  uint64_t tau = AbsoluteThreshold(config.min_support, db.size());
+
+  // --- Memory policy -------------------------------------------------------
+  // Reading the BBS from storage costs one sequential pass regardless.
+  bbs.ChargeFullScan(&stats.io, config.block_size);
+
+  // Memory regimes:
+  //  * resident    — the BBS and the database both fit: the integrated
+  //    filter+probe recursions run, and probe first-touches cost one
+  //    sequential load of the file;
+  //  * constrained — the two-phase adaptive variant runs. The BBS is
+  //    additionally folded into a MemBBS (Section 3.1) when it alone
+  //    exceeds the budget.
+  uint64_t budget = config.memory_budget_bytes;
+  uint64_t db_blocks = BlocksFor(db.SerializedBytes(), config.block_size) + 1;
+  bool resident =
+      budget == 0 || budget >= bbs.SerializedBytes() + db.SerializedBytes();
+
+  std::optional<BbsIndex> folded;
+  const BbsIndex* filter_index = &bbs;
+  if (!resident && bbs.SerializedBytes() > budget) {
+    // Fold into a MemBBS using roughly 3/4 of the budget, leaving the rest
+    // for the buffer pool.
+    uint64_t slice_bytes = std::max<uint64_t>(1, bbs.SliceBytes());
+    uint64_t target = (budget * 3 / 4) / slice_bytes;
+    target = std::clamp<uint64_t>(target, 16, bbs.num_bits());
+    folded = bbs.Fold(static_cast<uint32_t>(target));
+    filter_index = &*folded;
+  }
+
+  uint64_t cache_blocks =
+      resident ? db_blocks
+               : std::max<uint64_t>(1, (budget / 4) / config.block_size);
+  PageCache cache(std::min(cache_blocks, db_blocks));
+
+  RunContext ctx{db, bbs, filter_index, config, tau, &cache, &result};
+
+  // --- Filtering (+ integrated probing for SFP/DFP) ------------------------
+  Stopwatch filter_timer;
+  FilterEngine engine(*filter_index, tau);
+  engine.Prepare(universe, &stats, config.rare_first_order);
+
+  switch (config.algorithm) {
+    case Algorithm::kSFS: {
+      std::vector<Candidate> candidates = RunSingleFilter(engine, &stats);
+      if (folded.has_value()) {
+        candidates = PostprocessOnFullBbs(bbs, std::move(candidates), tau,
+                                          config.block_size, &stats);
+      }
+      stats.filter_seconds = filter_timer.ElapsedSeconds();
+      Stopwatch refine_timer;
+      result.patterns = RefineSequentialScan(db, candidates, tau,
+                                             budget, &stats);
+      stats.refine_seconds = refine_timer.ElapsedSeconds();
+      break;
+    }
+    case Algorithm::kDFS: {
+      DualFilterOutput out = RunDualFilter(engine, &stats);
+      // Certified patterns go straight to the answer set.
+      for (const DualCandidate& c : out.certain) {
+        result.patterns.push_back(
+            Pattern{c.items, c.count,
+                    c.flag == 1 ? SupportKind::kExact
+                                : SupportKind::kGuaranteedEstimate});
+      }
+      std::vector<Candidate> uncertain;
+      uncertain.reserve(out.uncertain.size());
+      for (DualCandidate& c : out.uncertain) {
+        uncertain.push_back(Candidate{std::move(c.items), c.est});
+      }
+      if (folded.has_value()) {
+        uncertain = PostprocessOnFullBbs(bbs, std::move(uncertain), tau,
+                                         config.block_size, &stats);
+      }
+      stats.filter_seconds = filter_timer.ElapsedSeconds();
+      Stopwatch refine_timer;
+      std::vector<Pattern> verified =
+          RefineSequentialScan(db, uncertain, tau, budget, &stats);
+      stats.refine_seconds = refine_timer.ElapsedSeconds();
+      result.patterns.insert(result.patterns.end(), verified.begin(),
+                             verified.end());
+      break;
+    }
+    case Algorithm::kSFP:
+    case Algorithm::kDFP: {
+      bool dual = config.algorithm == Algorithm::kDFP;
+      if (resident) {
+        // Memory-resident: the integrated filter+probe recursion.
+        IntegratedProbeWalk walk(&ctx, engine, dual, &stats);
+        walk.Run();
+        stats.refine_seconds = walk.probe_seconds();
+        stats.filter_seconds =
+            filter_timer.ElapsedSeconds() - walk.probe_seconds();
+        break;
+      }
+      // Adaptive three-phase variant: probing from MemBBS result vectors
+      // would fetch every folded false drop from disk, so instead the
+      // filter runs probe-free on the MemBBS, the postprocessing pass
+      // re-estimates the survivors on the full BBS (one sequential stream),
+      // and only then are the remaining candidates probed — with the tight
+      // full-BBS result vectors.
+      std::vector<Candidate> uncertain;
+      if (dual) {
+        DualFilterOutput out = RunDualFilter(engine, &stats);
+        for (const DualCandidate& c : out.certain) {
+          result.patterns.push_back(
+              Pattern{c.items, c.count,
+                      c.flag == 1 ? SupportKind::kExact
+                                  : SupportKind::kGuaranteedEstimate});
+        }
+        uncertain.reserve(out.uncertain.size());
+        for (DualCandidate& c : out.uncertain) {
+          uncertain.push_back(Candidate{std::move(c.items), c.est});
+        }
+      } else {
+        uncertain = RunSingleFilter(engine, &stats);
+      }
+      if (folded.has_value()) {
+        uncertain = PostprocessOnFullBbs(bbs, std::move(uncertain), tau,
+                                         config.block_size, &stats);
+      }
+      stats.filter_seconds = filter_timer.ElapsedSeconds();
+
+      // Cost-based refinement choice: with a small buffer pool most probes
+      // miss and pay a seek, so probing all survivors can exceed a few
+      // sequential verification scans. Estimate both and take the cheaper.
+      Stopwatch refine_timer;
+      uint64_t expected_probes = 0;
+      for (const Candidate& candidate : uncertain) {
+        expected_probes += candidate.est;
+      }
+      uint64_t resident = cache.capacity();
+      uint64_t expected_misses =
+          resident >= db_blocks
+              ? std::min<uint64_t>(expected_probes, db_blocks)
+              : expected_probes;
+      double probe_ms = static_cast<double>(expected_misses) *
+                        config.io_params.random_block_ms;
+      double scan_ms = static_cast<double>(db_blocks) *
+                       config.io_params.sequential_block_ms;
+      if (probe_ms <= scan_ms) {
+        BitVector slice_result;
+        for (const Candidate& candidate : uncertain) {
+          bbs.CountItemSet(candidate.items, &slice_result);
+          uint64_t actual = ProbeCount(db, candidate.items, slice_result,
+                                       &cache, &stats);
+          if (actual >= tau) {
+            result.patterns.push_back(
+                Pattern{candidate.items, actual, SupportKind::kExact});
+          } else {
+            ++stats.false_drops;
+          }
+        }
+      } else {
+        std::vector<Pattern> verified =
+            RefineSequentialScan(db, uncertain, tau, budget, &stats);
+        result.patterns.insert(result.patterns.end(), verified.begin(),
+                               verified.end());
+      }
+      stats.refine_seconds = refine_timer.ElapsedSeconds();
+      break;
+    }
+  }
+
+  stats.total_seconds = total_timer.ElapsedSeconds();
+  return result;
+}
+
+MiningResult MineFrequentPatterns(const TransactionDatabase& db,
+                                  const BbsIndex& bbs,
+                                  const MineConfig& config) {
+  Itemset universe(db.item_universe());
+  for (ItemId i = 0; i < db.item_universe(); ++i) universe[i] = i;
+  return MineFrequentPatterns(db, bbs, config, universe);
+}
+
+}  // namespace bbsmine

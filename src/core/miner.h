@@ -1,0 +1,42 @@
+// Top-level drivers for the four filter-and-refine mining algorithms
+// (paper Section 3.3): SFS, SFP, DFS, DFP.
+//
+// The probe-based schemes (SFP, DFP) integrate the two phases: as soon as
+// the filter accepts a candidate, the database is probed, so false drops are
+// rejected before they can trigger chains of further false drops — the two
+// advantages called out in Section 3.3.
+//
+// When a memory budget is set and the BBS does not fit, the adaptive
+// three-phase variant of Section 3.1 runs instead: the BBS is folded into a
+// memory-sized MemBBS (preprocessing), the filter runs on the MemBBS, and a
+// single streaming pass over the full BBS re-estimates the surviving
+// candidates (postprocessing) before refinement.
+
+#ifndef BBSMINE_CORE_MINER_H_
+#define BBSMINE_CORE_MINER_H_
+
+#include "core/bbs_index.h"
+#include "core/mining_types.h"
+#include "storage/transaction_db.h"
+
+namespace bbsmine {
+
+/// Mines all frequent patterns of `db` using the BBS index, per `config`.
+///
+/// `universe` is the item catalog handed to the filter ("set of all items"
+/// in the paper's pseudocode); it must be canonical.
+/// `bbs` must index exactly the transactions of `db`, in order.
+MiningResult MineFrequentPatterns(const TransactionDatabase& db,
+                                  const BbsIndex& bbs,
+                                  const MineConfig& config,
+                                  const Itemset& universe);
+
+/// Convenience overload: the universe is every item id in
+/// [0, db.item_universe()).
+MiningResult MineFrequentPatterns(const TransactionDatabase& db,
+                                  const BbsIndex& bbs,
+                                  const MineConfig& config);
+
+}  // namespace bbsmine
+
+#endif  // BBSMINE_CORE_MINER_H_

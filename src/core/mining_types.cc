@@ -1,0 +1,40 @@
+#include "core/mining_types.h"
+
+#include <algorithm>
+
+namespace bbsmine {
+
+const char* AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kSFS:
+      return "SFS";
+    case Algorithm::kSFP:
+      return "SFP";
+    case Algorithm::kDFS:
+      return "DFS";
+    case Algorithm::kDFP:
+      return "DFP";
+  }
+  return "?";
+}
+
+void MiningResult::SortPatterns() {
+  std::sort(patterns.begin(), patterns.end(),
+            [](const Pattern& a, const Pattern& b) { return a.items < b.items; });
+}
+
+const Pattern* MiningResult::Find(const Itemset& items) const {
+  auto it = std::lower_bound(
+      patterns.begin(), patterns.end(), items,
+      [](const Pattern& p, const Itemset& key) { return p.items < key; });
+  if (it == patterns.end() || it->items != items) return nullptr;
+  return &*it;
+}
+
+uint64_t AbsoluteThreshold(double min_support, size_t num_transactions) {
+  double raw = min_support * static_cast<double>(num_transactions);
+  uint64_t tau = static_cast<uint64_t>(std::ceil(raw - 1e-9));
+  return tau == 0 ? 1 : tau;
+}
+
+}  // namespace bbsmine

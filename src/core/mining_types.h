@@ -1,0 +1,126 @@
+// Common types shared by the BBS miners and the baseline algorithms.
+
+#ifndef BBSMINE_CORE_MINING_TYPES_H_
+#define BBSMINE_CORE_MINING_TYPES_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/transaction.h"
+#include "util/iomodel.h"
+
+namespace bbsmine {
+
+/// The four filter-and-refine schemes of Section 3.3.
+enum class Algorithm : uint8_t {
+  kSFS = 0,  ///< SingleFilter + SequentialScan
+  kSFP = 1,  ///< SingleFilter + Probe (integrated)
+  kDFS = 2,  ///< DualFilter + SequentialScan
+  kDFP = 3,  ///< DualFilter + Probe (integrated)
+};
+
+/// Human-readable name of an algorithm ("SFS", ...).
+const char* AlgorithmName(Algorithm algorithm);
+
+/// How confident the miner is in a reported support value.
+enum class SupportKind : uint8_t {
+  /// The support is the exact occurrence count.
+  kExact = 0,
+  /// The support is a BBS estimate; the pattern is guaranteed frequent
+  /// (DualFilter flag 2: the Lemma 5 lower bound met the threshold) but the
+  /// reported value may overestimate.
+  kGuaranteedEstimate = 1,
+};
+
+/// One mined frequent pattern.
+struct Pattern {
+  Itemset items;         // canonical
+  uint64_t support = 0;  // exact count, or estimate per `kind`
+  SupportKind kind = SupportKind::kExact;
+
+  bool operator==(const Pattern& other) const {
+    return items == other.items && support == other.support;
+  }
+};
+
+/// Tuning knobs for a mining run.
+struct MineConfig {
+  /// Minimum support as a fraction of the number of transactions
+  /// (paper default: 0.3%).
+  double min_support = 0.003;
+
+  /// Which filter-and-refine scheme to run.
+  Algorithm algorithm = Algorithm::kDFP;
+
+  /// Memory budget in bytes; 0 = unlimited (everything memory-resident).
+  /// When the BBS does not fit, the adaptive three-phase variant
+  /// (Section 3.1, "Adaptive Filtering") folds it into a MemBBS.
+  uint64_t memory_budget_bytes = 0;
+
+  /// Block size for I/O accounting.
+  uint32_t block_size = 4096;
+
+  /// Device cost parameters. Used (a) to convert counters into simulated
+  /// seconds in reports and (b) by the adaptive miner to choose between
+  /// probe and sequential-scan refinement when memory is scarce.
+  IoCostParams io_params;
+
+  /// Ablation (not in the paper): after a successful probe, shrink the
+  /// candidate's transaction vector to the exactly-matching transactions,
+  /// tightening all downstream estimates. Off by default for fidelity.
+  bool tighten_after_probe = false;
+
+  /// Walk the singletons in ascending-estimate order (narrow enumeration
+  /// tree) rather than the paper's item order. The candidate set is
+  /// identical either way; only traversal cost differs. On by default;
+  /// exposed for the ordering ablation bench.
+  bool rare_first_order = true;
+};
+
+/// Observability counters of one mining run.
+struct MineStats {
+  uint64_t candidates = 0;        ///< itemsets that passed the filter
+  uint64_t false_drops = 0;       ///< candidates rejected during refinement
+  uint64_t certified = 0;         ///< DualFilter flag>0 (refinement skipped)
+  uint64_t probed_transactions = 0;  ///< records fetched by Probe
+  uint64_t extension_tests = 0;   ///< CountItemSet / slice-AND evaluations
+  uint64_t db_scans = 0;          ///< full database passes
+  double filter_seconds = 0;
+  double refine_seconds = 0;
+  double total_seconds = 0;
+  IoStats io;
+};
+
+/// The outcome of a mining run: the frequent patterns plus statistics.
+struct MiningResult {
+  std::vector<Pattern> patterns;
+  MineStats stats;
+
+  /// False drop ratio FDR = F_fd / F (paper Section 4): the number of false
+  /// drops seen during refinement over the number of true frequent patterns.
+  double FalseDropRatio() const {
+    if (patterns.empty()) {
+      return stats.false_drops == 0 ? 0.0 : HUGE_VAL;
+    }
+    return static_cast<double>(stats.false_drops) /
+           static_cast<double>(patterns.size());
+  }
+
+  /// Sorts patterns lexicographically by itemset, for stable comparisons.
+  void SortPatterns();
+
+  /// Looks up the support of `items`; returns nullptr when absent.
+  /// Requires SortPatterns() to have been called.
+  const Pattern* Find(const Itemset& items) const;
+};
+
+/// Converts a fractional minimum support into the absolute occurrence
+/// threshold tau for a database of `num_transactions` records: the smallest
+/// integer count that qualifies as frequent (count >= tau), never below 1.
+uint64_t AbsoluteThreshold(double min_support, size_t num_transactions);
+
+}  // namespace bbsmine
+
+#endif  // BBSMINE_CORE_MINING_TYPES_H_

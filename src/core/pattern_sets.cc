@@ -1,0 +1,107 @@
+#include "core/pattern_sets.h"
+
+#include <algorithm>
+#include <map>
+
+namespace bbsmine {
+
+namespace {
+
+/// Groups pattern indices by itemset length (ascending lengths).
+std::vector<std::vector<size_t>> ByLength(const std::vector<Pattern>& patterns,
+                                          size_t* max_len) {
+  *max_len = 0;
+  for (const Pattern& p : patterns) {
+    *max_len = std::max(*max_len, p.items.size());
+  }
+  std::vector<std::vector<size_t>> buckets(*max_len + 1);
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    buckets[patterns[i].items.size()].push_back(i);
+  }
+  return buckets;
+}
+
+void SortLex(std::vector<Pattern>* out) {
+  std::sort(out->begin(), out->end(),
+            [](const Pattern& a, const Pattern& b) { return a.items < b.items; });
+}
+
+}  // namespace
+
+std::vector<Pattern> ClosedPatterns(const std::vector<Pattern>& patterns) {
+  // A pattern is closed iff no (k+1)-superset among the frequent patterns
+  // has the same support. Supersets of interest differ by one item, since
+  // support is monotone along the lattice: if some superset has equal
+  // support, then so does a one-item extension on the path to it.
+  size_t max_len = 0;
+  std::vector<std::vector<size_t>> buckets = ByLength(patterns, &max_len);
+
+  // Index (k+1)-itemsets for superset probing.
+  std::vector<Pattern> closed;
+  for (size_t k = 1; k <= max_len; ++k) {
+    if (buckets[k].empty()) continue;
+    // Map from (k+1)-itemset to support.
+    std::map<Itemset, uint64_t> next;
+    if (k + 1 <= max_len) {
+      for (size_t idx : buckets[k + 1]) {
+        next.emplace(patterns[idx].items, patterns[idx].support);
+      }
+    }
+    for (size_t idx : buckets[k]) {
+      const Pattern& p = patterns[idx];
+      bool is_closed = true;
+      if (!next.empty()) {
+        // Try every one-item extension present in the next level. Rather
+        // than enumerating the item universe, scan the next level's
+        // supersets via subset tests when the level is small, else probe
+        // extensions of p by each item of each superset candidate — the
+        // simple subset scan is fine at post-processing scale.
+        for (const auto& [superset, support] : next) {
+          if (support == p.support && IsSubsetOf(p.items, superset)) {
+            is_closed = false;
+            break;
+          }
+        }
+      }
+      if (is_closed) closed.push_back(p);
+    }
+  }
+  SortLex(&closed);
+  return closed;
+}
+
+std::vector<Pattern> MaximalPatterns(const std::vector<Pattern>& patterns) {
+  size_t max_len = 0;
+  std::vector<std::vector<size_t>> buckets = ByLength(patterns, &max_len);
+
+  std::vector<Pattern> maximal;
+  for (size_t k = 1; k <= max_len; ++k) {
+    if (buckets[k].empty()) continue;
+    for (size_t idx : buckets[k]) {
+      const Pattern& p = patterns[idx];
+      bool is_maximal = true;
+      if (k + 1 <= max_len) {
+        for (size_t up : buckets[k + 1]) {
+          if (IsSubsetOf(p.items, patterns[up].items)) {
+            is_maximal = false;
+            break;
+          }
+        }
+      }
+      if (is_maximal) maximal.push_back(p);
+    }
+  }
+  SortLex(&maximal);
+  return maximal;
+}
+
+uint64_t SupportFromClosed(const std::vector<Pattern>& closed,
+                           const Itemset& items) {
+  uint64_t best = 0;
+  for (const Pattern& p : closed) {
+    if (p.support > best && IsSubsetOf(items, p.items)) best = p.support;
+  }
+  return best;
+}
+
+}  // namespace bbsmine

@@ -1,0 +1,38 @@
+// Condensed representations of a frequent-pattern collection.
+//
+// The full set of frequent itemsets is highly redundant (every subset of a
+// frequent itemset is frequent); consumers usually want one of the standard
+// condensations:
+//   * closed patterns  — no proper superset has the same support (lossless:
+//     the full set and every support is recoverable);
+//   * maximal patterns — no proper superset is frequent at all (lossy but
+//     smallest).
+// These are post-processing utilities over any miner's exact output.
+
+#ifndef BBSMINE_CORE_PATTERN_SETS_H_
+#define BBSMINE_CORE_PATTERN_SETS_H_
+
+#include <vector>
+
+#include "core/mining_types.h"
+
+namespace bbsmine {
+
+/// Returns the closed patterns of `patterns` (which must carry exact
+/// supports and contain all frequent itemsets, e.g. any exact miner's
+/// output). Order: lexicographic by itemset.
+std::vector<Pattern> ClosedPatterns(const std::vector<Pattern>& patterns);
+
+/// Returns the maximal patterns of `patterns` (same contract). Order:
+/// lexicographic by itemset.
+std::vector<Pattern> MaximalPatterns(const std::vector<Pattern>& patterns);
+
+/// Recovers the support of `items` from a *closed*-pattern collection: the
+/// maximum support among closed supersets of `items`, or 0 when `items` is
+/// not frequent (has no closed superset).
+uint64_t SupportFromClosed(const std::vector<Pattern>& closed,
+                           const Itemset& items);
+
+}  // namespace bbsmine
+
+#endif  // BBSMINE_CORE_PATTERN_SETS_H_

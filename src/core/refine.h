@@ -1,0 +1,61 @@
+// The refinement phase (paper Section 3.2): pruning false drops from the
+// candidate set produced by the filtering phase.
+//
+//  * SequentialScan loads as many candidates as fit in memory, scans the
+//    database once per batch, and keeps the candidates whose exact count
+//    reaches the threshold.
+//  * Probe fetches only the transactions whose bits are set in the
+//    candidate's CountItemSet result vector, through the TID-position index,
+//    and verifies containment. ProbeCount is the per-candidate primitive;
+//    the integrated SFP/DFP drivers in miner.cc call it from inside the
+//    filter recursion.
+
+#ifndef BBSMINE_CORE_REFINE_H_
+#define BBSMINE_CORE_REFINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/mining_types.h"
+#include "core/single_filter.h"
+#include "core/tidset.h"
+#include "storage/page_cache.h"
+#include "storage/transaction_db.h"
+#include "util/bitvector.h"
+
+namespace bbsmine {
+
+/// Verifies `candidates` against the database by sequential scans and
+/// returns the true frequent patterns with exact supports.
+///
+/// `memory_budget_bytes` bounds the candidate batch resident during one scan
+/// (0 = unlimited, a single scan). Updates stats->{false_drops, db_scans,
+/// io, and the refinement does not change stats->candidates}.
+std::vector<Pattern> RefineSequentialScan(const TransactionDatabase& db,
+                                          const std::vector<Candidate>& candidates,
+                                          uint64_t tau,
+                                          uint64_t memory_budget_bytes,
+                                          MineStats* stats);
+
+/// Exact support of `items` counted by probing exactly the transactions
+/// whose bits are set in `result` (the CountItemSet output vector).
+///
+/// `cache`, when non-null, models the buffer pool: repeated probes to a
+/// resident block are free. Updates stats->{probed_transactions, io}.
+/// If `matching` is non-null it receives a vector (same size as `result`)
+/// with exactly the bits of the transactions that truly contain `items` —
+/// used by the tighten-after-probe ablation.
+uint64_t ProbeCount(const TransactionDatabase& db, const Itemset& items,
+                    const BitVector& result, PageCache* cache,
+                    MineStats* stats, BitVector* matching = nullptr);
+
+/// TidSet overload used by the integrated walks. If `matching_tids` is
+/// non-null it receives the positions of the transactions that truly
+/// contain `items` (ascending).
+uint64_t ProbeCount(const TransactionDatabase& db, const Itemset& items,
+                    const TidSet& result, PageCache* cache, MineStats* stats,
+                    std::vector<uint32_t>* matching_tids = nullptr);
+
+}  // namespace bbsmine
+
+#endif  // BBSMINE_CORE_REFINE_H_

@@ -1,0 +1,145 @@
+#include "core/rules.h"
+
+#include <algorithm>
+#include <map>
+
+namespace bbsmine {
+
+namespace {
+
+/// Set difference of canonical itemsets: z \ h.
+Itemset Minus(const Itemset& z, const Itemset& h) {
+  Itemset out;
+  out.reserve(z.size() - h.size());
+  std::set_difference(z.begin(), z.end(), h.begin(), h.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+/// Joins equal-length sorted itemsets sharing their first k-1 items
+/// (candidate consequents one level up). Confidence filtering in TryEmit
+/// makes an Apriori-style subset prune unnecessary for correctness.
+std::vector<Itemset> JoinConsequents(const std::vector<Itemset>& level) {
+  std::vector<Itemset> out;
+  for (size_t block_start = 0; block_start < level.size();) {
+    size_t block_end = block_start + 1;
+    while (block_end < level.size() &&
+           std::equal(level[block_start].begin(),
+                      level[block_start].end() - 1,
+                      level[block_end].begin(), level[block_end].end() - 1)) {
+      ++block_end;
+    }
+    for (size_t i = block_start; i < block_end; ++i) {
+      for (size_t j = i + 1; j < block_end; ++j) {
+        Itemset candidate = level[i];
+        candidate.push_back(level[j].back());
+        out.push_back(std::move(candidate));
+      }
+    }
+    block_start = block_end;
+  }
+  return out;
+}
+
+class RuleGenerator {
+ public:
+  RuleGenerator(const std::map<Itemset, uint64_t>& support,
+                size_t num_transactions, double min_confidence,
+                std::vector<AssociationRule>* out)
+      : support_(support),
+        num_transactions_(num_transactions),
+        min_confidence_(min_confidence),
+        out_(out) {}
+
+  /// Generates all rules from frequent itemset `z` (|z| >= 2).
+  void FromItemset(const Itemset& z, uint64_t z_support) {
+    // Level 1: single-item consequents.
+    std::vector<Itemset> consequents;
+    for (ItemId item : z) {
+      Itemset h = {item};
+      if (TryEmit(z, z_support, h)) consequents.push_back(std::move(h));
+    }
+    // Grow consequents level-wise: if z \ h => h lacks confidence, then so
+    // does z \ h' => h' for any h' containing h (its antecedent is a
+    // subset, hence at least as supported).
+    while (consequents.size() > 1 &&
+           consequents.front().size() + 1 < z.size()) {
+      std::sort(consequents.begin(), consequents.end());
+      std::vector<Itemset> next = JoinConsequents(consequents);
+      std::vector<Itemset> kept;
+      for (Itemset& h : next) {
+        if (TryEmit(z, z_support, h)) kept.push_back(std::move(h));
+      }
+      consequents = std::move(kept);
+    }
+  }
+
+ private:
+  /// Emits antecedent => h if it reaches the confidence bar; returns
+  /// whether it passed.
+  bool TryEmit(const Itemset& z, uint64_t z_support, const Itemset& h) {
+    Itemset antecedent = Minus(z, h);
+    if (antecedent.empty()) return false;
+    auto it = support_.find(antecedent);
+    if (it == support_.end() || it->second == 0) return false;
+    double confidence = static_cast<double>(z_support) /
+                        static_cast<double>(it->second);
+    if (confidence < min_confidence_) return false;
+
+    AssociationRule rule;
+    rule.antecedent = std::move(antecedent);
+    rule.consequent = h;
+    rule.support = z_support;
+    rule.confidence = confidence;
+    auto consequent_support = support_.find(h);
+    if (consequent_support != support_.end() &&
+        consequent_support->second > 0 && num_transactions_ > 0) {
+      double base = static_cast<double>(consequent_support->second) /
+                    static_cast<double>(num_transactions_);
+      rule.lift = confidence / base;
+    }
+    out_->push_back(std::move(rule));
+    return true;
+  }
+
+  const std::map<Itemset, uint64_t>& support_;
+  size_t num_transactions_;
+  double min_confidence_;
+  std::vector<AssociationRule>* out_;
+};
+
+}  // namespace
+
+std::vector<AssociationRule> GenerateRules(const MiningResult& result,
+                                           size_t num_transactions,
+                                           const RuleConfig& config) {
+  std::map<Itemset, uint64_t> support;
+  for (const Pattern& p : result.patterns) {
+    support.emplace(p.items, p.support);
+  }
+
+  std::vector<AssociationRule> rules;
+  RuleGenerator generator(support, num_transactions, config.min_confidence,
+                          &rules);
+  for (const Pattern& p : result.patterns) {
+    if (p.items.size() >= 2) generator.FromItemset(p.items, p.support);
+  }
+
+  std::sort(rules.begin(), rules.end(),
+            [](const AssociationRule& a, const AssociationRule& b) {
+              if (a.confidence != b.confidence) {
+                return a.confidence > b.confidence;
+              }
+              if (a.support != b.support) return a.support > b.support;
+              if (a.antecedent != b.antecedent) {
+                return a.antecedent < b.antecedent;
+              }
+              return a.consequent < b.consequent;
+            });
+  if (config.max_rules != 0 && rules.size() > config.max_rules) {
+    rules.resize(config.max_rules);
+  }
+  return rules;
+}
+
+}  // namespace bbsmine

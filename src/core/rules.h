@@ -1,0 +1,60 @@
+// Association-rule generation from mined frequent patterns.
+//
+// The paper's opening motivation: "Almost all important data mining tasks,
+// such as association rule mining, correlations and causality, require
+// frequent patterns to be mined first." This module implements that
+// downstream step (Agrawal & Srikant's rule generation): for every frequent
+// itemset Z and every non-empty proper subset A of Z, emit A => Z \ A when
+//     confidence = support(Z) / support(A) >= min_confidence,
+// using the anti-monotone fast path: if A => Z \ A fails, no subset of A
+// can succeed as an antecedent of Z either, so consequents grow level-wise.
+//
+// Lift is reported against the independence baseline:
+//     lift = confidence / (support(consequent) / N).
+
+#ifndef BBSMINE_CORE_RULES_H_
+#define BBSMINE_CORE_RULES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/mining_types.h"
+
+namespace bbsmine {
+
+/// One association rule antecedent => consequent.
+struct AssociationRule {
+  Itemset antecedent;   // canonical, non-empty
+  Itemset consequent;   // canonical, non-empty, disjoint from antecedent
+  uint64_t support = 0; // support of antecedent U consequent
+  double confidence = 0;
+  double lift = 0;
+
+  bool operator==(const AssociationRule& other) const {
+    return antecedent == other.antecedent && consequent == other.consequent;
+  }
+};
+
+/// Knobs for rule generation.
+struct RuleConfig {
+  /// Minimum confidence in [0, 1].
+  double min_confidence = 0.5;
+
+  /// Maximum number of rules returned (highest confidence first);
+  /// 0 = unlimited.
+  size_t max_rules = 0;
+};
+
+/// Generates the association rules implied by `result` over a database of
+/// `num_transactions` records. `result` must contain exact supports for
+/// every frequent itemset (the output of any of the exact miners); patterns
+/// whose supports are flagged as estimates are used as-is.
+/// Rules are returned sorted by descending confidence (ties: by support,
+/// then lexicographically).
+std::vector<AssociationRule> GenerateRules(const MiningResult& result,
+                                           size_t num_transactions,
+                                           const RuleConfig& config);
+
+}  // namespace bbsmine
+
+#endif  // BBSMINE_CORE_RULES_H_

@@ -1,0 +1,183 @@
+#include "core/segmented_bbs.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "util/crc32.h"
+
+namespace bbsmine {
+
+namespace {
+
+constexpr char kManifestMagic[8] = {'B', 'B', 'S', 'S', 'E', 'G', '0', '1'};
+
+std::string SegmentPath(const std::string& prefix, size_t idx) {
+  return prefix + ".seg" + std::to_string(idx);
+}
+
+}  // namespace
+
+Result<SegmentedBbs> SegmentedBbs::Create(const BbsConfig& config,
+                                          uint64_t segment_capacity) {
+  if (segment_capacity == 0) {
+    return Status::InvalidArgument("segment_capacity must be positive");
+  }
+  // Validate the config by building the first segment.
+  Result<BbsIndex> first = BbsIndex::Create(config);
+  if (!first.ok()) return first.status();
+  SegmentedBbs out(config, segment_capacity);
+  out.segments_.push_back(std::move(first).value());
+  return out;
+}
+
+Status SegmentedBbs::AppendSegment() {
+  Result<BbsIndex> segment = BbsIndex::Create(config_);
+  if (!segment.ok()) return segment.status();
+  segments_.push_back(std::move(segment).value());
+  return Status::Ok();
+}
+
+void SegmentedBbs::Insert(const Itemset& items) {
+  if (segments_.back().num_transactions() >= segment_capacity_) {
+    // Create cannot fail here: the config was validated at construction.
+    Status status = AppendSegment();
+    (void)status;
+  }
+  segments_.back().Insert(items);
+  ++num_transactions_;
+}
+
+size_t SegmentedBbs::CountItemSet(const Itemset& items, IoStats* io) const {
+  size_t total = 0;
+  for (const BbsIndex& segment : segments_) {
+    total += segment.CountItemSet(items, nullptr, io);
+  }
+  return total;
+}
+
+std::vector<size_t> SegmentedBbs::CountPerSegment(const Itemset& items) const {
+  std::vector<size_t> counts;
+  counts.reserve(segments_.size());
+  for (const BbsIndex& segment : segments_) {
+    counts.push_back(segment.CountItemSet(items));
+  }
+  return counts;
+}
+
+uint64_t SegmentedBbs::ExactItemCount(ItemId item) const {
+  uint64_t total = 0;
+  for (const BbsIndex& segment : segments_) {
+    total += segment.ExactItemCount(item);
+  }
+  return total;
+}
+
+uint64_t SegmentedBbs::SerializedBytes() const {
+  uint64_t total = 0;
+  for (const BbsIndex& segment : segments_) {
+    total += segment.SerializedBytes();
+  }
+  return total;
+}
+
+Status SegmentedBbs::Save(const std::string& prefix) const {
+  // Manifest: magic, segment capacity, segment count, crc over the numeric
+  // payload.
+  std::string payload;
+  for (uint64_t v : {segment_capacity_, static_cast<uint64_t>(segments_.size()),
+                     static_cast<uint64_t>(num_transactions_)}) {
+    for (int i = 0; i < 8; ++i) payload.push_back(static_cast<char>(v >> (8 * i)));
+  }
+  std::string file;
+  file.append(kManifestMagic, sizeof(kManifestMagic));
+  uint32_t crc = Crc32(payload);
+  for (int i = 0; i < 4; ++i) file.push_back(static_cast<char>(crc >> (8 * i)));
+  file += payload;
+
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> fp(
+      std::fopen((prefix + ".manifest").c_str(), "wb"), &std::fclose);
+  if (fp == nullptr) {
+    return Status::IoError("cannot open for writing: " + prefix + ".manifest");
+  }
+  if (std::fwrite(file.data(), 1, file.size(), fp.get()) != file.size()) {
+    return Status::IoError("short write: " + prefix + ".manifest");
+  }
+
+  for (size_t idx = 0; idx < segments_.size(); ++idx) {
+    BBSMINE_RETURN_IF_ERROR(segments_[idx].Save(SegmentPath(prefix, idx)));
+  }
+  return Status::Ok();
+}
+
+Result<SegmentedBbs> SegmentedBbs::Load(const std::string& prefix) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> fp(
+      std::fopen((prefix + ".manifest").c_str(), "rb"), &std::fclose);
+  if (fp == nullptr) {
+    return Status::IoError("cannot open for reading: " + prefix +
+                           ".manifest");
+  }
+  std::string file;
+  char buf[256];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), fp.get())) > 0) {
+    file.append(buf, n);
+  }
+  if (file.size() != sizeof(kManifestMagic) + 4 + 24 ||
+      file.compare(0, sizeof(kManifestMagic), kManifestMagic,
+                   sizeof(kManifestMagic)) != 0) {
+    return Status::Corruption("bad manifest " + prefix);
+  }
+  size_t pos = sizeof(kManifestMagic);
+  uint32_t expected_crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    expected_crc |=
+        static_cast<uint32_t>(static_cast<uint8_t>(file[pos + i])) << (8 * i);
+  }
+  pos += 4;
+  if (Crc32(std::string_view(file.data() + pos, file.size() - pos)) !=
+      expected_crc) {
+    return Status::Corruption("manifest checksum mismatch " + prefix);
+  }
+  uint64_t values[3] = {0, 0, 0};
+  for (uint64_t& v : values) {
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(file[pos + i]))
+           << (8 * i);
+    }
+    pos += 8;
+  }
+
+  uint64_t capacity = values[0];
+  uint64_t segment_count = values[1];
+  uint64_t num_transactions = values[2];
+  if (capacity == 0 || segment_count == 0) {
+    return Status::Corruption("degenerate manifest " + prefix);
+  }
+
+  std::vector<BbsIndex> segments;
+  segments.reserve(segment_count);
+  uint64_t loaded_transactions = 0;
+  for (size_t idx = 0; idx < segment_count; ++idx) {
+    Result<BbsIndex> segment = BbsIndex::Load(SegmentPath(prefix, idx));
+    if (!segment.ok()) return segment.status();
+    loaded_transactions += segment->num_transactions();
+    segments.push_back(std::move(segment).value());
+  }
+  if (loaded_transactions != num_transactions) {
+    return Status::Corruption("segment transaction counts disagree with "
+                              "manifest for " + prefix);
+  }
+
+  SegmentedBbs out(segments.front().config(), capacity);
+  out.segments_ = std::move(segments);
+  out.num_transactions_ = loaded_transactions;
+  return out;
+}
+
+bool SegmentedBbs::operator==(const SegmentedBbs& other) const {
+  return config_ == other.config_ &&
+         segment_capacity_ == other.segment_capacity_ &&
+         segments_ == other.segments_;
+}
+
+}  // namespace bbsmine

@@ -1,0 +1,94 @@
+// A segmented BBS: the index partitioned into fixed-capacity transaction
+// segments, each a self-contained BbsIndex.
+//
+// Motivation (paper Section 3.1, postprocessing phase): "we read sufficient
+// vectors of BBS that fit into the memory ... we repeat this process by
+// reading the next portion of BBS, and accumulating the counts". A
+// monolithic bit-sliced file cannot be appended to on disk (every slice
+// grows by one bit per transaction), but a segmented file can: only the
+// open tail segment changes, sealed segments are immutable. Segments are
+// also the unit of streaming — CountItemSet accumulates per-segment counts,
+// touching one segment's slices at a time, which is exactly the chunked
+// pass the adaptive algorithm describes.
+//
+// SegmentedBbs mirrors the counting API of BbsIndex and adds segment-level
+// persistence (one file per segment plus a manifest).
+
+#ifndef BBSMINE_CORE_SEGMENTED_BBS_H_
+#define BBSMINE_CORE_SEGMENTED_BBS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/bbs_index.h"
+
+namespace bbsmine {
+
+/// A BBS split into fixed-capacity segments.
+class SegmentedBbs {
+ public:
+  /// Creates an empty segmented index; each segment holds up to
+  /// `segment_capacity` transactions. Fails on invalid config or zero
+  /// capacity.
+  static Result<SegmentedBbs> Create(const BbsConfig& config,
+                                     uint64_t segment_capacity);
+
+  const BbsConfig& config() const { return config_; }
+  uint64_t segment_capacity() const { return segment_capacity_; }
+
+  /// Total transactions across all segments.
+  size_t num_transactions() const { return num_transactions_; }
+
+  /// Number of segments (including the open tail segment).
+  size_t num_segments() const { return segments_.size(); }
+
+  /// Read access to one segment.
+  const BbsIndex& segment(size_t idx) const { return segments_[idx]; }
+
+  /// Appends one transaction (canonical itemset) to the tail segment,
+  /// opening a new segment when the tail is full.
+  void Insert(const Itemset& items);
+
+  /// Estimated number of transactions containing `items`, accumulated
+  /// segment by segment (never an underestimate, as for BbsIndex). If `io`
+  /// is non-null each segment's touched slices are charged.
+  size_t CountItemSet(const Itemset& items, IoStats* io = nullptr) const;
+
+  /// Per-segment counts for `items` (diagnostics / targeted probing: the
+  /// caller learns which segments can contain matches).
+  std::vector<size_t> CountPerSegment(const Itemset& items) const;
+
+  /// Exact occurrence count of a single item across segments.
+  /// Requires config().track_item_counts.
+  uint64_t ExactItemCount(ItemId item) const;
+
+  /// Total serialized size of all segments, in bytes.
+  uint64_t SerializedBytes() const;
+
+  /// Writes the index as `<prefix>.manifest` plus one
+  /// `<prefix>.seg<N>` file per segment. Sealed segments whose files
+  /// already exist are rewritten (callers may skip unchanged ones by
+  /// managing prefixes per epoch).
+  Status Save(const std::string& prefix) const;
+
+  /// Reads an index previously written by Save.
+  static Result<SegmentedBbs> Load(const std::string& prefix);
+
+  bool operator==(const SegmentedBbs& other) const;
+
+ private:
+  SegmentedBbs(const BbsConfig& config, uint64_t segment_capacity)
+      : config_(config), segment_capacity_(segment_capacity) {}
+
+  Status AppendSegment();
+
+  BbsConfig config_;
+  uint64_t segment_capacity_;
+  size_t num_transactions_ = 0;
+  std::vector<BbsIndex> segments_;
+};
+
+}  // namespace bbsmine
+
+#endif  // BBSMINE_CORE_SEGMENTED_BBS_H_

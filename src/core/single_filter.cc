@@ -1,0 +1,85 @@
+#include "core/single_filter.h"
+
+#include <utility>
+
+namespace bbsmine {
+
+namespace {
+
+/// Recursive GenerateAndFilter (Figure 2), realized as a narrowed-sibling
+/// depth-first walk: each node carries the list of singletons that survived
+/// the estimate test at its parent, so an extension rejected once is never
+/// re-tested inside that subtree. This is licensed by the anti-monotonicity
+/// of BBS estimates (a superset's query vector selects a superset of
+/// slices): est(X u {i}) < tau implies est(Y u {i}) < tau for all Y
+/// containing X. The set of emitted candidates is identical to the paper's
+/// formulation; only redundant CountItemSet evaluations are skipped.
+class SingleFilterWalk {
+ public:
+  SingleFilterWalk(const FilterEngine& engine, MineStats* stats,
+                   std::vector<Candidate>* out)
+      : engine_(engine), stats_(stats), out_(out) {}
+
+  void Run() {
+    // Roots: every estimated-frequent singleton.
+    std::vector<Node> roots;
+    const auto& singles = engine_.singletons();
+    roots.reserve(singles.size());
+    for (size_t idx = 0; idx < singles.size(); ++idx) {
+      Node node;
+      node.idx = idx;
+      node.est = singles[idx].est;
+      node.set =
+          TidSet::FromDense(singles[idx].vector, engine_.sparse_threshold());
+      roots.push_back(std::move(node));
+    }
+    Recurse(&roots);
+  }
+
+ private:
+  struct Node {
+    size_t idx = 0;    // index into engine_.singletons()
+    uint64_t est = 0;  // estimated count of the node's itemset
+    TidSet set;        // CountItemSet result vector of the node's itemset
+  };
+
+  void Recurse(std::vector<Node>* siblings) {
+    const auto& singles = engine_.singletons();
+    for (size_t i = 0; i < siblings->size(); ++i) {
+      Node& node = (*siblings)[i];
+      current_.push_back(singles[node.idx].item);
+
+      Itemset canonical = current_;
+      Canonicalize(&canonical);
+      out_->push_back(Candidate{std::move(canonical), node.est});
+      if (stats_ != nullptr) ++stats_->candidates;
+
+      std::vector<Node> children;
+      for (size_t j = i + 1; j < siblings->size(); ++j) {
+        Node child;
+        child.idx = (*siblings)[j].idx;
+        child.est = engine_.ExtendHybrid(child.idx, node.set, &child.set);
+        if (stats_ != nullptr) ++stats_->extension_tests;
+        if (child.est >= engine_.tau()) children.push_back(std::move(child));
+      }
+      if (!children.empty()) Recurse(&children);
+      current_.pop_back();
+    }
+  }
+
+  const FilterEngine& engine_;
+  MineStats* stats_;
+  std::vector<Candidate>* out_;
+  Itemset current_;
+};
+
+}  // namespace
+
+std::vector<Candidate> RunSingleFilter(const FilterEngine& engine,
+                                       MineStats* stats) {
+  std::vector<Candidate> out;
+  SingleFilterWalk(engine, stats, &out).Run();
+  return out;
+}
+
+}  // namespace bbsmine

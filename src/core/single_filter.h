@@ -1,0 +1,33 @@
+// Algorithm SingleFilter (paper Figure 2).
+//
+// Produces the candidate set: every itemset whose *estimated* count (from
+// BBS) reaches the threshold. By Lemma 4 this is a superset of the true
+// frequent patterns; the refinement phase prunes the false drops.
+
+#ifndef BBSMINE_CORE_SINGLE_FILTER_H_
+#define BBSMINE_CORE_SINGLE_FILTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/filter_engine.h"
+#include "core/mining_types.h"
+#include "storage/transaction.h"
+
+namespace bbsmine {
+
+/// A candidate pattern emitted by a filtering algorithm.
+struct Candidate {
+  Itemset items;      // canonical
+  uint64_t est = 0;   // BBS-estimated count (>= true support, Lemma 4)
+};
+
+/// Runs SingleFilter on a prepared engine and returns all candidates in
+/// depth-first (lexicographic) order. Updates stats->candidates and
+/// stats->extension_tests.
+std::vector<Candidate> RunSingleFilter(const FilterEngine& engine,
+                                       MineStats* stats);
+
+}  // namespace bbsmine
+
+#endif  // BBSMINE_CORE_SINGLE_FILTER_H_

@@ -1,0 +1,136 @@
+#include "datagen/quest_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace bbsmine {
+
+namespace {
+
+/// One potentially-large itemset with its selection weight and corruption
+/// level.
+struct PatternSpec {
+  Itemset items;
+  double weight = 0;
+  double corruption = 0;
+};
+
+/// Draws the pool of potentially-large itemsets.
+std::vector<PatternSpec> DrawPatterns(const QuestConfig& config, Rng* rng) {
+  std::vector<PatternSpec> patterns(config.num_patterns);
+  double weight_sum = 0;
+
+  for (size_t p = 0; p < patterns.size(); ++p) {
+    PatternSpec& spec = patterns[p];
+
+    // Size ~ Poisson with the configured mean, at least 1.
+    size_t size = std::max<uint64_t>(1, rng->Poisson(config.avg_pattern_size));
+    size = std::min<size_t>(size, config.num_items);
+
+    // A fraction of items (exponentially distributed around `correlation`)
+    // is reused from the previous pattern; the rest are fresh uniform picks.
+    spec.items.clear();
+    if (p > 0 && !patterns[p - 1].items.empty()) {
+      double frac = std::min(1.0, rng->Exponential(config.correlation));
+      size_t reuse = static_cast<size_t>(
+          frac * static_cast<double>(std::min(size, patterns[p - 1].items.size())));
+      const Itemset& prev = patterns[p - 1].items;
+      for (size_t r = 0; r < reuse; ++r) {
+        spec.items.push_back(prev[rng->Uniform(prev.size())]);
+      }
+    }
+    while (spec.items.size() < size) {
+      spec.items.push_back(
+          static_cast<ItemId>(rng->Uniform(config.num_items)));
+    }
+    Canonicalize(&spec.items);
+
+    spec.weight = rng->Exponential(1.0);
+    weight_sum += spec.weight;
+
+    double corruption =
+        rng->Normal(config.corruption_mean, config.corruption_sd);
+    spec.corruption = std::clamp(corruption, 0.0, 1.0);
+  }
+
+  // Normalize weights to a cumulative distribution for roulette selection.
+  double cumulative = 0;
+  for (PatternSpec& spec : patterns) {
+    cumulative += spec.weight / weight_sum;
+    spec.weight = cumulative;
+  }
+  if (!patterns.empty()) patterns.back().weight = 1.0;
+  return patterns;
+}
+
+/// Picks a pattern index by roulette over the cumulative weights.
+size_t PickPattern(const std::vector<PatternSpec>& patterns, Rng* rng) {
+  double u = rng->NextDouble();
+  auto it = std::lower_bound(
+      patterns.begin(), patterns.end(), u,
+      [](const PatternSpec& spec, double key) { return spec.weight < key; });
+  if (it == patterns.end()) --it;
+  return static_cast<size_t>(it - patterns.begin());
+}
+
+}  // namespace
+
+Result<TransactionDatabase> GenerateQuest(const QuestConfig& config) {
+  if (config.num_transactions == 0) {
+    return Status::InvalidArgument("num_transactions must be positive");
+  }
+  if (config.num_items == 0) {
+    return Status::InvalidArgument("num_items must be positive");
+  }
+  if (config.num_patterns == 0) {
+    return Status::InvalidArgument("num_patterns must be positive");
+  }
+  if (config.avg_transaction_size < 1 || config.avg_pattern_size < 1) {
+    return Status::InvalidArgument("average sizes must be at least 1");
+  }
+
+  Rng rng(config.seed);
+  std::vector<PatternSpec> patterns = DrawPatterns(config, &rng);
+
+  TransactionDatabase db;
+  Itemset txn;
+  Itemset corrupted;
+  for (uint32_t t = 0; t < config.num_transactions; ++t) {
+    size_t target =
+        std::max<uint64_t>(1, rng.Poisson(config.avg_transaction_size));
+    txn.clear();
+
+    while (txn.size() < target) {
+      const PatternSpec& spec = patterns[PickPattern(patterns, &rng)];
+
+      // Corruption: drop items from the pattern while a uniform draw stays
+      // below the pattern's corruption level (Agrawal-Srikant's scheme keeps
+      // partial patterns in the data).
+      corrupted = spec.items;
+      while (!corrupted.empty() && rng.NextDouble() < spec.corruption) {
+        size_t victim = rng.Uniform(corrupted.size());
+        corrupted.erase(corrupted.begin() + static_cast<ptrdiff_t>(victim));
+      }
+      if (corrupted.empty()) continue;
+
+      // If the (corrupted) pattern overflows the transaction, keep it anyway
+      // half the time and discard it otherwise, per the original procedure.
+      if (txn.size() + corrupted.size() > target && !txn.empty()) {
+        if (rng.NextDouble() < 0.5) {
+          txn.insert(txn.end(), corrupted.begin(), corrupted.end());
+        }
+        break;
+      }
+      txn.insert(txn.end(), corrupted.begin(), corrupted.end());
+    }
+
+    Canonicalize(&txn);
+    db.Append(txn);
+  }
+  return db;
+}
+
+}  // namespace bbsmine

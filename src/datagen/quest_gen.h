@@ -1,0 +1,44 @@
+// Synthetic transaction generator following the IBM Quest procedure of
+// Agrawal & Srikant (VLDB'94, Section 2.4.3) — the dataset generator the
+// paper uses for its entire evaluation ("the synthetic data sets which we
+// used for our experiments were generated using the procedure described in
+// [1]").
+//
+// The generator first draws a pool of "potentially large" itemsets with
+// correlated contents, an exponential weight and a per-itemset corruption
+// level; each transaction then packs (possibly corrupted) potentially-large
+// itemsets until it reaches its drawn size. The paper's notation
+// Txx.Iyy.Dzz maps to avg_transaction_size=xx, avg_pattern_size=yy,
+// num_transactions=zz.
+
+#ifndef BBSMINE_DATAGEN_QUEST_GEN_H_
+#define BBSMINE_DATAGEN_QUEST_GEN_H_
+
+#include <cstdint>
+
+#include "storage/transaction_db.h"
+#include "util/status.h"
+
+namespace bbsmine {
+
+/// Parameters of a Quest-style dataset (defaults = the paper's defaults:
+/// T10.I10.D10K with 10K items).
+struct QuestConfig {
+  uint32_t num_transactions = 10'000;    ///< D
+  uint32_t num_items = 10'000;           ///< V (item universe)
+  double avg_transaction_size = 10.0;    ///< T
+  double avg_pattern_size = 10.0;        ///< I
+  uint32_t num_patterns = 2'000;         ///< |L|, the potentially-large pool
+  double correlation = 0.5;              ///< fraction of items reused from the previous pattern
+  double corruption_mean = 0.5;          ///< per-pattern corruption level ~ N(mean, sd)
+  double corruption_sd = 0.1;
+  uint64_t seed = 42;                    ///< deterministic generation
+};
+
+/// Generates a database per `config`. Fails on degenerate parameters
+/// (zero items/transactions, mean sizes below 1, no patterns).
+Result<TransactionDatabase> GenerateQuest(const QuestConfig& config);
+
+}  // namespace bbsmine
+
+#endif  // BBSMINE_DATAGEN_QUEST_GEN_H_

@@ -1,0 +1,91 @@
+#include "datagen/weblog_gen.h"
+
+#include <algorithm>
+
+namespace bbsmine {
+
+Result<WebLogGenerator> WebLogGenerator::Create(const WebLogConfig& config) {
+  if (config.num_files == 0) {
+    return Status::InvalidArgument("num_files must be positive");
+  }
+  if (config.hot_fraction <= 0 || config.hot_fraction > 1) {
+    return Status::InvalidArgument("hot_fraction must be in (0, 1]");
+  }
+  if (static_cast<uint32_t>(config.hot_fraction *
+                            static_cast<double>(config.num_files)) == 0) {
+    return Status::InvalidArgument("hot set would be empty");
+  }
+  if (config.avg_session_size < 1) {
+    return Status::InvalidArgument("avg_session_size must be at least 1");
+  }
+  return WebLogGenerator(config);
+}
+
+WebLogGenerator::WebLogGenerator(const WebLogConfig& config)
+    : config_(config), rng_(config.seed) {
+  uint32_t hot_count = static_cast<uint32_t>(
+      config_.hot_fraction * static_cast<double>(config_.num_files));
+  // Shuffle the file ids and split into hot / cold.
+  std::vector<ItemId> files(config_.num_files);
+  for (uint32_t f = 0; f < config_.num_files; ++f) files[f] = f;
+  for (size_t i = files.size(); i > 1; --i) {
+    std::swap(files[i - 1], files[rng_.Uniform(i)]);
+  }
+  hot_.assign(files.begin(), files.begin() + hot_count);
+  cold_.assign(files.begin() + hot_count, files.end());
+
+  // Persistent bundles over the hot set (pages plus their linked
+  // resources). Bundles survive churn: a retired file simply stops being
+  // drawn via the hot path but keeps its bundle slot, mirroring stale links.
+  bundles_.resize(config_.num_bundles);
+  for (Itemset& bundle : bundles_) {
+    size_t size =
+        std::max<uint64_t>(2, rng_.Poisson(config_.avg_bundle_size));
+    for (size_t s = 0; s < size; ++s) {
+      bundle.push_back(hot_[rng_.Uniform(hot_.size())]);
+    }
+    Canonicalize(&bundle);
+  }
+}
+
+void WebLogGenerator::GenerateDay(TransactionDatabase* db) {
+  Itemset session;
+  for (uint32_t t = 0; t < config_.transactions_per_day; ++t) {
+    size_t size =
+        std::max<uint64_t>(1, rng_.Poisson(config_.avg_session_size));
+    session.clear();
+    while (session.size() < size) {
+      if (!bundles_.empty() && rng_.NextDouble() < config_.bundle_prob) {
+        const Itemset& bundle = bundles_[rng_.Uniform(bundles_.size())];
+        session.insert(session.end(), bundle.begin(), bundle.end());
+      } else if (rng_.NextDouble() < config_.hot_access_mass ||
+                 cold_.empty()) {
+        session.push_back(hot_[rng_.Uniform(hot_.size())]);
+      } else {
+        session.push_back(cold_[rng_.Uniform(cold_.size())]);
+      }
+    }
+    Canonicalize(&session);
+    db->Append(session);
+  }
+  ++day_;
+  Churn();
+}
+
+void WebLogGenerator::Churn() {
+  size_t retire = static_cast<size_t>(config_.daily_churn *
+                                      static_cast<double>(hot_.size()));
+  for (size_t r = 0; r < retire && !cold_.empty(); ++r) {
+    size_t hot_victim = rng_.Uniform(hot_.size());
+    size_t cold_pick = rng_.Uniform(cold_.size());
+    std::swap(hot_[hot_victim], cold_[cold_pick]);
+  }
+}
+
+Itemset WebLogGenerator::hot_files() const {
+  Itemset sorted = hot_;
+  Canonicalize(&sorted);
+  return sorted;
+}
+
+}  // namespace bbsmine

@@ -1,0 +1,102 @@
+#include "storage/fimi_io.h"
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace bbsmine {
+
+namespace {
+
+/// Parses one line of whitespace-separated item ids into `items`.
+/// Returns false (with *error set) on malformed tokens.
+bool ParseLine(const std::string& line, size_t line_number, Itemset* items,
+               std::string* error) {
+  items->clear();
+  size_t pos = 0;
+  while (pos < line.size()) {
+    // Skip whitespace.
+    while (pos < line.size() &&
+           (line[pos] == ' ' || line[pos] == '\t' || line[pos] == '\r')) {
+      ++pos;
+    }
+    if (pos >= line.size()) break;
+
+    uint64_t value = 0;
+    size_t start = pos;
+    while (pos < line.size() && line[pos] >= '0' && line[pos] <= '9') {
+      value = value * 10 + static_cast<uint64_t>(line[pos] - '0');
+      if (value > std::numeric_limits<ItemId>::max()) {
+        *error = "item id out of range at line " + std::to_string(line_number);
+        return false;
+      }
+      ++pos;
+    }
+    if (pos == start ||
+        (pos < line.size() && line[pos] != ' ' && line[pos] != '\t' &&
+         line[pos] != '\r')) {
+      *error = "malformed token at line " + std::to_string(line_number);
+      return false;
+    }
+    items->push_back(static_cast<ItemId>(value));
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<TransactionDatabase> ReadFimiStream(std::istream& in,
+                                           const std::string& origin) {
+  TransactionDatabase db;
+  std::string line;
+  Itemset items;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::string error;
+    if (!ParseLine(line, line_number, &items, &error)) {
+      return Status::Corruption(origin + ": " + error);
+    }
+    if (items.empty()) continue;  // whitespace-only line
+    db.Append(items);
+  }
+  if (in.bad()) {
+    return Status::IoError("read error in " + origin);
+  }
+  return db;
+}
+
+Result<TransactionDatabase> ReadFimi(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  return ReadFimiStream(in, path);
+}
+
+Status WriteFimiStream(const TransactionDatabase& db, std::ostream& out) {
+  for (size_t t = 0; t < db.size(); ++t) {
+    const Itemset& items = db.At(t).items;
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (i > 0) out << ' ';
+      out << items[i];
+    }
+    out << '\n';
+  }
+  out.flush();
+  if (!out.good()) return Status::IoError("write error");
+  return Status::Ok();
+}
+
+Status WriteFimi(const TransactionDatabase& db, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  Status status = WriteFimiStream(db, out);
+  if (!status.ok()) return Status::IoError(status.message() + ": " + path);
+  return Status::Ok();
+}
+
+}  // namespace bbsmine

@@ -1,0 +1,37 @@
+// Text import/export in the FIMI workshop format, the de-facto interchange
+// format of the frequent-itemset-mining community: one transaction per
+// line, items as whitespace-separated non-negative integers. This is the
+// format of the classic public datasets (retail, kosarak, T10I4D100K, ...),
+// so databases produced by other tools drop straight into bbsmine.
+
+#ifndef BBSMINE_STORAGE_FIMI_IO_H_
+#define BBSMINE_STORAGE_FIMI_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "storage/transaction_db.h"
+#include "util/status.h"
+
+namespace bbsmine {
+
+/// Reads a FIMI-format text file into a database. TIDs are assigned
+/// sequentially from 0. Blank lines are skipped; '#'-prefixed lines are
+/// treated as comments. Fails with kCorruption on non-numeric tokens or
+/// items exceeding the ItemId range.
+Result<TransactionDatabase> ReadFimi(const std::string& path);
+
+/// Parses FIMI-format text from a stream (same rules as ReadFimi).
+Result<TransactionDatabase> ReadFimiStream(std::istream& in,
+                                           const std::string& origin = "<stream>");
+
+/// Writes `db` in FIMI format (items space-separated, one transaction per
+/// line; TIDs are not preserved by the format).
+Status WriteFimi(const TransactionDatabase& db, const std::string& path);
+
+/// Writes FIMI-format text to a stream.
+Status WriteFimiStream(const TransactionDatabase& db, std::ostream& out);
+
+}  // namespace bbsmine
+
+#endif  // BBSMINE_STORAGE_FIMI_IO_H_

@@ -1,0 +1,67 @@
+// Bidirectional mapping between item names and dense ItemIds.
+//
+// The paper hashes *item names* ("we take the four disjoint groups of bits
+// from the 128-bit MD5 signature of the item name"); the mining engine works
+// on dense integer ids. ItemCatalog bridges the two: applications register
+// names (SKU strings, file paths, ...) and mine over the ids, translating
+// results back for presentation. The catalog persists alongside the
+// database and, like the BBS, is append-only — ids are stable forever.
+
+#ifndef BBSMINE_STORAGE_ITEM_CATALOG_H_
+#define BBSMINE_STORAGE_ITEM_CATALOG_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/transaction.h"
+#include "util/status.h"
+
+namespace bbsmine {
+
+/// Append-only name <-> id catalog.
+class ItemCatalog {
+ public:
+  ItemCatalog() = default;
+
+  /// Returns the id of `name`, registering it if new. Ids are assigned
+  /// densely in registration order.
+  ItemId Intern(std::string_view name);
+
+  /// Returns the id of `name` if registered, or ItemId(-1) otherwise.
+  static constexpr ItemId kNotFound = static_cast<ItemId>(-1);
+  ItemId Find(std::string_view name) const;
+
+  /// The name of `id`. Precondition: id < size().
+  const std::string& NameOf(ItemId id) const { return names_[id]; }
+
+  /// Number of registered items.
+  size_t size() const { return names_.size(); }
+  bool empty() const { return names_.empty(); }
+
+  /// Interns every name and returns the canonical itemset.
+  Itemset InternAll(const std::vector<std::string>& names);
+
+  /// Renders an itemset as "{name1, name2}" using catalog names.
+  /// Ids outside the catalog render as "#<id>".
+  std::string Render(const Itemset& items) const;
+
+  /// Writes the catalog to `path` (length-prefixed strings, checksummed).
+  Status Save(const std::string& path) const;
+
+  /// Reads a catalog previously written by Save.
+  static Result<ItemCatalog> Load(const std::string& path);
+
+  bool operator==(const ItemCatalog& other) const {
+    return names_ == other.names_;
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, ItemId> ids_;
+};
+
+}  // namespace bbsmine
+
+#endif  // BBSMINE_STORAGE_ITEM_CATALOG_H_

@@ -1,0 +1,38 @@
+#include "storage/page_cache.h"
+
+namespace bbsmine {
+
+bool PageCache::Access(uint64_t block, bool sequential, IoStats* io) {
+  auto it = index_.find(block);
+  if (it != index_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
+  }
+
+  ++misses_;
+  if (io != nullptr) {
+    if (sequential) {
+      ++io->sequential_reads;
+    } else {
+      ++io->random_reads;
+    }
+  }
+  if (capacity_ == 0) return false;
+
+  if (lru_.size() >= capacity_) {
+    uint64_t victim = lru_.back();
+    lru_.pop_back();
+    index_.erase(victim);
+  }
+  lru_.push_front(block);
+  index_[block] = lru_.begin();
+  return false;
+}
+
+void PageCache::Clear() {
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace bbsmine

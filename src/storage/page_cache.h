@@ -1,0 +1,55 @@
+// An LRU page cache used to model buffered block access.
+//
+// The paper's Probe refinement fetches individual transactions through the
+// position index; on a real machine, probes to the same disk block within a
+// short window are served from the buffer pool. PageCache models exactly
+// that: Access() charges a block read to an IoStats only when the block is
+// not resident, and evicts least-recently-used blocks once the configured
+// memory budget (in blocks) is exceeded. It stores no data — only residency —
+// because the reproduction keeps all data in memory and models the I/O cost.
+
+#ifndef BBSMINE_STORAGE_PAGE_CACHE_H_
+#define BBSMINE_STORAGE_PAGE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "util/iomodel.h"
+
+namespace bbsmine {
+
+/// Tracks which blocks of a single file are resident, with LRU eviction.
+class PageCache {
+ public:
+  /// Creates a cache holding at most `capacity_blocks` blocks.
+  /// A capacity of zero disables caching (every access misses).
+  explicit PageCache(uint64_t capacity_blocks)
+      : capacity_(capacity_blocks) {}
+
+  /// Touches `block`. On a miss, charges one read to `io` (random or
+  /// sequential according to `sequential`) and admits the block, evicting the
+  /// LRU block if the cache is full. On a hit, only recency is updated.
+  /// Returns true on a hit.
+  bool Access(uint64_t block, bool sequential, IoStats* io);
+
+  /// Drops all resident blocks.
+  void Clear();
+
+  uint64_t capacity() const { return capacity_; }
+  uint64_t resident_blocks() const { return lru_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  uint64_t capacity_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  // Front = most recently used.
+  std::list<uint64_t> lru_;
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> index_;
+};
+
+}  // namespace bbsmine
+
+#endif  // BBSMINE_STORAGE_PAGE_CACHE_H_

@@ -1,0 +1,236 @@
+#include "storage/record_store.h"
+
+#include <cstring>
+
+#include "util/crc32.h"
+
+namespace bbsmine {
+
+namespace {
+
+constexpr char kMagic[8] = {'B', 'B', 'S', 'R', 'E', 'C', '0', '1'};
+constexpr uint32_t kFormatVersion = 1;
+// magic + version u32 + count u64 + index offset u64 + index crc u32.
+constexpr uint64_t kHeaderBytes = 8 + 4 + 8 + 8 + 4;
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+uint32_t LoadU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+uint64_t LoadU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+Status RecordStore::Write(const TransactionDatabase& db,
+                          const std::string& path) {
+  std::string records;
+  std::string footer;
+  records.reserve(db.SerializedBytes());
+  for (size_t t = 0; t < db.size(); ++t) {
+    const Transaction& txn = db.At(t);
+    AppendU64(&footer, records.size());
+    AppendU64(&records, txn.tid);
+    AppendU32(&records, static_cast<uint32_t>(txn.items.size()));
+    for (ItemId item : txn.items) AppendU32(&records, item);
+  }
+
+  std::string file;
+  file.append(kMagic, sizeof(kMagic));
+  AppendU32(&file, kFormatVersion);
+  AppendU64(&file, db.size());
+  AppendU64(&file, kHeaderBytes + records.size());  // index offset
+  AppendU32(&file, Crc32(footer));
+  file += records;
+  file += footer;
+
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> fp(
+      std::fopen(path.c_str(), "wb"), &std::fclose);
+  if (fp == nullptr) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  if (std::fwrite(file.data(), 1, file.size(), fp.get()) != file.size()) {
+    return Status::IoError("short write: " + path);
+  }
+  return Status::Ok();
+}
+
+Result<RecordStore> RecordStore::Open(const std::string& path,
+                                      uint32_t cache_pages) {
+  RecordStore store;
+  store.path_ = path;
+  store.cache_pages_ = cache_pages == 0 ? 1 : cache_pages;
+  store.file_.reset(std::fopen(path.c_str(), "rb"));
+  if (store.file_ == nullptr) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+
+  uint8_t header[kHeaderBytes];
+  if (std::fread(header, 1, sizeof(header), store.file_.get()) !=
+      sizeof(header)) {
+    return Status::Corruption("truncated header in " + path);
+  }
+  if (std::memcmp(header, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad magic in " + path);
+  }
+  uint32_t version = LoadU32(header + 8);
+  if (version != kFormatVersion) {
+    return Status::Corruption("unsupported record-store version " +
+                              std::to_string(version));
+  }
+  uint64_t count = LoadU64(header + 12);
+  uint64_t index_offset = LoadU64(header + 20);
+  uint32_t index_crc = LoadU32(header + 28);
+  if (index_offset < kHeaderBytes) {
+    return Status::Corruption("bad index offset in " + path);
+  }
+  store.records_begin_ = kHeaderBytes;
+  store.record_bytes_ = index_offset - kHeaderBytes;
+
+  // Read the footer.
+  if (std::fseek(store.file_.get(), static_cast<long>(index_offset),
+                 SEEK_SET) != 0) {
+    return Status::IoError("seek failed in " + path);
+  }
+  std::vector<uint8_t> footer(count * 8);
+  if (count > 0 && std::fread(footer.data(), 1, footer.size(),
+                              store.file_.get()) != footer.size()) {
+    return Status::Corruption("truncated footer in " + path);
+  }
+  if (Crc32(footer.data(), footer.size()) != index_crc) {
+    return Status::Corruption("footer checksum mismatch in " + path);
+  }
+  store.offsets_.resize(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    store.offsets_[i] = LoadU64(footer.data() + 8 * i);
+    if (store.offsets_[i] > store.record_bytes_ ||
+        (i > 0 && store.offsets_[i] < store.offsets_[i - 1])) {
+      return Status::Corruption("non-monotone record offsets in " + path);
+    }
+  }
+  return store;
+}
+
+Result<const std::vector<uint8_t>*> RecordStore::Page(uint64_t page_idx,
+                                                      bool sequential,
+                                                      IoStats* io) {
+  auto it = page_index_.find(page_idx);
+  if (it != page_index_.end()) {
+    ++hits_;
+    pages_.splice(pages_.begin(), pages_, it->second);
+    return &pages_.front().second;
+  }
+
+  ++misses_;
+  if (io != nullptr) {
+    if (sequential) {
+      ++io->sequential_reads;
+    } else {
+      ++io->random_reads;
+    }
+  }
+
+  std::vector<uint8_t> page(kPageSize);
+  uint64_t file_offset = records_begin_ + page_idx * kPageSize;
+  if (std::fseek(file_.get(), static_cast<long>(file_offset), SEEK_SET) != 0) {
+    return Status::IoError("seek failed in " + path_);
+  }
+  size_t want = static_cast<size_t>(
+      std::min<uint64_t>(kPageSize, record_bytes_ - page_idx * kPageSize));
+  size_t got = std::fread(page.data(), 1, want, file_.get());
+  if (got != want) {
+    return Status::IoError("short page read in " + path_);
+  }
+
+  if (pages_.size() >= cache_pages_) {
+    page_index_.erase(pages_.back().first);
+    pages_.pop_back();
+  }
+  pages_.emplace_front(page_idx, std::move(page));
+  page_index_[page_idx] = pages_.begin();
+  return &pages_.front().second;
+}
+
+Status RecordStore::CopyRange(uint64_t offset, uint64_t len, bool sequential,
+                              IoStats* io, std::vector<uint8_t>* out) {
+  if (offset + len > record_bytes_) {
+    return Status::Corruption("record range out of bounds in " + path_);
+  }
+  out->clear();
+  out->reserve(len);
+  uint64_t pos = offset;
+  while (pos < offset + len) {
+    uint64_t page_idx = pos / kPageSize;
+    uint64_t in_page = pos % kPageSize;
+    Result<const std::vector<uint8_t>*> page = Page(page_idx, sequential, io);
+    if (!page.ok()) return page.status();
+    uint64_t take =
+        std::min<uint64_t>(kPageSize - in_page, offset + len - pos);
+    out->insert(out->end(), (*page)->begin() + static_cast<ptrdiff_t>(in_page),
+                (*page)->begin() + static_cast<ptrdiff_t>(in_page + take));
+    pos += take;
+  }
+  return Status::Ok();
+}
+
+Status RecordStore::ParseRecord(const std::vector<uint8_t>& bytes,
+                                Transaction* out) {
+  if (bytes.size() < 12) return Status::Corruption("record too short");
+  out->tid = LoadU64(bytes.data());
+  uint32_t count = LoadU32(bytes.data() + 8);
+  if (bytes.size() != 12 + 4ull * count) {
+    return Status::Corruption("record length mismatch");
+  }
+  out->items.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    out->items[i] = LoadU32(bytes.data() + 12 + 4ull * i);
+  }
+  return Status::Ok();
+}
+
+Result<Transaction> RecordStore::Read(size_t position, IoStats* io) {
+  if (position >= offsets_.size()) {
+    return Status::OutOfRange("record " + std::to_string(position) +
+                              " of " + std::to_string(offsets_.size()));
+  }
+  uint64_t begin = offsets_[position];
+  uint64_t end = position + 1 < offsets_.size() ? offsets_[position + 1]
+                                                : record_bytes_;
+  std::vector<uint8_t> bytes;
+  BBSMINE_RETURN_IF_ERROR(
+      CopyRange(begin, end - begin, /*sequential=*/false, io, &bytes));
+  Transaction txn;
+  BBSMINE_RETURN_IF_ERROR(ParseRecord(bytes, &txn));
+  return txn;
+}
+
+Status RecordStore::Scan(IoStats* io,
+                         const std::function<void(const Transaction&)>& fn) {
+  std::vector<uint8_t> bytes;
+  for (size_t position = 0; position < offsets_.size(); ++position) {
+    uint64_t begin = offsets_[position];
+    uint64_t end = position + 1 < offsets_.size() ? offsets_[position + 1]
+                                                  : record_bytes_;
+    BBSMINE_RETURN_IF_ERROR(
+        CopyRange(begin, end - begin, /*sequential=*/true, io, &bytes));
+    Transaction txn;
+    BBSMINE_RETURN_IF_ERROR(ParseRecord(bytes, &txn));
+    fn(txn);
+  }
+  return Status::Ok();
+}
+
+}  // namespace bbsmine

@@ -1,0 +1,26 @@
+#include "storage/transaction.h"
+
+#include <sstream>
+
+namespace bbsmine {
+
+Itemset UnionOf(const Itemset& a, const Itemset& b) {
+  Itemset out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+std::string ItemsetToString(const Itemset& items) {
+  std::ostringstream out;
+  out << "{";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << items[i];
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace bbsmine

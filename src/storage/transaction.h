@@ -1,0 +1,63 @@
+// Core value types of the transaction model: items, itemsets, transactions.
+//
+// Following the paper (Section 2): I = {i_1, ..., i_N} is a set of distinct
+// literals called items; the database D is a set of variable-length
+// transactions over I, each with a unique TID.
+
+#ifndef BBSMINE_STORAGE_TRANSACTION_H_
+#define BBSMINE_STORAGE_TRANSACTION_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bbsmine {
+
+/// Dense integer identifier of an item.
+using ItemId = uint32_t;
+
+/// Unique identifier of a transaction.
+using Tid = uint64_t;
+
+/// A set of items, stored as a sorted, duplicate-free vector.
+///
+/// All functions in the library that accept an Itemset require canonical form
+/// (sorted ascending, no duplicates); use Canonicalize() on untrusted input.
+using Itemset = std::vector<ItemId>;
+
+/// Sorts and deduplicates `items` in place, making it a canonical Itemset.
+inline void Canonicalize(Itemset* items) {
+  std::sort(items->begin(), items->end());
+  items->erase(std::unique(items->begin(), items->end()), items->end());
+}
+
+/// True iff canonical itemset `a` is a subset of canonical itemset `b`.
+inline bool IsSubsetOf(const Itemset& a, const Itemset& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+/// True iff canonical itemset `a` contains item `x`.
+inline bool Contains(const Itemset& a, ItemId x) {
+  return std::binary_search(a.begin(), a.end(), x);
+}
+
+/// Returns the union of two canonical itemsets (canonical).
+Itemset UnionOf(const Itemset& a, const Itemset& b);
+
+/// Renders an itemset as "{1, 2, 3}".
+std::string ItemsetToString(const Itemset& items);
+
+/// A database record: a transaction identifier plus its itemset.
+struct Transaction {
+  Tid tid = 0;
+  Itemset items;  // canonical
+
+  bool operator==(const Transaction& other) const {
+    return tid == other.tid && items == other.items;
+  }
+};
+
+}  // namespace bbsmine
+
+#endif  // BBSMINE_STORAGE_TRANSACTION_H_

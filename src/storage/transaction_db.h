@@ -1,0 +1,145 @@
+// The transaction database: an append-only collection of transactions with a
+// binary on-disk format and position-based record addressing.
+//
+// The database plays two roles in the paper's architecture:
+//   * it is the ground truth that refinement (SequentialScan / Probe) checks
+//     candidate patterns against, and
+//   * it is the unit of I/O cost — Apriori re-scans it once per pass, the
+//     Probe refinement fetches individual records through the TID-position
+//     index ("the key of the index is the relative position of the
+//     transaction from the beginning of the file", Section 3.2).
+//
+// For reproducibility on modern hardware the database is held in memory and
+// every access that *would* hit disk on the paper's machine charges blocks to
+// an IoStats (see util/iomodel.h). The on-disk format (Save/Load) is real,
+// with a checksummed header, so databases can be persisted between runs.
+
+#ifndef BBSMINE_STORAGE_TRANSACTION_DB_H_
+#define BBSMINE_STORAGE_TRANSACTION_DB_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "storage/transaction.h"
+#include "util/iomodel.h"
+#include "util/status.h"
+
+namespace bbsmine {
+
+/// Maps a record's ordinal position to its byte offset in the serialized
+/// file, and byte offsets to block numbers. This is the paper's probe index.
+class TidIndex {
+ public:
+  /// Records that the transaction at the next position occupies
+  /// `record_bytes` bytes.
+  void Append(uint64_t record_bytes);
+
+  size_t size() const { return offsets_.size(); }
+
+  /// Byte offset of record `position` in the data region.
+  uint64_t OffsetOf(size_t position) const { return offsets_[position]; }
+
+  /// Serialized size of record `position`, in bytes.
+  uint64_t SizeOf(size_t position) const {
+    return (position + 1 < offsets_.size() ? offsets_[position + 1]
+                                           : total_bytes_) -
+           offsets_[position];
+  }
+
+  /// First block (of `block_size` bytes) touched by record `position`.
+  uint64_t BlockOf(size_t position, uint32_t block_size) const {
+    return offsets_[position] / block_size;
+  }
+
+  /// Number of blocks spanned by record `position`.
+  uint64_t BlockSpan(size_t position, uint32_t block_size) const;
+
+  /// Total bytes of all records appended so far.
+  uint64_t total_bytes() const { return total_bytes_; }
+
+ private:
+  std::vector<uint64_t> offsets_;
+  uint64_t total_bytes_ = 0;
+};
+
+/// Append-only transaction store.
+class TransactionDatabase {
+ public:
+  TransactionDatabase() = default;
+
+  /// Appends a transaction with an auto-assigned TID (previous max + 1, or
+  /// `tid_base` for the first record). Items are canonicalized.
+  /// Returns the assigned TID.
+  Tid Append(Itemset items);
+
+  /// Appends a transaction with an explicit TID. Items are canonicalized.
+  void AppendTransaction(Transaction txn);
+
+  /// Number of transactions.
+  size_t size() const { return transactions_.size(); }
+  bool empty() const { return transactions_.empty(); }
+
+  /// Direct record access by position, without I/O accounting. Use this for
+  /// building indexes and in tests; mining code should use Probe/ForEach.
+  const Transaction& At(size_t position) const {
+    return transactions_[position];
+  }
+
+  /// The number of distinct item ids that *may* appear: max item id + 1.
+  /// Zero for an empty database.
+  ItemId item_universe() const { return item_universe_; }
+
+  /// The set of distinct items actually present, in ascending order.
+  /// O(total items) — computed on demand.
+  Itemset DistinctItems() const;
+
+  /// Full sequential scan: calls `fn` for every transaction in order and
+  /// charges one sequential pass over the file to `io` (if non-null).
+  void ForEach(IoStats* io,
+               const std::function<void(const Transaction&)>& fn) const;
+
+  /// Random access by position through the TID index. Charges the record's
+  /// block span as random reads to `io` (if non-null).
+  const Transaction& Probe(size_t position, IoStats* io) const;
+
+  /// Charges one full sequential pass over the file to `io` without visiting
+  /// records; used by algorithms that stream the file in external phases.
+  void ChargeFullScan(IoStats* io) const;
+
+  /// The probe index (position -> offset/blocks).
+  const TidIndex& tid_index() const { return tid_index_; }
+
+  /// Serialized size of the data region, in bytes.
+  uint64_t SerializedBytes() const { return tid_index_.total_bytes(); }
+
+  /// Block size used for I/O accounting (and Save framing).
+  uint32_t block_size() const { return block_size_; }
+  void set_block_size(uint32_t block_size) { block_size_ = block_size; }
+
+  /// Writes the database to `path` (header + records + CRC).
+  Status Save(const std::string& path) const;
+
+  /// Reads a database previously written by Save.
+  static Result<TransactionDatabase> Load(const std::string& path);
+
+  bool operator==(const TransactionDatabase& other) const {
+    return transactions_ == other.transactions_;
+  }
+
+ private:
+  /// Serialized size of one record: tid (8) + count (4) + items (4 each).
+  static uint64_t RecordBytes(const Transaction& txn) {
+    return 8 + 4 + 4 * static_cast<uint64_t>(txn.items.size());
+  }
+
+  std::vector<Transaction> transactions_;
+  TidIndex tid_index_;
+  ItemId item_universe_ = 0;
+  uint32_t block_size_ = 4096;
+};
+
+}  // namespace bbsmine
+
+#endif  // BBSMINE_STORAGE_TRANSACTION_DB_H_

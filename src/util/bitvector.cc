@@ -1,0 +1,152 @@
+#include "util/bitvector.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bbsmine {
+
+BitVector::BitVector(size_t size, bool value)
+    : words_((size + kWordBits - 1) / kWordBits,
+             value ? ~Word{0} : Word{0}),
+      size_(size) {
+  MaskTail();
+}
+
+void BitVector::PushBack(bool value) {
+  if (size_ % kWordBits == 0) words_.push_back(0);
+  if (value) words_.back() |= Word{1} << (size_ % kWordBits);
+  ++size_;
+}
+
+void BitVector::Resize(size_t size) {
+  size_t new_words = (size + kWordBits - 1) / kWordBits;
+  words_.resize(new_words, 0);
+  size_ = size;
+  MaskTail();
+}
+
+void BitVector::Clear() {
+  std::fill(words_.begin(), words_.end(), Word{0});
+}
+
+void BitVector::SetAll() {
+  std::fill(words_.begin(), words_.end(), ~Word{0});
+  MaskTail();
+}
+
+size_t BitVector::Count() const {
+  size_t total = 0;
+  for (Word w : words_) total += static_cast<size_t>(std::popcount(w));
+  return total;
+}
+
+size_t BitVector::CountPrefix(size_t prefix_bits) const {
+  assert(prefix_bits <= size_);
+  size_t full_words = prefix_bits / kWordBits;
+  size_t total = 0;
+  for (size_t i = 0; i < full_words; ++i) {
+    total += static_cast<size_t>(std::popcount(words_[i]));
+  }
+  size_t rem = prefix_bits % kWordBits;
+  if (rem != 0) {
+    Word mask = (Word{1} << rem) - 1;
+    total += static_cast<size_t>(std::popcount(words_[full_words] & mask));
+  }
+  return total;
+}
+
+bool BitVector::None() const {
+  for (Word w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+void BitVector::AndWith(const BitVector& other) {
+  assert(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+}
+
+void BitVector::OrWith(const BitVector& other) {
+  assert(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+void BitVector::AndNotWith(const BitVector& other) {
+  assert(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+}
+
+void BitVector::FlipAll() {
+  for (Word& w : words_) w = ~w;
+  MaskTail();
+}
+
+size_t BitVector::AndWithCount(const BitVector& other) {
+  assert(size_ == other.size_);
+  size_t total = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    words_[i] &= other.words_[i];
+    total += static_cast<size_t>(std::popcount(words_[i]));
+  }
+  return total;
+}
+
+bool BitVector::Intersects(const BitVector& other) const {
+  assert(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+bool BitVector::IsSubsetOf(const BitVector& other) const {
+  assert(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & ~other.words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+size_t BitVector::FindNext(size_t from) const {
+  if (from >= size_) return npos;
+  size_t word_idx = from / kWordBits;
+  Word w = words_[word_idx] & (~Word{0} << (from % kWordBits));
+  while (true) {
+    if (w != 0) {
+      size_t bit = word_idx * kWordBits +
+                   static_cast<size_t>(std::countr_zero(w));
+      return bit < size_ ? bit : npos;
+    }
+    if (++word_idx >= words_.size()) return npos;
+    w = words_[word_idx];
+  }
+}
+
+void BitVector::AppendSetBits(std::vector<uint32_t>* out) const {
+  for (size_t word_idx = 0; word_idx < words_.size(); ++word_idx) {
+    Word w = words_[word_idx];
+    while (w != 0) {
+      uint32_t bit = static_cast<uint32_t>(
+          word_idx * kWordBits + static_cast<size_t>(std::countr_zero(w)));
+      out->push_back(bit);
+      w &= w - 1;
+    }
+  }
+}
+
+std::vector<uint32_t> BitVector::SetBits() const {
+  std::vector<uint32_t> out;
+  out.reserve(Count());
+  AppendSetBits(&out);
+  return out;
+}
+
+void BitVector::MaskTail() {
+  size_t rem = size_ % kWordBits;
+  if (rem != 0 && !words_.empty()) {
+    words_.back() &= (Word{1} << rem) - 1;
+  }
+}
+
+}  // namespace bbsmine

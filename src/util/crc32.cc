@@ -1,0 +1,34 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace bbsmine {
+namespace {
+
+constexpr uint32_t kPolynomial = 0xedb88320u;  // reflected IEEE 802.3
+
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ kPolynomial : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t len, uint32_t seed) {
+  static const std::array<uint32_t, 256> kTable = BuildTable();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < len; ++i) {
+    crc = (crc >> 8) ^ kTable[(crc ^ p[i]) & 0xffu];
+  }
+  return ~crc;
+}
+
+}  // namespace bbsmine

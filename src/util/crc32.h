@@ -1,0 +1,23 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) for on-disk integrity checks.
+
+#ifndef BBSMINE_UTIL_CRC32_H_
+#define BBSMINE_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace bbsmine {
+
+/// Computes the CRC-32 of `len` bytes at `data`, continuing from `seed`.
+/// Pass the previous return value as `seed` to checksum data incrementally;
+/// start with 0.
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+inline uint32_t Crc32(std::string_view s, uint32_t seed = 0) {
+  return Crc32(s.data(), s.size(), seed);
+}
+
+}  // namespace bbsmine
+
+#endif  // BBSMINE_UTIL_CRC32_H_

@@ -1,0 +1,22 @@
+#include "util/iomodel.h"
+
+#include <sstream>
+
+namespace bbsmine {
+
+std::string IoStats::ToString() const {
+  std::ostringstream out;
+  out << "IoStats{seq_reads=" << sequential_reads
+      << ", rand_reads=" << random_reads << ", writes=" << writes << "}";
+  return out.str();
+}
+
+double SimulatedIoSeconds(const IoStats& stats, const IoCostParams& params) {
+  double ms = static_cast<double>(stats.sequential_reads) *
+                  params.sequential_block_ms +
+              static_cast<double>(stats.random_reads) * params.random_block_ms +
+              static_cast<double>(stats.writes) * params.write_block_ms;
+  return ms / 1e3;
+}
+
+}  // namespace bbsmine

@@ -1,0 +1,153 @@
+#include "util/md5.h"
+
+#include <bit>
+#include <cassert>
+#include <cstring>
+
+namespace bbsmine {
+namespace {
+
+// Per-round shift amounts (RFC 1321, section 3.4).
+constexpr uint32_t kShift[64] = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+
+// K[i] = floor(2^32 * abs(sin(i + 1))).
+constexpr uint32_t kSine[64] = {
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a,
+    0xa8304613, 0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be,
+    0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340,
+    0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8,
+    0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c,
+    0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+    0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92,
+    0xffeff47d, 0x85845dd1, 0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+    0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391};
+
+uint32_t LoadLe32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+void StoreLe32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+}  // namespace
+
+Md5::Md5() {
+  state_[0] = 0x67452301;
+  state_[1] = 0xefcdab89;
+  state_[2] = 0x98badcfe;
+  state_[3] = 0x10325476;
+}
+
+void Md5::ProcessBlock(const uint8_t block[64]) {
+  uint32_t m[16];
+  for (int i = 0; i < 16; ++i) m[i] = LoadLe32(block + 4 * i);
+
+  uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+  for (uint32_t i = 0; i < 64; ++i) {
+    uint32_t f;
+    uint32_t g;
+    if (i < 16) {
+      f = (b & c) | (~b & d);
+      g = i;
+    } else if (i < 32) {
+      f = (d & b) | (~d & c);
+      g = (5 * i + 1) % 16;
+    } else if (i < 48) {
+      f = b ^ c ^ d;
+      g = (3 * i + 5) % 16;
+    } else {
+      f = c ^ (b | ~d);
+      g = (7 * i) % 16;
+    }
+    uint32_t tmp = d;
+    d = c;
+    c = b;
+    b += std::rotl(a + f + kSine[i] + m[g], static_cast<int>(kShift[i]));
+    a = tmp;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+}
+
+void Md5::Update(const void* data, size_t len) {
+  assert(!finished_);
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  total_len_ += len;
+
+  if (buffer_len_ > 0) {
+    size_t take = std::min(len, sizeof(buffer_) - buffer_len_);
+    std::memcpy(buffer_ + buffer_len_, p, take);
+    buffer_len_ += take;
+    p += take;
+    len -= take;
+    if (buffer_len_ == sizeof(buffer_)) {
+      ProcessBlock(buffer_);
+      buffer_len_ = 0;
+    }
+  }
+  while (len >= 64) {
+    ProcessBlock(p);
+    p += 64;
+    len -= 64;
+  }
+  if (len > 0) {
+    std::memcpy(buffer_, p, len);
+    buffer_len_ = len;
+  }
+}
+
+Md5Digest Md5::Finish() {
+  assert(!finished_);
+  finished_ = true;
+
+  uint64_t bit_len = total_len_ * 8;
+  // Padding: 0x80 then zeros until 8 bytes remain in the block.
+  static constexpr uint8_t kPad[64] = {0x80};
+  size_t pad_len = (buffer_len_ < 56) ? 56 - buffer_len_ : 120 - buffer_len_;
+  finished_ = false;  // allow the padding Updates below
+  Update(kPad, pad_len);
+  uint8_t len_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    len_bytes[i] = static_cast<uint8_t>(bit_len >> (8 * i));
+  }
+  Update(len_bytes, 8);
+  finished_ = true;
+  assert(buffer_len_ == 0);
+
+  Md5Digest digest;
+  for (int i = 0; i < 4; ++i) StoreLe32(digest.data() + 4 * i, state_[i]);
+  return digest;
+}
+
+Md5Digest Md5::Hash(std::string_view s) {
+  Md5 md5;
+  md5.Update(s);
+  return md5.Finish();
+}
+
+std::string Md5::ToHex(const Md5Digest& digest) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(32);
+  for (uint8_t byte : digest) {
+    out.push_back(kHex[byte >> 4]);
+    out.push_back(kHex[byte & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace bbsmine

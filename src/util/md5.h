@@ -1,0 +1,63 @@
+// MD5 message digest (RFC 1321), implemented from scratch.
+//
+// The paper derives its Bloom-filter hash family from the 128-bit MD5
+// signature of the item name: "we take the four disjoint groups of bits from
+// the 128-bit MD5 signature of the item name; if more bits are needed, we
+// calculate the MD5 signature of the item name concatenated with itself"
+// (Section 4). This module provides the digest; core/bloom_hash.h builds the
+// hash family on top of it.
+//
+// MD5 is used here purely as a mixing function for index hashing, exactly as
+// in the paper — not for any security purpose.
+
+#ifndef BBSMINE_UTIL_MD5_H_
+#define BBSMINE_UTIL_MD5_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace bbsmine {
+
+/// A 16-byte MD5 digest.
+using Md5Digest = std::array<uint8_t, 16>;
+
+/// Incremental MD5 hasher.
+///
+/// Usage:
+///   Md5 md5;
+///   md5.Update(data, len);
+///   Md5Digest d = md5.Finish();
+/// Finish() may be called once; the object must not be reused afterwards.
+class Md5 {
+ public:
+  Md5();
+
+  /// Absorbs `len` bytes at `data`.
+  void Update(const void* data, size_t len);
+  void Update(std::string_view s) { Update(s.data(), s.size()); }
+
+  /// Applies padding and returns the digest.
+  Md5Digest Finish();
+
+  /// One-shot digest of a byte string.
+  static Md5Digest Hash(std::string_view s);
+
+  /// Renders a digest as 32 lowercase hex characters.
+  static std::string ToHex(const Md5Digest& digest);
+
+ private:
+  void ProcessBlock(const uint8_t block[64]);
+
+  uint32_t state_[4];
+  uint64_t total_len_ = 0;   // bytes absorbed so far
+  uint8_t buffer_[64];       // partial block
+  size_t buffer_len_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace bbsmine
+
+#endif  // BBSMINE_UTIL_MD5_H_

@@ -1,0 +1,123 @@
+// Deterministic pseudo-random number generation for data generators and
+// tests.
+//
+// We implement xoshiro256** (Blackman & Vigna) from scratch rather than using
+// std::mt19937 so that generated datasets are bit-identical across standard
+// library implementations — the benchmark harness relies on reproducible
+// workloads.
+
+#ifndef BBSMINE_UTIL_RNG_H_
+#define BBSMINE_UTIL_RNG_H_
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+namespace bbsmine {
+
+/// xoshiro256** pseudo-random generator with SplitMix64 seeding.
+class Rng {
+ public:
+  /// Seeds the generator deterministically from a single 64-bit value.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    // SplitMix64 expansion of the seed into the four state words.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Next 64 uniformly random bits.
+  uint64_t Next() {
+    uint64_t result = std::rotl(state_[1] * 5, 7) * 9;
+    uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = std::rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  uint64_t Uniform(uint64_t bound) {
+    assert(bound > 0);
+    unsigned __int128 product =
+        static_cast<unsigned __int128>(Next()) * bound;
+    uint64_t low = static_cast<uint64_t>(product);
+    if (low < bound) {
+      uint64_t threshold = -bound % bound;
+      while (low < threshold) {
+        product = static_cast<unsigned __int128>(Next()) * bound;
+        low = static_cast<uint64_t>(product);
+      }
+    }
+    return static_cast<uint64_t>(product >> 64);
+  }
+
+  /// Uniform integer in [lo, hi]. Precondition: lo <= hi.
+  int64_t UniformInRange(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability `p`.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Exponentially distributed value with the given mean.
+  double Exponential(double mean) {
+    // -mean * ln(U) with U in (0, 1].
+    double u = 1.0 - NextDouble();
+    return -mean * std::log(u);
+  }
+
+  /// Poisson-distributed value with the given mean.
+  ///
+  /// Uses Knuth's product-of-uniforms method for small means and a normal
+  /// approximation (clamped at zero) for large means; the generators in this
+  /// project only need small means (average transaction length ~10-30).
+  uint64_t Poisson(double mean) {
+    assert(mean >= 0);
+    if (mean > 64.0) {
+      double n = Normal(mean, std::sqrt(mean));
+      return n <= 0 ? 0 : static_cast<uint64_t>(n + 0.5);
+    }
+    double limit = std::exp(-mean);
+    uint64_t count = 0;
+    double product = NextDouble();
+    while (product > limit) {
+      ++count;
+      product *= NextDouble();
+    }
+    return count;
+  }
+
+  /// Normally distributed value (Box–Muller).
+  double Normal(double mean, double stddev) {
+    double u1 = 1.0 - NextDouble();
+    double u2 = NextDouble();
+    double z = std::sqrt(-2.0 * std::log(u1)) *
+               std::cos(2.0 * 3.14159265358979323846 * u2);
+    return mean + stddev * z;
+  }
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace bbsmine
+
+#endif  // BBSMINE_UTIL_RNG_H_

@@ -1,0 +1,69 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace bbsmine {
+
+void ResultTable::SetHeader(std::vector<std::string> header) {
+  assert(rows_.empty());
+  header_ = std::move(header);
+}
+
+void ResultTable::AddRow(std::vector<std::string> row) {
+  assert(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string ResultTable::Num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string ResultTable::Int(long long value) {
+  return std::to_string(value);
+}
+
+void ResultTable::Print(std::ostream& out) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    out << "| ";
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << row[c];
+      out << std::string(widths[c] - row[c].size(), ' ');
+      out << (c + 1 < row.size() ? " | " : " |\n");
+    }
+  };
+
+  size_t total = 4;
+  for (size_t w : widths) total += w + 3;
+
+  out << "\n== " << title_ << " ==\n";
+  print_row(header_);
+  out << std::string(total > 4 ? total - 4 : 0, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+  out.flush();
+}
+
+void ResultTable::PrintCsv(std::ostream& out) const {
+  auto print_csv_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << row[c] << (c + 1 < row.size() ? "," : "\n");
+    }
+  };
+  out << "# csv: " << title_ << "\n";
+  print_csv_row(header_);
+  for (const auto& row : rows_) print_csv_row(row);
+  out.flush();
+}
+
+}  // namespace bbsmine

@@ -1,0 +1,48 @@
+// Aligned text tables for the benchmark harness.
+//
+// Every figure-reproduction binary prints one of these tables (and optionally
+// a CSV block) so that the series the paper plots can be read off directly.
+
+#ifndef BBSMINE_UTIL_TABLE_H_
+#define BBSMINE_UTIL_TABLE_H_
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace bbsmine {
+
+/// A simple column-aligned table with a title, header row and data rows.
+class ResultTable {
+ public:
+  explicit ResultTable(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header row. Must be called before adding rows.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row; its width must match the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats each cell with fixed precision.
+  /// Strings pass through, doubles are formatted with `precision` decimals.
+  static std::string Num(double value, int precision = 3);
+  static std::string Int(long long value);
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Renders the table with aligned columns.
+  void Print(std::ostream& out) const;
+
+  /// Renders the table as CSV (header + rows), for plotting.
+  void PrintCsv(std::ostream& out) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bbsmine
+
+#endif  // BBSMINE_UTIL_TABLE_H_

@@ -1,0 +1,129 @@
+// Behavioral tests of the memory regimes in MineFrequentPatterns: which
+// path runs (resident integrated walk vs adaptive three-phase), how I/O is
+// charged, and that the cost-based refinement choice engages.
+
+#include <gtest/gtest.h>
+
+#include "core/miner.h"
+#include "testing/reference.h"
+
+namespace bbsmine {
+namespace {
+
+BbsIndex MakeBbs(const TransactionDatabase& db, uint32_t bits,
+                 uint32_t hashes) {
+  BbsConfig config;
+  config.num_bits = bits;
+  config.num_hashes = hashes;
+  auto index = BbsIndex::Create(config);
+  EXPECT_TRUE(index.ok());
+  index->InsertAll(db);
+  return std::move(index).value();
+}
+
+TEST(AdaptiveMinerTest, ResidentProbePathUsesNoScans) {
+  TransactionDatabase db = testing::RandomDb(3, 400, 40, 6.0);
+  BbsIndex bbs = MakeBbs(db, 256, 3);
+  MineConfig config;
+  config.algorithm = Algorithm::kDFP;
+  config.min_support = 0.02;
+  MiningResult result = MineFrequentPatterns(db, bbs, config);
+  EXPECT_EQ(result.stats.db_scans, 0u)
+      << "resident DFP refines by probing, never by scanning";
+  // First-touch probe misses are sequential in the resident regime.
+  EXPECT_EQ(result.stats.io.random_reads, 0u);
+}
+
+TEST(AdaptiveMinerTest, ConstrainedBudgetTriggersThreePhase) {
+  TransactionDatabase db = testing::RandomDb(7, 400, 40, 6.0);
+  BbsIndex bbs = MakeBbs(db, 1024, 3);
+  uint64_t bbs_bytes = bbs.SerializedBytes();
+  ASSERT_GT(bbs_bytes, 20'000u);
+
+  MineConfig config;
+  config.algorithm = Algorithm::kDFP;
+  config.min_support = 0.02;
+  config.memory_budget_bytes = bbs_bytes / 4;  // forces a fold
+
+  MiningResult adaptive = MineFrequentPatterns(db, bbs, config);
+  MineConfig unlimited = config;
+  unlimited.memory_budget_bytes = 0;
+  MiningResult resident = MineFrequentPatterns(db, bbs, unlimited);
+
+  // Same answer either way.
+  adaptive.SortPatterns();
+  resident.SortPatterns();
+  EXPECT_EQ(testing::ItemsetsOf(adaptive.patterns),
+            testing::ItemsetsOf(resident.patterns));
+
+  // The adaptive run pays more modeled I/O (fold build + postprocess
+  // stream + constrained refinement).
+  EXPECT_GT(adaptive.stats.io.TotalReads(), resident.stats.io.TotalReads());
+}
+
+TEST(AdaptiveMinerTest, BudgetBetweenBbsAndTotalAvoidsFoldButNotPhases) {
+  TransactionDatabase db = testing::RandomDb(11, 500, 40, 6.0);
+  BbsIndex bbs = MakeBbs(db, 512, 3);
+  uint64_t bbs_bytes = bbs.SerializedBytes();
+  uint64_t total = bbs_bytes + db.SerializedBytes();
+
+  // Budget holds the BBS but not BBS + DB: two-phase without folding.
+  MineConfig config;
+  config.algorithm = Algorithm::kSFP;
+  config.min_support = 0.02;
+  config.memory_budget_bytes = bbs_bytes + (total - bbs_bytes) / 2;
+  MiningResult result = MineFrequentPatterns(db, bbs, config);
+  result.SortPatterns();
+  EXPECT_EQ(testing::ItemsetsOf(result.patterns),
+            testing::ItemsetsOf(testing::BruteForceMine(
+                db, AbsoluteThreshold(config.min_support, db.size()))));
+}
+
+TEST(AdaptiveMinerTest, ScanRefinementChosenWhenProbesWouldSeekTooMuch) {
+  // A heavily folded BBS (tiny budget) leaves many uncertain candidates,
+  // and the tiny buffer pool makes per-candidate probing dearer than a few
+  // verification scans: the cost-based choice must go to scans.
+  TransactionDatabase db = testing::RandomDb(13, 2'000, 60, 8.0);
+  BbsIndex bbs = MakeBbs(db, 2048, 4);
+  MineConfig config;
+  config.algorithm = Algorithm::kDFP;
+  config.min_support = 0.01;
+  config.memory_budget_bytes = 24'000;  // ~18 KB MemBBS + 6 KB pool
+  MiningResult result = MineFrequentPatterns(db, bbs, config);
+  EXPECT_GT(result.stats.db_scans, 0u)
+      << "expected the cost model to pick sequential-scan refinement";
+  result.SortPatterns();
+  EXPECT_EQ(testing::ItemsetsOf(result.patterns),
+            testing::ItemsetsOf(testing::BruteForceMine(
+                db, AbsoluteThreshold(config.min_support, db.size()))));
+}
+
+TEST(AdaptiveMinerTest, AllSchemesAgreeUnderEveryRegime) {
+  TransactionDatabase db = testing::RandomDb(17, 600, 50, 6.0);
+  BbsIndex bbs = MakeBbs(db, 768, 3);
+  uint64_t tau_support = 0;
+  std::vector<Itemset> reference;
+  for (uint64_t budget :
+       {uint64_t{0}, bbs.SerializedBytes() + db.SerializedBytes() + 1024,
+        bbs.SerializedBytes() / 2, uint64_t{16'000}}) {
+    for (Algorithm algorithm : {Algorithm::kSFS, Algorithm::kSFP,
+                                Algorithm::kDFS, Algorithm::kDFP}) {
+      MineConfig config;
+      config.algorithm = algorithm;
+      config.min_support = 0.02;
+      config.memory_budget_bytes = budget;
+      MiningResult result = MineFrequentPatterns(db, bbs, config);
+      result.SortPatterns();
+      if (reference.empty()) {
+        tau_support = AbsoluteThreshold(config.min_support, db.size());
+        reference = testing::ItemsetsOf(
+            testing::BruteForceMine(db, tau_support));
+      }
+      ASSERT_EQ(testing::ItemsetsOf(result.patterns), reference)
+          << AlgorithmName(algorithm) << " at budget " << budget;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bbsmine

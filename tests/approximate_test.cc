@@ -1,0 +1,163 @@
+#include "core/approximate.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "testing/reference.h"
+
+namespace bbsmine {
+namespace {
+
+BbsIndex MakeBbs(const TransactionDatabase& db, uint32_t bits,
+                 uint32_t hashes) {
+  BbsConfig config;
+  config.num_bits = bits;
+  config.num_hashes = hashes;
+  auto index = BbsIndex::Create(config);
+  EXPECT_TRUE(index.ok());
+  index->InsertAll(db);
+  return std::move(index).value();
+}
+
+Itemset UniverseOf(const TransactionDatabase& db) {
+  Itemset universe(db.item_universe());
+  for (ItemId i = 0; i < db.item_universe(); ++i) universe[i] = i;
+  return universe;
+}
+
+TEST(PoissonCdfTest, KnownValues) {
+  // P[Poisson(0) <= k] = 1 for all k.
+  EXPECT_DOUBLE_EQ(PoissonCdf(0.0, 0), 1.0);
+  // P[Poisson(1) <= 0] = e^-1.
+  EXPECT_NEAR(PoissonCdf(1.0, 0), std::exp(-1.0), 1e-12);
+  // P[Poisson(2) <= 2] = e^-2 (1 + 2 + 2) = 5 e^-2.
+  EXPECT_NEAR(PoissonCdf(2.0, 2), 5.0 * std::exp(-2.0), 1e-12);
+}
+
+TEST(PoissonCdfTest, MonotoneInK) {
+  double prev = 0;
+  for (uint64_t k = 0; k < 30; ++k) {
+    double cdf = PoissonCdf(8.0, k);
+    EXPECT_GE(cdf, prev);
+    EXPECT_LE(cdf, 1.0 + 1e-12);
+    prev = cdf;
+  }
+  EXPECT_NEAR(PoissonCdf(8.0, 29), 1.0, 1e-6);
+}
+
+TEST(PoissonCdfTest, LargeLambdaNormalApproximation) {
+  // Median of Poisson(1000) is ~1000: CDF there should be ~0.5.
+  EXPECT_NEAR(PoissonCdf(1000.0, 1000), 0.5, 0.02);
+  EXPECT_NEAR(PoissonCdf(1000.0, 1200), 1.0, 1e-6);
+  EXPECT_NEAR(PoissonCdf(1000.0, 800), 0.0, 1e-6);
+}
+
+TEST(ApproximateMineTest, RecallIsOne) {
+  // Every truly frequent pattern must appear (Lemma 4: estimates never
+  // underestimate), even with a narrow, collision-heavy vector.
+  TransactionDatabase db = testing::RandomDb(3, 400, 40, 6.0);
+  BbsIndex bbs = MakeBbs(db, 64, 2);
+  ApproxMineConfig config;
+  config.min_support = 0.02;
+  std::vector<ApproxPattern> approx =
+      MineApproximate(bbs, config, UniverseOf(db));
+
+  std::set<Itemset> found;
+  for (const ApproxPattern& p : approx) found.insert(p.items);
+  uint64_t tau = AbsoluteThreshold(config.min_support, db.size());
+  for (const Pattern& truth : testing::BruteForceMine(db, tau)) {
+    EXPECT_TRUE(found.contains(truth.items))
+        << ItemsetToString(truth.items) << " missing";
+  }
+}
+
+TEST(ApproximateMineTest, CertifiedPatternsAreTrulyFrequent) {
+  TransactionDatabase db = testing::RandomDb(7, 400, 40, 6.0);
+  BbsIndex bbs = MakeBbs(db, 256, 3);
+  ApproxMineConfig config;
+  config.min_support = 0.02;
+  uint64_t tau = AbsoluteThreshold(config.min_support, db.size());
+  for (const ApproxPattern& p :
+       MineApproximate(bbs, config, UniverseOf(db))) {
+    EXPECT_GE(p.confidence, 0.0);
+    EXPECT_LE(p.confidence, 1.0);
+    if (p.certified) {
+      EXPECT_DOUBLE_EQ(p.confidence, 1.0);
+      EXPECT_GE(testing::BruteForceSupport(db, p.items), tau)
+          << ItemsetToString(p.items);
+    }
+    EXPECT_GE(p.est, tau);
+  }
+}
+
+TEST(ApproximateMineTest, ConfidenceSeparatesTrueFromFalse) {
+  // On a narrow vector, the mean confidence of true positives should
+  // exceed the mean confidence of false positives.
+  TransactionDatabase db = testing::RandomDb(11, 600, 50, 6.0);
+  BbsIndex bbs = MakeBbs(db, 48, 2);
+  ApproxMineConfig config;
+  config.min_support = 0.015;
+  uint64_t tau = AbsoluteThreshold(config.min_support, db.size());
+
+  double true_sum = 0;
+  double false_sum = 0;
+  size_t true_n = 0;
+  size_t false_n = 0;
+  for (const ApproxPattern& p :
+       MineApproximate(bbs, config, UniverseOf(db))) {
+    if (testing::BruteForceSupport(db, p.items) >= tau) {
+      true_sum += p.confidence;
+      ++true_n;
+    } else {
+      false_sum += p.confidence;
+      ++false_n;
+    }
+  }
+  ASSERT_GT(true_n, 0u);
+  if (false_n > 0) {
+    EXPECT_GT(true_sum / static_cast<double>(true_n),
+              false_sum / static_cast<double>(false_n));
+  }
+}
+
+TEST(ApproximateMineTest, MinConfidenceFiltersOutput) {
+  TransactionDatabase db = testing::RandomDb(13, 500, 50, 6.0);
+  BbsIndex bbs = MakeBbs(db, 48, 2);
+  ApproxMineConfig loose;
+  loose.min_support = 0.015;
+  loose.min_confidence = 0.0;
+  ApproxMineConfig strict = loose;
+  strict.min_confidence = 0.95;
+
+  size_t loose_count = MineApproximate(bbs, loose, UniverseOf(db)).size();
+  size_t strict_count = MineApproximate(bbs, strict, UniverseOf(db)).size();
+  EXPECT_LE(strict_count, loose_count);
+  // Certified patterns (confidence 1) always survive.
+  EXPECT_GT(strict_count, 0u);
+}
+
+TEST(ApproximateMineTest, WideVectorGivesHighConfidenceEverywhere) {
+  TransactionDatabase db = testing::RandomDb(17, 300, 30, 5.0);
+  BbsIndex bbs = MakeBbs(db, 2048, 4);
+  ApproxMineConfig config;
+  config.min_support = 0.02;
+  for (const ApproxPattern& p :
+       MineApproximate(bbs, config, UniverseOf(db))) {
+    EXPECT_GT(p.confidence, 0.5) << ItemsetToString(p.items);
+  }
+}
+
+TEST(ApproximateMineTest, SignatureBitsMaintained) {
+  TransactionDatabase db = testing::MakeDb({{1, 2}, {3}, {}});
+  BbsIndex bbs = MakeBbs(db, 128, 3);
+  // Each transaction's signature popcount equals its MakeSignature count.
+  for (size_t t = 0; t < db.size(); ++t) {
+    EXPECT_EQ(bbs.SignatureBits(t),
+              bbs.MakeSignature(db.At(t).items).Count())
+        << "txn " << t;
+  }
+}
+
+}  // namespace
+}  // namespace bbsmine

@@ -1,0 +1,95 @@
+#include "baseline/apriori.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/reference.h"
+
+namespace bbsmine {
+namespace {
+
+TEST(AprioriCandidateGenTest, JoinsSharedPrefixes) {
+  std::vector<Itemset> frequent = {{1, 2}, {1, 3}, {1, 4}, {2, 3}};
+  std::vector<Itemset> candidates = AprioriGenerateCandidates(frequent);
+  // Joins: {1,2}+{1,3} -> {1,2,3} (pruned? needs {2,3}: present -> kept),
+  //        {1,2}+{1,4} -> {1,2,4} (needs {2,4}: absent -> pruned),
+  //        {1,3}+{1,4} -> {1,3,4} (needs {3,4}: absent -> pruned).
+  EXPECT_EQ(candidates, (std::vector<Itemset>{{1, 2, 3}}));
+}
+
+TEST(AprioriCandidateGenTest, OneItemsetsJoinFreely) {
+  std::vector<Itemset> frequent = {{1}, {2}, {3}};
+  std::vector<Itemset> candidates = AprioriGenerateCandidates(frequent);
+  EXPECT_EQ(candidates,
+            (std::vector<Itemset>{{1, 2}, {1, 3}, {2, 3}}));
+}
+
+TEST(AprioriCandidateGenTest, EmptyInput) {
+  EXPECT_TRUE(AprioriGenerateCandidates({}).empty());
+}
+
+TEST(AprioriTest, MatchesBruteForceOnRandomData) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    TransactionDatabase db = testing::RandomDb(seed, 300, 40, 6.0);
+    AprioriConfig config;
+    config.min_support = 0.02;
+    MiningResult result = MineApriori(db, config);
+    result.SortPatterns();
+    std::vector<Pattern> truth = testing::BruteForceMine(
+        db, AbsoluteThreshold(config.min_support, db.size()));
+    ASSERT_EQ(testing::ItemsetsOf(result.patterns),
+              testing::ItemsetsOf(truth));
+    for (size_t i = 0; i < truth.size(); ++i) {
+      EXPECT_EQ(result.patterns[i].support, truth[i].support);
+    }
+  }
+}
+
+TEST(AprioriTest, OneScanPerLevelWhenMemoryUnlimited) {
+  TransactionDatabase db = testing::RandomDb(7, 200, 20, 5.0);
+  AprioriConfig config;
+  config.min_support = 0.03;
+  MiningResult result = MineApriori(db, config);
+  // Longest frequent pattern length bounds the level count.
+  size_t max_len = 0;
+  for (const Pattern& p : result.patterns) {
+    max_len = std::max(max_len, p.items.size());
+  }
+  // One scan for L1, one per candidate level (which may extend one past the
+  // last non-empty level).
+  EXPECT_GE(result.stats.db_scans, max_len);
+  EXPECT_LE(result.stats.db_scans, max_len + 2);
+}
+
+TEST(AprioriTest, MemoryBudgetForcesExtraScansSameAnswer) {
+  TransactionDatabase db = testing::RandomDb(11, 300, 25, 6.0);
+  AprioriConfig unlimited;
+  unlimited.min_support = 0.02;
+  MiningResult full = MineApriori(db, unlimited);
+
+  AprioriConfig tight = unlimited;
+  tight.memory_budget_bytes = 200;  // a handful of candidates per batch
+  MiningResult batched = MineApriori(db, tight);
+
+  EXPECT_GT(batched.stats.db_scans, full.stats.db_scans);
+  full.SortPatterns();
+  batched.SortPatterns();
+  ASSERT_EQ(testing::ItemsetsOf(full.patterns),
+            testing::ItemsetsOf(batched.patterns));
+}
+
+TEST(AprioriTest, EmptyDatabase) {
+  TransactionDatabase db;
+  MiningResult result = MineApriori(db, AprioriConfig{});
+  EXPECT_TRUE(result.patterns.empty());
+}
+
+TEST(AprioriTest, ThresholdAboveEverything) {
+  TransactionDatabase db = testing::MakeDb({{1, 2}, {3}});
+  AprioriConfig config;
+  config.min_support = 0.99;  // tau = 2; no item appears twice
+  MiningResult result = MineApriori(db, config);
+  EXPECT_TRUE(result.patterns.empty());
+}
+
+}  // namespace
+}  // namespace bbsmine

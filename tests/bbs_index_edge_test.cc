@@ -1,0 +1,169 @@
+// Additional BBS index edge cases: fold-of-fold, threshold-aware counting,
+// signature popcounts across fold/load, and degenerate shapes.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/bbs_index.h"
+#include "testing/reference.h"
+
+namespace bbsmine {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+BbsIndex MakeBbs(const TransactionDatabase& db, uint32_t bits,
+                 uint32_t hashes) {
+  BbsConfig config;
+  config.num_bits = bits;
+  config.num_hashes = hashes;
+  auto index = BbsIndex::Create(config);
+  EXPECT_TRUE(index.ok());
+  index->InsertAll(db);
+  return std::move(index).value();
+}
+
+TEST(BbsIndexEdgeTest, FoldOfFoldStaysAnUpperBound) {
+  TransactionDatabase db = testing::RandomDb(3, 200, 60, 6.0);
+  BbsIndex bbs = MakeBbs(db, 512, 4);
+  BbsIndex once = bbs.Fold(64);
+  BbsIndex twice = once.Fold(16);
+  for (Itemset items : std::vector<Itemset>{{1}, {5, 9}, {2, 4, 8}}) {
+    uint64_t actual = testing::BruteForceSupport(db, items);
+    size_t est2 = twice.CountItemSet(items);
+    size_t est1 = once.CountItemSet(items);
+    EXPECT_GE(est1, bbs.CountItemSet(items));
+    EXPECT_GE(est2, actual);
+    EXPECT_EQ(twice.num_bits(), 16u);
+  }
+}
+
+TEST(BbsIndexEdgeTest, CountAtLeastAgreesAboveThreshold) {
+  TransactionDatabase db = testing::RandomDb(7, 300, 40, 6.0);
+  BbsIndex bbs = MakeBbs(db, 128, 3);
+  Rng rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    Itemset items;
+    size_t len = 1 + rng.Uniform(3);
+    for (size_t i = 0; i < len; ++i) {
+      items.push_back(static_cast<ItemId>(rng.Uniform(40)));
+    }
+    Canonicalize(&items);
+    uint64_t tau = 1 + rng.Uniform(20);
+    size_t exact = bbs.CountItemSet(items);
+    size_t fast = bbs.CountItemSetAtLeast(items, tau);
+    if (exact >= tau) {
+      EXPECT_EQ(fast, exact) << ItemsetToString(items) << " tau=" << tau;
+    } else {
+      EXPECT_LT(fast, tau) << ItemsetToString(items) << " tau=" << tau;
+    }
+  }
+}
+
+TEST(BbsIndexEdgeTest, SignatureBitsSurviveFoldAndLoad) {
+  TransactionDatabase db = testing::RandomDb(11, 100, 30, 5.0);
+  BbsIndex bbs = MakeBbs(db, 128, 3);
+
+  // Folded: the per-transaction popcount must match the folded signature.
+  BbsIndex folded = bbs.Fold(32);
+  for (size_t t = 0; t < db.size(); ++t) {
+    EXPECT_EQ(folded.SignatureBits(t),
+              folded.MakeSignature(db.At(t).items).Count())
+        << "txn " << t;
+  }
+
+  // Loaded: rebuilt from slices.
+  std::string path = TempPath("bbsmine_idx_sigbits.bin");
+  ASSERT_TRUE(bbs.Save(path).ok());
+  auto loaded = BbsIndex::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  for (size_t t = 0; t < db.size(); ++t) {
+    EXPECT_EQ(loaded->SignatureBits(t), bbs.SignatureBits(t)) << "txn " << t;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BbsIndexEdgeTest, EmptyTransactionsAreCountedByEmptyQueryOnly) {
+  BbsConfig config;
+  config.num_bits = 32;
+  config.num_hashes = 2;
+  auto bbs = BbsIndex::Create(config);
+  ASSERT_TRUE(bbs.ok());
+  bbs->Insert({});
+  bbs->Insert({1});
+  EXPECT_EQ(bbs->num_transactions(), 2u);
+  EXPECT_EQ(bbs->CountItemSet({}), 2u);
+  EXPECT_EQ(bbs->SignatureBits(0), 0u);
+  // The empty transaction can never match a non-empty query.
+  BitVector result;
+  bbs->CountItemSet({1}, &result);
+  EXPECT_FALSE(result.Get(0));
+  EXPECT_TRUE(result.Get(1));
+}
+
+TEST(BbsIndexEdgeTest, SingleBitVector) {
+  // m = 1 is the degenerate extreme the paper calls out: "one extreme case
+  // of BBS returning the cardinality of the database as the answer for all
+  // item sets".
+  BbsConfig config;
+  config.num_bits = 1;
+  config.num_hashes = 1;
+  auto bbs = BbsIndex::Create(config);
+  ASSERT_TRUE(bbs.ok());
+  bbs->Insert({1, 2});
+  bbs->Insert({3});
+  bbs->Insert({});  // sets no bits
+  EXPECT_EQ(bbs->CountItemSet({1}), 2u);
+  EXPECT_EQ(bbs->CountItemSet({99}), 2u) << "every non-empty set aliases";
+}
+
+TEST(BbsIndexEdgeTest, WideVectorWithModuloIsLossless) {
+  // m >= universe with one modulo hash = one bit per item: counts exact.
+  TransactionDatabase db = testing::RandomDb(13, 200, 50, 5.0);
+  BbsConfig config;
+  config.num_bits = 50;
+  config.num_hashes = 1;
+  config.hash_kind = HashKind::kModulo;
+  auto bbs = BbsIndex::Create(config);
+  ASSERT_TRUE(bbs.ok());
+  bbs->InsertAll(db);
+  Rng rng(17);
+  for (int trial = 0; trial < 60; ++trial) {
+    Itemset items;
+    size_t len = 1 + rng.Uniform(4);
+    for (size_t i = 0; i < len; ++i) {
+      items.push_back(static_cast<ItemId>(rng.Uniform(50)));
+    }
+    Canonicalize(&items);
+    EXPECT_EQ(bbs->CountItemSet(items),
+              testing::BruteForceSupport(db, items))
+        << ItemsetToString(items);
+  }
+}
+
+TEST(BbsIndexEdgeTest, ConstraintSliceComposition) {
+  TransactionDatabase db = testing::RandomDb(19, 150, 30, 5.0);
+  BbsIndex bbs = MakeBbs(db, 512, 3);  // wide enough to be near-exact
+  BitVector first_half(db.size());
+  for (size_t t = 0; t < db.size() / 2; ++t) first_half.Set(t);
+  BitVector none(db.size());
+
+  Itemset items = {1};
+  size_t unconstrained = bbs.CountItemSet(items);
+  size_t constrained = bbs.CountItemSetConstrained(items, first_half);
+  EXPECT_LE(constrained, unconstrained);
+  EXPECT_EQ(bbs.CountItemSetConstrained(items, none), 0u);
+
+  // Complement halves partition the count.
+  BitVector second_half = first_half;
+  second_half.FlipAll();
+  EXPECT_EQ(constrained + bbs.CountItemSetConstrained(items, second_half),
+            unconstrained);
+}
+
+}  // namespace
+}  // namespace bbsmine

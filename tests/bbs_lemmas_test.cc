@@ -1,0 +1,167 @@
+// Property tests for the paper's formal guarantees (Section 2.2):
+//
+//   Lemma 3/4:   CountItemSet never misses a containing transaction and
+//                never underestimates the true support.
+//   Lemma 1/2:   every transaction whose signature lacks a queried bit is
+//                absent from the result vector.
+//   Lemma 5:     est(I1 u I2) >= act(I1 u I2) >= est(I1 u I2)
+//                - (est(I2) - act(I2)), whenever act(I1) == est(I1).
+//   Corollary 1: both sides tight => the union estimate is exact.
+//
+// Randomized over databases, hash kinds, vector widths and itemsets.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/bbs_index.h"
+#include "testing/reference.h"
+#include "util/rng.h"
+
+namespace bbsmine {
+namespace {
+
+using Param = std::tuple<HashKind, uint32_t /*num_bits*/, uint32_t /*k*/,
+                         uint64_t /*seed*/>;
+
+class BbsLemmasTest : public ::testing::TestWithParam<Param> {
+ protected:
+  void SetUp() override {
+    auto [kind, bits, hashes, seed] = GetParam();
+    db_ = testing::RandomDb(seed, 250, 60, 6.0);
+    BbsConfig config;
+    config.num_bits = bits;
+    config.num_hashes = hashes;
+    config.hash_kind = kind;
+    config.seed = seed;
+    auto index = BbsIndex::Create(config);
+    ASSERT_TRUE(index.ok());
+    index->InsertAll(db_);
+    bbs_.emplace(std::move(index).value());
+    rng_.emplace(seed * 131 + 7);
+  }
+
+  Itemset RandomItemset(size_t max_len) {
+    size_t len = 1 + rng_->Uniform(max_len);
+    Itemset items;
+    for (size_t i = 0; i < len; ++i) {
+      items.push_back(static_cast<ItemId>(rng_->Uniform(60)));
+    }
+    Canonicalize(&items);
+    return items;
+  }
+
+  TransactionDatabase db_;
+  std::optional<BbsIndex> bbs_;
+  std::optional<Rng> rng_;
+};
+
+TEST_P(BbsLemmasTest, Lemma4NeverUnderestimates) {
+  for (int trial = 0; trial < 60; ++trial) {
+    Itemset items = RandomItemset(4);
+    EXPECT_GE(bbs_->CountItemSet(items), testing::BruteForceSupport(db_, items))
+        << ItemsetToString(items);
+  }
+}
+
+TEST_P(BbsLemmasTest, Lemma3NoFalseMisses) {
+  for (int trial = 0; trial < 40; ++trial) {
+    Itemset items = RandomItemset(3);
+    BitVector result;
+    bbs_->CountItemSet(items, &result);
+    for (size_t t = 0; t < db_.size(); ++t) {
+      if (IsSubsetOf(items, db_.At(t).items)) {
+        EXPECT_TRUE(result.Get(t))
+            << "transaction " << t << " contains " << ItemsetToString(items)
+            << " but is missing from the result vector";
+      }
+    }
+  }
+}
+
+TEST_P(BbsLemmasTest, Lemma2SignatureMismatchExcluded) {
+  for (int trial = 0; trial < 40; ++trial) {
+    Itemset items = RandomItemset(3);
+    BitVector query = bbs_->MakeSignature(items);
+    BitVector result;
+    bbs_->CountItemSet(items, &result);
+    for (size_t t = 0; t < db_.size(); ++t) {
+      BitVector txn_sig = bbs_->MakeSignature(db_.At(t).items);
+      if (!query.IsSubsetOf(txn_sig)) {
+        // Some queried bit is absent from the transaction's signature.
+        EXPECT_FALSE(result.Get(t));
+        EXPECT_FALSE(IsSubsetOf(items, db_.At(t).items));
+      } else {
+        // All queried bits present => the transaction must be counted.
+        EXPECT_TRUE(result.Get(t));
+      }
+    }
+  }
+}
+
+TEST_P(BbsLemmasTest, Lemma5BoundsHold) {
+  for (int trial = 0; trial < 60; ++trial) {
+    Itemset i1 = RandomItemset(2);
+    Itemset i2 = RandomItemset(3);
+    uint64_t act1 = testing::BruteForceSupport(db_, i1);
+    uint64_t est1 = bbs_->CountItemSet(i1);
+    if (act1 != est1) continue;  // the lemma's precondition
+
+    Itemset u = UnionOf(i1, i2);
+    uint64_t act2 = testing::BruteForceSupport(db_, i2);
+    uint64_t est2 = bbs_->CountItemSet(i2);
+    uint64_t act_u = testing::BruteForceSupport(db_, u);
+    uint64_t est_u = bbs_->CountItemSet(u);
+
+    EXPECT_GE(est_u, act_u);
+    // act(I1 u I2) >= est(I1 u I2) - (est(I2) - act(I2)), written additively.
+    EXPECT_GE(act_u + (est2 - act2), est_u)
+        << "I1=" << ItemsetToString(i1) << " I2=" << ItemsetToString(i2);
+  }
+}
+
+TEST_P(BbsLemmasTest, Corollary1ExactUnions) {
+  int applied = 0;
+  for (int trial = 0; trial < 120 && applied < 20; ++trial) {
+    Itemset i1 = RandomItemset(2);
+    Itemset i2 = RandomItemset(2);
+    if (testing::BruteForceSupport(db_, i1) != bbs_->CountItemSet(i1)) continue;
+    if (testing::BruteForceSupport(db_, i2) != bbs_->CountItemSet(i2)) continue;
+    ++applied;
+    Itemset u = UnionOf(i1, i2);
+    EXPECT_EQ(bbs_->CountItemSet(u), testing::BruteForceSupport(db_, u))
+        << "I1=" << ItemsetToString(i1) << " I2=" << ItemsetToString(i2);
+  }
+}
+
+TEST_P(BbsLemmasTest, EstimatesAreAntiMonotone) {
+  // est(superset) <= est(subset): the superset's query vector selects a
+  // superset of slices. This property licenses restricting the filter walk
+  // to estimated-frequent singletons.
+  for (int trial = 0; trial < 40; ++trial) {
+    Itemset items = RandomItemset(4);
+    if (items.size() < 2) continue;
+    Itemset subset(items.begin(), items.end() - 1);
+    EXPECT_LE(bbs_->CountItemSet(items), bbs_->CountItemSet(subset));
+  }
+}
+
+TEST_P(BbsLemmasTest, ExactItemCountsMatchBruteForce) {
+  for (ItemId item = 0; item < 60; ++item) {
+    EXPECT_EQ(bbs_->ExactItemCount(item),
+              testing::BruteForceSupport(db_, {item}))
+        << "item " << item;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BbsLemmasTest,
+    ::testing::Combine(
+        ::testing::Values(HashKind::kMd5, HashKind::kMultiplyShift,
+                          HashKind::kModulo),
+        ::testing::Values(16u, 64u, 256u),
+        ::testing::Values(1u, 3u),
+        ::testing::Values(1u, 2u)));
+
+}  // namespace
+}  // namespace bbsmine

@@ -1,0 +1,257 @@
+#include "util/bitvector.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace bbsmine {
+namespace {
+
+TEST(BitVectorTest, DefaultIsEmpty) {
+  BitVector v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.Count(), 0u);
+  EXPECT_TRUE(v.None());
+}
+
+TEST(BitVectorTest, SizedConstructionZeroed) {
+  BitVector v(130);
+  EXPECT_EQ(v.size(), 130u);
+  EXPECT_EQ(v.num_words(), 3u);
+  for (size_t i = 0; i < 130; ++i) EXPECT_FALSE(v.Get(i)) << i;
+}
+
+TEST(BitVectorTest, SizedConstructionAllOnes) {
+  BitVector v(70, true);
+  EXPECT_EQ(v.Count(), 70u);
+  for (size_t i = 0; i < 70; ++i) EXPECT_TRUE(v.Get(i)) << i;
+  // Tail bits beyond the size must be masked off.
+  EXPECT_EQ(v.words()[1] >> (70 - 64), 0u);
+}
+
+TEST(BitVectorTest, SetAndGet) {
+  BitVector v(100);
+  v.Set(0);
+  v.Set(63);
+  v.Set(64);
+  v.Set(99);
+  EXPECT_TRUE(v.Get(0));
+  EXPECT_TRUE(v.Get(63));
+  EXPECT_TRUE(v.Get(64));
+  EXPECT_TRUE(v.Get(99));
+  EXPECT_FALSE(v.Get(1));
+  EXPECT_EQ(v.Count(), 4u);
+
+  v.Set(63, false);
+  EXPECT_FALSE(v.Get(63));
+  EXPECT_EQ(v.Count(), 3u);
+}
+
+TEST(BitVectorTest, PushBackGrowsAcrossWords) {
+  BitVector v;
+  for (size_t i = 0; i < 200; ++i) v.PushBack(i % 3 == 0);
+  EXPECT_EQ(v.size(), 200u);
+  for (size_t i = 0; i < 200; ++i) EXPECT_EQ(v.Get(i), i % 3 == 0) << i;
+}
+
+TEST(BitVectorTest, ResizeGrowZeroFills) {
+  BitVector v(10, true);
+  v.Resize(80);
+  EXPECT_EQ(v.size(), 80u);
+  EXPECT_EQ(v.Count(), 10u);
+  for (size_t i = 10; i < 80; ++i) EXPECT_FALSE(v.Get(i));
+}
+
+TEST(BitVectorTest, ResizeShrinkMasksTail) {
+  BitVector v(80, true);
+  v.Resize(10);
+  EXPECT_EQ(v.size(), 10u);
+  EXPECT_EQ(v.Count(), 10u);
+  v.Resize(80);
+  EXPECT_EQ(v.Count(), 10u) << "bits beyond the old size must not reappear";
+}
+
+TEST(BitVectorTest, ClearAndSetAll) {
+  BitVector v(75);
+  v.SetAll();
+  EXPECT_EQ(v.Count(), 75u);
+  v.Clear();
+  EXPECT_EQ(v.Count(), 0u);
+  EXPECT_EQ(v.size(), 75u);
+}
+
+TEST(BitVectorTest, CountPrefix) {
+  BitVector v(130);
+  v.Set(0);
+  v.Set(64);
+  v.Set(129);
+  EXPECT_EQ(v.CountPrefix(0), 0u);
+  EXPECT_EQ(v.CountPrefix(1), 1u);
+  EXPECT_EQ(v.CountPrefix(64), 1u);
+  EXPECT_EQ(v.CountPrefix(65), 2u);
+  EXPECT_EQ(v.CountPrefix(130), 3u);
+}
+
+TEST(BitVectorTest, AndWith) {
+  BitVector a(100);
+  BitVector b(100);
+  a.Set(1);
+  a.Set(50);
+  a.Set(99);
+  b.Set(50);
+  b.Set(99);
+  b.Set(3);
+  a.AndWith(b);
+  EXPECT_EQ(a.Count(), 2u);
+  EXPECT_TRUE(a.Get(50));
+  EXPECT_TRUE(a.Get(99));
+}
+
+TEST(BitVectorTest, AndWithCountMatchesSeparateOps) {
+  Rng rng(1);
+  BitVector a(500);
+  BitVector b(500);
+  for (size_t i = 0; i < 500; ++i) {
+    if (rng.Bernoulli(0.4)) a.Set(i);
+    if (rng.Bernoulli(0.4)) b.Set(i);
+  }
+  BitVector expected = a;
+  expected.AndWith(b);
+  size_t count = a.AndWithCount(b);
+  EXPECT_EQ(a, expected);
+  EXPECT_EQ(count, expected.Count());
+}
+
+TEST(BitVectorTest, OrWith) {
+  BitVector a(100);
+  BitVector b(100);
+  a.Set(1);
+  b.Set(70);
+  a.OrWith(b);
+  EXPECT_TRUE(a.Get(1));
+  EXPECT_TRUE(a.Get(70));
+  EXPECT_EQ(a.Count(), 2u);
+}
+
+TEST(BitVectorTest, AndNotWith) {
+  BitVector a(100, true);
+  BitVector b(100);
+  b.Set(5);
+  b.Set(64);
+  a.AndNotWith(b);
+  EXPECT_EQ(a.Count(), 98u);
+  EXPECT_FALSE(a.Get(5));
+  EXPECT_FALSE(a.Get(64));
+}
+
+TEST(BitVectorTest, FlipAllKeepsTailZero) {
+  BitVector v(70);
+  v.Set(0);
+  v.FlipAll();
+  EXPECT_FALSE(v.Get(0));
+  EXPECT_EQ(v.Count(), 69u);
+  v.FlipAll();
+  EXPECT_EQ(v.Count(), 1u);
+  EXPECT_TRUE(v.Get(0));
+}
+
+TEST(BitVectorTest, Intersects) {
+  BitVector a(100);
+  BitVector b(100);
+  a.Set(42);
+  b.Set(43);
+  EXPECT_FALSE(a.Intersects(b));
+  b.Set(42);
+  EXPECT_TRUE(a.Intersects(b));
+}
+
+TEST(BitVectorTest, IsSubsetOf) {
+  BitVector a(100);
+  BitVector b(100);
+  a.Set(10);
+  b.Set(10);
+  b.Set(20);
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  a.Set(30);
+  EXPECT_FALSE(a.IsSubsetOf(b));
+}
+
+TEST(BitVectorTest, FindNextWalksSetBits) {
+  BitVector v(200);
+  v.Set(3);
+  v.Set(64);
+  v.Set(199);
+  EXPECT_EQ(v.FindNext(0), 3u);
+  EXPECT_EQ(v.FindNext(3), 3u);
+  EXPECT_EQ(v.FindNext(4), 64u);
+  EXPECT_EQ(v.FindNext(65), 199u);
+  EXPECT_EQ(v.FindNext(200), BitVector::npos);
+
+  BitVector empty(100);
+  EXPECT_EQ(empty.FindNext(0), BitVector::npos);
+}
+
+TEST(BitVectorTest, SetBitsListsAllIndices) {
+  BitVector v(150);
+  std::vector<uint32_t> expected = {0, 1, 63, 64, 65, 127, 128, 149};
+  for (uint32_t i : expected) v.Set(i);
+  EXPECT_EQ(v.SetBits(), expected);
+}
+
+TEST(BitVectorTest, EqualityIncludesSize) {
+  BitVector a(10);
+  BitVector b(11);
+  EXPECT_FALSE(a == b);
+  BitVector c(10);
+  EXPECT_TRUE(a == c);
+  c.Set(2);
+  EXPECT_FALSE(a == c);
+}
+
+// Property: FindNext enumeration matches SetBits on random vectors.
+class BitVectorRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BitVectorRandomTest, FindNextMatchesSetBits) {
+  Rng rng(GetParam());
+  size_t size = 1 + rng.Uniform(700);
+  BitVector v(size);
+  for (size_t i = 0; i < size; ++i) {
+    if (rng.Bernoulli(0.3)) v.Set(i);
+  }
+  std::vector<uint32_t> via_find;
+  for (size_t p = v.FindNext(0); p != BitVector::npos;
+       p = v.FindNext(p + 1)) {
+    via_find.push_back(static_cast<uint32_t>(p));
+  }
+  EXPECT_EQ(via_find, v.SetBits());
+  EXPECT_EQ(via_find.size(), v.Count());
+}
+
+TEST_P(BitVectorRandomTest, DeMorgan) {
+  Rng rng(GetParam() * 977 + 1);
+  size_t size = 1 + rng.Uniform(300);
+  BitVector a(size);
+  BitVector b(size);
+  for (size_t i = 0; i < size; ++i) {
+    if (rng.Bernoulli(0.5)) a.Set(i);
+    if (rng.Bernoulli(0.5)) b.Set(i);
+  }
+  // ~(a | b) == ~a & ~b
+  BitVector lhs = a;
+  lhs.OrWith(b);
+  lhs.FlipAll();
+  BitVector rhs = a;
+  rhs.FlipAll();
+  BitVector not_b = b;
+  not_b.FlipAll();
+  rhs.AndWith(not_b);
+  EXPECT_EQ(lhs, rhs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitVectorRandomTest,
+                         ::testing::Range<uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace bbsmine

@@ -1,0 +1,114 @@
+#include "core/bloom_hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace bbsmine {
+namespace {
+
+TEST(BloomHashTest, CreateValidatesArguments) {
+  EXPECT_FALSE(BloomHashFamily::Create(0, 4, HashKind::kMd5).ok());
+  EXPECT_FALSE(BloomHashFamily::Create(100, 0, HashKind::kMd5).ok());
+  EXPECT_TRUE(BloomHashFamily::Create(100, 4, HashKind::kMd5).ok());
+}
+
+TEST(BloomHashTest, PositionsInRangeAndStable) {
+  for (HashKind kind :
+       {HashKind::kMd5, HashKind::kMultiplyShift, HashKind::kModulo}) {
+    auto family = BloomHashFamily::Create(1600, 4, kind);
+    ASSERT_TRUE(family.ok());
+    for (ItemId item : {0u, 1u, 17u, 9999u, 123456u}) {
+      std::vector<uint32_t> first = family->Positions(item);
+      ASSERT_EQ(first.size(), 4u);
+      for (uint32_t p : first) EXPECT_LT(p, 1600u);
+      // Memoized: the second call returns identical positions.
+      EXPECT_EQ(family->Positions(item), first);
+    }
+  }
+}
+
+TEST(BloomHashTest, ModuloMatchesPaperRunningExample) {
+  // Section 2.1: one hash function h(x) = x mod 8.
+  auto family = BloomHashFamily::Create(8, 1, HashKind::kModulo);
+  ASSERT_TRUE(family.ok());
+  EXPECT_EQ(family->Positions(0), std::vector<uint32_t>{0});
+  EXPECT_EQ(family->Positions(14), std::vector<uint32_t>{6});
+  EXPECT_EQ(family->Positions(15), std::vector<uint32_t>{7});
+  EXPECT_EQ(family->Positions(11), std::vector<uint32_t>{3});
+}
+
+TEST(BloomHashTest, Md5NeedsMoreThanFourGroups) {
+  // k > 4 exercises the "concatenate the name with itself" extension.
+  auto family = BloomHashFamily::Create(1 << 20, 9, HashKind::kMd5);
+  ASSERT_TRUE(family.ok());
+  std::vector<uint32_t> positions = family->Positions(42);
+  ASSERT_EQ(positions.size(), 9u);
+  // The extended groups must not simply repeat the first four.
+  std::set<uint32_t> distinct(positions.begin(), positions.end());
+  EXPECT_GT(distinct.size(), 4u);
+}
+
+TEST(BloomHashTest, SeedChangesMd5Positions) {
+  auto a = BloomHashFamily::Create(1600, 4, HashKind::kMd5, 0);
+  auto b = BloomHashFamily::Create(1600, 4, HashKind::kMd5, 1);
+  ASSERT_TRUE(a.ok() && b.ok());
+  int differing = 0;
+  for (ItemId item = 0; item < 50; ++item) {
+    if (a->Positions(item) != b->Positions(item)) ++differing;
+  }
+  EXPECT_GT(differing, 40);
+}
+
+TEST(BloomHashTest, SeedChangesMultiplyShiftPositions) {
+  auto a = BloomHashFamily::Create(1600, 4, HashKind::kMultiplyShift, 0);
+  auto b = BloomHashFamily::Create(1600, 4, HashKind::kMultiplyShift, 99);
+  ASSERT_TRUE(a.ok() && b.ok());
+  int differing = 0;
+  for (ItemId item = 0; item < 50; ++item) {
+    if (a->Positions(item) != b->Positions(item)) ++differing;
+  }
+  EXPECT_GT(differing, 40);
+}
+
+// Distribution sanity: with m=1600 and many items, the positions should
+// spread out — no bit position should receive a wildly disproportionate
+// share. (A weak chi-square-style bound, just to catch broken mixing.)
+class BloomHashDistributionTest : public ::testing::TestWithParam<HashKind> {};
+
+TEST_P(BloomHashDistributionTest, SpreadsAcrossBits) {
+  constexpr uint32_t kBits = 256;
+  constexpr uint32_t kHashes = 4;
+  constexpr ItemId kItems = 10'000;
+  auto family = BloomHashFamily::Create(kBits, kHashes, GetParam());
+  ASSERT_TRUE(family.ok());
+  std::vector<uint32_t> load(kBits, 0);
+  for (ItemId item = 0; item < kItems; ++item) {
+    for (uint32_t p : family->Positions(item)) ++load[p];
+  }
+  double expected = static_cast<double>(kItems) * kHashes / kBits;  // ~156
+  for (uint32_t p = 0; p < kBits; ++p) {
+    EXPECT_GT(load[p], expected * 0.5) << "bit " << p << " underloaded";
+    EXPECT_LT(load[p], expected * 1.6) << "bit " << p << " overloaded";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, BloomHashDistributionTest,
+                         ::testing::Values(HashKind::kMd5,
+                                           HashKind::kMultiplyShift));
+
+TEST(BloomHashTest, CacheGrowsLazily) {
+  auto family = BloomHashFamily::Create(100, 2, HashKind::kMultiplyShift);
+  ASSERT_TRUE(family.ok());
+  EXPECT_EQ(family->cached_items(), 0u);
+  family->Positions(7);
+  EXPECT_EQ(family->cached_items(), 1u);
+  family->Positions(7);
+  EXPECT_EQ(family->cached_items(), 1u);
+  family->Positions(100000);
+  EXPECT_EQ(family->cached_items(), 2u);
+}
+
+}  // namespace
+}  // namespace bbsmine

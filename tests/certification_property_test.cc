@@ -1,0 +1,131 @@
+// Randomized property sweep over the DualFilter certification semantics
+// (paper Figure 3 / Lemma 5 / Corollary 1), checked against ground truth on
+// many (database, vector-width, hash-count) combinations:
+//
+//   P1  flag-1 candidates carry the *exact* support;
+//   P2  flag-2 candidates are truly frequent (their count may overestimate);
+//   P3  every truly frequent itemset appears among the candidates;
+//   P4  SingleFilter's candidate set contains DualFilter's (DualFilter only
+//       removes subtrees of exactly-known-infrequent singletons);
+//   P5  certified + uncertain counts agree with the stats counters.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "core/bbs_index.h"
+#include "core/dual_filter.h"
+#include "core/filter_engine.h"
+#include "core/single_filter.h"
+#include "testing/reference.h"
+
+namespace bbsmine {
+namespace {
+
+using Param = std::tuple<uint64_t /*seed*/, uint32_t /*bits*/, uint32_t /*k*/>;
+
+class CertificationPropertyTest : public ::testing::TestWithParam<Param> {
+ protected:
+  void SetUp() override {
+    auto [seed, bits, hashes] = GetParam();
+    db_ = testing::RandomDb(seed, 350, 45, 6.0);
+    BbsConfig config;
+    config.num_bits = bits;
+    config.num_hashes = hashes;
+    auto index = BbsIndex::Create(config);
+    ASSERT_TRUE(index.ok());
+    index->InsertAll(db_);
+    bbs_.emplace(std::move(index).value());
+    tau_ = 9;
+
+    universe_.resize(db_.item_universe());
+    for (ItemId i = 0; i < db_.item_universe(); ++i) universe_[i] = i;
+  }
+
+  TransactionDatabase db_;
+  std::optional<BbsIndex> bbs_;
+  uint64_t tau_ = 0;
+  Itemset universe_;
+};
+
+TEST_P(CertificationPropertyTest, FlagSemanticsAndCoverage) {
+  FilterEngine engine(*bbs_, tau_);
+  MineStats stats;
+  engine.Prepare(universe_, &stats);
+  DualFilterOutput out = RunDualFilter(engine, &stats);
+
+  // P1 + P2.
+  for (const DualCandidate& c : out.certain) {
+    uint64_t actual = testing::BruteForceSupport(db_, c.items);
+    ASSERT_GE(actual, tau_) << "certified but infrequent: "
+                            << ItemsetToString(c.items) << " flag " << c.flag;
+    if (c.flag == 1) {
+      ASSERT_EQ(c.count, actual) << ItemsetToString(c.items);
+    } else {
+      ASSERT_EQ(c.flag, 2);
+      ASSERT_GE(c.count, actual) << ItemsetToString(c.items);
+    }
+  }
+
+  // P3.
+  std::set<Itemset> candidate_sets;
+  for (const DualCandidate& c : out.certain) candidate_sets.insert(c.items);
+  for (const DualCandidate& c : out.uncertain) candidate_sets.insert(c.items);
+  for (const Pattern& truth : testing::BruteForceMine(db_, tau_)) {
+    ASSERT_TRUE(candidate_sets.contains(truth.items))
+        << ItemsetToString(truth.items) << " missing from DualFilter output";
+  }
+
+  // P5.
+  EXPECT_EQ(stats.certified, out.certain.size());
+  EXPECT_EQ(stats.candidates, out.certain.size() + out.uncertain.size());
+}
+
+TEST_P(CertificationPropertyTest, DualCandidatesSubsetOfSingleCandidates) {
+  FilterEngine engine(*bbs_, tau_);
+  MineStats single_stats;
+  engine.Prepare(universe_, &single_stats);
+  std::vector<Candidate> single = RunSingleFilter(engine, &single_stats);
+
+  MineStats dual_stats;
+  DualFilterOutput dual = RunDualFilter(engine, &dual_stats);
+
+  std::set<Itemset> single_sets;
+  for (const Candidate& c : single) single_sets.insert(c.items);
+  for (const DualCandidate& c : dual.certain) {
+    ASSERT_TRUE(single_sets.contains(c.items)) << ItemsetToString(c.items);
+  }
+  for (const DualCandidate& c : dual.uncertain) {
+    ASSERT_TRUE(single_sets.contains(c.items)) << ItemsetToString(c.items);
+  }
+  EXPECT_LE(dual_stats.candidates, single_stats.candidates);
+
+  // Every SingleFilter candidate missing from DualFilter's output contains
+  // at least one exactly-known-infrequent item (the flag -1 prune).
+  std::set<Itemset> dual_sets;
+  for (const DualCandidate& c : dual.certain) dual_sets.insert(c.items);
+  for (const DualCandidate& c : dual.uncertain) dual_sets.insert(c.items);
+  for (const Candidate& c : single) {
+    if (dual_sets.contains(c.items)) continue;
+    bool has_infrequent_item = false;
+    for (ItemId item : c.items) {
+      if (bbs_->ExactItemCount(item) < tau_) {
+        has_infrequent_item = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(has_infrequent_item)
+        << ItemsetToString(c.items)
+        << " dropped by DualFilter without an exactly-infrequent item";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CertificationPropertyTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u),
+                       ::testing::Values(48u, 160u, 640u),
+                       ::testing::Values(2u, 4u)));
+
+}  // namespace
+}  // namespace bbsmine

@@ -1,0 +1,141 @@
+#include "core/constraint_index.h"
+
+#include <gtest/gtest.h>
+
+#include "core/adhoc.h"
+#include "core/bbs_index.h"
+#include "testing/reference.h"
+
+namespace bbsmine {
+namespace {
+
+Transaction Txn(Tid tid, Itemset items) { return Transaction{tid, items}; }
+
+TEST(ConstraintIndexTest, RegisterThenInsertMaintainsSlices) {
+  ConstraintIndex constraints;
+  ASSERT_TRUE(constraints
+                  .Register("even-tid",
+                            [](const Transaction& t) { return t.tid % 2 == 0; })
+                  .ok());
+  ASSERT_TRUE(constraints
+                  .Register("long",
+                            [](const Transaction& t) {
+                              return t.items.size() >= 3;
+                            })
+                  .ok());
+
+  constraints.OnInsert(Txn(0, {1, 2, 3}));
+  constraints.OnInsert(Txn(1, {1}));
+  constraints.OnInsert(Txn(2, {4}));
+  EXPECT_EQ(constraints.num_transactions(), 3u);
+
+  auto even = constraints.Slice("even-tid");
+  ASSERT_TRUE(even.ok());
+  EXPECT_TRUE((*even)->Get(0));
+  EXPECT_FALSE((*even)->Get(1));
+  EXPECT_TRUE((*even)->Get(2));
+
+  auto lng = constraints.Slice("long");
+  ASSERT_TRUE(lng.ok());
+  EXPECT_EQ((*lng)->Count(), 1u);
+}
+
+TEST(ConstraintIndexTest, DuplicateNameRejected) {
+  ConstraintIndex constraints;
+  auto yes = [](const Transaction&) { return true; };
+  ASSERT_TRUE(constraints.Register("a", yes).ok());
+  Status dup = constraints.Register("a", yes);
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(dup.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ConstraintIndexTest, LateRegistrationNeedsBackfill) {
+  ConstraintIndex constraints;
+  constraints.OnInsert(Txn(0, {1}));
+  constraints.OnInsert(Txn(7, {2}));
+
+  // Without backfill: rejected.
+  Status missing = constraints.Register(
+      "odd", [](const Transaction& t) { return t.tid % 2 == 1; });
+  EXPECT_FALSE(missing.ok());
+
+  // With backfill: the slice covers history.
+  std::vector<Transaction> history = {Txn(0, {1}), Txn(7, {2})};
+  ASSERT_TRUE(constraints
+                  .Register("odd",
+                            [](const Transaction& t) { return t.tid % 2 == 1; },
+                            history)
+                  .ok());
+  auto slice = constraints.Slice("odd");
+  ASSERT_TRUE(slice.ok());
+  EXPECT_FALSE((*slice)->Get(0));
+  EXPECT_TRUE((*slice)->Get(1));
+}
+
+TEST(ConstraintIndexTest, UnknownNameIsNotFound) {
+  ConstraintIndex constraints;
+  EXPECT_FALSE(constraints.Slice("nope").ok());
+  EXPECT_EQ(constraints.Slice("nope").status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(constraints.And({"nope"}).ok());
+  EXPECT_FALSE(constraints.Or({"nope"}).ok());
+  EXPECT_FALSE(constraints.Not("nope").ok());
+}
+
+TEST(ConstraintIndexTest, BooleanComposition) {
+  ConstraintIndex constraints;
+  ASSERT_TRUE(constraints
+                  .Register("even",
+                            [](const Transaction& t) { return t.tid % 2 == 0; })
+                  .ok());
+  ASSERT_TRUE(constraints
+                  .Register("small-tid",
+                            [](const Transaction& t) { return t.tid < 4; })
+                  .ok());
+  for (Tid tid = 0; tid < 8; ++tid) constraints.OnInsert(Txn(tid, {1}));
+
+  auto both = constraints.And({"even", "small-tid"});
+  ASSERT_TRUE(both.ok());
+  EXPECT_EQ(both->SetBits(), (std::vector<uint32_t>{0, 2}));
+
+  auto either = constraints.Or({"even", "small-tid"});
+  ASSERT_TRUE(either.ok());
+  EXPECT_EQ(either->Count(), 6u);  // {0,1,2,3} U {0,2,4,6}
+
+  auto odd = constraints.Not("even");
+  ASSERT_TRUE(odd.ok());
+  EXPECT_EQ(odd->SetBits(), (std::vector<uint32_t>{1, 3, 5, 7}));
+}
+
+TEST(ConstraintIndexTest, DrivesConstrainedCountsEndToEnd) {
+  // The maintained slice must agree with a slice built by scanning.
+  TransactionDatabase db = testing::RandomDb(9, 200, 30, 5.0);
+  BbsConfig config;
+  config.num_bits = 128;
+  config.num_hashes = 3;
+  auto bbs = BbsIndex::Create(config);
+  ASSERT_TRUE(bbs.ok());
+
+  ConstraintIndex constraints;
+  ASSERT_TRUE(constraints
+                  .Register("div3",
+                            [](const Transaction& t) { return t.tid % 3 == 0; })
+                  .ok());
+  for (size_t t = 0; t < db.size(); ++t) {
+    bbs->Insert(db.At(t).items);
+    constraints.OnInsert(db.At(t));
+  }
+
+  BitVector scanned = MakeConstraintSlice(
+      db, [](const Transaction& t) { return t.tid % 3 == 0; });
+  auto maintained = constraints.Slice("div3");
+  ASSERT_TRUE(maintained.ok());
+  EXPECT_EQ(**maintained, scanned);
+
+  AdhocQueryResult via_maintained =
+      CountPatternExact(db, *bbs, {1, 2}, *maintained);
+  AdhocQueryResult via_scanned = CountPatternExact(db, *bbs, {1, 2}, &scanned);
+  EXPECT_EQ(via_maintained.exact, via_scanned.exact);
+}
+
+}  // namespace
+}  // namespace bbsmine

@@ -1,0 +1,203 @@
+// Tests for the Quest synthetic generator and the dynamic web-log generator.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "datagen/quest_gen.h"
+#include "datagen/weblog_gen.h"
+
+namespace bbsmine {
+namespace {
+
+// --- Quest ----------------------------------------------------------------------
+
+TEST(QuestGenTest, ValidatesConfig) {
+  QuestConfig config;
+  config.num_transactions = 0;
+  EXPECT_FALSE(GenerateQuest(config).ok());
+  config = QuestConfig{};
+  config.num_items = 0;
+  EXPECT_FALSE(GenerateQuest(config).ok());
+  config = QuestConfig{};
+  config.num_patterns = 0;
+  EXPECT_FALSE(GenerateQuest(config).ok());
+  config = QuestConfig{};
+  config.avg_transaction_size = 0.5;
+  EXPECT_FALSE(GenerateQuest(config).ok());
+}
+
+TEST(QuestGenTest, ProducesRequestedShape) {
+  QuestConfig config;
+  config.num_transactions = 2000;
+  config.num_items = 500;
+  config.avg_transaction_size = 10;
+  config.avg_pattern_size = 4;
+  config.num_patterns = 50;
+  auto db = GenerateQuest(config);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->size(), 2000u);
+  EXPECT_LE(db->item_universe(), 500u);
+
+  double total_items = 0;
+  for (size_t t = 0; t < db->size(); ++t) {
+    EXPECT_FALSE(db->At(t).items.empty());
+    for (ItemId item : db->At(t).items) EXPECT_LT(item, 500u);
+    total_items += static_cast<double>(db->At(t).items.size());
+  }
+  // Canonicalization dedups, so the realized mean sits a bit under T, but
+  // must be in the right ballpark.
+  double mean = total_items / static_cast<double>(db->size());
+  EXPECT_GT(mean, 5.0);
+  EXPECT_LT(mean, 15.0);
+}
+
+TEST(QuestGenTest, DeterministicForSameSeed) {
+  QuestConfig config;
+  config.num_transactions = 300;
+  config.num_items = 200;
+  config.num_patterns = 30;
+  auto a = GenerateQuest(config);
+  auto b = GenerateQuest(config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(*a == *b);
+}
+
+TEST(QuestGenTest, SeedChangesData) {
+  QuestConfig config;
+  config.num_transactions = 300;
+  config.num_items = 200;
+  config.num_patterns = 30;
+  auto a = GenerateQuest(config);
+  config.seed = config.seed + 1;
+  auto b = GenerateQuest(config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_FALSE(*a == *b);
+}
+
+TEST(QuestGenTest, DataIsSkewedByPatterns) {
+  // Pattern-based generation concentrates mass: some 2-itemsets must occur
+  // far above the independence baseline.
+  QuestConfig config;
+  config.num_transactions = 3000;
+  config.num_items = 1000;
+  config.avg_transaction_size = 10;
+  config.avg_pattern_size = 4;
+  config.num_patterns = 100;
+  auto db = GenerateQuest(config);
+  ASSERT_TRUE(db.ok());
+
+  // Count pair frequencies within a sample of transactions.
+  std::map<std::pair<ItemId, ItemId>, int> pairs;
+  for (size_t t = 0; t < db->size(); ++t) {
+    const Itemset& items = db->At(t).items;
+    for (size_t i = 0; i < items.size(); ++i) {
+      for (size_t j = i + 1; j < items.size(); ++j) {
+        ++pairs[{items[i], items[j]}];
+      }
+    }
+  }
+  int max_pair = 0;
+  for (const auto& [pair, count] : pairs) max_pair = std::max(max_pair, count);
+  // Independent uniform items would give pair counts ~ 3000 * (10*9/2) /
+  // (1000*999/2) < 1; correlated patterns push some pairs into the dozens.
+  EXPECT_GT(max_pair, 20);
+}
+
+// --- WebLog ----------------------------------------------------------------------
+
+TEST(WebLogGenTest, ValidatesConfig) {
+  WebLogConfig config;
+  config.num_files = 0;
+  EXPECT_FALSE(WebLogGenerator::Create(config).ok());
+  config = WebLogConfig{};
+  config.hot_fraction = 0;
+  EXPECT_FALSE(WebLogGenerator::Create(config).ok());
+  config = WebLogConfig{};
+  config.num_files = 5;
+  config.hot_fraction = 0.01;  // hot set rounds to zero
+  EXPECT_FALSE(WebLogGenerator::Create(config).ok());
+}
+
+TEST(WebLogGenTest, GeneratesDailyBatches) {
+  WebLogConfig config;
+  config.num_files = 200;
+  config.transactions_per_day = 500;
+  auto gen = WebLogGenerator::Create(config);
+  ASSERT_TRUE(gen.ok());
+  TransactionDatabase db;
+  gen->GenerateDay(&db);
+  EXPECT_EQ(db.size(), 500u);
+  EXPECT_EQ(gen->day(), 1u);
+  gen->GenerateDay(&db);
+  EXPECT_EQ(db.size(), 1000u);
+  for (size_t t = 0; t < db.size(); ++t) {
+    for (ItemId item : db.At(t).items) EXPECT_LT(item, 200u);
+  }
+}
+
+TEST(WebLogGenTest, HotSetChurnsDaily) {
+  WebLogConfig config;
+  config.num_files = 1000;
+  config.hot_fraction = 0.1;    // 100 hot files
+  config.daily_churn = 0.1;     // 10 replaced per day
+  config.transactions_per_day = 10;
+  auto gen = WebLogGenerator::Create(config);
+  ASSERT_TRUE(gen.ok());
+  Itemset before = gen->hot_files();
+  EXPECT_EQ(before.size(), 100u);
+  TransactionDatabase db;
+  gen->GenerateDay(&db);
+  Itemset after = gen->hot_files();
+  EXPECT_EQ(after.size(), 100u);
+
+  Itemset stayed;
+  std::set_intersection(before.begin(), before.end(), after.begin(),
+                        after.end(), std::back_inserter(stayed));
+  // Exactly 10 swaps are attempted; a swap can rarely pick an already-
+  // swapped slot, so at least 85 stay and at most 99.
+  EXPECT_GE(stayed.size(), 85u);
+  EXPECT_LT(stayed.size(), 100u);
+}
+
+TEST(WebLogGenTest, AccessesConcentrateOnHotFiles) {
+  WebLogConfig config;
+  config.num_files = 1000;
+  config.hot_fraction = 0.1;
+  config.hot_access_mass = 0.9;
+  config.transactions_per_day = 2000;
+  auto gen = WebLogGenerator::Create(config);
+  ASSERT_TRUE(gen.ok());
+  Itemset hot = gen->hot_files();
+  TransactionDatabase db;
+  gen->GenerateDay(&db);
+
+  uint64_t hot_hits = 0;
+  uint64_t total = 0;
+  for (size_t t = 0; t < db.size(); ++t) {
+    for (ItemId item : db.At(t).items) {
+      ++total;
+      if (Contains(hot, item)) ++hot_hits;
+    }
+  }
+  double share = static_cast<double>(hot_hits) / static_cast<double>(total);
+  EXPECT_GT(share, 0.8);
+}
+
+TEST(WebLogGenTest, DeterministicForSameSeed) {
+  WebLogConfig config;
+  config.num_files = 300;
+  config.transactions_per_day = 200;
+  auto a = WebLogGenerator::Create(config);
+  auto b = WebLogGenerator::Create(config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  TransactionDatabase da;
+  TransactionDatabase dbb;
+  a->GenerateDay(&da);
+  b->GenerateDay(&dbb);
+  EXPECT_TRUE(da == dbb);
+}
+
+}  // namespace
+}  // namespace bbsmine

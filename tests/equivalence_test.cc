@@ -1,0 +1,130 @@
+// Integration test: on realistic Quest-generated workloads, all six
+// algorithms (SFS, SFP, DFS, DFP, Apriori, FP-growth) must find exactly the
+// same frequent itemsets.
+
+#include <gtest/gtest.h>
+
+#include "baseline/apriori.h"
+#include "baseline/fp_tree.h"
+#include "core/miner.h"
+#include "datagen/quest_gen.h"
+#include "testing/reference.h"
+
+namespace bbsmine {
+namespace {
+
+struct Workload {
+  const char* name;
+  QuestConfig quest;
+  double min_support;
+  uint32_t num_bits;
+};
+
+Workload MakeWorkload(const char* name, uint32_t txns, uint32_t items,
+                      double t, double i, double min_support,
+                      uint32_t num_bits) {
+  Workload w;
+  w.name = name;
+  w.quest.num_transactions = txns;
+  w.quest.num_items = items;
+  w.quest.avg_transaction_size = t;
+  w.quest.avg_pattern_size = i;
+  w.quest.num_patterns = 100;
+  w.min_support = min_support;
+  w.num_bits = num_bits;
+  return w;
+}
+
+class AllAlgorithmsEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllAlgorithmsEquivalenceTest, SameFrequentItemsets) {
+  static const Workload kWorkloads[] = {
+      MakeWorkload("small-dense", 1000, 200, 8, 3, 0.02, 256),
+      MakeWorkload("narrow-bbs", 1500, 400, 10, 4, 0.015, 96),
+      MakeWorkload("sparse", 2000, 1000, 6, 3, 0.01, 512),
+  };
+  const Workload& w = kWorkloads[GetParam()];
+
+  auto db = GenerateQuest(w.quest);
+  ASSERT_TRUE(db.ok());
+
+  BbsConfig bbs_config;
+  bbs_config.num_bits = w.num_bits;
+  bbs_config.num_hashes = 4;
+  auto bbs = BbsIndex::Create(bbs_config);
+  ASSERT_TRUE(bbs.ok());
+  bbs->InsertAll(*db);
+
+  AprioriConfig apriori_config;
+  apriori_config.min_support = w.min_support;
+  MiningResult apriori = MineApriori(*db, apriori_config);
+  apriori.SortPatterns();
+  std::vector<Itemset> reference = testing::ItemsetsOf(apriori.patterns);
+  ASSERT_FALSE(reference.empty()) << w.name << ": degenerate workload";
+
+  FpGrowthConfig fp_config;
+  fp_config.min_support = w.min_support;
+  MiningResult fp = MineFpGrowth(*db, fp_config);
+  fp.SortPatterns();
+  EXPECT_EQ(testing::ItemsetsOf(fp.patterns), reference)
+      << w.name << ": FP-growth disagrees with Apriori";
+  for (size_t i = 0; i < fp.patterns.size(); ++i) {
+    EXPECT_EQ(fp.patterns[i].support, apriori.patterns[i].support);
+  }
+
+  for (Algorithm algorithm : {Algorithm::kSFS, Algorithm::kSFP,
+                              Algorithm::kDFS, Algorithm::kDFP}) {
+    MineConfig config;
+    config.algorithm = algorithm;
+    config.min_support = w.min_support;
+    MiningResult result = MineFrequentPatterns(*db, *bbs, config);
+    result.SortPatterns();
+    EXPECT_EQ(testing::ItemsetsOf(result.patterns), reference)
+        << w.name << ": " << AlgorithmName(algorithm)
+        << " disagrees with Apriori";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, AllAlgorithmsEquivalenceTest,
+                         ::testing::Range(0, 3));
+
+TEST(DynamicEquivalenceTest, IncrementalInsertMatchesRebuild) {
+  // The BBS built incrementally day by day must behave identically to one
+  // built from scratch over the final database (the paper's dynamic-
+  // database argument, Section 3.4).
+  QuestConfig quest;
+  quest.num_transactions = 800;
+  quest.num_items = 300;
+  quest.avg_transaction_size = 8;
+  quest.avg_pattern_size = 3;
+  quest.num_patterns = 60;
+  auto db = GenerateQuest(quest);
+  ASSERT_TRUE(db.ok());
+
+  BbsConfig config;
+  config.num_bits = 128;
+  config.num_hashes = 3;
+
+  auto incremental = BbsIndex::Create(config);
+  auto rebuilt = BbsIndex::Create(config);
+  ASSERT_TRUE(incremental.ok() && rebuilt.ok());
+
+  // Incremental: insert in three "daily" chunks.
+  for (size_t t = 0; t < db->size(); ++t) {
+    incremental->Insert(db->At(t).items);
+  }
+  rebuilt->InsertAll(*db);
+  EXPECT_TRUE(*incremental == *rebuilt);
+
+  MineConfig mine;
+  mine.algorithm = Algorithm::kDFP;
+  mine.min_support = 0.02;
+  MiningResult a = MineFrequentPatterns(*db, *incremental, mine);
+  MiningResult b = MineFrequentPatterns(*db, *rebuilt, mine);
+  a.SortPatterns();
+  b.SortPatterns();
+  EXPECT_EQ(testing::ItemsetsOf(a.patterns), testing::ItemsetsOf(b.patterns));
+}
+
+}  // namespace
+}  // namespace bbsmine

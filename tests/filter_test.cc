@@ -1,0 +1,304 @@
+// Tests for the filtering phase: FilterEngine, SingleFilter, DualFilter and
+// the CheckCount classification routine.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/bbs_index.h"
+#include "core/dual_filter.h"
+#include "core/filter_engine.h"
+#include "core/single_filter.h"
+#include "testing/reference.h"
+
+namespace bbsmine {
+namespace {
+
+BbsIndex MakeBbs(const TransactionDatabase& db, uint32_t bits, uint32_t hashes,
+                 HashKind kind = HashKind::kMd5) {
+  BbsConfig config;
+  config.num_bits = bits;
+  config.num_hashes = hashes;
+  config.hash_kind = kind;
+  auto index = BbsIndex::Create(config);
+  EXPECT_TRUE(index.ok());
+  index->InsertAll(db);
+  return std::move(index).value();
+}
+
+Itemset UniverseOf(const TransactionDatabase& db) {
+  Itemset universe(db.item_universe());
+  for (ItemId i = 0; i < db.item_universe(); ++i) universe[i] = i;
+  return universe;
+}
+
+// --- FilterEngine ----------------------------------------------------------------
+
+TEST(FilterEngineTest, KeepsOnlyEstimatedFrequentSingletons) {
+  TransactionDatabase db = testing::MakeDb({
+      {1, 2}, {1, 2}, {1, 3}, {1}, {4},
+  });
+  // Wide vector, several hashes: estimates are exact here.
+  BbsIndex bbs = MakeBbs(db, 512, 3);
+  FilterEngine engine(bbs, /*tau=*/2);
+  MineStats stats;
+  engine.Prepare(UniverseOf(db), &stats);
+
+  std::set<ItemId> kept;
+  for (const auto& s : engine.singletons()) kept.insert(s.item);
+  EXPECT_TRUE(kept.contains(1));
+  EXPECT_TRUE(kept.contains(2));
+  EXPECT_FALSE(kept.contains(4)) << "support 1 < tau";
+  EXPECT_EQ(stats.extension_tests, db.item_universe());
+}
+
+TEST(FilterEngineTest, SingletonVectorsAndCounts) {
+  TransactionDatabase db = testing::MakeDb({{1, 2}, {2}, {1, 2}});
+  BbsIndex bbs = MakeBbs(db, 256, 3);
+  FilterEngine engine(bbs, 2);
+  MineStats stats;
+  engine.Prepare(UniverseOf(db), &stats);
+  for (const auto& s : engine.singletons()) {
+    EXPECT_EQ(s.est, bbs.CountItemSet({s.item}));
+    EXPECT_EQ(s.exact, testing::BruteForceSupport(db, {s.item}));
+    EXPECT_EQ(s.vector.Count(), s.est);
+  }
+}
+
+TEST(FilterEngineTest, ExtendMatchesCountItemSet) {
+  TransactionDatabase db = testing::RandomDb(5, 150, 30, 5.0);
+  BbsIndex bbs = MakeBbs(db, 64, 2);
+  FilterEngine engine(bbs, 1);
+  MineStats stats;
+  engine.Prepare(UniverseOf(db), &stats);
+  ASSERT_GE(engine.singletons().size(), 2u);
+
+  const auto& s0 = engine.singletons()[0];
+  const auto& s1 = engine.singletons()[1];
+  BitVector out;
+  size_t est = engine.Extend(1, s0.vector, &out);
+  EXPECT_EQ(est, bbs.CountItemSet(UnionOf({s0.item}, {s1.item})));
+}
+
+// --- SingleFilter ------------------------------------------------------------------
+
+TEST(SingleFilterTest, CandidatesAreSupersetOfFrequentPatterns) {
+  TransactionDatabase db = testing::RandomDb(9, 300, 40, 6.0);
+  BbsIndex bbs = MakeBbs(db, 96, 2);  // narrow: provoke false drops
+  uint64_t tau = 8;
+  FilterEngine engine(bbs, tau);
+  MineStats stats;
+  engine.Prepare(UniverseOf(db), &stats);
+  std::vector<Candidate> candidates = RunSingleFilter(engine, &stats);
+
+  std::set<Itemset> candidate_sets;
+  for (const Candidate& c : candidates) candidate_sets.insert(c.items);
+
+  for (const Pattern& p : testing::BruteForceMine(db, tau)) {
+    EXPECT_TRUE(candidate_sets.contains(p.items))
+        << "frequent pattern " << ItemsetToString(p.items)
+        << " missing from the candidate set";
+  }
+  EXPECT_EQ(stats.candidates, candidates.size());
+}
+
+TEST(SingleFilterTest, EstimatesMeetThresholdAndMatchCountItemSet) {
+  TransactionDatabase db = testing::RandomDb(13, 200, 25, 5.0);
+  BbsIndex bbs = MakeBbs(db, 128, 2);
+  uint64_t tau = 6;
+  FilterEngine engine(bbs, tau);
+  MineStats stats;
+  engine.Prepare(UniverseOf(db), &stats);
+  for (const Candidate& c : RunSingleFilter(engine, &stats)) {
+    EXPECT_GE(c.est, tau);
+    EXPECT_EQ(c.est, bbs.CountItemSet(c.items)) << ItemsetToString(c.items);
+  }
+}
+
+TEST(SingleFilterTest, ExactIndexYieldsExactlyTheFrequentPatterns) {
+  // With modulo hashing, one item per bit and m >= universe, the BBS is a
+  // lossless vertical representation: zero false drops.
+  TransactionDatabase db = testing::RandomDb(21, 200, 30, 5.0);
+  BbsIndex bbs = MakeBbs(db, 30, 1, HashKind::kModulo);
+  uint64_t tau = 5;
+  FilterEngine engine(bbs, tau);
+  MineStats stats;
+  engine.Prepare(UniverseOf(db), &stats);
+  std::vector<Candidate> candidates = RunSingleFilter(engine, &stats);
+
+  std::vector<Itemset> got;
+  for (const Candidate& c : candidates) got.push_back(c.items);
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, testing::ItemsetsOf(testing::BruteForceMine(db, tau)));
+}
+
+TEST(SingleFilterTest, EmptyDatabaseYieldsNothing) {
+  TransactionDatabase db;
+  BbsIndex bbs = MakeBbs(db, 64, 2);
+  FilterEngine engine(bbs, 1);
+  MineStats stats;
+  engine.Prepare({1, 2, 3}, &stats);
+  EXPECT_TRUE(RunSingleFilter(engine, &stats).empty());
+}
+
+// --- CheckCount --------------------------------------------------------------------
+
+TEST(CheckCountTest, SingletonExactClassification) {
+  ParentState root;  // empty parent
+  // Frequent singleton: flag 1 with the exact count.
+  CheckCountResult r = CheckCount(/*item_exact=*/10, /*item_est=*/12, root,
+                                  /*union_est=*/12, /*tau=*/5);
+  EXPECT_EQ(r.flag, 1);
+  EXPECT_EQ(r.count, 10u);
+  // Infrequent singleton: flag -1 even when the estimate passes the filter.
+  r = CheckCount(3, 12, root, 12, 5);
+  EXPECT_EQ(r.flag, -1);
+  EXPECT_EQ(r.count, 3u);
+}
+
+TEST(CheckCountTest, Corollary1GivesFlagOne) {
+  ParentState parent{/*flag=*/1, /*count=*/20, /*est=*/20, /*empty=*/false};
+  // Item tight (est == exact) and parent tight: union estimate is exact.
+  CheckCountResult r = CheckCount(15, 15, parent, 9, 5);
+  EXPECT_EQ(r.flag, 1);
+  EXPECT_EQ(r.count, 9u);
+}
+
+TEST(CheckCountTest, Lemma5LowerBoundGivesFlagTwo) {
+  // Parent slack 3 (est 23, act 20); item tight; union est 9, tau 5:
+  // lower bound 9 - 3 = 6 >= 5 -> guaranteed frequent, estimated count.
+  ParentState parent{1, 20, 23, false};
+  CheckCountResult r = CheckCount(15, 15, parent, 9, 5);
+  EXPECT_EQ(r.flag, 2);
+  EXPECT_EQ(r.count, 9u);
+}
+
+TEST(CheckCountTest, Lemma5SwappedRolesGivesFlagTwo) {
+  // Parent tight; item slack 2 (est 17, act 15); union est 8, tau 5:
+  // 8 - 2 = 6 >= 5.
+  ParentState parent{1, 20, 20, false};
+  CheckCountResult r = CheckCount(15, 17, parent, 8, 5);
+  EXPECT_EQ(r.flag, 2);
+  EXPECT_EQ(r.count, 8u);
+}
+
+TEST(CheckCountTest, LooseBoundsGiveFlagZero) {
+  // Parent slack 10 and item slack 2: no bound reaches tau.
+  ParentState parent{1, 20, 30, false};
+  CheckCountResult r = CheckCount(15, 17, parent, 9, 5);
+  EXPECT_EQ(r.flag, 0);
+  EXPECT_EQ(r.count, 9u);
+}
+
+TEST(CheckCountTest, UncertainParentPropagatesUncertainty) {
+  // flag 0 and flag 2 parents cannot certify anything (Figure 3 gates the
+  // bounds on flag == 1).
+  for (int parent_flag : {0, 2}) {
+    ParentState parent{parent_flag, 20, 20, false};
+    CheckCountResult r = CheckCount(15, 15, parent, 9, 5);
+    EXPECT_EQ(r.flag, 0) << "parent flag " << parent_flag;
+  }
+}
+
+TEST(CheckCountTest, UnderflowSafeWhenSlackExceedsEstimate) {
+  // Parent slack (40) far exceeds union estimate (6): the subtraction in
+  // the paper's formulation would underflow an unsigned value.
+  ParentState parent{1, 10, 50, false};
+  CheckCountResult r = CheckCount(15, 15, parent, 6, 5);
+  EXPECT_EQ(r.flag, 0);
+}
+
+// --- DualFilter ---------------------------------------------------------------------
+
+TEST(DualFilterTest, PartitionsCandidatesAndCertifiesCorrectly) {
+  TransactionDatabase db = testing::RandomDb(31, 300, 40, 6.0);
+  BbsIndex bbs = MakeBbs(db, 128, 2);
+  uint64_t tau = 8;
+  FilterEngine engine(bbs, tau);
+  MineStats stats;
+  engine.Prepare(UniverseOf(db), &stats);
+  DualFilterOutput out = RunDualFilter(engine, &stats);
+
+  // Every certified pattern must truly be frequent; flag-1 counts exact.
+  for (const DualCandidate& c : out.certain) {
+    uint64_t actual = testing::BruteForceSupport(db, c.items);
+    EXPECT_GE(actual, tau) << ItemsetToString(c.items) << " flag " << c.flag;
+    if (c.flag == 1) {
+      EXPECT_EQ(c.count, actual) << ItemsetToString(c.items);
+    } else {
+      EXPECT_EQ(c.flag, 2);
+      EXPECT_GE(c.count, actual) << "flag-2 counts are upper estimates";
+    }
+  }
+  EXPECT_EQ(stats.certified, out.certain.size());
+  EXPECT_EQ(stats.candidates, out.certain.size() + out.uncertain.size());
+}
+
+TEST(DualFilterTest, UnionCoversAllFrequentPatterns) {
+  TransactionDatabase db = testing::RandomDb(37, 250, 30, 5.0);
+  BbsIndex bbs = MakeBbs(db, 96, 2);
+  uint64_t tau = 7;
+  FilterEngine engine(bbs, tau);
+  MineStats stats;
+  engine.Prepare(UniverseOf(db), &stats);
+  DualFilterOutput out = RunDualFilter(engine, &stats);
+
+  std::set<Itemset> all;
+  for (const DualCandidate& c : out.certain) all.insert(c.items);
+  for (const DualCandidate& c : out.uncertain) all.insert(c.items);
+  for (const Pattern& p : testing::BruteForceMine(db, tau)) {
+    EXPECT_TRUE(all.contains(p.items)) << ItemsetToString(p.items);
+  }
+}
+
+TEST(DualFilterTest, InfrequentSingletonsPrunedExactlyAtTopLevel) {
+  // CheckCount's flag -1 (Figure 3 lines 1-3) applies when the parent is the
+  // empty itemset: exactly-known infrequent items never appear as singleton
+  // candidates, even if their BBS estimate passes the filter. (Deeper
+  // extensions by such items can still surface as *uncertain* candidates —
+  // the paper's pseudocode only consults exact counts at the top level.)
+  TransactionDatabase db = testing::MakeDb({
+      {1, 2, 3}, {1, 2, 3}, {1, 2}, {4, 5}, {6},
+  });
+  BbsIndex bbs = MakeBbs(db, 8, 1);  // tiny vector: heavy collisions
+  uint64_t tau = 2;
+  FilterEngine engine(bbs, tau);
+  MineStats stats;
+  engine.Prepare(UniverseOf(db), &stats);
+  DualFilterOutput out = RunDualFilter(engine, &stats);
+  auto check_singletons = [&](const std::vector<DualCandidate>& list) {
+    for (const DualCandidate& c : list) {
+      if (c.items.size() == 1) {
+        EXPECT_GE(testing::BruteForceSupport(db, c.items), tau)
+            << ItemsetToString(c.items);
+      }
+    }
+  };
+  check_singletons(out.certain);
+  check_singletons(out.uncertain);
+  // And every certified pattern of any length is truly frequent.
+  for (const DualCandidate& c : out.certain) {
+    EXPECT_GE(testing::BruteForceSupport(db, c.items), tau)
+        << ItemsetToString(c.items);
+  }
+}
+
+TEST(DualFilterTest, MostPatternsCertifiedOnWideVectors) {
+  // With a wide vector the estimates are tight, so DualFilter should
+  // certify the vast majority of candidates (the paper reports 80-90%).
+  TransactionDatabase db = testing::RandomDb(41, 400, 30, 5.0);
+  BbsIndex bbs = MakeBbs(db, 2048, 4);
+  uint64_t tau = 10;
+  FilterEngine engine(bbs, tau);
+  MineStats stats;
+  engine.Prepare(UniverseOf(db), &stats);
+  DualFilterOutput out = RunDualFilter(engine, &stats);
+  ASSERT_GT(out.certain.size() + out.uncertain.size(), 0u);
+  double certified_share =
+      static_cast<double>(out.certain.size()) /
+      static_cast<double>(out.certain.size() + out.uncertain.size());
+  EXPECT_GT(certified_share, 0.8);
+}
+
+}  // namespace
+}  // namespace bbsmine

@@ -1,0 +1,93 @@
+#include "storage/fimi_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "testing/reference.h"
+
+namespace bbsmine {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(FimiIoTest, ParsesBasicFile) {
+  std::istringstream in("1 2 3\n4 5\n\n# a comment\n6\n");
+  auto db = ReadFimiStream(in);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  ASSERT_EQ(db->size(), 3u);
+  EXPECT_EQ(db->At(0).items, (Itemset{1, 2, 3}));
+  EXPECT_EQ(db->At(1).items, (Itemset{4, 5}));
+  EXPECT_EQ(db->At(2).items, (Itemset{6}));
+}
+
+TEST(FimiIoTest, HandlesExtraWhitespaceAndCr) {
+  std::istringstream in("  1\t2  3 \r\n 7 \r\n");
+  auto db = ReadFimiStream(in);
+  ASSERT_TRUE(db.ok());
+  ASSERT_EQ(db->size(), 2u);
+  EXPECT_EQ(db->At(0).items, (Itemset{1, 2, 3}));
+  EXPECT_EQ(db->At(1).items, (Itemset{7}));
+}
+
+TEST(FimiIoTest, CanonicalizesItems) {
+  std::istringstream in("5 3 5 1\n");
+  auto db = ReadFimiStream(in);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->At(0).items, (Itemset{1, 3, 5}));
+}
+
+TEST(FimiIoTest, RejectsNonNumericTokens) {
+  std::istringstream in("1 2\n3 oops 4\n");
+  auto db = ReadFimiStream(in, "test-input");
+  ASSERT_FALSE(db.ok());
+  EXPECT_EQ(db.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(db.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(FimiIoTest, RejectsOutOfRangeItem) {
+  std::istringstream in("99999999999999\n");
+  auto db = ReadFimiStream(in);
+  ASSERT_FALSE(db.ok());
+  EXPECT_EQ(db.status().code(), StatusCode::kCorruption);
+}
+
+TEST(FimiIoTest, EmptyInputYieldsEmptyDb) {
+  std::istringstream in("");
+  auto db = ReadFimiStream(in);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->size(), 0u);
+}
+
+TEST(FimiIoTest, RoundTripThroughFile) {
+  TransactionDatabase original = testing::RandomDb(21, 120, 50, 6.0);
+  std::string path = TempPath("bbsmine_fimi_roundtrip.dat");
+  ASSERT_TRUE(WriteFimi(original, path).ok());
+  auto loaded = ReadFimi(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), original.size());
+  for (size_t t = 0; t < original.size(); ++t) {
+    EXPECT_EQ(loaded->At(t).items, original.At(t).items) << "txn " << t;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FimiIoTest, ReadMissingFileFails) {
+  auto db = ReadFimi(TempPath("bbsmine_fimi_does_not_exist.dat"));
+  ASSERT_FALSE(db.ok());
+  EXPECT_EQ(db.status().code(), StatusCode::kIoError);
+}
+
+TEST(FimiIoTest, WriteStreamFormat) {
+  TransactionDatabase db = testing::MakeDb({{1, 2}, {3}});
+  std::ostringstream out;
+  ASSERT_TRUE(WriteFimiStream(db, out).ok());
+  EXPECT_EQ(out.str(), "1 2\n3\n");
+}
+
+}  // namespace
+}  // namespace bbsmine

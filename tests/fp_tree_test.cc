@@ -1,0 +1,135 @@
+#include "baseline/fp_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/reference.h"
+
+namespace bbsmine {
+namespace {
+
+TEST(FpTreeTest, InsertSharesPrefixes) {
+  FpTree tree;
+  tree.InsertPath({1, 2, 3}, 1);
+  tree.InsertPath({1, 2, 4}, 1);
+  tree.InsertPath({1, 2, 3}, 2);
+  // Root + 1 + 2 + 3 + 4 = 5 nodes.
+  EXPECT_EQ(tree.num_nodes(), 5u);
+  tree.BuildHeader({1, 2, 3, 4});
+  // Item totals via the header.
+  EXPECT_EQ(tree.header()[0].total, 4u);  // item 1
+  EXPECT_EQ(tree.header()[1].total, 4u);  // item 2
+  EXPECT_EQ(tree.header()[2].total, 3u);  // item 3
+  EXPECT_EQ(tree.header()[3].total, 1u);  // item 4
+}
+
+TEST(FpTreeTest, SinglePathDetection) {
+  FpTree tree;
+  tree.InsertPath({1, 2, 3}, 1);
+  EXPECT_TRUE(tree.IsSinglePath());
+  tree.InsertPath({1, 5}, 1);
+  EXPECT_FALSE(tree.IsSinglePath());
+
+  FpTree empty;
+  EXPECT_TRUE(empty.IsSinglePath());
+}
+
+TEST(FpTreeTest, HeaderChainsLinkAllNodes) {
+  FpTree tree;
+  tree.InsertPath({1, 2}, 1);
+  tree.InsertPath({2}, 1);
+  tree.InsertPath({1, 3, 2}, 1);
+  tree.BuildHeader({1, 2, 3});
+  // Item 2 appears in three distinct nodes.
+  const auto& entry = tree.header()[1];
+  EXPECT_EQ(entry.item, 2u);
+  int chain_length = 0;
+  uint64_t total = 0;
+  for (int32_t n = entry.head; n >= 0; n = tree.node(n).next_same_item) {
+    ++chain_length;
+    total += tree.node(n).count;
+  }
+  EXPECT_EQ(chain_length, 3);
+  EXPECT_EQ(total, entry.total);
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(FpGrowthTest, MatchesBruteForceOnRandomData) {
+  for (uint64_t seed : {1u, 5u, 9u}) {
+    TransactionDatabase db = testing::RandomDb(seed, 300, 40, 6.0);
+    FpGrowthConfig config;
+    config.min_support = 0.02;
+    MiningResult result = MineFpGrowth(db, config);
+    result.SortPatterns();
+    std::vector<Pattern> truth = testing::BruteForceMine(
+        db, AbsoluteThreshold(config.min_support, db.size()));
+    ASSERT_EQ(testing::ItemsetsOf(result.patterns),
+              testing::ItemsetsOf(truth))
+        << "seed " << seed;
+    for (size_t i = 0; i < truth.size(); ++i) {
+      EXPECT_EQ(result.patterns[i].support, truth[i].support)
+          << ItemsetToString(truth[i].items);
+    }
+  }
+}
+
+TEST(FpGrowthTest, SinglePathDataExercisesShortcut) {
+  // All transactions are prefixes of one chain: the tree is a single path.
+  TransactionDatabase db = testing::MakeDb({
+      {1}, {1, 2}, {1, 2, 3}, {1, 2, 3}, {1, 2, 3, 4},
+  });
+  FpGrowthConfig config;
+  config.min_support = 0.4;  // tau = 2
+  MiningResult result = MineFpGrowth(db, config);
+  result.SortPatterns();
+  std::vector<Pattern> truth = testing::BruteForceMine(db, 2);
+  ASSERT_EQ(testing::ItemsetsOf(result.patterns), testing::ItemsetsOf(truth));
+  for (size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_EQ(result.patterns[i].support, truth[i].support);
+  }
+}
+
+TEST(FpGrowthTest, ChargesTwoScans) {
+  TransactionDatabase db = testing::RandomDb(3, 200, 20, 5.0);
+  FpGrowthConfig config;
+  config.min_support = 0.03;
+  MiningResult result = MineFpGrowth(db, config);
+  EXPECT_EQ(result.stats.db_scans, 2u);
+}
+
+TEST(FpGrowthTest, SmallMemoryChargesExtraScans) {
+  TransactionDatabase db = testing::RandomDb(3, 500, 20, 8.0);
+  FpGrowthConfig config;
+  config.min_support = 0.01;
+  config.memory_budget_bytes = 1024;  // far smaller than the tree
+  MiningResult result = MineFpGrowth(db, config);
+  EXPECT_GT(result.stats.db_scans, 2u);
+
+  // The answer must be identical either way.
+  FpGrowthConfig unlimited;
+  unlimited.min_support = 0.01;
+  MiningResult full = MineFpGrowth(db, unlimited);
+  result.SortPatterns();
+  full.SortPatterns();
+  EXPECT_EQ(testing::ItemsetsOf(result.patterns),
+            testing::ItemsetsOf(full.patterns));
+}
+
+TEST(FpGrowthTest, EmptyDatabase) {
+  TransactionDatabase db;
+  MiningResult result = MineFpGrowth(db, FpGrowthConfig{});
+  EXPECT_TRUE(result.patterns.empty());
+}
+
+TEST(FpGrowthTest, DuplicateHeavyData) {
+  // Identical transactions compress into one path with high counts.
+  TransactionDatabase db;
+  for (int i = 0; i < 50; ++i) db.Append({2, 4, 6});
+  FpGrowthConfig config;
+  config.min_support = 0.5;
+  MiningResult result = MineFpGrowth(db, config);
+  EXPECT_EQ(result.patterns.size(), 7u);
+  for (const Pattern& p : result.patterns) EXPECT_EQ(p.support, 50u);
+}
+
+}  // namespace
+}  // namespace bbsmine

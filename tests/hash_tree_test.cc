@@ -1,0 +1,120 @@
+#include "baseline/hash_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "testing/reference.h"
+#include "util/rng.h"
+
+namespace bbsmine {
+namespace {
+
+TEST(HashTreeTest, CountsContainedCandidates) {
+  std::vector<Itemset> candidates = {{1, 2}, {1, 3}, {2, 3}, {4, 5}};
+  CandidateHashTree tree(2);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    tree.Insert(static_cast<uint32_t>(i), &candidates[i]);
+  }
+  EXPECT_EQ(tree.size(), 4u);
+
+  std::vector<uint64_t> counts(candidates.size(), 0);
+  tree.CountSubsets({1, 2, 3}, &counts);
+  EXPECT_EQ(counts, (std::vector<uint64_t>{1, 1, 1, 0}));
+
+  tree.CountSubsets({1, 2}, &counts);
+  EXPECT_EQ(counts, (std::vector<uint64_t>{2, 1, 1, 0}));
+}
+
+TEST(HashTreeTest, ShortTransactionsSkipCheapLy) {
+  std::vector<Itemset> candidates = {{1, 2, 3}};
+  CandidateHashTree tree(3);
+  tree.Insert(0, &candidates[0]);
+  std::vector<uint64_t> counts(1, 0);
+  tree.CountSubsets({1, 2}, &counts);  // too short to contain a 3-itemset
+  EXPECT_EQ(counts[0], 0u);
+}
+
+TEST(HashTreeTest, NoDoubleCountingThroughMultiplePaths) {
+  // Items 1 and 33 collide modulo the default fanout 32, so a transaction
+  // containing both descends into the same child twice.
+  std::vector<Itemset> candidates = {{33, 65}};  // 33 % 32 == 1, 65 % 32 == 1
+  CandidateHashTree tree(2);
+  tree.Insert(0, &candidates[0]);
+  std::vector<uint64_t> counts(1, 0);
+  tree.CountSubsets({1, 33, 65, 97}, &counts);
+  EXPECT_EQ(counts[0], 1u) << "candidate must be counted exactly once";
+}
+
+TEST(HashTreeTest, SplitsKeepCountsCorrect) {
+  // More candidates than one leaf holds forces interior splits.
+  Rng rng(3);
+  std::vector<Itemset> candidates;
+  for (int i = 0; i < 300; ++i) {
+    Itemset c = {static_cast<ItemId>(rng.Uniform(40)),
+                 static_cast<ItemId>(rng.Uniform(40)),
+                 static_cast<ItemId>(rng.Uniform(40))};
+    Canonicalize(&c);
+    if (c.size() == 3) candidates.push_back(c);
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  CandidateHashTree tree(3, /*fanout=*/8, /*leaf_capacity=*/4);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    tree.Insert(static_cast<uint32_t>(i), &candidates[i]);
+  }
+
+  // Compare tree counting against naive subset checks over random txns.
+  for (int trial = 0; trial < 50; ++trial) {
+    Itemset txn;
+    size_t len = 3 + rng.Uniform(10);
+    for (size_t j = 0; j < len; ++j) {
+      txn.push_back(static_cast<ItemId>(rng.Uniform(40)));
+    }
+    Canonicalize(&txn);
+
+    std::vector<uint64_t> counts(candidates.size(), 0);
+    tree.CountSubsets(txn, &counts);
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      uint64_t expected = IsSubsetOf(candidates[c], txn) ? 1 : 0;
+      ASSERT_EQ(counts[c], expected)
+          << "candidate " << ItemsetToString(candidates[c]) << " vs txn "
+          << ItemsetToString(txn);
+    }
+  }
+}
+
+TEST(HashTreeTest, DuplicatePrefixCandidatesChainSplit) {
+  // Candidates sharing all hashable prefixes force splits down to the
+  // maximum depth, where leaves grow unbounded.
+  std::vector<Itemset> candidates;
+  for (ItemId last = 100; last < 140; ++last) {
+    candidates.push_back({1, 2, last});
+  }
+  CandidateHashTree tree(3, 4, 2);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    tree.Insert(static_cast<uint32_t>(i), &candidates[i]);
+  }
+  std::vector<uint64_t> counts(candidates.size(), 0);
+  tree.CountSubsets({1, 2, 105}, &counts);
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    EXPECT_EQ(counts[c], candidates[c][2] == 105 ? 1u : 0u);
+  }
+}
+
+TEST(HashTreeTest, AccumulatesAcrossTransactions) {
+  std::vector<Itemset> candidates = {{1, 2}};
+  CandidateHashTree tree(2);
+  tree.Insert(0, &candidates[0]);
+  std::vector<uint64_t> counts(1, 0);
+  tree.CountSubsets({1, 2, 3}, &counts);
+  tree.CountSubsets({1, 2}, &counts);
+  tree.CountSubsets({2, 3}, &counts);
+  EXPECT_EQ(counts[0], 2u);
+}
+
+}  // namespace
+}  // namespace bbsmine

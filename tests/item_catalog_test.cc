@@ -1,0 +1,95 @@
+#include "storage/item_catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace bbsmine {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(ItemCatalogTest, InternAssignsDenseIdsInOrder) {
+  ItemCatalog catalog;
+  EXPECT_EQ(catalog.Intern("milk"), 0u);
+  EXPECT_EQ(catalog.Intern("bread"), 1u);
+  EXPECT_EQ(catalog.Intern("milk"), 0u) << "re-intern returns the same id";
+  EXPECT_EQ(catalog.size(), 2u);
+  EXPECT_EQ(catalog.NameOf(0), "milk");
+  EXPECT_EQ(catalog.NameOf(1), "bread");
+}
+
+TEST(ItemCatalogTest, FindWithoutInserting) {
+  ItemCatalog catalog;
+  catalog.Intern("eggs");
+  EXPECT_EQ(catalog.Find("eggs"), 0u);
+  EXPECT_EQ(catalog.Find("spam"), ItemCatalog::kNotFound);
+  EXPECT_EQ(catalog.size(), 1u) << "Find must not register new names";
+}
+
+TEST(ItemCatalogTest, InternAllCanonicalizes) {
+  ItemCatalog catalog;
+  Itemset items = catalog.InternAll({"c", "a", "b", "a"});
+  EXPECT_EQ(items.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(items.begin(), items.end()));
+  EXPECT_EQ(catalog.size(), 3u);
+}
+
+TEST(ItemCatalogTest, RenderUsesNames) {
+  ItemCatalog catalog;
+  ItemId milk = catalog.Intern("milk");
+  ItemId bread = catalog.Intern("bread");
+  EXPECT_EQ(catalog.Render({milk, bread}), "{milk, bread}");
+  EXPECT_EQ(catalog.Render({milk, 99}), "{milk, #99}");
+  EXPECT_EQ(catalog.Render({}), "{}");
+}
+
+TEST(ItemCatalogTest, SaveLoadRoundTrip) {
+  ItemCatalog catalog;
+  catalog.Intern("milk");
+  catalog.Intern("bread");
+  catalog.Intern("a name with spaces and \xc3\xa9 accents");
+  std::string path = TempPath("bbsmine_catalog_roundtrip.bin");
+  ASSERT_TRUE(catalog.Save(path).ok());
+  auto loaded = ItemCatalog::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(*loaded == catalog);
+  EXPECT_EQ(loaded->Find("bread"), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(ItemCatalogTest, LoadRejectsCorruption) {
+  ItemCatalog catalog;
+  catalog.Intern("x");
+  std::string path = TempPath("bbsmine_catalog_corrupt.bin");
+  ASSERT_TRUE(catalog.Save(path).ok());
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 18, SEEK_SET);
+    int c = std::fgetc(f);
+    std::fseek(f, 18, SEEK_SET);
+    std::fputc(c ^ 0x1, f);
+    std::fclose(f);
+  }
+  auto loaded = ItemCatalog::Load(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(ItemCatalogTest, EmptyCatalogRoundTrip) {
+  ItemCatalog catalog;
+  std::string path = TempPath("bbsmine_catalog_empty.bin");
+  ASSERT_TRUE(catalog.Save(path).ok());
+  auto loaded = ItemCatalog::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace bbsmine

@@ -1,0 +1,78 @@
+#include "util/md5.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace bbsmine {
+namespace {
+
+std::string HexOf(std::string_view s) { return Md5::ToHex(Md5::Hash(s)); }
+
+// The full RFC 1321 appendix A.5 test suite.
+TEST(Md5Test, Rfc1321TestVectors) {
+  EXPECT_EQ(HexOf(""), "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(HexOf("a"), "0cc175b9c0f1b6a831c399e269772661");
+  EXPECT_EQ(HexOf("abc"), "900150983cd24fb0d6963f7d28e17f72");
+  EXPECT_EQ(HexOf("message digest"), "f96b697d7cb7938d525a2f31aaf161d0");
+  EXPECT_EQ(HexOf("abcdefghijklmnopqrstuvwxyz"),
+            "c3fcd3d76192e4007dfb496cca67e13b");
+  EXPECT_EQ(
+      HexOf("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"),
+      "d174ab98d277d9f5a5611c2c9f419d9f");
+  EXPECT_EQ(HexOf("1234567890123456789012345678901234567890123456789012345678"
+                  "9012345678901234567890"),
+            "57edf4a22be3c955ac49da2e2107b67a");
+}
+
+TEST(Md5Test, IncrementalMatchesOneShot) {
+  std::string message =
+      "the quick brown fox jumps over the lazy dog, repeatedly, to cross "
+      "block boundaries in the incremental interface";
+  Md5Digest oneshot = Md5::Hash(message);
+
+  // Feed in uneven chunks that straddle the 64-byte block boundary.
+  for (size_t chunk : {1, 3, 7, 63, 64, 65}) {
+    Md5 md5;
+    for (size_t pos = 0; pos < message.size(); pos += chunk) {
+      md5.Update(message.substr(pos, chunk));
+    }
+    EXPECT_EQ(md5.Finish(), oneshot) << "chunk size " << chunk;
+  }
+}
+
+TEST(Md5Test, ExactBlockSizedInputs) {
+  // 55/56/57 bytes cross the padding split; 64/128 are exact blocks.
+  for (size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 127u, 128u}) {
+    std::string message(len, 'x');
+    Md5 incremental;
+    incremental.Update(message);
+    EXPECT_EQ(incremental.Finish(), Md5::Hash(message)) << "length " << len;
+  }
+}
+
+TEST(Md5Test, KnownDigestOfLongInput) {
+  // One million 'a' characters (classic extended vector).
+  std::string chunk(1000, 'a');
+  Md5 md5;
+  for (int i = 0; i < 1000; ++i) md5.Update(chunk);
+  EXPECT_EQ(Md5::ToHex(md5.Finish()), "7707d6ae4e027c70eea2a935c2296f21");
+}
+
+TEST(Md5Test, DistinctInputsDistinctDigests) {
+  EXPECT_NE(Md5::Hash("item-1"), Md5::Hash("item-2"));
+  EXPECT_NE(Md5::Hash("0"), Md5::Hash("00"));
+}
+
+TEST(Md5Test, ToHexFormatsAllBytes) {
+  Md5Digest digest{};
+  digest[0] = 0xab;
+  digest[15] = 0x01;
+  std::string hex = Md5::ToHex(digest);
+  ASSERT_EQ(hex.size(), 32u);
+  EXPECT_EQ(hex.substr(0, 2), "ab");
+  EXPECT_EQ(hex.substr(30, 2), "01");
+}
+
+}  // namespace
+}  // namespace bbsmine

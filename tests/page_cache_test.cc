@@ -1,0 +1,64 @@
+#include "storage/page_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace bbsmine {
+namespace {
+
+TEST(PageCacheTest, MissThenHit) {
+  PageCache cache(4);
+  IoStats io;
+  EXPECT_FALSE(cache.Access(1, /*sequential=*/false, &io));
+  EXPECT_EQ(io.random_reads, 1u);
+  EXPECT_TRUE(cache.Access(1, false, &io));
+  EXPECT_EQ(io.random_reads, 1u) << "hits must not charge I/O";
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(PageCacheTest, SequentialFlagRoutesCharge) {
+  PageCache cache(4);
+  IoStats io;
+  cache.Access(9, /*sequential=*/true, &io);
+  EXPECT_EQ(io.sequential_reads, 1u);
+  EXPECT_EQ(io.random_reads, 0u);
+}
+
+TEST(PageCacheTest, EvictsLeastRecentlyUsed) {
+  PageCache cache(2);
+  IoStats io;
+  cache.Access(1, false, &io);
+  cache.Access(2, false, &io);
+  cache.Access(1, false, &io);  // 1 now MRU, 2 is LRU
+  cache.Access(3, false, &io);  // evicts 2
+  EXPECT_TRUE(cache.Access(1, false, &io));
+  EXPECT_FALSE(cache.Access(2, false, &io)) << "2 must have been evicted";
+  EXPECT_EQ(cache.resident_blocks(), 2u);
+}
+
+TEST(PageCacheTest, ZeroCapacityAlwaysMisses) {
+  PageCache cache(0);
+  IoStats io;
+  EXPECT_FALSE(cache.Access(5, false, &io));
+  EXPECT_FALSE(cache.Access(5, false, &io));
+  EXPECT_EQ(io.random_reads, 2u);
+  EXPECT_EQ(cache.resident_blocks(), 0u);
+}
+
+TEST(PageCacheTest, NullIoStatsIsAllowed) {
+  PageCache cache(2);
+  EXPECT_FALSE(cache.Access(1, false, nullptr));
+  EXPECT_TRUE(cache.Access(1, false, nullptr));
+}
+
+TEST(PageCacheTest, ClearDropsResidency) {
+  PageCache cache(4);
+  IoStats io;
+  cache.Access(1, false, &io);
+  cache.Clear();
+  EXPECT_EQ(cache.resident_blocks(), 0u);
+  EXPECT_FALSE(cache.Access(1, false, &io));
+}
+
+}  // namespace
+}  // namespace bbsmine

@@ -1,0 +1,125 @@
+#include "core/pattern_sets.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baseline/fp_tree.h"
+#include "testing/reference.h"
+
+namespace bbsmine {
+namespace {
+
+std::vector<Pattern> MineAll(const TransactionDatabase& db,
+                             double min_support) {
+  FpGrowthConfig config;
+  config.min_support = min_support;
+  MiningResult result = MineFpGrowth(db, config);
+  result.SortPatterns();
+  return result.patterns;
+}
+
+TEST(PatternSetsTest, HandComputedClosedAndMaximal) {
+  // D: {1,2,3} x2, {1,2} x1, {3} x1.
+  // Frequent at tau=1:  {1}:3 {2}:3 {3}:3 {1,2}:3 {1,3}:2 {2,3}:2 {1,2,3}:2.
+  TransactionDatabase db = testing::MakeDb({
+      {1, 2, 3}, {1, 2, 3}, {1, 2}, {3},
+  });
+  std::vector<Pattern> all = MineAll(db, 0.2);
+  ASSERT_EQ(all.size(), 7u);
+
+  // Closed: {1,2}:3 (supersets drop to 2), {3}:3, {1,2,3}:2.
+  // {1}:3 not closed (= {1,2}); {2}:3 not closed; {1,3}/{2,3}:2 not closed
+  // (= {1,2,3}).
+  std::vector<Pattern> closed = ClosedPatterns(all);
+  std::set<Itemset> closed_sets;
+  for (const Pattern& p : closed) closed_sets.insert(p.items);
+  EXPECT_EQ(closed_sets,
+            (std::set<Itemset>{{3}, {1, 2}, {1, 2, 3}}));
+
+  // Maximal: just {1,2,3}.
+  std::vector<Pattern> maximal = MaximalPatterns(all);
+  ASSERT_EQ(maximal.size(), 1u);
+  EXPECT_EQ(maximal[0].items, (Itemset{1, 2, 3}));
+}
+
+TEST(PatternSetsTest, DefinitionsHoldOnRandomData) {
+  TransactionDatabase db = testing::RandomDb(5, 300, 25, 6.0);
+  std::vector<Pattern> all = MineAll(db, 0.03);
+  std::vector<Pattern> closed = ClosedPatterns(all);
+  std::vector<Pattern> maximal = MaximalPatterns(all);
+
+  // maximal subset-of closed subset-of all.
+  EXPECT_LE(maximal.size(), closed.size());
+  EXPECT_LE(closed.size(), all.size());
+
+  std::set<Itemset> all_sets;
+  for (const Pattern& p : all) all_sets.insert(p.items);
+
+  // Closed: no frequent proper superset with equal support.
+  for (const Pattern& p : closed) {
+    for (const Pattern& q : all) {
+      if (q.items.size() > p.items.size() && q.support == p.support) {
+        EXPECT_FALSE(IsSubsetOf(p.items, q.items))
+            << ItemsetToString(p.items) << " not closed under "
+            << ItemsetToString(q.items);
+      }
+    }
+  }
+  // Non-closed: some frequent superset with equal support exists.
+  std::set<Itemset> closed_sets;
+  for (const Pattern& p : closed) closed_sets.insert(p.items);
+  for (const Pattern& p : all) {
+    if (closed_sets.contains(p.items)) continue;
+    bool found = false;
+    for (const Pattern& q : all) {
+      if (q.items.size() > p.items.size() && q.support == p.support &&
+          IsSubsetOf(p.items, q.items)) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << ItemsetToString(p.items)
+                       << " excluded but has no equal-support superset";
+  }
+
+  // Maximal: no frequent proper superset at all; every maximal is closed.
+  for (const Pattern& p : maximal) {
+    EXPECT_TRUE(closed_sets.contains(p.items));
+    for (const Pattern& q : all) {
+      if (q.items.size() > p.items.size()) {
+        EXPECT_FALSE(IsSubsetOf(p.items, q.items));
+      }
+    }
+  }
+}
+
+TEST(PatternSetsTest, ClosedCollectionIsLossless) {
+  TransactionDatabase db = testing::RandomDb(9, 250, 20, 5.0);
+  std::vector<Pattern> all = MineAll(db, 0.04);
+  std::vector<Pattern> closed = ClosedPatterns(all);
+  // Every frequent pattern's support is recoverable from the closed set.
+  for (const Pattern& p : all) {
+    EXPECT_EQ(SupportFromClosed(closed, p.items), p.support)
+        << ItemsetToString(p.items);
+  }
+  // Infrequent itemsets recover 0.
+  EXPECT_EQ(SupportFromClosed(closed, {9999}), 0u);
+}
+
+TEST(PatternSetsTest, EmptyInput) {
+  EXPECT_TRUE(ClosedPatterns({}).empty());
+  EXPECT_TRUE(MaximalPatterns({}).empty());
+  EXPECT_EQ(SupportFromClosed({}, {1}), 0u);
+}
+
+TEST(PatternSetsTest, SingletonsOnly) {
+  // With no 2-itemsets, every singleton is both closed and maximal.
+  TransactionDatabase db = testing::MakeDb({{1}, {2}, {1}, {2}});
+  std::vector<Pattern> all = MineAll(db, 0.4);
+  EXPECT_EQ(ClosedPatterns(all).size(), all.size());
+  EXPECT_EQ(MaximalPatterns(all).size(), all.size());
+}
+
+}  // namespace
+}  // namespace bbsmine

@@ -1,0 +1,189 @@
+// End-to-end pipeline test: generate -> export FIMI -> re-import -> persist
+// the database, catalog and index -> reload everything -> mine with every
+// algorithm -> ad-hoc queries -> incremental growth. Exercises the whole
+// public API surface the way the CLI and examples do.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "baseline/apriori.h"
+#include "baseline/eclat.h"
+#include "baseline/fp_tree.h"
+#include "core/adhoc.h"
+#include "core/approximate.h"
+#include "core/bbs_index.h"
+#include "core/miner.h"
+#include "core/segmented_bbs.h"
+#include "datagen/quest_gen.h"
+#include "storage/fimi_io.h"
+#include "storage/item_catalog.h"
+#include "testing/reference.h"
+
+namespace bbsmine {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(PipelineTest, FullWorkflow) {
+  // --- Generate --------------------------------------------------------------
+  QuestConfig quest;
+  quest.num_transactions = 1'500;
+  quest.num_items = 400;
+  quest.avg_transaction_size = 8;
+  quest.avg_pattern_size = 3;
+  quest.num_patterns = 80;
+  auto generated = GenerateQuest(quest);
+  ASSERT_TRUE(generated.ok());
+
+  // --- FIMI round trip ---------------------------------------------------------
+  std::string fimi_path = TempPath("bbsmine_pipeline.fimi");
+  ASSERT_TRUE(WriteFimi(*generated, fimi_path).ok());
+  auto db = ReadFimi(fimi_path);
+  ASSERT_TRUE(db.ok());
+  ASSERT_EQ(db->size(), generated->size());
+
+  // --- Catalog (named items) ----------------------------------------------------
+  ItemCatalog catalog;
+  for (ItemId i = 0; i < db->item_universe(); ++i) {
+    ASSERT_EQ(catalog.Intern("sku-" + std::to_string(i)), i);
+  }
+  std::string catalog_path = TempPath("bbsmine_pipeline.catalog");
+  ASSERT_TRUE(catalog.Save(catalog_path).ok());
+
+  // --- Persist db + index -------------------------------------------------------
+  std::string db_path = TempPath("bbsmine_pipeline.db");
+  std::string idx_path = TempPath("bbsmine_pipeline.bbs");
+  ASSERT_TRUE(db->Save(db_path).ok());
+
+  BbsConfig config;
+  config.num_bits = 256;
+  config.num_hashes = 3;
+  auto built = BbsIndex::Create(config);
+  ASSERT_TRUE(built.ok());
+  built->InsertAll(*db);
+  ASSERT_TRUE(built->Save(idx_path).ok());
+
+  // --- Reload ---------------------------------------------------------------------
+  auto loaded_db = TransactionDatabase::Load(db_path);
+  auto bbs = BbsIndex::Load(idx_path);
+  auto loaded_catalog = ItemCatalog::Load(catalog_path);
+  ASSERT_TRUE(loaded_db.ok() && bbs.ok() && loaded_catalog.ok());
+  EXPECT_EQ(loaded_catalog->NameOf(3), "sku-3");
+
+  // --- All six exact algorithms agree ----------------------------------------------
+  double min_support = 0.01;
+  uint64_t tau = AbsoluteThreshold(min_support, loaded_db->size());
+  std::vector<Itemset> reference =
+      testing::ItemsetsOf(testing::BruteForceMine(*loaded_db, tau));
+  ASSERT_FALSE(reference.empty());
+
+  for (Algorithm algorithm : {Algorithm::kSFS, Algorithm::kSFP,
+                              Algorithm::kDFS, Algorithm::kDFP}) {
+    MineConfig mine;
+    mine.algorithm = algorithm;
+    mine.min_support = min_support;
+    MiningResult result = MineFrequentPatterns(*loaded_db, *bbs, mine);
+    result.SortPatterns();
+    EXPECT_EQ(testing::ItemsetsOf(result.patterns), reference)
+        << AlgorithmName(algorithm);
+  }
+  {
+    AprioriConfig aps;
+    aps.min_support = min_support;
+    MiningResult result = MineApriori(*loaded_db, aps);
+    result.SortPatterns();
+    EXPECT_EQ(testing::ItemsetsOf(result.patterns), reference);
+  }
+  {
+    FpGrowthConfig fps;
+    fps.min_support = min_support;
+    MiningResult result = MineFpGrowth(*loaded_db, fps);
+    result.SortPatterns();
+    EXPECT_EQ(testing::ItemsetsOf(result.patterns), reference);
+  }
+  {
+    EclatConfig eclat;
+    eclat.min_support = min_support;
+    MiningResult result = MineEclat(*loaded_db, eclat);
+    result.SortPatterns();
+    EXPECT_EQ(testing::ItemsetsOf(result.patterns), reference);
+  }
+
+  // --- Approximate mining covers the reference ---------------------------------------
+  {
+    Itemset universe(loaded_db->item_universe());
+    for (ItemId i = 0; i < loaded_db->item_universe(); ++i) universe[i] = i;
+    ApproxMineConfig approx;
+    approx.min_support = min_support;
+    std::vector<ApproxPattern> patterns =
+        MineApproximate(*bbs, approx, universe);
+    std::set<Itemset> found;
+    for (const ApproxPattern& p : patterns) found.insert(p.items);
+    for (const Itemset& items : reference) {
+      EXPECT_TRUE(found.contains(items)) << ItemsetToString(items);
+    }
+  }
+
+  // --- Segmented index agrees with the monolithic one ---------------------------------
+  {
+    auto segmented = SegmentedBbs::Create(config, 400);
+    ASSERT_TRUE(segmented.ok());
+    for (size_t t = 0; t < loaded_db->size(); ++t) {
+      segmented->Insert(loaded_db->At(t).items);
+    }
+    EXPECT_EQ(segmented->num_segments(), 4u);
+    for (const Itemset& items : reference) {
+      EXPECT_GE(segmented->CountItemSet(items),
+                testing::BruteForceSupport(*loaded_db, items));
+    }
+  }
+
+  // --- Ad-hoc constrained query ---------------------------------------------------------
+  {
+    BitVector evens = MakeConstraintSlice(
+        *loaded_db, [](const Transaction& txn) { return txn.tid % 2 == 0; });
+    Itemset target = reference.front();
+    AdhocQueryResult q = CountPatternExact(*loaded_db, *bbs, target, &evens);
+    uint64_t expected = 0;
+    for (size_t t = 0; t < loaded_db->size(); ++t) {
+      if (loaded_db->At(t).tid % 2 == 0 &&
+          IsSubsetOf(target, loaded_db->At(t).items)) {
+        ++expected;
+      }
+    }
+    EXPECT_EQ(q.exact, expected);
+  }
+
+  // --- Incremental growth: index mirrors the database without rebuild ----------------
+  {
+    quest.seed = 777;
+    quest.num_transactions = 300;
+    auto more = GenerateQuest(quest);
+    ASSERT_TRUE(more.ok());
+    for (size_t t = 0; t < more->size(); ++t) {
+      loaded_db->Append(more->At(t).items);
+      bbs->Insert(more->At(t).items);
+    }
+    MineConfig mine;
+    mine.algorithm = Algorithm::kDFP;
+    mine.min_support = min_support;
+    MiningResult incremental = MineFrequentPatterns(*loaded_db, *bbs, mine);
+    incremental.SortPatterns();
+    uint64_t new_tau = AbsoluteThreshold(min_support, loaded_db->size());
+    EXPECT_EQ(testing::ItemsetsOf(incremental.patterns),
+              testing::ItemsetsOf(
+                  testing::BruteForceMine(*loaded_db, new_tau)));
+  }
+
+  std::remove(fimi_path.c_str());
+  std::remove(db_path.c_str());
+  std::remove(idx_path.c_str());
+  std::remove(catalog_path.c_str());
+}
+
+}  // namespace
+}  // namespace bbsmine

@@ -1,0 +1,151 @@
+#include "storage/record_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "testing/reference.h"
+
+namespace bbsmine {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(RecordStoreTest, WriteOpenReadAll) {
+  TransactionDatabase db = testing::RandomDb(3, 200, 50, 6.0);
+  std::string path = TempPath("bbsmine_recstore_basic.bin");
+  ASSERT_TRUE(RecordStore::Write(db, path).ok());
+
+  auto store = RecordStore::Open(path);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  ASSERT_EQ(store->size(), db.size());
+  for (size_t t = 0; t < db.size(); ++t) {
+    Result<Transaction> txn = store->Read(t);
+    ASSERT_TRUE(txn.ok()) << "record " << t;
+    EXPECT_EQ(txn->tid, db.At(t).tid);
+    EXPECT_EQ(txn->items, db.At(t).items);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(RecordStoreTest, ScanVisitsInOrderWithSequentialCharges) {
+  TransactionDatabase db = testing::RandomDb(7, 500, 40, 8.0);
+  std::string path = TempPath("bbsmine_recstore_scan.bin");
+  ASSERT_TRUE(RecordStore::Write(db, path).ok());
+  auto store = RecordStore::Open(path, /*cache_pages=*/4);
+  ASSERT_TRUE(store.ok());
+
+  IoStats io;
+  size_t position = 0;
+  ASSERT_TRUE(store
+                  ->Scan(&io,
+                         [&](const Transaction& txn) {
+                           EXPECT_EQ(txn.items, db.At(position).items);
+                           ++position;
+                         })
+                  .ok());
+  EXPECT_EQ(position, db.size());
+  EXPECT_EQ(io.sequential_reads,
+            BlocksFor(store->record_bytes(), RecordStore::kPageSize));
+  EXPECT_EQ(io.random_reads, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(RecordStoreTest, RandomReadsChargeMissesOnly) {
+  TransactionDatabase db = testing::RandomDb(11, 300, 30, 6.0);
+  std::string path = TempPath("bbsmine_recstore_probe.bin");
+  ASSERT_TRUE(RecordStore::Write(db, path).ok());
+  auto store = RecordStore::Open(path, /*cache_pages=*/64);
+  ASSERT_TRUE(store.ok());
+
+  IoStats io;
+  // Read the same record repeatedly: one page miss, then hits.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(store->Read(10, &io).ok());
+  }
+  EXPECT_GE(io.random_reads, 1u);
+  EXPECT_LE(io.random_reads, 2u) << "record spans at most two pages";
+  EXPECT_GE(store->cache_hits(), 4u);
+  std::remove(path.c_str());
+}
+
+TEST(RecordStoreTest, TinyCacheEvicts) {
+  TransactionDatabase db = testing::RandomDb(13, 2000, 100, 10.0);
+  std::string path = TempPath("bbsmine_recstore_evict.bin");
+  ASSERT_TRUE(RecordStore::Write(db, path).ok());
+  auto store = RecordStore::Open(path, /*cache_pages=*/1);
+  ASSERT_TRUE(store.ok());
+  ASSERT_GT(BlocksFor(store->record_bytes(), RecordStore::kPageSize), 4u);
+
+  IoStats io;
+  // Ping-pong between the first and the last record: every read misses.
+  ASSERT_TRUE(store->Read(0, &io).ok());
+  ASSERT_TRUE(store->Read(db.size() - 1, &io).ok());
+  ASSERT_TRUE(store->Read(0, &io).ok());
+  ASSERT_TRUE(store->Read(db.size() - 1, &io).ok());
+  EXPECT_GE(io.random_reads, 4u);
+  std::remove(path.c_str());
+}
+
+TEST(RecordStoreTest, OutOfRangeRead) {
+  TransactionDatabase db = testing::MakeDb({{1}});
+  std::string path = TempPath("bbsmine_recstore_range.bin");
+  ASSERT_TRUE(RecordStore::Write(db, path).ok());
+  auto store = RecordStore::Open(path);
+  ASSERT_TRUE(store.ok());
+  Result<Transaction> txn = store->Read(1);
+  EXPECT_FALSE(txn.ok());
+  EXPECT_EQ(txn.status().code(), StatusCode::kOutOfRange);
+  std::remove(path.c_str());
+}
+
+TEST(RecordStoreTest, EmptyDatabase) {
+  TransactionDatabase db;
+  std::string path = TempPath("bbsmine_recstore_empty.bin");
+  ASSERT_TRUE(RecordStore::Write(db, path).ok());
+  auto store = RecordStore::Open(path);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(store->size(), 0u);
+  IoStats io;
+  EXPECT_TRUE(store->Scan(&io, [](const Transaction&) {}).ok());
+  EXPECT_EQ(io.TotalReads(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(RecordStoreTest, CorruptFooterRejected) {
+  TransactionDatabase db = testing::RandomDb(17, 50, 20, 4.0);
+  std::string path = TempPath("bbsmine_recstore_corrupt.bin");
+  ASSERT_TRUE(RecordStore::Write(db, path).ok());
+  {
+    // Flip a byte near the end (inside the footer).
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(0, std::ios::end);
+    auto end = f.tellg();
+    f.seekg(static_cast<std::streamoff>(end) - 5);
+    char c;
+    f.get(c);
+    f.seekp(static_cast<std::streamoff>(end) - 5);
+    f.put(static_cast<char>(c ^ 0x40));
+  }
+  auto store = RecordStore::Open(path);
+  EXPECT_FALSE(store.ok());
+  EXPECT_EQ(store.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(RecordStoreTest, GarbageFileRejected) {
+  std::string path = TempPath("bbsmine_recstore_garbage.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "garbage";
+  }
+  EXPECT_FALSE(RecordStore::Open(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace bbsmine

@@ -1,0 +1,135 @@
+#include "core/rules.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/fp_tree.h"
+#include "testing/reference.h"
+
+namespace bbsmine {
+namespace {
+
+MiningResult MineExact(const TransactionDatabase& db, double min_support) {
+  FpGrowthConfig config;
+  config.min_support = min_support;
+  MiningResult result = MineFpGrowth(db, config);
+  result.SortPatterns();
+  return result;
+}
+
+const AssociationRule* FindRule(const std::vector<AssociationRule>& rules,
+                                const Itemset& antecedent,
+                                const Itemset& consequent) {
+  for (const AssociationRule& r : rules) {
+    if (r.antecedent == antecedent && r.consequent == consequent) return &r;
+  }
+  return nullptr;
+}
+
+TEST(RulesTest, BasicConfidenceAndLift) {
+  // {1} appears 4x, {1,2} 3x, {2} 3x over 5 transactions.
+  TransactionDatabase db = testing::MakeDb({
+      {1, 2}, {1, 2}, {1, 2}, {1}, {3},
+  });
+  MiningResult mined = MineExact(db, 0.2);  // tau = 1
+  RuleConfig config;
+  config.min_confidence = 0.7;
+  std::vector<AssociationRule> rules = GenerateRules(mined, db.size(), config);
+
+  // 1 => 2: confidence 3/4 = 0.75, lift 0.75 / (3/5) = 1.25.
+  const AssociationRule* r = FindRule(rules, {1}, {2});
+  ASSERT_NE(r, nullptr);
+  EXPECT_DOUBLE_EQ(r->confidence, 0.75);
+  EXPECT_NEAR(r->lift, 1.25, 1e-12);
+  EXPECT_EQ(r->support, 3u);
+
+  // 2 => 1: confidence 3/3 = 1.0.
+  r = FindRule(rules, {2}, {1});
+  ASSERT_NE(r, nullptr);
+  EXPECT_DOUBLE_EQ(r->confidence, 1.0);
+}
+
+TEST(RulesTest, ConfidenceThresholdFilters) {
+  TransactionDatabase db = testing::MakeDb({
+      {1, 2}, {1, 2}, {1}, {1}, {1},
+  });
+  MiningResult mined = MineExact(db, 0.2);
+  RuleConfig strict;
+  strict.min_confidence = 0.9;
+  // 1 => 2 has confidence 2/5 = 0.4: must be filtered.
+  std::vector<AssociationRule> rules = GenerateRules(mined, db.size(), strict);
+  EXPECT_EQ(FindRule(rules, {1}, {2}), nullptr);
+  // 2 => 1 has confidence 1.0: must survive.
+  EXPECT_NE(FindRule(rules, {2}, {1}), nullptr);
+}
+
+TEST(RulesTest, MultiItemConsequents) {
+  // {1,2,3} in every transaction: all rules have confidence 1, including
+  // the 2-item consequents 1 => {2,3}.
+  TransactionDatabase db = testing::MakeDb({
+      {1, 2, 3}, {1, 2, 3}, {1, 2, 3},
+  });
+  MiningResult mined = MineExact(db, 0.5);
+  RuleConfig config;
+  config.min_confidence = 0.99;
+  std::vector<AssociationRule> rules = GenerateRules(mined, db.size(), config);
+  EXPECT_NE(FindRule(rules, {1}, {2, 3}), nullptr);
+  EXPECT_NE(FindRule(rules, {2, 3}, {1}), nullptr);
+  // From itemset {1,2,3}: 6 rules; from {1,2},{1,3},{2,3}: 2 each.
+  EXPECT_EQ(rules.size(), 12u);
+}
+
+TEST(RulesTest, RulePartsAreDisjointAndNonEmpty) {
+  TransactionDatabase db = testing::RandomDb(3, 300, 25, 6.0);
+  MiningResult mined = MineExact(db, 0.03);
+  RuleConfig config;
+  config.min_confidence = 0.3;
+  for (const AssociationRule& r : GenerateRules(mined, db.size(), config)) {
+    EXPECT_FALSE(r.antecedent.empty());
+    EXPECT_FALSE(r.consequent.empty());
+    Itemset overlap;
+    std::set_intersection(r.antecedent.begin(), r.antecedent.end(),
+                          r.consequent.begin(), r.consequent.end(),
+                          std::back_inserter(overlap));
+    EXPECT_TRUE(overlap.empty());
+    EXPECT_GE(r.confidence, 0.3);
+    EXPECT_LE(r.confidence, 1.0 + 1e-12);
+    // confidence = support(union) / support(antecedent), verified exactly.
+    uint64_t ant = testing::BruteForceSupport(db, r.antecedent);
+    uint64_t both = testing::BruteForceSupport(
+        db, UnionOf(r.antecedent, r.consequent));
+    EXPECT_EQ(r.support, both);
+    EXPECT_DOUBLE_EQ(r.confidence, static_cast<double>(both) /
+                                       static_cast<double>(ant));
+  }
+}
+
+TEST(RulesTest, SortedByConfidenceAndCapped) {
+  TransactionDatabase db = testing::RandomDb(7, 300, 25, 6.0);
+  MiningResult mined = MineExact(db, 0.03);
+  RuleConfig config;
+  config.min_confidence = 0.2;
+  std::vector<AssociationRule> all = GenerateRules(mined, db.size(), config);
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_GE(all[i - 1].confidence, all[i].confidence);
+  }
+  if (all.size() > 3) {
+    config.max_rules = 3;
+    std::vector<AssociationRule> capped =
+        GenerateRules(mined, db.size(), config);
+    ASSERT_EQ(capped.size(), 3u);
+    for (size_t i = 0; i < 3; ++i) EXPECT_TRUE(capped[i] == all[i]);
+  }
+}
+
+TEST(RulesTest, EmptyInputs) {
+  MiningResult empty;
+  EXPECT_TRUE(GenerateRules(empty, 100, RuleConfig{}).empty());
+
+  // Only singletons: no rules possible.
+  TransactionDatabase db = testing::MakeDb({{1}, {2}});
+  MiningResult mined = MineExact(db, 0.4);
+  EXPECT_TRUE(GenerateRules(mined, db.size(), RuleConfig{}).empty());
+}
+
+}  // namespace
+}  // namespace bbsmine

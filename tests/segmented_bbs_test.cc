@@ -1,0 +1,143 @@
+#include "core/segmented_bbs.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "testing/reference.h"
+
+namespace bbsmine {
+namespace {
+
+std::string TempPrefix(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+void RemoveSegments(const std::string& prefix, size_t count) {
+  std::remove((prefix + ".manifest").c_str());
+  for (size_t i = 0; i < count; ++i) {
+    std::remove((prefix + ".seg" + std::to_string(i)).c_str());
+  }
+}
+
+BbsConfig SmallConfig() {
+  BbsConfig config;
+  config.num_bits = 96;
+  config.num_hashes = 3;
+  return config;
+}
+
+TEST(SegmentedBbsTest, CreateValidates) {
+  EXPECT_FALSE(SegmentedBbs::Create(SmallConfig(), 0).ok());
+  BbsConfig bad;
+  bad.num_bits = 0;
+  EXPECT_FALSE(SegmentedBbs::Create(bad, 100).ok());
+  EXPECT_TRUE(SegmentedBbs::Create(SmallConfig(), 100).ok());
+}
+
+TEST(SegmentedBbsTest, SegmentsRollOverAtCapacity) {
+  auto bbs = SegmentedBbs::Create(SmallConfig(), 10);
+  ASSERT_TRUE(bbs.ok());
+  for (int i = 0; i < 25; ++i) bbs->Insert({static_cast<ItemId>(i % 7)});
+  EXPECT_EQ(bbs->num_transactions(), 25u);
+  EXPECT_EQ(bbs->num_segments(), 3u);
+  EXPECT_EQ(bbs->segment(0).num_transactions(), 10u);
+  EXPECT_EQ(bbs->segment(1).num_transactions(), 10u);
+  EXPECT_EQ(bbs->segment(2).num_transactions(), 5u);
+}
+
+TEST(SegmentedBbsTest, CountsMatchMonolithicIndex) {
+  TransactionDatabase db = testing::RandomDb(5, 300, 40, 6.0);
+  auto segmented = SegmentedBbs::Create(SmallConfig(), 64);
+  auto monolithic = BbsIndex::Create(SmallConfig());
+  ASSERT_TRUE(segmented.ok() && monolithic.ok());
+  for (size_t t = 0; t < db.size(); ++t) {
+    segmented->Insert(db.At(t).items);
+    monolithic->Insert(db.At(t).items);
+  }
+
+  for (Itemset items : std::vector<Itemset>{{1}, {2, 5}, {3, 9, 12}, {}}) {
+    EXPECT_EQ(segmented->CountItemSet(items),
+              monolithic->CountItemSet(items))
+        << ItemsetToString(items);
+  }
+}
+
+TEST(SegmentedBbsTest, NeverUnderestimates) {
+  TransactionDatabase db = testing::RandomDb(9, 400, 30, 5.0);
+  auto bbs = SegmentedBbs::Create(SmallConfig(), 50);
+  ASSERT_TRUE(bbs.ok());
+  for (size_t t = 0; t < db.size(); ++t) bbs->Insert(db.At(t).items);
+  for (Itemset items : std::vector<Itemset>{{1}, {2, 3}, {4, 5, 6}}) {
+    EXPECT_GE(bbs->CountItemSet(items), testing::BruteForceSupport(db, items));
+  }
+}
+
+TEST(SegmentedBbsTest, PerSegmentCountsSumToTotal) {
+  TransactionDatabase db = testing::RandomDb(13, 200, 20, 5.0);
+  auto bbs = SegmentedBbs::Create(SmallConfig(), 30);
+  ASSERT_TRUE(bbs.ok());
+  for (size_t t = 0; t < db.size(); ++t) bbs->Insert(db.At(t).items);
+
+  Itemset items = {1, 2};
+  std::vector<size_t> per_segment = bbs->CountPerSegment(items);
+  EXPECT_EQ(per_segment.size(), bbs->num_segments());
+  size_t sum = 0;
+  for (size_t c : per_segment) sum += c;
+  EXPECT_EQ(sum, bbs->CountItemSet(items));
+}
+
+TEST(SegmentedBbsTest, ExactItemCountsAccumulate) {
+  auto bbs = SegmentedBbs::Create(SmallConfig(), 3);
+  ASSERT_TRUE(bbs.ok());
+  for (int i = 0; i < 10; ++i) bbs->Insert({7});
+  EXPECT_EQ(bbs->ExactItemCount(7), 10u);
+  EXPECT_EQ(bbs->ExactItemCount(8), 0u);
+}
+
+TEST(SegmentedBbsTest, SaveLoadRoundTrip) {
+  TransactionDatabase db = testing::RandomDb(17, 120, 30, 5.0);
+  auto bbs = SegmentedBbs::Create(SmallConfig(), 40);
+  ASSERT_TRUE(bbs.ok());
+  for (size_t t = 0; t < db.size(); ++t) bbs->Insert(db.At(t).items);
+
+  std::string prefix = TempPrefix("bbsmine_segmented_roundtrip");
+  ASSERT_TRUE(bbs->Save(prefix).ok());
+  auto loaded = SegmentedBbs::Load(prefix);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(*loaded == *bbs);
+  EXPECT_EQ(loaded->CountItemSet({1, 2}), bbs->CountItemSet({1, 2}));
+  RemoveSegments(prefix, bbs->num_segments());
+}
+
+TEST(SegmentedBbsTest, LoadDetectsMissingSegment) {
+  auto bbs = SegmentedBbs::Create(SmallConfig(), 5);
+  ASSERT_TRUE(bbs.ok());
+  for (int i = 0; i < 12; ++i) bbs->Insert({static_cast<ItemId>(i)});
+  std::string prefix = TempPrefix("bbsmine_segmented_missing");
+  ASSERT_TRUE(bbs->Save(prefix).ok());
+  std::remove((prefix + ".seg1").c_str());
+  auto loaded = SegmentedBbs::Load(prefix);
+  EXPECT_FALSE(loaded.ok());
+  RemoveSegments(prefix, bbs->num_segments());
+}
+
+TEST(SegmentedBbsTest, AppendAfterLoadKeepsCounting) {
+  auto bbs = SegmentedBbs::Create(SmallConfig(), 4);
+  ASSERT_TRUE(bbs.ok());
+  for (int i = 0; i < 6; ++i) bbs->Insert({1, 2});
+  std::string prefix = TempPrefix("bbsmine_segmented_append");
+  ASSERT_TRUE(bbs->Save(prefix).ok());
+
+  auto loaded = SegmentedBbs::Load(prefix);
+  ASSERT_TRUE(loaded.ok());
+  loaded->Insert({1, 2});
+  EXPECT_EQ(loaded->num_transactions(), 7u);
+  EXPECT_GE(loaded->CountItemSet({1, 2}), 7u);
+  EXPECT_EQ(loaded->ExactItemCount(1), 7u);
+  RemoveSegments(prefix, loaded->num_segments());
+}
+
+}  // namespace
+}  // namespace bbsmine

@@ -1,0 +1,109 @@
+#include "testing/reference.h"
+
+#include <algorithm>
+#include <map>
+
+namespace bbsmine::testing {
+
+namespace {
+
+struct TidList {
+  ItemId item;
+  std::vector<uint32_t> tids;
+};
+
+void EclatRecurse(const std::vector<TidList>& lists, size_t first,
+                  uint64_t tau, Itemset* current,
+                  std::vector<Pattern>* out) {
+  for (size_t i = first; i < lists.size(); ++i) {
+    if (lists[i].tids.size() < tau) continue;
+    current->push_back(lists[i].item);
+    out->push_back(Pattern{*current, lists[i].tids.size()});
+
+    // Intersect every later list with this one.
+    std::vector<TidList> next;
+    for (size_t j = i + 1; j < lists.size(); ++j) {
+      TidList merged{lists[j].item, {}};
+      std::set_intersection(lists[i].tids.begin(), lists[i].tids.end(),
+                            lists[j].tids.begin(), lists[j].tids.end(),
+                            std::back_inserter(merged.tids));
+      if (merged.tids.size() >= tau) next.push_back(std::move(merged));
+    }
+    EclatRecurse(next, 0, tau, current, out);
+    current->pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<Pattern> BruteForceMine(const TransactionDatabase& db,
+                                    uint64_t tau) {
+  std::map<ItemId, std::vector<uint32_t>> by_item;
+  for (size_t t = 0; t < db.size(); ++t) {
+    for (ItemId item : db.At(t).items) {
+      by_item[item].push_back(static_cast<uint32_t>(t));
+    }
+  }
+  std::vector<TidList> lists;
+  for (auto& [item, tids] : by_item) {
+    lists.push_back(TidList{item, std::move(tids)});
+  }
+
+  std::vector<Pattern> out;
+  Itemset current;
+  EclatRecurse(lists, 0, tau, &current, &out);
+  std::sort(out.begin(), out.end(),
+            [](const Pattern& a, const Pattern& b) { return a.items < b.items; });
+  return out;
+}
+
+uint64_t BruteForceSupport(const TransactionDatabase& db,
+                           const Itemset& items) {
+  uint64_t count = 0;
+  for (size_t t = 0; t < db.size(); ++t) {
+    if (IsSubsetOf(items, db.At(t).items)) ++count;
+  }
+  return count;
+}
+
+TransactionDatabase MakeDb(std::initializer_list<Itemset> transactions) {
+  TransactionDatabase db;
+  for (const Itemset& items : transactions) db.Append(items);
+  return db;
+}
+
+TransactionDatabase PaperExampleDb() {
+  TransactionDatabase db;
+  db.AppendTransaction(Transaction{100, {0, 1, 2, 3, 4, 5, 14, 15}});
+  db.AppendTransaction(Transaction{200, {1, 2, 3, 5, 6, 7}});
+  db.AppendTransaction(Transaction{300, {1, 5, 14, 15}});
+  db.AppendTransaction(Transaction{400, {0, 1, 2, 7}});
+  db.AppendTransaction(Transaction{500, {1, 2, 5, 6, 11, 15}});
+  return db;
+}
+
+TransactionDatabase RandomDb(uint64_t seed, size_t num_transactions,
+                             ItemId universe, double avg_len) {
+  Rng rng(seed);
+  TransactionDatabase db;
+  Itemset items;
+  for (size_t t = 0; t < num_transactions; ++t) {
+    size_t len = std::max<uint64_t>(1, rng.Poisson(avg_len));
+    items.clear();
+    for (size_t i = 0; i < len; ++i) {
+      items.push_back(static_cast<ItemId>(rng.Uniform(universe)));
+    }
+    db.Append(items);
+  }
+  return db;
+}
+
+std::vector<Itemset> ItemsetsOf(const std::vector<Pattern>& patterns) {
+  std::vector<Itemset> out;
+  out.reserve(patterns.size());
+  for (const Pattern& p : patterns) out.push_back(p.items);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace bbsmine::testing

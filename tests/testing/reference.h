@@ -1,0 +1,45 @@
+// Test-support helpers: a brute-force reference miner and database builders
+// used across the test suite to validate every mining algorithm against
+// ground truth.
+
+#ifndef BBSMINE_TESTS_TESTING_REFERENCE_H_
+#define BBSMINE_TESTS_TESTING_REFERENCE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "core/mining_types.h"
+#include "storage/transaction_db.h"
+#include "util/rng.h"
+
+namespace bbsmine::testing {
+
+/// Exact frequent-pattern mining by tidset intersection (Eclat-style DFS).
+/// Intended for small/medium databases; the result is sorted
+/// lexicographically by itemset.
+std::vector<Pattern> BruteForceMine(const TransactionDatabase& db,
+                                    uint64_t tau);
+
+/// Exact support of one itemset by full scan.
+uint64_t BruteForceSupport(const TransactionDatabase& db,
+                           const Itemset& items);
+
+/// Builds a database from literal itemsets (TIDs auto-assigned 0, 1, ...).
+TransactionDatabase MakeDb(std::initializer_list<Itemset> transactions);
+
+/// The paper's running example (Table 1): five transactions over items
+/// 0..15, TIDs 100..500.
+TransactionDatabase PaperExampleDb();
+
+/// A random database: `num_transactions` transactions of ~`avg_len` items
+/// drawn uniformly from [0, universe).
+TransactionDatabase RandomDb(uint64_t seed, size_t num_transactions,
+                             ItemId universe, double avg_len);
+
+/// Extracts the sorted itemsets of a pattern list (drops supports).
+std::vector<Itemset> ItemsetsOf(const std::vector<Pattern>& patterns);
+
+}  // namespace bbsmine::testing
+
+#endif  // BBSMINE_TESTS_TESTING_REFERENCE_H_

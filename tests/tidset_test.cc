@@ -1,0 +1,141 @@
+#include "core/tidset.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace bbsmine {
+namespace {
+
+BitVector RandomVector(size_t bits, double density, uint64_t seed) {
+  Rng rng(seed);
+  BitVector v(bits);
+  for (size_t i = 0; i < bits; ++i) {
+    if (rng.Bernoulli(density)) v.Set(i);
+  }
+  return v;
+}
+
+TEST(TidSetTest, AllOfIsDenseAndFull) {
+  TidSet all = TidSet::AllOf(100);
+  EXPECT_FALSE(all.sparse());
+  EXPECT_EQ(all.count(), 100u);
+  EXPECT_EQ(all.dense().Count(), 100u);
+}
+
+TEST(TidSetTest, FromDenseStaysDenseAboveThreshold) {
+  BitVector v(200, true);
+  TidSet set = TidSet::FromDense(v, /*sparse_threshold=*/50);
+  EXPECT_FALSE(set.sparse());
+  EXPECT_EQ(set.count(), 200u);
+}
+
+TEST(TidSetTest, FromDenseConvertsBelowThreshold) {
+  BitVector v(200);
+  v.Set(3);
+  v.Set(150);
+  TidSet set = TidSet::FromDense(v, 50);
+  EXPECT_TRUE(set.sparse());
+  EXPECT_EQ(set.count(), 2u);
+  EXPECT_EQ(set.tids(), (std::vector<uint32_t>{3, 150}));
+}
+
+TEST(TidSetTest, DenseIntersectionMatchesBitVector) {
+  BitVector a = RandomVector(500, 0.4, 1);
+  BitVector b = RandomVector(500, 0.4, 2);
+  TidSet parent = TidSet::FromDense(a, 0);  // stays dense
+  TidSet out;
+  size_t count = out.AssignIntersection(parent, b, /*sparse_threshold=*/0);
+  BitVector expected = a;
+  expected.AndWith(b);
+  EXPECT_EQ(count, expected.Count());
+  EXPECT_FALSE(out.sparse());
+  EXPECT_EQ(out.dense(), expected);
+}
+
+TEST(TidSetTest, DenseIntersectionConvertsToSparse) {
+  BitVector a = RandomVector(500, 0.1, 3);
+  BitVector b = RandomVector(500, 0.1, 4);
+  TidSet parent = TidSet::FromDense(a, 0);
+  TidSet out;
+  size_t count = out.AssignIntersection(parent, b, /*sparse_threshold=*/500);
+  EXPECT_TRUE(out.sparse());
+  BitVector expected = a;
+  expected.AndWith(b);
+  EXPECT_EQ(count, expected.Count());
+  EXPECT_EQ(out.tids(), expected.SetBits());
+}
+
+TEST(TidSetTest, SparseIntersectionMatchesDense) {
+  BitVector a = RandomVector(500, 0.05, 5);
+  BitVector b = RandomVector(500, 0.5, 6);
+  TidSet parent = TidSet::FromDense(a, 500);  // sparse
+  ASSERT_TRUE(parent.sparse());
+  TidSet out;
+  size_t count = out.AssignIntersection(parent, b, 500);
+  BitVector expected = a;
+  expected.AndWith(b);
+  EXPECT_EQ(count, expected.Count());
+  EXPECT_EQ(out.tids(), expected.SetBits());
+}
+
+TEST(TidSetTest, EarlyAbortReturnsBelowMinCount) {
+  // Parent has 10 positions, none in `with`: with min_count 5 the loop may
+  // abort early, but the returned count must stay below min_count.
+  BitVector with(100);
+  TidSet parent;
+  parent.AssignSparse({1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+  TidSet out;
+  size_t count = out.AssignIntersection(parent, with, 100, /*min_count=*/5);
+  EXPECT_LT(count, 5u);
+}
+
+TEST(TidSetTest, EarlyAbortNeverDropsReachableCounts) {
+  // Whenever the true intersection count reaches min_count, the early abort
+  // must not fire and the exact count must be returned.
+  Rng rng(9);
+  for (int trial = 0; trial < 50; ++trial) {
+    BitVector a = RandomVector(300, 0.3, 100 + trial);
+    BitVector b = RandomVector(300, 0.3, 200 + trial);
+    BitVector expected = a;
+    expected.AndWith(b);
+    size_t true_count = expected.Count();
+
+    TidSet parent = TidSet::FromDense(a, 300);  // sparse
+    TidSet out;
+    uint64_t min_count = 1 + rng.Uniform(30);
+    size_t count = out.AssignIntersection(parent, b, 300, min_count);
+    if (true_count >= min_count) {
+      EXPECT_EQ(count, true_count);
+      EXPECT_EQ(out.tids(), expected.SetBits());
+    } else {
+      EXPECT_LT(count, min_count);
+    }
+  }
+}
+
+TEST(TidSetTest, AppendPositionsBothRepresentations) {
+  BitVector v(128);
+  v.Set(0);
+  v.Set(64);
+  v.Set(127);
+  TidSet dense = TidSet::FromDense(v, 0);
+  TidSet sparse = TidSet::FromDense(v, 128);
+  std::vector<uint32_t> from_dense;
+  std::vector<uint32_t> from_sparse;
+  dense.AppendPositions(&from_dense);
+  sparse.AppendPositions(&from_sparse);
+  EXPECT_EQ(from_dense, (std::vector<uint32_t>{0, 64, 127}));
+  EXPECT_EQ(from_dense, from_sparse);
+}
+
+TEST(TidSetTest, AssignSparseReplacesContents) {
+  TidSet set = TidSet::AllOf(50);
+  set.AssignSparse({7, 9});
+  EXPECT_TRUE(set.sparse());
+  EXPECT_EQ(set.count(), 2u);
+  EXPECT_EQ(set.tids(), (std::vector<uint32_t>{7, 9}));
+}
+
+}  // namespace
+}  // namespace bbsmine

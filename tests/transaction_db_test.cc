@@ -1,0 +1,201 @@
+// Tests for the transaction model and the transaction database (including
+// on-disk round-trips, the TID index and I/O accounting).
+
+#include "storage/transaction_db.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "storage/transaction.h"
+#include "testing/reference.h"
+
+namespace bbsmine {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// --- Itemset helpers -----------------------------------------------------------
+
+TEST(ItemsetTest, CanonicalizeSortsAndDedups) {
+  Itemset items = {5, 1, 3, 1, 5};
+  Canonicalize(&items);
+  EXPECT_EQ(items, (Itemset{1, 3, 5}));
+}
+
+TEST(ItemsetTest, SubsetChecks) {
+  Itemset small = {1, 3};
+  Itemset big = {1, 2, 3, 4};
+  EXPECT_TRUE(IsSubsetOf(small, big));
+  EXPECT_FALSE(IsSubsetOf(big, small));
+  EXPECT_TRUE(IsSubsetOf({}, small));
+  EXPECT_TRUE(Contains(big, 4));
+  EXPECT_FALSE(Contains(big, 5));
+}
+
+TEST(ItemsetTest, UnionOf) {
+  EXPECT_EQ(UnionOf({1, 3}, {2, 3, 9}), (Itemset{1, 2, 3, 9}));
+  EXPECT_EQ(UnionOf({}, {7}), (Itemset{7}));
+}
+
+TEST(ItemsetTest, ToString) {
+  EXPECT_EQ(ItemsetToString({1, 2, 3}), "{1, 2, 3}");
+  EXPECT_EQ(ItemsetToString({}), "{}");
+}
+
+// --- TidIndex -------------------------------------------------------------------
+
+TEST(TidIndexTest, OffsetsAndSizes) {
+  TidIndex index;
+  index.Append(100);
+  index.Append(50);
+  index.Append(8);
+  EXPECT_EQ(index.size(), 3u);
+  EXPECT_EQ(index.OffsetOf(0), 0u);
+  EXPECT_EQ(index.OffsetOf(1), 100u);
+  EXPECT_EQ(index.OffsetOf(2), 150u);
+  EXPECT_EQ(index.SizeOf(0), 100u);
+  EXPECT_EQ(index.SizeOf(1), 50u);
+  EXPECT_EQ(index.SizeOf(2), 8u);
+  EXPECT_EQ(index.total_bytes(), 158u);
+}
+
+TEST(TidIndexTest, BlockMath) {
+  TidIndex index;
+  index.Append(100);   // record 0: bytes [0, 100)
+  index.Append(4000);  // record 1: bytes [100, 4100) -> blocks 0..1
+  index.Append(10);    // record 2: bytes [4100, 4110) -> block 1
+  EXPECT_EQ(index.BlockOf(0, 4096), 0u);
+  EXPECT_EQ(index.BlockSpan(0, 4096), 1u);
+  EXPECT_EQ(index.BlockOf(1, 4096), 0u);
+  EXPECT_EQ(index.BlockSpan(1, 4096), 2u);
+  EXPECT_EQ(index.BlockOf(2, 4096), 1u);
+  EXPECT_EQ(index.BlockSpan(2, 4096), 1u);
+}
+
+// --- TransactionDatabase ---------------------------------------------------------
+
+TEST(TransactionDbTest, AppendAssignsSequentialTids) {
+  TransactionDatabase db;
+  EXPECT_EQ(db.Append({3, 1}), 0u);
+  EXPECT_EQ(db.Append({2}), 1u);
+  EXPECT_EQ(db.size(), 2u);
+  EXPECT_EQ(db.At(0).items, (Itemset{1, 3})) << "items must be canonical";
+}
+
+TEST(TransactionDbTest, ExplicitTidsPreserved) {
+  TransactionDatabase db = testing::PaperExampleDb();
+  EXPECT_EQ(db.At(0).tid, 100u);
+  EXPECT_EQ(db.At(4).tid, 500u);
+  EXPECT_EQ(db.item_universe(), 16u);
+}
+
+TEST(TransactionDbTest, DistinctItems) {
+  TransactionDatabase db = testing::MakeDb({{1, 5}, {5, 9}, {1}});
+  EXPECT_EQ(db.DistinctItems(), (Itemset{1, 5, 9}));
+}
+
+TEST(TransactionDbTest, ForEachVisitsInOrderAndChargesOneScan) {
+  TransactionDatabase db = testing::PaperExampleDb();
+  IoStats io;
+  std::vector<Tid> seen;
+  db.ForEach(&io, [&](const Transaction& txn) { seen.push_back(txn.tid); });
+  EXPECT_EQ(seen, (std::vector<Tid>{100, 200, 300, 400, 500}));
+  EXPECT_EQ(io.sequential_reads,
+            BlocksFor(db.SerializedBytes(), db.block_size()));
+  EXPECT_EQ(io.random_reads, 0u);
+}
+
+TEST(TransactionDbTest, ProbeChargesRandomReads) {
+  TransactionDatabase db = testing::PaperExampleDb();
+  IoStats io;
+  const Transaction& txn = db.Probe(2, &io);
+  EXPECT_EQ(txn.tid, 300u);
+  EXPECT_EQ(io.random_reads, 1u);
+  EXPECT_EQ(io.sequential_reads, 0u);
+}
+
+TEST(TransactionDbTest, SerializedBytesMatchesRecordLayout) {
+  TransactionDatabase db;
+  db.Append({1, 2, 3});  // 8 + 4 + 12 = 24
+  db.Append({});         // 8 + 4 = 12
+  EXPECT_EQ(db.SerializedBytes(), 36u);
+}
+
+TEST(TransactionDbTest, SaveLoadRoundTrip) {
+  TransactionDatabase db = testing::PaperExampleDb();
+  std::string path = TempPath("bbsmine_db_roundtrip.bin");
+  ASSERT_TRUE(db.Save(path).ok());
+
+  Result<TransactionDatabase> loaded = TransactionDatabase::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(*loaded == db);
+  EXPECT_EQ(loaded->item_universe(), db.item_universe());
+  std::remove(path.c_str());
+}
+
+TEST(TransactionDbTest, SaveLoadEmptyDatabase) {
+  TransactionDatabase db;
+  std::string path = TempPath("bbsmine_db_empty.bin");
+  ASSERT_TRUE(db.Save(path).ok());
+  Result<TransactionDatabase> loaded = TransactionDatabase::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(TransactionDbTest, LoadMissingFileFails) {
+  Result<TransactionDatabase> loaded =
+      TransactionDatabase::Load(TempPath("bbsmine_db_does_not_exist.bin"));
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(TransactionDbTest, LoadRejectsBadMagic) {
+  std::string path = TempPath("bbsmine_db_badmagic.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOTADB!!garbagegarbage";
+  }
+  Result<TransactionDatabase> loaded = TransactionDatabase::Load(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(TransactionDbTest, LoadRejectsCorruptedPayload) {
+  TransactionDatabase db = testing::PaperExampleDb();
+  std::string path = TempPath("bbsmine_db_corrupt.bin");
+  ASSERT_TRUE(db.Save(path).ok());
+  {
+    // Flip a byte in the payload region (past the 16-byte header).
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(30);
+    char byte;
+    f.seekg(30);
+    f.get(byte);
+    f.seekp(30);
+    f.put(static_cast<char>(byte ^ 0x7f));
+  }
+  Result<TransactionDatabase> loaded = TransactionDatabase::Load(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(TransactionDbTest, LoadRejectsTruncatedFile) {
+  TransactionDatabase db = testing::PaperExampleDb();
+  std::string path = TempPath("bbsmine_db_truncated.bin");
+  ASSERT_TRUE(db.Save(path).ok());
+  std::filesystem::resize_file(path, 20);
+  Result<TransactionDatabase> loaded = TransactionDatabase::Load(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace bbsmine

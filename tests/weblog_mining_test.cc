@@ -1,0 +1,135 @@
+// Integration: mining the dynamic web-log workload — all algorithms agree
+// day after day while the BBS absorbs each batch incrementally, and rules /
+// condensed patterns behave downstream.
+
+#include <gtest/gtest.h>
+
+#include "baseline/apriori.h"
+#include "baseline/fp_tree.h"
+#include "core/miner.h"
+#include "core/pattern_sets.h"
+#include "core/rules.h"
+#include "datagen/weblog_gen.h"
+#include "testing/reference.h"
+
+namespace bbsmine {
+namespace {
+
+TEST(WebLogMiningTest, AllAlgorithmsAgreeAcrossDays) {
+  WebLogConfig weblog;
+  weblog.num_files = 500;
+  weblog.transactions_per_day = 800;
+  weblog.num_bundles = 40;
+  auto gen = WebLogGenerator::Create(weblog);
+  ASSERT_TRUE(gen.ok());
+
+  BbsConfig config;
+  config.num_bits = 200;
+  config.num_hashes = 3;
+  auto bbs = BbsIndex::Create(config);
+  ASSERT_TRUE(bbs.ok());
+
+  TransactionDatabase db;
+  double min_support = 0.02;
+
+  for (int day = 1; day <= 3; ++day) {
+    size_t before = db.size();
+    gen->GenerateDay(&db);
+    for (size_t t = before; t < db.size(); ++t) bbs->Insert(db.At(t).items);
+
+    AprioriConfig aps;
+    aps.min_support = min_support;
+    MiningResult apriori = MineApriori(db, aps);
+    apriori.SortPatterns();
+    std::vector<Itemset> reference = testing::ItemsetsOf(apriori.patterns);
+    ASSERT_FALSE(reference.empty()) << "day " << day;
+
+    FpGrowthConfig fps;
+    fps.min_support = min_support;
+    MiningResult fp = MineFpGrowth(db, fps);
+    fp.SortPatterns();
+    EXPECT_EQ(testing::ItemsetsOf(fp.patterns), reference) << "day " << day;
+
+    MineConfig mine;
+    mine.algorithm = Algorithm::kDFP;
+    mine.min_support = min_support;
+    MiningResult dfp = MineFrequentPatterns(db, *bbs, mine);
+    dfp.SortPatterns();
+    EXPECT_EQ(testing::ItemsetsOf(dfp.patterns), reference) << "day " << day;
+  }
+}
+
+TEST(WebLogMiningTest, BundlesProduceMultiItemPatternsAndRules) {
+  WebLogConfig weblog;
+  weblog.num_files = 400;
+  weblog.transactions_per_day = 2'000;
+  weblog.num_bundles = 30;
+  weblog.bundle_prob = 0.6;
+  auto gen = WebLogGenerator::Create(weblog);
+  ASSERT_TRUE(gen.ok());
+  TransactionDatabase db;
+  gen->GenerateDay(&db);
+
+  FpGrowthConfig fps;
+  fps.min_support = 0.02;
+  MiningResult mined = MineFpGrowth(db, fps);
+  mined.SortPatterns();
+
+  size_t multi = 0;
+  for (const Pattern& p : mined.patterns) multi += p.items.size() >= 2;
+  EXPECT_GT(multi, 10u) << "bundles must create co-access patterns";
+
+  // Rules over bundle members should reach high confidence.
+  RuleConfig rules_config;
+  rules_config.min_confidence = 0.6;
+  std::vector<AssociationRule> rules =
+      GenerateRules(mined, db.size(), rules_config);
+  EXPECT_FALSE(rules.empty());
+
+  // The condensations shrink the collection.
+  std::vector<Pattern> closed = ClosedPatterns(mined.patterns);
+  std::vector<Pattern> maximal = MaximalPatterns(mined.patterns);
+  EXPECT_LE(maximal.size(), closed.size());
+  EXPECT_LE(closed.size(), mined.patterns.size());
+  EXPECT_LT(maximal.size(), mined.patterns.size());
+}
+
+TEST(WebLogMiningTest, ChurnShiftsFrequentSingletons) {
+  WebLogConfig weblog;
+  weblog.num_files = 300;
+  weblog.transactions_per_day = 1'500;
+  weblog.daily_churn = 0.5;  // aggressive churn for the test
+  weblog.num_bundles = 0;    // isolate the singleton story
+  auto gen = WebLogGenerator::Create(weblog);
+  ASSERT_TRUE(gen.ok());
+
+  TransactionDatabase day1;
+  gen->GenerateDay(&day1);
+  TransactionDatabase day2;
+  // A few extra days of churn between snapshots.
+  gen->GenerateDay(&day2);
+  day2 = TransactionDatabase();
+  gen->GenerateDay(&day2);
+
+  auto frequent_items = [](const TransactionDatabase& db) {
+    FpGrowthConfig config;
+    config.min_support = 0.02;
+    std::set<ItemId> items;
+    for (const Pattern& p : MineFpGrowth(db, config).patterns) {
+      if (p.items.size() == 1) items.insert(p.items[0]);
+    }
+    return items;
+  };
+  std::set<ItemId> f1 = frequent_items(day1);
+  std::set<ItemId> f2 = frequent_items(day2);
+  ASSERT_FALSE(f1.empty());
+  ASSERT_FALSE(f2.empty());
+  std::vector<ItemId> stayed;
+  std::set_intersection(f1.begin(), f1.end(), f2.begin(), f2.end(),
+                        std::back_inserter(stayed));
+  // With 50% churn twice, a substantial share of hot files must rotate.
+  EXPECT_LT(stayed.size(), f1.size());
+}
+
+}  // namespace
+}  // namespace bbsmine

@@ -1,0 +1,482 @@
+// bbsmine — command-line front end for the BBS mining library.
+//
+// Subcommands:
+//   gen      generate a Quest-style synthetic dataset
+//   convert  convert between FIMI text and the binary database format
+//   build    build a BBS index over a database
+//   stats    show database / index statistics
+//   mine     mine frequent patterns (SFS/SFP/DFS/DFP/apriori/fpgrowth)
+//   count    ad-hoc exact count of an itemset (optionally TID-constrained)
+//
+// Examples:
+//   bbsmine gen --txns 10000 --items 10000 --t 10 --i 10 --out data.fimi
+//   bbsmine convert --in data.fimi --out data.db
+//   bbsmine build --db data.db --bits 1600 --hashes 4 --out data.bbs
+//   bbsmine mine --db data.db --index data.bbs --algo dfp --minsup 0.003
+//   bbsmine count --db data.db --index data.bbs --items 3,17,42 --tid-mod 7:0
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baseline/apriori.h"
+#include "baseline/eclat.h"
+#include "baseline/fp_tree.h"
+#include "core/adhoc.h"
+#include "core/approximate.h"
+#include "core/bbs_index.h"
+#include "core/miner.h"
+#include "core/pattern_sets.h"
+#include "core/rules.h"
+#include "datagen/quest_gen.h"
+#include "storage/fimi_io.h"
+#include "storage/transaction_db.h"
+
+using namespace bbsmine;
+
+namespace {
+
+/// Minimal --flag value parser: flags map to their (string) values;
+/// bare flags map to "true".
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        std::cerr << "unexpected argument: " << arg << "\n";
+        std::exit(2);
+      }
+      std::string key = arg.substr(2);
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "true";
+      }
+    }
+  }
+
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  std::string Require(const std::string& key) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) {
+      std::cerr << "missing required flag --" << key << "\n";
+      std::exit(2);
+    }
+    return it->second;
+  }
+
+  uint64_t GetUint(const std::string& key, uint64_t fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::strtoull(it->second.c_str(),
+                                                          nullptr, 10);
+  }
+
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback
+                               : std::strtod(it->second.c_str(), nullptr);
+  }
+
+  bool GetBool(const std::string& key) const {
+    return GetString(key) == "true";
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+[[noreturn]] void Die(const Status& status) {
+  std::cerr << "error: " << status.ToString() << "\n";
+  std::exit(1);
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+TransactionDatabase LoadDb(const std::string& path) {
+  if (EndsWith(path, ".fimi") || EndsWith(path, ".dat") ||
+      EndsWith(path, ".txt")) {
+    auto db = ReadFimi(path);
+    if (!db.ok()) Die(db.status());
+    return std::move(db).value();
+  }
+  auto db = TransactionDatabase::Load(path);
+  if (!db.ok()) Die(db.status());
+  return std::move(db).value();
+}
+
+Itemset ParseItems(const std::string& spec) {
+  Itemset items;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    items.push_back(static_cast<ItemId>(
+        std::strtoul(spec.substr(pos, comma - pos).c_str(), nullptr, 10)));
+    pos = comma + 1;
+  }
+  Canonicalize(&items);
+  return items;
+}
+
+int CmdGen(const Args& args) {
+  QuestConfig config;
+  config.num_transactions = static_cast<uint32_t>(args.GetUint("txns", 10'000));
+  config.num_items = static_cast<uint32_t>(args.GetUint("items", 10'000));
+  config.avg_transaction_size = args.GetDouble("t", 10);
+  config.avg_pattern_size = args.GetDouble("i", 10);
+  config.num_patterns = static_cast<uint32_t>(args.GetUint("patterns", 2'000));
+  config.seed = args.GetUint("seed", 42);
+  std::string out = args.Require("out");
+
+  auto db = GenerateQuest(config);
+  if (!db.ok()) Die(db.status());
+  Status status = EndsWith(out, ".fimi") || EndsWith(out, ".dat")
+                      ? WriteFimi(*db, out)
+                      : db->Save(out);
+  if (!status.ok()) Die(status);
+  std::printf("wrote %zu transactions (%llu bytes of records) to %s\n",
+              db->size(),
+              static_cast<unsigned long long>(db->SerializedBytes()),
+              out.c_str());
+  return 0;
+}
+
+int CmdConvert(const Args& args) {
+  TransactionDatabase db = LoadDb(args.Require("in"));
+  std::string out = args.Require("out");
+  Status status = EndsWith(out, ".fimi") || EndsWith(out, ".dat")
+                      ? WriteFimi(db, out)
+                      : db.Save(out);
+  if (!status.ok()) Die(status);
+  std::printf("converted %zu transactions to %s\n", db.size(), out.c_str());
+  return 0;
+}
+
+int CmdBuild(const Args& args) {
+  TransactionDatabase db = LoadDb(args.Require("db"));
+  BbsConfig config;
+  config.num_bits = static_cast<uint32_t>(args.GetUint("bits", 1600));
+  config.num_hashes = static_cast<uint32_t>(args.GetUint("hashes", 4));
+  std::string hash = args.GetString("hash", "md5");
+  if (hash == "md5") {
+    config.hash_kind = HashKind::kMd5;
+  } else if (hash == "mult") {
+    config.hash_kind = HashKind::kMultiplyShift;
+  } else if (hash == "mod") {
+    config.hash_kind = HashKind::kModulo;
+  } else {
+    std::cerr << "unknown --hash (use md5 | mult | mod)\n";
+    return 2;
+  }
+  config.seed = args.GetUint("seed", 0);
+
+  auto bbs = BbsIndex::Create(config);
+  if (!bbs.ok()) Die(bbs.status());
+  bbs->InsertAll(db);
+  std::string out = args.Require("out");
+  if (Status st = bbs->Save(out); !st.ok()) Die(st);
+  std::printf("built BBS: m=%u, k=%u, %zu transactions, %llu bytes -> %s\n",
+              bbs->num_bits(), config.num_hashes, bbs->num_transactions(),
+              static_cast<unsigned long long>(bbs->SerializedBytes()),
+              out.c_str());
+  return 0;
+}
+
+int CmdStats(const Args& args) {
+  if (std::string path = args.GetString("db"); !path.empty()) {
+    TransactionDatabase db = LoadDb(path);
+    uint64_t total_items = 0;
+    size_t max_len = 0;
+    for (size_t t = 0; t < db.size(); ++t) {
+      total_items += db.At(t).items.size();
+      max_len = std::max(max_len, db.At(t).items.size());
+    }
+    std::printf("database %s:\n  transactions: %zu\n  item universe: %u\n"
+                "  distinct items: %zu\n  avg txn length: %.2f (max %zu)\n"
+                "  serialized bytes: %llu\n",
+                path.c_str(), db.size(), db.item_universe(),
+                db.DistinctItems().size(),
+                db.empty() ? 0.0
+                           : static_cast<double>(total_items) /
+                                 static_cast<double>(db.size()),
+                max_len,
+                static_cast<unsigned long long>(db.SerializedBytes()));
+  }
+  if (std::string path = args.GetString("index"); !path.empty()) {
+    auto bbs = BbsIndex::Load(path);
+    if (!bbs.ok()) Die(bbs.status());
+    size_t min_pop = SIZE_MAX;
+    size_t max_pop = 0;
+    uint64_t total_pop = 0;
+    for (uint32_t s = 0; s < bbs->num_bits(); ++s) {
+      size_t pop = bbs->SlicePopcount(s);
+      min_pop = std::min(min_pop, pop);
+      max_pop = std::max(max_pop, pop);
+      total_pop += pop;
+    }
+    std::printf("index %s:\n  m=%u bits, k=%u hashes, hash kind %d%s\n"
+                "  transactions: %zu\n  serialized bytes: %llu\n"
+                "  slice popcount min/avg/max: %zu / %.1f / %zu\n",
+                path.c_str(), bbs->num_bits(), bbs->config().num_hashes,
+                static_cast<int>(bbs->config().hash_kind),
+                bbs->is_folded() ? " (folded)" : "",
+                bbs->num_transactions(),
+                static_cast<unsigned long long>(bbs->SerializedBytes()),
+                min_pop == SIZE_MAX ? 0 : min_pop,
+                bbs->num_bits()
+                    ? static_cast<double>(total_pop) / bbs->num_bits()
+                    : 0.0,
+                max_pop);
+  }
+  return 0;
+}
+
+int CmdMine(const Args& args) {
+  TransactionDatabase db = LoadDb(args.Require("db"));
+  double min_support = args.GetDouble("minsup", 0.003);
+  std::string algo = args.GetString("algo", "dfp");
+  size_t top = args.GetUint("top", 10);
+
+  MiningResult result;
+  if (algo == "apriori") {
+    AprioriConfig config;
+    config.min_support = min_support;
+    config.memory_budget_bytes = args.GetUint("budget", 0);
+    result = MineApriori(db, config);
+  } else if (algo == "eclat") {
+    EclatConfig config;
+    config.min_support = min_support;
+    result = MineEclat(db, config);
+  } else if (algo == "fpgrowth") {
+    FpGrowthConfig config;
+    config.min_support = min_support;
+    config.memory_budget_bytes = args.GetUint("budget", 0);
+    result = MineFpGrowth(db, config);
+  } else {
+    MineConfig config;
+    config.min_support = min_support;
+    config.memory_budget_bytes = args.GetUint("budget", 0);
+    if (algo == "sfs") {
+      config.algorithm = Algorithm::kSFS;
+    } else if (algo == "sfp") {
+      config.algorithm = Algorithm::kSFP;
+    } else if (algo == "dfs") {
+      config.algorithm = Algorithm::kDFS;
+    } else if (algo == "dfp") {
+      config.algorithm = Algorithm::kDFP;
+    } else {
+      std::cerr
+          << "unknown --algo (sfs|sfp|dfs|dfp|apriori|fpgrowth|eclat)\n";
+      return 2;
+    }
+    auto bbs = BbsIndex::Load(args.Require("index"));
+    if (!bbs.ok()) Die(bbs.status());
+    if (bbs->num_transactions() != db.size()) {
+      std::cerr << "index/database mismatch: " << bbs->num_transactions()
+                << " vs " << db.size() << " transactions\n";
+      return 1;
+    }
+    result = MineFrequentPatterns(db, *bbs, config);
+  }
+
+  std::printf(
+      "%zu frequent patterns (minsup %.4f%%, tau %llu)\n"
+      "candidates %llu, false drops %llu, certified %llu, db scans %llu, "
+      "%.1f ms\n",
+      result.patterns.size(), min_support * 100,
+      static_cast<unsigned long long>(
+          AbsoluteThreshold(min_support, db.size())),
+      static_cast<unsigned long long>(result.stats.candidates),
+      static_cast<unsigned long long>(result.stats.false_drops),
+      static_cast<unsigned long long>(result.stats.certified),
+      static_cast<unsigned long long>(result.stats.db_scans),
+      result.stats.total_seconds * 1e3);
+
+  std::sort(result.patterns.begin(), result.patterns.end(),
+            [](const Pattern& a, const Pattern& b) {
+              return a.support > b.support;
+            });
+  for (size_t i = 0; i < std::min(top, result.patterns.size()); ++i) {
+    std::printf("  %8llu  %s\n",
+                static_cast<unsigned long long>(result.patterns[i].support),
+                ItemsetToString(result.patterns[i].items).c_str());
+  }
+  if (args.GetBool("closed") || args.GetBool("maximal")) {
+    std::vector<Pattern> condensed = args.GetBool("maximal")
+                                         ? MaximalPatterns(result.patterns)
+                                         : ClosedPatterns(result.patterns);
+    std::printf("%s patterns: %zu of %zu\n",
+                args.GetBool("maximal") ? "maximal" : "closed",
+                condensed.size(), result.patterns.size());
+    result.patterns = std::move(condensed);
+  }
+  if (std::string out = args.GetString("out"); !out.empty()) {
+    std::FILE* f = std::fopen(out.c_str(), "w");
+    if (f == nullptr) {
+      std::cerr << "cannot open " << out << "\n";
+      return 1;
+    }
+    for (const Pattern& p : result.patterns) {
+      for (size_t i = 0; i < p.items.size(); ++i) {
+        std::fprintf(f, "%s%u", i ? " " : "", p.items[i]);
+      }
+      std::fprintf(f, " (%llu)\n",
+                   static_cast<unsigned long long>(p.support));
+    }
+    std::fclose(f);
+    std::printf("wrote all patterns to %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int CmdCount(const Args& args) {
+  TransactionDatabase db = LoadDb(args.Require("db"));
+  auto bbs = BbsIndex::Load(args.Require("index"));
+  if (!bbs.ok()) Die(bbs.status());
+  Itemset items = ParseItems(args.Require("items"));
+
+  BitVector constraint;
+  const BitVector* constraint_ptr = nullptr;
+  if (std::string spec = args.GetString("tid-mod"); !spec.empty()) {
+    size_t colon = spec.find(':');
+    uint64_t mod = std::strtoull(spec.substr(0, colon).c_str(), nullptr, 10);
+    uint64_t rem = colon == std::string::npos
+                       ? 0
+                       : std::strtoull(spec.substr(colon + 1).c_str(),
+                                       nullptr, 10);
+    if (mod == 0) {
+      std::cerr << "--tid-mod wants M:R with M > 0\n";
+      return 2;
+    }
+    constraint = MakeConstraintSlice(db, [mod, rem](const Transaction& txn) {
+      return txn.tid % mod == rem;
+    });
+    constraint_ptr = &constraint;
+  }
+
+  AdhocQueryResult result =
+      CountPatternExact(db, *bbs, items, constraint_ptr);
+  std::printf("pattern %s%s\n  estimate %llu, exact %llu, probed %llu "
+              "transactions\n",
+              ItemsetToString(items).c_str(),
+              constraint_ptr ? " (constrained)" : "",
+              static_cast<unsigned long long>(result.estimate),
+              static_cast<unsigned long long>(result.exact),
+              static_cast<unsigned long long>(result.probed_transactions));
+  return 0;
+}
+
+int CmdRules(const Args& args) {
+  TransactionDatabase db = LoadDb(args.Require("db"));
+  double min_support = args.GetDouble("minsup", 0.003);
+  FpGrowthConfig mine;
+  mine.min_support = min_support;
+  MiningResult result = MineFpGrowth(db, mine);
+  result.SortPatterns();
+
+  RuleConfig config;
+  config.min_confidence = args.GetDouble("minconf", 0.5);
+  config.max_rules = args.GetUint("top", 20);
+  std::vector<AssociationRule> rules =
+      GenerateRules(result, db.size(), config);
+  std::printf("%zu rules (minsup %.3f%%, minconf %.2f)\n", rules.size(),
+              min_support * 100, config.min_confidence);
+  for (const AssociationRule& r : rules) {
+    std::printf("  %s => %s  conf %.3f  lift %.2f  support %llu\n",
+                ItemsetToString(r.antecedent).c_str(),
+                ItemsetToString(r.consequent).c_str(), r.confidence, r.lift,
+                static_cast<unsigned long long>(r.support));
+  }
+  return 0;
+}
+
+int CmdApprox(const Args& args) {
+  TransactionDatabase db = LoadDb(args.Require("db"));
+  auto bbs = BbsIndex::Load(args.Require("index"));
+  if (!bbs.ok()) Die(bbs.status());
+  if (bbs->num_transactions() != db.size()) {
+    std::cerr << "index/database mismatch\n";
+    return 1;
+  }
+  ApproxMineConfig config;
+  config.min_support = args.GetDouble("minsup", 0.003);
+  config.min_confidence = args.GetDouble("minconf", 0.0);
+  Itemset universe(db.item_universe());
+  for (ItemId i = 0; i < db.item_universe(); ++i) universe[i] = i;
+
+  std::vector<ApproxPattern> patterns =
+      MineApproximate(*bbs, config, universe);
+  size_t certified = 0;
+  for (const ApproxPattern& p : patterns) certified += p.certified ? 1 : 0;
+  std::printf(
+      "%zu approximate patterns (certified %zu) at minsup %.3f%%, "
+      "minconf %.2f — no refinement pass was run\n",
+      patterns.size(), certified, config.min_support * 100,
+      config.min_confidence);
+  std::sort(patterns.begin(), patterns.end(),
+            [](const ApproxPattern& a, const ApproxPattern& b) {
+              return a.est > b.est;
+            });
+  size_t top = args.GetUint("top", 10);
+  for (size_t i = 0; i < std::min(top, patterns.size()); ++i) {
+    std::printf("  est %-7llu conf %.3f%s  %s\n",
+                static_cast<unsigned long long>(patterns[i].est),
+                patterns[i].confidence,
+                patterns[i].certified ? "*" : " ",
+                ItemsetToString(patterns[i].items).c_str());
+  }
+  return 0;
+}
+
+void Usage() {
+  std::cerr <<
+      "usage: bbsmine <command> [--flag value ...]\n"
+      "commands:\n"
+      "  gen      --out FILE [--txns N] [--items N] [--t F] [--i F]\n"
+      "           [--patterns N] [--seed N]\n"
+      "  convert  --in FILE --out FILE      (.fimi/.dat = text, else binary)\n"
+      "  build    --db FILE --out FILE [--bits N] [--hashes N]\n"
+      "           [--hash md5|mult|mod] [--seed N]\n"
+      "  stats    [--db FILE] [--index FILE]\n"
+      "  mine     --db FILE [--index FILE] [--algo sfs|sfp|dfs|dfp|apriori|\n"
+      "           fpgrowth|eclat] [--minsup F] [--budget BYTES] [--top N]\n"
+      "           [--closed | --maximal] [--out FILE]\n"
+      "  count    --db FILE --index FILE --items A,B,C [--tid-mod M:R]\n"
+      "  rules    --db FILE [--minsup F] [--minconf F] [--top N]\n"
+      "  approx   --db FILE --index FILE [--minsup F] [--minconf F]\n"
+      "           [--top N]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 2;
+  }
+  std::string command = argv[1];
+  Args args(argc, argv, 2);
+  if (command == "gen") return CmdGen(args);
+  if (command == "convert") return CmdConvert(args);
+  if (command == "build") return CmdBuild(args);
+  if (command == "stats") return CmdStats(args);
+  if (command == "mine") return CmdMine(args);
+  if (command == "count") return CmdCount(args);
+  if (command == "rules") return CmdRules(args);
+  if (command == "approx") return CmdApprox(args);
+  Usage();
+  return 2;
+}
