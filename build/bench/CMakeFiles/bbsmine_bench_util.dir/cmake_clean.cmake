@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbsmine_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/bbsmine_bench_util.dir/bench_util.cc.o.d"
+  "libbbsmine_bench_util.a"
+  "libbbsmine_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbsmine_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_txn_length.dir/fig10_txn_length.cpp.o"
+  "CMakeFiles/fig10_txn_length.dir/fig10_txn_length.cpp.o.d"
+  "fig10_txn_length"
+  "fig10_txn_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_txn_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

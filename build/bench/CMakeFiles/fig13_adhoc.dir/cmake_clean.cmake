@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_adhoc.dir/fig13_adhoc.cpp.o"
+  "CMakeFiles/fig13_adhoc.dir/fig13_adhoc.cpp.o.d"
+  "fig13_adhoc"
+  "fig13_adhoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_adhoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

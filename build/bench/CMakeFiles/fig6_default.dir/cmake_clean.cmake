@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_default.dir/fig6_default.cpp.o"
+  "CMakeFiles/fig6_default.dir/fig6_default.cpp.o.d"
+  "fig6_default"
+  "fig6_default.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_default.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_minsupport.dir/fig7_minsupport.cpp.o"
+  "CMakeFiles/fig7_minsupport.dir/fig7_minsupport.cpp.o.d"
+  "fig7_minsupport"
+  "fig7_minsupport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_minsupport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

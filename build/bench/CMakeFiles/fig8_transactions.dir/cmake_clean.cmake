@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_transactions.dir/fig8_transactions.cpp.o"
+  "CMakeFiles/fig8_transactions.dir/fig8_transactions.cpp.o.d"
+  "fig8_transactions"
+  "fig8_transactions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_transactions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_items.dir/fig9_items.cpp.o"
+  "CMakeFiles/fig9_items.dir/fig9_items.cpp.o.d"
+  "fig9_items"
+  "fig9_items.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_items.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

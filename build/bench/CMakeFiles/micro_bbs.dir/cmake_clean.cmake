@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_bbs.dir/micro_bbs.cpp.o"
+  "CMakeFiles/micro_bbs.dir/micro_bbs.cpp.o.d"
+  "micro_bbs"
+  "micro_bbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_bbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

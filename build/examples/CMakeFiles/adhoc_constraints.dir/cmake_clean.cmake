@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adhoc_constraints.dir/adhoc_constraints.cpp.o"
+  "CMakeFiles/adhoc_constraints.dir/adhoc_constraints.cpp.o.d"
+  "adhoc_constraints"
+  "adhoc_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adhoc_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approximate_mining.dir/approximate_mining.cpp.o"
+  "CMakeFiles/approximate_mining.dir/approximate_mining.cpp.o.d"
+  "approximate_mining"
+  "approximate_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approximate_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weblog_dynamic.dir/weblog_dynamic.cpp.o"
+  "CMakeFiles/weblog_dynamic.dir/weblog_dynamic.cpp.o.d"
+  "weblog_dynamic"
+  "weblog_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weblog_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

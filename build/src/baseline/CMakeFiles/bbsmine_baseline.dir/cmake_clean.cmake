@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbsmine_baseline.dir/apriori.cc.o"
+  "CMakeFiles/bbsmine_baseline.dir/apriori.cc.o.d"
+  "CMakeFiles/bbsmine_baseline.dir/eclat.cc.o"
+  "CMakeFiles/bbsmine_baseline.dir/eclat.cc.o.d"
+  "CMakeFiles/bbsmine_baseline.dir/fp_tree.cc.o"
+  "CMakeFiles/bbsmine_baseline.dir/fp_tree.cc.o.d"
+  "CMakeFiles/bbsmine_baseline.dir/hash_tree.cc.o"
+  "CMakeFiles/bbsmine_baseline.dir/hash_tree.cc.o.d"
+  "libbbsmine_baseline.a"
+  "libbbsmine_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbsmine_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

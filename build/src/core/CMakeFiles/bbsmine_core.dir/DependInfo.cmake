@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adhoc.cc" "src/core/CMakeFiles/bbsmine_core.dir/adhoc.cc.o" "gcc" "src/core/CMakeFiles/bbsmine_core.dir/adhoc.cc.o.d"
+  "/root/repo/src/core/approximate.cc" "src/core/CMakeFiles/bbsmine_core.dir/approximate.cc.o" "gcc" "src/core/CMakeFiles/bbsmine_core.dir/approximate.cc.o.d"
+  "/root/repo/src/core/bbs_index.cc" "src/core/CMakeFiles/bbsmine_core.dir/bbs_index.cc.o" "gcc" "src/core/CMakeFiles/bbsmine_core.dir/bbs_index.cc.o.d"
+  "/root/repo/src/core/bloom_hash.cc" "src/core/CMakeFiles/bbsmine_core.dir/bloom_hash.cc.o" "gcc" "src/core/CMakeFiles/bbsmine_core.dir/bloom_hash.cc.o.d"
+  "/root/repo/src/core/constraint_index.cc" "src/core/CMakeFiles/bbsmine_core.dir/constraint_index.cc.o" "gcc" "src/core/CMakeFiles/bbsmine_core.dir/constraint_index.cc.o.d"
+  "/root/repo/src/core/dual_filter.cc" "src/core/CMakeFiles/bbsmine_core.dir/dual_filter.cc.o" "gcc" "src/core/CMakeFiles/bbsmine_core.dir/dual_filter.cc.o.d"
+  "/root/repo/src/core/filter_engine.cc" "src/core/CMakeFiles/bbsmine_core.dir/filter_engine.cc.o" "gcc" "src/core/CMakeFiles/bbsmine_core.dir/filter_engine.cc.o.d"
+  "/root/repo/src/core/miner.cc" "src/core/CMakeFiles/bbsmine_core.dir/miner.cc.o" "gcc" "src/core/CMakeFiles/bbsmine_core.dir/miner.cc.o.d"
+  "/root/repo/src/core/mining_types.cc" "src/core/CMakeFiles/bbsmine_core.dir/mining_types.cc.o" "gcc" "src/core/CMakeFiles/bbsmine_core.dir/mining_types.cc.o.d"
+  "/root/repo/src/core/pattern_sets.cc" "src/core/CMakeFiles/bbsmine_core.dir/pattern_sets.cc.o" "gcc" "src/core/CMakeFiles/bbsmine_core.dir/pattern_sets.cc.o.d"
+  "/root/repo/src/core/refine.cc" "src/core/CMakeFiles/bbsmine_core.dir/refine.cc.o" "gcc" "src/core/CMakeFiles/bbsmine_core.dir/refine.cc.o.d"
+  "/root/repo/src/core/rules.cc" "src/core/CMakeFiles/bbsmine_core.dir/rules.cc.o" "gcc" "src/core/CMakeFiles/bbsmine_core.dir/rules.cc.o.d"
+  "/root/repo/src/core/segmented_bbs.cc" "src/core/CMakeFiles/bbsmine_core.dir/segmented_bbs.cc.o" "gcc" "src/core/CMakeFiles/bbsmine_core.dir/segmented_bbs.cc.o.d"
+  "/root/repo/src/core/single_filter.cc" "src/core/CMakeFiles/bbsmine_core.dir/single_filter.cc.o" "gcc" "src/core/CMakeFiles/bbsmine_core.dir/single_filter.cc.o.d"
+  "/root/repo/src/core/tidset.cc" "src/core/CMakeFiles/bbsmine_core.dir/tidset.cc.o" "gcc" "src/core/CMakeFiles/bbsmine_core.dir/tidset.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/bbsmine_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bbsmine_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

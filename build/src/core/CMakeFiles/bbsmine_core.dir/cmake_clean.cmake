@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbsmine_core.dir/adhoc.cc.o"
+  "CMakeFiles/bbsmine_core.dir/adhoc.cc.o.d"
+  "CMakeFiles/bbsmine_core.dir/approximate.cc.o"
+  "CMakeFiles/bbsmine_core.dir/approximate.cc.o.d"
+  "CMakeFiles/bbsmine_core.dir/bbs_index.cc.o"
+  "CMakeFiles/bbsmine_core.dir/bbs_index.cc.o.d"
+  "CMakeFiles/bbsmine_core.dir/bloom_hash.cc.o"
+  "CMakeFiles/bbsmine_core.dir/bloom_hash.cc.o.d"
+  "CMakeFiles/bbsmine_core.dir/constraint_index.cc.o"
+  "CMakeFiles/bbsmine_core.dir/constraint_index.cc.o.d"
+  "CMakeFiles/bbsmine_core.dir/dual_filter.cc.o"
+  "CMakeFiles/bbsmine_core.dir/dual_filter.cc.o.d"
+  "CMakeFiles/bbsmine_core.dir/filter_engine.cc.o"
+  "CMakeFiles/bbsmine_core.dir/filter_engine.cc.o.d"
+  "CMakeFiles/bbsmine_core.dir/miner.cc.o"
+  "CMakeFiles/bbsmine_core.dir/miner.cc.o.d"
+  "CMakeFiles/bbsmine_core.dir/mining_types.cc.o"
+  "CMakeFiles/bbsmine_core.dir/mining_types.cc.o.d"
+  "CMakeFiles/bbsmine_core.dir/pattern_sets.cc.o"
+  "CMakeFiles/bbsmine_core.dir/pattern_sets.cc.o.d"
+  "CMakeFiles/bbsmine_core.dir/refine.cc.o"
+  "CMakeFiles/bbsmine_core.dir/refine.cc.o.d"
+  "CMakeFiles/bbsmine_core.dir/rules.cc.o"
+  "CMakeFiles/bbsmine_core.dir/rules.cc.o.d"
+  "CMakeFiles/bbsmine_core.dir/segmented_bbs.cc.o"
+  "CMakeFiles/bbsmine_core.dir/segmented_bbs.cc.o.d"
+  "CMakeFiles/bbsmine_core.dir/single_filter.cc.o"
+  "CMakeFiles/bbsmine_core.dir/single_filter.cc.o.d"
+  "CMakeFiles/bbsmine_core.dir/tidset.cc.o"
+  "CMakeFiles/bbsmine_core.dir/tidset.cc.o.d"
+  "libbbsmine_core.a"
+  "libbbsmine_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbsmine_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/quest_gen.cc" "src/datagen/CMakeFiles/bbsmine_datagen.dir/quest_gen.cc.o" "gcc" "src/datagen/CMakeFiles/bbsmine_datagen.dir/quest_gen.cc.o.d"
+  "/root/repo/src/datagen/weblog_gen.cc" "src/datagen/CMakeFiles/bbsmine_datagen.dir/weblog_gen.cc.o" "gcc" "src/datagen/CMakeFiles/bbsmine_datagen.dir/weblog_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/bbsmine_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bbsmine_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

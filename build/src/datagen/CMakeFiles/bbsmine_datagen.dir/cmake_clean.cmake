@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbsmine_datagen.dir/quest_gen.cc.o"
+  "CMakeFiles/bbsmine_datagen.dir/quest_gen.cc.o.d"
+  "CMakeFiles/bbsmine_datagen.dir/weblog_gen.cc.o"
+  "CMakeFiles/bbsmine_datagen.dir/weblog_gen.cc.o.d"
+  "libbbsmine_datagen.a"
+  "libbbsmine_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbsmine_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/fimi_io.cc" "src/storage/CMakeFiles/bbsmine_storage.dir/fimi_io.cc.o" "gcc" "src/storage/CMakeFiles/bbsmine_storage.dir/fimi_io.cc.o.d"
+  "/root/repo/src/storage/item_catalog.cc" "src/storage/CMakeFiles/bbsmine_storage.dir/item_catalog.cc.o" "gcc" "src/storage/CMakeFiles/bbsmine_storage.dir/item_catalog.cc.o.d"
+  "/root/repo/src/storage/page_cache.cc" "src/storage/CMakeFiles/bbsmine_storage.dir/page_cache.cc.o" "gcc" "src/storage/CMakeFiles/bbsmine_storage.dir/page_cache.cc.o.d"
+  "/root/repo/src/storage/record_store.cc" "src/storage/CMakeFiles/bbsmine_storage.dir/record_store.cc.o" "gcc" "src/storage/CMakeFiles/bbsmine_storage.dir/record_store.cc.o.d"
+  "/root/repo/src/storage/transaction.cc" "src/storage/CMakeFiles/bbsmine_storage.dir/transaction.cc.o" "gcc" "src/storage/CMakeFiles/bbsmine_storage.dir/transaction.cc.o.d"
+  "/root/repo/src/storage/transaction_db.cc" "src/storage/CMakeFiles/bbsmine_storage.dir/transaction_db.cc.o" "gcc" "src/storage/CMakeFiles/bbsmine_storage.dir/transaction_db.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bbsmine_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbsmine_storage.dir/fimi_io.cc.o"
+  "CMakeFiles/bbsmine_storage.dir/fimi_io.cc.o.d"
+  "CMakeFiles/bbsmine_storage.dir/item_catalog.cc.o"
+  "CMakeFiles/bbsmine_storage.dir/item_catalog.cc.o.d"
+  "CMakeFiles/bbsmine_storage.dir/page_cache.cc.o"
+  "CMakeFiles/bbsmine_storage.dir/page_cache.cc.o.d"
+  "CMakeFiles/bbsmine_storage.dir/record_store.cc.o"
+  "CMakeFiles/bbsmine_storage.dir/record_store.cc.o.d"
+  "CMakeFiles/bbsmine_storage.dir/transaction.cc.o"
+  "CMakeFiles/bbsmine_storage.dir/transaction.cc.o.d"
+  "CMakeFiles/bbsmine_storage.dir/transaction_db.cc.o"
+  "CMakeFiles/bbsmine_storage.dir/transaction_db.cc.o.d"
+  "libbbsmine_storage.a"
+  "libbbsmine_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbsmine_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbbsmine_storage.a"
+)

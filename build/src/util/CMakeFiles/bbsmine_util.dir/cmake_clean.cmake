@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbsmine_util.dir/bitvector.cc.o"
+  "CMakeFiles/bbsmine_util.dir/bitvector.cc.o.d"
+  "CMakeFiles/bbsmine_util.dir/crc32.cc.o"
+  "CMakeFiles/bbsmine_util.dir/crc32.cc.o.d"
+  "CMakeFiles/bbsmine_util.dir/iomodel.cc.o"
+  "CMakeFiles/bbsmine_util.dir/iomodel.cc.o.d"
+  "CMakeFiles/bbsmine_util.dir/md5.cc.o"
+  "CMakeFiles/bbsmine_util.dir/md5.cc.o.d"
+  "CMakeFiles/bbsmine_util.dir/status.cc.o"
+  "CMakeFiles/bbsmine_util.dir/status.cc.o.d"
+  "CMakeFiles/bbsmine_util.dir/table.cc.o"
+  "CMakeFiles/bbsmine_util.dir/table.cc.o.d"
+  "libbbsmine_util.a"
+  "libbbsmine_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbsmine_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

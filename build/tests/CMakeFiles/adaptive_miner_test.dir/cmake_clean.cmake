@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_miner_test.dir/adaptive_miner_test.cc.o"
+  "CMakeFiles/adaptive_miner_test.dir/adaptive_miner_test.cc.o.d"
+  "adaptive_miner_test"
+  "adaptive_miner_test.pdb"
+  "adaptive_miner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_miner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

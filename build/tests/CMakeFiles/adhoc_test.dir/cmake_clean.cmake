@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adhoc_test.dir/adhoc_test.cc.o"
+  "CMakeFiles/adhoc_test.dir/adhoc_test.cc.o.d"
+  "adhoc_test"
+  "adhoc_test.pdb"
+  "adhoc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adhoc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbs_index_test.dir/bbs_index_test.cc.o"
+  "CMakeFiles/bbs_index_test.dir/bbs_index_test.cc.o.d"
+  "bbs_index_test"
+  "bbs_index_test.pdb"
+  "bbs_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbs_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

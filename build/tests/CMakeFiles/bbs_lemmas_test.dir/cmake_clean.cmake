@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbs_lemmas_test.dir/bbs_lemmas_test.cc.o"
+  "CMakeFiles/bbs_lemmas_test.dir/bbs_lemmas_test.cc.o.d"
+  "bbs_lemmas_test"
+  "bbs_lemmas_test.pdb"
+  "bbs_lemmas_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbs_lemmas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

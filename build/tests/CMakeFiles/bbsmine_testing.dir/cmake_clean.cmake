@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbsmine_testing.dir/testing/reference.cc.o"
+  "CMakeFiles/bbsmine_testing.dir/testing/reference.cc.o.d"
+  "libbbsmine_testing.a"
+  "libbbsmine_testing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbsmine_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

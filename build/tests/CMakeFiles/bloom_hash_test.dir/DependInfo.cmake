@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bloom_hash_test.cc" "tests/CMakeFiles/bloom_hash_test.dir/bloom_hash_test.cc.o" "gcc" "tests/CMakeFiles/bloom_hash_test.dir/bloom_hash_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tests/CMakeFiles/bbsmine_testing.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bbsmine_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/bbsmine_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/bbsmine_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/bbsmine_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bbsmine_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/certification_property_test.dir/certification_property_test.cc.o"
+  "CMakeFiles/certification_property_test.dir/certification_property_test.cc.o.d"
+  "certification_property_test"
+  "certification_property_test.pdb"
+  "certification_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/certification_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constraint_index_test.dir/constraint_index_test.cc.o"
+  "CMakeFiles/constraint_index_test.dir/constraint_index_test.cc.o.d"
+  "constraint_index_test"
+  "constraint_index_test.pdb"
+  "constraint_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constraint_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fimi_io_test.dir/fimi_io_test.cc.o"
+  "CMakeFiles/fimi_io_test.dir/fimi_io_test.cc.o.d"
+  "fimi_io_test"
+  "fimi_io_test.pdb"
+  "fimi_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fimi_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_tree_test.dir/fp_tree_test.cc.o"
+  "CMakeFiles/fp_tree_test.dir/fp_tree_test.cc.o.d"
+  "fp_tree_test"
+  "fp_tree_test.pdb"
+  "fp_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

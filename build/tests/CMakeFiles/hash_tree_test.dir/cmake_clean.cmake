@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hash_tree_test.dir/hash_tree_test.cc.o"
+  "CMakeFiles/hash_tree_test.dir/hash_tree_test.cc.o.d"
+  "hash_tree_test"
+  "hash_tree_test.pdb"
+  "hash_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hash_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

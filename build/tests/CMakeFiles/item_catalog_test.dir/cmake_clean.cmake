@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/item_catalog_test.dir/item_catalog_test.cc.o"
+  "CMakeFiles/item_catalog_test.dir/item_catalog_test.cc.o.d"
+  "item_catalog_test"
+  "item_catalog_test.pdb"
+  "item_catalog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/item_catalog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_sets_test.dir/pattern_sets_test.cc.o"
+  "CMakeFiles/pattern_sets_test.dir/pattern_sets_test.cc.o.d"
+  "pattern_sets_test"
+  "pattern_sets_test.pdb"
+  "pattern_sets_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_sets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

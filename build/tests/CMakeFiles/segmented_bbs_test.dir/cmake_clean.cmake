@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segmented_bbs_test.dir/segmented_bbs_test.cc.o"
+  "CMakeFiles/segmented_bbs_test.dir/segmented_bbs_test.cc.o.d"
+  "segmented_bbs_test"
+  "segmented_bbs_test.pdb"
+  "segmented_bbs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segmented_bbs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

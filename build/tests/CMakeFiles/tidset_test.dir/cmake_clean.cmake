@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tidset_test.dir/tidset_test.cc.o"
+  "CMakeFiles/tidset_test.dir/tidset_test.cc.o.d"
+  "tidset_test"
+  "tidset_test.pdb"
+  "tidset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tidset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

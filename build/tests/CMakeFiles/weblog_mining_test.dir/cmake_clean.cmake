@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weblog_mining_test.dir/weblog_mining_test.cc.o"
+  "CMakeFiles/weblog_mining_test.dir/weblog_mining_test.cc.o.d"
+  "weblog_mining_test"
+  "weblog_mining_test.pdb"
+  "weblog_mining_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weblog_mining_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

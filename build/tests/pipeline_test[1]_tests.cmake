@@ -1,0 +1,3 @@
+add_test([=[PipelineTest.FullWorkflow]=]  /root/repo/build/tests/pipeline_test [==[--gtest_filter=PipelineTest.FullWorkflow]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[PipelineTest.FullWorkflow]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  pipeline_test_TESTS PipelineTest.FullWorkflow)

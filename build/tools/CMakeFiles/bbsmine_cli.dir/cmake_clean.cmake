@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbsmine_cli.dir/bbsmine_cli.cpp.o"
+  "CMakeFiles/bbsmine_cli.dir/bbsmine_cli.cpp.o.d"
+  "bbsmine"
+  "bbsmine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbsmine_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
