@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/bbs_index.h"
+#include "core/segmented_bbs.h"
 #include "core/tidset.h"
 #include "datagen/quest_gen.h"
 #include "util/bitvector.h"
@@ -147,6 +148,42 @@ BENCHMARK_DEFINE_F(CountFixture, CountItemSetAtLeast)
   }
 }
 BENCHMARK_REGISTER_F(CountFixture, CountItemSetAtLeast)->Arg(1)->Arg(3)->Arg(8);
+
+/// Segment-parallel counting: range(0) = thread count (1 = serial path).
+class SegmentedCountFixture : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State&) override {
+    if (bbs) return;
+    QuestConfig quest;  // default T10.I10.D10K
+    db = std::move(GenerateQuest(quest)).value();
+    BbsConfig config;
+    config.num_bits = 1600;
+    config.num_hashes = 4;
+    bbs.emplace(std::move(SegmentedBbs::Create(config, 1000)).value());
+    for (size_t t = 0; t < db.size(); ++t) {
+      if (!bbs->Insert(db.At(t).items).ok()) std::abort();
+    }
+  }
+  TransactionDatabase db;
+  std::optional<SegmentedBbs> bbs;
+};
+
+BENCHMARK_DEFINE_F(SegmentedCountFixture, CountItemSet)
+(benchmark::State& state) {
+  size_t threads = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  Itemset items(3);
+  for (auto _ : state) {
+    for (ItemId& item : items) {
+      item = static_cast<ItemId>(rng.Uniform(10'000));
+    }
+    Canonicalize(&items);
+    benchmark::DoNotOptimize(
+        bbs->CountItemSet(items, /*io=*/nullptr, threads));
+  }
+}
+BENCHMARK_REGISTER_F(SegmentedCountFixture, CountItemSet)
+    ->Arg(1)->Arg(2)->Arg(4);
 
 BENCHMARK_DEFINE_F(CountFixture, Fold)(benchmark::State& state) {
   for (auto _ : state) {

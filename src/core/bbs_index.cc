@@ -2,12 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
-#include <cstdio>
 #include <cstring>
-#include <memory>
 
 #include "storage/transaction_db.h"
 #include "util/crc32.h"
+#include "util/file_io.h"
 
 namespace bbsmine {
 
@@ -167,14 +166,16 @@ size_t BbsIndex::CountWithSeed(const std::vector<uint32_t>& positions,
 
 size_t BbsIndex::CountItemSet(const Itemset& items, BitVector* result,
                               IoStats* io) const {
-  std::vector<uint32_t>& positions = scratch_positions_;
+  // Per-call scratch keeps the const query path thread-safe (a shared
+  // mutable buffer here would race concurrent queries).
+  std::vector<uint32_t> positions;
   CollectPositions(items, &positions);
   return CountWithSeed(positions, /*seed=*/nullptr, result, io);
 }
 
 size_t BbsIndex::CountItemSetAtLeast(const Itemset& items, uint64_t tau,
                                      BitVector* result, IoStats* io) const {
-  std::vector<uint32_t>& positions = scratch_positions_;
+  std::vector<uint32_t> positions;
   CollectPositions(items, &positions);
   if (!positions.empty()) {
     // The sparsest selected slice (positions are popcount-ordered) bounds
@@ -196,7 +197,7 @@ size_t BbsIndex::CountItemSetConstrained(const Itemset& items,
                                          BitVector* result,
                                          IoStats* io) const {
   assert(constraint.size() == num_transactions_);
-  std::vector<uint32_t>& positions = scratch_positions_;
+  std::vector<uint32_t> positions;
   CollectPositions(items, &positions);
   return CountWithSeed(positions, &constraint, result, io);
 }
@@ -204,12 +205,15 @@ size_t BbsIndex::CountItemSetConstrained(const Itemset& items,
 size_t BbsIndex::AndItemSlices(ItemId item, BitVector* result,
                                IoStats* io) const {
   assert(result->size() == num_transactions_);
-  std::vector<uint32_t>& positions = scratch_positions_;
+  std::vector<uint32_t> positions;
   ItemPositions(item, &positions);
   if (io != nullptr) {
     io->sequential_reads +=
         positions.size() * BlocksFor(SliceBytes(), 4096);
   }
+  // ANDing zero slices leaves `result` unchanged, so the count is the
+  // vector's own popcount — not 0.
+  if (positions.empty()) return result->Count();
   size_t count = 0;
   for (size_t i = 0; i < positions.size(); ++i) {
     count = result->AndWithCount(slices_[positions[i]]);
@@ -288,32 +292,13 @@ Status BbsIndex::Save(const std::string& path) const {
   AppendU32(&file, Crc32(payload));
   file += payload;
 
-  std::unique_ptr<std::FILE, int (*)(std::FILE*)> fp(
-      std::fopen(path.c_str(), "wb"), &std::fclose);
-  if (fp == nullptr) {
-    return Status::IoError("cannot open for writing: " + path);
-  }
-  if (std::fwrite(file.data(), 1, file.size(), fp.get()) != file.size()) {
-    return Status::IoError("short write: " + path);
-  }
-  return Status::Ok();
+  return WriteBinaryFile(path, file);
 }
 
 Result<BbsIndex> BbsIndex::Load(const std::string& path) {
-  std::unique_ptr<std::FILE, int (*)(std::FILE*)> fp(
-      std::fopen(path.c_str(), "rb"), &std::fclose);
-  if (fp == nullptr) {
-    return Status::IoError("cannot open for reading: " + path);
-  }
-  std::string file;
-  char buf[1 << 16];
-  size_t n;
-  while ((n = std::fread(buf, 1, sizeof(buf), fp.get())) > 0) {
-    file.append(buf, n);
-  }
-  if (std::ferror(fp.get())) {
-    return Status::IoError("read error: " + path);
-  }
+  Result<std::string> contents = ReadBinaryFile(path);
+  if (!contents.ok()) return contents.status();
+  const std::string& file = *contents;
   if (file.size() < sizeof(kMagic) + 8 ||
       std::memcmp(file.data(), kMagic, sizeof(kMagic)) != 0) {
     return Status::Corruption("bad magic in " + path);
@@ -370,23 +355,17 @@ Result<BbsIndex> BbsIndex::Load(const std::string& path) {
   }
   size_t words_per_slice =
       (num_transactions + BitVector::kWordBits - 1) / BitVector::kWordBits;
+  std::vector<BitVector::Word> slice_words(words_per_slice);
   for (uint32_t slice_idx = 0; slice_idx < index.num_bits(); ++slice_idx) {
-    BitVector& slice = index.slices_[slice_idx];
-    slice.Resize(num_transactions);
     for (size_t w = 0; w < words_per_slice; ++w) {
-      uint64_t word = 0;
-      if (!ReadU64(file, &pos, &word)) {
+      if (!ReadU64(file, &pos, &slice_words[w])) {
         return Status::Corruption("truncated slice data in " + path);
       }
-      // Reconstruct bit by bit only at the tail; bulk words via Set is slow,
-      // so rebuild through the word interface: BitVector guarantees
-      // contiguous word layout.
-      for (uint32_t bit = 0; bit < BitVector::kWordBits; ++bit) {
-        size_t position = w * BitVector::kWordBits + bit;
-        if (position >= num_transactions) break;
-        if ((word >> bit) & 1u) slice.Set(position);
-      }
     }
+    // Bulk word-level assign: O(words) per slice instead of O(bits).
+    BitVector& slice = index.slices_[slice_idx];
+    slice.AssignWords(slice_words.data(), slice_words.size(),
+                      num_transactions);
     index.slice_popcount_[slice_idx] = slice.Count();
   }
   if (pos != file.size()) {

@@ -12,6 +12,11 @@
 // The structure is dynamic and persistent: Insert appends one transaction
 // (bit per slice) without rebuilding anything, and Save/Load round-trips the
 // index through a checksummed file.
+//
+// Thread safety: all const methods (the whole query path — CountItemSet and
+// friends, ItemPositions, AndItemSlices, Fold, Save) are safe to call
+// concurrently from any number of threads; they share no mutable state.
+// Insert/InsertAll require exclusive access, as usual.
 
 #ifndef BBSMINE_CORE_BBS_INDEX_H_
 #define BBSMINE_CORE_BBS_INDEX_H_
@@ -170,9 +175,6 @@ class BbsIndex {
   std::vector<size_t> slice_popcount_;   // cached popcounts
   std::vector<uint64_t> item_counts_;    // exact 1-itemset counts (optional)
   std::vector<uint32_t> signature_bits_; // per-transaction signature popcount
-
-  // Scratch for ItemPositions folding (avoids per-call allocation).
-  mutable std::vector<uint32_t> scratch_positions_;
 };
 
 }  // namespace bbsmine

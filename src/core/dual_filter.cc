@@ -1,6 +1,9 @@
 #include "core/dual_filter.h"
 
 #include <cassert>
+#include <utility>
+
+#include "util/thread_pool.h"
 
 namespace bbsmine {
 
@@ -42,83 +45,91 @@ CheckCountResult CheckCount(uint64_t item_exact, uint64_t item_est,
 namespace {
 
 /// Recursive GenerateAndFilter of Figure 4, as a narrowed-sibling walk (see
-/// single_filter.cc for why narrowing preserves the candidate set).
+/// single_filter.cc for why narrowing preserves the candidate set, and for
+/// the root-level parallel split: subtree i reads only the shared root
+/// table, so subtrees run concurrently and their per-root outputs are merged
+/// in root order).
+
+struct Node {
+  size_t idx = 0;
+  uint64_t est = 0;
+  CheckCountResult check;
+  TidSet set;
+};
+
+/// Roots: estimated-frequent singletons that are not exactly-known
+/// infrequent, classified against the empty parent.
+std::vector<Node> BuildRoots(const FilterEngine& engine) {
+  const auto& singles = engine.singletons();
+  ParentState root;  // empty itemset
+  std::vector<Node> roots;
+  roots.reserve(singles.size());
+  for (size_t idx = 0; idx < singles.size(); ++idx) {
+    const FilterEngine::Singleton& single = singles[idx];
+    CheckCountResult check = CheckCount(single.exact, single.est, root,
+                                        single.est, engine.tau());
+    if (check.flag < 0) continue;  // exactly-known infrequent singleton
+    Node node;
+    node.idx = idx;
+    node.est = single.est;
+    node.check = check;
+    node.set = TidSet::FromDense(single.vector, engine.sparse_threshold());
+    roots.push_back(std::move(node));
+  }
+  return roots;
+}
+
 class DualFilterWalk {
  public:
   DualFilterWalk(const FilterEngine& engine, MineStats* stats,
                  DualFilterOutput* out)
       : engine_(engine), stats_(stats), out_(out) {}
 
-  void Run() {
-    const auto& singles = engine_.singletons();
-    ParentState root;  // empty itemset
-    std::vector<Node> roots;
-    roots.reserve(singles.size());
-    for (size_t idx = 0; idx < singles.size(); ++idx) {
-      const FilterEngine::Singleton& single = singles[idx];
-      CheckCountResult check = CheckCount(single.exact, single.est, root,
-                                          single.est, engine_.tau());
-      if (check.flag < 0) continue;  // exactly-known infrequent singleton
-      Node node;
-      node.idx = idx;
-      node.est = single.est;
-      node.check = check;
-      node.set =
-          TidSet::FromDense(single.vector, engine_.sparse_threshold());
-      roots.push_back(std::move(node));
-    }
-    Recurse(&roots);
+  void RunSubtree(const std::vector<Node>& roots, size_t i) {
+    Visit(roots[i], roots, i);
   }
 
  private:
-  struct Node {
-    size_t idx = 0;
-    uint64_t est = 0;
-    CheckCountResult check;
-    TidSet set;
-  };
-
-  void Recurse(std::vector<Node>* siblings) {
+  void Visit(const Node& node, const std::vector<Node>& siblings, size_t i) {
     const auto& singles = engine_.singletons();
-    for (size_t i = 0; i < siblings->size(); ++i) {
-      Node& node = (*siblings)[i];
-      current_.push_back(singles[node.idx].item);
+    current_.push_back(singles[node.idx].item);
 
-      Itemset canonical = current_;
-      Canonicalize(&canonical);
-      DualCandidate candidate{std::move(canonical), node.est,
-                              node.check.count, node.check.flag};
-      if (stats_ != nullptr) ++stats_->candidates;
-      if (node.check.flag > 0) {
-        if (stats_ != nullptr) ++stats_->certified;
-        out_->certain.push_back(std::move(candidate));
-      } else {
-        out_->uncertain.push_back(std::move(candidate));
-      }
-
-      ParentState state;
-      state.flag = node.check.flag;
-      state.count = node.check.count;
-      state.est = node.est;
-      state.empty = false;
-
-      std::vector<Node> children;
-      for (size_t j = i + 1; j < siblings->size(); ++j) {
-        size_t idx = (*siblings)[j].idx;
-        const FilterEngine::Singleton& single = singles[idx];
-        Node child;
-        child.idx = idx;
-        child.est = engine_.ExtendHybrid(idx, node.set, &child.set);
-        if (stats_ != nullptr) ++stats_->extension_tests;
-        if (child.est < engine_.tau()) continue;
-        child.check = CheckCount(single.exact, single.est, state, child.est,
-                                 engine_.tau());
-        // flag < 0 cannot occur below the root (the parent is non-empty).
-        children.push_back(std::move(child));
-      }
-      if (!children.empty()) Recurse(&children);
-      current_.pop_back();
+    Itemset canonical = current_;
+    Canonicalize(&canonical);
+    DualCandidate candidate{std::move(canonical), node.est, node.check.count,
+                            node.check.flag};
+    if (stats_ != nullptr) ++stats_->candidates;
+    if (node.check.flag > 0) {
+      if (stats_ != nullptr) ++stats_->certified;
+      out_->certain.push_back(std::move(candidate));
+    } else {
+      out_->uncertain.push_back(std::move(candidate));
     }
+
+    ParentState state;
+    state.flag = node.check.flag;
+    state.count = node.check.count;
+    state.est = node.est;
+    state.empty = false;
+
+    std::vector<Node> children;
+    for (size_t j = i + 1; j < siblings.size(); ++j) {
+      size_t idx = siblings[j].idx;
+      const FilterEngine::Singleton& single = singles[idx];
+      Node child;
+      child.idx = idx;
+      child.est = engine_.ExtendHybrid(idx, node.set, &child.set);
+      if (stats_ != nullptr) ++stats_->extension_tests;
+      if (child.est < engine_.tau()) continue;
+      child.check = CheckCount(single.exact, single.est, state, child.est,
+                               engine_.tau());
+      // flag < 0 cannot occur below the root (the parent is non-empty).
+      children.push_back(std::move(child));
+    }
+    for (size_t j = 0; j < children.size(); ++j) {
+      Visit(children[j], children, j);
+    }
+    current_.pop_back();
   }
 
   const FilterEngine& engine_;
@@ -129,11 +140,30 @@ class DualFilterWalk {
 
 }  // namespace
 
-DualFilterOutput RunDualFilter(const FilterEngine& engine, MineStats* stats) {
+DualFilterOutput RunDualFilter(const FilterEngine& engine, MineStats* stats,
+                               size_t num_threads) {
   assert(engine.bbs().tracks_item_counts() &&
          "DualFilter requires exact 1-itemset counts");
+  std::vector<Node> roots = BuildRoots(engine);
+
+  std::vector<DualFilterOutput> per_root(roots.size());
+  std::vector<MineStats> per_root_stats(roots.size());
+  ParallelFor(num_threads, roots.size(), [&](size_t i) {
+    DualFilterWalk walk(engine, &per_root_stats[i], &per_root[i]);
+    walk.RunSubtree(roots, i);
+  });
+
+  // Deterministic merge in root order: identical to the serial walk.
   DualFilterOutput out;
-  DualFilterWalk(engine, stats, &out).Run();
+  for (size_t i = 0; i < roots.size(); ++i) {
+    for (DualCandidate& c : per_root[i].certain) {
+      out.certain.push_back(std::move(c));
+    }
+    for (DualCandidate& c : per_root[i].uncertain) {
+      out.uncertain.push_back(std::move(c));
+    }
+    if (stats != nullptr) *stats += per_root_stats[i];
+  }
   return out;
 }
 

@@ -68,7 +68,12 @@ struct DualFilterOutput {
 
 /// Runs DualFilter on a prepared engine. The engine's index must track
 /// 1-itemset counts. Updates stats->{candidates, certified, extension_tests}.
-DualFilterOutput RunDualFilter(const FilterEngine& engine, MineStats* stats);
+///
+/// With `num_threads` > 1 the root-level subtrees of the walk run in
+/// parallel (0 = one thread per hardware thread); both output sequences are
+/// identical to the serial walk.
+DualFilterOutput RunDualFilter(const FilterEngine& engine, MineStats* stats,
+                               size_t num_threads = 1);
 
 }  // namespace bbsmine
 

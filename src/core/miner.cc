@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <optional>
+#include <utility>
 
 #include "core/dual_filter.h"
 #include "core/filter_engine.h"
@@ -10,6 +11,7 @@
 #include "core/single_filter.h"
 #include "storage/page_cache.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace bbsmine {
 
@@ -23,6 +25,7 @@ struct RunContext {
   const MineConfig& config;
   uint64_t tau;
   PageCache* cache;          // buffer pool model for probes (may be null)
+  size_t num_threads;        // resolved worker count (>= 1)
   MiningResult* result;
 };
 
@@ -33,14 +36,30 @@ struct RunContext {
 /// descends into candidates known to be truly frequent (or, for DFP flag 2,
 /// guaranteed frequent), which prevents false drops from triggering further
 /// false drops.
+///
+/// As in the pure filter walks, the recursion splits at the root: subtree i
+/// depends only on the read-only root table (and the thread-safe database /
+/// page cache), so subtrees run on independent threads, each emitting into
+/// its own pattern buffer; buffers are concatenated in root order, which
+/// reproduces the serial emission exactly. Probes return exact counts, so
+/// the pattern set and supports are schedule-independent.
 class IntegratedProbeWalk {
  public:
-  IntegratedProbeWalk(RunContext* ctx, const FilterEngine& engine, bool dual,
-                      MineStats* stats)
-      : ctx_(ctx), engine_(engine), dual_(dual), stats_(stats) {}
+  struct Node {
+    size_t idx = 0;
+    uint64_t est = 0;
+    CheckCountResult check;  // only meaningful for DFP
+    TidSet set;
+  };
 
-  void Run() {
-    const auto& singles = engine_.singletons();
+  IntegratedProbeWalk(RunContext* ctx, const FilterEngine& engine, bool dual,
+                      MineStats* stats, std::vector<Pattern>* out)
+      : ctx_(ctx), engine_(engine), dual_(dual), stats_(stats), out_(out) {}
+
+  /// Roots: every estimated-frequent singleton (minus, for DFP, the
+  /// exactly-known infrequent ones).
+  static std::vector<Node> BuildRoots(const FilterEngine& engine, bool dual) {
+    const auto& singles = engine.singletons();
     ParentState root;
     std::vector<Node> roots;
     roots.reserve(singles.size());
@@ -49,79 +68,73 @@ class IntegratedProbeWalk {
       Node node;
       node.idx = idx;
       node.est = single.est;
-      if (dual_) {
+      if (dual) {
         node.check = CheckCount(single.exact, single.est, root, single.est,
-                                ctx_->tau);
+                                engine.tau());
         if (node.check.flag < 0) continue;  // exactly-known infrequent
       }
-      node.set =
-          TidSet::FromDense(single.vector, engine_.sparse_threshold());
+      node.set = TidSet::FromDense(single.vector, engine.sparse_threshold());
       roots.push_back(std::move(node));
     }
-    Recurse(&roots);
+    return roots;
+  }
+
+  void RunSubtree(const std::vector<Node>& roots, size_t i) {
+    // Local copy: tighten-after-probe may shrink the node's TidSet, and the
+    // shared root table must stay read-only across threads.
+    Node node = roots[i];
+    Visit(&node, roots, i);
   }
 
   double probe_seconds() const { return probe_seconds_; }
 
  private:
-  struct Node {
-    size_t idx = 0;
-    uint64_t est = 0;
-    CheckCountResult check;  // only meaningful for DFP
-    TidSet set;
-  };
-
-  void Recurse(std::vector<Node>* siblings) {
+  void Visit(Node* node, const std::vector<Node>& siblings, size_t i) {
     const auto& singles = engine_.singletons();
-    for (size_t i = 0; i < siblings->size(); ++i) {
-      Node& node = (*siblings)[i];
-      current_.push_back(singles[node.idx].item);
-      canonical_ = current_;
-      Canonicalize(&canonical_);
-      ++stats_->candidates;
+    current_.push_back(singles[node->idx].item);
+    canonical_ = current_;
+    Canonicalize(&canonical_);
+    ++stats_->candidates;
 
-      ParentState state;
-      state.est = node.est;
-      state.empty = false;
-      bool keep = false;
+    ParentState state;
+    state.est = node->est;
+    state.empty = false;
+    bool keep = false;
 
-      if (dual_) {
-        if (node.check.flag > 0) {
-          ++stats_->certified;
-          ctx_->result->patterns.push_back(
-              Pattern{canonical_, node.check.count,
-                      node.check.flag == 1 ? SupportKind::kExact
-                                           : SupportKind::kGuaranteedEstimate});
-          state.flag = node.check.flag;
-          state.count = node.check.count;
-          keep = true;
-        } else {
-          keep = ProbeAndEmit(&node.set, &state);
-        }
-      } else {
-        keep = ProbeAndEmit(&node.set, &state);
-      }
-
-      if (keep) {
-        std::vector<Node> children;
-        for (size_t j = i + 1; j < siblings->size(); ++j) {
-          size_t idx = (*siblings)[j].idx;
-          const FilterEngine::Singleton& single = singles[idx];
-          Node child;
-          child.idx = idx;
-          child.est = engine_.ExtendHybrid(idx, node.set, &child.set);
-          ++stats_->extension_tests;
-          if (child.est < ctx_->tau) continue;
-          if (dual_) {
-            child.check = CheckCount(single.exact, single.est, state,
-                                     child.est, ctx_->tau);
-          }
-          children.push_back(std::move(child));
-        }
-        if (!children.empty()) Recurse(&children);
-      }
-      current_.pop_back();
+    if (dual_ && node->check.flag > 0) {
+      ++stats_->certified;
+      out_->push_back(
+          Pattern{canonical_, node->check.count,
+                  node->check.flag == 1 ? SupportKind::kExact
+                                        : SupportKind::kGuaranteedEstimate});
+      state.flag = node->check.flag;
+      state.count = node->check.count;
+      keep = true;
+    } else {
+      keep = ProbeAndEmit(&node->set, &state);
     }
+
+    if (keep) {
+      std::vector<Node> children;
+      for (size_t j = i + 1; j < siblings.size(); ++j) {
+        size_t idx = siblings[j].idx;
+        const FilterEngine::Singleton& single = singles[idx];
+        Node child;
+        child.idx = idx;
+        child.est = engine_.ExtendHybrid(idx, node->set, &child.set);
+        ++stats_->extension_tests;
+        if (child.est < ctx_->tau) continue;
+        if (dual_) {
+          child.check = CheckCount(single.exact, single.est, state, child.est,
+                                   ctx_->tau);
+        }
+        children.push_back(std::move(child));
+      }
+      for (size_t j = 0; j < children.size(); ++j) {
+        Visit(&children[j], children, j);
+      }
+    }
+    current_.pop_back();
   }
 
   /// Probes the database for the current itemset. On success emits the
@@ -139,8 +152,7 @@ class IntegratedProbeWalk {
       ++stats_->false_drops;
       return false;
     }
-    ctx_->result->patterns.push_back(
-        Pattern{canonical_, actual, SupportKind::kExact});
+    out_->push_back(Pattern{canonical_, actual, SupportKind::kExact});
     next->flag = 1;
     next->count = actual;
     if (ctx_->config.tighten_after_probe) {
@@ -155,28 +167,64 @@ class IntegratedProbeWalk {
   const FilterEngine& engine_;
   bool dual_;
   MineStats* stats_;
+  std::vector<Pattern>* out_;
   Itemset current_;
   Itemset canonical_;
-  std::vector<TidSet> scratch_;
   double probe_seconds_ = 0;
 };
+
+/// Runs the integrated walk over all root subtrees (in parallel when the
+/// context allows), appending the patterns to ctx->result in root order.
+/// Returns the summed probe seconds.
+double RunIntegratedProbeWalk(RunContext* ctx, const FilterEngine& engine,
+                              bool dual, MineStats* stats) {
+  std::vector<IntegratedProbeWalk::Node> roots =
+      IntegratedProbeWalk::BuildRoots(engine, dual);
+
+  std::vector<std::vector<Pattern>> per_root(roots.size());
+  std::vector<MineStats> per_root_stats(roots.size());
+  std::vector<double> per_root_probe_seconds(roots.size(), 0.0);
+  ParallelFor(ctx->num_threads, roots.size(), [&](size_t i) {
+    IntegratedProbeWalk walk(ctx, engine, dual, &per_root_stats[i],
+                             &per_root[i]);
+    walk.RunSubtree(roots, i);
+    per_root_probe_seconds[i] = walk.probe_seconds();
+  });
+
+  double probe_seconds = 0;
+  for (size_t i = 0; i < roots.size(); ++i) {
+    for (Pattern& pattern : per_root[i]) {
+      ctx->result->patterns.push_back(std::move(pattern));
+    }
+    *stats += per_root_stats[i];
+    probe_seconds += per_root_probe_seconds[i];
+  }
+  return probe_seconds;
+}
 
 /// Phase-3 postprocessing of the adaptive variant: re-estimates every
 /// candidate on the full BBS in one streaming pass and drops the ones below
 /// threshold. Returns the survivors with their (tighter) full-BBS estimates.
+/// The per-candidate CountItemSet calls are independent and run in parallel;
+/// survivors keep candidate order, so the output is schedule-independent.
 std::vector<Candidate> PostprocessOnFullBbs(const BbsIndex& bbs,
                                             std::vector<Candidate> candidates,
                                             uint64_t tau, uint32_t block_size,
-                                            MineStats* stats) {
+                                            MineStats* stats,
+                                            size_t num_threads) {
   bbs.ChargeFullScan(&stats->io, block_size);  // one pass over the full BBS
+  std::vector<size_t> estimates(candidates.size(), 0);
+  ParallelFor(num_threads, candidates.size(), [&](size_t i) {
+    estimates[i] = bbs.CountItemSet(candidates[i].items);
+  });
+  stats->extension_tests += candidates.size();
+
   std::vector<Candidate> survivors;
   survivors.reserve(candidates.size());
-  for (Candidate& candidate : candidates) {
-    size_t est = bbs.CountItemSet(candidate.items);
-    ++stats->extension_tests;
-    if (est >= tau) {
-      candidate.est = est;
-      survivors.push_back(std::move(candidate));
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (estimates[i] >= tau) {
+      candidates[i].est = estimates[i];
+      survivors.push_back(std::move(candidates[i]));
     }
   }
   return survivors;
@@ -194,6 +242,7 @@ MiningResult MineFrequentPatterns(const TransactionDatabase& db,
   MiningResult result;
   MineStats& stats = result.stats;
   uint64_t tau = AbsoluteThreshold(config.min_support, db.size());
+  size_t num_threads = ResolveThreads(config.num_threads);
 
   // --- Memory policy -------------------------------------------------------
   // Reading the BBS from storage costs one sequential pass regardless.
@@ -228,7 +277,8 @@ MiningResult MineFrequentPatterns(const TransactionDatabase& db,
                : std::max<uint64_t>(1, (budget / 4) / config.block_size);
   PageCache cache(std::min(cache_blocks, db_blocks));
 
-  RunContext ctx{db, bbs, filter_index, config, tau, &cache, &result};
+  RunContext ctx{db,  bbs,    filter_index, config,
+                 tau, &cache, num_threads,  &result};
 
   // --- Filtering (+ integrated probing for SFP/DFP) ------------------------
   Stopwatch filter_timer;
@@ -237,20 +287,22 @@ MiningResult MineFrequentPatterns(const TransactionDatabase& db,
 
   switch (config.algorithm) {
     case Algorithm::kSFS: {
-      std::vector<Candidate> candidates = RunSingleFilter(engine, &stats);
+      std::vector<Candidate> candidates =
+          RunSingleFilter(engine, &stats, num_threads);
       if (folded.has_value()) {
         candidates = PostprocessOnFullBbs(bbs, std::move(candidates), tau,
-                                          config.block_size, &stats);
+                                          config.block_size, &stats,
+                                          num_threads);
       }
       stats.filter_seconds = filter_timer.ElapsedSeconds();
       Stopwatch refine_timer;
-      result.patterns = RefineSequentialScan(db, candidates, tau,
-                                             budget, &stats);
+      result.patterns = RefineSequentialScan(db, candidates, tau, budget,
+                                             &stats, num_threads);
       stats.refine_seconds = refine_timer.ElapsedSeconds();
       break;
     }
     case Algorithm::kDFS: {
-      DualFilterOutput out = RunDualFilter(engine, &stats);
+      DualFilterOutput out = RunDualFilter(engine, &stats, num_threads);
       // Certified patterns go straight to the answer set.
       for (const DualCandidate& c : out.certain) {
         result.patterns.push_back(
@@ -265,12 +317,13 @@ MiningResult MineFrequentPatterns(const TransactionDatabase& db,
       }
       if (folded.has_value()) {
         uncertain = PostprocessOnFullBbs(bbs, std::move(uncertain), tau,
-                                         config.block_size, &stats);
+                                         config.block_size, &stats,
+                                         num_threads);
       }
       stats.filter_seconds = filter_timer.ElapsedSeconds();
       Stopwatch refine_timer;
-      std::vector<Pattern> verified =
-          RefineSequentialScan(db, uncertain, tau, budget, &stats);
+      std::vector<Pattern> verified = RefineSequentialScan(
+          db, uncertain, tau, budget, &stats, num_threads);
       stats.refine_seconds = refine_timer.ElapsedSeconds();
       result.patterns.insert(result.patterns.end(), verified.begin(),
                              verified.end());
@@ -281,11 +334,11 @@ MiningResult MineFrequentPatterns(const TransactionDatabase& db,
       bool dual = config.algorithm == Algorithm::kDFP;
       if (resident) {
         // Memory-resident: the integrated filter+probe recursion.
-        IntegratedProbeWalk walk(&ctx, engine, dual, &stats);
-        walk.Run();
-        stats.refine_seconds = walk.probe_seconds();
+        double probe_seconds =
+            RunIntegratedProbeWalk(&ctx, engine, dual, &stats);
+        stats.refine_seconds = probe_seconds;
         stats.filter_seconds =
-            filter_timer.ElapsedSeconds() - walk.probe_seconds();
+            filter_timer.ElapsedSeconds() - probe_seconds;
         break;
       }
       // Adaptive three-phase variant: probing from MemBBS result vectors
@@ -296,7 +349,7 @@ MiningResult MineFrequentPatterns(const TransactionDatabase& db,
       // full-BBS result vectors.
       std::vector<Candidate> uncertain;
       if (dual) {
-        DualFilterOutput out = RunDualFilter(engine, &stats);
+        DualFilterOutput out = RunDualFilter(engine, &stats, num_threads);
         for (const DualCandidate& c : out.certain) {
           result.patterns.push_back(
               Pattern{c.items, c.count,
@@ -308,11 +361,12 @@ MiningResult MineFrequentPatterns(const TransactionDatabase& db,
           uncertain.push_back(Candidate{std::move(c.items), c.est});
         }
       } else {
-        uncertain = RunSingleFilter(engine, &stats);
+        uncertain = RunSingleFilter(engine, &stats, num_threads);
       }
       if (folded.has_value()) {
         uncertain = PostprocessOnFullBbs(bbs, std::move(uncertain), tau,
-                                         config.block_size, &stats);
+                                         config.block_size, &stats,
+                                         num_threads);
       }
       stats.filter_seconds = filter_timer.ElapsedSeconds();
 
@@ -324,9 +378,9 @@ MiningResult MineFrequentPatterns(const TransactionDatabase& db,
       for (const Candidate& candidate : uncertain) {
         expected_probes += candidate.est;
       }
-      uint64_t resident = cache.capacity();
+      uint64_t resident_blocks = cache.capacity();
       uint64_t expected_misses =
-          resident >= db_blocks
+          resident_blocks >= db_blocks
               ? std::min<uint64_t>(expected_probes, db_blocks)
               : expected_probes;
       double probe_ms = static_cast<double>(expected_misses) *
@@ -334,21 +388,34 @@ MiningResult MineFrequentPatterns(const TransactionDatabase& db,
       double scan_ms = static_cast<double>(db_blocks) *
                        config.io_params.sequential_block_ms;
       if (probe_ms <= scan_ms) {
-        BitVector slice_result;
-        for (const Candidate& candidate : uncertain) {
-          bbs.CountItemSet(candidate.items, &slice_result);
-          uint64_t actual = ProbeCount(db, candidate.items, slice_result,
-                                       &cache, &stats);
-          if (actual >= tau) {
+        // Probe every survivor; candidates are independent, so they fan out
+        // across threads, each with a private result vector and stats. The
+        // merge below keeps candidate order, so the emitted patterns are
+        // identical to the serial loop.
+        std::vector<uint64_t> actual(uncertain.size(), 0);
+        std::vector<MineStats> probe_stats(uncertain.size());
+        ParallelFor(num_threads, uncertain.size(), [&](size_t i) {
+          BitVector slice_result;
+          // The re-estimate streams the candidate's slices from the full
+          // BBS, so it is charged to the I/O model like any other
+          // CountItemSet (phase 3 of the paper's cost accounting).
+          bbs.CountItemSet(uncertain[i].items, &slice_result,
+                           &probe_stats[i].io);
+          actual[i] = ProbeCount(db, uncertain[i].items, slice_result, &cache,
+                                 &probe_stats[i]);
+        });
+        for (size_t i = 0; i < uncertain.size(); ++i) {
+          stats += probe_stats[i];
+          if (actual[i] >= tau) {
             result.patterns.push_back(
-                Pattern{candidate.items, actual, SupportKind::kExact});
+                Pattern{uncertain[i].items, actual[i], SupportKind::kExact});
           } else {
             ++stats.false_drops;
           }
         }
       } else {
-        std::vector<Pattern> verified =
-            RefineSequentialScan(db, uncertain, tau, budget, &stats);
+        std::vector<Pattern> verified = RefineSequentialScan(
+            db, uncertain, tau, budget, &stats, num_threads);
         result.patterns.insert(result.patterns.end(), verified.begin(),
                                verified.end());
       }

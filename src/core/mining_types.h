@@ -77,6 +77,14 @@ struct MineConfig {
   /// identical either way; only traversal cost differs. On by default;
   /// exposed for the ordering ablation bench.
   bool rare_first_order = true;
+
+  /// Worker threads for the filter fan-out, postprocessing and refinement.
+  /// 1 (default) runs fully serial; 0 means one thread per hardware thread.
+  /// The mined pattern set — patterns, supports, and emission order — is
+  /// identical for every value (per-subtree outputs are merged in
+  /// deterministic root order); only wall time and buffer-pool hit/miss
+  /// interleaving change.
+  uint32_t num_threads = 1;
 };
 
 /// Observability counters of one mining run.
@@ -91,6 +99,21 @@ struct MineStats {
   double refine_seconds = 0;
   double total_seconds = 0;
   IoStats io;
+
+  /// Accumulates another run's (or worker's) counters into this one.
+  MineStats& operator+=(const MineStats& other) {
+    candidates += other.candidates;
+    false_drops += other.false_drops;
+    certified += other.certified;
+    probed_transactions += other.probed_transactions;
+    extension_tests += other.extension_tests;
+    db_scans += other.db_scans;
+    filter_seconds += other.filter_seconds;
+    refine_seconds += other.refine_seconds;
+    total_seconds += other.total_seconds;
+    io += other.io;
+    return *this;
+  }
 };
 
 /// The outcome of a mining run: the frequent patterns plus statistics.

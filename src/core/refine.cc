@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "util/thread_pool.h"
+
 namespace bbsmine {
 
 namespace {
@@ -13,11 +15,46 @@ uint64_t CandidateBytes(const Candidate& candidate) {
   return 32 + 4 * static_cast<uint64_t>(candidate.items.size());
 }
 
+/// Counts, for every candidate in [begin, end), its occurrences among the
+/// transactions at positions [first_txn, last_txn). `present` is a caller-
+/// provided scratch array of dense.size() zeros (left zeroed on return).
+void CountBatchOverRange(
+    const TransactionDatabase& db,
+    const std::unordered_map<ItemId, uint32_t>& dense,
+    const std::vector<std::vector<uint32_t>>& dense_items, size_t begin,
+    size_t end, size_t first_txn, size_t last_txn,
+    std::vector<uint8_t>* present, std::vector<uint64_t>* counts) {
+  std::vector<uint32_t> touched;
+  for (size_t t = first_txn; t < last_txn; ++t) {
+    const Transaction& txn = db.At(t);
+    touched.clear();
+    for (ItemId item : txn.items) {
+      auto it = dense.find(item);
+      if (it != dense.end()) {
+        (*present)[it->second] = 1;
+        touched.push_back(it->second);
+      }
+    }
+    for (size_t c = begin; c < end; ++c) {
+      bool contained = true;
+      for (uint32_t d : dense_items[c]) {
+        if (!(*present)[d]) {
+          contained = false;
+          break;
+        }
+      }
+      if (contained) ++(*counts)[c - begin];
+    }
+    for (uint32_t d : touched) (*present)[d] = 0;
+  }
+}
+
 }  // namespace
 
 std::vector<Pattern> RefineSequentialScan(
     const TransactionDatabase& db, const std::vector<Candidate>& candidates,
-    uint64_t tau, uint64_t memory_budget_bytes, MineStats* stats) {
+    uint64_t tau, uint64_t memory_budget_bytes, MineStats* stats,
+    size_t num_threads) {
   std::vector<Pattern> frequent;
   if (candidates.empty()) return frequent;
 
@@ -32,8 +69,9 @@ std::vector<Pattern> RefineSequentialScan(
       dense_items[c].push_back(it->second);
     }
   }
-  std::vector<uint8_t> present(dense.size(), 0);
-  std::vector<uint32_t> touched;
+
+  size_t threads = std::min(ResolveThreads(num_threads), db.size());
+  if (threads == 0) threads = 1;
 
   size_t begin = 0;
   while (begin < candidates.size()) {
@@ -50,30 +88,37 @@ std::vector<Pattern> RefineSequentialScan(
       ++end;
     }
 
+    // One sequential pass over the database per batch, regardless of the
+    // thread count (parallel workers split the same pass, they don't repeat
+    // it — the I/O charge must match).
     std::vector<uint64_t> counts(end - begin, 0);
-    if (stats != nullptr) ++stats->db_scans;
-    db.ForEach(stats != nullptr ? &stats->io : nullptr,
-               [&](const Transaction& txn) {
-                 touched.clear();
-                 for (ItemId item : txn.items) {
-                   auto it = dense.find(item);
-                   if (it != dense.end()) {
-                     present[it->second] = 1;
-                     touched.push_back(it->second);
-                   }
-                 }
-                 for (size_t c = begin; c < end; ++c) {
-                   bool contained = true;
-                   for (uint32_t d : dense_items[c]) {
-                     if (!present[d]) {
-                       contained = false;
-                       break;
-                     }
-                   }
-                   if (contained) ++counts[c - begin];
-                 }
-                 for (uint32_t d : touched) present[d] = 0;
-               });
+    if (stats != nullptr) {
+      ++stats->db_scans;
+      db.ChargeFullScan(&stats->io);
+    }
+    if (threads <= 1) {
+      std::vector<uint8_t> present(dense.size(), 0);
+      CountBatchOverRange(db, dense, dense_items, begin, end, 0, db.size(),
+                          &present, &counts);
+    } else {
+      // Disjoint transaction ranges; per-thread counts summed element-wise
+      // afterwards (addition commutes, so the totals are schedule-
+      // independent and identical to the serial scan).
+      std::vector<std::vector<uint64_t>> chunk_counts(
+          threads, std::vector<uint64_t>(end - begin, 0));
+      size_t per_chunk = (db.size() + threads - 1) / threads;
+      ParallelFor(threads, threads, [&](size_t chunk) {
+        size_t first_txn = chunk * per_chunk;
+        size_t last_txn = std::min(db.size(), first_txn + per_chunk);
+        if (first_txn >= last_txn) return;
+        std::vector<uint8_t> present(dense.size(), 0);
+        CountBatchOverRange(db, dense, dense_items, begin, end, first_txn,
+                            last_txn, &present, &chunk_counts[chunk]);
+      });
+      for (const std::vector<uint64_t>& chunk : chunk_counts) {
+        for (size_t c = 0; c < counts.size(); ++c) counts[c] += chunk[c];
+      }
+    }
 
     for (size_t c = begin; c < end; ++c) {
       if (counts[c - begin] >= tau) {

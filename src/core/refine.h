@@ -31,11 +31,17 @@ namespace bbsmine {
 /// `memory_budget_bytes` bounds the candidate batch resident during one scan
 /// (0 = unlimited, a single scan). Updates stats->{false_drops, db_scans,
 /// io, and the refinement does not change stats->candidates}.
+///
+/// With `num_threads` > 1 each batch's scan is partitioned across threads
+/// (disjoint transaction ranges, per-thread count arrays summed at the end;
+/// 0 = one thread per hardware thread). The returned patterns, supports,
+/// and I/O charges are identical to the serial scan.
 std::vector<Pattern> RefineSequentialScan(const TransactionDatabase& db,
                                           const std::vector<Candidate>& candidates,
                                           uint64_t tau,
                                           uint64_t memory_budget_bytes,
-                                          MineStats* stats);
+                                          MineStats* stats,
+                                          size_t num_threads = 1);
 
 /// Exact support of `items` counted by probing exactly the transactions
 /// whose bits are set in `result` (the CountItemSet output vector).

@@ -1,9 +1,8 @@
 #include "core/segmented_bbs.h"
 
-#include <cstdio>
-#include <memory>
-
 #include "util/crc32.h"
+#include "util/file_io.h"
+#include "util/thread_pool.h"
 
 namespace bbsmine {
 
@@ -37,30 +36,40 @@ Status SegmentedBbs::AppendSegment() {
   return Status::Ok();
 }
 
-void SegmentedBbs::Insert(const Itemset& items) {
+Status SegmentedBbs::Insert(const Itemset& items) {
   if (segments_.back().num_transactions() >= segment_capacity_) {
-    // Create cannot fail here: the config was validated at construction.
-    Status status = AppendSegment();
-    (void)status;
+    BBSMINE_RETURN_IF_ERROR(AppendSegment());
   }
   segments_.back().Insert(items);
   ++num_transactions_;
+  return Status::Ok();
 }
 
-size_t SegmentedBbs::CountItemSet(const Itemset& items, IoStats* io) const {
+size_t SegmentedBbs::CountItemSet(const Itemset& items, IoStats* io,
+                                  size_t num_threads) const {
+  // Each worker charges a private per-segment IoStats; the merge below runs
+  // in segment order, so both the count and the I/O totals are identical to
+  // the serial pass regardless of the thread schedule.
+  std::vector<size_t> counts(segments_.size(), 0);
+  std::vector<IoStats> segment_io(io != nullptr ? segments_.size() : 0);
+  ParallelFor(num_threads, segments_.size(), [&](size_t idx) {
+    counts[idx] = segments_[idx].CountItemSet(
+        items, nullptr, io != nullptr ? &segment_io[idx] : nullptr);
+  });
   size_t total = 0;
-  for (const BbsIndex& segment : segments_) {
-    total += segment.CountItemSet(items, nullptr, io);
+  for (size_t count : counts) total += count;
+  if (io != nullptr) {
+    for (const IoStats& per_segment : segment_io) *io += per_segment;
   }
   return total;
 }
 
-std::vector<size_t> SegmentedBbs::CountPerSegment(const Itemset& items) const {
-  std::vector<size_t> counts;
-  counts.reserve(segments_.size());
-  for (const BbsIndex& segment : segments_) {
-    counts.push_back(segment.CountItemSet(items));
-  }
+std::vector<size_t> SegmentedBbs::CountPerSegment(const Itemset& items,
+                                                  size_t num_threads) const {
+  std::vector<size_t> counts(segments_.size(), 0);
+  ParallelFor(num_threads, segments_.size(), [&](size_t idx) {
+    counts[idx] = segments_[idx].CountItemSet(items);
+  });
   return counts;
 }
 
@@ -94,14 +103,7 @@ Status SegmentedBbs::Save(const std::string& prefix) const {
   for (int i = 0; i < 4; ++i) file.push_back(static_cast<char>(crc >> (8 * i)));
   file += payload;
 
-  std::unique_ptr<std::FILE, int (*)(std::FILE*)> fp(
-      std::fopen((prefix + ".manifest").c_str(), "wb"), &std::fclose);
-  if (fp == nullptr) {
-    return Status::IoError("cannot open for writing: " + prefix + ".manifest");
-  }
-  if (std::fwrite(file.data(), 1, file.size(), fp.get()) != file.size()) {
-    return Status::IoError("short write: " + prefix + ".manifest");
-  }
+  BBSMINE_RETURN_IF_ERROR(WriteBinaryFile(prefix + ".manifest", file));
 
   for (size_t idx = 0; idx < segments_.size(); ++idx) {
     BBSMINE_RETURN_IF_ERROR(segments_[idx].Save(SegmentPath(prefix, idx)));
@@ -110,18 +112,9 @@ Status SegmentedBbs::Save(const std::string& prefix) const {
 }
 
 Result<SegmentedBbs> SegmentedBbs::Load(const std::string& prefix) {
-  std::unique_ptr<std::FILE, int (*)(std::FILE*)> fp(
-      std::fopen((prefix + ".manifest").c_str(), "rb"), &std::fclose);
-  if (fp == nullptr) {
-    return Status::IoError("cannot open for reading: " + prefix +
-                           ".manifest");
-  }
-  std::string file;
-  char buf[256];
-  size_t n;
-  while ((n = std::fread(buf, 1, sizeof(buf), fp.get())) > 0) {
-    file.append(buf, n);
-  }
+  Result<std::string> contents = ReadBinaryFile(prefix + ".manifest");
+  if (!contents.ok()) return contents.status();
+  const std::string& file = *contents;
   if (file.size() != sizeof(kManifestMagic) + 4 + 24 ||
       file.compare(0, sizeof(kManifestMagic), kManifestMagic,
                    sizeof(kManifestMagic)) != 0) {

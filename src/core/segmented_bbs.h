@@ -13,6 +13,12 @@
 //
 // SegmentedBbs mirrors the counting API of BbsIndex and adds segment-level
 // persistence (one file per segment plus a manifest).
+//
+// Segments are also the unit of parallelism: CountItemSet and CountPerSegment
+// accept a thread count and fan the independent per-segment queries out over
+// a ParallelFor, merging counts (and per-segment IoStats) deterministically
+// in segment order. The query path is thread-safe: concurrent counting calls
+// from many threads are fine; Insert requires exclusive access.
 
 #ifndef BBSMINE_CORE_SEGMENTED_BBS_H_
 #define BBSMINE_CORE_SEGMENTED_BBS_H_
@@ -47,17 +53,24 @@ class SegmentedBbs {
   const BbsIndex& segment(size_t idx) const { return segments_[idx]; }
 
   /// Appends one transaction (canonical itemset) to the tail segment,
-  /// opening a new segment when the tail is full.
-  void Insert(const Itemset& items);
+  /// opening a new segment when the tail is full. Fails only if a new
+  /// segment cannot be created.
+  Status Insert(const Itemset& items);
 
   /// Estimated number of transactions containing `items`, accumulated
   /// segment by segment (never an underestimate, as for BbsIndex). If `io`
-  /// is non-null each segment's touched slices are charged.
-  size_t CountItemSet(const Itemset& items, IoStats* io = nullptr) const;
+  /// is non-null each segment's touched slices are charged. With
+  /// `num_threads` > 1 the segments are counted in parallel (0 = one thread
+  /// per hardware thread); the result and the IoStats total are identical
+  /// to the serial run.
+  size_t CountItemSet(const Itemset& items, IoStats* io = nullptr,
+                      size_t num_threads = 1) const;
 
   /// Per-segment counts for `items` (diagnostics / targeted probing: the
-  /// caller learns which segments can contain matches).
-  std::vector<size_t> CountPerSegment(const Itemset& items) const;
+  /// caller learns which segments can contain matches). `num_threads` as in
+  /// CountItemSet.
+  std::vector<size_t> CountPerSegment(const Itemset& items,
+                                      size_t num_threads = 1) const;
 
   /// Exact occurrence count of a single item across segments.
   /// Requires config().track_item_counts.

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "util/thread_pool.h"
+
 namespace bbsmine {
 
 namespace {
@@ -14,57 +16,70 @@ namespace {
 /// slices): est(X u {i}) < tau implies est(Y u {i}) < tau for all Y
 /// containing X. The set of emitted candidates is identical to the paper's
 /// formulation; only redundant CountItemSet evaluations are skipped.
+///
+/// The walk is split at the root: subtree i (rooted at singleton i, with
+/// extensions drawn from singletons j > i) depends only on the shared
+/// read-only root table, so subtrees run on independent threads and their
+/// outputs are concatenated in root order — bit-identical to the serial
+/// depth-first emission.
+
+struct Node {
+  size_t idx = 0;    // index into engine.singletons()
+  uint64_t est = 0;  // estimated count of the node's itemset
+  TidSet set;        // CountItemSet result vector of the node's itemset
+};
+
+/// One estimated-frequent root per singleton, in walk order.
+std::vector<Node> BuildRoots(const FilterEngine& engine) {
+  const auto& singles = engine.singletons();
+  std::vector<Node> roots;
+  roots.reserve(singles.size());
+  for (size_t idx = 0; idx < singles.size(); ++idx) {
+    Node node;
+    node.idx = idx;
+    node.est = singles[idx].est;
+    node.set =
+        TidSet::FromDense(singles[idx].vector, engine.sparse_threshold());
+    roots.push_back(std::move(node));
+  }
+  return roots;
+}
+
 class SingleFilterWalk {
  public:
   SingleFilterWalk(const FilterEngine& engine, MineStats* stats,
                    std::vector<Candidate>* out)
       : engine_(engine), stats_(stats), out_(out) {}
 
-  void Run() {
-    // Roots: every estimated-frequent singleton.
-    std::vector<Node> roots;
-    const auto& singles = engine_.singletons();
-    roots.reserve(singles.size());
-    for (size_t idx = 0; idx < singles.size(); ++idx) {
-      Node node;
-      node.idx = idx;
-      node.est = singles[idx].est;
-      node.set =
-          TidSet::FromDense(singles[idx].vector, engine_.sparse_threshold());
-      roots.push_back(std::move(node));
-    }
-    Recurse(&roots);
+  /// Emits the whole subtree rooted at roots[i].
+  void RunSubtree(const std::vector<Node>& roots, size_t i) {
+    Visit(roots[i], roots, i);
   }
 
  private:
-  struct Node {
-    size_t idx = 0;    // index into engine_.singletons()
-    uint64_t est = 0;  // estimated count of the node's itemset
-    TidSet set;        // CountItemSet result vector of the node's itemset
-  };
-
-  void Recurse(std::vector<Node>* siblings) {
+  /// Emits `node` (the extension of current_ by node.idx's item) and
+  /// recurses into its surviving extensions, drawn from siblings[j > i].
+  void Visit(const Node& node, const std::vector<Node>& siblings, size_t i) {
     const auto& singles = engine_.singletons();
-    for (size_t i = 0; i < siblings->size(); ++i) {
-      Node& node = (*siblings)[i];
-      current_.push_back(singles[node.idx].item);
+    current_.push_back(singles[node.idx].item);
 
-      Itemset canonical = current_;
-      Canonicalize(&canonical);
-      out_->push_back(Candidate{std::move(canonical), node.est});
-      if (stats_ != nullptr) ++stats_->candidates;
+    Itemset canonical = current_;
+    Canonicalize(&canonical);
+    out_->push_back(Candidate{std::move(canonical), node.est});
+    if (stats_ != nullptr) ++stats_->candidates;
 
-      std::vector<Node> children;
-      for (size_t j = i + 1; j < siblings->size(); ++j) {
-        Node child;
-        child.idx = (*siblings)[j].idx;
-        child.est = engine_.ExtendHybrid(child.idx, node.set, &child.set);
-        if (stats_ != nullptr) ++stats_->extension_tests;
-        if (child.est >= engine_.tau()) children.push_back(std::move(child));
-      }
-      if (!children.empty()) Recurse(&children);
-      current_.pop_back();
+    std::vector<Node> children;
+    for (size_t j = i + 1; j < siblings.size(); ++j) {
+      Node child;
+      child.idx = siblings[j].idx;
+      child.est = engine_.ExtendHybrid(child.idx, node.set, &child.set);
+      if (stats_ != nullptr) ++stats_->extension_tests;
+      if (child.est >= engine_.tau()) children.push_back(std::move(child));
     }
+    for (size_t j = 0; j < children.size(); ++j) {
+      Visit(children[j], children, j);
+    }
+    current_.pop_back();
   }
 
   const FilterEngine& engine_;
@@ -76,9 +91,29 @@ class SingleFilterWalk {
 }  // namespace
 
 std::vector<Candidate> RunSingleFilter(const FilterEngine& engine,
-                                       MineStats* stats) {
+                                       MineStats* stats, size_t num_threads) {
+  std::vector<Node> roots = BuildRoots(engine);
+
+  // Per-root output buffers keep the merge deterministic: concatenating in
+  // root order reproduces the serial depth-first order exactly, no matter
+  // which thread ran which subtree.
+  std::vector<std::vector<Candidate>> per_root(roots.size());
+  std::vector<MineStats> per_root_stats(roots.size());
+  ParallelFor(num_threads, roots.size(), [&](size_t i) {
+    SingleFilterWalk walk(engine, &per_root_stats[i], &per_root[i]);
+    walk.RunSubtree(roots, i);
+  });
+
   std::vector<Candidate> out;
-  SingleFilterWalk(engine, stats, &out).Run();
+  size_t total = 0;
+  for (const auto& chunk : per_root) total += chunk.size();
+  out.reserve(total);
+  for (size_t i = 0; i < roots.size(); ++i) {
+    for (Candidate& candidate : per_root[i]) {
+      out.push_back(std::move(candidate));
+    }
+    if (stats != nullptr) *stats += per_root_stats[i];
+  }
   return out;
 }
 

@@ -25,8 +25,13 @@ struct Candidate {
 /// Runs SingleFilter on a prepared engine and returns all candidates in
 /// depth-first (lexicographic) order. Updates stats->candidates and
 /// stats->extension_tests.
+///
+/// With `num_threads` > 1 the root-level subtrees of the walk run in
+/// parallel (0 = one thread per hardware thread); the returned candidate
+/// sequence is identical to the serial walk.
 std::vector<Candidate> RunSingleFilter(const FilterEngine& engine,
-                                       MineStats* stats);
+                                       MineStats* stats,
+                                       size_t num_threads = 1);
 
 }  // namespace bbsmine
 

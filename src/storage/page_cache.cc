@@ -3,6 +3,7 @@
 namespace bbsmine {
 
 bool PageCache::Access(uint64_t block, bool sequential, IoStats* io) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(block);
   if (it != index_.end()) {
     ++hits_;
@@ -31,6 +32,7 @@ bool PageCache::Access(uint64_t block, bool sequential, IoStats* io) {
 }
 
 void PageCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   index_.clear();
 }

@@ -7,12 +7,19 @@
 // not resident, and evicts least-recently-used blocks once the configured
 // memory budget (in blocks) is exceeded. It stores no data — only residency —
 // because the reproduction keeps all data in memory and models the I/O cost.
+//
+// Access() is thread-safe (a real buffer pool is shared by all workers, and
+// the parallel miner probes from several threads at once). The LRU state
+// then depends on the probe interleaving, so miss counts may vary between
+// multi-threaded runs — exactly as on real hardware — while probe *results*
+// are unaffected.
 
 #ifndef BBSMINE_STORAGE_PAGE_CACHE_H_
 #define BBSMINE_STORAGE_PAGE_CACHE_H_
 
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <unordered_map>
 
 #include "util/iomodel.h"
@@ -37,9 +44,18 @@ class PageCache {
   void Clear();
 
   uint64_t capacity() const { return capacity_; }
-  uint64_t resident_blocks() const { return lru_.size(); }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  uint64_t resident_blocks() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lru_.size();
+  }
+  uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  uint64_t misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
 
  private:
   uint64_t capacity_;
@@ -48,6 +64,7 @@ class PageCache {
   // Front = most recently used.
   std::list<uint64_t> lru_;
   std::unordered_map<uint64_t, std::list<uint64_t>::iterator> index_;
+  mutable std::mutex mu_;  // guards all of the above
 };
 
 }  // namespace bbsmine

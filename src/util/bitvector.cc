@@ -25,6 +25,15 @@ void BitVector::Resize(size_t size) {
   MaskTail();
 }
 
+void BitVector::AssignWords(const Word* words, size_t num_words, size_t size) {
+  size_t needed = (size + kWordBits - 1) / kWordBits;
+  assert(num_words >= needed);
+  (void)num_words;
+  words_.assign(words, words + needed);
+  size_ = size;
+  MaskTail();
+}
+
 void BitVector::Clear() {
   std::fill(words_.begin(), words_.end(), Word{0});
 }

@@ -1,0 +1,42 @@
+#include "util/file_io.h"
+
+#include <cstdio>
+
+namespace bbsmine {
+
+Status WriteBinaryFile(const std::string& path, std::string_view data) {
+  std::FILE* fp = std::fopen(path.c_str(), "wb");
+  if (fp == nullptr) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  bool ok = data.empty() ||
+            std::fwrite(data.data(), 1, data.size(), fp) == data.size();
+  // fwrite may buffer; a full disk often only surfaces at flush/close time.
+  ok = std::fflush(fp) == 0 && ok;
+  ok = std::fclose(fp) == 0 && ok;
+  if (!ok) {
+    return Status::IoError("write failed (disk full?): " + path);
+  }
+  return Status::Ok();
+}
+
+Result<std::string> ReadBinaryFile(const std::string& path) {
+  std::FILE* fp = std::fopen(path.c_str(), "rb");
+  if (fp == nullptr) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  std::string data;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), fp)) > 0) {
+    data.append(buf, n);
+  }
+  bool read_error = std::ferror(fp) != 0;
+  std::fclose(fp);
+  if (read_error) {
+    return Status::IoError("read error: " + path);
+  }
+  return data;
+}
+
+}  // namespace bbsmine

@@ -1,0 +1,31 @@
+// Whole-file read/write helpers with full error propagation.
+//
+// The persistence layers (BbsIndex, SegmentedBbs) serialize into an in-memory
+// buffer and write it in one shot. Writing through a bare fopen/fwrite pair
+// silently loses late failures: fwrite may buffer everything and report
+// success, with ENOSPC only surfacing at fflush/fclose time. A full disk
+// could then leave a truncated, CRC-invalid index behind while Save returned
+// OK. These helpers check every step — open, write, flush, close — and turn
+// any failure into Status::IoError.
+
+#ifndef BBSMINE_UTIL_FILE_IO_H_
+#define BBSMINE_UTIL_FILE_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace bbsmine {
+
+/// Writes `data` to `path`, replacing any existing file. Returns IoError if
+/// the file cannot be opened, written, flushed, or closed.
+Status WriteBinaryFile(const std::string& path, std::string_view data);
+
+/// Reads the whole file at `path`. Returns IoError if the file cannot be
+/// opened or a read fails.
+Result<std::string> ReadBinaryFile(const std::string& path);
+
+}  // namespace bbsmine
+
+#endif  // BBSMINE_UTIL_FILE_IO_H_

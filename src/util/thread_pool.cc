@@ -1,0 +1,96 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+namespace bbsmine {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  size_t count = std::max<size_t>(1, num_threads);
+  workers_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  auto next = std::make_shared<std::atomic<size_t>>(0);
+  size_t tasks = std::min(num_threads(), n);
+  for (size_t t = 0; t < tasks; ++t) {
+    Submit([next, n, &body] {
+      for (size_t i = next->fetch_add(1, std::memory_order_relaxed); i < n;
+           i = next->fetch_add(1, std::memory_order_relaxed)) {
+        body(i);
+      }
+    });
+  }
+  Wait();
+}
+
+size_t ThreadPool::DefaultThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void ParallelFor(size_t num_threads, size_t n,
+                 const std::function<void(size_t)>& body) {
+  size_t threads = std::min(ResolveThreads(num_threads), n);
+  if (threads <= 1) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  ThreadPool pool(threads);
+  pool.ParallelFor(n, body);
+}
+
+size_t ResolveThreads(size_t num_threads) {
+  if (num_threads == 0) return ThreadPool::DefaultThreads();
+  return num_threads;
+}
+
+}  // namespace bbsmine

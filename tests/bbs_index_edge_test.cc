@@ -165,5 +165,20 @@ TEST(BbsIndexEdgeTest, ConstraintSliceComposition) {
             unconstrained);
 }
 
+TEST(BbsIndexEdgeTest, SaveToUnwritablePathReportsError) {
+  TransactionDatabase db = testing::RandomDb(21, 50, 20, 4.0);
+  BbsIndex bbs = MakeBbs(db, 96, 2);
+
+  // A directory that does not exist: fopen fails.
+  Status status = bbs.Save(TempPath("no_such_dir") + "/index.bbs");
+  EXPECT_FALSE(status.ok());
+
+  // A device that accepts opens but fails writes at flush/close time
+  // (catches errors that only surface when the stdio buffer drains).
+  if (std::filesystem::exists("/dev/full")) {
+    EXPECT_FALSE(bbs.Save("/dev/full").ok());
+  }
+}
+
 }  // namespace
 }  // namespace bbsmine

@@ -133,7 +133,7 @@ TEST(PipelineTest, FullWorkflow) {
     auto segmented = SegmentedBbs::Create(config, 400);
     ASSERT_TRUE(segmented.ok());
     for (size_t t = 0; t < loaded_db->size(); ++t) {
-      segmented->Insert(loaded_db->At(t).items);
+      ASSERT_TRUE(segmented->Insert(loaded_db->At(t).items).ok());
     }
     EXPECT_EQ(segmented->num_segments(), 4u);
     for (const Itemset& items : reference) {

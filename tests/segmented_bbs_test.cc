@@ -39,7 +39,9 @@ TEST(SegmentedBbsTest, CreateValidates) {
 TEST(SegmentedBbsTest, SegmentsRollOverAtCapacity) {
   auto bbs = SegmentedBbs::Create(SmallConfig(), 10);
   ASSERT_TRUE(bbs.ok());
-  for (int i = 0; i < 25; ++i) bbs->Insert({static_cast<ItemId>(i % 7)});
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_TRUE(bbs->Insert({static_cast<ItemId>(i % 7)}).ok());
+  }
   EXPECT_EQ(bbs->num_transactions(), 25u);
   EXPECT_EQ(bbs->num_segments(), 3u);
   EXPECT_EQ(bbs->segment(0).num_transactions(), 10u);
@@ -53,7 +55,7 @@ TEST(SegmentedBbsTest, CountsMatchMonolithicIndex) {
   auto monolithic = BbsIndex::Create(SmallConfig());
   ASSERT_TRUE(segmented.ok() && monolithic.ok());
   for (size_t t = 0; t < db.size(); ++t) {
-    segmented->Insert(db.At(t).items);
+    ASSERT_TRUE(segmented->Insert(db.At(t).items).ok());
     monolithic->Insert(db.At(t).items);
   }
 
@@ -68,7 +70,9 @@ TEST(SegmentedBbsTest, NeverUnderestimates) {
   TransactionDatabase db = testing::RandomDb(9, 400, 30, 5.0);
   auto bbs = SegmentedBbs::Create(SmallConfig(), 50);
   ASSERT_TRUE(bbs.ok());
-  for (size_t t = 0; t < db.size(); ++t) bbs->Insert(db.At(t).items);
+  for (size_t t = 0; t < db.size(); ++t) {
+    ASSERT_TRUE(bbs->Insert(db.At(t).items).ok());
+  }
   for (Itemset items : std::vector<Itemset>{{1}, {2, 3}, {4, 5, 6}}) {
     EXPECT_GE(bbs->CountItemSet(items), testing::BruteForceSupport(db, items));
   }
@@ -78,7 +82,9 @@ TEST(SegmentedBbsTest, PerSegmentCountsSumToTotal) {
   TransactionDatabase db = testing::RandomDb(13, 200, 20, 5.0);
   auto bbs = SegmentedBbs::Create(SmallConfig(), 30);
   ASSERT_TRUE(bbs.ok());
-  for (size_t t = 0; t < db.size(); ++t) bbs->Insert(db.At(t).items);
+  for (size_t t = 0; t < db.size(); ++t) {
+    ASSERT_TRUE(bbs->Insert(db.At(t).items).ok());
+  }
 
   Itemset items = {1, 2};
   std::vector<size_t> per_segment = bbs->CountPerSegment(items);
@@ -91,7 +97,7 @@ TEST(SegmentedBbsTest, PerSegmentCountsSumToTotal) {
 TEST(SegmentedBbsTest, ExactItemCountsAccumulate) {
   auto bbs = SegmentedBbs::Create(SmallConfig(), 3);
   ASSERT_TRUE(bbs.ok());
-  for (int i = 0; i < 10; ++i) bbs->Insert({7});
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(bbs->Insert({7}).ok());
   EXPECT_EQ(bbs->ExactItemCount(7), 10u);
   EXPECT_EQ(bbs->ExactItemCount(8), 0u);
 }
@@ -100,7 +106,9 @@ TEST(SegmentedBbsTest, SaveLoadRoundTrip) {
   TransactionDatabase db = testing::RandomDb(17, 120, 30, 5.0);
   auto bbs = SegmentedBbs::Create(SmallConfig(), 40);
   ASSERT_TRUE(bbs.ok());
-  for (size_t t = 0; t < db.size(); ++t) bbs->Insert(db.At(t).items);
+  for (size_t t = 0; t < db.size(); ++t) {
+    ASSERT_TRUE(bbs->Insert(db.At(t).items).ok());
+  }
 
   std::string prefix = TempPrefix("bbsmine_segmented_roundtrip");
   ASSERT_TRUE(bbs->Save(prefix).ok());
@@ -114,7 +122,9 @@ TEST(SegmentedBbsTest, SaveLoadRoundTrip) {
 TEST(SegmentedBbsTest, LoadDetectsMissingSegment) {
   auto bbs = SegmentedBbs::Create(SmallConfig(), 5);
   ASSERT_TRUE(bbs.ok());
-  for (int i = 0; i < 12; ++i) bbs->Insert({static_cast<ItemId>(i)});
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(bbs->Insert({static_cast<ItemId>(i)}).ok());
+  }
   std::string prefix = TempPrefix("bbsmine_segmented_missing");
   ASSERT_TRUE(bbs->Save(prefix).ok());
   std::remove((prefix + ".seg1").c_str());
@@ -123,16 +133,23 @@ TEST(SegmentedBbsTest, LoadDetectsMissingSegment) {
   RemoveSegments(prefix, bbs->num_segments());
 }
 
+TEST(SegmentedBbsTest, SaveToUnwritablePathReportsError) {
+  auto bbs = SegmentedBbs::Create(SmallConfig(), 4);
+  ASSERT_TRUE(bbs.ok());
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(bbs->Insert({1, 2}).ok());
+  EXPECT_FALSE(bbs->Save(TempPrefix("no_such_dir") + "/segmented").ok());
+}
+
 TEST(SegmentedBbsTest, AppendAfterLoadKeepsCounting) {
   auto bbs = SegmentedBbs::Create(SmallConfig(), 4);
   ASSERT_TRUE(bbs.ok());
-  for (int i = 0; i < 6; ++i) bbs->Insert({1, 2});
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(bbs->Insert({1, 2}).ok());
   std::string prefix = TempPrefix("bbsmine_segmented_append");
   ASSERT_TRUE(bbs->Save(prefix).ok());
 
   auto loaded = SegmentedBbs::Load(prefix);
   ASSERT_TRUE(loaded.ok());
-  loaded->Insert({1, 2});
+  ASSERT_TRUE(loaded->Insert({1, 2}).ok());
   EXPECT_EQ(loaded->num_transactions(), 7u);
   EXPECT_GE(loaded->CountItemSet({1, 2}), 7u);
   EXPECT_EQ(loaded->ExactItemCount(1), 7u);

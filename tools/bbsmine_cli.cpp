@@ -269,6 +269,7 @@ int CmdMine(const Args& args) {
     MineConfig config;
     config.min_support = min_support;
     config.memory_budget_bytes = args.GetUint("budget", 0);
+    config.num_threads = static_cast<uint32_t>(args.GetUint("threads", 1));
     if (algo == "sfs") {
       config.algorithm = Algorithm::kSFS;
     } else if (algo == "sfp") {
@@ -453,6 +454,8 @@ void Usage() {
       "  stats    [--db FILE] [--index FILE]\n"
       "  mine     --db FILE [--index FILE] [--algo sfs|sfp|dfs|dfp|apriori|\n"
       "           fpgrowth|eclat] [--minsup F] [--budget BYTES] [--top N]\n"
+      "           [--threads N]  (0 = one per hardware thread; BBS algos\n"
+      "           only; the pattern set is identical at any thread count)\n"
       "           [--closed | --maximal] [--out FILE]\n"
       "  count    --db FILE --index FILE --items A,B,C [--tid-mod M:R]\n"
       "  rules    --db FILE [--minsup F] [--minconf F] [--top N]\n"
