@@ -5,10 +5,13 @@
 #include <cstring>
 
 #include "storage/transaction_db.h"
+#include "util/bitvector_kernels.h"
 #include "util/crc32.h"
 #include "util/file_io.h"
 
 namespace bbsmine {
+
+using Word = BitVector::Word;
 
 namespace {
 
@@ -125,15 +128,14 @@ void BbsIndex::CollectPositions(const Itemset& items,
             });
 }
 
+// Words per block of the multi-way AND below: 1 KiB-word blocks keep a
+// handful of slice streams cache-resident while giving the early-abort a
+// fine enough grain to pay off.
+static constexpr size_t kCountBlockWords = 1024;
+
 size_t BbsIndex::CountWithSeed(const std::vector<uint32_t>& positions,
                                const BitVector* seed, BitVector* result,
                                IoStats* io, uint64_t min_count) const {
-  if (io != nullptr) {
-    // Each touched slice is streamed once.
-    io->sequential_reads +=
-        positions.size() * BlocksFor(SliceBytes(), 4096);
-  }
-
   BitVector local;
   BitVector& out = result != nullptr ? *result : local;
 
@@ -148,18 +150,71 @@ size_t BbsIndex::CountWithSeed(const std::vector<uint32_t>& positions,
     return out.Count();
   }
 
-  size_t idx = 0;
-  if (seed != nullptr) {
-    out = *seed;
-    out.AndWith(slices_[positions[idx++]]);
-  } else {
-    out = slices_[positions[idx++]];
+  // One blocked pass over all selected slices at once instead of k full
+  // sweeps: per block, the running AND is reduced while the streams are
+  // still cache-hot. After each block the loop aborts as soon as even an
+  // all-ones remainder could not lift the count back to min_count — the
+  // dense early-abort the filter phase relies on. On abort `out` is only
+  // partially written, which the CountItemSetAtLeast contract allows.
+  const size_t k = positions.size();
+  const Word* seed_words = seed != nullptr ? seed->words().data() : nullptr;
+  // Stack-friendly operand table; queries rarely select more than a few
+  // dozen slices, but signatures of long itemsets can.
+  std::vector<const Word*> srcs(k);
+  for (size_t i = 0; i < k; ++i) {
+    srcs[i] = slices_[positions[i]].words().data();
   }
-  // The running count after ANDing a prefix of slices only shrinks with
-  // further ANDs, so the loop can stop as soon as it falls below min_count.
-  size_t count = out.Count();
-  for (; idx < positions.size() && count >= min_count; ++idx) {
-    count = out.AndWithCount(slices_[positions[idx]]);
+
+  out.Resize(num_transactions_);
+  Word* dst = out.MutableWords();
+  const size_t n_words = out.num_words();
+  std::vector<size_t> touched(k, 0);  // words streamed per slice
+
+  size_t count = 0;
+  for (size_t base = 0; base < n_words; base += kCountBlockWords) {
+    const size_t len = std::min(kCountBlockWords, n_words - base);
+    uint64_t block;
+    size_t op;
+    if (seed_words != nullptr) {
+      block = kernels::AssignAndCount(dst + base, seed_words + base,
+                                      srcs[0] + base, len);
+      touched[0] += len;
+      op = 1;
+    } else if (k >= 2) {
+      block = kernels::AssignAndCount(dst + base, srcs[0] + base,
+                                      srcs[1] + base, len);
+      touched[0] += len;
+      touched[1] += len;
+      op = 2;
+    } else {
+      block = kernels::AssignAndCount(dst + base, srcs[0] + base,
+                                      srcs[0] + base, len);
+      touched[0] += len;
+      op = 1;
+    }
+    // A block whose running AND goes all-zero skips its remaining slices:
+    // further ANDs cannot resurrect bits and dst is already correct there.
+    for (; op < k && block != 0; ++op) {
+      block = kernels::AndCount(dst + base, srcs[op] + base, len);
+      touched[op] += len;
+    }
+    count += static_cast<size_t>(block);
+
+    const size_t bits_done = std::min((base + len) * BitVector::kWordBits,
+                                      num_transactions_);
+    const size_t remaining_bits = num_transactions_ - bits_done;
+    if (count + remaining_bits < min_count) break;
+  }
+
+  if (io != nullptr) {
+    // Charge only what was actually streamed (the abort above may leave
+    // whole slice suffixes unread), capped at the slice's serialized size.
+    for (size_t i = 0; i < k; ++i) {
+      uint64_t bytes = std::min<uint64_t>(
+          static_cast<uint64_t>(touched[i]) * sizeof(Word), SliceBytes());
+      io->sequential_reads += BlocksFor(bytes, 4096);
+      io->slice_words_touched += touched[i];
+    }
   }
   return count;
 }
@@ -207,17 +262,20 @@ size_t BbsIndex::AndItemSlices(ItemId item, BitVector* result,
   assert(result->size() == num_transactions_);
   std::vector<uint32_t> positions;
   ItemPositions(item, &positions);
-  if (io != nullptr) {
-    io->sequential_reads +=
-        positions.size() * BlocksFor(SliceBytes(), 4096);
-  }
   // ANDing zero slices leaves `result` unchanged, so the count is the
   // vector's own popcount — not 0.
   if (positions.empty()) return result->Count();
   size_t count = 0;
+  size_t slices_read = 0;
   for (size_t i = 0; i < positions.size(); ++i) {
     count = result->AndWithCount(slices_[positions[i]]);
+    ++slices_read;
     if (count == 0) break;
+  }
+  if (io != nullptr) {
+    // Charge only the slices the loop actually streamed; the count == 0
+    // break above leaves the rest unread.
+    io->sequential_reads += slices_read * BlocksFor(SliceBytes(), 4096);
   }
   return count;
 }
@@ -252,8 +310,10 @@ BbsIndex BbsIndex::Fold(uint32_t new_bits) const {
 void BbsIndex::RecomputeSignatureBits() {
   signature_bits_.assign(num_transactions_, 0);
   std::vector<uint32_t> set_positions;
-  for (const BitVector& slice : slices_) {
+  for (uint32_t pos = 0; pos < num_bits(); ++pos) {
     set_positions.clear();
+    set_positions.reserve(slice_popcount_[pos]);
+    const BitVector& slice = slices_[pos];
     slice.AppendSetBits(&set_positions);
     for (uint32_t t : set_positions) ++signature_bits_[t];
   }

@@ -68,11 +68,11 @@ class FilterEngine {
   const std::vector<Singleton>& singletons() const { return singletons_; }
 
   /// Computes est(parent itemset + singletons()[idx]): *out receives
-  /// parent_vector AND singleton vector; returns its popcount.
+  /// parent_vector AND singleton vector; returns its popcount. Single
+  /// fused kernel pass (no copy-then-AND).
   size_t Extend(size_t idx, const BitVector& parent_vector,
                 BitVector* out) const {
-    *out = parent_vector;
-    return out->AndWithCount(singletons_[idx].vector);
+    return out->AssignAndCount(parent_vector, singletons_[idx].vector);
   }
 
   /// Hybrid variant: intersects `parent` with singleton idx's vector into

@@ -1,5 +1,7 @@
 #include "core/tidset.h"
 
+#include <algorithm>
+
 namespace bbsmine {
 
 TidSet TidSet::AllOf(size_t n) {
@@ -15,6 +17,7 @@ TidSet TidSet::FromDense(BitVector dense, size_t sparse_threshold) {
   set.count_ = dense.Count();
   if (set.count_ <= sparse_threshold) {
     set.sparse_ = true;
+    set.tids_.reserve(set.count_);
     dense.AppendSetBits(&set.tids_);
   } else {
     set.dense_ = std::move(dense);
@@ -32,6 +35,10 @@ size_t TidSet::AssignIntersection(const TidSet& parent, const BitVector& with,
     sparse_ = true;
     tids_.clear();
     size_t total = parent.tids_.size();
+    // The result can't outgrow the parent (nor the universe); reserving up
+    // front avoids reallocation churn across the Probe refinement's many
+    // small intersections.
+    tids_.reserve(std::min(total, static_cast<size_t>(with.size())));
     for (size_t i = 0; i < total; ++i) {
       if (min_count > 0 && tids_.size() + (total - i) < min_count) break;
       uint32_t tid = parent.tids_[i];
@@ -41,12 +48,12 @@ size_t TidSet::AssignIntersection(const TidSet& parent, const BitVector& with,
     return count_;
   }
 
-  // Dense path: word-parallel AND with fused popcount.
-  dense_ = parent.dense_;
-  count_ = dense_.AndWithCount(with);
+  // Dense path: one fused assign-AND-count kernel pass (no copy first).
+  count_ = dense_.AssignAndCount(parent.dense_, with);
   if (count_ <= sparse_threshold) {
     sparse_ = true;
     tids_.clear();
+    tids_.reserve(count_);
     dense_.AppendSetBits(&tids_);
   } else {
     sparse_ = false;

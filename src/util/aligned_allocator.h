@@ -1,0 +1,57 @@
+// A std::allocator drop-in with a guaranteed minimum alignment.
+//
+// BitVector stores its words through this with 64-byte alignment so every
+// slice starts on a cache-line (and full AVX-512 vector) boundary; the
+// kernels still use unaligned loads, so alignment is a throughput hint,
+// never a correctness requirement.
+
+#ifndef BBSMINE_UTIL_ALIGNED_ALLOCATOR_H_
+#define BBSMINE_UTIL_ALIGNED_ALLOCATOR_H_
+
+#include <cstddef>
+#include <new>
+
+namespace bbsmine {
+
+template <typename T, std::size_t Alignment>
+class AlignedAllocator {
+ public:
+  static_assert(Alignment >= alignof(T),
+                "Alignment must not be weaker than alignof(T)");
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two");
+
+  using value_type = T;
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+};
+
+template <typename T, typename U, std::size_t A>
+bool operator==(const AlignedAllocator<T, A>&, const AlignedAllocator<U, A>&) {
+  return true;
+}
+
+template <typename T, typename U, std::size_t A>
+bool operator!=(const AlignedAllocator<T, A>&, const AlignedAllocator<U, A>&) {
+  return false;
+}
+
+}  // namespace bbsmine
+
+#endif  // BBSMINE_UTIL_ALIGNED_ALLOCATOR_H_

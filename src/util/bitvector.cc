@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "util/bitvector_kernels.h"
+
 namespace bbsmine {
 
 BitVector::BitVector(size_t size, bool value)
@@ -44,9 +46,7 @@ void BitVector::SetAll() {
 }
 
 size_t BitVector::Count() const {
-  size_t total = 0;
-  for (Word w : words_) total += static_cast<size_t>(std::popcount(w));
-  return total;
+  return static_cast<size_t>(kernels::Count(words_.data(), words_.size()));
 }
 
 size_t BitVector::CountPrefix(size_t prefix_bits) const {
@@ -73,17 +73,17 @@ bool BitVector::None() const {
 
 void BitVector::AndWith(const BitVector& other) {
   assert(size_ == other.size_);
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  kernels::AndWords(words_.data(), other.words_.data(), words_.size());
 }
 
 void BitVector::OrWith(const BitVector& other) {
   assert(size_ == other.size_);
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  kernels::OrWords(words_.data(), other.words_.data(), words_.size());
 }
 
 void BitVector::AndNotWith(const BitVector& other) {
   assert(size_ == other.size_);
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  kernels::AndNotWords(words_.data(), other.words_.data(), words_.size());
 }
 
 void BitVector::FlipAll() {
@@ -93,28 +93,28 @@ void BitVector::FlipAll() {
 
 size_t BitVector::AndWithCount(const BitVector& other) {
   assert(size_ == other.size_);
-  size_t total = 0;
-  for (size_t i = 0; i < words_.size(); ++i) {
-    words_[i] &= other.words_[i];
-    total += static_cast<size_t>(std::popcount(words_[i]));
-  }
-  return total;
+  return static_cast<size_t>(
+      kernels::AndCount(words_.data(), other.words_.data(), words_.size()));
+}
+
+size_t BitVector::AssignAndCount(const BitVector& a, const BitVector& b) {
+  assert(a.size_ == b.size_);
+  words_.resize(a.words_.size());
+  size_ = a.size_;
+  return static_cast<size_t>(kernels::AssignAndCount(
+      words_.data(), a.words_.data(), b.words_.data(), words_.size()));
 }
 
 bool BitVector::Intersects(const BitVector& other) const {
   assert(size_ == other.size_);
-  for (size_t i = 0; i < words_.size(); ++i) {
-    if ((words_[i] & other.words_[i]) != 0) return true;
-  }
-  return false;
+  return kernels::Intersects(words_.data(), other.words_.data(),
+                             words_.size());
 }
 
 bool BitVector::IsSubsetOf(const BitVector& other) const {
   assert(size_ == other.size_);
-  for (size_t i = 0; i < words_.size(); ++i) {
-    if ((words_[i] & ~other.words_[i]) != 0) return false;
-  }
-  return true;
+  return kernels::IsSubsetOf(words_.data(), other.words_.data(),
+                             words_.size());
 }
 
 size_t BitVector::FindNext(size_t from) const {

@@ -16,16 +16,25 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/aligned_allocator.h"
+
 namespace bbsmine {
 
 /// A growable vector of bits backed by 64-bit words.
 ///
 /// Bits beyond size() inside the last word are maintained as zero, so bulk
 /// word operations (AND, OR, popcount) never need per-bit masking.
+///
+/// All bulk operations dispatch through the runtime-selected SIMD kernels
+/// (util/bitvector_kernels.h); the backing words are 64-byte aligned so
+/// every vector starts on a cache-line boundary.
 class BitVector {
  public:
   using Word = uint64_t;
   static constexpr size_t kWordBits = 64;
+  /// Cache-line / AVX-512-vector alignment of the backing words.
+  static constexpr size_t kWordAlignment = 64;
+  using WordVector = std::vector<Word, AlignedAllocator<Word, kWordAlignment>>;
 
   /// Constructs an empty bit vector.
   BitVector() = default;
@@ -41,7 +50,12 @@ class BitVector {
   size_t num_words() const { return words_.size(); }
 
   /// Read-only access to the backing words, for serialization and bulk math.
-  const std::vector<Word>& words() const { return words_; }
+  const WordVector& words() const { return words_; }
+
+  /// Mutable word storage for kernel-driven bulk math (the BBS index's
+  /// blocked CountWithSeed writes AND results straight into it). Callers
+  /// must preserve the invariant that bits past size() stay zero.
+  Word* MutableWords() { return words_.data(); }
 
   /// Returns bit `i`. Precondition: i < size().
   bool Get(size_t i) const {
@@ -103,6 +117,12 @@ class BitVector {
   /// Fuses the two passes of AndWith + Count into one.
   size_t AndWithCount(const BitVector& other);
 
+  /// Three-operand fused op: *this = a & b, returning the popcount of the
+  /// result. Replaces the copy-then-AndWithCount two-pass pattern in the
+  /// filter walk. `a` and `b` must have the same size; either may alias
+  /// *this.
+  size_t AssignAndCount(const BitVector& a, const BitVector& b);
+
   /// True if (this & other) has at least one set bit. Early-exits.
   bool Intersects(const BitVector& other) const;
 
@@ -130,7 +150,7 @@ class BitVector {
   /// Zeroes bits at positions >= size_ in the last word.
   void MaskTail();
 
-  std::vector<Word> words_;
+  WordVector words_;
   size_t size_ = 0;
 };
 

@@ -1,0 +1,238 @@
+// Kernel registry, runtime CPU dispatch, and the portable scalar kernels.
+//
+// The vector kernels live in sibling TUs (bitvector_kernels_{avx2,avx512,
+// neon}.cc) compiled with the matching arch flags; this TU is compiled with
+// the project's baseline flags only, so it is always safe to execute.
+
+#include "util/bitvector_kernels.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace bbsmine {
+namespace kernels {
+
+namespace {
+
+// ---- Portable scalar kernels -------------------------------------------
+
+uint64_t ScalarCount(const Word* w, size_t n) {
+  uint64_t total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    total += static_cast<uint64_t>(std::popcount(w[i]));
+  }
+  return total;
+}
+
+void ScalarAndWords(Word* dst, const Word* src, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] &= src[i];
+}
+
+uint64_t ScalarAndCount(Word* dst, const Word* src, size_t n) {
+  uint64_t total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    dst[i] &= src[i];
+    total += static_cast<uint64_t>(std::popcount(dst[i]));
+  }
+  return total;
+}
+
+uint64_t ScalarAssignAndCount(Word* dst, const Word* a, const Word* b,
+                              size_t n) {
+  uint64_t total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    dst[i] = a[i] & b[i];
+    total += static_cast<uint64_t>(std::popcount(dst[i]));
+  }
+  return total;
+}
+
+void ScalarOrWords(Word* dst, const Word* src, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] |= src[i];
+}
+
+void ScalarAndNotWords(Word* dst, const Word* src, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] &= ~src[i];
+}
+
+bool ScalarIntersects(const Word* a, const Word* b, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if ((a[i] & b[i]) != 0) return true;
+  }
+  return false;
+}
+
+bool ScalarIsSubsetOf(const Word* a, const Word* b, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if ((a[i] & ~b[i]) != 0) return false;
+  }
+  return true;
+}
+
+// Words per block of the multi-operand AND: 512 words = 4 KiB per operand,
+// so a handful of operand streams stay L1/L2-resident while the block's
+// running AND is reduced to a count.
+constexpr size_t kAndManyBlockWords = 512;
+
+uint64_t ScalarAndManyCount(Word* dst, const Word* const* srcs, size_t k,
+                            size_t n) {
+  if (k == 1) {
+    std::memcpy(dst, srcs[0], n * sizeof(Word));
+    return ScalarCount(dst, n);
+  }
+  uint64_t total = 0;
+  for (size_t base = 0; base < n; base += kAndManyBlockWords) {
+    size_t len = std::min(kAndManyBlockWords, n - base);
+    uint64_t block = ScalarAssignAndCount(dst + base, srcs[0] + base,
+                                          srcs[1] + base, len);
+    // A block whose running AND goes all-zero skips its remaining
+    // operands: further ANDs cannot resurrect bits, and dst is already
+    // the correct (zero) k-way AND there.
+    for (size_t op = 2; op < k && block != 0; ++op) {
+      block = ScalarAndCount(dst + base, srcs[op] + base, len);
+    }
+    total += block;
+  }
+  return total;
+}
+
+const KernelOps kScalarOps = {
+    .name = "scalar",
+    .count = ScalarCount,
+    .and_words = ScalarAndWords,
+    .and_count = ScalarAndCount,
+    .assign_and_count = ScalarAssignAndCount,
+    .or_words = ScalarOrWords,
+    .andnot_words = ScalarAndNotWords,
+    .intersects = ScalarIntersects,
+    .is_subset_of = ScalarIsSubsetOf,
+    .and_many_count = ScalarAndManyCount,
+};
+
+// ---- Registry & dispatch ------------------------------------------------
+
+/// Kernels compiled into this binary, best first. A null entry means the
+/// TU was not built for this target.
+const KernelOps* CompiledKernels(size_t idx) {
+  switch (idx) {
+#if defined(BBSMINE_HAVE_KERNEL_AVX512)
+    case 0:
+      return internal::Avx512Kernels();
+#endif
+#if defined(BBSMINE_HAVE_KERNEL_AVX2)
+    case 1:
+      return internal::Avx2Kernels();
+#endif
+#if defined(BBSMINE_HAVE_KERNEL_NEON)
+    case 2:
+      return internal::NeonKernels();
+#endif
+    case 3:
+      return &kScalarOps;
+    default:
+      return nullptr;
+  }
+}
+
+constexpr size_t kNumKernelSlots = 4;
+
+/// True when the running CPU can execute the kernel in slot `idx`. The
+/// per-ISA TUs are compiled with -m flags, so they must never run without
+/// this check passing.
+bool CpuSupports(size_t idx) {
+  switch (idx) {
+    case 0:  // avx512: foundation + BW/VL for 512-bit integer ops + VPOPCNTDQ
+#if defined(__x86_64__) || defined(__i386__)
+      __builtin_cpu_init();
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512bw") &&
+             __builtin_cpu_supports("avx512vl") &&
+             __builtin_cpu_supports("avx512vpopcntdq");
+#else
+      return false;
+#endif
+    case 1:  // avx2
+#if defined(__x86_64__) || defined(__i386__)
+      __builtin_cpu_init();
+      return __builtin_cpu_supports("avx2");
+#else
+      return false;
+#endif
+    case 2:  // neon: baseline on aarch64
+#if defined(__aarch64__)
+      return true;
+#else
+      return false;
+#endif
+    case 3:  // scalar
+      return true;
+    default:
+      return false;
+  }
+}
+
+const KernelOps* FindByName(const char* name) {
+  for (size_t i = 0; i < kNumKernelSlots; ++i) {
+    const KernelOps* ops = CompiledKernels(i);
+    if (ops != nullptr && CpuSupports(i) && std::strcmp(ops->name, name) == 0) {
+      return ops;
+    }
+  }
+  return nullptr;
+}
+
+const KernelOps* PickDefault() {
+  const char* env = std::getenv("BBSMINE_KERNEL");
+  if (env != nullptr && env[0] != '\0') {
+    const KernelOps* forced = FindByName(env);
+    if (forced != nullptr) return forced;
+    std::fprintf(stderr,
+                 "bbsmine: BBSMINE_KERNEL=%s is unknown or unsupported on "
+                 "this CPU; using best available kernel\n",
+                 env);
+  }
+  for (size_t i = 0; i < kNumKernelSlots; ++i) {
+    const KernelOps* ops = CompiledKernels(i);
+    if (ops != nullptr && CpuSupports(i)) return ops;
+  }
+  return &kScalarOps;  // unreachable: the scalar slot always qualifies
+}
+
+/// The active kernel. Lazily initialized (thread-safe via the magic-static
+/// in ActiveSlot); only SetActive mutates it afterwards.
+const KernelOps*& ActiveSlot() {
+  static const KernelOps* active = PickDefault();
+  return active;
+}
+
+}  // namespace
+
+namespace internal {
+const KernelOps* ScalarKernels() { return &kScalarOps; }
+}  // namespace internal
+
+const KernelOps& Active() { return *ActiveSlot(); }
+
+const char* ActiveName() { return Active().name; }
+
+std::vector<const char*> AvailableNames() {
+  std::vector<const char*> names;
+  for (size_t i = 0; i < kNumKernelSlots; ++i) {
+    const KernelOps* ops = CompiledKernels(i);
+    if (ops != nullptr && CpuSupports(i)) names.push_back(ops->name);
+  }
+  return names;
+}
+
+bool SetActive(const char* name) {
+  const KernelOps* ops = FindByName(name);
+  if (ops == nullptr) return false;
+  ActiveSlot() = ops;
+  return true;
+}
+
+}  // namespace kernels
+}  // namespace bbsmine

@@ -1,0 +1,132 @@
+// Vectorized word-span kernels behind BitVector's bulk operations.
+//
+// Every miner bottoms out in CountItemSet = AND + popcount over N-bit
+// slices (paper Figure 1). PR 1 scaled that across cores; this layer raises
+// per-core throughput: one implementation of each primitive per ISA
+// (portable scalar, AVX2 with a Harley-Seal carry-save popcount fused into
+// the AND pass, AVX-512 with VPOPCNTDQ, NEON), selected once at startup by
+// runtime CPU detection and overridable with BBSMINE_KERNEL for testing.
+//
+// All kernels operate on spans of 64-bit words. Callers (BitVector, the
+// BBS index's blocked CountWithSeed) own the bit-level invariants: bits
+// past size() in the last word are zero, so no kernel masks tails.
+//
+// Thread safety: the active kernel is chosen once (first use) and is
+// immutable afterwards from the library's point of view; SetActiveKernel
+// exists for tests/benchmarks and must not race concurrent kernel calls.
+
+#ifndef BBSMINE_UTIL_BITVECTOR_KERNELS_H_
+#define BBSMINE_UTIL_BITVECTOR_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bbsmine {
+namespace kernels {
+
+using Word = uint64_t;
+
+/// One ISA's implementation of the word-span primitives. All counts are
+/// popcounts of the *result*; `n` is a word count; src spans never alias
+/// dst unless stated.
+struct KernelOps {
+  const char* name;
+
+  /// Popcount of w[0..n).
+  uint64_t (*count)(const Word* w, size_t n);
+
+  /// dst[i] &= src[i].
+  void (*and_words)(Word* dst, const Word* src, size_t n);
+
+  /// dst[i] &= src[i]; returns popcount of the updated dst (fused AND +
+  /// Harley-Seal count in the vector kernels — one pass, not two).
+  uint64_t (*and_count)(Word* dst, const Word* src, size_t n);
+
+  /// dst[i] = a[i] & b[i]; returns popcount of dst. Kills the
+  /// copy-then-AND two-pass pattern. dst may alias a or b.
+  uint64_t (*assign_and_count)(Word* dst, const Word* a, const Word* b,
+                               size_t n);
+
+  /// dst[i] |= src[i].
+  void (*or_words)(Word* dst, const Word* src, size_t n);
+
+  /// dst[i] &= ~src[i].
+  void (*andnot_words)(Word* dst, const Word* src, size_t n);
+
+  /// True iff (a & b) has any set bit. Early-exits.
+  bool (*intersects)(const Word* a, const Word* b, size_t n);
+
+  /// True iff (a & ~b) has no set bit. Early-exits.
+  bool (*is_subset_of)(const Word* a, const Word* b, size_t n);
+
+  /// dst[i] = srcs[0][i] & srcs[1][i] & ... & srcs[k-1][i]; returns the
+  /// popcount of dst. One cache-blocked pass over all k operands instead
+  /// of k full-span sweeps; a block whose running AND goes all-zero skips
+  /// the remaining operands for that block. k >= 1; dst must not alias any
+  /// src.
+  uint64_t (*and_many_count)(Word* dst, const Word* const* srcs, size_t k,
+                             size_t n);
+};
+
+/// The kernel all BitVector bulk ops dispatch through. Selected on first
+/// use: BBSMINE_KERNEL=<name> if set and available, else the best ISA the
+/// CPU supports (avx512 > avx2 > neon > scalar).
+const KernelOps& Active();
+
+/// Name of the active kernel ("scalar", "avx2", "avx512", "neon").
+const char* ActiveName();
+
+/// Names of every kernel compiled in *and* runnable on this CPU, best
+/// first. Always contains "scalar".
+std::vector<const char*> AvailableNames();
+
+/// Forces the active kernel by name. Returns false (and leaves the active
+/// kernel unchanged) if the name is unknown or the CPU can't run it. Test
+/// and benchmark hook; not safe against concurrent kernel calls.
+bool SetActive(const char* name);
+
+// --- Convenience wrappers over Active() ---------------------------------
+
+inline uint64_t Count(const Word* w, size_t n) { return Active().count(w, n); }
+inline void AndWords(Word* dst, const Word* src, size_t n) {
+  Active().and_words(dst, src, n);
+}
+inline uint64_t AndCount(Word* dst, const Word* src, size_t n) {
+  return Active().and_count(dst, src, n);
+}
+inline uint64_t AssignAndCount(Word* dst, const Word* a, const Word* b,
+                               size_t n) {
+  return Active().assign_and_count(dst, a, b, n);
+}
+inline void OrWords(Word* dst, const Word* src, size_t n) {
+  Active().or_words(dst, src, n);
+}
+inline void AndNotWords(Word* dst, const Word* src, size_t n) {
+  Active().andnot_words(dst, src, n);
+}
+inline bool Intersects(const Word* a, const Word* b, size_t n) {
+  return Active().intersects(a, b, n);
+}
+inline bool IsSubsetOf(const Word* a, const Word* b, size_t n) {
+  return Active().is_subset_of(a, b, n);
+}
+inline uint64_t AndManyCount(Word* dst, const Word* const* srcs, size_t k,
+                             size_t n) {
+  return Active().and_many_count(dst, srcs, k, n);
+}
+
+namespace internal {
+// Per-ISA kernel tables, defined in their own translation units so each can
+// be compiled with the matching -m<arch> flags. Only referenced when the
+// corresponding BBSMINE_HAVE_KERNEL_* macro is defined by the build.
+const KernelOps* ScalarKernels();
+const KernelOps* Avx2Kernels();
+const KernelOps* Avx512Kernels();
+const KernelOps* NeonKernels();
+}  // namespace internal
+
+}  // namespace kernels
+}  // namespace bbsmine
+
+#endif  // BBSMINE_UTIL_BITVECTOR_KERNELS_H_

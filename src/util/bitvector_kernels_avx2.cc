@@ -1,0 +1,236 @@
+// AVX2 kernels: 256-bit AND/OR/ANDNOT with a Harley-Seal carry-save
+// popcount (Muła, Kurz, Lemire, "Faster Population Counts Using AVX2
+// Instructions") fused into the same pass, so and_count / assign_and_count
+// touch each word exactly once.
+//
+// This TU is compiled with -mavx2 (see src/util/CMakeLists.txt); nothing in
+// it may run unless the dispatcher verified AVX2 support at startup.
+
+#include "util/bitvector_kernels.h"
+
+#if defined(BBSMINE_HAVE_KERNEL_AVX2)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+namespace bbsmine {
+namespace kernels {
+namespace {
+
+constexpr size_t kWordsPerVec = 4;  // 256 bits
+
+inline __m256i Load(const Word* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+inline void Store(Word* p, __m256i v) {
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+}
+
+/// Per-64-bit-lane popcount of a 256-bit vector via the nibble-lookup
+/// (vpshufb) trick, horizontally summed into u64 lanes by vpsadbw.
+inline __m256i Popcount256(__m256i v) {
+  const __m256i lookup = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  __m256i lo = _mm256_and_si256(v, low_mask);
+  __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+  __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lookup, lo),
+                                _mm256_shuffle_epi8(lookup, hi));
+  return _mm256_sad_epu8(cnt, _mm256_setzero_si256());
+}
+
+/// Carry-save adder: (h, l) = full add of the bit-columns a + b + c.
+inline void CSA(__m256i* h, __m256i* l, __m256i a, __m256i b, __m256i c) {
+  __m256i u = _mm256_xor_si256(a, b);
+  *h = _mm256_or_si256(_mm256_and_si256(a, b), _mm256_and_si256(u, c));
+  *l = _mm256_xor_si256(u, c);
+}
+
+inline uint64_t HorizontalSum(__m256i v) {
+  return static_cast<uint64_t>(_mm256_extract_epi64(v, 0)) +
+         static_cast<uint64_t>(_mm256_extract_epi64(v, 1)) +
+         static_cast<uint64_t>(_mm256_extract_epi64(v, 2)) +
+         static_cast<uint64_t>(_mm256_extract_epi64(v, 3));
+}
+
+/// Harley-Seal popcount over n_vecs 256-bit vectors, where produce(i)
+/// yields vector i (loading it and, for the fused ops, ANDing/storing it
+/// in the same breath). 16 vectors per CSA iteration.
+template <typename Producer>
+inline uint64_t CsaCount(size_t n_vecs, Producer produce) {
+  __m256i total = _mm256_setzero_si256();
+  __m256i ones = _mm256_setzero_si256();
+  __m256i twos = _mm256_setzero_si256();
+  __m256i fours = _mm256_setzero_si256();
+  __m256i eights = _mm256_setzero_si256();
+  __m256i sixteens;
+  __m256i twosA, twosB, foursA, foursB, eightsA, eightsB;
+
+  size_t i = 0;
+  for (; i + 16 <= n_vecs; i += 16) {
+    CSA(&twosA, &ones, ones, produce(i + 0), produce(i + 1));
+    CSA(&twosB, &ones, ones, produce(i + 2), produce(i + 3));
+    CSA(&foursA, &twos, twos, twosA, twosB);
+    CSA(&twosA, &ones, ones, produce(i + 4), produce(i + 5));
+    CSA(&twosB, &ones, ones, produce(i + 6), produce(i + 7));
+    CSA(&foursB, &twos, twos, twosA, twosB);
+    CSA(&eightsA, &fours, fours, foursA, foursB);
+    CSA(&twosA, &ones, ones, produce(i + 8), produce(i + 9));
+    CSA(&twosB, &ones, ones, produce(i + 10), produce(i + 11));
+    CSA(&foursA, &twos, twos, twosA, twosB);
+    CSA(&twosA, &ones, ones, produce(i + 12), produce(i + 13));
+    CSA(&twosB, &ones, ones, produce(i + 14), produce(i + 15));
+    CSA(&foursB, &twos, twos, twosA, twosB);
+    CSA(&eightsB, &fours, fours, foursA, foursB);
+    CSA(&sixteens, &eights, eights, eightsA, eightsB);
+    total = _mm256_add_epi64(total, Popcount256(sixteens));
+  }
+  total = _mm256_slli_epi64(total, 4);
+  total = _mm256_add_epi64(total, _mm256_slli_epi64(Popcount256(eights), 3));
+  total = _mm256_add_epi64(total, _mm256_slli_epi64(Popcount256(fours), 2));
+  total = _mm256_add_epi64(total, _mm256_slli_epi64(Popcount256(twos), 1));
+  total = _mm256_add_epi64(total, Popcount256(ones));
+  for (; i < n_vecs; ++i) {
+    total = _mm256_add_epi64(total, Popcount256(produce(i)));
+  }
+  return HorizontalSum(total);
+}
+
+uint64_t Avx2Count(const Word* w, size_t n) {
+  size_t n_vecs = n / kWordsPerVec;
+  uint64_t total =
+      CsaCount(n_vecs, [&](size_t i) { return Load(w + i * kWordsPerVec); });
+  for (size_t i = n_vecs * kWordsPerVec; i < n; ++i) {
+    total += static_cast<uint64_t>(std::popcount(w[i]));
+  }
+  return total;
+}
+
+void Avx2AndWords(Word* dst, const Word* src, size_t n) {
+  size_t i = 0;
+  for (; i + kWordsPerVec <= n; i += kWordsPerVec) {
+    Store(dst + i, _mm256_and_si256(Load(dst + i), Load(src + i)));
+  }
+  for (; i < n; ++i) dst[i] &= src[i];
+}
+
+uint64_t Avx2AndCount(Word* dst, const Word* src, size_t n) {
+  size_t n_vecs = n / kWordsPerVec;
+  uint64_t total = CsaCount(n_vecs, [&](size_t i) {
+    __m256i v = _mm256_and_si256(Load(dst + i * kWordsPerVec),
+                                 Load(src + i * kWordsPerVec));
+    Store(dst + i * kWordsPerVec, v);
+    return v;
+  });
+  for (size_t i = n_vecs * kWordsPerVec; i < n; ++i) {
+    dst[i] &= src[i];
+    total += static_cast<uint64_t>(std::popcount(dst[i]));
+  }
+  return total;
+}
+
+uint64_t Avx2AssignAndCount(Word* dst, const Word* a, const Word* b,
+                            size_t n) {
+  size_t n_vecs = n / kWordsPerVec;
+  uint64_t total = CsaCount(n_vecs, [&](size_t i) {
+    __m256i v = _mm256_and_si256(Load(a + i * kWordsPerVec),
+                                 Load(b + i * kWordsPerVec));
+    Store(dst + i * kWordsPerVec, v);
+    return v;
+  });
+  for (size_t i = n_vecs * kWordsPerVec; i < n; ++i) {
+    dst[i] = a[i] & b[i];
+    total += static_cast<uint64_t>(std::popcount(dst[i]));
+  }
+  return total;
+}
+
+void Avx2OrWords(Word* dst, const Word* src, size_t n) {
+  size_t i = 0;
+  for (; i + kWordsPerVec <= n; i += kWordsPerVec) {
+    Store(dst + i, _mm256_or_si256(Load(dst + i), Load(src + i)));
+  }
+  for (; i < n; ++i) dst[i] |= src[i];
+}
+
+void Avx2AndNotWords(Word* dst, const Word* src, size_t n) {
+  size_t i = 0;
+  for (; i + kWordsPerVec <= n; i += kWordsPerVec) {
+    // vpandn computes ~first & second.
+    Store(dst + i, _mm256_andnot_si256(Load(src + i), Load(dst + i)));
+  }
+  for (; i < n; ++i) dst[i] &= ~src[i];
+}
+
+bool Avx2Intersects(const Word* a, const Word* b, size_t n) {
+  size_t i = 0;
+  for (; i + kWordsPerVec <= n; i += kWordsPerVec) {
+    if (!_mm256_testz_si256(Load(a + i), Load(b + i))) return true;
+  }
+  for (; i < n; ++i) {
+    if ((a[i] & b[i]) != 0) return true;
+  }
+  return false;
+}
+
+bool Avx2IsSubsetOf(const Word* a, const Word* b, size_t n) {
+  size_t i = 0;
+  for (; i + kWordsPerVec <= n; i += kWordsPerVec) {
+    // testc(b, a) checks (~b & a) == 0, i.e. a ⊆ b on this vector.
+    if (!_mm256_testc_si256(Load(b + i), Load(a + i))) return false;
+  }
+  for (; i < n; ++i) {
+    if ((a[i] & ~b[i]) != 0) return false;
+  }
+  return true;
+}
+
+constexpr size_t kAndManyBlockWords = 512;  // 4 KiB per operand stream
+
+uint64_t Avx2AndManyCount(Word* dst, const Word* const* srcs, size_t k,
+                          size_t n) {
+  if (k == 1) {
+    std::memcpy(dst, srcs[0], n * sizeof(Word));
+    return Avx2Count(dst, n);
+  }
+  uint64_t total = 0;
+  for (size_t base = 0; base < n; base += kAndManyBlockWords) {
+    size_t len = std::min(kAndManyBlockWords, n - base);
+    uint64_t block =
+        Avx2AssignAndCount(dst + base, srcs[0] + base, srcs[1] + base, len);
+    for (size_t op = 2; op < k && block != 0; ++op) {
+      block = Avx2AndCount(dst + base, srcs[op] + base, len);
+    }
+    total += block;
+  }
+  return total;
+}
+
+const KernelOps kAvx2Ops = {
+    .name = "avx2",
+    .count = Avx2Count,
+    .and_words = Avx2AndWords,
+    .and_count = Avx2AndCount,
+    .assign_and_count = Avx2AssignAndCount,
+    .or_words = Avx2OrWords,
+    .andnot_words = Avx2AndNotWords,
+    .intersects = Avx2Intersects,
+    .is_subset_of = Avx2IsSubsetOf,
+    .and_many_count = Avx2AndManyCount,
+};
+
+}  // namespace
+
+namespace internal {
+const KernelOps* Avx2Kernels() { return &kAvx2Ops; }
+}  // namespace internal
+
+}  // namespace kernels
+}  // namespace bbsmine
+
+#endif  // BBSMINE_HAVE_KERNEL_AVX2

@@ -1,0 +1,204 @@
+// AVX-512 kernels: 512-bit lanes with the VPOPCNTDQ per-lane popcount
+// (vpopcntq) accumulated in-register, masked loads/stores for tails.
+// Requires AVX512F + BW + VL + VPOPCNTDQ, verified by the dispatcher.
+//
+// This TU is compiled with the matching -mavx512* flags (see
+// src/util/CMakeLists.txt) and must not execute on unsupported CPUs.
+
+#include "util/bitvector_kernels.h"
+
+#if defined(BBSMINE_HAVE_KERNEL_AVX512)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstring>
+
+namespace bbsmine {
+namespace kernels {
+namespace {
+
+constexpr size_t kWordsPerVec = 8;  // 512 bits
+
+inline __m512i Load(const Word* p) { return _mm512_loadu_si512(p); }
+inline void Store(Word* p, __m512i v) { _mm512_storeu_si512(p, v); }
+
+inline __mmask8 TailMask(size_t rem) {
+  return static_cast<__mmask8>((1u << rem) - 1);
+}
+
+/// Horizontal u64 sum. A store-and-add compiles warning-free (GCC's
+/// _mm512_reduce_add_epi64 trips -Wuninitialized inside its own header)
+/// and runs once per call, outside the hot loops.
+inline uint64_t HorizontalSum(__m512i v) {
+  alignas(64) uint64_t lanes[8];
+  _mm512_store_si512(lanes, v);
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3] + lanes[4] + lanes[5] +
+         lanes[6] + lanes[7];
+}
+
+uint64_t Avx512Count(const Word* w, size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  size_t i = 0;
+  for (; i + kWordsPerVec <= n; i += kWordsPerVec) {
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(Load(w + i)));
+  }
+  if (i < n) {
+    __m512i v = _mm512_maskz_loadu_epi64(TailMask(n - i), w + i);
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(v));
+  }
+  return HorizontalSum(acc);
+}
+
+void Avx512AndWords(Word* dst, const Word* src, size_t n) {
+  size_t i = 0;
+  for (; i + kWordsPerVec <= n; i += kWordsPerVec) {
+    Store(dst + i, _mm512_and_si512(Load(dst + i), Load(src + i)));
+  }
+  if (i < n) {
+    __mmask8 m = TailMask(n - i);
+    __m512i v = _mm512_and_si512(_mm512_maskz_loadu_epi64(m, dst + i),
+                                 _mm512_maskz_loadu_epi64(m, src + i));
+    _mm512_mask_storeu_epi64(dst + i, m, v);
+  }
+}
+
+uint64_t Avx512AndCount(Word* dst, const Word* src, size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  size_t i = 0;
+  for (; i + kWordsPerVec <= n; i += kWordsPerVec) {
+    __m512i v = _mm512_and_si512(Load(dst + i), Load(src + i));
+    Store(dst + i, v);
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(v));
+  }
+  if (i < n) {
+    __mmask8 m = TailMask(n - i);
+    __m512i v = _mm512_and_si512(_mm512_maskz_loadu_epi64(m, dst + i),
+                                 _mm512_maskz_loadu_epi64(m, src + i));
+    _mm512_mask_storeu_epi64(dst + i, m, v);
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(v));
+  }
+  return HorizontalSum(acc);
+}
+
+uint64_t Avx512AssignAndCount(Word* dst, const Word* a, const Word* b,
+                              size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  size_t i = 0;
+  for (; i + kWordsPerVec <= n; i += kWordsPerVec) {
+    __m512i v = _mm512_and_si512(Load(a + i), Load(b + i));
+    Store(dst + i, v);
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(v));
+  }
+  if (i < n) {
+    __mmask8 m = TailMask(n - i);
+    __m512i v = _mm512_and_si512(_mm512_maskz_loadu_epi64(m, a + i),
+                                 _mm512_maskz_loadu_epi64(m, b + i));
+    _mm512_mask_storeu_epi64(dst + i, m, v);
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(v));
+  }
+  return HorizontalSum(acc);
+}
+
+void Avx512OrWords(Word* dst, const Word* src, size_t n) {
+  size_t i = 0;
+  for (; i + kWordsPerVec <= n; i += kWordsPerVec) {
+    Store(dst + i, _mm512_or_si512(Load(dst + i), Load(src + i)));
+  }
+  if (i < n) {
+    __mmask8 m = TailMask(n - i);
+    __m512i v = _mm512_or_si512(_mm512_maskz_loadu_epi64(m, dst + i),
+                                _mm512_maskz_loadu_epi64(m, src + i));
+    _mm512_mask_storeu_epi64(dst + i, m, v);
+  }
+}
+
+void Avx512AndNotWords(Word* dst, const Word* src, size_t n) {
+  size_t i = 0;
+  for (; i + kWordsPerVec <= n; i += kWordsPerVec) {
+    // vpandnq computes ~first & second.
+    Store(dst + i, _mm512_andnot_si512(Load(src + i), Load(dst + i)));
+  }
+  if (i < n) {
+    __mmask8 m = TailMask(n - i);
+    __m512i v = _mm512_andnot_si512(_mm512_maskz_loadu_epi64(m, src + i),
+                                    _mm512_maskz_loadu_epi64(m, dst + i));
+    _mm512_mask_storeu_epi64(dst + i, m, v);
+  }
+}
+
+bool Avx512Intersects(const Word* a, const Word* b, size_t n) {
+  size_t i = 0;
+  for (; i + kWordsPerVec <= n; i += kWordsPerVec) {
+    if (_mm512_test_epi64_mask(Load(a + i), Load(b + i)) != 0) return true;
+  }
+  if (i < n) {
+    __mmask8 m = TailMask(n - i);
+    if (_mm512_test_epi64_mask(_mm512_maskz_loadu_epi64(m, a + i),
+                               _mm512_maskz_loadu_epi64(m, b + i)) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Avx512IsSubsetOf(const Word* a, const Word* b, size_t n) {
+  size_t i = 0;
+  for (; i + kWordsPerVec <= n; i += kWordsPerVec) {
+    // (a & ~b) != 0 on any lane means a ⊄ b; vpandnq computes ~first & second.
+    __m512i diff = _mm512_andnot_si512(Load(b + i), Load(a + i));
+    if (_mm512_test_epi64_mask(diff, diff) != 0) return false;
+  }
+  if (i < n) {
+    __mmask8 m = TailMask(n - i);
+    __m512i diff = _mm512_andnot_si512(_mm512_maskz_loadu_epi64(m, b + i),
+                                       _mm512_maskz_loadu_epi64(m, a + i));
+    if (_mm512_test_epi64_mask(diff, diff) != 0) return false;
+  }
+  return true;
+}
+
+constexpr size_t kAndManyBlockWords = 512;  // 4 KiB per operand stream
+
+uint64_t Avx512AndManyCount(Word* dst, const Word* const* srcs, size_t k,
+                            size_t n) {
+  if (k == 1) {
+    std::memcpy(dst, srcs[0], n * sizeof(Word));
+    return Avx512Count(dst, n);
+  }
+  uint64_t total = 0;
+  for (size_t base = 0; base < n; base += kAndManyBlockWords) {
+    size_t len = std::min(kAndManyBlockWords, n - base);
+    uint64_t block = Avx512AssignAndCount(dst + base, srcs[0] + base,
+                                          srcs[1] + base, len);
+    for (size_t op = 2; op < k && block != 0; ++op) {
+      block = Avx512AndCount(dst + base, srcs[op] + base, len);
+    }
+    total += block;
+  }
+  return total;
+}
+
+const KernelOps kAvx512Ops = {
+    .name = "avx512",
+    .count = Avx512Count,
+    .and_words = Avx512AndWords,
+    .and_count = Avx512AndCount,
+    .assign_and_count = Avx512AssignAndCount,
+    .or_words = Avx512OrWords,
+    .andnot_words = Avx512AndNotWords,
+    .intersects = Avx512Intersects,
+    .is_subset_of = Avx512IsSubsetOf,
+    .and_many_count = Avx512AndManyCount,
+};
+
+}  // namespace
+
+namespace internal {
+const KernelOps* Avx512Kernels() { return &kAvx512Ops; }
+}  // namespace internal
+
+}  // namespace kernels
+}  // namespace bbsmine
+
+#endif  // BBSMINE_HAVE_KERNEL_AVX512

@@ -1,0 +1,167 @@
+// NEON kernels for aarch64: 128-bit lanes with vcnt-based popcount
+// (vcntq_u8 + widening pairwise adds) fused into the AND pass. NEON is
+// architecturally guaranteed on aarch64, so no extra compile flags or
+// runtime feature bits are needed beyond targeting aarch64 at all.
+
+#include "util/bitvector_kernels.h"
+
+#if defined(BBSMINE_HAVE_KERNEL_NEON)
+
+#include <arm_neon.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+namespace bbsmine {
+namespace kernels {
+namespace {
+
+constexpr size_t kWordsPerVec = 2;  // 128 bits
+
+inline uint64x2_t Load(const Word* p) {
+  return vld1q_u64(p);
+}
+
+inline void Store(Word* p, uint64x2_t v) { vst1q_u64(p, v); }
+
+/// Popcount of one 128-bit vector: per-byte counts, then one horizontal
+/// byte-sum (the max per-vector count, 128, fits a u8 lane sum).
+inline uint64_t Popcount128(uint64x2_t v) {
+  uint8x16_t counts = vcntq_u8(vreinterpretq_u8_u64(v));
+  return vaddvq_u8(counts);
+}
+
+uint64_t NeonCount(const Word* w, size_t n) {
+  uint64_t total = 0;
+  size_t i = 0;
+  for (; i + kWordsPerVec <= n; i += kWordsPerVec) {
+    total += Popcount128(Load(w + i));
+  }
+  for (; i < n; ++i) total += static_cast<uint64_t>(std::popcount(w[i]));
+  return total;
+}
+
+void NeonAndWords(Word* dst, const Word* src, size_t n) {
+  size_t i = 0;
+  for (; i + kWordsPerVec <= n; i += kWordsPerVec) {
+    Store(dst + i, vandq_u64(Load(dst + i), Load(src + i)));
+  }
+  for (; i < n; ++i) dst[i] &= src[i];
+}
+
+uint64_t NeonAndCount(Word* dst, const Word* src, size_t n) {
+  uint64_t total = 0;
+  size_t i = 0;
+  for (; i + kWordsPerVec <= n; i += kWordsPerVec) {
+    uint64x2_t v = vandq_u64(Load(dst + i), Load(src + i));
+    Store(dst + i, v);
+    total += Popcount128(v);
+  }
+  for (; i < n; ++i) {
+    dst[i] &= src[i];
+    total += static_cast<uint64_t>(std::popcount(dst[i]));
+  }
+  return total;
+}
+
+uint64_t NeonAssignAndCount(Word* dst, const Word* a, const Word* b,
+                            size_t n) {
+  uint64_t total = 0;
+  size_t i = 0;
+  for (; i + kWordsPerVec <= n; i += kWordsPerVec) {
+    uint64x2_t v = vandq_u64(Load(a + i), Load(b + i));
+    Store(dst + i, v);
+    total += Popcount128(v);
+  }
+  for (; i < n; ++i) {
+    dst[i] = a[i] & b[i];
+    total += static_cast<uint64_t>(std::popcount(dst[i]));
+  }
+  return total;
+}
+
+void NeonOrWords(Word* dst, const Word* src, size_t n) {
+  size_t i = 0;
+  for (; i + kWordsPerVec <= n; i += kWordsPerVec) {
+    Store(dst + i, vorrq_u64(Load(dst + i), Load(src + i)));
+  }
+  for (; i < n; ++i) dst[i] |= src[i];
+}
+
+void NeonAndNotWords(Word* dst, const Word* src, size_t n) {
+  size_t i = 0;
+  for (; i + kWordsPerVec <= n; i += kWordsPerVec) {
+    Store(dst + i, vbicq_u64(Load(dst + i), Load(src + i)));
+  }
+  for (; i < n; ++i) dst[i] &= ~src[i];
+}
+
+bool NeonIntersects(const Word* a, const Word* b, size_t n) {
+  size_t i = 0;
+  for (; i + kWordsPerVec <= n; i += kWordsPerVec) {
+    uint64x2_t v = vandq_u64(Load(a + i), Load(b + i));
+    if ((vgetq_lane_u64(v, 0) | vgetq_lane_u64(v, 1)) != 0) return true;
+  }
+  for (; i < n; ++i) {
+    if ((a[i] & b[i]) != 0) return true;
+  }
+  return false;
+}
+
+bool NeonIsSubsetOf(const Word* a, const Word* b, size_t n) {
+  size_t i = 0;
+  for (; i + kWordsPerVec <= n; i += kWordsPerVec) {
+    uint64x2_t v = vbicq_u64(Load(a + i), Load(b + i));  // a & ~b
+    if ((vgetq_lane_u64(v, 0) | vgetq_lane_u64(v, 1)) != 0) return false;
+  }
+  for (; i < n; ++i) {
+    if ((a[i] & ~b[i]) != 0) return false;
+  }
+  return true;
+}
+
+constexpr size_t kAndManyBlockWords = 512;  // 4 KiB per operand stream
+
+uint64_t NeonAndManyCount(Word* dst, const Word* const* srcs, size_t k,
+                          size_t n) {
+  if (k == 1) {
+    std::memcpy(dst, srcs[0], n * sizeof(Word));
+    return NeonCount(dst, n);
+  }
+  uint64_t total = 0;
+  for (size_t base = 0; base < n; base += kAndManyBlockWords) {
+    size_t len = std::min(kAndManyBlockWords, n - base);
+    uint64_t block =
+        NeonAssignAndCount(dst + base, srcs[0] + base, srcs[1] + base, len);
+    for (size_t op = 2; op < k && block != 0; ++op) {
+      block = NeonAndCount(dst + base, srcs[op] + base, len);
+    }
+    total += block;
+  }
+  return total;
+}
+
+const KernelOps kNeonOps = {
+    .name = "neon",
+    .count = NeonCount,
+    .and_words = NeonAndWords,
+    .and_count = NeonAndCount,
+    .assign_and_count = NeonAssignAndCount,
+    .or_words = NeonOrWords,
+    .andnot_words = NeonAndNotWords,
+    .intersects = NeonIntersects,
+    .is_subset_of = NeonIsSubsetOf,
+    .and_many_count = NeonAndManyCount,
+};
+
+}  // namespace
+
+namespace internal {
+const KernelOps* NeonKernels() { return &kNeonOps; }
+}  // namespace internal
+
+}  // namespace kernels
+}  // namespace bbsmine
+
+#endif  // BBSMINE_HAVE_KERNEL_NEON

@@ -7,7 +7,8 @@ namespace bbsmine {
 std::string IoStats::ToString() const {
   std::ostringstream out;
   out << "IoStats{seq_reads=" << sequential_reads
-      << ", rand_reads=" << random_reads << ", writes=" << writes << "}";
+      << ", rand_reads=" << random_reads << ", writes=" << writes
+      << ", slice_words=" << slice_words_touched << "}";
   return out.str();
 }
 

@@ -27,6 +27,11 @@ struct IoStats {
   uint64_t random_reads = 0;
   /// Blocks written (always counted as sequential appends here).
   uint64_t writes = 0;
+  /// Instrumentation (not billed as I/O time): 64-bit slice words actually
+  /// streamed by the blocked CountItemSet AND loop. Lets tests and benches
+  /// observe that the per-block early-abort stops before touching all
+  /// words.
+  uint64_t slice_words_touched = 0;
 
   void Reset() { *this = IoStats{}; }
 
@@ -36,6 +41,7 @@ struct IoStats {
     sequential_reads += other.sequential_reads;
     random_reads += other.random_reads;
     writes += other.writes;
+    slice_words_touched += other.slice_words_touched;
     return *this;
   }
 

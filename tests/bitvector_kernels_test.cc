@@ -1,0 +1,293 @@
+// Differential tests of the SIMD kernel layer: every BitVector bulk op is
+// checked against a naive per-bit reference, at adversarial sizes, under
+// every kernel available on this machine (scalar always; AVX2/AVX-512/NEON
+// when the CPU has them). Also covers the blocked early-abort in
+// BbsIndex::CountWithSeed and cross-kernel bit-identical mining.
+
+#include "util/bitvector_kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/bbs_index.h"
+#include "core/miner.h"
+#include "datagen/quest_gen.h"
+#include "util/bitvector.h"
+#include "util/rng.h"
+
+namespace bbsmine {
+namespace {
+
+/// Restores the startup kernel when a test that switches kernels exits.
+class KernelGuard {
+ public:
+  KernelGuard() : original_(kernels::ActiveName()) {}
+  ~KernelGuard() { kernels::SetActive(original_); }
+
+ private:
+  const char* original_;
+};
+
+// Adversarial bit counts: empty, sub-word, word boundaries, multi-word
+// boundaries, non-word-multiples, and sizes spanning several SIMD vectors
+// plus a ragged tail.
+const size_t kSizes[] = {0,   1,   63,   64,   65,   127,  128,
+                         129, 191, 1000, 4096, 4103, 70003};
+
+BitVector RandomVector(size_t size, Rng* rng, double density = 0.5) {
+  BitVector v(size);
+  for (size_t i = 0; i < size; ++i) {
+    if (rng->NextDouble() < density) v.Set(i);
+  }
+  return v;
+}
+
+size_t NaiveCount(const BitVector& v) {
+  size_t total = 0;
+  for (size_t i = 0; i < v.size(); ++i) total += v.Get(i) ? 1 : 0;
+  return total;
+}
+
+class KernelParityTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(kernels::SetActive(GetParam().c_str()))
+        << "kernel " << GetParam() << " unavailable";
+  }
+  void TearDown() override { guard_ = KernelGuard(); }
+
+ private:
+  KernelGuard guard_;
+};
+
+TEST_P(KernelParityTest, BulkOpsMatchPerBitReference) {
+  Rng rng(0xb17c0de + std::hash<std::string>{}(GetParam()));
+  for (size_t size : kSizes) {
+    for (int round = 0; round < 3; ++round) {
+      double density = round == 0 ? 0.5 : (round == 1 ? 0.05 : 0.95);
+      BitVector a = RandomVector(size, &rng, density);
+      BitVector b = RandomVector(size, &rng, density);
+      SCOPED_TRACE(GetParam() + " size=" + std::to_string(size) +
+                   " round=" + std::to_string(round));
+
+      EXPECT_EQ(a.Count(), NaiveCount(a));
+      EXPECT_EQ(a.CountPrefix(size / 2), [&] {
+        size_t total = 0;
+        for (size_t i = 0; i < size / 2; ++i) total += a.Get(i) ? 1 : 0;
+        return total;
+      }());
+
+      // AndWith / AndWithCount.
+      BitVector and_ref(size);
+      for (size_t i = 0; i < size; ++i) {
+        and_ref.Set(i, a.Get(i) && b.Get(i));
+      }
+      BitVector x = a;
+      x.AndWith(b);
+      EXPECT_TRUE(x == and_ref);
+      x = a;
+      EXPECT_EQ(x.AndWithCount(b), NaiveCount(and_ref));
+      EXPECT_TRUE(x == and_ref);
+
+      // Three-operand fused AssignAndCount, including aliased operands.
+      BitVector y;
+      EXPECT_EQ(y.AssignAndCount(a, b), NaiveCount(and_ref));
+      EXPECT_TRUE(y == and_ref);
+      y = a;
+      EXPECT_EQ(y.AssignAndCount(y, b), NaiveCount(and_ref));
+      EXPECT_TRUE(y == and_ref);
+
+      // OrWith.
+      BitVector or_ref(size);
+      for (size_t i = 0; i < size; ++i) {
+        or_ref.Set(i, a.Get(i) || b.Get(i));
+      }
+      x = a;
+      x.OrWith(b);
+      EXPECT_TRUE(x == or_ref);
+
+      // AndNotWith.
+      BitVector andnot_ref(size);
+      for (size_t i = 0; i < size; ++i) {
+        andnot_ref.Set(i, a.Get(i) && !b.Get(i));
+      }
+      x = a;
+      x.AndNotWith(b);
+      EXPECT_TRUE(x == andnot_ref);
+
+      // Intersects / IsSubsetOf, including the degenerate true cases.
+      EXPECT_EQ(a.Intersects(b), NaiveCount(and_ref) > 0);
+      EXPECT_EQ(a.IsSubsetOf(b), NaiveCount(andnot_ref) == 0);
+      EXPECT_TRUE(and_ref.IsSubsetOf(a));
+      EXPECT_TRUE(a.IsSubsetOf(or_ref));
+    }
+  }
+}
+
+TEST_P(KernelParityTest, AndManyCountMatchesPairwiseReference) {
+  Rng rng(0xfeed + std::hash<std::string>{}(GetParam()));
+  for (size_t size : {size_t{0}, size_t{65}, size_t{4103}, size_t{70003}}) {
+    for (size_t k : {size_t{1}, size_t{2}, size_t{3}, size_t{7}}) {
+      SCOPED_TRACE(GetParam() + " size=" + std::to_string(size) +
+                   " k=" + std::to_string(k));
+      std::vector<BitVector> operands;
+      std::vector<const kernels::Word*> srcs;
+      for (size_t i = 0; i < k; ++i) {
+        // Dense operands so the k-way AND keeps nonzero blocks.
+        operands.push_back(RandomVector(size, &rng, 0.9));
+      }
+      for (const BitVector& v : operands) srcs.push_back(v.words().data());
+
+      BitVector expected = operands[0];
+      for (size_t i = 1; i < k; ++i) expected.AndWith(operands[i]);
+
+      BitVector dst(size);
+      uint64_t count = kernels::AndManyCount(dst.MutableWords(), srcs.data(),
+                                             k, dst.num_words());
+      EXPECT_EQ(count, NaiveCount(expected));
+      EXPECT_TRUE(dst == expected);
+    }
+  }
+}
+
+std::vector<std::string> AvailableKernelNames() {
+  std::vector<std::string> names;
+  for (const char* name : kernels::AvailableNames()) names.push_back(name);
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, KernelParityTest,
+                         ::testing::ValuesIn(AvailableKernelNames()),
+                         [](const auto& info) { return info.param; });
+
+TEST(KernelRegistryTest, ScalarAlwaysAvailable) {
+  std::vector<std::string> names = AvailableKernelNames();
+  EXPECT_NE(std::find(names.begin(), names.end(), "scalar"), names.end());
+}
+
+TEST(KernelRegistryTest, UnknownKernelRejectedWithoutSwitching) {
+  KernelGuard guard;
+  const char* before = kernels::ActiveName();
+  EXPECT_FALSE(kernels::SetActive("not-a-kernel"));
+  EXPECT_STREQ(kernels::ActiveName(), before);
+  EXPECT_TRUE(kernels::SetActive("scalar"));
+  EXPECT_STREQ(kernels::ActiveName(), "scalar");
+}
+
+TEST(KernelRegistryTest, WordStorageIsCacheLineAligned) {
+  BitVector v(70003);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(v.words().data()) %
+                BitVector::kWordAlignment,
+            0u);
+}
+
+/// Builds an index where items 0 and 1 are individually dense but nearly
+/// disjoint, so a two-item query passes the sparsest-slice pre-check yet
+/// provably cannot reach tau once most of the vector has been ANDed.
+BbsIndex MakeEarlyAbortIndex(size_t n, double overlap) {
+  BbsConfig config;
+  config.num_bits = 64;
+  config.num_hashes = 2;
+  auto bbs = BbsIndex::Create(config);
+  EXPECT_TRUE(bbs.ok());
+  const size_t lo = static_cast<size_t>(n * (0.5 - overlap / 2));
+  const size_t hi = static_cast<size_t>(n * (0.5 + overlap / 2));
+  for (size_t t = 0; t < n; ++t) {
+    Itemset items;
+    if (t < hi) items.push_back(0);
+    if (t >= lo) items.push_back(1);
+    bbs->Insert(items);
+  }
+  return std::move(bbs).value();
+}
+
+TEST(BlockedEarlyAbortTest, StopsBeforeTouchingAllWords) {
+  // Three 1024-word blocks of transactions.
+  const size_t kN = 3 * 1024 * 64;
+  BbsIndex bbs = MakeEarlyAbortIndex(kN, /*overlap=*/0.1);
+
+  // Full count of {0,1} for reference: roughly the 10% overlap (plus Bloom
+  // false positives), far below tau = N/2.
+  IoStats full_io;
+  size_t full = bbs.CountItemSet({0, 1}, nullptr, &full_io);
+  ASSERT_LT(full, kN / 2);
+  ASSERT_GT(full_io.slice_words_touched, 0u);
+
+  // The thresholded count must abort: once count_so_far + remaining bits
+  // cannot reach tau, whole trailing blocks stay untouched.
+  IoStats abort_io;
+  size_t est = bbs.CountItemSetAtLeast({0, 1}, /*tau=*/kN / 2, nullptr,
+                                       &abort_io);
+  EXPECT_LT(est, kN / 2);
+  EXPECT_LT(abort_io.slice_words_touched, full_io.slice_words_touched)
+      << "early-abort did not reduce the words streamed";
+  // And it must charge strictly less simulated I/O than the full pass.
+  EXPECT_LT(abort_io.sequential_reads, full_io.sequential_reads);
+}
+
+TEST(BlockedEarlyAbortTest, FullCountStillExactUnderEveryKernel) {
+  const size_t kN = 3 * 1024 * 64;
+  BbsIndex bbs = MakeEarlyAbortIndex(kN, 0.1);
+  KernelGuard guard;
+  ASSERT_TRUE(kernels::SetActive("scalar"));
+  BitVector scalar_result;
+  size_t scalar_count = bbs.CountItemSet({0, 1}, &scalar_result);
+  for (const std::string& name : AvailableKernelNames()) {
+    ASSERT_TRUE(kernels::SetActive(name.c_str()));
+    BitVector result;
+    EXPECT_EQ(bbs.CountItemSet({0, 1}, &result), scalar_count) << name;
+    EXPECT_TRUE(result == scalar_result) << name;
+  }
+}
+
+TEST(CrossKernelMiningTest, AllSchemesBitIdenticalAcrossKernels) {
+  QuestConfig quest;
+  quest.num_transactions = 1200;
+  quest.num_items = 250;
+  quest.avg_transaction_size = 8;
+  quest.avg_pattern_size = 3;
+  quest.num_patterns = 80;
+  auto db = GenerateQuest(quest);
+  ASSERT_TRUE(db.ok());
+
+  BbsConfig bbs_config;
+  bbs_config.num_bits = 192;
+  bbs_config.num_hashes = 4;
+  auto bbs = BbsIndex::Create(bbs_config);
+  ASSERT_TRUE(bbs.ok());
+  bbs->InsertAll(*db);
+
+  KernelGuard guard;
+  for (Algorithm algorithm : {Algorithm::kSFS, Algorithm::kSFP,
+                              Algorithm::kDFS, Algorithm::kDFP}) {
+    for (uint32_t threads : {1u, 4u}) {
+      MineConfig config;
+      config.algorithm = algorithm;
+      config.min_support = 0.02;
+      config.num_threads = threads;
+
+      ASSERT_TRUE(kernels::SetActive("scalar"));
+      MiningResult reference = MineFrequentPatterns(*db, *bbs, config);
+      for (const std::string& name : AvailableKernelNames()) {
+        ASSERT_TRUE(kernels::SetActive(name.c_str()));
+        MiningResult result = MineFrequentPatterns(*db, *bbs, config);
+        // Bit-identical: same patterns, same supports, same order.
+        ASSERT_EQ(result.patterns.size(), reference.patterns.size())
+            << AlgorithmName(algorithm) << " kernel=" << name;
+        for (size_t i = 0; i < result.patterns.size(); ++i) {
+          EXPECT_EQ(result.patterns[i].items, reference.patterns[i].items)
+              << AlgorithmName(algorithm) << " kernel=" << name << " i=" << i;
+          EXPECT_EQ(result.patterns[i].support,
+                    reference.patterns[i].support)
+              << AlgorithmName(algorithm) << " kernel=" << name << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bbsmine
