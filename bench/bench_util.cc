@@ -5,6 +5,10 @@
 #include <cstring>
 #include <iostream>
 
+#include "obs/report.h"
+#include "util/bitvector_kernels.h"
+#include "util/thread_pool.h"
+
 namespace bbsmine::bench {
 
 TransactionDatabase MakeQuest(uint32_t num_transactions, uint32_t num_items,
@@ -54,6 +58,34 @@ SchemeResult Summarize(std::string name, const MiningResult& result) {
   return r;
 }
 
+void MaybeWriteRunReport(const std::string& scheme, const MineConfig* config,
+                         double min_support, const TransactionDatabase& db,
+                         const MiningResult& result, uint32_t index_bits,
+                         uint32_t index_hashes) {
+  const char* dir = std::getenv("BBSMINE_BENCH_JSON");
+  if (dir == nullptr || dir[0] == '\0') return;
+  static int sequence = 0;
+  obs::RunReportContext ctx;
+  ctx.scheme = scheme;
+  ctx.config = config;
+  ctx.num_transactions = db.size();
+  ctx.item_universe = db.item_universe();
+  ctx.tau = AbsoluteThreshold(min_support, db.size());
+  ctx.resolved_threads = static_cast<uint32_t>(
+      config != nullptr ? ResolveThreads(config->num_threads) : 1);
+  ctx.kernel = kernels::ActiveName();
+  ctx.index_bits = index_bits;
+  ctx.index_hashes = index_hashes;
+  char name[64];
+  std::snprintf(name, sizeof(name), "%03d-%s.json", sequence++,
+                scheme.c_str());
+  std::string path = std::string(dir) + "/" + name;
+  Status st = obs::WriteJsonFile(obs::BuildRunReport(ctx, result), path);
+  if (!st.ok()) {
+    std::cerr << "warning: run report not written: " << st.ToString() << "\n";
+  }
+}
+
 SchemeResult RunBbsScheme(const TransactionDatabase& db, const BbsIndex& bbs,
                           Algorithm algorithm, double min_support,
                           uint64_t memory_budget) {
@@ -61,8 +93,10 @@ SchemeResult RunBbsScheme(const TransactionDatabase& db, const BbsIndex& bbs,
   config.algorithm = algorithm;
   config.min_support = min_support;
   config.memory_budget_bytes = memory_budget;
-  return Summarize(AlgorithmName(algorithm),
-                   MineFrequentPatterns(db, bbs, config));
+  MiningResult result = MineFrequentPatterns(db, bbs, config);
+  MaybeWriteRunReport(AlgorithmName(algorithm), &config, min_support, db,
+                      result, bbs.num_bits(), bbs.config().num_hashes);
+  return Summarize(AlgorithmName(algorithm), result);
 }
 
 SchemeResult RunApriori(const TransactionDatabase& db, double min_support,
@@ -71,8 +105,10 @@ SchemeResult RunApriori(const TransactionDatabase& db, double min_support,
   config.min_support = min_support;
   config.memory_budget_bytes = memory_budget;
   config.use_pair_count_matrix = pair_matrix;
-  return Summarize(pair_matrix ? "APS+pairs" : "APS",
-                   MineApriori(db, config));
+  MiningResult result = MineApriori(db, config);
+  const char* name = pair_matrix ? "APS+pairs" : "APS";
+  MaybeWriteRunReport(name, nullptr, min_support, db, result);
+  return Summarize(name, result);
 }
 
 SchemeResult RunFpGrowth(const TransactionDatabase& db, double min_support,
@@ -80,7 +116,9 @@ SchemeResult RunFpGrowth(const TransactionDatabase& db, double min_support,
   FpGrowthConfig config;
   config.min_support = min_support;
   config.memory_budget_bytes = memory_budget;
-  return Summarize("FPS", MineFpGrowth(db, config));
+  MiningResult result = MineFpGrowth(db, config);
+  MaybeWriteRunReport("FPS", nullptr, min_support, db, result);
+  return Summarize("FPS", result);
 }
 
 void AppendSchemeHeaders(const std::string& prefix,

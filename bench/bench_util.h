@@ -67,6 +67,18 @@ SchemeResult RunFpGrowth(const TransactionDatabase& db, double min_support,
 /// Converts a MiningResult into a SchemeResult.
 SchemeResult Summarize(std::string name, const MiningResult& result);
 
+/// When the BBSMINE_BENCH_JSON environment variable names a directory,
+/// writes the machine-readable run report for `result` there as
+/// <dir>/<NNN>-<scheme>.json (sequence-numbered per process), using the
+/// same serializer as `bbsmine_cli --stats-json` (obs/report.h) so bench
+/// output and CLI output never drift apart. No-op when the variable is
+/// unset. `config` may be null (baselines); `index_bits`/`index_hashes`
+/// describe the BBS geometry when one was used.
+void MaybeWriteRunReport(const std::string& scheme, const MineConfig* config,
+                         double min_support, const TransactionDatabase& db,
+                         const MiningResult& result, uint32_t index_bits = 0,
+                         uint32_t index_hashes = 0);
+
 /// Appends the standard columns for one scheme to a table row.
 void AppendSchemeCells(const SchemeResult& r, std::vector<std::string>* row);
 

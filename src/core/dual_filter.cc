@@ -1,8 +1,11 @@
 #include "core/dual_filter.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
+#include "obs/trace.h"
+#include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
 namespace bbsmine {
@@ -98,7 +101,10 @@ class DualFilterWalk {
     Canonicalize(&canonical);
     DualCandidate candidate{std::move(canonical), node.est, node.check.count,
                             node.check.flag};
-    if (stats_ != nullptr) ++stats_->candidates;
+    if (stats_ != nullptr) {
+      ++stats_->candidates;
+      stats_->candidates_by_depth.Add(current_.size());
+    }
     if (node.check.flag > 0) {
       if (stats_ != nullptr) ++stats_->certified;
       out_->certain.push_back(std::move(candidate));
@@ -120,7 +126,10 @@ class DualFilterWalk {
       child.idx = idx;
       child.est = engine_.ExtendHybrid(idx, node.set, &child.set);
       if (stats_ != nullptr) ++stats_->extension_tests;
-      if (child.est < engine_.tau()) continue;
+      if (child.est < engine_.tau()) {
+        if (stats_ != nullptr) stats_->pruned_by_depth.Add(current_.size() + 1);
+        continue;
+      }
       child.check = CheckCount(single.exact, single.est, state, child.est,
                                engine_.tau());
       // flag < 0 cannot occur below the root (the parent is non-empty).
@@ -148,10 +157,20 @@ DualFilterOutput RunDualFilter(const FilterEngine& engine, MineStats* stats,
 
   std::vector<DualFilterOutput> per_root(roots.size());
   std::vector<MineStats> per_root_stats(roots.size());
-  ParallelFor(num_threads, roots.size(), [&](size_t i) {
-    DualFilterWalk walk(engine, &per_root_stats[i], &per_root[i]);
-    walk.RunSubtree(roots, i);
-  });
+  uint64_t queue_depth = 0;
+  ParallelFor(
+      num_threads, roots.size(),
+      [&](size_t i) {
+        obs::TraceSpan span(engine.tracer(), obs::kTraceFilter,
+                            "filter.subtree");
+        Stopwatch cpu;
+        DualFilterWalk walk(engine, &per_root_stats[i], &per_root[i]);
+        walk.RunSubtree(roots, i);
+        per_root_stats[i].filter_cpu_seconds = cpu.ElapsedSeconds();
+        span.AddArg("root", i);
+        span.AddArg("candidates", per_root_stats[i].candidates);
+      },
+      &queue_depth);
 
   // Deterministic merge in root order: identical to the serial walk.
   DualFilterOutput out;
@@ -163,6 +182,9 @@ DualFilterOutput RunDualFilter(const FilterEngine& engine, MineStats* stats,
       out.uncertain.push_back(std::move(c));
     }
     if (stats != nullptr) *stats += per_root_stats[i];
+  }
+  if (stats != nullptr) {
+    stats->max_queue_depth = std::max(stats->max_queue_depth, queue_depth);
   }
   return out;
 }

@@ -6,6 +6,7 @@ namespace bbsmine {
 
 void FilterEngine::Prepare(const Itemset& universe, MineStats* stats,
                            bool rare_first) {
+  obs::TraceSpan span(tracer_, obs::kTracePhase, "filter.prepare");
   // Below this count the walk's transaction sets switch to the sparse
   // representation; one word of the dense vector covers 64 transactions.
   sparse_threshold_ =
@@ -15,9 +16,16 @@ void FilterEngine::Prepare(const Itemset& universe, MineStats* stats,
   BitVector vector;
   for (ItemId item : universe) {
     single[0] = item;
-    size_t est = bbs_.CountItemSetAtLeast(single, tau_, &vector, io_);
+    size_t est;
+    {
+      obs::TraceSpan kernel(tracer_, obs::kTraceKernel, "bbs.count_singleton");
+      est = bbs_.CountItemSetAtLeast(single, tau_, &vector, io_);
+    }
     if (stats != nullptr) ++stats->extension_tests;
-    if (est < tau_) continue;
+    if (est < tau_) {
+      if (stats != nullptr) stats->pruned_by_depth.Add(1);
+      continue;
+    }
     Singleton s;
     s.item = item;
     s.est = est;
@@ -33,6 +41,8 @@ void FilterEngine::Prepare(const Itemset& universe, MineStats* stats,
                        return a.item < b.item;
                      });
   }
+  span.AddArg("universe", universe.size());
+  span.AddArg("singletons", singletons_.size());
 }
 
 BitVector FilterEngine::AllTransactions() const {

@@ -26,6 +26,7 @@
 #include "core/bbs_index.h"
 #include "core/mining_types.h"
 #include "core/tidset.h"
+#include "obs/trace.h"
 #include "storage/transaction.h"
 #include "util/bitvector.h"
 
@@ -64,6 +65,13 @@ class FilterEngine {
   const BbsIndex& bbs() const { return bbs_; }
   uint64_t tau() const { return tau_; }
 
+  /// Attaches a span tracer (not owned; may be null). Prepare records a
+  /// phase span and, under the opt-in kernel category, one span per
+  /// singleton CountItemSet; the filter walks read the tracer back through
+  /// tracer() for their per-root subtree spans.
+  void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() const { return tracer_; }
+
   /// The estimated-frequent singletons, in walk order (see Prepare).
   const std::vector<Singleton>& singletons() const { return singletons_; }
 
@@ -99,6 +107,7 @@ class FilterEngine {
   const BbsIndex& bbs_;
   uint64_t tau_;
   IoStats* io_;
+  obs::Tracer* tracer_ = nullptr;
   size_t sparse_threshold_ = 0;
   std::vector<Singleton> singletons_;
 };

@@ -9,6 +9,7 @@
 #include "core/filter_engine.h"
 #include "core/refine.h"
 #include "core/single_filter.h"
+#include "obs/trace.h"
 #include "storage/page_cache.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -95,6 +96,7 @@ class IntegratedProbeWalk {
     canonical_ = current_;
     Canonicalize(&canonical_);
     ++stats_->candidates;
+    stats_->candidates_by_depth.Add(current_.size());
 
     ParentState state;
     state.est = node->est;
@@ -123,7 +125,10 @@ class IntegratedProbeWalk {
         child.idx = idx;
         child.est = engine_.ExtendHybrid(idx, node->set, &child.set);
         ++stats_->extension_tests;
-        if (child.est < ctx_->tau) continue;
+        if (child.est < ctx_->tau) {
+          stats_->pruned_by_depth.Add(current_.size() + 1);
+          continue;
+        }
         if (dual_) {
           child.check = CheckCount(single.exact, single.est, state, child.est,
                                    ctx_->tau);
@@ -145,11 +150,18 @@ class IntegratedProbeWalk {
     std::vector<uint32_t> matching;
     std::vector<uint32_t>* matching_out =
         ctx_->config.tighten_after_probe ? &matching : nullptr;
-    uint64_t actual = ProbeCount(ctx_->db, canonical_, *extended, ctx_->cache,
-                                 stats_, matching_out);
+    uint64_t actual;
+    {
+      obs::TraceSpan span(ctx_->config.tracer, obs::kTraceProbe, "probe");
+      actual = ProbeCount(ctx_->db, canonical_, *extended, ctx_->cache,
+                          stats_, matching_out);
+      span.AddArg("items", canonical_.size());
+      span.AddArg("support", actual);
+    }
     probe_seconds_ += probe_timer.ElapsedSeconds();
     if (actual < ctx_->tau) {
       ++stats_->false_drops;
+      stats_->false_drops_by_depth.Add(canonical_.size());
       return false;
     }
     out_->push_back(Pattern{canonical_, actual, SupportKind::kExact});
@@ -175,31 +187,42 @@ class IntegratedProbeWalk {
 
 /// Runs the integrated walk over all root subtrees (in parallel when the
 /// context allows), appending the patterns to ctx->result in root order.
-/// Returns the summed probe seconds.
-double RunIntegratedProbeWalk(RunContext* ctx, const FilterEngine& engine,
-                              bool dual, MineStats* stats) {
+/// Each subtree's busy time lands in its shard's filter_cpu_seconds, minus
+/// the probe time, which lands in refine_cpu_seconds (the integrated
+/// schemes refine inside the filter walk).
+void RunIntegratedProbeWalk(RunContext* ctx, const FilterEngine& engine,
+                            bool dual, MineStats* stats) {
   std::vector<IntegratedProbeWalk::Node> roots =
       IntegratedProbeWalk::BuildRoots(engine, dual);
 
   std::vector<std::vector<Pattern>> per_root(roots.size());
   std::vector<MineStats> per_root_stats(roots.size());
-  std::vector<double> per_root_probe_seconds(roots.size(), 0.0);
-  ParallelFor(ctx->num_threads, roots.size(), [&](size_t i) {
-    IntegratedProbeWalk walk(ctx, engine, dual, &per_root_stats[i],
-                             &per_root[i]);
-    walk.RunSubtree(roots, i);
-    per_root_probe_seconds[i] = walk.probe_seconds();
-  });
+  uint64_t queue_depth = 0;
+  ParallelFor(
+      ctx->num_threads, roots.size(),
+      [&](size_t i) {
+        obs::TraceSpan span(ctx->config.tracer, obs::kTraceFilter,
+                            "filter.subtree");
+        Stopwatch cpu;
+        IntegratedProbeWalk walk(ctx, engine, dual, &per_root_stats[i],
+                                 &per_root[i]);
+        walk.RunSubtree(roots, i);
+        double probe_seconds = walk.probe_seconds();
+        per_root_stats[i].refine_cpu_seconds = probe_seconds;
+        per_root_stats[i].filter_cpu_seconds =
+            std::max(0.0, cpu.ElapsedSeconds() - probe_seconds);
+        span.AddArg("root", i);
+        span.AddArg("candidates", per_root_stats[i].candidates);
+      },
+      &queue_depth);
 
-  double probe_seconds = 0;
   for (size_t i = 0; i < roots.size(); ++i) {
     for (Pattern& pattern : per_root[i]) {
       ctx->result->patterns.push_back(std::move(pattern));
     }
     *stats += per_root_stats[i];
-    probe_seconds += per_root_probe_seconds[i];
   }
-  return probe_seconds;
+  stats->max_queue_depth = std::max(stats->max_queue_depth, queue_depth);
 }
 
 /// Phase-3 postprocessing of the adaptive variant: re-estimates every
@@ -211,13 +234,24 @@ std::vector<Candidate> PostprocessOnFullBbs(const BbsIndex& bbs,
                                             std::vector<Candidate> candidates,
                                             uint64_t tau, uint32_t block_size,
                                             MineStats* stats,
-                                            size_t num_threads) {
+                                            size_t num_threads,
+                                            obs::Tracer* tracer) {
+  obs::TraceSpan span(tracer, obs::kTracePhase, "postprocess");
+  span.AddArg("candidates", candidates.size());
   bbs.ChargeFullScan(&stats->io, block_size);  // one pass over the full BBS
   std::vector<size_t> estimates(candidates.size(), 0);
-  ParallelFor(num_threads, candidates.size(), [&](size_t i) {
-    estimates[i] = bbs.CountItemSet(candidates[i].items);
-  });
+  std::vector<double> cpu(candidates.size(), 0.0);
+  ParallelFor(
+      num_threads, candidates.size(),
+      [&](size_t i) {
+        obs::TraceSpan kernel(tracer, obs::kTraceKernel, "bbs.count_full");
+        Stopwatch sw;
+        estimates[i] = bbs.CountItemSet(candidates[i].items);
+        cpu[i] = sw.ElapsedSeconds();
+      },
+      &stats->max_queue_depth);
   stats->extension_tests += candidates.size();
+  for (double s : cpu) stats->filter_cpu_seconds += s;
 
   std::vector<Candidate> survivors;
   survivors.reserve(candidates.size());
@@ -225,6 +259,8 @@ std::vector<Candidate> PostprocessOnFullBbs(const BbsIndex& bbs,
     if (estimates[i] >= tau) {
       candidates[i].est = estimates[i];
       survivors.push_back(std::move(candidates[i]));
+    } else {
+      stats->pruned_by_depth.Add(candidates[i].items.size());
     }
   }
   return survivors;
@@ -239,6 +275,8 @@ MiningResult MineFrequentPatterns(const TransactionDatabase& db,
   assert(bbs.num_transactions() == db.size() &&
          "the BBS must index exactly the database's transactions");
   Stopwatch total_timer;
+  obs::TraceSpan mine_span(config.tracer, obs::kTracePhase, "mine");
+  mine_span.AddArg("algorithm", AlgorithmName(config.algorithm));
   MiningResult result;
   MineStats& stats = result.stats;
   uint64_t tau = AbsoluteThreshold(config.min_support, db.size());
@@ -283,26 +321,44 @@ MiningResult MineFrequentPatterns(const TransactionDatabase& db,
   // --- Filtering (+ integrated probing for SFP/DFP) ------------------------
   Stopwatch filter_timer;
   FilterEngine engine(*filter_index, tau);
-  engine.Prepare(universe, &stats, config.rare_first_order);
+  engine.SetTracer(config.tracer);
+  {
+    // Prepare runs serially on the coordinating thread; its busy time
+    // belongs to the filter phase's CPU total.
+    Stopwatch prepare_timer;
+    engine.Prepare(universe, &stats, config.rare_first_order);
+    stats.filter_cpu_seconds += prepare_timer.ElapsedSeconds();
+  }
 
   switch (config.algorithm) {
     case Algorithm::kSFS: {
-      std::vector<Candidate> candidates =
-          RunSingleFilter(engine, &stats, num_threads);
+      std::vector<Candidate> candidates;
+      {
+        obs::TraceSpan span(config.tracer, obs::kTracePhase, "filter.walk");
+        candidates = RunSingleFilter(engine, &stats, num_threads);
+      }
       if (folded.has_value()) {
         candidates = PostprocessOnFullBbs(bbs, std::move(candidates), tau,
                                           config.block_size, &stats,
-                                          num_threads);
+                                          num_threads, config.tracer);
       }
-      stats.filter_seconds = filter_timer.ElapsedSeconds();
+      stats.filter_wall_seconds = filter_timer.ElapsedSeconds();
       Stopwatch refine_timer;
-      result.patterns = RefineSequentialScan(db, candidates, tau, budget,
-                                             &stats, num_threads);
-      stats.refine_seconds = refine_timer.ElapsedSeconds();
+      {
+        obs::TraceSpan span(config.tracer, obs::kTracePhase, "refine");
+        result.patterns = RefineSequentialScan(db, candidates, tau, budget,
+                                               &stats, num_threads,
+                                               config.tracer);
+      }
+      stats.refine_wall_seconds = refine_timer.ElapsedSeconds();
       break;
     }
     case Algorithm::kDFS: {
-      DualFilterOutput out = RunDualFilter(engine, &stats, num_threads);
+      DualFilterOutput out;
+      {
+        obs::TraceSpan span(config.tracer, obs::kTracePhase, "filter.walk");
+        out = RunDualFilter(engine, &stats, num_threads);
+      }
       // Certified patterns go straight to the answer set.
       for (const DualCandidate& c : out.certain) {
         result.patterns.push_back(
@@ -318,13 +374,17 @@ MiningResult MineFrequentPatterns(const TransactionDatabase& db,
       if (folded.has_value()) {
         uncertain = PostprocessOnFullBbs(bbs, std::move(uncertain), tau,
                                          config.block_size, &stats,
-                                         num_threads);
+                                         num_threads, config.tracer);
       }
-      stats.filter_seconds = filter_timer.ElapsedSeconds();
+      stats.filter_wall_seconds = filter_timer.ElapsedSeconds();
       Stopwatch refine_timer;
-      std::vector<Pattern> verified = RefineSequentialScan(
-          db, uncertain, tau, budget, &stats, num_threads);
-      stats.refine_seconds = refine_timer.ElapsedSeconds();
+      std::vector<Pattern> verified;
+      {
+        obs::TraceSpan span(config.tracer, obs::kTracePhase, "refine");
+        verified = RefineSequentialScan(db, uncertain, tau, budget, &stats,
+                                        num_threads, config.tracer);
+      }
+      stats.refine_wall_seconds = refine_timer.ElapsedSeconds();
       result.patterns.insert(result.patterns.end(), verified.begin(),
                              verified.end());
       break;
@@ -333,12 +393,12 @@ MiningResult MineFrequentPatterns(const TransactionDatabase& db,
     case Algorithm::kDFP: {
       bool dual = config.algorithm == Algorithm::kDFP;
       if (resident) {
-        // Memory-resident: the integrated filter+probe recursion.
-        double probe_seconds =
-            RunIntegratedProbeWalk(&ctx, engine, dual, &stats);
-        stats.refine_seconds = probe_seconds;
-        stats.filter_seconds =
-            filter_timer.ElapsedSeconds() - probe_seconds;
+        // Memory-resident: the integrated filter+probe recursion. One
+        // combined wall window, attributed to the filter phase (refine_wall
+        // stays 0); the probe CPU arrives in refine_cpu_seconds through the
+        // per-root shard merge.
+        RunIntegratedProbeWalk(&ctx, engine, dual, &stats);
+        stats.filter_wall_seconds = filter_timer.ElapsedSeconds();
         break;
       }
       // Adaptive three-phase variant: probing from MemBBS result vectors
@@ -348,27 +408,30 @@ MiningResult MineFrequentPatterns(const TransactionDatabase& db,
       // and only then are the remaining candidates probed — with the tight
       // full-BBS result vectors.
       std::vector<Candidate> uncertain;
-      if (dual) {
-        DualFilterOutput out = RunDualFilter(engine, &stats, num_threads);
-        for (const DualCandidate& c : out.certain) {
-          result.patterns.push_back(
-              Pattern{c.items, c.count,
-                      c.flag == 1 ? SupportKind::kExact
-                                  : SupportKind::kGuaranteedEstimate});
+      {
+        obs::TraceSpan span(config.tracer, obs::kTracePhase, "filter.walk");
+        if (dual) {
+          DualFilterOutput out = RunDualFilter(engine, &stats, num_threads);
+          for (const DualCandidate& c : out.certain) {
+            result.patterns.push_back(
+                Pattern{c.items, c.count,
+                        c.flag == 1 ? SupportKind::kExact
+                                    : SupportKind::kGuaranteedEstimate});
+          }
+          uncertain.reserve(out.uncertain.size());
+          for (DualCandidate& c : out.uncertain) {
+            uncertain.push_back(Candidate{std::move(c.items), c.est});
+          }
+        } else {
+          uncertain = RunSingleFilter(engine, &stats, num_threads);
         }
-        uncertain.reserve(out.uncertain.size());
-        for (DualCandidate& c : out.uncertain) {
-          uncertain.push_back(Candidate{std::move(c.items), c.est});
-        }
-      } else {
-        uncertain = RunSingleFilter(engine, &stats, num_threads);
       }
       if (folded.has_value()) {
         uncertain = PostprocessOnFullBbs(bbs, std::move(uncertain), tau,
                                          config.block_size, &stats,
-                                         num_threads);
+                                         num_threads, config.tracer);
       }
-      stats.filter_seconds = filter_timer.ElapsedSeconds();
+      stats.filter_wall_seconds = filter_timer.ElapsedSeconds();
 
       // Cost-based refinement choice: with a small buffer pool most probes
       // miss and pay a seek, so probing all survivors can exceed a few
@@ -394,16 +457,30 @@ MiningResult MineFrequentPatterns(const TransactionDatabase& db,
         // identical to the serial loop.
         std::vector<uint64_t> actual(uncertain.size(), 0);
         std::vector<MineStats> probe_stats(uncertain.size());
-        ParallelFor(num_threads, uncertain.size(), [&](size_t i) {
-          BitVector slice_result;
-          // The re-estimate streams the candidate's slices from the full
-          // BBS, so it is charged to the I/O model like any other
-          // CountItemSet (phase 3 of the paper's cost accounting).
-          bbs.CountItemSet(uncertain[i].items, &slice_result,
-                           &probe_stats[i].io);
-          actual[i] = ProbeCount(db, uncertain[i].items, slice_result, &cache,
-                                 &probe_stats[i]);
-        });
+        ParallelFor(
+            num_threads, uncertain.size(),
+            [&](size_t i) {
+              Stopwatch cpu;
+              BitVector slice_result;
+              // The re-estimate streams the candidate's slices from the full
+              // BBS, so it is charged to the I/O model like any other
+              // CountItemSet (phase 3 of the paper's cost accounting).
+              {
+                obs::TraceSpan kernel(config.tracer, obs::kTraceKernel,
+                                      "bbs.count_full");
+                bbs.CountItemSet(uncertain[i].items, &slice_result,
+                                 &probe_stats[i].io);
+              }
+              {
+                obs::TraceSpan span(config.tracer, obs::kTraceProbe, "probe");
+                actual[i] = ProbeCount(db, uncertain[i].items, slice_result,
+                                       &cache, &probe_stats[i]);
+                span.AddArg("items", uncertain[i].items.size());
+                span.AddArg("support", actual[i]);
+              }
+              probe_stats[i].refine_cpu_seconds = cpu.ElapsedSeconds();
+            },
+            &stats.max_queue_depth);
         for (size_t i = 0; i < uncertain.size(); ++i) {
           stats += probe_stats[i];
           if (actual[i] >= tau) {
@@ -411,19 +488,29 @@ MiningResult MineFrequentPatterns(const TransactionDatabase& db,
                 Pattern{uncertain[i].items, actual[i], SupportKind::kExact});
           } else {
             ++stats.false_drops;
+            stats.false_drops_by_depth.Add(uncertain[i].items.size());
           }
         }
       } else {
-        std::vector<Pattern> verified = RefineSequentialScan(
-            db, uncertain, tau, budget, &stats, num_threads);
+        std::vector<Pattern> verified;
+        {
+          obs::TraceSpan span(config.tracer, obs::kTracePhase, "refine");
+          verified = RefineSequentialScan(db, uncertain, tau, budget, &stats,
+                                          num_threads, config.tracer);
+        }
         result.patterns.insert(result.patterns.end(), verified.begin(),
                                verified.end());
       }
-      stats.refine_seconds = refine_timer.ElapsedSeconds();
+      stats.refine_wall_seconds = refine_timer.ElapsedSeconds();
       break;
     }
   }
 
+  // The buffer pool's own counters are authoritative for the whole run;
+  // copy (not merge) them into the stats so the report reads one source.
+  PageCache::Counters cache_counters = cache.counters();
+  stats.cache_hits = cache_counters.hits;
+  stats.cache_misses = cache_counters.misses;
   stats.total_seconds = total_timer.ElapsedSeconds();
   return result;
 }

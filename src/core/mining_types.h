@@ -3,15 +3,21 @@
 #ifndef BBSMINE_CORE_MINING_TYPES_H_
 #define BBSMINE_CORE_MINING_TYPES_H_
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "storage/transaction.h"
 #include "util/iomodel.h"
 
 namespace bbsmine {
+
+namespace obs {
+class Tracer;
+}  // namespace obs
 
 /// The four filter-and-refine schemes of Section 3.3.
 enum class Algorithm : uint8_t {
@@ -85,9 +91,33 @@ struct MineConfig {
   /// deterministic root order); only wall time and buffer-pool hit/miss
   /// interleaving change.
   uint32_t num_threads = 1;
+
+  /// Optional span tracer (obs/trace.h). When set, the run records phase /
+  /// filter-subtree / refinement-batch / probe spans into it. Tracing is
+  /// passive: the mined patterns and all counters are bit-identical with
+  /// or without a tracer attached. Not owned.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Observability counters of one mining run.
+///
+/// Instances double as the engine's per-worker metric shards: every
+/// parallel fan-out gives each root subtree / candidate / chunk its own
+/// MineStats and merges them with += in a fixed order, so all counters and
+/// histograms are deterministic at any thread count (see obs/metrics.h for
+/// the shard/registry relationship).
+///
+/// Timing semantics under parallelism:
+///  * *_wall_seconds — elapsed time of the phase, measured once on the
+///    coordinating thread. Worker shards leave these at zero, so the
+///    additive merge is correct for shards and still accumulates across
+///    sequential runs.
+///  * *_cpu_seconds — summed busy time of all workers in that phase. At
+///    num_threads == 1, cpu == wall (up to timer noise).
+/// For the integrated SFP/DFP schemes refinement happens inside the filter
+/// walk, so filter_wall_seconds covers the combined window,
+/// refine_wall_seconds is 0, and refine_cpu_seconds carries the summed
+/// probe time.
 struct MineStats {
   uint64_t candidates = 0;        ///< itemsets that passed the filter
   uint64_t false_drops = 0;       ///< candidates rejected during refinement
@@ -95,12 +125,22 @@ struct MineStats {
   uint64_t probed_transactions = 0;  ///< records fetched by Probe
   uint64_t extension_tests = 0;   ///< CountItemSet / slice-AND evaluations
   uint64_t db_scans = 0;          ///< full database passes
-  double filter_seconds = 0;
-  double refine_seconds = 0;
-  double total_seconds = 0;
+  uint64_t cache_hits = 0;        ///< buffer-pool hits during probes
+  uint64_t cache_misses = 0;      ///< buffer-pool misses during probes
+  uint64_t max_queue_depth = 0;   ///< gauge: deepest thread-pool backlog seen
+  double filter_wall_seconds = 0;
+  double filter_cpu_seconds = 0;
+  double refine_wall_seconds = 0;
+  double refine_cpu_seconds = 0;
+  double total_seconds = 0;       ///< wall time of the whole run
+  obs::DepthHistogram candidates_by_depth;   ///< by itemset size
+  obs::DepthHistogram pruned_by_depth;       ///< extensions estimated < tau
+  obs::DepthHistogram false_drops_by_depth;  ///< by itemset size
   IoStats io;
 
-  /// Accumulates another run's (or worker's) counters into this one.
+  /// Accumulates another run's (or worker shard's) counters into this one.
+  /// Additive for counters, histograms and times; maximum for the queue-
+  /// depth gauge (a watermark across shards).
   MineStats& operator+=(const MineStats& other) {
     candidates += other.candidates;
     false_drops += other.false_drops;
@@ -108,11 +148,45 @@ struct MineStats {
     probed_transactions += other.probed_transactions;
     extension_tests += other.extension_tests;
     db_scans += other.db_scans;
-    filter_seconds += other.filter_seconds;
-    refine_seconds += other.refine_seconds;
+    cache_hits += other.cache_hits;
+    cache_misses += other.cache_misses;
+    max_queue_depth = std::max(max_queue_depth, other.max_queue_depth);
+    filter_wall_seconds += other.filter_wall_seconds;
+    filter_cpu_seconds += other.filter_cpu_seconds;
+    refine_wall_seconds += other.refine_wall_seconds;
+    refine_cpu_seconds += other.refine_cpu_seconds;
     total_seconds += other.total_seconds;
+    candidates_by_depth += other.candidates_by_depth;
+    pruned_by_depth += other.pruned_by_depth;
+    false_drops_by_depth += other.false_drops_by_depth;
     io += other.io;
     return *this;
+  }
+
+  /// Full equality, timings included (run-report round-trip tests).
+  bool operator==(const MineStats& other) const {
+    return CountersEqual(other) && max_queue_depth == other.max_queue_depth &&
+           filter_wall_seconds == other.filter_wall_seconds &&
+           filter_cpu_seconds == other.filter_cpu_seconds &&
+           refine_wall_seconds == other.refine_wall_seconds &&
+           refine_cpu_seconds == other.refine_cpu_seconds &&
+           total_seconds == other.total_seconds;
+  }
+
+  /// Equality of the schedule-independent part: every counter, histogram
+  /// and I/O charge, but not timings or the queue-depth watermark. This is
+  /// what must match between --threads=1 and --threads=N runs.
+  bool CountersEqual(const MineStats& other) const {
+    return candidates == other.candidates &&
+           false_drops == other.false_drops && certified == other.certified &&
+           probed_transactions == other.probed_transactions &&
+           extension_tests == other.extension_tests &&
+           db_scans == other.db_scans && cache_hits == other.cache_hits &&
+           cache_misses == other.cache_misses &&
+           candidates_by_depth == other.candidates_by_depth &&
+           pruned_by_depth == other.pruned_by_depth &&
+           false_drops_by_depth == other.false_drops_by_depth &&
+           io == other.io;
   }
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
 namespace bbsmine {
@@ -54,7 +55,7 @@ void CountBatchOverRange(
 std::vector<Pattern> RefineSequentialScan(
     const TransactionDatabase& db, const std::vector<Candidate>& candidates,
     uint64_t tau, uint64_t memory_budget_bytes, MineStats* stats,
-    size_t num_threads) {
+    size_t num_threads, obs::Tracer* tracer) {
   std::vector<Pattern> frequent;
   if (candidates.empty()) return frequent;
 
@@ -91,32 +92,47 @@ std::vector<Pattern> RefineSequentialScan(
     // One sequential pass over the database per batch, regardless of the
     // thread count (parallel workers split the same pass, they don't repeat
     // it — the I/O charge must match).
+    obs::TraceSpan span(tracer, obs::kTraceRefine, "refine.batch");
+    span.AddArg("candidates", end - begin);
     std::vector<uint64_t> counts(end - begin, 0);
     if (stats != nullptr) {
       ++stats->db_scans;
       db.ChargeFullScan(&stats->io);
     }
     if (threads <= 1) {
+      Stopwatch cpu;
       std::vector<uint8_t> present(dense.size(), 0);
       CountBatchOverRange(db, dense, dense_items, begin, end, 0, db.size(),
                           &present, &counts);
+      if (stats != nullptr) stats->refine_cpu_seconds += cpu.ElapsedSeconds();
     } else {
       // Disjoint transaction ranges; per-thread counts summed element-wise
       // afterwards (addition commutes, so the totals are schedule-
       // independent and identical to the serial scan).
       std::vector<std::vector<uint64_t>> chunk_counts(
           threads, std::vector<uint64_t>(end - begin, 0));
+      std::vector<double> chunk_cpu(threads, 0.0);
       size_t per_chunk = (db.size() + threads - 1) / threads;
-      ParallelFor(threads, threads, [&](size_t chunk) {
-        size_t first_txn = chunk * per_chunk;
-        size_t last_txn = std::min(db.size(), first_txn + per_chunk);
-        if (first_txn >= last_txn) return;
-        std::vector<uint8_t> present(dense.size(), 0);
-        CountBatchOverRange(db, dense, dense_items, begin, end, first_txn,
-                            last_txn, &present, &chunk_counts[chunk]);
-      });
+      uint64_t queue_depth = 0;
+      ParallelFor(
+          threads, threads,
+          [&](size_t chunk) {
+            size_t first_txn = chunk * per_chunk;
+            size_t last_txn = std::min(db.size(), first_txn + per_chunk);
+            if (first_txn >= last_txn) return;
+            Stopwatch cpu;
+            std::vector<uint8_t> present(dense.size(), 0);
+            CountBatchOverRange(db, dense, dense_items, begin, end, first_txn,
+                                last_txn, &present, &chunk_counts[chunk]);
+            chunk_cpu[chunk] = cpu.ElapsedSeconds();
+          },
+          &queue_depth);
       for (const std::vector<uint64_t>& chunk : chunk_counts) {
         for (size_t c = 0; c < counts.size(); ++c) counts[c] += chunk[c];
+      }
+      if (stats != nullptr) {
+        for (double s : chunk_cpu) stats->refine_cpu_seconds += s;
+        stats->max_queue_depth = std::max(stats->max_queue_depth, queue_depth);
       }
     }
 
@@ -126,6 +142,7 @@ std::vector<Pattern> RefineSequentialScan(
             Pattern{candidates[c].items, counts[c - begin], SupportKind::kExact});
       } else if (stats != nullptr) {
         ++stats->false_drops;
+        stats->false_drops_by_depth.Add(candidates[c].items.size());
       }
     }
     begin = end;

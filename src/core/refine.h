@@ -19,6 +19,7 @@
 #include "core/mining_types.h"
 #include "core/single_filter.h"
 #include "core/tidset.h"
+#include "obs/trace.h"
 #include "storage/page_cache.h"
 #include "storage/transaction_db.h"
 #include "util/bitvector.h"
@@ -36,12 +37,15 @@ namespace bbsmine {
 /// (disjoint transaction ranges, per-thread count arrays summed at the end;
 /// 0 = one thread per hardware thread). The returned patterns, supports,
 /// and I/O charges are identical to the serial scan.
+///
+/// `tracer`, when non-null, records one kTraceRefine span per batch scan.
 std::vector<Pattern> RefineSequentialScan(const TransactionDatabase& db,
                                           const std::vector<Candidate>& candidates,
                                           uint64_t tau,
                                           uint64_t memory_budget_bytes,
                                           MineStats* stats,
-                                          size_t num_threads = 1);
+                                          size_t num_threads = 1,
+                                          obs::Tracer* tracer = nullptr);
 
 /// Exact support of `items` counted by probing exactly the transactions
 /// whose bits are set in `result` (the CountItemSet output vector).

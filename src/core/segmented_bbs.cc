@@ -46,13 +46,19 @@ Status SegmentedBbs::Insert(const Itemset& items) {
 }
 
 size_t SegmentedBbs::CountItemSet(const Itemset& items, IoStats* io,
-                                  size_t num_threads) const {
+                                  size_t num_threads,
+                                  obs::Tracer* tracer) const {
+  obs::TraceSpan span(tracer, obs::kTraceKernel, "segbbs.count");
+  span.AddArg("items", items.size());
+  span.AddArg("segments", segments_.size());
   // Each worker charges a private per-segment IoStats; the merge below runs
   // in segment order, so both the count and the I/O totals are identical to
   // the serial pass regardless of the thread schedule.
   std::vector<size_t> counts(segments_.size(), 0);
   std::vector<IoStats> segment_io(io != nullptr ? segments_.size() : 0);
   ParallelFor(num_threads, segments_.size(), [&](size_t idx) {
+    obs::TraceSpan segment_span(tracer, obs::kTraceKernel, "segbbs.segment");
+    segment_span.AddArg("segment", idx);
     counts[idx] = segments_[idx].CountItemSet(
         items, nullptr, io != nullptr ? &segment_io[idx] : nullptr);
   });

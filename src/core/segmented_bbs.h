@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/bbs_index.h"
+#include "obs/trace.h"
 
 namespace bbsmine {
 
@@ -62,9 +63,11 @@ class SegmentedBbs {
   /// is non-null each segment's touched slices are charged. With
   /// `num_threads` > 1 the segments are counted in parallel (0 = one thread
   /// per hardware thread); the result and the IoStats total are identical
-  /// to the serial run.
+  /// to the serial run. `tracer`, when non-null, records one kTraceKernel
+  /// span per segment count (opt-in category) under an overall span.
   size_t CountItemSet(const Itemset& items, IoStats* io = nullptr,
-                      size_t num_threads = 1) const;
+                      size_t num_threads = 1,
+                      obs::Tracer* tracer = nullptr) const;
 
   /// Per-segment counts for `items` (diagnostics / targeted probing: the
   /// caller learns which segments can contain matches). `num_threads` as in

@@ -1,7 +1,10 @@
 #include "core/single_filter.h"
 
+#include <algorithm>
 #include <utility>
 
+#include "obs/trace.h"
+#include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
 namespace bbsmine {
@@ -66,7 +69,10 @@ class SingleFilterWalk {
     Itemset canonical = current_;
     Canonicalize(&canonical);
     out_->push_back(Candidate{std::move(canonical), node.est});
-    if (stats_ != nullptr) ++stats_->candidates;
+    if (stats_ != nullptr) {
+      ++stats_->candidates;
+      stats_->candidates_by_depth.Add(current_.size());
+    }
 
     std::vector<Node> children;
     for (size_t j = i + 1; j < siblings.size(); ++j) {
@@ -74,7 +80,11 @@ class SingleFilterWalk {
       child.idx = siblings[j].idx;
       child.est = engine_.ExtendHybrid(child.idx, node.set, &child.set);
       if (stats_ != nullptr) ++stats_->extension_tests;
-      if (child.est >= engine_.tau()) children.push_back(std::move(child));
+      if (child.est >= engine_.tau()) {
+        children.push_back(std::move(child));
+      } else if (stats_ != nullptr) {
+        stats_->pruned_by_depth.Add(current_.size() + 1);
+      }
     }
     for (size_t j = 0; j < children.size(); ++j) {
       Visit(children[j], children, j);
@@ -99,10 +109,20 @@ std::vector<Candidate> RunSingleFilter(const FilterEngine& engine,
   // which thread ran which subtree.
   std::vector<std::vector<Candidate>> per_root(roots.size());
   std::vector<MineStats> per_root_stats(roots.size());
-  ParallelFor(num_threads, roots.size(), [&](size_t i) {
-    SingleFilterWalk walk(engine, &per_root_stats[i], &per_root[i]);
-    walk.RunSubtree(roots, i);
-  });
+  uint64_t queue_depth = 0;
+  ParallelFor(
+      num_threads, roots.size(),
+      [&](size_t i) {
+        obs::TraceSpan span(engine.tracer(), obs::kTraceFilter,
+                            "filter.subtree");
+        Stopwatch cpu;
+        SingleFilterWalk walk(engine, &per_root_stats[i], &per_root[i]);
+        walk.RunSubtree(roots, i);
+        per_root_stats[i].filter_cpu_seconds = cpu.ElapsedSeconds();
+        span.AddArg("root", i);
+        span.AddArg("candidates", per_root_stats[i].candidates);
+      },
+      &queue_depth);
 
   std::vector<Candidate> out;
   size_t total = 0;
@@ -113,6 +133,9 @@ std::vector<Candidate> RunSingleFilter(const FilterEngine& engine,
       out.push_back(std::move(candidate));
     }
     if (stats != nullptr) *stats += per_root_stats[i];
+  }
+  if (stats != nullptr) {
+    stats->max_queue_depth = std::max(stats->max_queue_depth, queue_depth);
   }
   return out;
 }

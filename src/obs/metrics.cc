@@ -1,0 +1,92 @@
+#include "obs/metrics.h"
+
+namespace bbsmine::obs {
+
+const char* UnitName(Unit unit) {
+  switch (unit) {
+    case Unit::kNone:
+      return "";
+    case Unit::kSeconds:
+      return "s";
+    case Unit::kBlocks:
+      return "blocks";
+    case Unit::kWords:
+      return "words";
+    case Unit::kBytes:
+      return "bytes";
+  }
+  return "";
+}
+
+size_t MetricsRegistry::AddCounter(std::string name, Unit unit) {
+  size_t slot = num_scalars_++;
+  metas_.push_back(Meta{std::move(name), MetricKind::kCounter, unit, slot});
+  aggregate_.counters_.push_back(0);
+  return slot;
+}
+
+size_t MetricsRegistry::AddGauge(std::string name, Unit unit) {
+  size_t slot = num_scalars_++;
+  metas_.push_back(Meta{std::move(name), MetricKind::kGauge, unit, slot});
+  aggregate_.counters_.push_back(0);
+  return slot;
+}
+
+size_t MetricsRegistry::AddHistogram(std::string name) {
+  size_t slot = num_histograms_++;
+  metas_.push_back(Meta{std::move(name), MetricKind::kHistogram, Unit::kNone,
+                        slot});
+  aggregate_.histograms_.emplace_back();
+  return slot;
+}
+
+MetricsShard* MetricsRegistry::CreateShard() {
+  shards_.emplace_back(
+      new MetricsShard(num_scalars_, num_histograms_));
+  return shards_.back().get();
+}
+
+void MetricsRegistry::MergeShards() {
+  for (auto& shard : shards_) {
+    for (const Meta& meta : metas_) {
+      switch (meta.kind) {
+        case MetricKind::kCounter:
+          aggregate_.Inc(meta.slot, shard->counters_[meta.slot]);
+          break;
+        case MetricKind::kGauge:
+          aggregate_.GaugeMax(meta.slot, shard->counters_[meta.slot]);
+          break;
+        case MetricKind::kHistogram:
+          aggregate_.histograms_[meta.slot] += shard->histograms_[meta.slot];
+          break;
+      }
+    }
+    *shard = MetricsShard(num_scalars_, num_histograms_);
+  }
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  std::vector<MetricSample> samples;
+  samples.reserve(metas_.size());
+  for (const Meta& meta : metas_) {
+    MetricSample sample;
+    sample.name = meta.name;
+    sample.kind = meta.kind;
+    sample.unit = meta.unit;
+    if (meta.kind == MetricKind::kHistogram) {
+      const DepthHistogram& h = aggregate_.histograms_[meta.slot];
+      sample.value = h.total();
+      sample.buckets.resize(DepthHistogram::kMaxTrackedDepth + 1, 0);
+      sample.buckets[0] = h.overflow();
+      for (size_t d = 1; d <= DepthHistogram::kMaxTrackedDepth; ++d) {
+        sample.buckets[d] = h.at(d);
+      }
+    } else {
+      sample.value = aggregate_.counters_[meta.slot];
+    }
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+}  // namespace bbsmine::obs

@@ -1,0 +1,290 @@
+#include "obs/report.h"
+
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/iomodel.h"
+#include "util/table.h"
+
+namespace bbsmine::obs {
+
+namespace {
+
+// One double-valued metric that rides alongside the registry snapshot
+// (MetricsRegistry stores integers; timings are real-valued).
+MetricSample RealSample(const char* name, double value) {
+  MetricSample s;
+  s.name = name;
+  s.kind = MetricKind::kGauge;
+  s.unit = Unit::kSeconds;
+  s.real_value = value;
+  s.is_real = true;
+  return s;
+}
+
+// The single metric catalog: every exported MineStats/IoStats field is
+// registered here, by its dotted report path, and both the JSON "metrics"
+// section and the human table are rendered from the returned samples.
+// Section order: counters, io, cache, gauges, timings, depth.
+std::vector<MetricSample> SnapshotStats(const MineStats& stats,
+                                        const IoCostParams& io_params) {
+  MetricsRegistry registry;
+  struct Scalar {
+    size_t slot;
+    uint64_t value;
+  };
+  std::vector<Scalar> scalars;
+  auto counter = [&](const char* name, uint64_t value, Unit unit = Unit::kNone) {
+    scalars.push_back(Scalar{registry.AddCounter(name, unit), value});
+  };
+  counter("counters.candidates", stats.candidates);
+  counter("counters.false_drops", stats.false_drops);
+  counter("counters.certified", stats.certified);
+  counter("counters.probed_transactions", stats.probed_transactions);
+  counter("counters.extension_tests", stats.extension_tests);
+  counter("counters.db_scans", stats.db_scans);
+  counter("io.sequential_reads", stats.io.sequential_reads, Unit::kBlocks);
+  counter("io.random_reads", stats.io.random_reads, Unit::kBlocks);
+  counter("io.writes", stats.io.writes, Unit::kBlocks);
+  counter("io.slice_words_touched", stats.io.slice_words_touched, Unit::kWords);
+  counter("cache.hits", stats.cache_hits);
+  counter("cache.misses", stats.cache_misses);
+  scalars.push_back(
+      Scalar{registry.AddGauge("gauges.max_queue_depth"), stats.max_queue_depth});
+  struct Hist {
+    size_t slot;
+    const DepthHistogram* histogram;
+  };
+  std::vector<Hist> hists = {
+      {registry.AddHistogram("depth.candidates"), &stats.candidates_by_depth},
+      {registry.AddHistogram("depth.pruned"), &stats.pruned_by_depth},
+      {registry.AddHistogram("depth.false_drops"), &stats.false_drops_by_depth},
+  };
+
+  // Populate the aggregate through the same update API the shards use.
+  for (const Scalar& s : scalars) registry.Inc(s.slot, s.value);
+  for (const Hist& h : hists) {
+    for (size_t d = 1; d <= DepthHistogram::kMaxTrackedDepth; ++d) {
+      registry.Observe(h.slot, d, h.histogram->at(d));
+    }
+    registry.Observe(h.slot, DepthHistogram::kMaxTrackedDepth + 1,
+                     h.histogram->overflow());
+  }
+
+  std::vector<MetricSample> samples = registry.Snapshot();
+  samples.push_back(
+      RealSample("timings.filter_wall_seconds", stats.filter_wall_seconds));
+  samples.push_back(
+      RealSample("timings.filter_cpu_seconds", stats.filter_cpu_seconds));
+  samples.push_back(
+      RealSample("timings.refine_wall_seconds", stats.refine_wall_seconds));
+  samples.push_back(
+      RealSample("timings.refine_cpu_seconds", stats.refine_cpu_seconds));
+  samples.push_back(RealSample("timings.total_seconds", stats.total_seconds));
+  samples.push_back(RealSample("timings.simulated_io_seconds",
+                               SimulatedIoSeconds(stats.io, io_params)));
+  return samples;
+}
+
+// Splits "section.field" and returns the section object inside `metrics`,
+// creating it in first-use order.
+JsonValue& SectionFor(JsonValue& metrics, const std::string& name,
+                      std::string* field) {
+  size_t dot = name.find('.');
+  std::string section = name.substr(0, dot);
+  *field = name.substr(dot + 1);
+  if (JsonValue* existing = metrics.MutableAt(section)) return *existing;
+  return metrics.Set(section, JsonValue::Object());
+}
+
+JsonValue HistogramJson(const MetricSample& sample) {
+  JsonValue h = JsonValue::Object();
+  JsonValue by_depth = JsonValue::Array();
+  size_t last = 0;
+  for (size_t d = 1; d < sample.buckets.size(); ++d) {
+    if (sample.buckets[d] != 0) last = d;
+  }
+  for (size_t d = 1; d <= last; ++d) {
+    by_depth.Append(JsonValue::Uint(sample.buckets[d]));
+  }
+  h.Set("by_depth", std::move(by_depth));
+  h.Set("overflow", JsonValue::Uint(sample.buckets.empty() ? 0 : sample.buckets[0]));
+  h.Set("total", JsonValue::Uint(sample.value));
+  return h;
+}
+
+void ReadHistogram(const JsonValue& h, DepthHistogram* out) {
+  const JsonValue& by_depth = h.at("by_depth");
+  for (size_t i = 0; i < by_depth.size(); ++i) {
+    out->Add(i + 1, by_depth.at(i).AsUint());
+  }
+  out->Add(DepthHistogram::kMaxTrackedDepth + 1, h.at("overflow").AsUint());
+}
+
+std::string FormatDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+JsonValue BuildRunReport(const RunReportContext& ctx,
+                         const MiningResult& result) {
+  const MineStats& stats = result.stats;
+  JsonValue report = JsonValue::Object();
+  report.Set("schema_version", JsonValue::Int(kRunReportSchemaVersion));
+  report.Set("scheme", JsonValue::String(ctx.scheme));
+
+  JsonValue config = JsonValue::Object();
+  if (ctx.config != nullptr) {
+    const MineConfig& c = *ctx.config;
+    config.Set("min_support", JsonValue::Double(c.min_support));
+    config.Set("algorithm", JsonValue::String(AlgorithmName(c.algorithm)));
+    config.Set("memory_budget_bytes", JsonValue::Uint(c.memory_budget_bytes));
+    config.Set("block_size", JsonValue::Uint(c.block_size));
+    config.Set("threads", JsonValue::Uint(c.num_threads));
+    config.Set("rare_first_order", JsonValue::Bool(c.rare_first_order));
+    config.Set("tighten_after_probe", JsonValue::Bool(c.tighten_after_probe));
+  }
+  report.Set("config", std::move(config));
+
+  JsonValue workload = JsonValue::Object();
+  workload.Set("transactions", JsonValue::Uint(ctx.num_transactions));
+  workload.Set("item_universe", JsonValue::Uint(ctx.item_universe));
+  workload.Set("tau", JsonValue::Uint(ctx.tau));
+  report.Set("workload", std::move(workload));
+
+  JsonValue engine = JsonValue::Object();
+  engine.Set("kernel", JsonValue::String(ctx.kernel));
+  engine.Set("resolved_threads", JsonValue::Uint(ctx.resolved_threads));
+  engine.Set("index_bits", JsonValue::Uint(ctx.index_bits));
+  engine.Set("index_hashes", JsonValue::Uint(ctx.index_hashes));
+  report.Set("engine", std::move(engine));
+
+  report.Set("patterns", JsonValue::Uint(result.patterns.size()));
+  report.Set("fdr", JsonValue::Double(result.FalseDropRatio()));
+
+  IoCostParams io_params =
+      ctx.config != nullptr ? ctx.config->io_params : IoCostParams::PaperEraDisk();
+  JsonValue metrics = JsonValue::Object();
+  for (const MetricSample& sample : SnapshotStats(stats, io_params)) {
+    std::string field;
+    JsonValue& section = SectionFor(metrics, sample.name, &field);
+    if (sample.kind == MetricKind::kHistogram) {
+      section.Set(field, HistogramJson(sample));
+    } else if (sample.is_real) {
+      section.Set(field, JsonValue::Double(sample.real_value));
+    } else {
+      section.Set(field, JsonValue::Uint(sample.value));
+    }
+  }
+  // Derived rate, reported for humans; StatsFromReport ignores it.
+  uint64_t accesses = stats.cache_hits + stats.cache_misses;
+  metrics.MutableAt("cache")->Set(
+      "hit_rate",
+      JsonValue::Double(accesses == 0
+                            ? 0.0
+                            : static_cast<double>(stats.cache_hits) /
+                                  static_cast<double>(accesses)));
+  report.Set("metrics", std::move(metrics));
+  return report;
+}
+
+Result<MineStats> StatsFromReport(const JsonValue& report) {
+  if (report.kind() != JsonValue::Kind::kObject ||
+      !report.Has("schema_version") || !report.Has("metrics")) {
+    return Status::Corruption("not a run report document");
+  }
+  int64_t version = report.at("schema_version").AsInt();
+  if (version != kRunReportSchemaVersion) {
+    return Status::Corruption("unsupported run report schema_version " +
+                              std::to_string(version));
+  }
+  const JsonValue& metrics = report.at("metrics");
+  const JsonValue& counters = metrics.at("counters");
+  const JsonValue& io = metrics.at("io");
+  const JsonValue& cache = metrics.at("cache");
+  const JsonValue& gauges = metrics.at("gauges");
+  const JsonValue& timings = metrics.at("timings");
+  const JsonValue& depth = metrics.at("depth");
+
+  MineStats stats;
+  stats.candidates = counters.at("candidates").AsUint();
+  stats.false_drops = counters.at("false_drops").AsUint();
+  stats.certified = counters.at("certified").AsUint();
+  stats.probed_transactions = counters.at("probed_transactions").AsUint();
+  stats.extension_tests = counters.at("extension_tests").AsUint();
+  stats.db_scans = counters.at("db_scans").AsUint();
+  stats.io.sequential_reads = io.at("sequential_reads").AsUint();
+  stats.io.random_reads = io.at("random_reads").AsUint();
+  stats.io.writes = io.at("writes").AsUint();
+  stats.io.slice_words_touched = io.at("slice_words_touched").AsUint();
+  stats.cache_hits = cache.at("hits").AsUint();
+  stats.cache_misses = cache.at("misses").AsUint();
+  stats.max_queue_depth = gauges.at("max_queue_depth").AsUint();
+  stats.filter_wall_seconds = timings.at("filter_wall_seconds").AsDouble();
+  stats.filter_cpu_seconds = timings.at("filter_cpu_seconds").AsDouble();
+  stats.refine_wall_seconds = timings.at("refine_wall_seconds").AsDouble();
+  stats.refine_cpu_seconds = timings.at("refine_cpu_seconds").AsDouble();
+  stats.total_seconds = timings.at("total_seconds").AsDouble();
+  ReadHistogram(depth.at("candidates"), &stats.candidates_by_depth);
+  ReadHistogram(depth.at("pruned"), &stats.pruned_by_depth);
+  ReadHistogram(depth.at("false_drops"), &stats.false_drops_by_depth);
+  return stats;
+}
+
+void PrintRunReportTable(const JsonValue& report, std::ostream& out) {
+  std::string title = "Run report";
+  if (report.Has("scheme")) {
+    title += ": " + report.at("scheme").AsString();
+  }
+  if (report.Has("engine")) {
+    const JsonValue& engine = report.at("engine");
+    title += " (kernel " + engine.at("kernel").AsString() + ", " +
+             std::to_string(engine.at("resolved_threads").AsUint()) +
+             " threads)";
+  }
+  ResultTable table(std::move(title));
+  table.SetHeader({"metric", "value", "notes"});
+  table.AddRow({"patterns", ResultTable::Int(static_cast<long long>(
+                                report.at("patterns").AsUint())),
+                ""});
+  table.AddRow({"fdr", FormatDouble(report.at("fdr").AsDouble()), "F_fd / F"});
+
+  const JsonValue& metrics = report.at("metrics");
+  for (const std::string& section : metrics.keys()) {
+    const JsonValue& fields = metrics.at(section);
+    for (const std::string& field : fields.keys()) {
+      const JsonValue& v = fields.at(field);
+      std::string name = section + "." + field;
+      if (v.kind() == JsonValue::Kind::kObject) {
+        // Depth histogram: show the total plus a compact depth breakdown.
+        std::string breakdown;
+        const JsonValue& by_depth = v.at("by_depth");
+        for (size_t d = 0; d < by_depth.size(); ++d) {
+          if (!breakdown.empty()) breakdown += " ";
+          breakdown += std::to_string(by_depth.at(d).AsUint());
+        }
+        if (v.at("overflow").AsUint() != 0) {
+          breakdown += " +" + std::to_string(v.at("overflow").AsUint()) + " deep";
+        }
+        table.AddRow({std::move(name),
+                      ResultTable::Int(
+                          static_cast<long long>(v.at("total").AsUint())),
+                      breakdown.empty() ? "" : "by depth: " + breakdown});
+      } else if (v.kind() == JsonValue::Kind::kDouble) {
+        table.AddRow({std::move(name), FormatDouble(v.AsDouble()),
+                      section == "timings" ? "s" : ""});
+      } else {
+        table.AddRow({std::move(name),
+                      ResultTable::Int(static_cast<long long>(v.AsUint())), ""});
+      }
+    }
+  }
+  table.Print(out);
+}
+
+}  // namespace bbsmine::obs

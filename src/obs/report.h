@@ -1,0 +1,72 @@
+// Machine-readable run reports for mining runs.
+//
+// A run report is the schema-versioned JSON document behind
+// `bbsmine_cli --stats-json=out.json`: one object that captures everything
+// needed to interpret (and regression-check) a mining run — the scheme and
+// configuration, the workload shape, the selected SIMD kernel and thread
+// count, every MineStats / IoStats counter, the buffer-pool hit rate, the
+// per-depth candidate / prune / false-drop histograms, and the paper's
+// false-drop ratio. The bench harness reuses the same serializer so CLI
+// output and bench output never drift apart.
+//
+// The metric catalog lives in exactly one place: report.cc registers every
+// exported MineStats/IoStats field in a MetricsRegistry and renders both
+// the JSON "metrics" section and the human table from that one snapshot.
+//
+// Counters round-trip exactly: integers serialize as integers, doubles
+// with %.17g, and StatsFromReport() reconstructs a MineStats that compares
+// == to the in-memory one (pinned by run_report_test).
+
+#ifndef BBSMINE_OBS_REPORT_H_
+#define BBSMINE_OBS_REPORT_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "core/mining_types.h"
+#include "obs/json.h"
+#include "util/status.h"
+
+namespace bbsmine::obs {
+
+/// Version of the run-report JSON schema. Bump on any breaking change to
+/// field names or nesting; docs/OBSERVABILITY.md documents each version.
+inline constexpr int64_t kRunReportSchemaVersion = 1;
+
+/// Run-level facts that live outside MiningResult.
+struct RunReportContext {
+  /// Scheme name ("SFS", "SFP", "DFS", "DFP", or a bench label).
+  std::string scheme;
+  /// The configuration the run used. Not owned; must outlive the call.
+  const MineConfig* config = nullptr;
+  uint64_t num_transactions = 0;
+  uint32_t item_universe = 0;
+  /// Absolute support threshold tau derived from min_support.
+  uint64_t tau = 0;
+  /// Worker threads actually used (num_threads == 0 resolves to hardware).
+  uint32_t resolved_threads = 1;
+  /// Selected SIMD kernel (kernels::ActiveName()).
+  std::string kernel;
+  /// BBS geometry: signature width in bits and hash count.
+  uint32_t index_bits = 0;
+  uint32_t index_hashes = 0;
+};
+
+/// Builds the schema-versioned run report for one finished mining run.
+JsonValue BuildRunReport(const RunReportContext& ctx,
+                         const MiningResult& result);
+
+/// Reconstructs the MineStats embedded in a run report. Inverse of
+/// BuildRunReport for the "metrics" section: the returned stats compare
+/// equal (operator==) to the stats the report was built from.
+/// Fails with kCorruption when the document is not a run report or has an
+/// unsupported schema_version.
+Result<MineStats> StatsFromReport(const JsonValue& report);
+
+/// Renders the report as an aligned human-readable table (util/table).
+void PrintRunReportTable(const JsonValue& report, std::ostream& out);
+
+}  // namespace bbsmine::obs
+
+#endif  // BBSMINE_OBS_REPORT_H_

@@ -57,6 +57,25 @@ class PageCache {
     return misses_;
   }
 
+  /// Hit/miss counters read together under one lock, so the pair is a
+  /// consistent snapshot even while other threads keep probing.
+  struct Counters {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+
+    uint64_t accesses() const { return hits + misses; }
+    /// Fraction of accesses served from the pool (0 when never accessed).
+    double hit_rate() const {
+      return accesses() == 0
+                 ? 0.0
+                 : static_cast<double>(hits) / static_cast<double>(accesses());
+    }
+  };
+  Counters counters() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return Counters{hits_, misses_};
+  }
+
  private:
   uint64_t capacity_;
   uint64_t hits_ = 0;

@@ -45,6 +45,12 @@ struct IoStats {
     return *this;
   }
 
+  bool operator==(const IoStats& other) const {
+    return sequential_reads == other.sequential_reads &&
+           random_reads == other.random_reads && writes == other.writes &&
+           slice_words_touched == other.slice_words_touched;
+  }
+
   std::string ToString() const;
 };
 

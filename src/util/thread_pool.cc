@@ -27,6 +27,7 @@ void ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
+    max_queue_depth_ = std::max<uint64_t>(max_queue_depth_, queue_.size());
   }
   work_cv_.notify_one();
 }
@@ -78,7 +79,8 @@ size_t ThreadPool::DefaultThreads() {
 }
 
 void ParallelFor(size_t num_threads, size_t n,
-                 const std::function<void(size_t)>& body) {
+                 const std::function<void(size_t)>& body,
+                 uint64_t* max_queue_depth) {
   size_t threads = std::min(ResolveThreads(num_threads), n);
   if (threads <= 1) {
     for (size_t i = 0; i < n; ++i) body(i);
@@ -86,6 +88,9 @@ void ParallelFor(size_t num_threads, size_t n,
   }
   ThreadPool pool(threads);
   pool.ParallelFor(n, body);
+  if (max_queue_depth != nullptr) {
+    *max_queue_depth = std::max(*max_queue_depth, pool.max_queue_depth());
+  }
 }
 
 size_t ResolveThreads(size_t num_threads) {

@@ -15,6 +15,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -44,6 +45,14 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
+  /// Deepest backlog the task queue has reached (watermark over the pool's
+  /// lifetime): tasks waiting for a worker at the moment of a Submit. A
+  /// value near num_threads() means the fan-out saturated the pool.
+  uint64_t max_queue_depth() const {
+    std::unique_lock<std::mutex> lock(mu_);
+    return max_queue_depth_;
+  }
+
   /// Runs body(i) for every i in [0, n), distributing indices dynamically
   /// across the pool's workers. Returns when all iterations are done.
   void ParallelFor(size_t n, const std::function<void(size_t)>& body);
@@ -55,11 +64,12 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_cv_;  // signaled when tasks arrive / shutdown
   std::condition_variable idle_cv_;  // signaled when the pool drains
   std::deque<std::function<void()>> queue_;
   size_t active_ = 0;
+  uint64_t max_queue_depth_ = 0;
   bool stop_ = false;
   std::vector<std::thread> workers_;
 };
@@ -68,8 +78,13 @@ class ThreadPool {
 /// With num_threads <= 1 (or n <= 1) the loop runs inline on the calling
 /// thread — zero threading overhead, and the serial path stays the serial
 /// path. `num_threads == 0` means one thread per hardware thread.
+///
+/// When `max_queue_depth` is non-null it is raised (never lowered) to the
+/// deepest task backlog the fan-out reached; the inline path leaves it
+/// untouched (nothing ever queues).
 void ParallelFor(size_t num_threads, size_t n,
-                 const std::function<void(size_t)>& body);
+                 const std::function<void(size_t)>& body,
+                 uint64_t* max_queue_depth = nullptr);
 
 /// Resolves a user-facing thread-count knob: 0 = auto (hardware threads),
 /// otherwise the value itself, clamped to at least 1.

@@ -1,0 +1,222 @@
+// Unit tests for the observability primitives: the JSON document model
+// (exact number round-trips), the metrics registry (deterministic shard
+// merge), the depth histogram, and the Chrome trace-event tracer.
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace bbsmine::obs {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// ---------------------------------------------------------------- JSON --
+
+TEST(JsonTest, SerializeParseRoundTripScalars) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("null", JsonValue::Null());
+  doc.Set("yes", JsonValue::Bool(true));
+  doc.Set("no", JsonValue::Bool(false));
+  doc.Set("int", JsonValue::Int(-42));
+  doc.Set("big", JsonValue::Uint(18446744073709551615ull));  // > INT64_MAX
+  doc.Set("pi", JsonValue::Double(3.141592653589793));
+  doc.Set("whole", JsonValue::Double(2.0));  // must stay a double
+  doc.Set("s", JsonValue::String("a \"quoted\" line\nwith\tcontrol"));
+
+  auto parsed = JsonValue::Parse(doc.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->at("null").kind(), JsonValue::Kind::kNull);
+  EXPECT_TRUE(parsed->at("yes").AsBool());
+  EXPECT_FALSE(parsed->at("no").AsBool());
+  EXPECT_EQ(parsed->at("int").AsInt(), -42);
+  EXPECT_EQ(parsed->at("big").kind(), JsonValue::Kind::kUint);
+  EXPECT_EQ(parsed->at("big").AsUint(), 18446744073709551615ull);
+  EXPECT_EQ(parsed->at("pi").kind(), JsonValue::Kind::kDouble);
+  EXPECT_EQ(parsed->at("pi").AsDouble(), 3.141592653589793);
+  EXPECT_EQ(parsed->at("whole").kind(), JsonValue::Kind::kDouble)
+      << "a whole-valued double must not collapse to an integer";
+  EXPECT_EQ(parsed->at("whole").AsDouble(), 2.0);
+  EXPECT_EQ(parsed->at("s").AsString(), "a \"quoted\" line\nwith\tcontrol");
+}
+
+TEST(JsonTest, DoublesRoundTripBitExactly) {
+  // Values chosen to stress the %.17g path (non-terminating binary
+  // fractions, subnormal-adjacent magnitudes).
+  for (double v : {0.1, 1.0 / 3.0, 6.02214076e23, 5e-324, -0.0042}) {
+    JsonValue doc = JsonValue::Array();
+    doc.Append(JsonValue::Double(v));
+    auto parsed = JsonValue::Parse(doc.Serialize());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->at(size_t{0}).AsDouble(), v);
+  }
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrder) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("zebra", JsonValue::Int(1));
+  doc.Set("apple", JsonValue::Int(2));
+  doc.Set("mango", JsonValue::Int(3));
+  auto parsed = JsonValue::Parse(doc.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->keys().size(), 3u);
+  EXPECT_EQ(parsed->keys()[0], "zebra");
+  EXPECT_EQ(parsed->keys()[1], "apple");
+  EXPECT_EQ(parsed->keys()[2], "mango");
+}
+
+TEST(JsonTest, MutableAtFindsAndMisses) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("inner", JsonValue::Object());
+  ASSERT_NE(doc.MutableAt("inner"), nullptr);
+  doc.MutableAt("inner")->Set("x", JsonValue::Int(7));
+  EXPECT_EQ(doc.at("inner").at("x").AsInt(), 7);
+  EXPECT_EQ(doc.MutableAt("absent"), nullptr);
+}
+
+TEST(JsonTest, ParseRejectsMalformedDocuments) {
+  for (const char* bad : {"", "{", "[1,]", "{\"a\":}", "{\"a\" 1}", "nul",
+                          "{\"a\":1} trailing", "\"unterminated"}) {
+    EXPECT_FALSE(JsonValue::Parse(bad).ok()) << "should reject: " << bad;
+  }
+}
+
+TEST(JsonTest, FileRoundTrip) {
+  std::string path = TempPath("bbsmine_obs_json_roundtrip.json");
+  JsonValue doc = JsonValue::Object();
+  doc.Set("k", JsonValue::Uint(123456789012345ull));
+  ASSERT_TRUE(WriteJsonFile(doc, path).ok());
+  auto loaded = ReadJsonFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->at("k").AsUint(), 123456789012345ull);
+  std::remove(path.c_str());
+}
+
+// ----------------------------------------------------- DepthHistogram --
+
+TEST(DepthHistogramTest, BucketsOverflowAndTotal) {
+  DepthHistogram h;
+  h.Add(0);  // ignored
+  h.Add(1, 5);
+  h.Add(DepthHistogram::kMaxTrackedDepth, 2);
+  h.Add(DepthHistogram::kMaxTrackedDepth + 10, 3);  // overflow
+  EXPECT_EQ(h.at(1), 5u);
+  EXPECT_EQ(h.at(DepthHistogram::kMaxTrackedDepth), 2u);
+  EXPECT_EQ(h.overflow(), 3u);
+  EXPECT_EQ(h.total(), 10u);
+  EXPECT_EQ(h.MaxNonZeroDepth(), DepthHistogram::kMaxTrackedDepth);
+
+  DepthHistogram other;
+  other.Add(2, 4);
+  h += other;
+  EXPECT_EQ(h.at(2), 4u);
+  EXPECT_EQ(h.total(), 14u);
+  EXPECT_FALSE(h == other);
+}
+
+// ---------------------------------------------------- MetricsRegistry --
+
+TEST(MetricsRegistryTest, ShardMergeIsDeterministicAndComplete) {
+  MetricsRegistry registry;
+  size_t ops = registry.AddCounter("ops");
+  size_t depth_gauge = registry.AddGauge("queue_depth");
+  size_t hist = registry.AddHistogram("by_depth");
+
+  MetricsShard* a = registry.CreateShard();
+  MetricsShard* b = registry.CreateShard();
+  a->Inc(ops, 3);
+  b->Inc(ops, 4);
+  a->GaugeMax(depth_gauge, 9);
+  b->GaugeMax(depth_gauge, 5);
+  a->Observe(hist, 2, 10);
+  b->Observe(hist, 2, 1);
+  b->Observe(hist, 40, 2);  // overflow bucket
+
+  registry.MergeShards();
+  EXPECT_EQ(registry.counter(ops), 7u);
+  EXPECT_EQ(registry.counter(depth_gauge), 9u) << "gauge merge keeps the max";
+  EXPECT_EQ(registry.histogram(hist).at(2), 11u);
+  EXPECT_EQ(registry.histogram(hist).overflow(), 2u);
+
+  // Merge resets the shards: merging again must not double-count.
+  registry.MergeShards();
+  EXPECT_EQ(registry.counter(ops), 7u);
+
+  std::vector<MetricSample> samples = registry.Snapshot();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].name, "ops");
+  EXPECT_EQ(samples[0].value, 7u);
+  EXPECT_EQ(samples[1].kind, MetricKind::kGauge);
+  EXPECT_EQ(samples[2].kind, MetricKind::kHistogram);
+  EXPECT_EQ(samples[2].value, 13u) << "histogram sample value is its total";
+}
+
+// ------------------------------------------------------------- Tracer --
+
+TEST(TraceTest, EmitsValidChromeTraceJson) {
+  Tracer tracer(kTraceDefault);
+  {
+    TraceSpan span(&tracer, kTracePhase, "mine");
+    span.AddArg("algorithm", "DFP");
+    TraceSpan inner(&tracer, kTraceFilter, "filter.subtree");
+    inner.AddArg("root", uint64_t{3});
+  }
+  EXPECT_EQ(tracer.event_count(), 2u);
+
+  auto doc = JsonValue::Parse(tracer.ToJsonString());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const JsonValue& events = doc->at("traceEvents");
+  ASSERT_EQ(events.size(), 2u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    const JsonValue& e = events.at(i);
+    EXPECT_EQ(e.at("ph").AsString(), "X");
+    EXPECT_TRUE(e.at("ts").is_number());
+    EXPECT_TRUE(e.at("dur").is_number());
+    EXPECT_TRUE(e.Has("pid"));
+    EXPECT_TRUE(e.Has("tid"));
+  }
+  // Spans close inner-first, so the inner span is recorded first.
+  EXPECT_EQ(events.at(size_t{0}).at("name").AsString(), "filter.subtree");
+  EXPECT_EQ(events.at(size_t{0}).at("args").at("root").AsUint(), 3u);
+  EXPECT_EQ(events.at(size_t{1}).at("name").AsString(), "mine");
+  EXPECT_EQ(events.at(size_t{1}).at("args").at("algorithm").AsString(),
+            "DFP");
+}
+
+TEST(TraceTest, DisabledCategoryAndNullTracerAreInert) {
+  Tracer tracer(kTraceDefault);  // kernel category off by default
+  {
+    TraceSpan kernel_span(&tracer, kTraceKernel, "bbs.count");
+    kernel_span.AddArg("items", uint64_t{2});
+    EXPECT_FALSE(kernel_span.armed());
+    TraceSpan null_span(nullptr, kTracePhase, "mine");
+    EXPECT_FALSE(null_span.armed());
+  }
+  EXPECT_EQ(tracer.event_count(), 0u);
+
+  Tracer all(kTraceAll);
+  { TraceSpan kernel_span(&all, kTraceKernel, "bbs.count"); }
+  EXPECT_EQ(all.event_count(), 1u);
+}
+
+TEST(TraceTest, WriteJsonProducesLoadableFile) {
+  std::string path = TempPath("bbsmine_obs_trace.json");
+  Tracer tracer;
+  { TraceSpan span(&tracer, kTracePhase, "mine"); }
+  ASSERT_TRUE(tracer.WriteJson(path).ok());
+  auto doc = ReadJsonFile(path);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->at("traceEvents").size(), 1u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace bbsmine::obs

@@ -51,6 +51,38 @@ TEST(PageCacheTest, NullIoStatsIsAllowed) {
   EXPECT_TRUE(cache.Access(1, false, nullptr));
 }
 
+TEST(PageCacheTest, CountersPinScriptedAccessPattern) {
+  // Scripted access pattern against a 2-block pool; every access below is
+  // annotated with the expected outcome. Pins both the per-access results
+  // and the cumulative Counters snapshot.
+  PageCache cache(2);
+  IoStats io;
+  EXPECT_FALSE(cache.Access(1, false, &io));  // miss: cold
+  EXPECT_FALSE(cache.Access(2, false, &io));  // miss: cold
+  EXPECT_TRUE(cache.Access(1, false, &io));   // hit (1 now MRU)
+  EXPECT_FALSE(cache.Access(3, false, &io));  // miss: evicts LRU block 2
+  EXPECT_TRUE(cache.Access(1, false, &io));   // hit
+  EXPECT_TRUE(cache.Access(3, false, &io));   // hit
+  EXPECT_FALSE(cache.Access(2, false, &io));  // miss: 2 was evicted
+  EXPECT_TRUE(cache.Access(2, false, &io));   // hit
+
+  PageCache::Counters counters = cache.counters();
+  EXPECT_EQ(counters.hits, 4u);
+  EXPECT_EQ(counters.misses, 4u);
+  EXPECT_EQ(counters.accesses(), 8u);
+  EXPECT_DOUBLE_EQ(counters.hit_rate(), 0.5);
+  EXPECT_EQ(counters.hits, cache.hits());
+  EXPECT_EQ(counters.misses, cache.misses());
+  EXPECT_EQ(io.random_reads, 4u) << "only misses charge I/O";
+}
+
+TEST(PageCacheTest, CountersEmptyCacheHasZeroHitRate) {
+  PageCache cache(2);
+  PageCache::Counters counters = cache.counters();
+  EXPECT_EQ(counters.accesses(), 0u);
+  EXPECT_EQ(counters.hit_rate(), 0.0);
+}
+
 TEST(PageCacheTest, ClearDropsResidency) {
   PageCache cache(4);
   IoStats io;

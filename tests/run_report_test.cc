@@ -1,0 +1,211 @@
+// Acceptance tests for the run-report exporter and the observability
+// instrumentation of the mining engine:
+//
+//  * stats-json round-trip: for all four schemes at 1 and 4 threads, the
+//    report written to disk parses back into a MineStats that compares
+//    operator== to the in-memory one;
+//  * tracing is passive: mining with a tracer attached (all categories,
+//    kernel spans included) yields bit-identical patterns and counters;
+//  * counters are schedule-independent: 1-thread and 4-thread runs agree
+//    on every counter, histogram, and I/O charge;
+//  * per-depth histograms are consistent with their scalar counters;
+//  * exact pinned counter values for SFS/SFP/DFS/DFP on a fixed seeded
+//    dataset (any drift is an intentional algorithm change).
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/bbs_index.h"
+#include "core/miner.h"
+#include "datagen/quest_gen.h"
+#include "obs/json.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+
+namespace bbsmine {
+namespace {
+
+constexpr double kMinSupport = 0.01;
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+const Algorithm kSchemes[] = {Algorithm::kSFS, Algorithm::kSFP,
+                              Algorithm::kDFS, Algorithm::kDFP};
+
+class RunReportTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    QuestConfig quest;
+    quest.num_transactions = 2'000;
+    quest.num_items = 200;
+    quest.avg_transaction_size = 8;
+    quest.avg_pattern_size = 4;
+    quest.num_patterns = 50;
+    quest.seed = 7;
+    db_ = new TransactionDatabase(std::move(GenerateQuest(quest)).value());
+
+    BbsConfig config;
+    // Narrow signature (400 bits for ~200 items) so estimates collide and
+    // the refinement path sees real false drops.
+    config.num_bits = 400;
+    config.num_hashes = 3;
+    bbs_ = new BbsIndex(std::move(BbsIndex::Create(config)).value());
+    bbs_->InsertAll(*db_);
+  }
+
+  static void TearDownTestSuite() {
+    delete bbs_;
+    delete db_;
+    bbs_ = nullptr;
+    db_ = nullptr;
+  }
+
+  static MiningResult Mine(Algorithm algorithm, uint32_t threads,
+                           obs::Tracer* tracer = nullptr) {
+    MineConfig config;
+    config.algorithm = algorithm;
+    config.min_support = kMinSupport;
+    config.num_threads = threads;
+    config.tracer = tracer;
+    return MineFrequentPatterns(*db_, *bbs_, config);
+  }
+
+  static TransactionDatabase* db_;
+  static BbsIndex* bbs_;
+};
+
+TransactionDatabase* RunReportTest::db_ = nullptr;
+BbsIndex* RunReportTest::bbs_ = nullptr;
+
+TEST_F(RunReportTest, StatsJsonRoundTripsExactly) {
+  for (Algorithm algorithm : kSchemes) {
+    for (uint32_t threads : {1u, 4u}) {
+      MineConfig config;
+      config.algorithm = algorithm;
+      config.min_support = kMinSupport;
+      config.num_threads = threads;
+      MiningResult result = MineFrequentPatterns(*db_, *bbs_, config);
+
+      obs::RunReportContext ctx;
+      ctx.scheme = AlgorithmName(algorithm);
+      ctx.config = &config;
+      ctx.num_transactions = db_->size();
+      ctx.item_universe = db_->item_universe();
+      ctx.tau = AbsoluteThreshold(kMinSupport, db_->size());
+      ctx.resolved_threads = threads;
+      ctx.kernel = "test";
+      ctx.index_bits = bbs_->num_bits();
+      ctx.index_hashes = bbs_->config().num_hashes;
+      obs::JsonValue report = obs::BuildRunReport(ctx, result);
+
+      std::string path = TempPath("bbsmine_run_report.json");
+      ASSERT_TRUE(obs::WriteJsonFile(report, path).ok());
+      auto loaded = obs::ReadJsonFile(path);
+      ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+      std::remove(path.c_str());
+
+      EXPECT_EQ(loaded->at("schema_version").AsInt(),
+                obs::kRunReportSchemaVersion);
+      EXPECT_EQ(loaded->at("scheme").AsString(), AlgorithmName(algorithm));
+      EXPECT_EQ(loaded->at("patterns").AsUint(), result.patterns.size());
+      EXPECT_EQ(loaded->at("workload").at("tau").AsUint(), ctx.tau);
+      EXPECT_EQ(loaded->at("engine").at("resolved_threads").AsUint(), threads);
+
+      auto stats = obs::StatsFromReport(*loaded);
+      ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+      EXPECT_TRUE(*stats == result.stats)
+          << AlgorithmName(algorithm) << " at " << threads
+          << " threads: report does not round-trip the stats";
+    }
+  }
+}
+
+TEST_F(RunReportTest, StatsFromReportRejectsForeignDocuments) {
+  obs::JsonValue not_a_report = obs::JsonValue::Object();
+  not_a_report.Set("hello", obs::JsonValue::Int(1));
+  EXPECT_FALSE(obs::StatsFromReport(not_a_report).ok());
+
+  obs::JsonValue wrong_version = obs::JsonValue::Object();
+  wrong_version.Set("schema_version", obs::JsonValue::Int(999));
+  wrong_version.Set("metrics", obs::JsonValue::Object());
+  EXPECT_FALSE(obs::StatsFromReport(wrong_version).ok());
+}
+
+TEST_F(RunReportTest, TracingIsPassive) {
+  for (Algorithm algorithm : kSchemes) {
+    MiningResult plain = Mine(algorithm, 4);
+    obs::Tracer tracer(obs::kTraceAll);
+    MiningResult traced = Mine(algorithm, 4, &tracer);
+    EXPECT_EQ(plain.patterns, traced.patterns)
+        << AlgorithmName(algorithm) << ": tracing changed the pattern set";
+    EXPECT_TRUE(plain.stats.CountersEqual(traced.stats))
+        << AlgorithmName(algorithm) << ": tracing changed the counters";
+    EXPECT_GT(tracer.event_count(), 0u);
+    // The trace document itself must be well-formed JSON.
+    auto doc = obs::JsonValue::Parse(tracer.ToJsonString());
+    ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+    EXPECT_EQ(doc->at("traceEvents").size(), tracer.event_count());
+  }
+}
+
+TEST_F(RunReportTest, CountersAreThreadScheduleIndependent) {
+  for (Algorithm algorithm : kSchemes) {
+    MiningResult serial = Mine(algorithm, 1);
+    MiningResult parallel = Mine(algorithm, 4);
+    EXPECT_EQ(serial.patterns, parallel.patterns) << AlgorithmName(algorithm);
+    EXPECT_TRUE(serial.stats.CountersEqual(parallel.stats))
+        << AlgorithmName(algorithm)
+        << ": counters differ between 1 and 4 threads";
+  }
+}
+
+TEST_F(RunReportTest, DepthHistogramsMatchScalarCounters) {
+  for (Algorithm algorithm : kSchemes) {
+    MiningResult result = Mine(algorithm, 1);
+    EXPECT_EQ(result.stats.candidates_by_depth.total(),
+              result.stats.candidates)
+        << AlgorithmName(algorithm);
+    EXPECT_EQ(result.stats.false_drops_by_depth.total(),
+              result.stats.false_drops)
+        << AlgorithmName(algorithm);
+  }
+}
+
+// Golden counter values on the fixed seed-7 workload above. These pin the
+// exact candidate / false-drop / certification / probe behavior of each
+// scheme; update them only for an intentional algorithm change.
+TEST_F(RunReportTest, PinnedCounterValues) {
+  struct Golden {
+    Algorithm algorithm;
+    uint64_t candidates;
+    uint64_t false_drops;
+    uint64_t certified;
+    uint64_t probed_transactions;
+  };
+  const Golden kGolden[] = {
+      {Algorithm::kSFS, 3324, 215, 0, 0},
+      {Algorithm::kSFP, 3137, 28, 0, 148138},
+      {Algorithm::kDFS, 3144, 35, 2521, 0},
+      {Algorithm::kDFP, 3136, 27, 2772, 14616},
+  };
+  for (const Golden& g : kGolden) {
+    MiningResult result = Mine(g.algorithm, 1);
+    EXPECT_EQ(result.stats.candidates, g.candidates)
+        << AlgorithmName(g.algorithm);
+    EXPECT_EQ(result.stats.false_drops, g.false_drops)
+        << AlgorithmName(g.algorithm);
+    EXPECT_EQ(result.stats.certified, g.certified)
+        << AlgorithmName(g.algorithm);
+    EXPECT_EQ(result.stats.probed_transactions, g.probed_transactions)
+        << AlgorithmName(g.algorithm);
+  }
+}
+
+}  // namespace
+}  // namespace bbsmine

@@ -15,11 +15,13 @@
 //   bbsmine mine --db data.db --index data.bbs --algo dfp --minsup 0.003
 //   bbsmine count --db data.db --index data.bbs --items 3,17,42 --tid-mod 7:0
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -33,14 +35,18 @@
 #include "core/pattern_sets.h"
 #include "core/rules.h"
 #include "datagen/quest_gen.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "storage/fimi_io.h"
 #include "storage/transaction_db.h"
+#include "util/bitvector_kernels.h"
+#include "util/thread_pool.h"
 
 using namespace bbsmine;
 
 namespace {
 
-/// Minimal --flag value parser: flags map to their (string) values;
+/// Minimal flag parser: accepts `--flag value` and `--flag=value`;
 /// bare flags map to "true".
 class Args {
  public:
@@ -52,7 +58,9 @@ class Args {
         std::exit(2);
       }
       std::string key = arg.substr(2);
-      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      if (size_t eq = key.find('='); eq != std::string::npos) {
+        values_[key.substr(0, eq)] = key.substr(eq + 1);
+      } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
         values_[key] = argv[++i];
       } else {
         values_[key] = "true";
@@ -249,27 +257,43 @@ int CmdMine(const Args& args) {
   double min_support = args.GetDouble("minsup", 0.003);
   std::string algo = args.GetString("algo", "dfp");
   size_t top = args.GetUint("top", 10);
+  std::string stats_json = args.GetString("stats-json");
+  std::string trace_out = args.GetString("trace-out");
+
+  std::optional<obs::Tracer> tracer;
+  if (!trace_out.empty()) {
+    uint32_t categories = obs::kTraceDefault;
+    if (args.GetBool("trace-kernels")) categories |= obs::kTraceKernel;
+    tracer.emplace(categories);
+  }
+
+  // Report context; only the BBS schemes fill the config/index fields.
+  MineConfig config;
+  uint32_t index_bits = 0;
+  uint32_t index_hashes = 0;
+  bool is_bbs = false;
 
   MiningResult result;
   if (algo == "apriori") {
-    AprioriConfig config;
-    config.min_support = min_support;
-    config.memory_budget_bytes = args.GetUint("budget", 0);
-    result = MineApriori(db, config);
+    AprioriConfig apriori_config;
+    apriori_config.min_support = min_support;
+    apriori_config.memory_budget_bytes = args.GetUint("budget", 0);
+    result = MineApriori(db, apriori_config);
   } else if (algo == "eclat") {
-    EclatConfig config;
-    config.min_support = min_support;
-    result = MineEclat(db, config);
+    EclatConfig eclat_config;
+    eclat_config.min_support = min_support;
+    result = MineEclat(db, eclat_config);
   } else if (algo == "fpgrowth") {
-    FpGrowthConfig config;
-    config.min_support = min_support;
-    config.memory_budget_bytes = args.GetUint("budget", 0);
-    result = MineFpGrowth(db, config);
+    FpGrowthConfig fp_config;
+    fp_config.min_support = min_support;
+    fp_config.memory_budget_bytes = args.GetUint("budget", 0);
+    result = MineFpGrowth(db, fp_config);
   } else {
-    MineConfig config;
+    is_bbs = true;
     config.min_support = min_support;
     config.memory_budget_bytes = args.GetUint("budget", 0);
     config.num_threads = static_cast<uint32_t>(args.GetUint("threads", 1));
+    if (tracer.has_value()) config.tracer = &*tracer;
     if (algo == "sfs") {
       config.algorithm = Algorithm::kSFS;
     } else if (algo == "sfp") {
@@ -290,7 +314,37 @@ int CmdMine(const Args& args) {
                 << " vs " << db.size() << " transactions\n";
       return 1;
     }
+    index_bits = bbs->num_bits();
+    index_hashes = bbs->config().num_hashes;
     result = MineFrequentPatterns(db, *bbs, config);
+  }
+
+  if (!stats_json.empty() || args.GetBool("report")) {
+    obs::RunReportContext ctx;
+    for (char& c : algo) c = static_cast<char>(std::toupper(c));
+    ctx.scheme = algo;
+    ctx.config = is_bbs ? &config : nullptr;
+    ctx.num_transactions = db.size();
+    ctx.item_universe = db.item_universe();
+    ctx.tau = AbsoluteThreshold(min_support, db.size());
+    ctx.resolved_threads = static_cast<uint32_t>(
+        is_bbs ? ResolveThreads(config.num_threads) : 1);
+    ctx.kernel = kernels::ActiveName();
+    ctx.index_bits = index_bits;
+    ctx.index_hashes = index_hashes;
+    obs::JsonValue report = obs::BuildRunReport(ctx, result);
+    if (!stats_json.empty()) {
+      if (Status st = obs::WriteJsonFile(report, stats_json); !st.ok()) {
+        Die(st);
+      }
+      std::printf("wrote run report to %s\n", stats_json.c_str());
+    }
+    if (args.GetBool("report")) obs::PrintRunReportTable(report, std::cout);
+  }
+  if (tracer.has_value()) {
+    if (Status st = tracer->WriteJson(trace_out); !st.ok()) Die(st);
+    std::printf("wrote trace (%zu events) to %s\n", tracer->event_count(),
+                trace_out.c_str());
   }
 
   std::printf(
@@ -444,7 +498,7 @@ int CmdApprox(const Args& args) {
 
 void Usage() {
   std::cerr <<
-      "usage: bbsmine <command> [--flag value ...]\n"
+      "usage: bbsmine <command> [--flag value | --flag=value ...]\n"
       "commands:\n"
       "  gen      --out FILE [--txns N] [--items N] [--t F] [--i F]\n"
       "           [--patterns N] [--seed N]\n"
@@ -457,6 +511,11 @@ void Usage() {
       "           [--threads N]  (0 = one per hardware thread; BBS algos\n"
       "           only; the pattern set is identical at any thread count)\n"
       "           [--closed | --maximal] [--out FILE]\n"
+      "           [--stats-json FILE]  (schema-versioned JSON run report)\n"
+      "           [--report]           (human-readable run-report table)\n"
+      "           [--trace-out FILE]   (Chrome trace-event JSON; view at\n"
+      "           chrome://tracing or ui.perfetto.dev; BBS algos only)\n"
+      "           [--trace-kernels]    (also trace per-kernel-call spans)\n"
       "  count    --db FILE --index FILE --items A,B,C [--tid-mod M:R]\n"
       "  rules    --db FILE [--minsup F] [--minconf F] [--top N]\n"
       "  approx   --db FILE --index FILE [--minsup F] [--minconf F]\n"
