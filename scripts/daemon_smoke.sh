@@ -1,0 +1,131 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the bbsmined daemon (run by the CI daemon-smoke
+# job, and runnable locally):
+#
+#   1. generate a dataset, build a segmented index;
+#   2. start bbsmined on an ephemeral port;
+#   3. fire N concurrent `bbsmine client` COUNT queries and diff every
+#      answer against the offline `bbsmine count` oracle over the same
+#      saved index (the daemon must be bit-identical);
+#   4. exercise INSERT and verify counts move with the new epoch;
+#   5. SIGTERM the daemon and require a clean exit plus a schema-valid
+#      service report with non-empty latency histograms.
+#
+# Usage: scripts/daemon_smoke.sh [BUILD_DIR]   (default: build)
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+BBSMINE="$BUILD_DIR/tools/bbsmine"
+BBSMINED="$BUILD_DIR/tools/bbsmined"
+WORK="$(mktemp -d)"
+DAEMON_PID=""
+
+cleanup() {
+  if [[ -n "$DAEMON_PID" ]] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+    kill -KILL "$DAEMON_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== generating dataset and segmented index"
+"$BBSMINE" gen --out "$WORK/smoke.db" --txns 3000 --items 200 --t 8 --i 4 \
+  --patterns 50 --seed 11
+"$BBSMINE" build --db "$WORK/smoke.db" --out "$WORK/smoke.seg" \
+  --bits 800 --hashes 3 --segment-capacity 512
+
+echo "== starting bbsmined"
+"$BBSMINED" --index "$WORK/smoke.seg" --db "$WORK/smoke.db" --port 0 \
+  --report-out "$WORK/service-report.json" > "$WORK/daemon.log" 2>&1 &
+DAEMON_PID=$!
+
+PORT=""
+for _ in $(seq 1 50); do
+  PORT=$(sed -n 's/^bbsmined listening on [0-9.]*:\([0-9]*\).*/\1/p' \
+    "$WORK/daemon.log" | head -1)
+  [[ -n "$PORT" ]] && break
+  kill -0 "$DAEMON_PID" || { cat "$WORK/daemon.log"; exit 1; }
+  sleep 0.2
+done
+[[ -n "$PORT" ]] || { echo "daemon never reported its port"; exit 1; }
+echo "   listening on port $PORT (pid $DAEMON_PID)"
+
+"$BBSMINE" client --port "$PORT" --verb PING >/dev/null
+
+# A mix of frequent items (161, 27, 111, 128 are the head of seed 11's
+# distribution), frequent pairs, a triple, and absent items — both the
+# dense and the zero paths of the count pipeline get exercised.
+QUERIES=(161 27 111 "128,161" "111,161" "27,128" "27,111,161" 17 "3,17,42"
+         199 "161,199")
+
+echo "== ${#QUERIES[@]} concurrent client queries vs offline oracle"
+CLIENT_PIDS=()
+for i in "${!QUERIES[@]}"; do
+  "$BBSMINE" client --port "$PORT" --verb COUNT --items "${QUERIES[$i]}" \
+    --json > "$WORK/answer.$i.json" &
+  CLIENT_PIDS+=($!)
+done
+for pid in "${CLIENT_PIDS[@]}"; do wait "$pid"; done
+
+for i in "${!QUERIES[@]}"; do
+  daemon_count=$(python3 -c \
+    "import json;r=json.load(open('$WORK/answer.$i.json'));\
+assert r['ok'],r;print(r['count'])")
+  oracle_count=$("$BBSMINE" count --index "$WORK/smoke.seg" \
+    --items "${QUERIES[$i]}" | sed -n 's/^ *estimate \([0-9][0-9]*\).*/\1/p')
+  if [[ "$daemon_count" != "$oracle_count" ]]; then
+    echo "MISMATCH on {${QUERIES[$i]}}: daemon=$daemon_count oracle=$oracle_count"
+    exit 1
+  fi
+  echo "   {${QUERIES[$i]}} -> $daemon_count (matches oracle)"
+done
+
+echo "== INSERT advances the epoch and the count"
+before=$("$BBSMINE" client --port "$PORT" --verb COUNT --items "3,17,42" \
+  --json | python3 -c "import json,sys;print(json.load(sys.stdin)['count'])")
+"$BBSMINE" client --port "$PORT" --verb INSERT --items "3,17,42" >/dev/null
+after=$("$BBSMINE" client --port "$PORT" --verb COUNT --items "3,17,42" \
+  --json | python3 -c "import json,sys;print(json.load(sys.stdin)['count'])")
+[[ "$after" -eq $((before + 1)) ]] || {
+  echo "INSERT did not advance the count: $before -> $after"; exit 1; }
+echo "   count {3,17,42}: $before -> $after"
+
+"$BBSMINE" client --port "$PORT" --verb MINE --minsup 0.05 --top 3 >/dev/null
+"$BBSMINE" client --port "$PORT" --verb STATS --json > "$WORK/stats.json"
+
+echo "== graceful SIGTERM drain"
+kill -TERM "$DAEMON_PID"
+EXIT_CODE=0
+wait "$DAEMON_PID" || EXIT_CODE=$?
+DAEMON_PID=""
+[[ "$EXIT_CODE" -eq 0 ]] || {
+  echo "daemon exited with $EXIT_CODE"; cat "$WORK/daemon.log"; exit 1; }
+grep -q "exited cleanly" "$WORK/daemon.log"
+
+echo "== validating service report schema"
+python3 - "$WORK/service-report.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r['schema_version'] == 1, r['schema_version']
+assert r['kind'] == 'bbsmined_service'
+svc = r['service']
+for key in ('uptime_seconds', 'epoch', 'transactions', 'segments',
+            'snapshot_publications', 'snapshot_seals', 'draining',
+            'mine_enabled'):
+    assert key in svc, f'missing service.{key}'
+assert svc['draining'] is True
+m = r['metrics']
+for section in ('counters', 'gauges', 'latency_us', 'batch'):
+    assert section in m, f'missing metrics.{section}'
+assert m['counters']['requests_total'] > 0
+for verb in ('ping', 'count', 'insert', 'mine', 'stats'):
+    h = m['latency_us'][verb]
+    assert sum(h['by_depth']) + h['overflow'] == h['total'], verb
+    assert h['total'] > 0, f'empty latency histogram for {verb}'
+assert m['counters']['requests_count'] == m['latency_us']['count']['total']
+print('service report OK:', m['counters']['requests_total'], 'requests,',
+      svc['transactions'], 'transactions at epoch', svc['epoch'])
+EOF
+
+echo "daemon smoke test PASSED"

@@ -1,5 +1,6 @@
 #include "core/segmented_bbs.h"
 
+#include "storage/transaction_db.h"
 #include "util/crc32.h"
 #include "util/file_io.h"
 #include "util/thread_pool.h"
@@ -42,6 +43,21 @@ Status SegmentedBbs::Insert(const Itemset& items) {
   }
   segments_.back().Insert(items);
   ++num_transactions_;
+  return Status::Ok();
+}
+
+Status SegmentedBbs::InsertAll(const TransactionDatabase& db) {
+  return InsertAll(db, 0, db.size());
+}
+
+Status SegmentedBbs::InsertAll(const TransactionDatabase& db, size_t first,
+                               size_t count) {
+  if (first > db.size() || count > db.size() - first) {
+    return Status::OutOfRange("InsertAll range past end of database");
+  }
+  for (size_t t = first; t < first + count; ++t) {
+    BBSMINE_RETURN_IF_ERROR(Insert(db.At(t).items));
+  }
   return Status::Ok();
 }
 

@@ -58,6 +58,17 @@ class SegmentedBbs {
   /// segment cannot be created.
   Status Insert(const Itemset& items);
 
+  /// Bulk helper: inserts every transaction of `db` in order (parity with
+  /// BbsIndex::InsertAll). Fails only if a new segment cannot be created;
+  /// on failure the transactions before the failing one remain inserted.
+  Status InsertAll(const class TransactionDatabase& db);
+
+  /// Range variant: inserts the `count` transactions of `db` starting at
+  /// position `first`. Used by incremental workloads (e.g. one day's batch
+  /// of a growing log) that append a suffix of a shared database.
+  Status InsertAll(const class TransactionDatabase& db, size_t first,
+                   size_t count);
+
   /// Estimated number of transactions containing `items`, accumulated
   /// segment by segment (never an underestimate, as for BbsIndex). If `io`
   /// is non-null each segment's touched slices are charged. With

@@ -30,6 +30,7 @@
 #define BBSMINE_OBS_METRICS_H_
 
 #include <array>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -92,6 +93,16 @@ class DepthHistogram {
   // counts_[0] is the overflow bucket; counts_[d] is depth d.
   std::array<uint64_t, kMaxTrackedDepth + 1> counts_{};
 };
+
+/// Maps a non-negative magnitude (a latency in microseconds, a batch size)
+/// to a DepthHistogram bucket: bucket d holds values in [2^(d-1), 2^d), so
+/// a 32-bucket histogram spans five nines of dynamic range. The service
+/// layer registers its latency and batch-size histograms this way; the
+/// fixed log2 buckets keep the run-report schema identical to the
+/// depth-keyed histograms.
+inline size_t Log2Bucket(uint64_t v) {
+  return v == 0 ? 1 : static_cast<size_t>(std::bit_width(v));
+}
 
 /// What a registered metric measures; drives report formatting only.
 enum class MetricKind : uint8_t { kCounter, kGauge, kHistogram };

@@ -131,6 +131,22 @@ std::string FormatDouble(double v) {
 
 }  // namespace
 
+JsonValue MetricsSectionJson(const std::vector<MetricSample>& samples) {
+  JsonValue metrics = JsonValue::Object();
+  for (const MetricSample& sample : samples) {
+    std::string field;
+    JsonValue& section = SectionFor(metrics, sample.name, &field);
+    if (sample.kind == MetricKind::kHistogram) {
+      section.Set(field, HistogramJson(sample));
+    } else if (sample.is_real) {
+      section.Set(field, JsonValue::Double(sample.real_value));
+    } else {
+      section.Set(field, JsonValue::Uint(sample.value));
+    }
+  }
+  return metrics;
+}
+
 JsonValue BuildRunReport(const RunReportContext& ctx,
                          const MiningResult& result) {
   const MineStats& stats = result.stats;
@@ -169,18 +185,7 @@ JsonValue BuildRunReport(const RunReportContext& ctx,
 
   IoCostParams io_params =
       ctx.config != nullptr ? ctx.config->io_params : IoCostParams::PaperEraDisk();
-  JsonValue metrics = JsonValue::Object();
-  for (const MetricSample& sample : SnapshotStats(stats, io_params)) {
-    std::string field;
-    JsonValue& section = SectionFor(metrics, sample.name, &field);
-    if (sample.kind == MetricKind::kHistogram) {
-      section.Set(field, HistogramJson(sample));
-    } else if (sample.is_real) {
-      section.Set(field, JsonValue::Double(sample.real_value));
-    } else {
-      section.Set(field, JsonValue::Uint(sample.value));
-    }
-  }
+  JsonValue metrics = MetricsSectionJson(SnapshotStats(stats, io_params));
   // Derived rate, reported for humans; StatsFromReport ignores it.
   uint64_t accesses = stats.cache_hits + stats.cache_misses;
   metrics.MutableAt("cache")->Set(

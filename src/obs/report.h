@@ -23,9 +23,11 @@
 #include <cstdint>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "core/mining_types.h"
 #include "obs/json.h"
+#include "obs/metrics.h"
 #include "util/status.h"
 
 namespace bbsmine::obs {
@@ -66,6 +68,14 @@ Result<MineStats> StatsFromReport(const JsonValue& report);
 
 /// Renders the report as an aligned human-readable table (util/table).
 void PrintRunReportTable(const JsonValue& report, std::ostream& out);
+
+/// Renders a metric snapshot as the sectioned "metrics" object of a run
+/// report: a sample named "section.field" lands at metrics.section.field
+/// (sections created in first-use order), histograms render as
+/// {by_depth, overflow, total}, real-valued samples as doubles. Shared by
+/// BuildRunReport and the service-layer report so the two documents never
+/// drift in shape.
+JsonValue MetricsSectionJson(const std::vector<MetricSample>& samples);
 
 }  // namespace bbsmine::obs
 

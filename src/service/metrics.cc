@@ -1,0 +1,81 @@
+#include "service/metrics.h"
+
+namespace bbsmine::service {
+
+ServiceMetrics::ServiceMetrics() {
+  requests_total = registry_.AddCounter("counters.requests_total");
+  requests_ping = registry_.AddCounter("counters.requests_ping");
+  requests_count = registry_.AddCounter("counters.requests_count");
+  requests_insert = registry_.AddCounter("counters.requests_insert");
+  requests_mine = registry_.AddCounter("counters.requests_mine");
+  requests_stats = registry_.AddCounter("counters.requests_stats");
+  errors = registry_.AddCounter("counters.errors");
+  rejected_backpressure =
+      registry_.AddCounter("counters.rejected_backpressure");
+  batches = registry_.AddCounter("counters.batches");
+  batch_fused_requests =
+      registry_.AddCounter("counters.batch_fused_requests");
+  shared_seed_queries = registry_.AddCounter("counters.shared_seed_queries");
+  inserted_transactions =
+      registry_.AddCounter("counters.inserted_transactions");
+  queue_depth = registry_.AddGauge("gauges.queue_depth");
+  batch_size_peak = registry_.AddGauge("gauges.batch_size_peak");
+  active_connections = registry_.AddGauge("gauges.active_connections");
+  latency_ping = registry_.AddHistogram("latency_us.ping");
+  latency_count = registry_.AddHistogram("latency_us.count");
+  latency_insert = registry_.AddHistogram("latency_us.insert");
+  latency_mine = registry_.AddHistogram("latency_us.mine");
+  latency_stats = registry_.AddHistogram("latency_us.stats");
+  batch_size_hist = registry_.AddHistogram("batch.size");
+}
+
+void ServiceMetrics::Inc(size_t slot, uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  registry_.Inc(slot, n);
+}
+
+void ServiceMetrics::GaugeMax(size_t slot, uint64_t v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  registry_.GaugeMax(slot, v);
+}
+
+void ServiceMetrics::ObserveLog2(size_t slot, uint64_t magnitude) {
+  std::lock_guard<std::mutex> lock(mu_);
+  registry_.Observe(slot, obs::Log2Bucket(magnitude));
+}
+
+uint64_t ServiceMetrics::counter(size_t slot) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return registry_.counter(slot);
+}
+
+std::vector<obs::MetricSample> ServiceMetrics::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return registry_.Snapshot();
+}
+
+obs::JsonValue BuildServiceReport(const ServiceReportContext& ctx,
+                                  const ServiceMetrics& metrics) {
+  using obs::JsonValue;
+  JsonValue report = JsonValue::Object();
+  report.Set("schema_version", JsonValue::Int(kServiceReportSchemaVersion));
+  report.Set("kind", JsonValue::String("bbsmined_service"));
+
+  JsonValue service = JsonValue::Object();
+  service.Set("uptime_seconds", JsonValue::Double(ctx.uptime_seconds));
+  service.Set("epoch", JsonValue::Uint(ctx.epoch));
+  service.Set("transactions", JsonValue::Uint(ctx.transactions));
+  service.Set("segments", JsonValue::Uint(ctx.segments));
+  service.Set("segment_capacity", JsonValue::Uint(ctx.segment_capacity));
+  service.Set("snapshot_publications",
+              JsonValue::Uint(ctx.snapshot_publications));
+  service.Set("snapshot_seals", JsonValue::Uint(ctx.snapshot_seals));
+  service.Set("draining", JsonValue::Bool(ctx.draining));
+  service.Set("mine_enabled", JsonValue::Bool(ctx.mine_enabled));
+  report.Set("service", std::move(service));
+
+  report.Set("metrics", obs::MetricsSectionJson(metrics.Snapshot()));
+  return report;
+}
+
+}  // namespace bbsmine::service

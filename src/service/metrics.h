@@ -1,0 +1,112 @@
+// The service-layer metric catalog and service report.
+//
+// Exactly like obs/report.h does for mining runs, this file is the single
+// place where every `bbsmined` service metric is named. The catalog is a
+// MetricsRegistry (obs/metrics.h) wrapped with a mutex: unlike the mining
+// engine's per-worker shards (which merge at a barrier), service updates
+// come from connection threads with no natural join point, so a lock is
+// the honest way to keep the aggregate consistent — request handling is
+// dominated by slice streaming, and one uncontended lock per request is
+// noise next to it.
+//
+// Latency and batch-size histograms reuse DepthHistogram with log2 buckets
+// (obs::Log2Bucket): bucket d of a latency histogram counts requests that
+// took [2^(d-1), 2^d) microseconds. The rendered JSON has the same
+// {by_depth, overflow, total} shape as the mining run report's depth
+// histograms, so the CI schema check treats both the same way.
+//
+// The service report is the STATS verb's payload and the daemon's shutdown
+// artifact (--report-out): a schema-versioned JSON document with a
+// "service" identity section and a "metrics" section rendered by the same
+// obs::MetricsSectionJson used by mining run reports.
+
+#ifndef BBSMINE_SERVICE_METRICS_H_
+#define BBSMINE_SERVICE_METRICS_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+
+namespace bbsmine::service {
+
+/// Version of the service report JSON schema; independent of the mining
+/// run-report schema. docs/OBSERVABILITY.md documents each version.
+inline constexpr int64_t kServiceReportSchemaVersion = 1;
+
+/// Thread-safe named metric catalog for the query service. Slots are fixed
+/// at construction; updates take an internal lock.
+class ServiceMetrics {
+ public:
+  ServiceMetrics();
+
+  // Counter slots (section "counters").
+  size_t requests_total;         ///< every frame handled, any verb
+  size_t requests_ping;
+  size_t requests_count;
+  size_t requests_insert;
+  size_t requests_mine;
+  size_t requests_stats;
+  size_t errors;                 ///< requests answered with ok=false
+  size_t rejected_backpressure;  ///< COUNTs bounced by the admission queue
+  size_t batches;                ///< scheduler batches executed
+  size_t batch_fused_requests;   ///< requests answered from a shared batch
+  size_t shared_seed_queries;    ///< per-segment counts seeded from the
+                                 ///< batch's shared single-item slice cache
+  size_t inserted_transactions;
+
+  // Gauge slots (section "gauges"; watermark semantics).
+  size_t queue_depth;         ///< deepest admission-queue backlog seen
+  size_t batch_size_peak;     ///< largest batch fused
+  size_t active_connections;  ///< most simultaneous client connections
+
+  // Histogram slots (log2-bucketed; sections "latency_us" / "batch").
+  size_t latency_ping;
+  size_t latency_count;
+  size_t latency_insert;
+  size_t latency_mine;
+  size_t latency_stats;
+  size_t batch_size_hist;
+
+  void Inc(size_t slot, uint64_t n = 1);
+  void GaugeMax(size_t slot, uint64_t v);
+
+  /// Records `magnitude` (a latency in microseconds, a batch size) into a
+  /// log2-bucketed histogram slot.
+  void ObserveLog2(size_t slot, uint64_t magnitude);
+
+  uint64_t counter(size_t slot) const;
+
+  /// Consistent point-in-time export of every metric.
+  std::vector<obs::MetricSample> Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  obs::MetricsRegistry registry_;
+};
+
+/// Identity / liveness facts that frame the metric snapshot.
+struct ServiceReportContext {
+  double uptime_seconds = 0;
+  uint64_t epoch = 0;
+  uint64_t transactions = 0;
+  uint64_t segments = 0;
+  uint64_t snapshot_publications = 0;
+  uint64_t snapshot_seals = 0;
+  uint64_t segment_capacity = 0;
+  bool draining = false;
+  bool mine_enabled = false;
+};
+
+/// Builds the schema-versioned service report (STATS payload / shutdown
+/// artifact).
+obs::JsonValue BuildServiceReport(const ServiceReportContext& ctx,
+                                  const ServiceMetrics& metrics);
+
+}  // namespace bbsmine::service
+
+#endif  // BBSMINE_SERVICE_METRICS_H_

@@ -1,0 +1,203 @@
+#include "service/scheduler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <unordered_map>
+#include <utility>
+
+namespace bbsmine::service {
+
+CountScheduler::CountScheduler(const SnapshotManager* index,
+                               const SchedulerOptions& options,
+                               ServiceMetrics* metrics)
+    : index_(index),
+      options_(options),
+      metrics_(metrics),
+      pool_(ResolveThreads(options.num_threads)),
+      dispatcher_([this] { DispatcherLoop(); }) {}
+
+CountScheduler::~CountScheduler() { Shutdown(); }
+
+Status CountScheduler::Count(const Itemset& items, CountResult* out) {
+  Itemset canonical = items;
+  Canonicalize(&canonical);
+  if (canonical.empty()) {
+    return Status::InvalidArgument("COUNT requires a non-empty itemset");
+  }
+  std::future<CountResult> answer;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      return Status::Unavailable("scheduler is draining");
+    }
+    if (queue_.size() >= options_.max_pending) {
+      if (metrics_ != nullptr) {
+        metrics_->Inc(metrics_->rejected_backpressure);
+      }
+      return Status::Unavailable(
+          "admission queue full (" + std::to_string(options_.max_pending) +
+          " pending); retry later");
+    }
+    Request request;
+    request.items = std::move(canonical);
+    answer = request.promise.get_future();
+    queue_.push_back(std::move(request));
+    if (metrics_ != nullptr) {
+      metrics_->GaugeMax(metrics_->queue_depth, queue_.size());
+    }
+  }
+  cv_.notify_one();
+  *out = answer.get();
+  return Status::Ok();
+}
+
+void CountScheduler::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  std::lock_guard<std::mutex> join_lock(join_mu_);
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+size_t CountScheduler::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void CountScheduler::DispatcherLoop() {
+  for (;;) {
+    std::vector<Request> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and fully drained
+      size_t take = std::min(queue_.size(), options_.max_batch);
+      batch.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    RunBatch(&batch);
+  }
+}
+
+void CountScheduler::RunBatch(std::vector<Request>* batch) {
+  Snapshot snap = index_->Acquire();
+  size_t num_segments = snap.num_segments();
+
+  // Collapse identical itemsets, preserving first-arrival order.
+  std::map<Itemset, size_t> group_of;
+  std::vector<const Itemset*> uniques;
+  std::vector<size_t> request_group(batch->size());
+  for (size_t r = 0; r < batch->size(); ++r) {
+    auto [it, inserted] =
+        group_of.emplace((*batch)[r].items, uniques.size());
+    if (inserted) uniques.push_back(&it->first);
+    request_group[r] = it->second;
+  }
+
+  // Items appearing in two or more distinct queries share their slice
+  // streams: their single-item transaction vectors are computed once per
+  // segment and reused as seeds below.
+  std::unordered_map<ItemId, size_t> shared_slot;
+  {
+    std::unordered_map<ItemId, size_t> query_count;
+    for (const Itemset* q : uniques) {
+      for (ItemId item : *q) ++query_count[item];
+    }
+    for (const Itemset* q : uniques) {
+      for (ItemId item : *q) {
+        if (query_count[item] >= 2) {
+          shared_slot.emplace(item, shared_slot.size());
+        }
+      }
+    }
+  }
+  struct CacheEntry {
+    BitVector vec;
+    size_t count = 0;
+  };
+  std::vector<ItemId> shared_items(shared_slot.size());
+  for (const auto& [item, slot] : shared_slot) shared_items[slot] = item;
+  std::vector<CacheEntry> cache(shared_slot.size() * num_segments);
+  pool_.ParallelFor(cache.size(), [&](size_t cell) {
+    size_t seg_idx = cell / shared_items.size();
+    ItemId item = shared_items[cell % shared_items.size()];
+    CacheEntry& entry = cache[cell];
+    entry.count =
+        snap.segment(seg_idx).CountItemSet({item}, &entry.vec);
+  });
+
+  // Per-(query, segment) counts. Each cell is independent; the reduction
+  // below runs in segment order so totals match a serial count.
+  std::vector<size_t> cell_counts(uniques.size() * num_segments, 0);
+  std::atomic<uint64_t> seeded{0};
+  pool_.ParallelFor(cell_counts.size(), [&](size_t cell) {
+    size_t q_idx = cell / num_segments;
+    size_t seg_idx = cell % num_segments;
+    const Itemset& query = *uniques[q_idx];
+    const BbsIndex& segment = snap.segment(seg_idx);
+
+    // Seed from the sparsest cached vector the query contains, if any.
+    size_t best = SIZE_MAX;
+    ItemId best_item = 0;
+    for (ItemId item : query) {
+      auto it = shared_slot.find(item);
+      if (it == shared_slot.end()) continue;
+      size_t slot = seg_idx * shared_items.size() + it->second;
+      if (best == SIZE_MAX || cache[slot].count < cache[best].count) {
+        best = slot;
+        best_item = item;
+      }
+    }
+    if (best == SIZE_MAX) {
+      cell_counts[cell] = segment.CountItemSet(query);
+      return;
+    }
+    seeded.fetch_add(1, std::memory_order_relaxed);
+    if (query.size() == 1) {
+      cell_counts[cell] = cache[best].count;
+      return;
+    }
+    BitVector vec = cache[best].vec;
+    size_t count = cache[best].count;
+    for (ItemId item : query) {
+      if (item == best_item) continue;
+      count = segment.AndItemSlices(item, &vec);
+    }
+    cell_counts[cell] = count;
+  });
+
+  std::vector<uint64_t> totals(uniques.size(), 0);
+  for (size_t q = 0; q < uniques.size(); ++q) {
+    for (size_t s = 0; s < num_segments; ++s) {
+      totals[q] += cell_counts[q * num_segments + s];
+    }
+  }
+
+  CountResult base;
+  base.epoch = snap.epoch();
+  base.visible_transactions = snap.num_transactions();
+  base.batch_size = static_cast<uint32_t>(batch->size());
+  for (size_t r = 0; r < batch->size(); ++r) {
+    CountResult result = base;
+    result.count = totals[request_group[r]];
+    (*batch)[r].promise.set_value(result);
+  }
+
+  if (metrics_ != nullptr) {
+    metrics_->Inc(metrics_->batches);
+    if (batch->size() > 1) {
+      metrics_->Inc(metrics_->batch_fused_requests, batch->size());
+    }
+    metrics_->Inc(metrics_->shared_seed_queries, seeded.load());
+    metrics_->GaugeMax(metrics_->batch_size_peak, batch->size());
+    metrics_->ObserveLog2(metrics_->batch_size_hist, batch->size());
+  }
+}
+
+}  // namespace bbsmine::service

@@ -1,0 +1,115 @@
+// Batched CountItemSet scheduler with bounded admission and backpressure.
+//
+// A busy daemon sees many concurrent COUNT requests. Answering each on its
+// own thread against its own snapshot wastes the property that makes
+// bit-sliced indexes serve well (COBS serves its signature index this way):
+// queries touching the same item stream the same slices, so in-flight
+// requests should be *fused* and share the streams. The scheduler:
+//
+//   * admits requests into a bounded queue — a full queue rejects with
+//     Status::Unavailable (backpressure; the wire layer surfaces it as a
+//     retryable error) instead of letting latency grow without bound;
+//   * a dispatcher thread drains the queue in arrival order into batches
+//     (up to max_batch requests), acquires ONE snapshot per batch, and
+//     answers every request in the batch at that epoch — identical
+//     requests collapse to one evaluation;
+//   * items shared by two or more distinct queries of a batch get their
+//     single-item transaction vectors computed once per segment (the
+//     shared slice streams); each query then seeds from the sparsest
+//     cached vector it contains and ANDs only its remaining items' slices;
+//   * per-(query, segment) work fans out over a ThreadPool; per-query
+//     totals are reduced in segment order, so every answer is bit-identical
+//     to a serial SegmentedBbs::CountItemSet over the same prefix.
+//
+// Count() blocks the calling (connection) thread until its batch executes;
+// the contract mirrors a synchronous RPC handler.
+
+#ifndef BBSMINE_SERVICE_SCHEDULER_H_
+#define BBSMINE_SERVICE_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "service/metrics.h"
+#include "service/snapshot.h"
+#include "util/thread_pool.h"
+
+namespace bbsmine::service {
+
+struct SchedulerOptions {
+  /// Admission bound: requests beyond this many pending are rejected with
+  /// Status::Unavailable.
+  size_t max_pending = 1024;
+  /// Largest number of requests fused into one batch.
+  size_t max_batch = 256;
+  /// Worker threads for the per-(query, segment) fan-out (0 = one per
+  /// hardware thread).
+  size_t num_threads = 0;
+};
+
+/// The answer to one admitted COUNT request.
+struct CountResult {
+  uint64_t count = 0;
+  /// Snapshot the request was answered at.
+  uint64_t epoch = 0;
+  uint64_t visible_transactions = 0;
+  /// Number of requests fused into the same batch (>= 1).
+  uint32_t batch_size = 1;
+};
+
+class CountScheduler {
+ public:
+  /// `index` must outlive the scheduler. `metrics` may be null.
+  CountScheduler(const SnapshotManager* index, const SchedulerOptions& options,
+                 ServiceMetrics* metrics);
+
+  /// Drains pending requests, then stops the dispatcher.
+  ~CountScheduler();
+
+  CountScheduler(const CountScheduler&) = delete;
+  CountScheduler& operator=(const CountScheduler&) = delete;
+
+  /// Admits `items` (canonicalized internally; must be non-empty), blocks
+  /// until the batch containing it executes, and fills `out`.
+  /// Returns Unavailable under backpressure or after Shutdown;
+  /// InvalidArgument for an empty itemset.
+  Status Count(const Itemset& items, CountResult* out);
+
+  /// Stops admitting, executes every already-admitted request, joins the
+  /// dispatcher. Idempotent.
+  void Shutdown();
+
+  /// Requests currently waiting for a batch.
+  size_t pending() const;
+
+ private:
+  struct Request {
+    Itemset items;
+    std::promise<CountResult> promise;
+  };
+
+  void DispatcherLoop();
+  void RunBatch(std::vector<Request>* batch);
+
+  const SnapshotManager* index_;
+  SchedulerOptions options_;
+  ServiceMetrics* metrics_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  bool stop_ = false;
+  std::mutex join_mu_;  // serializes concurrent Shutdown calls
+
+  ThreadPool pool_;
+  std::thread dispatcher_;
+};
+
+}  // namespace bbsmine::service
+
+#endif  // BBSMINE_SERVICE_SCHEDULER_H_

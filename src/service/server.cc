@@ -1,0 +1,315 @@
+#include "service/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "baseline/eclat.h"
+#include "service/wire.h"
+
+namespace bbsmine::service {
+
+namespace {
+
+/// Microseconds elapsed since `since` on the steady clock.
+uint64_t MicrosSince(std::chrono::steady_clock::time_point since) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+}  // namespace
+
+BbsService::BbsService(SnapshotManager* index, TransactionDatabase* db,
+                       const ServiceOptions& options)
+    : index_(index),
+      db_(db),
+      options_(options),
+      scheduler_(index, options.scheduler, &metrics_),
+      start_(std::chrono::steady_clock::now()) {}
+
+obs::JsonValue BbsService::Handle(const obs::JsonValue& request) {
+  metrics_.Inc(metrics_.requests_total);
+  if (request.kind() != obs::JsonValue::Kind::kObject ||
+      !request.Has("verb") ||
+      request.at("verb").kind() != obs::JsonValue::Kind::kString) {
+    metrics_.Inc(metrics_.errors);
+    return ErrorResponse(
+        "", Status::InvalidArgument("request must be an object with a "
+                                    "string \"verb\" member"));
+  }
+  const std::string& verb = request.at("verb").AsString();
+  auto begin = std::chrono::steady_clock::now();
+  obs::JsonValue response;
+  size_t latency_slot;
+  if (verb == "PING") {
+    latency_slot = metrics_.latency_ping;
+    metrics_.Inc(metrics_.requests_ping);
+    response = HandlePing();
+  } else if (verb == "COUNT") {
+    latency_slot = metrics_.latency_count;
+    metrics_.Inc(metrics_.requests_count);
+    response = HandleCount(request);
+  } else if (verb == "INSERT") {
+    latency_slot = metrics_.latency_insert;
+    metrics_.Inc(metrics_.requests_insert);
+    response = HandleInsert(request);
+  } else if (verb == "MINE") {
+    latency_slot = metrics_.latency_mine;
+    metrics_.Inc(metrics_.requests_mine);
+    response = HandleMine(request);
+  } else if (verb == "STATS") {
+    latency_slot = metrics_.latency_stats;
+    metrics_.Inc(metrics_.requests_stats);
+    response = HandleStats();
+  } else {
+    metrics_.Inc(metrics_.errors);
+    return ErrorResponse(
+        verb, Status::InvalidArgument("unknown verb: " + verb));
+  }
+  metrics_.ObserveLog2(latency_slot, MicrosSince(begin));
+  if (!response.at("ok").AsBool()) metrics_.Inc(metrics_.errors);
+  return response;
+}
+
+obs::JsonValue BbsService::HandlePing() {
+  obs::JsonValue response = OkResponse("PING");
+  response.Set("epoch", obs::JsonValue::Uint(index_->epoch()));
+  return response;
+}
+
+obs::JsonValue BbsService::HandleCount(const obs::JsonValue& request) {
+  Result<Itemset> items = ItemsFromJson(request.at("items"));
+  if (!items.ok()) return ErrorResponse("COUNT", items.status());
+  CountResult result;
+  Status counted = scheduler_.Count(*items, &result);
+  if (!counted.ok()) return ErrorResponse("COUNT", counted);
+  obs::JsonValue response = OkResponse("COUNT");
+  response.Set("items", ItemsToJson(*items));
+  response.Set("count", obs::JsonValue::Uint(result.count));
+  response.Set("epoch", obs::JsonValue::Uint(result.epoch));
+  response.Set("visible_transactions",
+               obs::JsonValue::Uint(result.visible_transactions));
+  response.Set("batch_size", obs::JsonValue::Uint(result.batch_size));
+  return response;
+}
+
+obs::JsonValue BbsService::HandleInsert(const obs::JsonValue& request) {
+  if (draining_.load(std::memory_order_relaxed)) {
+    return ErrorResponse("INSERT",
+                         Status::Unavailable("service is draining"));
+  }
+  // Accept either one transaction ("items") or several ("transactions").
+  std::vector<Itemset> batch;
+  if (request.Has("transactions")) {
+    const obs::JsonValue& txns = request.at("transactions");
+    if (txns.kind() != obs::JsonValue::Kind::kArray) {
+      return ErrorResponse("INSERT", Status::InvalidArgument(
+                                         "\"transactions\" must be an array "
+                                         "of item arrays"));
+    }
+    batch.reserve(txns.size());
+    for (size_t i = 0; i < txns.size(); ++i) {
+      Result<Itemset> items = ItemsFromJson(txns.at(i));
+      if (!items.ok()) return ErrorResponse("INSERT", items.status());
+      batch.push_back(std::move(*items));
+    }
+  } else {
+    Result<Itemset> items = ItemsFromJson(request.at("items"));
+    if (!items.ok()) return ErrorResponse("INSERT", items.status());
+    batch.push_back(std::move(*items));
+  }
+  if (batch.empty()) {
+    return ErrorResponse(
+        "INSERT", Status::InvalidArgument("no transactions to insert"));
+  }
+  uint64_t epoch;
+  {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    for (const Itemset& items : batch) {
+      Status inserted = index_->Insert(items);
+      if (!inserted.ok()) return ErrorResponse("INSERT", inserted);
+      if (db_ != nullptr) db_->Append(items);
+    }
+    epoch = index_->epoch();
+  }
+  metrics_.Inc(metrics_.inserted_transactions, batch.size());
+  obs::JsonValue response = OkResponse("INSERT");
+  response.Set("inserted", obs::JsonValue::Uint(batch.size()));
+  response.Set("epoch", obs::JsonValue::Uint(epoch));
+  response.Set("transactions",
+               obs::JsonValue::Uint(index_->num_transactions()));
+  return response;
+}
+
+obs::JsonValue BbsService::HandleMine(const obs::JsonValue& request) {
+  if (db_ == nullptr) {
+    return ErrorResponse(
+        "MINE", Status::InvalidArgument(
+                    "MINE requires the daemon to be started with --db"));
+  }
+  EclatConfig config;
+  config.min_support = options_.default_min_support;
+  if (request.Has("minsup")) {
+    const obs::JsonValue& minsup = request.at("minsup");
+    if (!minsup.is_number() || minsup.AsDouble() <= 0 ||
+        minsup.AsDouble() > 1) {
+      return ErrorResponse("MINE", Status::InvalidArgument(
+                                       "\"minsup\" must be in (0, 1]"));
+    }
+    config.min_support = minsup.AsDouble();
+  }
+  size_t top = options_.mine_top;
+  if (request.Has("top")) {
+    const obs::JsonValue& requested = request.at("top");
+    if (!requested.is_number() || requested.AsInt() < 1) {
+      return ErrorResponse(
+          "MINE", Status::InvalidArgument("\"top\" must be a positive int"));
+    }
+    top = static_cast<size_t>(requested.AsUint());
+  }
+  MiningResult result;
+  size_t mined_over;
+  {
+    // Under write_mu_ so the database does not grow mid-scan; COUNTs keep
+    // flowing against published snapshots the whole time.
+    std::lock_guard<std::mutex> lock(write_mu_);
+    mined_over = db_->size();
+    result = MineEclat(*db_, config);
+  }
+  std::sort(result.patterns.begin(), result.patterns.end(),
+            [](const Pattern& a, const Pattern& b) {
+              if (a.support != b.support) return a.support > b.support;
+              return a.items < b.items;
+            });
+  size_t total_frequent = result.patterns.size();
+  if (result.patterns.size() > top) result.patterns.resize(top);
+  obs::JsonValue patterns = obs::JsonValue::Array();
+  for (const Pattern& pattern : result.patterns) {
+    obs::JsonValue entry = obs::JsonValue::Object();
+    entry.Set("items", ItemsToJson(pattern.items));
+    entry.Set("support", obs::JsonValue::Uint(pattern.support));
+    patterns.Append(std::move(entry));
+  }
+  obs::JsonValue response = OkResponse("MINE");
+  response.Set("min_support", obs::JsonValue::Double(config.min_support));
+  response.Set("transactions", obs::JsonValue::Uint(mined_over));
+  response.Set("total_frequent", obs::JsonValue::Uint(total_frequent));
+  response.Set("patterns", std::move(patterns));
+  return response;
+}
+
+obs::JsonValue BbsService::HandleStats() {
+  obs::JsonValue response = OkResponse("STATS");
+  response.Set("report", BuildStatsReport());
+  return response;
+}
+
+obs::JsonValue BbsService::BuildStatsReport() const {
+  Snapshot snap = index_->Acquire();
+  ServiceReportContext ctx;
+  ctx.uptime_seconds =
+      static_cast<double>(MicrosSince(start_)) / 1e6;
+  ctx.epoch = snap.epoch();
+  ctx.transactions = snap.num_transactions();
+  ctx.segments = snap.num_segments();
+  ctx.snapshot_publications = index_->publications();
+  ctx.snapshot_seals = index_->seals();
+  ctx.segment_capacity = index_->segment_capacity();
+  ctx.draining = draining_.load(std::memory_order_relaxed);
+  ctx.mine_enabled = db_ != nullptr;
+  return BuildServiceReport(ctx, metrics_);
+}
+
+void BbsService::Drain() {
+  draining_.store(true, std::memory_order_relaxed);
+  scheduler_.Shutdown();
+}
+
+SocketServer::SocketServer(BbsService* service,
+                           const SocketServerOptions& options)
+    : service_(service), options_(options) {}
+
+SocketServer::~SocketServer() { Stop(); }
+
+Status SocketServer::Start() {
+  Result<OwnedFd> listener =
+      ListenTcp(options_.host, options_.port, options_.backlog);
+  if (!listener.ok()) return listener.status();
+  Result<uint16_t> port = BoundPort(listener->get());
+  if (!port.ok()) return port.status();
+  listener_ = std::move(*listener);
+  port_ = *port;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void SocketServer::AcceptLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    Result<OwnedFd> accepted =
+        AcceptWithTimeout(listener_.get(), options_.poll_interval_ms);
+    if (!accepted.ok()) {
+      if (stop_.load(std::memory_order_acquire)) return;
+      continue;  // transient accept failure; keep serving
+    }
+    if (!accepted->valid()) continue;  // poll timeout: re-check stop flag
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    ReapFinishedLocked();
+    auto conn = std::make_unique<Connection>();
+    Connection* slot = conn.get();
+    uint64_t open = open_connections_.fetch_add(1) + 1;
+    service_->metrics().GaugeMax(service_->metrics().active_connections,
+                                 open);
+    slot->thread = std::thread(
+        [this, fd = std::move(*accepted), slot]() mutable {
+          ServeConnection(std::move(fd), slot);
+        });
+    connections_.push_back(std::move(conn));
+  }
+}
+
+void SocketServer::ServeConnection(OwnedFd fd, Connection* slot) {
+  while (!stop_.load(std::memory_order_acquire)) {
+    Result<obs::JsonValue> request =
+        ReadFrame(fd.get(), options_.poll_interval_ms);
+    if (!request.ok()) {
+      if (request.status().code() == StatusCode::kUnavailable) {
+        continue;  // idle poll timeout: re-check the stop flag
+      }
+      if (request.status().code() != StatusCode::kNotFound) {
+        // Best effort: tell the peer what went wrong before closing.
+        (void)WriteFrame(fd.get(), ErrorResponse("", request.status()));
+      }
+      break;  // clean disconnect or broken transport either way
+    }
+    obs::JsonValue response = service_->Handle(*request);
+    if (!WriteFrame(fd.get(), response).ok()) break;
+  }
+  fd.Reset();
+  open_connections_.fetch_sub(1);
+  slot->done.store(true, std::memory_order_release);
+}
+
+void SocketServer::ReapFinishedLocked() {
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      (*it)->thread.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SocketServer::Stop() {
+  stop_.store(true, std::memory_order_release);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  for (auto& conn : connections_) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+  connections_.clear();
+  listener_.Reset();
+}
+
+}  // namespace bbsmine::service

@@ -1,0 +1,143 @@
+// The bbsmined query service: verb handling and the TCP front-end.
+//
+// Split in two so the protocol logic is testable without sockets:
+//
+//  * BbsService — the transport-free request handler. One instance owns
+//    the snapshot manager's write side, the batch scheduler, the optional
+//    transaction database (MINE / exact workloads), and the service
+//    metrics. Handle() maps one request document to one response document
+//    and is safe to call from any number of threads.
+//
+//  * SocketServer — accept loop plus one thread per connection, speaking
+//    length-prefixed JSON frames (service/wire.h). Stop() performs the
+//    graceful drain the daemon's SIGTERM handler relies on: stop
+//    accepting, let in-flight requests finish, join every connection.
+//
+// Concurrency model:
+//   COUNT  — admitted into the CountScheduler; snapshot-isolated reads;
+//            never blocked by inserts.
+//   INSERT — serialized by the service write mutex (index + db must move
+//            together); publishes a new epoch; never blocks COUNT.
+//   MINE   — heavyweight: runs a full mining pass over the database under
+//            the write mutex (it serializes with INSERT, not with COUNT).
+//   STATS / PING — read-only; touch only the metrics and snapshot locks.
+
+#ifndef BBSMINE_SERVICE_SERVER_H_
+#define BBSMINE_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "service/metrics.h"
+#include "service/scheduler.h"
+#include "service/snapshot.h"
+#include "storage/transaction_db.h"
+#include "util/socket.h"
+
+namespace bbsmine::service {
+
+struct ServiceOptions {
+  SchedulerOptions scheduler;
+  /// Patterns returned by MINE when the request has no "top".
+  size_t mine_top = 10;
+  /// Minimum support used by MINE when the request has no "minsup".
+  double default_min_support = 0.003;
+};
+
+class BbsService {
+ public:
+  /// `index` must outlive the service. `db` may be null (MINE disabled;
+  /// INSERT updates only the index).
+  BbsService(SnapshotManager* index, TransactionDatabase* db,
+             const ServiceOptions& options);
+
+  /// Maps one request to one response. Never throws; protocol errors come
+  /// back as {"ok": false, "error": {...}} responses. Thread-safe.
+  obs::JsonValue Handle(const obs::JsonValue& request);
+
+  /// The schema-versioned service report (STATS payload, shutdown
+  /// artifact).
+  obs::JsonValue BuildStatsReport() const;
+
+  /// Stops admitting COUNTs and executes everything already admitted.
+  /// After Drain, COUNT answers Unavailable; PING/STATS still work.
+  void Drain();
+
+  ServiceMetrics& metrics() { return metrics_; }
+  const ServiceMetrics& metrics() const { return metrics_; }
+
+ private:
+  obs::JsonValue HandlePing();
+  obs::JsonValue HandleCount(const obs::JsonValue& request);
+  obs::JsonValue HandleInsert(const obs::JsonValue& request);
+  obs::JsonValue HandleMine(const obs::JsonValue& request);
+  obs::JsonValue HandleStats();
+
+  SnapshotManager* index_;
+  TransactionDatabase* db_;
+  ServiceOptions options_;
+  ServiceMetrics metrics_;
+  CountScheduler scheduler_;
+  std::mutex write_mu_;  // serializes INSERT and MINE
+  std::atomic<bool> draining_{false};
+  std::chrono::steady_clock::time_point start_;
+};
+
+struct SocketServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; read it back with port().
+  uint16_t port = 0;
+  int backlog = 64;
+  /// Poll granularity of the accept/read loops; bounds Stop() latency.
+  int poll_interval_ms = 200;
+};
+
+class SocketServer {
+ public:
+  /// `service` must outlive the server.
+  SocketServer(BbsService* service, const SocketServerOptions& options);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Binds, listens, and spawns the accept loop.
+  Status Start();
+
+  /// The bound port (valid after Start).
+  uint16_t port() const { return port_; }
+
+  /// Graceful drain: stop accepting, finish in-flight requests, join all
+  /// connection threads. Idempotent.
+  void Stop();
+
+ private:
+  struct Connection {
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void ServeConnection(OwnedFd fd, Connection* slot);
+  void ReapFinishedLocked();
+
+  BbsService* service_;
+  SocketServerOptions options_;
+  OwnedFd listener_;
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> open_connections_{0};
+  std::thread accept_thread_;
+  std::mutex conn_mu_;
+  std::list<std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace bbsmine::service
+
+#endif  // BBSMINE_SERVICE_SERVER_H_

@@ -1,0 +1,151 @@
+#include "service/snapshot.h"
+
+#include <utility>
+
+#include "util/thread_pool.h"
+
+namespace bbsmine::service {
+
+size_t Snapshot::CountItemSet(const Itemset& items, IoStats* io,
+                              size_t num_threads) const {
+  const auto& segments = state_->segments;
+  std::vector<size_t> counts(segments.size(), 0);
+  std::vector<IoStats> segment_io(io != nullptr ? segments.size() : 0);
+  ParallelFor(num_threads, segments.size(), [&](size_t idx) {
+    counts[idx] = segments[idx]->CountItemSet(
+        items, nullptr, io != nullptr ? &segment_io[idx] : nullptr);
+  });
+  size_t total = 0;
+  for (size_t count : counts) total += count;
+  if (io != nullptr) {
+    for (const IoStats& per_segment : segment_io) *io += per_segment;
+  }
+  return total;
+}
+
+SnapshotManager::SnapshotManager(const BbsConfig& config,
+                                 uint64_t segment_capacity)
+    : config_(config), segment_capacity_(segment_capacity) {}
+
+Result<SnapshotManager> SnapshotManager::Create(const BbsConfig& config,
+                                                uint64_t segment_capacity) {
+  if (segment_capacity == 0) {
+    return Status::InvalidArgument("segment_capacity must be positive");
+  }
+  Result<BbsIndex> tail = BbsIndex::Create(config);
+  if (!tail.ok()) return tail.status();
+  SnapshotManager out(config, segment_capacity);
+  out.tail_ = std::make_unique<BbsIndex>(std::move(tail).value());
+  {
+    std::lock_guard<std::mutex> lock(*out.mu_);
+    out.PublishLocked();
+  }
+  return out;
+}
+
+Result<SnapshotManager> SnapshotManager::FromIndex(const SegmentedBbs& index) {
+  Result<SnapshotManager> out =
+      Create(index.config(), index.segment_capacity());
+  if (!out.ok()) return out;
+  {
+    std::lock_guard<std::mutex> lock(*out->mu_);
+    // Every segment but the last is sealed (full or not, it will never
+    // grow again in `index`; adopting it as sealed only forgoes topping it
+    // up). The last segment is the open tail: copy it into the
+    // writer-private tail so future inserts extend it.
+    for (size_t idx = 0; idx + 1 < index.num_segments(); ++idx) {
+      out->sealed_.push_back(
+          std::make_shared<const BbsIndex>(index.segment(idx)));
+    }
+    *out->tail_ = index.segment(index.num_segments() - 1);
+    out->num_transactions_ = index.num_transactions();
+    out->PublishLocked();
+  }
+  return out;
+}
+
+Result<SnapshotManager> SnapshotManager::FromIndex(const BbsIndex& index,
+                                                   uint64_t segment_capacity) {
+  Result<SnapshotManager> out = Create(index.config(), segment_capacity);
+  if (!out.ok()) return out;
+  {
+    std::lock_guard<std::mutex> lock(*out->mu_);
+    if (index.num_transactions() > 0) {
+      out->sealed_.push_back(std::make_shared<const BbsIndex>(index));
+      out->num_transactions_ = index.num_transactions();
+    }
+    out->PublishLocked();
+  }
+  return out;
+}
+
+Status SnapshotManager::MaybeSealLocked() {
+  if (tail_->num_transactions() < segment_capacity_) return Status::Ok();
+  Result<BbsIndex> fresh = BbsIndex::Create(config_);
+  if (!fresh.ok()) return fresh.status();
+  sealed_.push_back(
+      std::make_shared<const BbsIndex>(std::move(*tail_)));
+  *tail_ = std::move(fresh).value();
+  ++seals_;
+  return Status::Ok();
+}
+
+uint64_t SnapshotManager::publications() const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  return publications_;
+}
+
+uint64_t SnapshotManager::seals() const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  return seals_;
+}
+
+void SnapshotManager::PublishLocked() {
+  auto state = std::make_shared<Snapshot::State>();
+  state->epoch = ++epoch_;
+  state->num_transactions = num_transactions_;
+  state->config = config_;
+  state->segments = sealed_;  // shared by reference, never copied
+  if (tail_->num_transactions() > 0) {
+    // Copy-on-publish: freeze the current tail. The copy is retired
+    // automatically when the last snapshot referencing it is released.
+    state->segments.push_back(std::make_shared<const BbsIndex>(*tail_));
+  }
+  published_->Store(std::move(state));
+  ++publications_;
+}
+
+Status SnapshotManager::Insert(const Itemset& items) {
+  std::lock_guard<std::mutex> lock(*mu_);
+  BBSMINE_RETURN_IF_ERROR(MaybeSealLocked());
+  tail_->Insert(items);
+  ++num_transactions_;
+  PublishLocked();
+  return Status::Ok();
+}
+
+Status SnapshotManager::InsertAll(const TransactionDatabase& db) {
+  return InsertAll(db, 0, db.size());
+}
+
+Status SnapshotManager::InsertAll(const TransactionDatabase& db, size_t first,
+                                  size_t count) {
+  if (first > db.size() || count > db.size() - first) {
+    return Status::OutOfRange("InsertAll range past end of database");
+  }
+  std::lock_guard<std::mutex> lock(*mu_);
+  for (size_t t = first; t < first + count; ++t) {
+    // Publish what was absorbed so far even if a seal fails mid-batch.
+    Status sealed = MaybeSealLocked();
+    if (!sealed.ok()) {
+      PublishLocked();
+      return sealed;
+    }
+    tail_->Insert(db.At(t).items);
+    ++num_transactions_;
+  }
+  PublishLocked();
+  return Status::Ok();
+}
+
+}  // namespace bbsmine::service

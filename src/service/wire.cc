@@ -1,0 +1,96 @@
+#include "service/wire.h"
+
+#include <limits>
+
+#include "util/socket.h"
+
+namespace bbsmine::service {
+
+Status WriteFrame(int fd, const obs::JsonValue& message) {
+  std::string payload = message.Serialize(/*indent=*/0);
+  if (payload.size() > kMaxFrameBytes) {
+    return Status::OutOfRange("frame payload exceeds " +
+                              std::to_string(kMaxFrameBytes) + " bytes");
+  }
+  uint32_t length = static_cast<uint32_t>(payload.size());
+  std::string frame;
+  frame.reserve(4 + payload.size());
+  for (int i = 0; i < 4; ++i) {
+    frame.push_back(static_cast<char>(length >> (8 * i)));
+  }
+  frame += payload;
+  return SendAll(fd, frame);
+}
+
+Result<obs::JsonValue> ReadFrame(int fd, int timeout_ms,
+                                 int payload_timeout_ms,
+                                 uint32_t max_frame_bytes) {
+  std::string header;
+  BBSMINE_RETURN_IF_ERROR(RecvExact(fd, 4, &header, timeout_ms));
+  uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) {
+    length |= static_cast<uint32_t>(static_cast<uint8_t>(header[i]))
+              << (8 * i);
+  }
+  if (length == 0 || length > max_frame_bytes) {
+    return Status::Corruption("bad frame length " + std::to_string(length));
+  }
+  std::string payload;
+  Status received = RecvExact(fd, length, &payload, payload_timeout_ms);
+  if (!received.ok()) {
+    // A timeout mid-frame is a broken peer, not a routine poll timeout.
+    if (received.code() == StatusCode::kUnavailable) {
+      return Status::IoError("peer stalled mid-frame: " +
+                             received.message());
+    }
+    if (received.code() == StatusCode::kNotFound) {
+      return Status::IoError("peer closed mid-frame");
+    }
+    return received;
+  }
+  return obs::JsonValue::Parse(payload);
+}
+
+obs::JsonValue ErrorResponse(const std::string& verb, const Status& status) {
+  obs::JsonValue response = obs::JsonValue::Object();
+  response.Set("ok", obs::JsonValue::Bool(false));
+  response.Set("verb", obs::JsonValue::String(verb));
+  obs::JsonValue error = obs::JsonValue::Object();
+  error.Set("code", obs::JsonValue::String(StatusCodeName(status.code())));
+  error.Set("message", obs::JsonValue::String(status.message()));
+  response.Set("error", std::move(error));
+  return response;
+}
+
+obs::JsonValue OkResponse(const std::string& verb) {
+  obs::JsonValue response = obs::JsonValue::Object();
+  response.Set("ok", obs::JsonValue::Bool(true));
+  response.Set("verb", obs::JsonValue::String(verb));
+  return response;
+}
+
+Result<Itemset> ItemsFromJson(const obs::JsonValue& array) {
+  if (array.kind() != obs::JsonValue::Kind::kArray) {
+    return Status::InvalidArgument("\"items\" must be an array of item ids");
+  }
+  Itemset items;
+  items.reserve(array.size());
+  for (size_t i = 0; i < array.size(); ++i) {
+    const obs::JsonValue& v = array.at(i);
+    if (!v.is_number() || v.AsInt() < 0 ||
+        v.AsUint() > std::numeric_limits<ItemId>::max()) {
+      return Status::InvalidArgument("\"items\" entries must be item ids");
+    }
+    items.push_back(static_cast<ItemId>(v.AsUint()));
+  }
+  Canonicalize(&items);
+  return items;
+}
+
+obs::JsonValue ItemsToJson(const Itemset& items) {
+  obs::JsonValue array = obs::JsonValue::Array();
+  for (ItemId item : items) array.Append(obs::JsonValue::Uint(item));
+  return array;
+}
+
+}  // namespace bbsmine::service

@@ -1,0 +1,66 @@
+// The bbsmined wire protocol: length-prefixed JSON frames over TCP.
+//
+// Frame layout (both directions):
+//
+//   +----------------+---------------------------+
+//   | length: u32 LE | payload: `length` bytes of |
+//   |                | UTF-8 JSON (one document)  |
+//   +----------------+---------------------------+
+//
+// Requests are JSON objects with a "verb" member (PING, COUNT, MINE,
+// INSERT, STATS) plus verb-specific fields; responses always carry
+// "ok": true/false, an echoed "verb", and on failure an "error" object
+// {code, message} where code is the StatusCodeName of the underlying
+// Status — so a client can distinguish retryable backpressure
+// (Unavailable) from real errors. docs/SERVICE.md is the protocol spec.
+//
+// Frames are bounded (kMaxFrameBytes) so a malformed length prefix cannot
+// make the daemon allocate arbitrary memory.
+
+#ifndef BBSMINE_SERVICE_WIRE_H_
+#define BBSMINE_SERVICE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "obs/json.h"
+#include "storage/transaction.h"
+#include "util/status.h"
+
+namespace bbsmine::service {
+
+/// Largest accepted frame payload (16 MiB).
+inline constexpr uint32_t kMaxFrameBytes = 16u << 20;
+
+/// Serializes `message` compactly and writes one frame to `fd`.
+Status WriteFrame(int fd, const obs::JsonValue& message);
+
+/// Reads one frame from `fd` and parses its payload.
+///  * NotFound    — the peer closed the connection cleanly before a frame
+///                  (idle client disconnect; not an error).
+///  * Unavailable — no length prefix arrived within `timeout_ms` (callers
+///                  polling a stop flag re-issue the read).
+///  * IoError / Corruption — transport failure, oversized frame, or
+///                  malformed JSON.
+/// Once the length prefix arrives the payload is awaited with
+/// `payload_timeout_ms` so a stalled peer cannot wedge a server thread.
+Result<obs::JsonValue> ReadFrame(int fd, int timeout_ms = -1,
+                                 int payload_timeout_ms = 10'000,
+                                 uint32_t max_frame_bytes = kMaxFrameBytes);
+
+/// Builds the uniform failure response for `status`.
+obs::JsonValue ErrorResponse(const std::string& verb, const Status& status);
+
+/// Builds the uniform success envelope: {"ok": true, "verb": verb}.
+obs::JsonValue OkResponse(const std::string& verb);
+
+/// Reads an "items" member (JSON array of non-negative integers) into a
+/// canonical itemset.
+Result<Itemset> ItemsFromJson(const obs::JsonValue& array);
+
+/// Renders an itemset as a JSON array.
+obs::JsonValue ItemsToJson(const Itemset& items);
+
+}  // namespace bbsmine::service
+
+#endif  // BBSMINE_SERVICE_WIRE_H_

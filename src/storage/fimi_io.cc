@@ -70,7 +70,7 @@ Result<TransactionDatabase> ReadFimiStream(std::istream& in,
 Result<TransactionDatabase> ReadFimi(const std::string& path) {
   std::ifstream in(path);
   if (!in.is_open()) {
-    return Status::IoError("cannot open for reading: " + path);
+    return StatusFromErrno("cannot open for reading: " + path);
   }
   return ReadFimiStream(in, path);
 }
@@ -92,7 +92,7 @@ Status WriteFimiStream(const TransactionDatabase& db, std::ostream& out) {
 Status WriteFimi(const TransactionDatabase& db, const std::string& path) {
   std::ofstream out(path);
   if (!out.is_open()) {
-    return Status::IoError("cannot open for writing: " + path);
+    return StatusFromErrno("cannot open for writing: " + path);
   }
   Status status = WriteFimiStream(db, out);
   if (!status.ok()) return Status::IoError(status.message() + ": " + path);

@@ -83,7 +83,7 @@ Status ItemCatalog::Save(const std::string& path) const {
   std::unique_ptr<std::FILE, int (*)(std::FILE*)> fp(
       std::fopen(path.c_str(), "wb"), &std::fclose);
   if (fp == nullptr) {
-    return Status::IoError("cannot open for writing: " + path);
+    return StatusFromErrno("cannot open for writing: " + path);
   }
   if (std::fwrite(file.data(), 1, file.size(), fp.get()) != file.size()) {
     return Status::IoError("short write: " + path);
@@ -95,7 +95,7 @@ Result<ItemCatalog> ItemCatalog::Load(const std::string& path) {
   std::unique_ptr<std::FILE, int (*)(std::FILE*)> fp(
       std::fopen(path.c_str(), "rb"), &std::fclose);
   if (fp == nullptr) {
-    return Status::IoError("cannot open for reading: " + path);
+    return StatusFromErrno("cannot open for reading: " + path);
   }
   std::string file;
   char buf[1 << 16];

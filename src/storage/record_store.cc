@@ -60,7 +60,7 @@ Status RecordStore::Write(const TransactionDatabase& db,
   std::unique_ptr<std::FILE, int (*)(std::FILE*)> fp(
       std::fopen(path.c_str(), "wb"), &std::fclose);
   if (fp == nullptr) {
-    return Status::IoError("cannot open for writing: " + path);
+    return StatusFromErrno("cannot open for writing: " + path);
   }
   if (std::fwrite(file.data(), 1, file.size(), fp.get()) != file.size()) {
     return Status::IoError("short write: " + path);
@@ -75,7 +75,7 @@ Result<RecordStore> RecordStore::Open(const std::string& path,
   store.cache_pages_ = cache_pages == 0 ? 1 : cache_pages;
   store.file_.reset(std::fopen(path.c_str(), "rb"));
   if (store.file_ == nullptr) {
-    return Status::IoError("cannot open for reading: " + path);
+    return StatusFromErrno("cannot open for reading: " + path);
   }
 
   uint8_t header[kHeaderBytes];

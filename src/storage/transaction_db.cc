@@ -122,7 +122,7 @@ Status TransactionDatabase::Save(const std::string& path) const {
   std::unique_ptr<std::FILE, int (*)(std::FILE*)> fp(
       std::fopen(path.c_str(), "wb"), &std::fclose);
   if (fp == nullptr) {
-    return Status::IoError("cannot open for writing: " + path);
+    return StatusFromErrno("cannot open for writing: " + path);
   }
   if (std::fwrite(file.data(), 1, file.size(), fp.get()) != file.size()) {
     return Status::IoError("short write: " + path);
@@ -135,7 +135,7 @@ Result<TransactionDatabase> TransactionDatabase::Load(
   std::unique_ptr<std::FILE, int (*)(std::FILE*)> fp(
       std::fopen(path.c_str(), "rb"), &std::fclose);
   if (fp == nullptr) {
-    return Status::IoError("cannot open for reading: " + path);
+    return StatusFromErrno("cannot open for reading: " + path);
   }
   std::string file;
   char buf[1 << 16];

@@ -1,5 +1,6 @@
 #include "util/file_io.h"
 
+#include <cerrno>
 #include <cstdio>
 
 namespace bbsmine {
@@ -7,15 +8,18 @@ namespace bbsmine {
 Status WriteBinaryFile(const std::string& path, std::string_view data) {
   std::FILE* fp = std::fopen(path.c_str(), "wb");
   if (fp == nullptr) {
-    return Status::IoError("cannot open for writing: " + path);
+    return StatusFromErrno("cannot open for writing: " + path);
   }
+  errno = 0;
   bool ok = data.empty() ||
             std::fwrite(data.data(), 1, data.size(), fp) == data.size();
   // fwrite may buffer; a full disk often only surfaces at flush/close time.
   ok = std::fflush(fp) == 0 && ok;
+  int write_errno = errno;
   ok = std::fclose(fp) == 0 && ok;
   if (!ok) {
-    return Status::IoError("write failed (disk full?): " + path);
+    return StatusFromErrno(write_errno != 0 ? write_errno : errno,
+                           "write failed: " + path);
   }
   return Status::Ok();
 }
@@ -23,18 +27,20 @@ Status WriteBinaryFile(const std::string& path, std::string_view data) {
 Result<std::string> ReadBinaryFile(const std::string& path) {
   std::FILE* fp = std::fopen(path.c_str(), "rb");
   if (fp == nullptr) {
-    return Status::IoError("cannot open for reading: " + path);
+    return StatusFromErrno("cannot open for reading: " + path);
   }
   std::string data;
   char buf[1 << 16];
   size_t n;
+  errno = 0;
   while ((n = std::fread(buf, 1, sizeof(buf), fp)) > 0) {
     data.append(buf, n);
   }
   bool read_error = std::ferror(fp) != 0;
+  int read_errno = errno;
   std::fclose(fp);
   if (read_error) {
-    return Status::IoError("read error: " + path);
+    return StatusFromErrno(read_errno, "read error: " + path);
   }
   return data;
 }

@@ -1,5 +1,8 @@
 #include "util/status.h"
 
+#include <cerrno>
+#include <system_error>
+
 namespace bbsmine {
 
 const char* StatusCodeName(StatusCode code) {
@@ -20,8 +23,22 @@ const char* StatusCodeName(StatusCode code) {
       return "Unimplemented";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
+}
+
+Status StatusFromErrno(int errno_value, const std::string& context) {
+  // std::generic_category().message() is the thread-safe strerror: it maps
+  // POSIX errno values to their canonical text without the shared buffer.
+  return Status::IoError(context + ": " +
+                         std::generic_category().message(errno_value) +
+                         " (errno " + std::to_string(errno_value) + ")");
+}
+
+Status StatusFromErrno(const std::string& context) {
+  return StatusFromErrno(errno, context);
 }
 
 std::string Status::ToString() const {

@@ -25,6 +25,7 @@ enum class StatusCode {
   kOutOfRange,
   kUnimplemented,
   kInternal,
+  kUnavailable,
 };
 
 /// Returns a human-readable name for a status code, e.g. "IoError".
@@ -67,6 +68,12 @@ class [[nodiscard]] Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// Transient overload: the caller should back off and retry (admission
+  /// queue full, service draining). Distinct from the permanent failures
+  /// above so clients can tell backpressure from errors.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -123,6 +130,15 @@ class [[nodiscard]] Result {
   Status status_;
   std::optional<T> value_;
 };
+
+/// Builds a Status from a C errno value: "<context>: <strerror text>
+/// (errno N)". The code is kIoError for every errno (callers that need a
+/// finer category can wrap the result); what matters is that socket and
+/// file errors report the same errno text everywhere.
+Status StatusFromErrno(int errno_value, const std::string& context);
+
+/// StatusFromErrno over the calling thread's current errno.
+Status StatusFromErrno(const std::string& context);
 
 }  // namespace bbsmine
 

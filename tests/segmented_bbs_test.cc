@@ -54,10 +54,8 @@ TEST(SegmentedBbsTest, CountsMatchMonolithicIndex) {
   auto segmented = SegmentedBbs::Create(SmallConfig(), 64);
   auto monolithic = BbsIndex::Create(SmallConfig());
   ASSERT_TRUE(segmented.ok() && monolithic.ok());
-  for (size_t t = 0; t < db.size(); ++t) {
-    ASSERT_TRUE(segmented->Insert(db.At(t).items).ok());
-    monolithic->Insert(db.At(t).items);
-  }
+  ASSERT_TRUE(segmented->InsertAll(db).ok());
+  monolithic->InsertAll(db);
 
   for (Itemset items : std::vector<Itemset>{{1}, {2, 5}, {3, 9, 12}, {}}) {
     EXPECT_EQ(segmented->CountItemSet(items),
@@ -70,9 +68,7 @@ TEST(SegmentedBbsTest, NeverUnderestimates) {
   TransactionDatabase db = testing::RandomDb(9, 400, 30, 5.0);
   auto bbs = SegmentedBbs::Create(SmallConfig(), 50);
   ASSERT_TRUE(bbs.ok());
-  for (size_t t = 0; t < db.size(); ++t) {
-    ASSERT_TRUE(bbs->Insert(db.At(t).items).ok());
-  }
+  ASSERT_TRUE(bbs->InsertAll(db).ok());
   for (Itemset items : std::vector<Itemset>{{1}, {2, 3}, {4, 5, 6}}) {
     EXPECT_GE(bbs->CountItemSet(items), testing::BruteForceSupport(db, items));
   }
@@ -82,9 +78,7 @@ TEST(SegmentedBbsTest, PerSegmentCountsSumToTotal) {
   TransactionDatabase db = testing::RandomDb(13, 200, 20, 5.0);
   auto bbs = SegmentedBbs::Create(SmallConfig(), 30);
   ASSERT_TRUE(bbs.ok());
-  for (size_t t = 0; t < db.size(); ++t) {
-    ASSERT_TRUE(bbs->Insert(db.At(t).items).ok());
-  }
+  ASSERT_TRUE(bbs->InsertAll(db).ok());
 
   Itemset items = {1, 2};
   std::vector<size_t> per_segment = bbs->CountPerSegment(items);
@@ -106,9 +100,7 @@ TEST(SegmentedBbsTest, SaveLoadRoundTrip) {
   TransactionDatabase db = testing::RandomDb(17, 120, 30, 5.0);
   auto bbs = SegmentedBbs::Create(SmallConfig(), 40);
   ASSERT_TRUE(bbs.ok());
-  for (size_t t = 0; t < db.size(); ++t) {
-    ASSERT_TRUE(bbs->Insert(db.At(t).items).ok());
-  }
+  ASSERT_TRUE(bbs->InsertAll(db).ok());
 
   std::string prefix = TempPrefix("bbsmine_segmented_roundtrip");
   ASSERT_TRUE(bbs->Save(prefix).ok());

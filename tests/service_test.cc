@@ -1,0 +1,488 @@
+// Tests for the query service: wire framing, snapshot isolation, the
+// batched count scheduler, the verb handler, and a socket round trip.
+//
+// The load-bearing property throughout is *parity*: any count produced by
+// the service — through a Snapshot, the scheduler, BbsService::Handle, or
+// a real TCP connection — must be bit-identical to a direct
+// SegmentedBbs::CountItemSet over the same insert prefix.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/segmented_bbs.h"
+#include "service/metrics.h"
+#include "service/scheduler.h"
+#include "service/server.h"
+#include "service/snapshot.h"
+#include "service/wire.h"
+#include "testing/reference.h"
+#include "util/socket.h"
+#include "util/status.h"
+
+namespace bbsmine::service {
+namespace {
+
+BbsConfig SmallConfig() {
+  BbsConfig config;
+  config.num_bits = 256;
+  config.num_hashes = 3;
+  return config;
+}
+
+/// A loaded segmented index and the database it was built from.
+struct Fixture {
+  TransactionDatabase db;
+  SegmentedBbs index;
+};
+
+Fixture MakeFixture(uint64_t seed, size_t transactions,
+                    uint64_t segment_capacity) {
+  Fixture out{bbsmine::testing::RandomDb(seed, transactions, 24, 5.0),
+              SegmentedBbs::Create(SmallConfig(), segment_capacity).value()};
+  EXPECT_TRUE(out.index.InsertAll(out.db).ok());
+  return out;
+}
+
+std::vector<Itemset> QueryMix() {
+  std::vector<Itemset> queries;
+  for (ItemId a = 0; a < 24; ++a) {
+    queries.push_back({a});
+    queries.push_back({a, static_cast<ItemId>((a + 5) % 24)});
+    queries.push_back({a, static_cast<ItemId>((a + 1) % 24),
+                       static_cast<ItemId>((a + 9) % 24)});
+  }
+  for (Itemset& q : queries) Canonicalize(&q);
+  return queries;
+}
+
+// ---------------------------------------------------------------------------
+// util satellites: errno-derived statuses.
+
+TEST(StatusFromErrnoTest, CarriesContextAndErrnoText) {
+  Status status = StatusFromErrno(ENOENT, "open /nope");
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_NE(status.message().find("open /nope"), std::string::npos);
+  EXPECT_NE(status.message().find("errno 2"), std::string::npos);
+}
+
+TEST(StatusFromErrnoTest, ReadsCurrentErrno) {
+  errno = EACCES;
+  Status status = StatusFromErrno("probe");
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_NE(status.message().find("errno 13"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Wire protocol.
+
+TEST(WireTest, FrameRoundTripOverSocketpair) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  OwnedFd a(fds[0]), b(fds[1]);
+
+  obs::JsonValue request = obs::JsonValue::Object();
+  request.Set("verb", obs::JsonValue::String("COUNT"));
+  request.Set("items", ItemsToJson({3, 1, 2}));
+  ASSERT_TRUE(WriteFrame(a.get(), request).ok());
+
+  auto echoed = ReadFrame(b.get(), /*timeout_ms=*/1000);
+  ASSERT_TRUE(echoed.ok()) << echoed.status().ToString();
+  EXPECT_EQ(echoed->at("verb").AsString(), "COUNT");
+  EXPECT_EQ(echoed->at("items").size(), 3u);
+}
+
+TEST(WireTest, CleanCloseReadsAsNotFound) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  OwnedFd a(fds[0]), b(fds[1]);
+  a.Reset();  // close the writer before any frame
+  auto result = ReadFrame(b.get(), /*timeout_ms=*/1000);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(WireTest, OversizedLengthPrefixIsCorruption) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  OwnedFd a(fds[0]), b(fds[1]);
+  // 0xFFFFFFFF little-endian: far beyond any accepted frame.
+  ASSERT_TRUE(SendAll(a.get(), std::string(4, '\xff')).ok());
+  auto result = ReadFrame(b.get(), /*timeout_ms=*/1000);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(WireTest, IdleTimeoutIsUnavailable) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  OwnedFd a(fds[0]), b(fds[1]);
+  auto result = ReadFrame(b.get(), /*timeout_ms=*/10);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(WireTest, ItemsFromJsonValidates) {
+  obs::JsonValue bad = obs::JsonValue::Array();
+  bad.Append(obs::JsonValue::String("seven"));
+  EXPECT_EQ(ItemsFromJson(bad).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ItemsFromJson(obs::JsonValue::Null()).status().code(),
+            StatusCode::kInvalidArgument);
+
+  obs::JsonValue dup = obs::JsonValue::Array();
+  dup.Append(obs::JsonValue::Uint(9));
+  dup.Append(obs::JsonValue::Uint(2));
+  dup.Append(obs::JsonValue::Uint(9));
+  auto items = ItemsFromJson(dup);
+  ASSERT_TRUE(items.ok());
+  EXPECT_EQ(*items, (Itemset{2, 9}));  // canonicalized
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot manager.
+
+TEST(SnapshotManagerTest, CountsMatchDirectIndex) {
+  Fixture fx = MakeFixture(11, 300, 64);
+  auto manager = SnapshotManager::FromIndex(fx.index);
+  ASSERT_TRUE(manager.ok());
+  Snapshot snap = manager->Acquire();
+  EXPECT_EQ(snap.num_transactions(), fx.db.size());
+  for (const Itemset& query : QueryMix()) {
+    EXPECT_EQ(snap.CountItemSet(query), fx.index.CountItemSet(query))
+        << ItemsetToString(query);
+  }
+}
+
+TEST(SnapshotManagerTest, WrapsMonolithicIndexAsOneSealedSegment) {
+  Fixture fx = MakeFixture(12, 150, 1000);  // one segment
+  auto manager =
+      SnapshotManager::FromIndex(fx.index.segment(0), /*segment_capacity=*/32);
+  ASSERT_TRUE(manager.ok());
+  Snapshot snap = manager->Acquire();
+  EXPECT_EQ(snap.num_segments(), 1u);
+  for (const Itemset& query : QueryMix()) {
+    EXPECT_EQ(snap.CountItemSet(query), fx.index.CountItemSet(query));
+  }
+  // New inserts land in a fresh tail without disturbing the sealed wrap.
+  ASSERT_TRUE(manager->Insert({1, 2, 3}).ok());
+  EXPECT_EQ(manager->Acquire().num_segments(), 2u);
+  EXPECT_EQ(manager->num_transactions(), fx.db.size() + 1);
+}
+
+TEST(SnapshotManagerTest, OldSnapshotsAreImmutableUnderInserts) {
+  auto manager = SnapshotManager::Create(SmallConfig(), 8);
+  ASSERT_TRUE(manager.ok());
+  TransactionDatabase db = bbsmine::testing::RandomDb(13, 40, 16, 4.0);
+
+  std::vector<Snapshot> history;
+  std::vector<std::vector<size_t>> answers;
+  std::vector<Itemset> queries = {{0}, {1, 2}, {3, 4, 5}};
+  for (size_t t = 0; t < db.size(); ++t) {
+    ASSERT_TRUE(manager->Insert(db.At(t).items).ok());
+    Snapshot snap = manager->Acquire();
+    EXPECT_EQ(snap.num_transactions(), t + 1);
+    std::vector<size_t> at_prefix;
+    for (const Itemset& q : queries) at_prefix.push_back(snap.CountItemSet(q));
+    history.push_back(snap);
+    answers.push_back(std::move(at_prefix));
+  }
+  // Every retained snapshot still answers exactly as it did when acquired,
+  // and matches a SegmentedBbs rebuilt from the same prefix.
+  auto rebuilt = SegmentedBbs::Create(SmallConfig(), 8);
+  ASSERT_TRUE(rebuilt.ok());
+  for (size_t t = 0; t < db.size(); ++t) {
+    ASSERT_TRUE(rebuilt->Insert(db.At(t).items).ok());
+    for (size_t q = 0; q < queries.size(); ++q) {
+      EXPECT_EQ(history[t].CountItemSet(queries[q]), answers[t][q]);
+      EXPECT_EQ(answers[t][q], rebuilt->CountItemSet(queries[q]));
+    }
+  }
+}
+
+TEST(SnapshotManagerTest, EpochsAreMonotoneAndSealsTracked) {
+  auto manager = SnapshotManager::Create(SmallConfig(), 4);
+  ASSERT_TRUE(manager.ok());
+  uint64_t last_epoch = manager->epoch();
+  for (int t = 0; t < 10; ++t) {
+    ASSERT_TRUE(manager->Insert({static_cast<ItemId>(t)}).ok());
+    uint64_t epoch = manager->epoch();
+    EXPECT_GT(epoch, last_epoch);
+    last_epoch = epoch;
+  }
+  EXPECT_EQ(manager->seals(), 2u);  // 10 transactions / capacity 4
+  EXPECT_GE(manager->publications(), 11u);
+}
+
+TEST(SnapshotManagerTest, BatchInsertPublishesOnce) {
+  auto manager = SnapshotManager::Create(SmallConfig(), 64);
+  ASSERT_TRUE(manager.ok());
+  TransactionDatabase db = bbsmine::testing::RandomDb(14, 50, 16, 4.0);
+  uint64_t before = manager->publications();
+  ASSERT_TRUE(manager->InsertAll(db).ok());
+  EXPECT_EQ(manager->publications(), before + 1);
+  EXPECT_EQ(manager->num_transactions(), db.size());
+  EXPECT_EQ(manager->InsertAll(db, db.size(), 1).code(),
+            StatusCode::kOutOfRange);
+}
+
+// ---------------------------------------------------------------------------
+// SegmentedBbs::InsertAll satellite.
+
+TEST(SegmentedInsertAllTest, MatchesPerTransactionInserts) {
+  TransactionDatabase db = bbsmine::testing::RandomDb(15, 120, 20, 5.0);
+  auto bulk = SegmentedBbs::Create(SmallConfig(), 32);
+  auto serial = SegmentedBbs::Create(SmallConfig(), 32);
+  ASSERT_TRUE(bulk.ok());
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(bulk->InsertAll(db).ok());
+  for (size_t t = 0; t < db.size(); ++t) {
+    ASSERT_TRUE(serial->Insert(db.At(t).items).ok());
+  }
+  EXPECT_TRUE(*bulk == *serial);
+  // Range variant appends a suffix.
+  auto half = SegmentedBbs::Create(SmallConfig(), 32);
+  ASSERT_TRUE(half.ok());
+  ASSERT_TRUE(half->InsertAll(db, 0, 60).ok());
+  ASSERT_TRUE(half->InsertAll(db, 60, db.size() - 60).ok());
+  EXPECT_TRUE(*half == *bulk);
+  EXPECT_EQ(half->InsertAll(db, db.size(), 1).code(),
+            StatusCode::kOutOfRange);
+}
+
+// ---------------------------------------------------------------------------
+// Count scheduler.
+
+TEST(CountSchedulerTest, AnswersMatchDirectCounts) {
+  Fixture fx = MakeFixture(16, 400, 64);
+  auto manager = SnapshotManager::FromIndex(fx.index);
+  ASSERT_TRUE(manager.ok());
+  ServiceMetrics metrics;
+  SchedulerOptions options;
+  options.num_threads = 2;
+  CountScheduler scheduler(&*manager, options, &metrics);
+
+  // Concurrent submitters maximize batching; every answer must still be
+  // bit-identical to the direct index count.
+  std::vector<Itemset> queries = QueryMix();
+  std::vector<CountResult> results(queries.size());
+  std::vector<Status> statuses(queries.size());
+  {
+    std::vector<std::thread> clients;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      clients.emplace_back([&, i] {
+        statuses[i] = scheduler.Count(queries[i], &results[i]);
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  }
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_TRUE(statuses[i].ok()) << statuses[i].ToString();
+    EXPECT_EQ(results[i].count, fx.index.CountItemSet(queries[i]))
+        << ItemsetToString(queries[i]);
+    EXPECT_EQ(results[i].visible_transactions, fx.db.size());
+    EXPECT_GE(results[i].batch_size, 1u);
+  }
+  EXPECT_GE(metrics.counter(metrics.batches), 1u);
+}
+
+TEST(CountSchedulerTest, RejectsWhenQueueFull) {
+  Fixture fx = MakeFixture(17, 50, 32);
+  auto manager = SnapshotManager::FromIndex(fx.index);
+  ASSERT_TRUE(manager.ok());
+  ServiceMetrics metrics;
+  SchedulerOptions options;
+  options.max_pending = 0;  // every admission bounces
+  CountScheduler scheduler(&*manager, options, &metrics);
+  CountResult result;
+  Status status = scheduler.Count({1}, &result);
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(metrics.counter(metrics.rejected_backpressure), 1u);
+}
+
+TEST(CountSchedulerTest, RejectsEmptyAndAfterShutdown) {
+  Fixture fx = MakeFixture(18, 50, 32);
+  auto manager = SnapshotManager::FromIndex(fx.index);
+  ASSERT_TRUE(manager.ok());
+  CountScheduler scheduler(&*manager, SchedulerOptions{}, nullptr);
+  CountResult result;
+  EXPECT_EQ(scheduler.Count({}, &result).code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(scheduler.Count({1}, &result).ok());
+  scheduler.Shutdown();
+  EXPECT_EQ(scheduler.Count({1}, &result).code(),
+            StatusCode::kUnavailable);
+}
+
+// ---------------------------------------------------------------------------
+// Verb handler.
+
+obs::JsonValue CountRequest(const Itemset& items) {
+  obs::JsonValue request = obs::JsonValue::Object();
+  request.Set("verb", obs::JsonValue::String("COUNT"));
+  request.Set("items", ItemsToJson(items));
+  return request;
+}
+
+TEST(BbsServiceTest, HandlesEveryVerb) {
+  Fixture fx = MakeFixture(19, 200, 64);
+  auto manager = SnapshotManager::FromIndex(fx.index);
+  ASSERT_TRUE(manager.ok());
+  BbsService service(&*manager, &fx.db, ServiceOptions{});
+
+  // PING.
+  obs::JsonValue ping = obs::JsonValue::Object();
+  ping.Set("verb", obs::JsonValue::String("PING"));
+  obs::JsonValue pong = service.Handle(ping);
+  EXPECT_TRUE(pong.at("ok").AsBool());
+
+  // COUNT parity against the index the daemon would have loaded.
+  for (const Itemset& query : QueryMix()) {
+    obs::JsonValue response = service.Handle(CountRequest(query));
+    ASSERT_TRUE(response.at("ok").AsBool()) << response.Serialize(0);
+    EXPECT_EQ(response.at("count").AsUint(), fx.index.CountItemSet(query));
+  }
+
+  // INSERT one transaction; counts shift accordingly.
+  size_t before = fx.index.CountItemSet({2, 3});
+  obs::JsonValue insert = obs::JsonValue::Object();
+  insert.Set("verb", obs::JsonValue::String("INSERT"));
+  insert.Set("items", ItemsToJson({2, 3}));
+  obs::JsonValue inserted = service.Handle(insert);
+  ASSERT_TRUE(inserted.at("ok").AsBool()) << inserted.Serialize(0);
+  EXPECT_EQ(inserted.at("inserted").AsUint(), 1u);
+  obs::JsonValue recount = service.Handle(CountRequest({2, 3}));
+  EXPECT_EQ(recount.at("count").AsUint(), before + 1);
+  EXPECT_EQ(fx.db.size(), 201u);  // database moved with the index
+
+  // MINE delegates to exact Eclat over the database.
+  obs::JsonValue mine = obs::JsonValue::Object();
+  mine.Set("verb", obs::JsonValue::String("MINE"));
+  mine.Set("minsup", obs::JsonValue::Double(0.05));
+  mine.Set("top", obs::JsonValue::Uint(5));
+  obs::JsonValue mined = service.Handle(mine);
+  ASSERT_TRUE(mined.at("ok").AsBool()) << mined.Serialize(0);
+  EXPECT_LE(mined.at("patterns").size(), 5u);
+  EXPECT_GE(mined.at("total_frequent").AsUint(),
+            mined.at("patterns").size());
+
+  // STATS carries the schema-versioned service report.
+  obs::JsonValue stats = obs::JsonValue::Object();
+  stats.Set("verb", obs::JsonValue::String("STATS"));
+  obs::JsonValue report = service.Handle(stats);
+  ASSERT_TRUE(report.at("ok").AsBool());
+  const obs::JsonValue& doc = report.at("report");
+  EXPECT_EQ(doc.at("schema_version").AsInt(), kServiceReportSchemaVersion);
+  EXPECT_EQ(doc.at("kind").AsString(), "bbsmined_service");
+  EXPECT_TRUE(doc.at("service").at("mine_enabled").AsBool());
+  // The latency histograms rendered with the run-report histogram shape.
+  const obs::JsonValue& latency = doc.at("metrics").at("latency_us");
+  for (const char* verb : {"ping", "count", "insert", "mine", "stats"}) {
+    ASSERT_TRUE(latency.Has(verb)) << verb;
+    EXPECT_TRUE(latency.at(verb).Has("by_depth"));
+    EXPECT_TRUE(latency.at(verb).Has("total"));
+  }
+  EXPECT_GE(latency.at("count").at("total").AsUint(), QueryMix().size());
+
+  // Unknown and malformed verbs answer ok=false, not a dropped connection.
+  obs::JsonValue junk = obs::JsonValue::Object();
+  junk.Set("verb", obs::JsonValue::String("EXPLODE"));
+  EXPECT_FALSE(service.Handle(junk).at("ok").AsBool());
+  EXPECT_FALSE(service.Handle(obs::JsonValue::Null()).at("ok").AsBool());
+  EXPECT_EQ(service.Handle(obs::JsonValue::Null()).at("error")
+                .at("code").AsString(),
+            "InvalidArgument");
+}
+
+TEST(BbsServiceTest, MineWithoutDatabaseFails) {
+  Fixture fx = MakeFixture(20, 60, 32);
+  auto manager = SnapshotManager::FromIndex(fx.index);
+  ASSERT_TRUE(manager.ok());
+  BbsService service(&*manager, nullptr, ServiceOptions{});
+  obs::JsonValue mine = obs::JsonValue::Object();
+  mine.Set("verb", obs::JsonValue::String("MINE"));
+  obs::JsonValue response = service.Handle(mine);
+  EXPECT_FALSE(response.at("ok").AsBool());
+  obs::JsonValue report = service.BuildStatsReport();
+  EXPECT_FALSE(report.at("service").at("mine_enabled").AsBool());
+}
+
+TEST(BbsServiceTest, DrainRefusesNewWork) {
+  Fixture fx = MakeFixture(21, 60, 32);
+  auto manager = SnapshotManager::FromIndex(fx.index);
+  ASSERT_TRUE(manager.ok());
+  BbsService service(&*manager, &fx.db, ServiceOptions{});
+  service.Drain();
+  obs::JsonValue count = service.Handle(CountRequest({1}));
+  EXPECT_FALSE(count.at("ok").AsBool());
+  EXPECT_EQ(count.at("error").at("code").AsString(), "Unavailable");
+  obs::JsonValue insert = obs::JsonValue::Object();
+  insert.Set("verb", obs::JsonValue::String("INSERT"));
+  insert.Set("items", ItemsToJson({1}));
+  EXPECT_FALSE(service.Handle(insert).at("ok").AsBool());
+  // PING still answers so a supervisor can watch the drain.
+  obs::JsonValue ping = obs::JsonValue::Object();
+  ping.Set("verb", obs::JsonValue::String("PING"));
+  EXPECT_TRUE(service.Handle(ping).at("ok").AsBool());
+}
+
+// ---------------------------------------------------------------------------
+// Socket server end to end.
+
+TEST(SocketServerTest, ServesConcurrentClientsBitIdentically) {
+  Fixture fx = MakeFixture(22, 300, 64);
+  auto manager = SnapshotManager::FromIndex(fx.index);
+  ASSERT_TRUE(manager.ok());
+  BbsService service(&*manager, &fx.db, ServiceOptions{});
+  SocketServerOptions options;
+  options.poll_interval_ms = 50;
+  SocketServer server(&service, options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    GTEST_SKIP() << "cannot bind a loopback socket here: "
+                 << started.ToString();
+  }
+
+  std::vector<Itemset> queries = QueryMix();
+  std::vector<uint64_t> answers(queries.size(), 0);
+  std::vector<std::string> failures;
+  std::mutex failures_mu;
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      auto fd = ConnectTcp("127.0.0.1", server.port());
+      if (!fd.ok()) {
+        std::lock_guard<std::mutex> lock(failures_mu);
+        failures.push_back(fd.status().ToString());
+        return;
+      }
+      // Each client owns a stride of the query mix, several per connection.
+      for (size_t i = c; i < queries.size(); i += 4) {
+        if (!WriteFrame(fd->get(), CountRequest(queries[i])).ok()) return;
+        auto response = ReadFrame(fd->get(), /*timeout_ms=*/10'000);
+        if (!response.ok() || !response->at("ok").AsBool()) {
+          std::lock_guard<std::mutex> lock(failures_mu);
+          failures.push_back("query " + std::to_string(i) + " failed");
+          return;
+        }
+        answers[i] = response->at("count").AsUint();
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  server.Stop();
+  ASSERT_TRUE(failures.empty()) << failures.front();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(answers[i], fx.index.CountItemSet(queries[i]))
+        << ItemsetToString(queries[i]);
+  }
+}
+
+}  // namespace
+}  // namespace bbsmine::service

@@ -25,6 +25,8 @@
 #include <string>
 #include <vector>
 
+#include <sys/stat.h>
+
 #include "baseline/apriori.h"
 #include "baseline/eclat.h"
 #include "baseline/fp_tree.h"
@@ -34,12 +36,15 @@
 #include "core/miner.h"
 #include "core/pattern_sets.h"
 #include "core/rules.h"
+#include "core/segmented_bbs.h"
 #include "datagen/quest_gen.h"
 #include "obs/report.h"
 #include "obs/trace.h"
+#include "service/wire.h"
 #include "storage/fimi_io.h"
 #include "storage/transaction_db.h"
 #include "util/bitvector_kernels.h"
+#include "util/socket.h"
 #include "util/thread_pool.h"
 
 using namespace bbsmine;
@@ -190,11 +195,29 @@ int CmdBuild(const Args& args) {
     return 2;
   }
   config.seed = args.GetUint("seed", 0);
+  std::string out = args.Require("out");
+
+  // --segment-capacity selects a segmented index (one file per segment
+  // plus <out>.manifest) — the format bbsmined serves incrementally.
+  if (uint64_t capacity = args.GetUint("segment-capacity", 0); capacity > 0) {
+    auto segmented = SegmentedBbs::Create(config, capacity);
+    if (!segmented.ok()) Die(segmented.status());
+    if (Status st = segmented->InsertAll(db); !st.ok()) Die(st);
+    if (Status st = segmented->Save(out); !st.ok()) Die(st);
+    std::printf(
+        "built segmented BBS: m=%u, k=%u, %zu transactions in %zu "
+        "segments of %llu, %llu bytes -> %s.manifest\n",
+        segmented->config().num_bits, config.num_hashes,
+        segmented->num_transactions(), segmented->num_segments(),
+        static_cast<unsigned long long>(capacity),
+        static_cast<unsigned long long>(segmented->SerializedBytes()),
+        out.c_str());
+    return 0;
+  }
 
   auto bbs = BbsIndex::Create(config);
   if (!bbs.ok()) Die(bbs.status());
   bbs->InsertAll(db);
-  std::string out = args.Require("out");
   if (Status st = bbs->Save(out); !st.ok()) Die(st);
   std::printf("built BBS: m=%u, k=%u, %zu transactions, %llu bytes -> %s\n",
               bbs->num_bits(), config.num_hashes, bbs->num_transactions(),
@@ -397,7 +420,38 @@ int CmdMine(const Args& args) {
   return 0;
 }
 
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+/// Index-only count: no database, so no refinement — the printed estimate
+/// is exactly what the daemon answers from a snapshot of the same index.
+/// This is the oracle the CI smoke test diffs `bbsmine client` against.
+int CmdCountIndexOnly(const Args& args) {
+  std::string index_arg = args.Require("index");
+  Itemset items = ParseItems(args.Require("items"));
+  size_t estimate;
+  size_t transactions;
+  if (FileExists(index_arg + ".manifest")) {
+    auto segmented = SegmentedBbs::Load(index_arg);
+    if (!segmented.ok()) Die(segmented.status());
+    estimate = segmented->CountItemSet(items);
+    transactions = segmented->num_transactions();
+  } else {
+    auto bbs = BbsIndex::Load(index_arg);
+    if (!bbs.ok()) Die(bbs.status());
+    estimate = bbs->CountItemSet(items);
+    transactions = bbs->num_transactions();
+  }
+  std::printf("pattern %s\n  estimate %zu (no database: estimate only, "
+              "%zu transactions indexed)\n",
+              ItemsetToString(items).c_str(), estimate, transactions);
+  return 0;
+}
+
 int CmdCount(const Args& args) {
+  if (args.GetString("db").empty()) return CmdCountIndexOnly(args);
   TransactionDatabase db = LoadDb(args.Require("db"));
   auto bbs = BbsIndex::Load(args.Require("index"));
   if (!bbs.ok()) Die(bbs.status());
@@ -496,6 +550,78 @@ int CmdApprox(const Args& args) {
   return 0;
 }
 
+/// Talks to a running bbsmined (docs/SERVICE.md): sends one request frame,
+/// prints the response. --json dumps the raw response document (what the
+/// CI smoke test parses); the default output is a human-readable summary.
+int CmdClient(const Args& args) {
+  std::string host = args.GetString("host", "127.0.0.1");
+  uint16_t port = static_cast<uint16_t>(args.GetUint("port", 7071));
+  std::string verb = args.GetString("verb", "PING");
+  for (char& c : verb) c = static_cast<char>(std::toupper(c));
+
+  obs::JsonValue request = obs::JsonValue::Object();
+  request.Set("verb", obs::JsonValue::String(verb));
+  if (std::string spec = args.GetString("items"); !spec.empty()) {
+    request.Set("items", service::ItemsToJson(ParseItems(spec)));
+  }
+  if (std::string minsup = args.GetString("minsup"); !minsup.empty()) {
+    request.Set("minsup",
+                obs::JsonValue::Double(args.GetDouble("minsup", 0.003)));
+  }
+  if (std::string top = args.GetString("top"); !top.empty()) {
+    request.Set("top", obs::JsonValue::Uint(args.GetUint("top", 10)));
+  }
+
+  auto fd = ConnectTcp(host, port);
+  if (!fd.ok()) Die(fd.status());
+  if (Status sent = service::WriteFrame(fd->get(), request); !sent.ok()) {
+    Die(sent);
+  }
+  auto response = service::ReadFrame(fd->get(), /*timeout_ms=*/30'000);
+  if (!response.ok()) Die(response.status());
+
+  if (args.GetBool("json")) {
+    std::printf("%s\n", response->Serialize(2).c_str());
+  } else if (!response->at("ok").AsBool()) {
+    const obs::JsonValue& error = response->at("error");
+    std::fprintf(stderr, "%s failed: %s: %s\n", verb.c_str(),
+                 error.at("code").AsString().c_str(),
+                 error.at("message").AsString().c_str());
+  } else if (verb == "COUNT") {
+    std::printf("count %llu (epoch %llu, %llu visible transactions, "
+                "batch of %llu)\n",
+                static_cast<unsigned long long>(
+                    response->at("count").AsUint()),
+                static_cast<unsigned long long>(
+                    response->at("epoch").AsUint()),
+                static_cast<unsigned long long>(
+                    response->at("visible_transactions").AsUint()),
+                static_cast<unsigned long long>(
+                    response->at("batch_size").AsUint()));
+  } else if (verb == "MINE") {
+    const obs::JsonValue& patterns = response->at("patterns");
+    std::printf("%llu frequent patterns (showing %zu)\n",
+                static_cast<unsigned long long>(
+                    response->at("total_frequent").AsUint()),
+                patterns.size());
+    for (size_t i = 0; i < patterns.size(); ++i) {
+      const obs::JsonValue& entry = patterns.at(i);
+      Itemset items;
+      for (size_t j = 0; j < entry.at("items").size(); ++j) {
+        items.push_back(
+            static_cast<ItemId>(entry.at("items").at(j).AsUint()));
+      }
+      std::printf("  %8llu  %s\n",
+                  static_cast<unsigned long long>(
+                      entry.at("support").AsUint()),
+                  ItemsetToString(items).c_str());
+    }
+  } else {
+    std::printf("%s\n", response->Serialize(2).c_str());
+  }
+  return response->at("ok").AsBool() ? 0 : 1;
+}
+
 void Usage() {
   std::cerr <<
       "usage: bbsmine <command> [--flag value | --flag=value ...]\n"
@@ -505,6 +631,8 @@ void Usage() {
       "  convert  --in FILE --out FILE      (.fimi/.dat = text, else binary)\n"
       "  build    --db FILE --out FILE [--bits N] [--hashes N]\n"
       "           [--hash md5|mult|mod] [--seed N]\n"
+      "           [--segment-capacity N]  (segmented index: one file per\n"
+      "           segment plus OUT.manifest; the format bbsmined serves)\n"
       "  stats    [--db FILE] [--index FILE]\n"
       "  mine     --db FILE [--index FILE] [--algo sfs|sfp|dfs|dfp|apriori|\n"
       "           fpgrowth|eclat] [--minsup F] [--budget BYTES] [--top N]\n"
@@ -517,6 +645,11 @@ void Usage() {
       "           chrome://tracing or ui.perfetto.dev; BBS algos only)\n"
       "           [--trace-kernels]    (also trace per-kernel-call spans)\n"
       "  count    --db FILE --index FILE --items A,B,C [--tid-mod M:R]\n"
+      "           (omit --db for the estimate-only oracle over a saved\n"
+      "           index or segmented-index prefix)\n"
+      "  client   [--host A] [--port N] [--verb PING|COUNT|MINE|INSERT|\n"
+      "           STATS] [--items A,B,C] [--minsup F] [--top N] [--json]\n"
+      "           (talks to a running bbsmined; exit 0 iff ok)\n"
       "  rules    --db FILE [--minsup F] [--minconf F] [--top N]\n"
       "  approx   --db FILE --index FILE [--minsup F] [--minconf F]\n"
       "           [--top N]\n";
@@ -537,6 +670,7 @@ int main(int argc, char** argv) {
   if (command == "stats") return CmdStats(args);
   if (command == "mine") return CmdMine(args);
   if (command == "count") return CmdCount(args);
+  if (command == "client") return CmdClient(args);
   if (command == "rules") return CmdRules(args);
   if (command == "approx") return CmdApprox(args);
   Usage();

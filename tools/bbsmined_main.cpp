@@ -1,0 +1,218 @@
+// bbsmined — the BBS query daemon.
+//
+// Serves COUNT / MINE / INSERT / STATS / PING over length-prefixed JSON
+// frames (docs/SERVICE.md is the protocol spec). Counting queries run
+// against lock-free snapshots of a segmented index (snapshot-isolated from
+// inserts), are batched by the scheduler, and are answered bit-identically
+// to a direct SegmentedBbs::CountItemSet over the same prefix — which is
+// what the CI smoke test checks against the `bbsmine count` oracle.
+//
+// Examples:
+//   bbsmined --index data.seg --db data.db --port 7071
+//   bbsmined --bits 1600 --hashes 4 --segment-capacity 4096 --port 0
+//
+// SIGTERM / SIGINT drain gracefully: stop accepting, finish in-flight
+// requests, write the service report (--report-out), exit 0.
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <sys/stat.h>
+#include <thread>
+
+#include "core/bbs_index.h"
+#include "core/segmented_bbs.h"
+#include "obs/json.h"
+#include "service/server.h"
+#include "storage/transaction_db.h"
+
+using namespace bbsmine;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int) { g_stop.store(true, std::memory_order_release); }
+
+/// Minimal flag parser: accepts `--flag value` and `--flag=value`;
+/// bare flags map to "true". (Mirrors the bbsmine CLI parser.)
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        std::cerr << "unexpected argument: " << arg << "\n";
+        std::exit(2);
+      }
+      std::string key = arg.substr(2);
+      if (size_t eq = key.find('='); eq != std::string::npos) {
+        values_[key.substr(0, eq)] = key.substr(eq + 1);
+      } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "true";
+      }
+    }
+  }
+
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  uint64_t GetUint(const std::string& key, uint64_t fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::strtoull(it->second.c_str(),
+                                                          nullptr, 10);
+  }
+
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback
+                               : std::strtod(it->second.c_str(), nullptr);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+[[noreturn]] void Die(const Status& status) {
+  std::cerr << "bbsmined: " << status.ToString() << "\n";
+  std::exit(1);
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+void Usage() {
+  std::cerr <<
+      "usage: bbsmined [--flag value | --flag=value ...]\n"
+      "  --index PREFIX      saved index: a SegmentedBbs prefix (loads\n"
+      "                      PREFIX.manifest) or a monolithic .bbs file\n"
+      "                      (wrapped as one sealed segment)\n"
+      "  --db FILE           transaction database; enables MINE and keeps\n"
+      "                      INSERTed transactions for exact mining\n"
+      "  --bits N            when no --index: create empty (default 1600)\n"
+      "  --hashes N          when no --index: hashes per item (default 4)\n"
+      "  --segment-capacity N  transactions per segment (default 4096)\n"
+      "  --host A.B.C.D      bind address (default 127.0.0.1)\n"
+      "  --port N            TCP port; 0 = ephemeral (default 7071)\n"
+      "  --threads N         per-batch worker threads (0 = hw threads)\n"
+      "  --max-pending N     admission-queue bound (default 1024)\n"
+      "  --max-batch N       requests fused per batch (default 256)\n"
+      "  --minsup F          default MINE minimum support (default 0.003)\n"
+      "  --report-out FILE   write the service report on shutdown\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && (std::strcmp(argv[1], "--help") == 0 ||
+                   std::strcmp(argv[1], "-h") == 0)) {
+    Usage();
+    return 0;
+  }
+  Args args(argc, argv, 1);
+
+  uint64_t segment_capacity = args.GetUint("segment-capacity", 4096);
+  if (segment_capacity == 0) {
+    std::cerr << "bbsmined: --segment-capacity must be positive\n";
+    return 2;
+  }
+
+  // Assemble the snapshot manager from the requested source.
+  std::optional<service::SnapshotManager> index;
+  std::string index_arg = args.GetString("index");
+  if (!index_arg.empty()) {
+    if (FileExists(index_arg + ".manifest")) {
+      auto segmented = SegmentedBbs::Load(index_arg);
+      if (!segmented.ok()) Die(segmented.status());
+      auto manager = service::SnapshotManager::FromIndex(*segmented);
+      if (!manager.ok()) Die(manager.status());
+      index.emplace(std::move(*manager));
+    } else {
+      auto monolithic = BbsIndex::Load(index_arg);
+      if (!monolithic.ok()) Die(monolithic.status());
+      auto manager =
+          service::SnapshotManager::FromIndex(*monolithic, segment_capacity);
+      if (!manager.ok()) Die(manager.status());
+      index.emplace(std::move(*manager));
+    }
+  } else {
+    BbsConfig config;
+    config.num_bits = static_cast<uint32_t>(args.GetUint("bits", 1600));
+    config.num_hashes = static_cast<uint32_t>(args.GetUint("hashes", 4));
+    auto manager = service::SnapshotManager::Create(config, segment_capacity);
+    if (!manager.ok()) Die(manager.status());
+    index.emplace(std::move(*manager));
+  }
+
+  std::optional<TransactionDatabase> db;
+  if (std::string path = args.GetString("db"); !path.empty()) {
+    auto loaded = TransactionDatabase::Load(path);
+    if (!loaded.ok()) Die(loaded.status());
+    db.emplace(std::move(*loaded));
+    if (db->size() != index->num_transactions()) {
+      std::cerr << "bbsmined: index/database mismatch: "
+                << index->num_transactions() << " vs " << db->size()
+                << " transactions\n";
+      return 1;
+    }
+  }
+
+  service::ServiceOptions options;
+  options.scheduler.num_threads = args.GetUint("threads", 0);
+  options.scheduler.max_pending = args.GetUint("max-pending", 1024);
+  options.scheduler.max_batch = args.GetUint("max-batch", 256);
+  options.default_min_support = args.GetDouble("minsup", 0.003);
+  service::BbsService bbs_service(&*index, db ? &*db : nullptr, options);
+
+  service::SocketServerOptions server_options;
+  server_options.host = args.GetString("host", "127.0.0.1");
+  server_options.port = static_cast<uint16_t>(args.GetUint("port", 7071));
+  service::SocketServer server(&bbs_service, server_options);
+  if (Status started = server.Start(); !started.ok()) Die(started);
+
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGINT, HandleSignal);
+
+  // The smoke script parses this line to learn the ephemeral port.
+  std::printf("bbsmined listening on %s:%u (%zu transactions, epoch %llu)\n",
+              server_options.host.c_str(), server.port(),
+              index->num_transactions(),
+              static_cast<unsigned long long>(index->epoch()));
+  std::fflush(stdout);
+
+  while (!g_stop.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  std::printf("bbsmined draining...\n");
+  std::fflush(stdout);
+  server.Stop();
+  bbs_service.Drain();
+  if (std::string path = args.GetString("report-out"); !path.empty()) {
+    obs::JsonValue report = bbs_service.BuildStatsReport();
+    if (Status written = obs::WriteJsonFile(report, path); !written.ok()) {
+      std::cerr << "bbsmined: cannot write report: " << written.ToString()
+                << "\n";
+      return 1;
+    }
+    std::printf("bbsmined wrote service report to %s\n", path.c_str());
+  }
+  std::printf("bbsmined exited cleanly (epoch %llu, %zu transactions)\n",
+              static_cast<unsigned long long>(index->epoch()),
+              index->num_transactions());
+  return 0;
+}
