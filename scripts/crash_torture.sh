@@ -1,0 +1,202 @@
+#!/usr/bin/env bash
+# Crash-torture harness for bbsmined durability (run by the CI
+# crash-recovery job, and runnable locally):
+#
+#   repeat N times:
+#     1. start bbsmined with --durable-dir on an ephemeral port;
+#     2. fire a sequential INSERT burst, recording each itemset to an
+#        "acked" oracle log only after the client saw the OK response;
+#     3. kill -9 the daemon mid-burst;
+#     4. restart, and reconcile: the recovered transaction count must be
+#        exactly the acked count, or acked+1 (one insert can be in the WAL
+#        with its response lost to the kill — that itemset is appended to
+#        the oracle log);
+#     5. rebuild an offline index from the oracle log and diff a query mix
+#        count-for-count against the daemon (must be bit-identical);
+#     6. on even cycles, issue an explicit CHECKPOINT so recovery
+#        alternates between checkpoint+WAL-suffix and WAL-heavy replay.
+#
+#   then the torn-tail leg: with the daemon down, append a partial WAL
+#   frame (a header claiming more payload than is present — what a torn
+#   append looks like), restart, and require recovery to truncate and
+#   report the torn bytes without losing any acknowledged insert. Finish
+#   with a graceful SIGTERM drain.
+#
+# Usage: scripts/crash_torture.sh [BUILD_DIR] [CYCLES]   (default: build, 5)
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+CYCLES="${2:-5}"
+BBSMINE="$BUILD_DIR/tools/bbsmine"
+BBSMINED="$BUILD_DIR/tools/bbsmined"
+WORK="$(mktemp -d)"
+DUR="$WORK/durable"
+ACKED="$WORK/acked.fimi"
+DAEMON_PID=""
+PORT=""
+
+# Matches the daemon's empty-index defaults below; the offline oracle must
+# build with the identical config or the diff is meaningless.
+BITS=800
+HASHES=3
+SEGCAP=64
+
+cleanup() {
+  if [[ -n "$DAEMON_PID" ]] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+    kill -KILL "$DAEMON_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+: > "$ACKED"
+
+# The global insert sequence: itemset #n is a deterministic function of n,
+# so "the first R transactions" is always reconstructible.
+itemset_for() {
+  local n=$1
+  echo "$((n % 40)),$((40 + (n * 7) % 40)),$((80 + (n * 3) % 40))"
+}
+
+start_daemon() {
+  local log=$1
+  "$BBSMINED" --durable-dir "$DUR" --bits "$BITS" --hashes "$HASHES" \
+    --segment-capacity "$SEGCAP" --fsync always --checkpoint-every 16 \
+    --port 0 > "$log" 2>&1 &
+  DAEMON_PID=$!
+  PORT=""
+  for _ in $(seq 1 50); do
+    PORT=$(sed -n 's/^bbsmined listening on [0-9.]*:\([0-9]*\).*/\1/p' \
+      "$log" | head -1)
+    [[ -n "$PORT" ]] && break
+    kill -0 "$DAEMON_PID" || { cat "$log"; exit 1; }
+    sleep 0.2
+  done
+  [[ -n "$PORT" ]] || { echo "daemon never reported its port"; cat "$log"; exit 1; }
+}
+
+daemon_transactions() {
+  "$BBSMINE" client --port "$PORT" --verb STATS --json | python3 -c \
+    "import json,sys;r=json.load(sys.stdin);assert r['ok'],r;\
+print(r['report']['service']['transactions'])"
+}
+
+oracle_rebuild() {
+  tr ',' ' ' < "$ACKED" > "$WORK/oracle.fimi"
+  "$BBSMINE" convert --in "$WORK/oracle.fimi" --out "$WORK/oracle.db" \
+    >/dev/null
+  "$BBSMINE" build --db "$WORK/oracle.db" --out "$WORK/oracle.seg" \
+    --bits "$BITS" --hashes "$HASHES" --segment-capacity "$SEGCAP" >/dev/null
+}
+
+QUERIES=(5 45 85 "5,45" "13,53" "0,40,80" 39 "7,49,101")
+
+verify_against_oracle() {
+  oracle_rebuild
+  for q in "${QUERIES[@]}"; do
+    daemon_count=$("$BBSMINE" client --port "$PORT" --verb COUNT \
+      --items "$q" --json | python3 -c \
+      "import json,sys;r=json.load(sys.stdin);assert r['ok'],r;print(r['count'])")
+    oracle_count=$("$BBSMINE" count --index "$WORK/oracle.seg" \
+      --items "$q" | sed -n 's/^ *estimate \([0-9][0-9]*\).*/\1/p')
+    if [[ "$daemon_count" != "$oracle_count" ]]; then
+      echo "MISMATCH on {$q}: daemon=$daemon_count oracle=$oracle_count"
+      exit 1
+    fi
+  done
+}
+
+for cycle in $(seq 1 "$CYCLES"); do
+  echo "== cycle $cycle/$CYCLES"
+  start_daemon "$WORK/daemon.$cycle.log"
+  grep -q "bbsmined recovery:" "$WORK/daemon.$cycle.log" || {
+    echo "no recovery line"; cat "$WORK/daemon.$cycle.log"; exit 1; }
+
+  # Sequential insert burst: record an itemset only after its OK response.
+  (
+    n=$(wc -l < "$ACKED")
+    while true; do
+      items=$(itemset_for "$n")
+      "$BBSMINE" client --port "$PORT" --verb INSERT --items "$items" \
+        >/dev/null 2>&1 || break
+      echo "$items" >> "$ACKED"
+      n=$((n + 1))
+    done
+  ) &
+  BURST_PID=$!
+
+  # Vary the kill point cycle to cycle so different WAL/checkpoint phases
+  # are hit (the sleep is in whole tenths to stay portable).
+  sleep "1.$((cycle % 4))"
+  kill -KILL "$DAEMON_PID"
+  wait "$DAEMON_PID" 2>/dev/null || true
+  DAEMON_PID=""
+  wait "$BURST_PID" 2>/dev/null || true
+
+  acked=$(wc -l < "$ACKED")
+  [[ "$acked" -gt 0 ]] || { echo "burst never landed an insert"; exit 1; }
+
+  start_daemon "$WORK/recovery.$cycle.log"
+  grep -q "bbsmined recovery:" "$WORK/recovery.$cycle.log" || {
+    echo "no recovery line"; cat "$WORK/recovery.$cycle.log"; exit 1; }
+  recovered=$(daemon_transactions)
+
+  # Reconcile the at-most-one in-flight insert whose response the kill ate.
+  if [[ "$recovered" -eq $((acked + 1)) ]]; then
+    itemset_for "$acked" >> "$ACKED"
+    echo "   reconciled one in-flight insert (acked $acked -> $recovered)"
+    acked=$recovered
+  fi
+  if [[ "$recovered" -ne "$acked" ]]; then
+    echo "LOST ACKNOWLEDGED DATA: acked=$acked recovered=$recovered"
+    cat "$WORK/recovery.$cycle.log"
+    exit 1
+  fi
+
+  verify_against_oracle
+  echo "   $recovered transactions survived kill -9; counts match oracle"
+
+  if (( cycle % 2 == 0 )); then
+    "$BBSMINE" client --port "$PORT" --verb CHECKPOINT >/dev/null
+    echo "   explicit CHECKPOINT taken"
+  fi
+
+  kill -KILL "$DAEMON_PID"
+  wait "$DAEMON_PID" 2>/dev/null || true
+  DAEMON_PID=""
+done
+
+echo "== torn-tail leg"
+# A torn append: a frame header claiming 9999 payload bytes with only 8
+# behind it. Recovery must truncate it, report the bytes, and lose nothing.
+python3 - "$DUR/wal" <<'EOF'
+import struct, sys
+with open(sys.argv[1], 'ab') as f:
+    f.write(struct.pack('<II', 9999, 0) + b'\x00' * 4)
+EOF
+
+acked=$(wc -l < "$ACKED")
+start_daemon "$WORK/torn.log"
+torn=$(sed -n 's/.*torn_tail_bytes=\([0-9]*\).*/\1/p' "$WORK/torn.log" | head -1)
+[[ -n "$torn" && "$torn" -gt 0 ]] || {
+  echo "torn tail was not reported"; cat "$WORK/torn.log"; exit 1; }
+recovered=$(daemon_transactions)
+[[ "$recovered" -eq "$acked" ]] || {
+  echo "torn-tail recovery lost data: acked=$acked recovered=$recovered"
+  exit 1
+}
+verify_against_oracle
+echo "   torn tail of $torn bytes truncated; all $recovered transactions intact"
+
+echo "== graceful SIGTERM drain"
+kill -TERM "$DAEMON_PID"
+EXIT_CODE=0
+wait "$DAEMON_PID" || EXIT_CODE=$?
+DAEMON_PID=""
+[[ "$EXIT_CODE" -eq 0 ]] || {
+  echo "daemon exited with $EXIT_CODE"; cat "$WORK/torn.log"; exit 1; }
+grep -q "bbsmined checkpointed" "$WORK/torn.log" || {
+  echo "no shutdown checkpoint"; cat "$WORK/torn.log"; exit 1; }
+
+echo "crash torture PASSED ($CYCLES kill -9 cycles, $(wc -l < "$ACKED") acked inserts)"

@@ -9,7 +9,10 @@
 #      saved index (the daemon must be bit-identical);
 #   4. exercise INSERT and verify counts move with the new epoch;
 #   5. SIGTERM the daemon and require a clean exit plus a schema-valid
-#      service report with non-empty latency histograms.
+#      service report with non-empty latency histograms;
+#   6. durable leg: restart with --durable-dir, INSERT, SIGTERM, restart
+#      again and require the insert to survive — checking the recovery
+#      counters in both the startup banner and the STATS report.
 #
 # Usage: scripts/daemon_smoke.sh [BUILD_DIR]   (default: build)
 
@@ -127,5 +130,68 @@ assert m['counters']['requests_count'] == m['latency_us']['count']['total']
 print('service report OK:', m['counters']['requests_total'], 'requests,',
       svc['transactions'], 'transactions at epoch', svc['epoch'])
 EOF
+
+echo "== durable leg: INSERT -> SIGTERM -> restart -> COUNT"
+DUR="$WORK/durable"
+
+start_durable() {
+  local log=$1
+  "$BBSMINED" --durable-dir "$DUR" --index "$WORK/smoke.seg" \
+    --db "$WORK/smoke.db" --fsync always --port 0 > "$log" 2>&1 &
+  DAEMON_PID=$!
+  PORT=""
+  for _ in $(seq 1 50); do
+    PORT=$(sed -n 's/^bbsmined listening on [0-9.]*:\([0-9]*\).*/\1/p' \
+      "$log" | head -1)
+    [[ -n "$PORT" ]] && break
+    kill -0 "$DAEMON_PID" || { cat "$log"; exit 1; }
+    sleep 0.2
+  done
+  [[ -n "$PORT" ]] || { echo "daemon never reported its port"; exit 1; }
+}
+
+start_durable "$WORK/durable1.log"
+grep -q "bbsmined recovery:" "$WORK/durable1.log" || {
+  echo "durable start printed no recovery line"; cat "$WORK/durable1.log"
+  exit 1; }
+
+before=$("$BBSMINE" client --port "$PORT" --verb COUNT --items "3,17,42" \
+  --json | python3 -c "import json,sys;print(json.load(sys.stdin)['count'])")
+"$BBSMINE" client --port "$PORT" --verb INSERT --items "3,17,42" >/dev/null
+
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" || { echo "durable daemon died on SIGTERM"; exit 1; }
+DAEMON_PID=""
+grep -q "bbsmined checkpointed" "$WORK/durable1.log" || {
+  echo "no shutdown checkpoint"; cat "$WORK/durable1.log"; exit 1; }
+
+start_durable "$WORK/durable2.log"
+after=$("$BBSMINE" client --port "$PORT" --verb COUNT --items "3,17,42" \
+  --json | python3 -c "import json,sys;print(json.load(sys.stdin)['count'])")
+[[ "$after" -eq $((before + 1)) ]] || {
+  echo "insert lost across restart: $before -> $after"; exit 1; }
+echo "   count {3,17,42} survived the restart: $before -> $after"
+
+"$BBSMINE" client --port "$PORT" --verb STATS --json > "$WORK/durable-stats.json"
+python3 - "$WORK/durable-stats.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r['ok'], r
+d = r['report']['durability']
+assert d['enabled'] is True
+for key in ('fsync_policy', 'checkpoint_every', 'wal_appends', 'wal_bytes',
+            'checkpoints', 'checkpoint_loaded', 'recovered_records',
+            'torn_tail_bytes', 'recovery_seconds'):
+    assert key in d, f'missing durability.{key}'
+assert d['fsync_policy'] == 'always'
+assert d['checkpoint_loaded'] is True, 'restart should load the checkpoint'
+assert d['torn_tail_bytes'] == 0
+print('durability report OK: checkpoint loaded,',
+      d['recovered_records'], 'WAL records replayed')
+EOF
+
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" || { echo "durable daemon died on SIGTERM"; exit 1; }
+DAEMON_PID=""
 
 echo "daemon smoke test PASSED"

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <string_view>
 
 #include "storage/transaction_db.h"
 #include "util/bitvector_kernels.h"
@@ -26,7 +27,7 @@ void AppendU64(std::string* out, uint64_t v) {
   for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
 }
 
-bool ReadU32(const std::string& in, size_t* pos, uint32_t* v) {
+bool ReadU32(std::string_view in, size_t* pos, uint32_t* v) {
   if (*pos + 4 > in.size()) return false;
   uint32_t out = 0;
   for (int i = 0; i < 4; ++i) {
@@ -37,7 +38,7 @@ bool ReadU32(const std::string& in, size_t* pos, uint32_t* v) {
   return true;
 }
 
-bool ReadU64(const std::string& in, size_t* pos, uint64_t* v) {
+bool ReadU64(std::string_view in, size_t* pos, uint64_t* v) {
   if (*pos + 8 > in.size()) return false;
   uint64_t out = 0;
   for (int i = 0; i < 8; ++i) {
@@ -331,7 +332,7 @@ void BbsIndex::ChargeFullScan(IoStats* io, uint32_t block_size) const {
   }
 }
 
-Status BbsIndex::Save(const std::string& path) const {
+std::string BbsIndex::Serialize() const {
   std::string payload;
   AppendU32(&payload, config_.num_bits);
   AppendU32(&payload, config_.num_hashes);
@@ -351,14 +352,21 @@ Status BbsIndex::Save(const std::string& path) const {
   AppendU32(&file, kFormatVersion);
   AppendU32(&file, Crc32(payload));
   file += payload;
+  return file;
+}
 
-  return WriteBinaryFile(path, file);
+Status BbsIndex::Save(const std::string& path) const {
+  return WriteBinaryFile(path, Serialize());
 }
 
 Result<BbsIndex> BbsIndex::Load(const std::string& path) {
   Result<std::string> contents = ReadBinaryFile(path);
   if (!contents.ok()) return contents.status();
-  const std::string& file = *contents;
+  return Deserialize(*contents, path);
+}
+
+Result<BbsIndex> BbsIndex::Deserialize(std::string_view file,
+                                       const std::string& path) {
   if (file.size() < sizeof(kMagic) + 8 ||
       std::memcmp(file.data(), kMagic, sizeof(kMagic)) != 0) {
     return Status::Corruption("bad magic in " + path);

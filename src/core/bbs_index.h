@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/bbs_config.h"
@@ -140,7 +141,18 @@ class BbsIndex {
   /// Charges a full sequential pass over all slices to `io`.
   void ChargeFullScan(IoStats* io, uint32_t block_size = 4096) const;
 
-  /// Writes the index to `path`.
+  /// Serializes the index into the on-disk byte layout (magic + version +
+  /// CRC + payload). Save is Serialize + one atomic file write; exposed
+  /// separately so multi-file containers (SegmentedBbs manifests,
+  /// checkpoints) can checksum and write segment images themselves.
+  std::string Serialize() const;
+
+  /// Parses bytes produced by Serialize. `context` names the source (file
+  /// path) in error messages.
+  static Result<BbsIndex> Deserialize(std::string_view file,
+                                      const std::string& context);
+
+  /// Writes the index to `path` (atomic replace; see util/file_io.h).
   Status Save(const std::string& path) const;
 
   /// Reads an index previously written by Save.

@@ -9,13 +9,67 @@ namespace bbsmine {
 
 namespace {
 
-constexpr char kManifestMagic[8] = {'B', 'B', 'S', 'S', 'E', 'G', '0', '1'};
+// "BBSSEG02": v2 adds a save-epoch stamp and per-segment {txn count, file
+// CRC} entries so Load can prove the manifest and the segment files belong
+// to the same save generation.
+constexpr char kManifestMagic[8] = {'B', 'B', 'S', 'S', 'E', 'G', '0', '2'};
+constexpr size_t kManifestFixedPayload = 32;  // capacity, count, txns, epoch
+constexpr size_t kManifestPerSegment = 12;    // txn count u64 + file crc u32
 
-std::string SegmentPath(const std::string& prefix, size_t idx) {
-  return prefix + ".seg" + std::to_string(idx);
+void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+uint32_t ParseU32(const std::string& in, size_t* pos) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(in[*pos + i])) << (8 * i);
+  }
+  *pos += 4;
+  return v;
+}
+
+uint64_t ParseU64(const std::string& in, size_t* pos) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(in[*pos + i])) << (8 * i);
+  }
+  *pos += 8;
+  return v;
 }
 
 }  // namespace
+
+std::string SegmentFilePath(const std::string& prefix, size_t idx) {
+  return prefix + ".seg" + std::to_string(idx);
+}
+
+Status WriteSegmentedManifest(const std::string& prefix, uint64_t capacity,
+                              uint64_t num_transactions, uint64_t epoch,
+                              const std::vector<SegmentFileInfo>& segments,
+                              const WriteFileOptions& options) {
+  std::string payload;
+  payload.reserve(kManifestFixedPayload +
+                  kManifestPerSegment * segments.size());
+  AppendU64(&payload, capacity);
+  AppendU64(&payload, segments.size());
+  AppendU64(&payload, num_transactions);
+  AppendU64(&payload, epoch);
+  for (const SegmentFileInfo& info : segments) {
+    AppendU64(&payload, info.num_transactions);
+    AppendU32(&payload, info.crc);
+  }
+
+  std::string file;
+  file.append(kManifestMagic, sizeof(kManifestMagic));
+  AppendU32(&file, Crc32(payload));
+  file += payload;
+  return WriteBinaryFile(prefix + ".manifest", file, options);
+}
 
 Result<SegmentedBbs> SegmentedBbs::Create(const BbsConfig& config,
                                           uint64_t segment_capacity) {
@@ -112,69 +166,75 @@ uint64_t SegmentedBbs::SerializedBytes() const {
 }
 
 Status SegmentedBbs::Save(const std::string& prefix) const {
-  // Manifest: magic, segment capacity, segment count, crc over the numeric
-  // payload.
-  std::string payload;
-  for (uint64_t v : {segment_capacity_, static_cast<uint64_t>(segments_.size()),
-                     static_cast<uint64_t>(num_transactions_)}) {
-    for (int i = 0; i < 8; ++i) payload.push_back(static_cast<char>(v >> (8 * i)));
-  }
-  std::string file;
-  file.append(kManifestMagic, sizeof(kManifestMagic));
-  uint32_t crc = Crc32(payload);
-  for (int i = 0; i < 4; ++i) file.push_back(static_cast<char>(crc >> (8 * i)));
-  file += payload;
-
-  BBSMINE_RETURN_IF_ERROR(WriteBinaryFile(prefix + ".manifest", file));
-
+  // Segments first, manifest last: the manifest's atomic rename is the
+  // commit point, and until it lands any previous manifest keeps describing
+  // the previous (still intact, CRC-verified) generation.
+  std::vector<SegmentFileInfo> infos;
+  infos.reserve(segments_.size());
   for (size_t idx = 0; idx < segments_.size(); ++idx) {
-    BBSMINE_RETURN_IF_ERROR(segments_[idx].Save(SegmentPath(prefix, idx)));
+    std::string image = segments_[idx].Serialize();
+    BBSMINE_RETURN_IF_ERROR(
+        WriteBinaryFile(SegmentFilePath(prefix, idx), image));
+    infos.push_back(
+        SegmentFileInfo{segments_[idx].num_transactions(), Crc32(image)});
   }
-  return Status::Ok();
+  return WriteSegmentedManifest(prefix, segment_capacity_, num_transactions_,
+                                /*epoch=*/0, infos);
 }
 
-Result<SegmentedBbs> SegmentedBbs::Load(const std::string& prefix) {
+Result<SegmentedBbs> SegmentedBbs::Load(const std::string& prefix,
+                                        uint64_t* epoch) {
   Result<std::string> contents = ReadBinaryFile(prefix + ".manifest");
   if (!contents.ok()) return contents.status();
   const std::string& file = *contents;
-  if (file.size() != sizeof(kManifestMagic) + 4 + 24 ||
+  const size_t header = sizeof(kManifestMagic) + 4;
+  if (file.size() < header + kManifestFixedPayload ||
       file.compare(0, sizeof(kManifestMagic), kManifestMagic,
                    sizeof(kManifestMagic)) != 0) {
     return Status::Corruption("bad manifest " + prefix);
   }
   size_t pos = sizeof(kManifestMagic);
-  uint32_t expected_crc = 0;
-  for (int i = 0; i < 4; ++i) {
-    expected_crc |=
-        static_cast<uint32_t>(static_cast<uint8_t>(file[pos + i])) << (8 * i);
-  }
-  pos += 4;
+  uint32_t expected_crc = ParseU32(file, &pos);
   if (Crc32(std::string_view(file.data() + pos, file.size() - pos)) !=
       expected_crc) {
     return Status::Corruption("manifest checksum mismatch " + prefix);
   }
-  uint64_t values[3] = {0, 0, 0};
-  for (uint64_t& v : values) {
-    for (int i = 0; i < 8; ++i) {
-      v |= static_cast<uint64_t>(static_cast<uint8_t>(file[pos + i]))
-           << (8 * i);
-    }
-    pos += 8;
-  }
-
-  uint64_t capacity = values[0];
-  uint64_t segment_count = values[1];
-  uint64_t num_transactions = values[2];
+  uint64_t capacity = ParseU64(file, &pos);
+  uint64_t segment_count = ParseU64(file, &pos);
+  uint64_t num_transactions = ParseU64(file, &pos);
+  uint64_t save_epoch = ParseU64(file, &pos);
   if (capacity == 0 || segment_count == 0) {
     return Status::Corruption("degenerate manifest " + prefix);
+  }
+  if (file.size() !=
+      header + kManifestFixedPayload + kManifestPerSegment * segment_count) {
+    return Status::Corruption("manifest size disagrees with segment count " +
+                              prefix);
   }
 
   std::vector<BbsIndex> segments;
   segments.reserve(segment_count);
   uint64_t loaded_transactions = 0;
   for (size_t idx = 0; idx < segment_count; ++idx) {
-    Result<BbsIndex> segment = BbsIndex::Load(SegmentPath(prefix, idx));
+    uint64_t manifest_txns = ParseU64(file, &pos);
+    uint32_t manifest_crc = ParseU32(file, &pos);
+    const std::string path = SegmentFilePath(prefix, idx);
+    Result<std::string> image = ReadBinaryFile(path);
+    if (!image.ok()) return image.status();
+    // The file CRC ties this segment to this manifest's generation: a
+    // segment left over from (or overwritten by) a different save fails
+    // here even though it is a perfectly valid BbsIndex on its own.
+    if (Crc32(*image) != manifest_crc) {
+      return Status::Corruption("segment file " + path +
+                                " does not match manifest (stale or "
+                                "mixed-generation segment set)");
+    }
+    Result<BbsIndex> segment = BbsIndex::Deserialize(*image, path);
     if (!segment.ok()) return segment.status();
+    if (segment->num_transactions() != manifest_txns) {
+      return Status::Corruption("segment " + path +
+                                " transaction count disagrees with manifest");
+    }
     loaded_transactions += segment->num_transactions();
     segments.push_back(std::move(segment).value());
   }
@@ -183,6 +243,7 @@ Result<SegmentedBbs> SegmentedBbs::Load(const std::string& prefix) {
                               "manifest for " + prefix);
   }
 
+  if (epoch != nullptr) *epoch = save_epoch;
   SegmentedBbs out(segments.front().config(), capacity);
   out.segments_ = std::move(segments);
   out.num_transactions_ = loaded_transactions;

@@ -29,8 +29,33 @@
 
 #include "core/bbs_index.h"
 #include "obs/trace.h"
+#include "util/file_io.h"
 
 namespace bbsmine {
+
+/// One segment file's manifest entry: its transaction count and the CRC-32
+/// of the complete serialized file. The CRC binds manifest and segment
+/// files into one generation — a manifest paired with a stale or
+/// mixed-generation segment set fails Load with Corruption instead of
+/// silently combining files from different saves.
+struct SegmentFileInfo {
+  uint64_t num_transactions = 0;
+  uint32_t crc = 0;
+};
+
+/// Path of segment `idx` under `prefix` ("<prefix>.seg<idx>").
+std::string SegmentFilePath(const std::string& prefix, size_t idx);
+
+/// Writes `<prefix>.manifest` (atomic replace) describing already-written
+/// segment files. The manifest is the commit point of a multi-file save:
+/// callers write every segment first, then publish them all at once here.
+/// `epoch` stamps the generation (0 for offline saves; checkpoint saves
+/// record the covered snapshot epoch).
+Status WriteSegmentedManifest(const std::string& prefix, uint64_t capacity,
+                              uint64_t num_transactions, uint64_t epoch,
+                              const std::vector<SegmentFileInfo>& segments,
+                              const WriteFileOptions& options =
+                                  WriteFileOptions());
 
 /// A BBS split into fixed-capacity segments.
 class SegmentedBbs {
@@ -93,14 +118,22 @@ class SegmentedBbs {
   /// Total serialized size of all segments, in bytes.
   uint64_t SerializedBytes() const;
 
-  /// Writes the index as `<prefix>.manifest` plus one
-  /// `<prefix>.seg<N>` file per segment. Sealed segments whose files
+  /// Writes the index as one `<prefix>.seg<N>` file per segment plus
+  /// `<prefix>.manifest`. The segment files are written first and the
+  /// manifest last (atomically), so a crash mid-save leaves either the
+  /// previous complete generation or the new one — never a manifest
+  /// pointing at missing or stale segments. Sealed segments whose files
   /// already exist are rewritten (callers may skip unchanged ones by
   /// managing prefixes per epoch).
   Status Save(const std::string& prefix) const;
 
-  /// Reads an index previously written by Save.
-  static Result<SegmentedBbs> Load(const std::string& prefix);
+  /// Reads an index previously written by Save (or by a checkpoint).
+  /// Verifies each segment file's CRC against the manifest and fails with
+  /// Corruption on an epoch-inconsistent (mixed-generation) segment set.
+  /// `epoch`, when non-null, receives the generation stamp the manifest
+  /// was saved with.
+  static Result<SegmentedBbs> Load(const std::string& prefix,
+                                   uint64_t* epoch = nullptr);
 
   bool operator==(const SegmentedBbs& other) const;
 

@@ -1,0 +1,79 @@
+#include "service/client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "service/wire.h"
+#include "util/socket.h"
+
+namespace bbsmine::service {
+
+namespace {
+
+bool IsBackpressureResponse(const obs::JsonValue& response) {
+  if (response.kind() != obs::JsonValue::Kind::kObject ||
+      !response.Has("ok") || response.at("ok").AsBool()) {
+    return false;
+  }
+  if (!response.Has("error") ||
+      response.at("error").kind() != obs::JsonValue::Kind::kObject ||
+      !response.at("error").Has("code")) {
+    return false;
+  }
+  return response.at("error").at("code").AsString() ==
+         StatusCodeName(StatusCode::kUnavailable);
+}
+
+}  // namespace
+
+Result<CallOutcome> CallWithRetry(const std::string& host, uint16_t port,
+                                  const obs::JsonValue& request,
+                                  const RetryOptions& options) {
+  uint64_t jitter_state = options.jitter_seed;
+  CallOutcome outcome;
+  Status last_timeout = Status::Ok();
+  for (uint32_t attempt = 0; attempt <= options.retries; ++attempt) {
+    if (attempt > 0) {
+      // Exponential backoff with jitter in [0, base): doubling spreads
+      // retry storms over time, jitter spreads them across clients.
+      uint64_t base = options.backoff_ms;
+      base <<= std::min<uint32_t>(attempt - 1, 20);
+      base = std::min<uint64_t>(base, options.max_backoff_ms);
+      jitter_state = jitter_state * 6364136223846793005ull + 1442695040888963407ull;
+      uint64_t jitter = base > 0 ? (jitter_state >> 33) % base : 0;
+      std::this_thread::sleep_for(std::chrono::milliseconds(base + jitter));
+    }
+    ++outcome.attempts;
+
+    Result<OwnedFd> fd = ConnectTcp(host, port);
+    if (!fd.ok()) return fd.status();  // transport: not retryable
+    BBSMINE_RETURN_IF_ERROR(WriteFrame(fd->get(), request));
+    Result<obs::JsonValue> response = ReadFrame(fd->get(), options.timeout_ms);
+    if (!response.ok()) {
+      if (response.status().code() == StatusCode::kUnavailable) {
+        // Response timeout: the daemon is alive but slow. Retryable.
+        last_timeout = response.status();
+        continue;
+      }
+      return response.status();  // transport: not retryable
+    }
+    outcome.response = std::move(*response);
+    if (IsBackpressureResponse(outcome.response)) {
+      continue;  // admission backpressure: retryable
+    }
+    return outcome;  // definitive answer (ok or a non-retryable error)
+  }
+
+  // Retries exhausted. Prefer reporting the last real response; if every
+  // attempt timed out there is no response to hand back.
+  if (outcome.response.kind() == obs::JsonValue::Kind::kObject) {
+    outcome.backpressure_exhausted = true;
+    return outcome;
+  }
+  return last_timeout.ok()
+             ? Status::Unavailable("retries exhausted")
+             : last_timeout;
+}
+
+}  // namespace bbsmine::service

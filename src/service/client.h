@@ -1,0 +1,66 @@
+// Client-side request helper with retry/backoff on backpressure.
+//
+// The scheduler sheds load by answering Unavailable (admission queue full,
+// service draining); the polite client response is exponential backoff with
+// jitter, not a hot retry loop. CallWithRetry implements exactly that and
+// nothing more: transport errors (connection refused, broken frames) are
+// NOT retried — they signal a dead or misbehaving daemon, and retrying
+// cannot help within one process lifetime; callers that want
+// restart-tolerance (crash harnesses) loop at their own level.
+//
+// What counts as retryable:
+//   * a well-formed response with error code "Unavailable";
+//   * a response-read timeout (ReadFrame's Unavailable) — the daemon is
+//     alive but slow, e.g. a MINE hogging the write mutex.
+//
+// Jitter is deterministic (seeded LCG) so tests and the crash harness are
+// reproducible; real clients pass a varying seed.
+
+#ifndef BBSMINE_SERVICE_CLIENT_H_
+#define BBSMINE_SERVICE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "obs/json.h"
+#include "util/status.h"
+
+namespace bbsmine::service {
+
+struct RetryOptions {
+  /// Additional attempts after the first (0 = single shot).
+  uint32_t retries = 0;
+  /// Base backoff before attempt i is 2^(i-1) * backoff_ms, capped at
+  /// max_backoff_ms, plus jitter in [0, base).
+  uint32_t backoff_ms = 100;
+  uint32_t max_backoff_ms = 5000;
+  /// Per-attempt response timeout.
+  int timeout_ms = 30'000;
+  /// Seed of the deterministic jitter sequence.
+  uint64_t jitter_seed = 1;
+};
+
+struct CallOutcome {
+  obs::JsonValue response;
+  /// Attempts made (1 = no retry needed).
+  uint32_t attempts = 0;
+  /// True when every attempt (retries exhausted) ended in backpressure;
+  /// `response` then holds the final Unavailable error response.
+  bool backpressure_exhausted = false;
+};
+
+/// Connects to `host:port`, sends `request`, and reads the response,
+/// retrying per `options` on backpressure. Returns:
+///  * OK outcome         — a response was obtained (inspect response["ok"];
+///                         backpressure_exhausted marks a final
+///                         Unavailable after all retries);
+///  * error Status       — transport failure (connect/send/read), never
+///                         retried; kUnavailable status only when every
+///                         attempt timed out waiting for a response.
+Result<CallOutcome> CallWithRetry(const std::string& host, uint16_t port,
+                                  const obs::JsonValue& request,
+                                  const RetryOptions& options);
+
+}  // namespace bbsmine::service
+
+#endif  // BBSMINE_SERVICE_CLIENT_H_

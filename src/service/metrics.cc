@@ -9,6 +9,7 @@ ServiceMetrics::ServiceMetrics() {
   requests_insert = registry_.AddCounter("counters.requests_insert");
   requests_mine = registry_.AddCounter("counters.requests_mine");
   requests_stats = registry_.AddCounter("counters.requests_stats");
+  requests_checkpoint = registry_.AddCounter("counters.requests_checkpoint");
   errors = registry_.AddCounter("counters.errors");
   rejected_backpressure =
       registry_.AddCounter("counters.rejected_backpressure");
@@ -26,6 +27,7 @@ ServiceMetrics::ServiceMetrics() {
   latency_insert = registry_.AddHistogram("latency_us.insert");
   latency_mine = registry_.AddHistogram("latency_us.mine");
   latency_stats = registry_.AddHistogram("latency_us.stats");
+  latency_checkpoint = registry_.AddHistogram("latency_us.checkpoint");
   batch_size_hist = registry_.AddHistogram("batch.size");
 }
 
@@ -73,6 +75,24 @@ obs::JsonValue BuildServiceReport(const ServiceReportContext& ctx,
   service.Set("draining", JsonValue::Bool(ctx.draining));
   service.Set("mine_enabled", JsonValue::Bool(ctx.mine_enabled));
   report.Set("service", std::move(service));
+
+  JsonValue durability = JsonValue::Object();
+  durability.Set("enabled", JsonValue::Bool(ctx.durable));
+  if (ctx.durable) {
+    durability.Set("fsync_policy", JsonValue::String(ctx.fsync_policy));
+    durability.Set("checkpoint_every", JsonValue::Uint(ctx.checkpoint_every));
+    durability.Set("wal_appends", JsonValue::Uint(ctx.wal_appends));
+    durability.Set("wal_bytes", JsonValue::Uint(ctx.wal_bytes));
+    durability.Set("wal_fsyncs", JsonValue::Uint(ctx.wal_fsyncs));
+    durability.Set("checkpoints", JsonValue::Uint(ctx.checkpoints));
+    durability.Set("wal_txns_since_checkpoint",
+                   JsonValue::Uint(ctx.wal_txns_since_checkpoint));
+    durability.Set("checkpoint_loaded", JsonValue::Bool(ctx.checkpoint_loaded));
+    durability.Set("recovered_records", JsonValue::Uint(ctx.recovered_records));
+    durability.Set("torn_tail_bytes", JsonValue::Uint(ctx.torn_tail_bytes));
+    durability.Set("recovery_seconds", JsonValue::Double(ctx.recovery_seconds));
+  }
+  report.Set("durability", std::move(durability));
 
   report.Set("metrics", obs::MetricsSectionJson(metrics.Snapshot()));
   return report;

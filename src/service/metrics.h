@@ -51,6 +51,7 @@ class ServiceMetrics {
   size_t requests_insert;
   size_t requests_mine;
   size_t requests_stats;
+  size_t requests_checkpoint;
   size_t errors;                 ///< requests answered with ok=false
   size_t rejected_backpressure;  ///< COUNTs bounced by the admission queue
   size_t batches;                ///< scheduler batches executed
@@ -70,6 +71,7 @@ class ServiceMetrics {
   size_t latency_insert;
   size_t latency_mine;
   size_t latency_stats;
+  size_t latency_checkpoint;
   size_t batch_size_hist;
 
   void Inc(size_t slot, uint64_t n = 1);
@@ -100,6 +102,22 @@ struct ServiceReportContext {
   uint64_t segment_capacity = 0;
   bool draining = false;
   bool mine_enabled = false;
+
+  /// Durability facts (rendered as the report's "durability" section;
+  /// `durable` false renders just {"enabled": false}). Additive — the
+  /// schema version stays 1.
+  bool durable = false;
+  std::string fsync_policy;
+  uint64_t checkpoint_every = 0;
+  uint64_t wal_appends = 0;
+  uint64_t wal_bytes = 0;
+  uint64_t wal_fsyncs = 0;
+  uint64_t checkpoints = 0;
+  uint64_t wal_txns_since_checkpoint = 0;
+  uint64_t recovered_records = 0;
+  uint64_t torn_tail_bytes = 0;
+  double recovery_seconds = 0;
+  bool checkpoint_loaded = false;
 };
 
 /// Builds the schema-versioned service report (STATS payload / shutdown

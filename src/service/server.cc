@@ -1,6 +1,7 @@
 #include "service/server.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
 #include "baseline/eclat.h"
@@ -24,6 +25,7 @@ BbsService::BbsService(SnapshotManager* index, TransactionDatabase* db,
                        const ServiceOptions& options)
     : index_(index),
       db_(db),
+      durability_(options.durability),
       options_(options),
       scheduler_(index, options.scheduler, &metrics_),
       start_(std::chrono::steady_clock::now()) {}
@@ -62,6 +64,10 @@ obs::JsonValue BbsService::Handle(const obs::JsonValue& request) {
     latency_slot = metrics_.latency_stats;
     metrics_.Inc(metrics_.requests_stats);
     response = HandleStats();
+  } else if (verb == "CHECKPOINT") {
+    latency_slot = metrics_.latency_checkpoint;
+    metrics_.Inc(metrics_.requests_checkpoint);
+    response = HandleCheckpoint();
   } else {
     metrics_.Inc(metrics_.errors);
     return ErrorResponse(
@@ -126,12 +132,30 @@ obs::JsonValue BbsService::HandleInsert(const obs::JsonValue& request) {
   uint64_t epoch;
   {
     std::lock_guard<std::mutex> lock(write_mu_);
+    if (durability_ != nullptr) {
+      // WAL first: the batch must be durable (per the fsync policy) before
+      // it can become visible or acknowledged. A failed append leaves the
+      // WAL truncated back to its pre-batch length, so nothing is applied
+      // and the client may safely retry.
+      Status logged = durability_->LogInsert(batch);
+      if (!logged.ok()) return ErrorResponse("INSERT", logged);
+    }
     for (const Itemset& items : batch) {
       Status inserted = index_->Insert(items);
       if (!inserted.ok()) return ErrorResponse("INSERT", inserted);
       if (db_ != nullptr) db_->Append(items);
     }
     epoch = index_->epoch();
+    if (durability_ != nullptr && durability_->ShouldCheckpoint()) {
+      // The batch is already durable in the WAL, so a failed automatic
+      // checkpoint must not fail the insert; it just leaves more WAL to
+      // replay. Surface it and move on.
+      Status checkpointed = durability_->Checkpoint(index_->Acquire(), db_);
+      if (!checkpointed.ok()) {
+        std::fprintf(stderr, "bbsmined: automatic checkpoint failed: %s\n",
+                     checkpointed.ToString().c_str());
+      }
+    }
   }
   metrics_.Inc(metrics_.inserted_transactions, batch.size());
   obs::JsonValue response = OkResponse("INSERT");
@@ -199,6 +223,31 @@ obs::JsonValue BbsService::HandleMine(const obs::JsonValue& request) {
   return response;
 }
 
+obs::JsonValue BbsService::HandleCheckpoint() {
+  if (durability_ == nullptr) {
+    return ErrorResponse(
+        "CHECKPOINT",
+        Status::InvalidArgument(
+            "CHECKPOINT requires the daemon to be started with "
+            "--durable-dir"));
+  }
+  uint64_t epoch;
+  uint64_t transactions;
+  {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    Snapshot snap = index_->Acquire();
+    epoch = snap.epoch();
+    transactions = snap.num_transactions();
+    Status checkpointed = durability_->Checkpoint(snap, db_);
+    if (!checkpointed.ok()) return ErrorResponse("CHECKPOINT", checkpointed);
+  }
+  obs::JsonValue response = OkResponse("CHECKPOINT");
+  response.Set("epoch", obs::JsonValue::Uint(epoch));
+  response.Set("transactions", obs::JsonValue::Uint(transactions));
+  response.Set("checkpoints", obs::JsonValue::Uint(durability_->checkpoints()));
+  return response;
+}
+
 obs::JsonValue BbsService::HandleStats() {
   obs::JsonValue response = OkResponse("STATS");
   response.Set("report", BuildStatsReport());
@@ -218,6 +267,22 @@ obs::JsonValue BbsService::BuildStatsReport() const {
   ctx.segment_capacity = index_->segment_capacity();
   ctx.draining = draining_.load(std::memory_order_relaxed);
   ctx.mine_enabled = db_ != nullptr;
+  if (durability_ != nullptr) {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    ctx.durable = true;
+    ctx.fsync_policy = durability_->fsync_policy_name();
+    ctx.checkpoint_every = durability_->checkpoint_every();
+    ctx.wal_appends = durability_->wal_appends();
+    ctx.wal_bytes = durability_->wal_bytes();
+    ctx.wal_fsyncs = durability_->wal_fsyncs();
+    ctx.checkpoints = durability_->checkpoints();
+    ctx.wal_txns_since_checkpoint = durability_->txns_since_checkpoint();
+    const DurabilityManager::RecoveryInfo& recovery = durability_->recovery();
+    ctx.checkpoint_loaded = recovery.checkpoint_loaded;
+    ctx.recovered_records = recovery.recovered_records;
+    ctx.torn_tail_bytes = recovery.torn_tail_bytes;
+    ctx.recovery_seconds = recovery.recovery_seconds;
+  }
   return BuildServiceReport(ctx, metrics_);
 }
 

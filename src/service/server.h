@@ -34,6 +34,7 @@
 #include <string>
 #include <thread>
 
+#include "service/durability.h"
 #include "service/metrics.h"
 #include "service/scheduler.h"
 #include "service/snapshot.h"
@@ -48,6 +49,10 @@ struct ServiceOptions {
   size_t mine_top = 10;
   /// Minimum support used by MINE when the request has no "minsup".
   double default_min_support = 0.003;
+  /// When non-null, INSERT is write-ahead logged and the CHECKPOINT verb
+  /// is live (see service/durability.h). Owned by the caller; must outlive
+  /// the service. Null = the pre-durability in-memory behavior.
+  DurabilityManager* durability = nullptr;
 };
 
 class BbsService {
@@ -78,13 +83,17 @@ class BbsService {
   obs::JsonValue HandleInsert(const obs::JsonValue& request);
   obs::JsonValue HandleMine(const obs::JsonValue& request);
   obs::JsonValue HandleStats();
+  obs::JsonValue HandleCheckpoint();
 
   SnapshotManager* index_;
   TransactionDatabase* db_;
+  DurabilityManager* durability_;
   ServiceOptions options_;
   ServiceMetrics metrics_;
   CountScheduler scheduler_;
-  std::mutex write_mu_;  // serializes INSERT and MINE
+  // Serializes INSERT, MINE, and CHECKPOINT; mutable so the const STATS
+  // path can take it briefly to read durability counters consistently.
+  mutable std::mutex write_mu_;
   std::atomic<bool> draining_{false};
   std::chrono::steady_clock::time_point start_;
 };

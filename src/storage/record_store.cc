@@ -1,17 +1,23 @@
 #include "storage/record_store.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "util/crc32.h"
+#include "util/file_io.h"
 
 namespace bbsmine {
 
 namespace {
 
 constexpr char kMagic[8] = {'B', 'B', 'S', 'R', 'E', 'C', '0', '1'};
-constexpr uint32_t kFormatVersion = 1;
-// magic + version u32 + count u64 + index offset u64 + index crc u32.
-constexpr uint64_t kHeaderBytes = 8 + 4 + 8 + 8 + 4;
+// v2 adds a CRC over the records region (checked once at Open), so a bit
+// flip inside a record is caught up front instead of silently loading a
+// wrong transaction later.
+constexpr uint32_t kFormatVersion = 2;
+// magic + version u32 + count u64 + index offset u64 + index crc u32 +
+// records crc u32.
+constexpr uint64_t kHeaderBytes = 8 + 4 + 8 + 8 + 4 + 4;
 
 void AppendU32(std::string* out, uint32_t v) {
   for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
@@ -54,18 +60,11 @@ Status RecordStore::Write(const TransactionDatabase& db,
   AppendU64(&file, db.size());
   AppendU64(&file, kHeaderBytes + records.size());  // index offset
   AppendU32(&file, Crc32(footer));
+  AppendU32(&file, Crc32(records));
   file += records;
   file += footer;
 
-  std::unique_ptr<std::FILE, int (*)(std::FILE*)> fp(
-      std::fopen(path.c_str(), "wb"), &std::fclose);
-  if (fp == nullptr) {
-    return StatusFromErrno("cannot open for writing: " + path);
-  }
-  if (std::fwrite(file.data(), 1, file.size(), fp.get()) != file.size()) {
-    return Status::IoError("short write: " + path);
-  }
-  return Status::Ok();
+  return WriteBinaryFile(path, file);
 }
 
 Result<RecordStore> RecordStore::Open(const std::string& path,
@@ -94,11 +93,54 @@ Result<RecordStore> RecordStore::Open(const std::string& path,
   uint64_t count = LoadU64(header + 12);
   uint64_t index_offset = LoadU64(header + 20);
   uint32_t index_crc = LoadU32(header + 28);
+  uint32_t records_crc = LoadU32(header + 32);
   if (index_offset < kHeaderBytes) {
     return Status::Corruption("bad index offset in " + path);
   }
+  // The header fields are not CRC-covered, so cross-check them against the
+  // file size before trusting them: the footer must be exactly count
+  // offsets long and end at EOF. This keeps a flipped `count` bit from
+  // turning into a multi-gigabyte footer allocation below.
+  if (std::fseek(store.file_.get(), 0, SEEK_END) != 0) {
+    return Status::IoError("seek failed in " + path);
+  }
+  long end = std::ftell(store.file_.get());
+  if (end < 0) {
+    return Status::IoError("ftell failed in " + path);
+  }
+  uint64_t file_size = static_cast<uint64_t>(end);
+  if (index_offset > file_size ||
+      file_size - index_offset != count * uint64_t{8} ||
+      count > (file_size - kHeaderBytes) / 8) {
+    return Status::Corruption("header inconsistent with file size in " + path);
+  }
+  if (std::fseek(store.file_.get(), static_cast<long>(kHeaderBytes),
+                 SEEK_SET) != 0) {
+    return Status::IoError("seek failed in " + path);
+  }
   store.records_begin_ = kHeaderBytes;
   store.record_bytes_ = index_offset - kHeaderBytes;
+
+  // One streaming pass over the records region up front: page reads later
+  // serve from verified bytes. (The page cache still earns its keep for
+  // random Read/Probe traffic after Open.)
+  {
+    uint32_t crc = 0;
+    uint64_t remaining = store.record_bytes_;
+    char buf[1 << 16];
+    while (remaining > 0) {
+      size_t want = static_cast<size_t>(
+          std::min<uint64_t>(remaining, sizeof(buf)));
+      if (std::fread(buf, 1, want, store.file_.get()) != want) {
+        return Status::Corruption("truncated records region in " + path);
+      }
+      crc = Crc32(buf, want, crc);
+      remaining -= want;
+    }
+    if (crc != records_crc) {
+      return Status::Corruption("records checksum mismatch in " + path);
+    }
+  }
 
   // Read the footer.
   if (std::fseek(store.file_.get(), static_cast<long>(index_offset),

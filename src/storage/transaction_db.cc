@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "util/crc32.h"
+#include "util/file_io.h"
 
 namespace bbsmine {
 
@@ -119,15 +120,7 @@ Status TransactionDatabase::Save(const std::string& path) const {
   AppendU32(&file, Crc32(payload));
   file += payload;
 
-  std::unique_ptr<std::FILE, int (*)(std::FILE*)> fp(
-      std::fopen(path.c_str(), "wb"), &std::fclose);
-  if (fp == nullptr) {
-    return StatusFromErrno("cannot open for writing: " + path);
-  }
-  if (std::fwrite(file.data(), 1, file.size(), fp.get()) != file.size()) {
-    return Status::IoError("short write: " + path);
-  }
-  return Status::Ok();
+  return WriteBinaryFile(path, file);
 }
 
 Result<TransactionDatabase> TransactionDatabase::Load(

@@ -1,0 +1,206 @@
+#include "util/fault_injector.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace bbsmine {
+
+namespace {
+
+struct FaultRule {
+  bool fails = false;        // any of fail_after/err/short_write was given
+  uint64_t fail_after = 0;   // hits 1..fail_after succeed, later ones fail
+  int error_number = EIO;
+  bool has_short_write = false;
+  size_t short_write = 0;
+  bool has_crash_after = false;
+  uint64_t crash_after = 0;
+  uint64_t hits = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, FaultRule> rules;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();  // leaked: alive at exit
+  return *registry;
+}
+
+bool ParseU64(const std::string& text, uint64_t* out) {
+  if (text.empty()) return false;
+  uint64_t v = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+bool ErrnoByName(const std::string& name, int* out) {
+  static const struct {
+    const char* name;
+    int value;
+  } kNames[] = {
+      {"EIO", EIO},       {"ENOSPC", ENOSPC}, {"EACCES", EACCES},
+      {"ENOENT", ENOENT}, {"EEXIST", EEXIST}, {"EMFILE", EMFILE},
+      {"EROFS", EROFS},   {"EINTR", EINTR},   {"EDQUOT", EDQUOT},
+      {"EPERM", EPERM},   {"EBADF", EBADF},
+  };
+  for (const auto& entry : kNames) {
+    if (name == entry.name) {
+      *out = entry.value;
+      return true;
+    }
+  }
+  uint64_t numeric = 0;
+  if (ParseU64(name, &numeric) && numeric > 0 && numeric < 4096) {
+    *out = static_cast<int>(numeric);
+    return true;
+  }
+  return false;
+}
+
+std::vector<std::string> Split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find(sep, start);
+    if (end == std::string::npos) end = text.size();
+    parts.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+Status ParseSpec(const std::string& spec,
+                 std::map<std::string, FaultRule>* out) {
+  for (const std::string& point_spec : Split(spec, ';')) {
+    if (point_spec.empty()) continue;
+    size_t colon = point_spec.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      return Status::InvalidArgument("fault spec missing 'point:' in \"" +
+                                     point_spec + "\"");
+    }
+    std::string point = point_spec.substr(0, colon);
+    FaultRule rule;
+    for (const std::string& action : Split(point_spec.substr(colon + 1), ',')) {
+      if (action.empty()) continue;
+      size_t eq = action.find('=');
+      std::string key = action.substr(0, eq);
+      std::string value =
+          eq == std::string::npos ? std::string() : action.substr(eq + 1);
+      if (key == "fail_after") {
+        if (!ParseU64(value, &rule.fail_after)) {
+          return Status::InvalidArgument("bad fail_after in \"" + action +
+                                         "\"");
+        }
+        rule.fails = true;
+      } else if (key == "err") {
+        if (!ErrnoByName(value, &rule.error_number)) {
+          return Status::InvalidArgument("unknown errno name \"" + value +
+                                         "\"");
+        }
+        rule.fails = true;
+      } else if (key == "short_write") {
+        uint64_t bytes = 0;
+        if (!ParseU64(value, &bytes)) {
+          return Status::InvalidArgument("bad short_write in \"" + action +
+                                         "\"");
+        }
+        rule.short_write = static_cast<size_t>(bytes);
+        rule.has_short_write = true;
+        rule.fails = true;
+      } else if (key == "crash_after") {
+        if (!ParseU64(value, &rule.crash_after)) {
+          return Status::InvalidArgument("bad crash_after in \"" + action +
+                                         "\"");
+        }
+        rule.has_crash_after = true;
+      } else {
+        return Status::InvalidArgument("unknown fault action \"" + key + "\"");
+      }
+    }
+    (*out)[point] = rule;
+  }
+  return Status::Ok();
+}
+
+// Parses BBSMINE_FAULTS before main so daemons launched by crash tests are
+// armed from their very first I/O call.
+struct EnvArmer {
+  EnvArmer() { FaultInjector::ArmFromEnvironment(); }
+};
+EnvArmer env_armer;
+
+}  // namespace
+
+std::atomic<bool> FaultInjector::armed_{false};
+
+Status FaultInjector::Arm(const std::string& spec) {
+  std::map<std::string, FaultRule> rules;
+  BBSMINE_RETURN_IF_ERROR(ParseSpec(spec, &rules));
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.rules = std::move(rules);
+  armed_.store(!registry.rules.empty(), std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+void FaultInjector::Disarm() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.rules.clear();
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+void FaultInjector::ArmFromEnvironment() {
+  const char* spec = std::getenv("BBSMINE_FAULTS");
+  if (spec == nullptr || spec[0] == '\0') return;
+  Status status = Arm(spec);
+  if (!status.ok()) {
+    std::fprintf(stderr, "fatal: BBSMINE_FAULTS: %s\n",
+                 status.ToString().c_str());
+    std::abort();
+  }
+}
+
+uint64_t FaultInjector::HitCount(const std::string& point) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.rules.find(point);
+  return it == registry.rules.end() ? 0 : it->second.hits;
+}
+
+Status FaultInjector::HitSlow(const char* point, size_t want,
+                              size_t* allowed) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.rules.find(point);
+  if (it == registry.rules.end()) return Status::Ok();
+  FaultRule& rule = it->second;
+  ++rule.hits;
+  if (rule.has_crash_after && rule.hits > rule.crash_after) {
+    // A crash-point: die exactly here, like kill -9 would. 137 = 128+SIGKILL,
+    // so harnesses treat it like a real kill.
+    std::fflush(nullptr);
+    std::_Exit(137);
+  }
+  // A crash-only rule (no fail_after/err/short_write) succeeds until the
+  // crash boundary — it models a kill -9, not a flaky disk.
+  if (!rule.fails) return Status::Ok();
+  if (rule.hits <= rule.fail_after) return Status::Ok();
+  if (allowed != nullptr && rule.has_short_write) {
+    *allowed = rule.short_write < want ? rule.short_write : want;
+  }
+  return StatusFromErrno(rule.error_number, std::string("fault injected at ") +
+                                                point);
+}
+
+}  // namespace bbsmine

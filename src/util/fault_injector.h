@@ -1,0 +1,96 @@
+// Deterministic fault injection for I/O paths.
+//
+// Durability code is dominated by branches that almost never run in
+// production: ENOSPC mid-write, a crash between rename and fsync, a torn
+// record at the WAL tail. Testing those branches by hoping the environment
+// misbehaves is not a strategy, so every file_io / WAL / checkpoint
+// operation consults a named *fault point* first, and a process-wide
+// registry — parsed once from the BBSMINE_FAULTS environment variable or
+// armed programmatically by tests — decides whether that particular call
+// fails, short-writes, or terminates the process at an exact boundary.
+//
+// Spec grammar (BBSMINE_FAULTS or FaultInjector::Arm):
+//
+//   spec       := point_spec (';' point_spec)*
+//   point_spec := point ':' action (',' action)*
+//   action     := 'fail_after' '=' N    first N hits succeed, later ones fail
+//              |  'err' '=' NAME        errno reported on failure (EIO, ENOSPC,
+//                                       EACCES, ...; default EIO)
+//              |  'short_write' '=' K   failing write hits persist only the
+//                                       first K bytes before reporting err
+//              |  'crash_after' '=' N   hit N+1 calls _Exit(137) instead of
+//                                       returning — a kill -9 at that boundary
+//
+// Example: BBSMINE_FAULTS="wal.append:fail_after=3;checkpoint.rename:err=EIO"
+// lets three WAL appends through, fails every later one with EIO, and fails
+// every checkpoint manifest rename immediately.
+//
+// Cost when disarmed: one relaxed atomic load per fault point (the
+// registry is consulted only when armed), so production binaries pay
+// nothing measurable — the micro_bbs instrumentation gate covers this.
+//
+// Thread safety: Hit/HitWrite may be called from any thread. Arm/Disarm
+// must not race with hits (tests arm before starting I/O).
+
+#ifndef BBSMINE_UTIL_FAULT_INJECTOR_H_
+#define BBSMINE_UTIL_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace bbsmine {
+
+class FaultInjector {
+ public:
+  /// True when any fault spec is armed. One relaxed atomic load; the fast
+  /// path for every fault point.
+  static bool Armed() { return armed_.load(std::memory_order_relaxed); }
+
+  /// Replaces the active spec (see the grammar above). An empty spec
+  /// disarms. Returns InvalidArgument on a malformed spec. Hit counters
+  /// reset.
+  static Status Arm(const std::string& spec);
+
+  /// Removes all fault points and clears hit counters.
+  static void Disarm();
+
+  /// Arms from the BBSMINE_FAULTS environment variable if set. Called once
+  /// at process start (from a static initializer); safe to call again. A
+  /// malformed env spec aborts the process — silently ignoring it would
+  /// turn a fault-injection run into a plain run.
+  static void ArmFromEnvironment();
+
+  /// Consults the registry for `point` and counts the hit. Returns OK
+  /// unless this hit is configured to fail; a crash_after boundary calls
+  /// _Exit(137) and does not return.
+  static Status Hit(const char* point) {
+    if (!Armed()) return Status::Ok();
+    return HitSlow(point, /*want=*/0, /*allowed=*/nullptr);
+  }
+
+  /// Hit() for write-shaped points: on a failing hit with short_write=K,
+  /// *allowed is set to min(K, want) so the caller can persist a torn
+  /// prefix before reporting the error. On success *allowed == want.
+  static Status HitWrite(const char* point, size_t want, size_t* allowed) {
+    *allowed = want;
+    if (!Armed()) return Status::Ok();
+    return HitSlow(point, want, allowed);
+  }
+
+  /// Number of times `point` was consulted since the last Arm/Disarm.
+  /// Testing / diagnostics only.
+  static uint64_t HitCount(const std::string& point);
+
+ private:
+  static Status HitSlow(const char* point, size_t want, size_t* allowed);
+
+  static std::atomic<bool> armed_;
+};
+
+}  // namespace bbsmine
+
+#endif  // BBSMINE_UTIL_FAULT_INJECTOR_H_

@@ -1,12 +1,27 @@
-// Whole-file read/write helpers with full error propagation.
+// Whole-file read/write helpers with full error propagation and atomic
+// replacement semantics.
 //
-// The persistence layers (BbsIndex, SegmentedBbs) serialize into an in-memory
-// buffer and write it in one shot. Writing through a bare fopen/fwrite pair
-// silently loses late failures: fwrite may buffer everything and report
-// success, with ENOSPC only surfacing at fflush/fclose time. A full disk
-// could then leave a truncated, CRC-invalid index behind while Save returned
-// OK. These helpers check every step — open, write, flush, close — and turn
-// any failure into Status::IoError.
+// The persistence layers (BbsIndex, SegmentedBbs, TransactionDatabase,
+// RecordStore) serialize into an in-memory buffer and write it in one shot.
+// Two classic failure modes are handled here so callers never have to:
+//
+//  * Late write errors. A bare fopen/fwrite pair may buffer everything and
+//    report success, with ENOSPC only surfacing at fflush/fclose. Every
+//    step — open, write, fsync, close, rename — is checked and surfaced as
+//    Status::IoError carrying the errno text.
+//
+//  * Destroying the previous good file. Opening the destination with
+//    O_TRUNC means a crash or full disk mid-write leaves a truncated,
+//    CRC-invalid file where a valid one used to be. WriteBinaryFile
+//    therefore writes `<path>.tmp` in the same directory, fsyncs it, and
+//    rename(2)s it over the target: readers see either the complete old
+//    file or the complete new one, never a torn hybrid.
+//
+// Every step consults a FaultInjector point ("<prefix>.open",
+// "<prefix>.write", "<prefix>.fsync", "<prefix>.rename" — prefix "file" by
+// default, overridable per call so e.g. checkpoint writes expose
+// "checkpoint.rename"), which is how the robustness tests force ENOSPC,
+// short writes, and crashes at exact boundaries.
 
 #ifndef BBSMINE_UTIL_FILE_IO_H_
 #define BBSMINE_UTIL_FILE_IO_H_
@@ -18,9 +33,22 @@
 
 namespace bbsmine {
 
-/// Writes `data` to `path`, replacing any existing file. Returns IoError if
-/// the file cannot be opened, written, flushed, or closed.
-Status WriteBinaryFile(const std::string& path, std::string_view data);
+struct WriteFileOptions {
+  /// fsync the temp file before rename (and best-effort fsync the parent
+  /// directory after). Disable only for data whose loss on power failure is
+  /// acceptable; kill -9 durability does not need it.
+  bool sync = true;
+  /// FaultInjector point prefix for this write ("file" -> "file.open",
+  /// "file.write", "file.fsync", "file.rename").
+  const char* fault_point = "file";
+};
+
+/// Writes `data` to `path` atomically: the previous file (if any) remains
+/// intact unless the replacement was completely written. Returns IoError if
+/// any step fails; a failed write never leaves a partial file at `path`
+/// (the temp file is unlinked on error).
+Status WriteBinaryFile(const std::string& path, std::string_view data,
+                       const WriteFileOptions& options = WriteFileOptions());
 
 /// Reads the whole file at `path`. Returns IoError if the file cannot be
 /// opened or a read fails.

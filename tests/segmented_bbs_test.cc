@@ -148,5 +148,45 @@ TEST(SegmentedBbsTest, AppendAfterLoadKeepsCounting) {
   RemoveSegments(prefix, loaded->num_segments());
 }
 
+TEST(SegmentedBbsTest, LoadRejectsMixedGenerationSegmentSet) {
+  // Two saves of the same index, with inserts in between, share their
+  // sealed segment files but differ in the tail. Splicing the newer
+  // generation's tail under the older manifest simulates a save that was
+  // interrupted after rewriting segments but before the manifest rename —
+  // the manifest's per-segment CRC must refuse the stale mixture even
+  // though the spliced file is a perfectly valid BbsIndex on its own.
+  auto bbs = SegmentedBbs::Create(SmallConfig(), 5);
+  ASSERT_TRUE(bbs.ok());
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_TRUE(bbs->Insert({static_cast<ItemId>(i)}).ok());
+  }
+  std::string old_gen = TempPrefix("bbsmine_segmented_gen1");
+  ASSERT_TRUE(bbs->Save(old_gen).ok());
+  size_t tail = bbs->num_segments() - 1;
+
+  for (int i = 7; i < 10; ++i) {
+    ASSERT_TRUE(bbs->Insert({static_cast<ItemId>(i)}).ok());
+  }
+  std::string new_gen = TempPrefix("bbsmine_segmented_gen2");
+  ASSERT_TRUE(bbs->Save(new_gen).ok());
+  ASSERT_EQ(bbs->num_segments() - 1, tail) << "tail must not roll over";
+
+  std::filesystem::copy_file(
+      new_gen + ".seg" + std::to_string(tail),
+      old_gen + ".seg" + std::to_string(tail),
+      std::filesystem::copy_options::overwrite_existing);
+
+  auto loaded = SegmentedBbs::Load(old_gen);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption)
+      << loaded.status().ToString();
+  EXPECT_NE(loaded.status().ToString().find("mixed-generation"),
+            std::string::npos)
+      << loaded.status().ToString();
+
+  RemoveSegments(old_gen, bbs->num_segments());
+  RemoveSegments(new_gen, bbs->num_segments());
+}
+
 }  // namespace
 }  // namespace bbsmine

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/segmented_bbs.h"
+#include "service/client.h"
 #include "service/metrics.h"
 #include "service/scheduler.h"
 #include "service/server.h"
@@ -482,6 +483,98 @@ TEST(SocketServerTest, ServesConcurrentClientsBitIdentically) {
     EXPECT_EQ(answers[i], fx.index.CountItemSet(queries[i]))
         << ItemsetToString(queries[i]);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Client retry: behavior against a saturated scheduler, a healthy daemon,
+// and a dead endpoint. Backoffs are shrunk to keep the test fast; jitter is
+// seeded, so the schedule is deterministic.
+
+RetryOptions FastRetry(uint32_t retries) {
+  RetryOptions retry;
+  retry.retries = retries;
+  retry.backoff_ms = 1;
+  retry.max_backoff_ms = 4;
+  retry.timeout_ms = 5'000;
+  return retry;
+}
+
+TEST(ClientRetryTest, SaturatedSchedulerExhaustsRetriesDistinctly) {
+  Fixture fx = MakeFixture(23, 100, 64);
+  auto manager = SnapshotManager::FromIndex(fx.index);
+  ASSERT_TRUE(manager.ok());
+  ServiceOptions options;
+  options.scheduler.max_pending = 0;  // every COUNT admission bounces
+  BbsService service(&*manager, &fx.db, options);
+  SocketServer server(&service, SocketServerOptions{});
+  Status started = server.Start();
+  if (!started.ok()) {
+    GTEST_SKIP() << "cannot bind a loopback socket here: "
+                 << started.ToString();
+  }
+
+  auto outcome =
+      CallWithRetry("127.0.0.1", server.port(), CountRequest({1}),
+                    FastRetry(/*retries=*/3));
+  server.Stop();
+
+  // Backpressure that outlives the retry budget is NOT a transport error:
+  // the call "succeeds" in obtaining a definitive final response, and the
+  // exhaustion is flagged so the CLI can exit with its dedicated code.
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->attempts, 4u);  // 1 initial + 3 retries
+  EXPECT_TRUE(outcome->backpressure_exhausted);
+  EXPECT_FALSE(outcome->response.at("ok").AsBool());
+  EXPECT_EQ(outcome->response.at("error").at("code").AsString(),
+            StatusCodeName(StatusCode::kUnavailable));
+}
+
+TEST(ClientRetryTest, HealthyServiceAnswersOnTheFirstAttempt) {
+  Fixture fx = MakeFixture(24, 150, 64);
+  auto manager = SnapshotManager::FromIndex(fx.index);
+  ASSERT_TRUE(manager.ok());
+  BbsService service(&*manager, &fx.db, ServiceOptions{});
+  SocketServer server(&service, SocketServerOptions{});
+  Status started = server.Start();
+  if (!started.ok()) {
+    GTEST_SKIP() << "cannot bind a loopback socket here: "
+                 << started.ToString();
+  }
+
+  Itemset query{1, 4};
+  auto outcome = CallWithRetry("127.0.0.1", server.port(),
+                               CountRequest(query), FastRetry(3));
+  server.Stop();
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->attempts, 1u);
+  EXPECT_FALSE(outcome->backpressure_exhausted);
+  ASSERT_TRUE(outcome->response.at("ok").AsBool());
+  EXPECT_EQ(outcome->response.at("count").AsUint(),
+            fx.index.CountItemSet(query));
+}
+
+TEST(ClientRetryTest, TransportErrorsAreNotRetried) {
+  // Grab a port that briefly had a listener, then kill it: the connect is
+  // refused, which must surface as an immediate transport error (distinct
+  // from kUnavailable) rather than burn the retry budget.
+  Fixture fx = MakeFixture(25, 50, 64);
+  auto manager = SnapshotManager::FromIndex(fx.index);
+  ASSERT_TRUE(manager.ok());
+  BbsService service(&*manager, &fx.db, ServiceOptions{});
+  SocketServer server(&service, SocketServerOptions{});
+  Status started = server.Start();
+  if (!started.ok()) {
+    GTEST_SKIP() << "cannot bind a loopback socket here: "
+                 << started.ToString();
+  }
+  uint16_t dead_port = server.port();
+  server.Stop();
+
+  auto outcome = CallWithRetry("127.0.0.1", dead_port, CountRequest({1}),
+                               FastRetry(5));
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_NE(outcome.status().code(), StatusCode::kUnavailable)
+      << outcome.status().ToString();
 }
 
 }  // namespace

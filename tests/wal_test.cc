@@ -1,0 +1,332 @@
+// Tests for the write-ahead log: framing, replay, torn-tail semantics,
+// fsync policies, and the append/truncate lifecycle.
+//
+// The crash model throughout: a kill -9 leaves the WAL an exact prefix of
+// the bytes appended, so at most the final record is incomplete. Replay
+// must deliver every complete record, physically truncate a torn tail, and
+// refuse (Corruption) any damage that a torn append cannot produce.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "service/wal.h"
+#include "storage/transaction.h"
+#include "util/crc32.h"
+#include "util/status.h"
+
+namespace bbsmine::service {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() /
+          (std::to_string(::getpid()) + "_" + name))
+      .string();
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary);
+  out << contents;
+}
+
+uint64_t FileSize(const std::string& path) {
+  return static_cast<uint64_t>(std::filesystem::file_size(path));
+}
+
+/// Replays `path` collecting every delivered batch.
+Result<WriteAheadLog::ReplayStats> ReplayAll(
+    const std::string& path, std::vector<std::vector<Itemset>>* batches) {
+  return WriteAheadLog::Replay(path, [&](const std::vector<Itemset>& batch) {
+    batches->push_back(batch);
+    return Status::Ok();
+  });
+}
+
+TEST(FsyncSpecTest, ParsesAllPolicies) {
+  WalOptions options;
+  ASSERT_TRUE(ParseFsyncSpec("always", &options).ok());
+  EXPECT_EQ(options.policy, FsyncPolicy::kAlways);
+  EXPECT_EQ(FsyncPolicyName(options), "always");
+
+  ASSERT_TRUE(ParseFsyncSpec("none", &options).ok());
+  EXPECT_EQ(options.policy, FsyncPolicy::kNone);
+  EXPECT_EQ(FsyncPolicyName(options), "none");
+
+  ASSERT_TRUE(ParseFsyncSpec("every=16", &options).ok());
+  EXPECT_EQ(options.policy, FsyncPolicy::kEveryN);
+  EXPECT_EQ(options.sync_every, 16u);
+  EXPECT_EQ(FsyncPolicyName(options), "every:16");
+}
+
+TEST(FsyncSpecTest, RejectsMalformedSpecs) {
+  WalOptions options;
+  EXPECT_EQ(ParseFsyncSpec("sometimes", &options).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseFsyncSpec("every=0", &options).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseFsyncSpec("every=abc", &options).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseFsyncSpec("", &options).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(WalTest, AppendReplayRoundTrip) {
+  std::string path = TempPath("wal_roundtrip");
+  auto wal = WriteAheadLog::Create(path, /*base_txn_count=*/0, WalOptions());
+  ASSERT_TRUE(wal.ok());
+
+  std::vector<std::vector<Itemset>> written = {
+      {{1, 2, 3}},
+      {{4}, {5, 6}},
+      {{}, {7, 8, 9, 10}},
+  };
+  for (const auto& batch : written) ASSERT_TRUE(wal->Append(batch).ok());
+  EXPECT_EQ(wal->appended_records(), 3u);
+
+  std::vector<std::vector<Itemset>> replayed;
+  auto stats = ReplayAll(path, &replayed);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->base_txn_count, 0u);
+  EXPECT_EQ(stats->records, 3u);
+  EXPECT_EQ(stats->transactions, 5u);
+  EXPECT_EQ(stats->torn_tail_bytes, 0u);
+  EXPECT_FALSE(stats->tail_truncated);
+  EXPECT_EQ(replayed, written);
+}
+
+TEST(WalTest, BaseTxnCountSurvivesCreateAndRead) {
+  std::string path = TempPath("wal_base");
+  auto wal = WriteAheadLog::Create(path, /*base_txn_count=*/1234,
+                                   WalOptions());
+  ASSERT_TRUE(wal.ok());
+  EXPECT_EQ(wal->base_txn_count(), 1234u);
+
+  auto base = WriteAheadLog::ReadBaseTxnCount(path);
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ(*base, 1234u);
+}
+
+TEST(WalTest, ReadBaseTxnCountIsNotFoundForMissingFile) {
+  EXPECT_EQ(WriteAheadLog::ReadBaseTxnCount(TempPath("wal_nope")).status()
+                .code(),
+            StatusCode::kNotFound);
+  std::vector<std::vector<Itemset>> replayed;
+  EXPECT_EQ(ReplayAll(TempPath("wal_nope"), &replayed).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(WalTest, OpenForAppendContinuesTheLog) {
+  std::string path = TempPath("wal_reopen");
+  {
+    auto wal = WriteAheadLog::Create(path, 0, WalOptions());
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->Append({{1, 2}}).ok());
+  }
+  {
+    auto wal = WriteAheadLog::OpenForAppend(path, WalOptions());
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->Append({{3, 4}}).ok());
+  }
+  std::vector<std::vector<Itemset>> replayed;
+  auto stats = ReplayAll(path, &replayed);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->records, 2u);
+  ASSERT_EQ(replayed.size(), 2u);
+  EXPECT_EQ(replayed[1], (std::vector<Itemset>{{3, 4}}));
+}
+
+TEST(WalTest, TruncateRestartsAtNewBase) {
+  std::string path = TempPath("wal_truncate");
+  auto wal = WriteAheadLog::Create(path, 0, WalOptions());
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE(wal->Append({{1}, {2}, {3}}).ok());
+  ASSERT_TRUE(wal->Truncate(/*base_txn_count=*/3).ok());
+  EXPECT_EQ(wal->base_txn_count(), 3u);
+  ASSERT_TRUE(wal->Append({{4}}).ok());
+
+  std::vector<std::vector<Itemset>> replayed;
+  auto stats = ReplayAll(path, &replayed);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->base_txn_count, 3u);
+  EXPECT_EQ(stats->records, 1u);
+  EXPECT_EQ(replayed[0], (std::vector<Itemset>{{4}}));
+}
+
+// -- Torn-tail semantics ----------------------------------------------------
+
+TEST(WalTest, TornFrameHeaderIsTruncated) {
+  std::string path = TempPath("wal_torn_header");
+  {
+    auto wal = WriteAheadLog::Create(path, 0, WalOptions());
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->Append({{1, 2}}).ok());
+  }
+  uint64_t good = FileSize(path);
+  // A crash mid-append can leave fewer than 8 frame-header bytes.
+  std::string file = ReadFile(path);
+  WriteFile(path, file + std::string(5, '\x7f'));
+
+  std::vector<std::vector<Itemset>> replayed;
+  auto stats = ReplayAll(path, &replayed);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->records, 1u);
+  EXPECT_EQ(stats->torn_tail_bytes, 5u);
+  EXPECT_TRUE(stats->tail_truncated);
+  EXPECT_EQ(FileSize(path), good) << "torn tail must be physically removed";
+}
+
+TEST(WalTest, TornRecordBodyIsTruncated) {
+  std::string path = TempPath("wal_torn_body");
+  std::string full;
+  {
+    auto wal = WriteAheadLog::Create(path, 0, WalOptions());
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->Append({{1, 2}}).ok());
+    full = ReadFile(path);
+    ASSERT_TRUE(wal->Append({{3, 4, 5}}).ok());
+  }
+  // Keep the second record's frame header plus part of its payload: the
+  // exact shape of an interrupted append.
+  std::string torn = ReadFile(path).substr(0, full.size() + 10);
+  WriteFile(path, torn);
+
+  std::vector<std::vector<Itemset>> replayed;
+  auto stats = ReplayAll(path, &replayed);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->records, 1u);
+  EXPECT_EQ(stats->torn_tail_bytes, 10u);
+  EXPECT_EQ(FileSize(path), full.size());
+  EXPECT_EQ(replayed[0], (std::vector<Itemset>{{1, 2}}));
+}
+
+TEST(WalTest, CorruptFinalRecordAtExactEofIsTruncated) {
+  std::string path = TempPath("wal_bad_final");
+  std::string one_record;
+  {
+    auto wal = WriteAheadLog::Create(path, 0, WalOptions());
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->Append({{1, 2}}).ok());
+    one_record = ReadFile(path);
+    ASSERT_TRUE(wal->Append({{3, 4}}).ok());
+  }
+  // Flip a payload byte of the final record: CRC mismatch ending exactly
+  // at EOF is indistinguishable from a torn append and must be dropped.
+  std::string file = ReadFile(path);
+  file.back() = static_cast<char>(file.back() ^ 0x40);
+  WriteFile(path, file);
+
+  std::vector<std::vector<Itemset>> replayed;
+  auto stats = ReplayAll(path, &replayed);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->records, 1u);
+  EXPECT_TRUE(stats->tail_truncated);
+  EXPECT_EQ(FileSize(path), one_record.size());
+}
+
+TEST(WalTest, CorruptRecordBeforeTailIsCorruption) {
+  std::string path = TempPath("wal_bad_middle");
+  std::string one_record;
+  {
+    auto wal = WriteAheadLog::Create(path, 0, WalOptions());
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->Append({{1, 2}}).ok());
+    one_record = ReadFile(path);
+    ASSERT_TRUE(wal->Append({{3, 4}}).ok());
+  }
+  // Flip a byte inside the FIRST record: there is a valid record after it,
+  // so this cannot be a torn append — truncating would drop acknowledged
+  // data.
+  std::string file = ReadFile(path);
+  file[one_record.size() - 2] =
+      static_cast<char>(file[one_record.size() - 2] ^ 0x01);
+  WriteFile(path, file);
+
+  std::vector<std::vector<Itemset>> replayed;
+  EXPECT_EQ(ReplayAll(path, &replayed).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(WalTest, AbsurdRecordLengthIsCorruption) {
+  std::string path = TempPath("wal_absurd_len");
+  {
+    auto wal = WriteAheadLog::Create(path, 0, WalOptions());
+    ASSERT_TRUE(wal.ok());
+  }
+  std::string file = ReadFile(path);
+  // Frame claiming a 1GiB record.
+  file += std::string("\x00\x00\x00\x40", 4);  // len = 0x40000000
+  file += std::string("\x00\x00\x00\x00", 4);  // crc
+  WriteFile(path, file);
+
+  std::vector<std::vector<Itemset>> replayed;
+  EXPECT_EQ(ReplayAll(path, &replayed).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(WalTest, HeaderCorruptionIsCorruption) {
+  std::string path = TempPath("wal_bad_header");
+  {
+    auto wal = WriteAheadLog::Create(path, 7, WalOptions());
+    ASSERT_TRUE(wal.ok());
+  }
+  std::string file = ReadFile(path);
+  for (size_t pos : {size_t{0}, size_t{8}, size_t{12}, size_t{16}}) {
+    std::string mutated = file;
+    mutated[pos] = static_cast<char>(mutated[pos] ^ 0x10);
+    WriteFile(path, mutated);
+    std::vector<std::vector<Itemset>> replayed;
+    Status status = ReplayAll(path, &replayed).status();
+    EXPECT_EQ(status.code(), StatusCode::kCorruption)
+        << "byte " << pos << ": " << status.ToString();
+  }
+}
+
+TEST(WalTest, CrcValidButMalformedPayloadIsCorruption) {
+  std::string path = TempPath("wal_malformed");
+  {
+    auto wal = WriteAheadLog::Create(path, 0, WalOptions());
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->Append({{1, 2}}).ok());
+    ASSERT_TRUE(wal->Append({{9}}).ok());
+  }
+  // Rewrite the second record as a CRC-valid frame whose payload claims
+  // more transactions than it holds. A writer never produces this, and a
+  // valid CRC rules out a torn append.
+  std::vector<std::vector<Itemset>> probe;
+  auto stats = ReplayAll(path, &probe);
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(stats->records, 2u);
+
+  // Payload: u32 txn_count = 2 but only one (empty) transaction follows.
+  std::string payload("\x02\x00\x00\x00\x00\x00\x00\x00", 8);
+  uint32_t crc = Crc32(payload);
+  std::string frame(8, '\0');
+  frame[0] = 8;  // len
+  frame[4] = static_cast<char>(crc & 0xff);
+  frame[5] = static_cast<char>((crc >> 8) & 0xff);
+  frame[6] = static_cast<char>((crc >> 16) & 0xff);
+  frame[7] = static_cast<char>((crc >> 24) & 0xff);
+  // Keep the header + first record, replace the rest. (Header is 24
+  // bytes; the first record is 8 + 4 + 4 + 2*4 = 24 bytes.)
+  std::string file = ReadFile(path);
+  file.resize(48);
+  WriteFile(path, file + frame + payload);
+
+  std::vector<std::vector<Itemset>> replayed;
+  EXPECT_EQ(ReplayAll(path, &replayed).status().code(),
+            StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace bbsmine::service

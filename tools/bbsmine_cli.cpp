@@ -40,6 +40,7 @@
 #include "datagen/quest_gen.h"
 #include "obs/report.h"
 #include "obs/trace.h"
+#include "service/client.h"
 #include "service/wire.h"
 #include "storage/fimi_io.h"
 #include "storage/transaction_db.h"
@@ -553,6 +554,11 @@ int CmdApprox(const Args& args) {
 /// Talks to a running bbsmined (docs/SERVICE.md): sends one request frame,
 /// prints the response. --json dumps the raw response document (what the
 /// CI smoke test parses); the default output is a human-readable summary.
+///
+/// Backpressure (Unavailable) responses and response timeouts are retried
+/// --retries times with exponential backoff; transport failures are not.
+/// Exit codes: 0 ok, 1 application error, 2 usage, 3 transport error,
+/// 4 retries exhausted on backpressure.
 int CmdClient(const Args& args) {
   std::string host = args.GetString("host", "127.0.0.1");
   uint16_t port = static_cast<uint16_t>(args.GetUint("port", 7071));
@@ -572,13 +578,25 @@ int CmdClient(const Args& args) {
     request.Set("top", obs::JsonValue::Uint(args.GetUint("top", 10)));
   }
 
-  auto fd = ConnectTcp(host, port);
-  if (!fd.ok()) Die(fd.status());
-  if (Status sent = service::WriteFrame(fd->get(), request); !sent.ok()) {
-    Die(sent);
+  service::RetryOptions retry;
+  retry.retries = static_cast<uint32_t>(args.GetUint("retries", 0));
+  retry.backoff_ms = static_cast<uint32_t>(args.GetUint("backoff-ms", 100));
+  retry.timeout_ms = static_cast<int>(args.GetUint("timeout-ms", 30'000));
+  retry.jitter_seed = args.GetUint("jitter-seed", 1);
+
+  auto outcome = service::CallWithRetry(host, port, request, retry);
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", verb.c_str(),
+                 outcome.status().ToString().c_str());
+    // Exhausting retries against a live-but-overloaded daemon (every
+    // attempt timed out) is backpressure (4); anything else is transport
+    // (3).
+    return outcome.status().code() == StatusCode::kUnavailable ? 4 : 3;
   }
-  auto response = service::ReadFrame(fd->get(), /*timeout_ms=*/30'000);
-  if (!response.ok()) Die(response.status());
+  const obs::JsonValue* response = &outcome->response;
+  if (outcome->attempts > 1) {
+    std::fprintf(stderr, "note: %u attempts\n", outcome->attempts);
+  }
 
   if (args.GetBool("json")) {
     std::printf("%s\n", response->Serialize(2).c_str());
@@ -619,6 +637,7 @@ int CmdClient(const Args& args) {
   } else {
     std::printf("%s\n", response->Serialize(2).c_str());
   }
+  if (outcome->backpressure_exhausted) return 4;
   return response->at("ok").AsBool() ? 0 : 1;
 }
 
@@ -648,8 +667,11 @@ void Usage() {
       "           (omit --db for the estimate-only oracle over a saved\n"
       "           index or segmented-index prefix)\n"
       "  client   [--host A] [--port N] [--verb PING|COUNT|MINE|INSERT|\n"
-      "           STATS] [--items A,B,C] [--minsup F] [--top N] [--json]\n"
-      "           (talks to a running bbsmined; exit 0 iff ok)\n"
+      "           STATS|CHECKPOINT] [--items A,B,C] [--minsup F] [--top N]\n"
+      "           [--json] [--retries N] [--backoff-ms N] [--timeout-ms N]\n"
+      "           (talks to a running bbsmined; retries Unavailable with\n"
+      "           exponential backoff; exit 0 ok, 1 application error,\n"
+      "           3 transport error, 4 backpressure retries exhausted)\n"
       "  rules    --db FILE [--minsup F] [--minconf F] [--top N]\n"
       "  approx   --db FILE --index FILE [--minsup F] [--minconf F]\n"
       "           [--top N]\n";

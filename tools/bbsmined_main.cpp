@@ -27,9 +27,12 @@
 #include <sys/stat.h>
 #include <thread>
 
+#include <memory>
+
 #include "core/bbs_index.h"
 #include "core/segmented_bbs.h"
 #include "obs/json.h"
+#include "service/durability.h"
 #include "service/server.h"
 #include "storage/transaction_db.h"
 
@@ -112,7 +115,13 @@ void Usage() {
       "  --max-pending N     admission-queue bound (default 1024)\n"
       "  --max-batch N       requests fused per batch (default 256)\n"
       "  --minsup F          default MINE minimum support (default 0.003)\n"
-      "  --report-out FILE   write the service report on shutdown\n";
+      "  --report-out FILE   write the service report on shutdown\n"
+      "  --durable-dir DIR   crash-safe durability: WAL + checkpoints in\n"
+      "                      DIR; recovers state from DIR on startup\n"
+      "  --fsync POLICY      WAL fsync policy: always | none | every=N\n"
+      "                      (default always)\n"
+      "  --checkpoint-every N  auto-checkpoint after N inserted\n"
+      "                      transactions; 0 = manual only (default 4096)\n";
 }
 
 }  // namespace
@@ -133,8 +142,78 @@ int main(int argc, char** argv) {
 
   // Assemble the snapshot manager from the requested source.
   std::optional<service::SnapshotManager> index;
+  std::optional<TransactionDatabase> db;
+  std::unique_ptr<service::DurabilityManager> durability;
   std::string index_arg = args.GetString("index");
-  if (!index_arg.empty()) {
+  std::string durable_dir = args.GetString("durable-dir");
+
+  if (!durable_dir.empty()) {
+    // Durable mode: the durable directory is the source of truth; --index
+    // and --db only seed the very first start (before any checkpoint/WAL
+    // exists there).
+    std::optional<SegmentedBbs> bootstrap;
+    if (!index_arg.empty()) {
+      if (!FileExists(index_arg + ".manifest")) {
+        std::cerr << "bbsmined: with --durable-dir, --index must be a "
+                     "SegmentedBbs prefix (monolithic .bbs files are not "
+                     "supported)\n";
+        return 2;
+      }
+      auto segmented = SegmentedBbs::Load(index_arg);
+      if (!segmented.ok()) Die(segmented.status());
+      bootstrap.emplace(std::move(*segmented));
+    } else {
+      BbsConfig config;
+      config.num_bits = static_cast<uint32_t>(args.GetUint("bits", 1600));
+      config.num_hashes = static_cast<uint32_t>(args.GetUint("hashes", 4));
+      auto empty = SegmentedBbs::Create(config, segment_capacity);
+      if (!empty.ok()) Die(empty.status());
+      bootstrap.emplace(std::move(*empty));
+    }
+    if (std::string path = args.GetString("db"); !path.empty()) {
+      if (FileExists(path)) {
+        auto loaded = TransactionDatabase::Load(path);
+        if (!loaded.ok()) Die(loaded.status());
+        db.emplace(std::move(*loaded));
+      } else {
+        // The durable directory owns the database from here on; an absent
+        // seed file just means "enable MINE, start empty".
+        db.emplace();
+      }
+    }
+
+    service::DurabilityOptions durable_options;
+    durable_options.dir = durable_dir;
+    durable_options.checkpoint_every = args.GetUint("checkpoint-every", 4096);
+    if (Status parsed = service::ParseFsyncSpec(
+            args.GetString("fsync", "always"), &durable_options.wal);
+        !parsed.ok()) {
+      std::cerr << "bbsmined: " << parsed.ToString() << "\n";
+      return 2;
+    }
+    auto opened = service::DurabilityManager::Open(
+        durable_options, std::move(*bootstrap), db ? &*db : nullptr);
+    if (!opened.ok()) Die(opened.status());
+    durability = std::move(*opened);
+
+    const auto& recovery = durability->recovery();
+    std::printf(
+        "bbsmined recovery: checkpoint=%s epoch=%llu base=%llu "
+        "wal_records=%llu replayed_txns=%llu torn_tail_bytes=%llu "
+        "(%.3f s)\n",
+        recovery.checkpoint_loaded ? "loaded" : "none",
+        static_cast<unsigned long long>(recovery.checkpoint_epoch),
+        static_cast<unsigned long long>(recovery.checkpoint_transactions),
+        static_cast<unsigned long long>(recovery.wal_records_scanned),
+        static_cast<unsigned long long>(recovery.recovered_records),
+        static_cast<unsigned long long>(recovery.torn_tail_bytes),
+        recovery.recovery_seconds);
+
+    SegmentedBbs recovered = durability->TakeRecoveredIndex();
+    auto manager = service::SnapshotManager::FromIndex(recovered);
+    if (!manager.ok()) Die(manager.status());
+    index.emplace(std::move(*manager));
+  } else if (!index_arg.empty()) {
     if (FileExists(index_arg + ".manifest")) {
       auto segmented = SegmentedBbs::Load(index_arg);
       if (!segmented.ok()) Die(segmented.status());
@@ -158,16 +237,17 @@ int main(int argc, char** argv) {
     index.emplace(std::move(*manager));
   }
 
-  std::optional<TransactionDatabase> db;
-  if (std::string path = args.GetString("db"); !path.empty()) {
-    auto loaded = TransactionDatabase::Load(path);
-    if (!loaded.ok()) Die(loaded.status());
-    db.emplace(std::move(*loaded));
-    if (db->size() != index->num_transactions()) {
-      std::cerr << "bbsmined: index/database mismatch: "
-                << index->num_transactions() << " vs " << db->size()
-                << " transactions\n";
-      return 1;
+  if (durable_dir.empty()) {
+    if (std::string path = args.GetString("db"); !path.empty()) {
+      auto loaded = TransactionDatabase::Load(path);
+      if (!loaded.ok()) Die(loaded.status());
+      db.emplace(std::move(*loaded));
+      if (db->size() != index->num_transactions()) {
+        std::cerr << "bbsmined: index/database mismatch: "
+                  << index->num_transactions() << " vs " << db->size()
+                  << " transactions\n";
+        return 1;
+      }
     }
   }
 
@@ -176,6 +256,7 @@ int main(int argc, char** argv) {
   options.scheduler.max_pending = args.GetUint("max-pending", 1024);
   options.scheduler.max_batch = args.GetUint("max-batch", 256);
   options.default_min_support = args.GetDouble("minsup", 0.003);
+  options.durability = durability.get();
   service::BbsService bbs_service(&*index, db ? &*db : nullptr, options);
 
   service::SocketServerOptions server_options;
@@ -202,6 +283,24 @@ int main(int argc, char** argv) {
   std::fflush(stdout);
   server.Stop();
   bbs_service.Drain();
+  if (durability != nullptr) {
+    // A final checkpoint makes the next startup instant (empty WAL). Its
+    // failure costs nothing but recovery time — the WAL still covers
+    // everything — so sync it and carry on.
+    Status final_checkpoint =
+        durability->Checkpoint(index->Acquire(), db ? &*db : nullptr);
+    if (!final_checkpoint.ok()) {
+      std::cerr << "bbsmined: final checkpoint failed: "
+                << final_checkpoint.ToString() << "\n";
+      if (Status synced = durability->SyncWal(); !synced.ok()) {
+        std::cerr << "bbsmined: final WAL sync failed: " << synced.ToString()
+                  << "\n";
+      }
+    } else {
+      std::printf("bbsmined checkpointed %zu transactions\n",
+                  index->num_transactions());
+    }
+  }
   if (std::string path = args.GetString("report-out"); !path.empty()) {
     obs::JsonValue report = bbs_service.BuildStatsReport();
     if (Status written = obs::WriteJsonFile(report, path); !written.ok()) {
