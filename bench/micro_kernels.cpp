@@ -192,7 +192,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot open %s for writing\n", json_path);
     return 1;
   }
-  std::fprintf(json, "{\n  \"default_kernel\": \"%s\",\n", default_kernel);
+  std::fprintf(json, "{\n  \"schema_version\": 1,\n");
+  std::fprintf(json, "  \"kind\": \"bbsmine_kernels\",\n");
+  std::fprintf(json, "  \"default_kernel\": \"%s\",\n", default_kernel);
   std::fprintf(json, "  \"kernels\": [\n");
   for (size_t s = 0; s < sections.size(); ++s) {
     std::fprintf(json, "    {\"kernel\": \"%s\", \"results\": [\n",

@@ -1,0 +1,129 @@
+#!/usr/bin/env bash
+# Smoke test for the bbsbench traffic harness (run by the CI bench-smoke
+# job, and runnable locally):
+#
+#   1. generate a dataset, build a segmented index, start bbsmined;
+#   2. verify the request stream is deterministic: two --dump-stream runs
+#      with the same seed must produce byte-identical streams, and a third
+#      with a different seed must not;
+#   3. run a short fixed-seed bbsbench against the daemon and validate the
+#      BENCH_service.json schema (schema_version, kind, config echo,
+#      per-verb p50/p95/p99, totals);
+#   4. assert the client-vs-daemon cross-check: for MINE — the verb whose
+#      service time dominates transport noise — client and daemon p50 must
+#      land within one log2 bucket of each other;
+#   5. run a tiny stepped-rate saturation search and require a populated
+#      `saturation` section.
+#
+# Usage: scripts/bench_smoke.sh [BUILD_DIR] [OUT_JSON]
+#   (defaults: build, BENCH_service.json in the current directory)
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_JSON="${2:-BENCH_service.json}"
+BBSMINE="$BUILD_DIR/tools/bbsmine"
+BBSMINED="$BUILD_DIR/tools/bbsmined"
+BBSBENCH="$BUILD_DIR/tools/bbsbench"
+WORK="$(mktemp -d)"
+DAEMON_PID=""
+
+cleanup() {
+  if [[ -n "$DAEMON_PID" ]] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+    kill -KILL "$DAEMON_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== stream determinism (no daemon needed)"
+"$BBSBENCH" --dry-run --seed 42 --rate 800 --duration-s 2 \
+  --dump-stream "$WORK/stream-a.txt" >/dev/null
+"$BBSBENCH" --dry-run --seed 42 --rate 800 --duration-s 2 \
+  --dump-stream "$WORK/stream-b.txt" >/dev/null
+cmp "$WORK/stream-a.txt" "$WORK/stream-b.txt" \
+  || { echo "same seed produced different streams"; exit 1; }
+"$BBSBENCH" --dry-run --seed 43 --rate 800 --duration-s 2 \
+  --dump-stream "$WORK/stream-c.txt" >/dev/null
+if cmp -s "$WORK/stream-a.txt" "$WORK/stream-c.txt"; then
+  echo "different seeds produced identical streams"; exit 1
+fi
+echo "   identical for seed 42, distinct for seed 43 ($(wc -l < "$WORK/stream-a.txt") requests)"
+
+echo "== generating dataset and segmented index"
+"$BBSMINE" gen --out "$WORK/bench.db" --txns 3000 --items 200 --t 8 --i 4 \
+  --patterns 50 --seed 11 >/dev/null
+"$BBSMINE" build --db "$WORK/bench.db" --out "$WORK/bench.seg" \
+  --bits 800 --hashes 3 --segment-capacity 512 >/dev/null
+
+echo "== starting bbsmined"
+"$BBSMINED" --index "$WORK/bench.seg" --db "$WORK/bench.db" --port 0 \
+  > "$WORK/daemon.log" 2>&1 &
+DAEMON_PID=$!
+
+PORT=""
+for _ in $(seq 1 50); do
+  PORT=$(sed -n 's/^bbsmined listening on [0-9.]*:\([0-9]*\).*/\1/p' \
+    "$WORK/daemon.log" | head -1)
+  [[ -n "$PORT" ]] && break
+  kill -0 "$DAEMON_PID" || { cat "$WORK/daemon.log"; exit 1; }
+  sleep 0.2
+done
+[[ -n "$PORT" ]] || { echo "daemon never reported its port"; exit 1; }
+echo "   listening on port $PORT (pid $DAEMON_PID)"
+
+echo "== fixed-seed bbsbench run"
+"$BBSBENCH" --port "$PORT" --seed 42 --rate 400 --duration-s 4 \
+  --items 200 --connections 16 --mix-mine 10 --mix-count 65 \
+  --rate-steps 2 --rate-start 200 --rate-factor 2 --step-duration-s 2 \
+  --slo-p99-ms 200 --slo-verb count --out "$OUT_JSON"
+
+echo "== validating $OUT_JSON"
+python3 - "$OUT_JSON" <<'EOF'
+import json, sys
+
+r = json.load(open(sys.argv[1]))
+assert r["schema_version"] == 1, r["schema_version"]
+assert r["kind"] == "bbsbench_service", r["kind"]
+assert r["config"]["seed"] == 42
+assert r["config"]["rate_rps"] == 400.0
+
+verbs = r["verbs"]
+assert "COUNT" in verbs and "MINE" in verbs, sorted(verbs)
+for name, v in verbs.items():
+    assert v["sent"] > 0, name
+    lat = v["latency_us"]
+    for q in ("p50", "p95", "p99"):
+        assert lat[q] >= 0, (name, q)
+    assert lat["p50"] <= lat["p95"] <= lat["p99"] <= lat["max"], (name, lat)
+
+totals = r["totals"]
+assert totals["sent"] == sum(v["sent"] for v in verbs.values())
+assert totals["scheduled"] == totals["sent"]
+# The run must be healthy end to end: every request answered ok.
+assert totals["ok"] == totals["sent"], totals
+assert totals["achieved_rps"] > 0
+
+# Client vs daemon cross-check on MINE: its service time (a full eclat
+# mine) dwarfs transport noise, so both views of p50 must land within one
+# log2 bucket. Fast verbs legitimately differ by a few buckets (client
+# latency includes the round trip), so they are not asserted here.
+mine = verbs["MINE"]
+assert "daemon_latency_us" in mine, "daemon STATS cross-check missing"
+assert mine["daemon_latency_us"]["total"] > 0
+delta = mine["p50_bucket_delta"]
+assert abs(delta) <= 1, f"MINE client/daemon p50 differ by {delta} buckets"
+
+sat = r["saturation"]
+assert sat["slo_verb"] == "COUNT"
+assert len(sat["steps"]) == 2
+for step in sat["steps"]:
+    assert step["offered_rps"] > 0 and step["p99_ms"] >= 0
+
+print("   BENCH_service.json schema OK; MINE p50 bucket delta =", delta)
+EOF
+
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" || true
+DAEMON_PID=""
+echo "== bench smoke passed"

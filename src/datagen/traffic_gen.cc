@@ -1,0 +1,160 @@
+#include "datagen/traffic_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bbsmine {
+
+namespace {
+
+/// Draws `len` distinct items (Zipf-ranked) and returns them sorted.
+/// Rejection on duplicates; `len` is clamped to the universe size so the
+/// loop always terminates.
+Itemset DrawDistinctItems(const ZipfSampler& zipf, uint32_t universe,
+                          uint32_t len, Rng& rng) {
+  len = std::min(len, universe);
+  Itemset items;
+  items.reserve(len);
+  while (items.size() < len) {
+    ItemId candidate = zipf.Sample(rng);
+    if (std::find(items.begin(), items.end(), candidate) == items.end()) {
+      items.push_back(candidate);
+    }
+  }
+  std::sort(items.begin(), items.end());
+  return items;
+}
+
+}  // namespace
+
+const char* TrafficVerbName(TrafficVerb verb) {
+  switch (verb) {
+    case TrafficVerb::kPing:
+      return "PING";
+    case TrafficVerb::kCount:
+      return "COUNT";
+    case TrafficVerb::kInsert:
+      return "INSERT";
+    case TrafficVerb::kMine:
+      return "MINE";
+    case TrafficVerb::kStats:
+      return "STATS";
+  }
+  return "UNKNOWN";
+}
+
+ZipfSampler::ZipfSampler(uint32_t n, double s) {
+  cdf_.reserve(n);
+  double cum = 0.0;
+  for (uint32_t rank = 0; rank < n; ++rank) {
+    cum += 1.0 / std::pow(static_cast<double>(rank + 1), s);
+    cdf_.push_back(cum);
+  }
+  for (double& c : cdf_) c /= cum;  // normalize to a proper CDF
+}
+
+uint32_t ZipfSampler::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;  // u landed on/above the final 1.0
+  return static_cast<uint32_t>(it - cdf_.begin());
+}
+
+Result<std::vector<TrafficRequest>> GenerateTraffic(const TrafficSpec& spec) {
+  if (spec.rate_rps <= 0 || spec.duration_s <= 0) {
+    return Status::InvalidArgument(
+        "traffic rate and duration must be positive");
+  }
+  if (spec.item_universe == 0) {
+    return Status::InvalidArgument("item universe must be non-empty");
+  }
+  if (spec.query_len == 0) {
+    return Status::InvalidArgument("query length must be >= 1");
+  }
+  if (spec.zipf_s < 0) {
+    return Status::InvalidArgument("zipf exponent must be >= 0");
+  }
+  if (spec.insert_len_mean < 1) {
+    return Status::InvalidArgument("insert length mean must be >= 1");
+  }
+  const double mix_total = spec.mix.ping + spec.mix.count + spec.mix.insert +
+                           spec.mix.mine + spec.mix.stats;
+  if (!(mix_total > 0) || spec.mix.ping < 0 || spec.mix.count < 0 ||
+      spec.mix.insert < 0 || spec.mix.mine < 0 || spec.mix.stats < 0) {
+    return Status::InvalidArgument(
+        "verb mix must be non-negative with a positive total");
+  }
+  if (spec.arrival == ArrivalProcess::kBursty &&
+      (spec.burst_on_ms <= 0 || spec.burst_off_ms < 0)) {
+    return Status::InvalidArgument(
+        "bursty arrivals need burst_on_ms > 0 and burst_off_ms >= 0");
+  }
+
+  // Verb CDF in enum order.
+  const double verb_cdf[5] = {
+      spec.mix.ping / mix_total,
+      (spec.mix.ping + spec.mix.count) / mix_total,
+      (spec.mix.ping + spec.mix.count + spec.mix.insert) / mix_total,
+      (spec.mix.ping + spec.mix.count + spec.mix.insert + spec.mix.mine) /
+          mix_total,
+      1.0,
+  };
+
+  // During on-windows the bursty process runs hot enough that the
+  // off-windows average back out to the requested mean rate.
+  const double cycle_ms = spec.burst_on_ms + spec.burst_off_ms;
+  const double gen_rate =
+      spec.arrival == ArrivalProcess::kBursty
+          ? spec.rate_rps * cycle_ms / spec.burst_on_ms
+          : spec.rate_rps;
+  const double mean_gap_us = 1e6 / gen_rate;
+  const uint64_t duration_us =
+      static_cast<uint64_t>(spec.duration_s * 1e6);
+  const uint64_t on_us = static_cast<uint64_t>(spec.burst_on_ms * 1e3);
+  const uint64_t cycle_us = static_cast<uint64_t>(cycle_ms * 1e3);
+
+  Rng rng(spec.seed);
+  ZipfSampler zipf(spec.item_universe, spec.zipf_s);
+  std::vector<TrafficRequest> stream;
+  stream.reserve(static_cast<size_t>(spec.rate_rps * spec.duration_s * 1.1));
+
+  double clock_us = 0.0;
+  for (;;) {
+    clock_us += rng.Exponential(mean_gap_us);
+    uint64_t t = static_cast<uint64_t>(clock_us);
+    if (spec.arrival == ArrivalProcess::kBursty && cycle_us > 0) {
+      // Arrivals falling in an off-window are fast-forwarded to the start
+      // of the next on-window (the burst front-loads the cycle).
+      uint64_t pos = t % cycle_us;
+      if (pos >= on_us) {
+        t += cycle_us - pos;
+        clock_us = static_cast<double>(t);
+      }
+    }
+    if (t >= duration_us) break;
+
+    TrafficRequest request;
+    request.scheduled_us = t;
+    double u = rng.NextDouble();
+    if (u < verb_cdf[0]) {
+      request.verb = TrafficVerb::kPing;
+    } else if (u < verb_cdf[1]) {
+      request.verb = TrafficVerb::kCount;
+      request.items =
+          DrawDistinctItems(zipf, spec.item_universe, spec.query_len, rng);
+    } else if (u < verb_cdf[2]) {
+      request.verb = TrafficVerb::kInsert;
+      uint32_t len = static_cast<uint32_t>(
+          std::max<uint64_t>(1, rng.Poisson(spec.insert_len_mean)));
+      request.items = DrawDistinctItems(zipf, spec.item_universe, len, rng);
+    } else if (u < verb_cdf[3]) {
+      request.verb = TrafficVerb::kMine;
+    } else {
+      request.verb = TrafficVerb::kStats;
+    }
+    stream.push_back(std::move(request));
+  }
+  return stream;
+}
+
+}  // namespace bbsmine

@@ -1,0 +1,101 @@
+// Open-loop service traffic generator for the bbsmined load harness.
+//
+// Produces a deterministic request stream — verb, item payload, and an
+// *arrival-process-scheduled* send time for every request — ahead of any
+// network activity. Scheduling every send time up front is what makes the
+// harness coordinated-omission-safe: latency is measured from the time the
+// arrival process says the request should have been sent, not from
+// whenever the previous response happened to free the connection, so a
+// slow server inflates the recorded latencies instead of silently thinning
+// the offered load.
+//
+// Item skew follows a Zipf distribution over a ranked item universe (the
+// classic shape of query popularity); arrivals are Poisson (open-loop
+// steady state) or bursty on/off (the same mean rate compressed into
+// on-windows, for tail-latency stress). Everything is driven by one
+// xoshiro256** stream, so a (spec, seed) pair names one exact request
+// stream, reproducible across runs and machines.
+
+#ifndef BBSMINE_DATAGEN_TRAFFIC_GEN_H_
+#define BBSMINE_DATAGEN_TRAFFIC_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/transaction.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace bbsmine {
+
+/// Service verbs the harness exercises (CHECKPOINT is excluded: it is an
+/// operator action, not traffic).
+enum class TrafficVerb : uint8_t { kPing, kCount, kInsert, kMine, kStats };
+
+/// Wire-protocol verb string ("PING", "COUNT", ...).
+const char* TrafficVerbName(TrafficVerb verb);
+
+/// Relative verb weights (any non-negative values; normalized internally).
+struct TrafficMix {
+  double ping = 0.0;
+  double count = 0.70;
+  double insert = 0.20;
+  double mine = 0.05;
+  double stats = 0.05;
+};
+
+enum class ArrivalProcess : uint8_t {
+  kPoisson,  ///< exponential inter-arrivals at the mean rate
+  kBursty,   ///< on/off: the same mean rate compressed into on-windows
+};
+
+/// Full specification of a traffic stream. A (spec, seed) pair is a name
+/// for one exact request sequence.
+struct TrafficSpec {
+  uint64_t seed = 42;
+  double rate_rps = 100.0;  ///< mean offered load, requests/second
+  double duration_s = 10.0;
+  ArrivalProcess arrival = ArrivalProcess::kPoisson;
+  /// Bursty shape: arrivals are generated at rate_rps * (on+off)/on during
+  /// on-windows and fast-forwarded past off-windows, preserving the mean.
+  double burst_on_ms = 200.0;
+  double burst_off_ms = 800.0;
+  TrafficMix mix;
+  uint32_t item_universe = 1000;  ///< items 0..universe-1, rank-ordered
+  double zipf_s = 0.99;           ///< Zipf exponent; 0 = uniform
+  uint32_t query_len = 2;         ///< items per COUNT query
+  double insert_len_mean = 10.0;  ///< Poisson mean INSERT transaction size
+  double mine_minsup = 0.1;       ///< relative support for MINE requests
+  uint32_t mine_top = 10;         ///< top-k cap for MINE requests
+};
+
+/// One scheduled request. `items` is the COUNT query or the INSERT
+/// transaction (sorted, deduplicated); empty for PING/MINE/STATS.
+struct TrafficRequest {
+  uint64_t scheduled_us = 0;  ///< send time, µs from stream start
+  TrafficVerb verb = TrafficVerb::kCount;
+  Itemset items;
+};
+
+/// Zipf(s) sampler over ranks 0..n-1 via a precomputed CDF and binary
+/// search — O(n) setup, O(log n) per sample, exact for any s >= 0 (s = 0
+/// degenerates to uniform).
+class ZipfSampler {
+ public:
+  ZipfSampler(uint32_t n, double s);
+  uint32_t Sample(Rng& rng) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Generates the full request stream for `spec`, sorted by scheduled_us.
+/// Fails on degenerate parameters (non-positive rate/duration, empty item
+/// universe, zero-length queries, all-zero mix, non-positive burst
+/// windows for bursty arrivals).
+Result<std::vector<TrafficRequest>> GenerateTraffic(const TrafficSpec& spec);
+
+}  // namespace bbsmine
+
+#endif  // BBSMINE_DATAGEN_TRAFFIC_GEN_H_

@@ -1,6 +1,67 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace bbsmine::obs {
+
+namespace {
+
+/// The idealized observation at global rank `k` (0-based, in value order)
+/// of a log2-bucketed histogram in MetricSample layout. Precondition:
+/// k < total count.
+double IdealizedValueAtRank(const std::vector<uint64_t>& buckets,
+                            uint64_t k) {
+  uint64_t cum = 0;
+  for (size_t d = 1; d < buckets.size(); ++d) {
+    uint64_t c = buckets[d];
+    if (k < cum + c) {
+      double lo = static_cast<double>(Log2BucketLowerBound(d));
+      double hi = static_cast<double>(Log2BucketUpperBound(d));
+      return lo + static_cast<double>(k - cum) * (hi - lo) /
+                      static_cast<double>(c);
+    }
+    cum += c;
+  }
+  // Overflow: no upper bound was retained, so every overflow observation
+  // collapses to the overflow lower bound.
+  return static_cast<double>(
+      Log2BucketUpperBound(DepthHistogram::kMaxTrackedDepth));
+}
+
+}  // namespace
+
+double PercentileFromLog2Buckets(const std::vector<uint64_t>& buckets,
+                                 double q) {
+  uint64_t total = 0;
+  for (uint64_t c : buckets) total += c;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  double rank = q * static_cast<double>(total - 1);
+  uint64_t lo_rank = static_cast<uint64_t>(rank);
+  uint64_t hi_rank = std::min<uint64_t>(lo_rank + 1, total - 1);
+  double frac = rank - static_cast<double>(lo_rank);
+  double lo = IdealizedValueAtRank(buckets, lo_rank);
+  if (frac == 0.0) return lo;
+  double hi = IdealizedValueAtRank(buckets, hi_rank);
+  return lo + frac * (hi - lo);
+}
+
+double LatencyReservoir::Quantile(double q) {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  double rank = q * static_cast<double>(samples_.size() - 1);
+  size_t lo_rank = static_cast<size_t>(rank);
+  size_t hi_rank = std::min(lo_rank + 1, samples_.size() - 1);
+  double frac = rank - static_cast<double>(lo_rank);
+  double lo = static_cast<double>(samples_[lo_rank]);
+  double hi = static_cast<double>(samples_[hi_rank]);
+  return lo + frac * (hi - lo);
+}
 
 const char* UnitName(Unit unit) {
   switch (unit) {

@@ -37,6 +37,8 @@
 #include <string>
 #include <vector>
 
+#include "util/rng.h"
+
 namespace bbsmine::obs {
 
 /// Histogram over itemset sizes ("depth" of the enumeration walk).
@@ -95,14 +97,90 @@ class DepthHistogram {
 };
 
 /// Maps a non-negative magnitude (a latency in microseconds, a batch size)
-/// to a DepthHistogram bucket: bucket d holds values in [2^(d-1), 2^d), so
-/// a 32-bucket histogram spans five nines of dynamic range. The service
-/// layer registers its latency and batch-size histograms this way; the
-/// fixed log2 buckets keep the run-report schema identical to the
-/// depth-keyed histograms.
+/// to a DepthHistogram bucket: bucket 1 holds [0, 2) — zero shares the
+/// lowest bucket, since bucket 0 is the overflow slot — and bucket d >= 2
+/// holds [2^(d-1), 2^d), so a 32-bucket histogram spans five nines of
+/// dynamic range. Log2BucketLowerBound/UpperBound are the same contract in
+/// the other direction (the percentile estimator interpolates between
+/// them). The service layer registers its latency and batch-size
+/// histograms this way; the fixed log2 buckets keep the run-report schema
+/// identical to the depth-keyed histograms.
 inline size_t Log2Bucket(uint64_t v) {
   return v == 0 ? 1 : static_cast<size_t>(std::bit_width(v));
 }
+
+/// Smallest magnitude mapping to log2 bucket `d` (>= 1): 0 for bucket 1,
+/// 2^(d-1) otherwise.
+inline uint64_t Log2BucketLowerBound(size_t d) {
+  return d <= 1 ? 0 : uint64_t{1} << (d - 1);
+}
+
+/// One past the largest magnitude mapping to log2 bucket `d`: 2^d.
+inline uint64_t Log2BucketUpperBound(size_t d) { return uint64_t{1} << d; }
+
+/// Estimates the q-quantile (q in [0, 1]) of the observations behind a
+/// log2-bucketed histogram in MetricSample layout: buckets[0] is the
+/// overflow count, buckets[d] for d >= 1 counts values in
+/// [Log2BucketLowerBound(d), Log2BucketUpperBound(d)).
+///
+/// The c observations inside a bucket [lo, hi) are idealized as evenly
+/// spaced starting at the lower bound — the j-th (0-based) sits at
+/// lo + j*(hi-lo)/c — and the quantile is read at rank q*(N-1) with linear
+/// interpolation between the two straddling idealized observations
+/// (numpy-style). With one observation per bucket this reproduces the
+/// bucket lower bounds exactly; in general the estimate is off by at most
+/// a factor of the bucket width. Overflow observations are all placed at
+/// the overflow lower bound 2^kMaxTrackedDepth (the histogram retains no
+/// upper bound for them). Returns 0 for an empty histogram.
+double PercentileFromLog2Buckets(const std::vector<uint64_t>& buckets,
+                                 double q);
+
+/// Fixed-capacity uniform sample of a latency stream (Vitter's
+/// Algorithm R), for exact client-side percentiles without unbounded
+/// memory. Deterministic given the seed and the observation order. Not
+/// thread-safe; callers shard or lock.
+class LatencyReservoir {
+ public:
+  explicit LatencyReservoir(size_t capacity, uint64_t seed = 1)
+      : capacity_(capacity), rng_(seed) {
+    samples_.reserve(capacity);
+  }
+
+  /// Records one observation; once `capacity` observations have been seen,
+  /// each subsequent one replaces a random retained sample with
+  /// probability capacity/count (Algorithm R), keeping the retained set a
+  /// uniform sample of the whole stream.
+  void Add(uint64_t v) {
+    ++count_;
+    if (v > max_) max_ = v;
+    if (samples_.size() < capacity_) {
+      samples_.push_back(v);
+    } else if (capacity_ > 0) {
+      uint64_t j = rng_.Uniform(count_);
+      if (j < capacity_) samples_[j] = v;
+    }
+    sorted_ = false;
+  }
+
+  /// Observations seen (not retained).
+  uint64_t count() const { return count_; }
+
+  /// Largest observation seen — exact, tracked outside the sample.
+  uint64_t max() const { return max_; }
+
+  /// The q-quantile (q in [0, 1]) over the retained samples at rank
+  /// q*(n-1) with linear interpolation; exact while count() <= capacity,
+  /// a uniform-sample estimate after. Returns 0 when empty.
+  double Quantile(double q);
+
+ private:
+  size_t capacity_;
+  Rng rng_;
+  std::vector<uint64_t> samples_;
+  uint64_t count_ = 0;
+  uint64_t max_ = 0;
+  bool sorted_ = false;
+};
 
 /// What a registered metric measures; drives report formatting only.
 enum class MetricKind : uint8_t { kCounter, kGauge, kHistogram };

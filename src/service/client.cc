@@ -25,24 +25,54 @@ bool IsBackpressureResponse(const obs::JsonValue& response) {
          StatusCodeName(StatusCode::kUnavailable);
 }
 
+/// The request's verb, or "" when the request is not a well-formed verb
+/// document (the daemon will answer InvalidArgument; retry policy treats
+/// it conservatively).
+std::string RequestVerb(const obs::JsonValue& request) {
+  if (request.kind() != obs::JsonValue::Kind::kObject ||
+      !request.Has("verb") ||
+      request.at("verb").kind() != obs::JsonValue::Kind::kString) {
+    return "";
+  }
+  return request.at("verb").AsString();
+}
+
 }  // namespace
+
+bool IsIdempotentVerb(const std::string& verb) {
+  // CHECKPOINT is excluded deliberately: it is *effectively* idempotent,
+  // but the at-most-once default for anything not on this list means a new
+  // verb added to the daemon can never be double-applied by an old client.
+  return verb == "PING" || verb == "COUNT" || verb == "STATS" ||
+         verb == "MINE";
+}
+
+uint64_t RetryBackoffMs(const RetryOptions& options, uint32_t attempt,
+                        uint64_t* jitter_state) {
+  // Exponential backoff with jitter in [0, base): doubling spreads retry
+  // storms over time, jitter spreads them across clients. Both the base
+  // and the jittered sum are clamped — jitter must not smuggle the sleep
+  // past the configured cap.
+  uint64_t base = options.backoff_ms;
+  base <<= std::min<uint32_t>(attempt - 1, 20);
+  base = std::min<uint64_t>(base, options.max_backoff_ms);
+  *jitter_state =
+      *jitter_state * 6364136223846793005ull + 1442695040888963407ull;
+  uint64_t jitter = base > 0 ? (*jitter_state >> 33) % base : 0;
+  return std::min<uint64_t>(base + jitter, options.max_backoff_ms);
+}
 
 Result<CallOutcome> CallWithRetry(const std::string& host, uint16_t port,
                                   const obs::JsonValue& request,
                                   const RetryOptions& options) {
+  const bool timeout_retryable = IsIdempotentVerb(RequestVerb(request));
   uint64_t jitter_state = options.jitter_seed;
   CallOutcome outcome;
   Status last_timeout = Status::Ok();
   for (uint32_t attempt = 0; attempt <= options.retries; ++attempt) {
     if (attempt > 0) {
-      // Exponential backoff with jitter in [0, base): doubling spreads
-      // retry storms over time, jitter spreads them across clients.
-      uint64_t base = options.backoff_ms;
-      base <<= std::min<uint32_t>(attempt - 1, 20);
-      base = std::min<uint64_t>(base, options.max_backoff_ms);
-      jitter_state = jitter_state * 6364136223846793005ull + 1442695040888963407ull;
-      uint64_t jitter = base > 0 ? (jitter_state >> 33) % base : 0;
-      std::this_thread::sleep_for(std::chrono::milliseconds(base + jitter));
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          RetryBackoffMs(options, attempt, &jitter_state)));
     }
     ++outcome.attempts;
 
@@ -52,7 +82,17 @@ Result<CallOutcome> CallWithRetry(const std::string& host, uint16_t port,
     Result<obs::JsonValue> response = ReadFrame(fd->get(), options.timeout_ms);
     if (!response.ok()) {
       if (response.status().code() == StatusCode::kUnavailable) {
-        // Response timeout: the daemon is alive but slow. Retryable.
+        // Response timeout: the daemon is alive but slow. For idempotent
+        // verbs, retryable. For anything else the request was fully sent
+        // and may already be applied (e.g. an INSERT the daemon WAL-logged
+        // before answering slowly) — re-sending could double-apply, so the
+        // outcome is handed back as indeterminate instead.
+        if (!timeout_retryable) {
+          return Status::Indeterminate(
+              "response timed out after the request was sent; it may or "
+              "may not have been applied (" + response.status().message() +
+              ")");
+        }
         last_timeout = response.status();
         continue;
       }
@@ -60,7 +100,7 @@ Result<CallOutcome> CallWithRetry(const std::string& host, uint16_t port,
     }
     outcome.response = std::move(*response);
     if (IsBackpressureResponse(outcome.response)) {
-      continue;  // admission backpressure: retryable
+      continue;  // admission backpressure: the daemon refused it; retryable
     }
     return outcome;  // definitive answer (ok or a non-retryable error)
   }

@@ -9,9 +9,18 @@
 // restart-tolerance (crash harnesses) loop at their own level.
 //
 // What counts as retryable:
-//   * a well-formed response with error code "Unavailable";
-//   * a response-read timeout (ReadFrame's Unavailable) — the daemon is
-//     alive but slow, e.g. a MINE hogging the write mutex.
+//   * a well-formed response with error code "Unavailable" — the daemon
+//     definitively did NOT apply the request, so re-sending any verb is
+//     safe;
+//   * a response-read timeout (ReadFrame's Unavailable) — but ONLY for
+//     idempotent verbs (PING / COUNT / STATS / MINE). The daemon is alive
+//     and may well have applied the request before answering slowly, so a
+//     timed-out INSERT must NOT be re-sent: the daemon could have
+//     WAL-logged and applied it already, and a blind re-send double-counts
+//     the transactions. Timeouts on non-idempotent verbs surface as
+//     StatusCode::kIndeterminate — the at-most-once contract
+//     (docs/SERVICE.md § "Client retries"): the caller must reconcile
+//     (e.g. COUNT a sentinel) before re-sending.
 //
 // Jitter is deterministic (seeded LCG) so tests and the crash harness are
 // reproducible; real clients pass a varying seed.
@@ -30,8 +39,9 @@ namespace bbsmine::service {
 struct RetryOptions {
   /// Additional attempts after the first (0 = single shot).
   uint32_t retries = 0;
-  /// Base backoff before attempt i is 2^(i-1) * backoff_ms, capped at
-  /// max_backoff_ms, plus jitter in [0, base).
+  /// Base backoff before attempt i is 2^(i-1) * backoff_ms, plus jitter in
+  /// [0, base); base and the jittered sum are both capped at
+  /// max_backoff_ms, so no sleep ever exceeds the configured maximum.
   uint32_t backoff_ms = 100;
   uint32_t max_backoff_ms = 5000;
   /// Per-attempt response timeout.
@@ -39,6 +49,19 @@ struct RetryOptions {
   /// Seed of the deterministic jitter sequence.
   uint64_t jitter_seed = 1;
 };
+
+/// True when `verb` may be blindly re-sent after a response timeout
+/// (applying it twice is indistinguishable from applying it once).
+/// PING / COUNT / STATS / MINE qualify; INSERT and anything unknown do
+/// not — the conservative default for new verbs is at-most-once.
+bool IsIdempotentVerb(const std::string& verb);
+
+/// The backoff before retry attempt `attempt` (>= 1): exponential base
+/// with deterministic jitter, clamped so base + jitter never exceeds
+/// options.max_backoff_ms. Advances `jitter_state` (seed it from
+/// options.jitter_seed). Exposed for the clamp regression test.
+uint64_t RetryBackoffMs(const RetryOptions& options, uint32_t attempt,
+                        uint64_t* jitter_state);
 
 struct CallOutcome {
   obs::JsonValue response;
@@ -55,8 +78,12 @@ struct CallOutcome {
 ///                         backpressure_exhausted marks a final
 ///                         Unavailable after all retries);
 ///  * error Status       — transport failure (connect/send/read), never
-///                         retried; kUnavailable status only when every
-///                         attempt timed out waiting for a response.
+///                         retried; kUnavailable only when every attempt
+///                         of an idempotent request timed out waiting for
+///                         a response; kIndeterminate when a
+///                         non-idempotent request (INSERT) was fully sent
+///                         but the response timed out — it may or may not
+///                         have been applied, and was NOT re-sent.
 Result<CallOutcome> CallWithRetry(const std::string& host, uint16_t port,
                                   const obs::JsonValue& request,
                                   const RetryOptions& options);

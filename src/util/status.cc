@@ -25,6 +25,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kIndeterminate:
+      return "Indeterminate";
   }
   return "Unknown";
 }

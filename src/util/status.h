@@ -26,6 +26,7 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kUnavailable,
+  kIndeterminate,
 };
 
 /// Returns a human-readable name for a status code, e.g. "IoError".
@@ -74,6 +75,12 @@ class [[nodiscard]] Status {
   /// above so clients can tell backpressure from errors.
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  /// Unknown outcome: the operation may or may not have taken effect (a
+  /// response timeout after a non-idempotent request was fully sent).
+  /// Blindly retrying can double-apply; the caller must reconcile first.
+  static Status Indeterminate(std::string msg) {
+    return Status(StatusCode::kIndeterminate, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

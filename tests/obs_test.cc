@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -160,6 +161,132 @@ TEST(MetricsRegistryTest, ShardMergeIsDeterministicAndComplete) {
 }
 
 // ------------------------------------------------------------- Tracer --
+
+TEST(Log2BucketTest, BoundaryMapping) {
+  // The documented contract: bucket 1 holds [0, 2) — zero shares the
+  // lowest bucket — and bucket d >= 2 holds [2^(d-1), 2^d).
+  EXPECT_EQ(Log2Bucket(0), 1u);
+  EXPECT_EQ(Log2Bucket(1), 1u);
+  EXPECT_EQ(Log2Bucket(2), 2u);
+  EXPECT_EQ(Log2Bucket(3), 2u);
+  EXPECT_EQ(Log2Bucket(4), 3u);
+  EXPECT_EQ(Log2Bucket(7), 3u);
+  EXPECT_EQ(Log2Bucket(8), 4u);
+  // Bounds are the same contract, inverted.
+  EXPECT_EQ(Log2BucketLowerBound(1), 0u);
+  EXPECT_EQ(Log2BucketUpperBound(1), 2u);
+  for (size_t d = 2; d <= DepthHistogram::kMaxTrackedDepth; ++d) {
+    EXPECT_EQ(Log2Bucket(Log2BucketLowerBound(d)), d);
+    EXPECT_EQ(Log2Bucket(Log2BucketUpperBound(d) - 1), d);
+    EXPECT_EQ(Log2Bucket(Log2BucketUpperBound(d)), d + 1);
+  }
+}
+
+// Bucket layout used by the estimator tests: MetricSample order, [0] =
+// overflow, [d] = log2 bucket d.
+std::vector<uint64_t> EmptyBuckets() {
+  return std::vector<uint64_t>(DepthHistogram::kMaxTrackedDepth + 1, 0);
+}
+
+TEST(PercentileFromLog2BucketsTest, AgreesWithOracleAtBucketBoundaries) {
+  // One observation per bucket, each idealized at its bucket's lower
+  // bound: the estimator must reproduce the sorted-sample oracle exactly
+  // (numpy-style rank q*(N-1) interpolation over the lower bounds).
+  std::vector<uint64_t> buckets = EmptyBuckets();
+  std::vector<double> oracle;
+  for (size_t d = 1; d <= 8; ++d) {
+    buckets[d] = 1;
+    oracle.push_back(static_cast<double>(Log2BucketLowerBound(d)));
+  }
+  for (size_t k = 0; k < oracle.size(); ++k) {
+    double q = static_cast<double>(k) / (oracle.size() - 1);
+    EXPECT_DOUBLE_EQ(PercentileFromLog2Buckets(buckets, q), oracle[k])
+        << "rank " << k;
+  }
+  // Between integer ranks the estimate is the linear interpolation of the
+  // neighboring oracle values.
+  double q = 1.5 / (oracle.size() - 1);
+  EXPECT_DOUBLE_EQ(PercentileFromLog2Buckets(buckets, q),
+                   (oracle[1] + oracle[2]) / 2);
+}
+
+TEST(PercentileFromLog2BucketsTest, ErrorBoundedByBucketWidth) {
+  // 1000 observations of the value 700 all land in bucket 10 = [512,
+  // 1024). The estimator cannot know where inside the bucket they sat,
+  // but every quantile it reports must stay inside that bucket.
+  std::vector<uint64_t> buckets = EmptyBuckets();
+  buckets[Log2Bucket(700)] = 1000;
+  for (double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    double estimate = PercentileFromLog2Buckets(buckets, q);
+    EXPECT_GE(estimate, 512.0) << "q=" << q;
+    EXPECT_LT(estimate, 1024.0) << "q=" << q;
+  }
+  // And the estimate is within a factor of the bucket width of the truth.
+  EXPECT_NEAR(PercentileFromLog2Buckets(buckets, 0.5), 700.0, 512.0);
+}
+
+TEST(PercentileFromLog2BucketsTest, OverflowBucketIsDegenerate) {
+  std::vector<uint64_t> buckets = EmptyBuckets();
+  buckets[0] = 10;  // all observations beyond 2^32
+  double expected =
+      static_cast<double>(uint64_t{1} << DepthHistogram::kMaxTrackedDepth);
+  EXPECT_DOUBLE_EQ(PercentileFromLog2Buckets(buckets, 0.5), expected);
+  EXPECT_DOUBLE_EQ(PercentileFromLog2Buckets(buckets, 1.0), expected);
+  // Mixed: the median sits in the tracked range, the tail in overflow.
+  buckets[5] = 30;
+  EXPECT_LT(PercentileFromLog2Buckets(buckets, 0.5), 32.0);
+  EXPECT_DOUBLE_EQ(PercentileFromLog2Buckets(buckets, 1.0), expected);
+}
+
+TEST(PercentileFromLog2BucketsTest, EmptyAndClampedInputs) {
+  EXPECT_DOUBLE_EQ(PercentileFromLog2Buckets(EmptyBuckets(), 0.5), 0.0);
+  std::vector<uint64_t> buckets = EmptyBuckets();
+  buckets[3] = 4;
+  // q outside [0, 1] clamps instead of reading out of range.
+  EXPECT_DOUBLE_EQ(PercentileFromLog2Buckets(buckets, -1.0),
+                   PercentileFromLog2Buckets(buckets, 0.0));
+  EXPECT_DOUBLE_EQ(PercentileFromLog2Buckets(buckets, 2.0),
+                   PercentileFromLog2Buckets(buckets, 1.0));
+}
+
+TEST(LatencyReservoirTest, ExactUnderCapacity) {
+  LatencyReservoir reservoir(100, /*seed=*/7);
+  for (uint64_t v = 1; v <= 11; ++v) reservoir.Add(v * 10);
+  EXPECT_EQ(reservoir.count(), 11u);
+  EXPECT_EQ(reservoir.max(), 110u);
+  // With all samples retained the quantiles are exact: rank q*(n-1).
+  EXPECT_DOUBLE_EQ(reservoir.Quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(reservoir.Quantile(0.5), 60.0);
+  EXPECT_DOUBLE_EQ(reservoir.Quantile(1.0), 110.0);
+  EXPECT_DOUBLE_EQ(reservoir.Quantile(0.25), 35.0);  // interpolated
+}
+
+TEST(LatencyReservoirTest, SamplesUniformlyOverCapacity) {
+  // 10k observations uniform in [0, 1000) through a 512-slot reservoir:
+  // the sampled median must land near the true median, and max() stays
+  // exact because it is tracked outside the sample.
+  LatencyReservoir reservoir(512, /*seed=*/3);
+  Rng rng(99);
+  for (int i = 0; i < 10'000; ++i) reservoir.Add(rng.Uniform(1000));
+  reservoir.Add(5000);  // a single outlier the sample may well drop
+  EXPECT_EQ(reservoir.count(), 10'001u);
+  EXPECT_EQ(reservoir.max(), 5000u);
+  EXPECT_NEAR(reservoir.Quantile(0.5), 500.0, 100.0);
+}
+
+TEST(LatencyReservoirTest, DeterministicForSeedAndStream) {
+  LatencyReservoir a(64, 11), b(64, 11), c(64, 12);
+  Rng ra(5), rb(5), rc(5);
+  for (int i = 0; i < 5'000; ++i) {
+    a.Add(ra.Uniform(100'000));
+    b.Add(rb.Uniform(100'000));
+    c.Add(rc.Uniform(100'000));
+  }
+  EXPECT_DOUBLE_EQ(a.Quantile(0.99), b.Quantile(0.99));
+  EXPECT_EQ(a.max(), b.max());
+  // A different replacement seed keeps a different subset.
+  EXPECT_NE(a.Quantile(0.37), c.Quantile(0.37));
+}
 
 TEST(TraceTest, EmitsValidChromeTraceJson) {
   Tracer tracer(kTraceDefault);

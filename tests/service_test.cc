@@ -11,7 +11,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
@@ -551,6 +554,165 @@ TEST(ClientRetryTest, HealthyServiceAnswersOnTheFirstAttempt) {
   ASSERT_TRUE(outcome->response.at("ok").AsBool());
   EXPECT_EQ(outcome->response.at("count").AsUint(),
             fx.index.CountItemSet(query));
+}
+
+TEST(ClientRetryTest, IdempotentVerbClassification) {
+  EXPECT_TRUE(IsIdempotentVerb("PING"));
+  EXPECT_TRUE(IsIdempotentVerb("COUNT"));
+  EXPECT_TRUE(IsIdempotentVerb("STATS"));
+  EXPECT_TRUE(IsIdempotentVerb("MINE"));
+  // INSERT mutates; CHECKPOINT and unknown verbs default to at-most-once.
+  EXPECT_FALSE(IsIdempotentVerb("INSERT"));
+  EXPECT_FALSE(IsIdempotentVerb("CHECKPOINT"));
+  EXPECT_FALSE(IsIdempotentVerb("FROB"));
+  EXPECT_FALSE(IsIdempotentVerb(""));
+}
+
+TEST(ClientRetryTest, BackoffNeverExceedsConfiguredMaximum) {
+  // Regression: jitter used to be added after the clamp, so late attempts
+  // could sleep up to ~2x max_backoff_ms. Sweep deep attempt counts and
+  // several jitter seeds; no backoff may ever exceed the cap.
+  RetryOptions options;
+  options.backoff_ms = 100;
+  options.max_backoff_ms = 750;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    uint64_t jitter_state = seed;
+    for (uint32_t attempt = 1; attempt <= 30; ++attempt) {
+      uint64_t backoff = RetryBackoffMs(options, attempt, &jitter_state);
+      EXPECT_LE(backoff, options.max_backoff_ms)
+          << "attempt " << attempt << " seed " << seed;
+      // The exponential base (pre-jitter) is a floor: backoff dips below
+      // it only if jitter could be negative, which it cannot.
+      uint64_t base = std::min<uint64_t>(
+          static_cast<uint64_t>(options.backoff_ms)
+              << std::min<uint32_t>(attempt - 1, 20),
+          options.max_backoff_ms);
+      EXPECT_GE(backoff, base);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The at-most-once contract: a response timeout on INSERT must NOT trigger
+// a blind re-send. The relay below wraps a real BbsService: it applies
+// every request it receives, then answers too slowly for the client's
+// timeout — exactly the failure mode where the old retry loop would
+// double-apply.
+
+class SlowRelay {
+ public:
+  SlowRelay(BbsService* service, int delay_ms)
+      : service_(service), delay_ms_(delay_ms) {}
+
+  Status Start() {
+    Result<OwnedFd> listener = ListenTcp("127.0.0.1", 0);
+    if (!listener.ok()) return listener.status();
+    Result<uint16_t> port = BoundPort(listener->get());
+    if (!port.ok()) return port.status();
+    listener_ = std::move(*listener);
+    port_ = *port;
+    thread_ = std::thread([this] { Loop(); });
+    return Status::Ok();
+  }
+
+  void Stop() {
+    stop_.store(true);
+    if (thread_.joinable()) thread_.join();
+  }
+
+  uint16_t port() const { return port_; }
+  int handled() const { return handled_.load(); }
+
+  /// Blocks until the relay has applied `n` requests (bounded wait).
+  bool WaitForHandled(int n) {
+    for (int i = 0; i < 400; ++i) {
+      if (handled_.load() >= n) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return false;
+  }
+
+ private:
+  void Loop() {
+    while (!stop_.load()) {
+      Result<OwnedFd> conn = AcceptWithTimeout(listener_.get(), 20);
+      if (!conn.ok() || !conn->valid()) continue;
+      Result<obs::JsonValue> request = ReadFrame(conn->get(), 1000);
+      if (!request.ok()) continue;
+      obs::JsonValue response = service_->Handle(*request);
+      handled_.fetch_add(1);  // the request IS applied at this point
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms_));
+      (void)WriteFrame(conn->get(), response);  // client is likely gone
+    }
+  }
+
+  BbsService* service_;
+  int delay_ms_;
+  OwnedFd listener_;
+  uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<int> handled_{0};
+};
+
+TEST(ClientRetryTest, TimedOutInsertIsIndeterminateAndAppliedExactlyOnce) {
+  Fixture fx = MakeFixture(26, 80, 64);
+  auto manager = SnapshotManager::FromIndex(fx.index);
+  ASSERT_TRUE(manager.ok());
+  BbsService service(&*manager, &fx.db, ServiceOptions{});
+  SlowRelay relay(&service, /*delay_ms=*/250);
+  Status started = relay.Start();
+  if (!started.ok()) {
+    GTEST_SKIP() << "cannot bind a loopback socket here: "
+                 << started.ToString();
+  }
+  size_t before = manager->num_transactions();
+
+  obs::JsonValue insert = obs::JsonValue::Object();
+  insert.Set("verb", obs::JsonValue::String("INSERT"));
+  insert.Set("items", ItemsToJson({1, 2, 3}));
+  RetryOptions options = FastRetry(/*retries=*/3);
+  options.timeout_ms = 100;  // well under the relay's 250 ms stall
+  auto outcome = CallWithRetry("127.0.0.1", relay.port(), insert, options);
+
+  // The client must report the unknown outcome, not retry: with the old
+  // timeout-retry loop this re-sends the INSERT and the relay applies it
+  // again (handled > 1, transactions = before + 2+).
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kIndeterminate)
+      << outcome.status().ToString();
+  ASSERT_TRUE(relay.WaitForHandled(1));
+  relay.Stop();
+  EXPECT_EQ(relay.handled(), 1);
+  EXPECT_EQ(manager->num_transactions(), before + 1);
+}
+
+TEST(ClientRetryTest, TimedOutCountIsStillRetried) {
+  Fixture fx = MakeFixture(27, 80, 64);
+  auto manager = SnapshotManager::FromIndex(fx.index);
+  ASSERT_TRUE(manager.ok());
+  BbsService service(&*manager, &fx.db, ServiceOptions{});
+  SlowRelay relay(&service, /*delay_ms=*/200);
+  Status started = relay.Start();
+  if (!started.ok()) {
+    GTEST_SKIP() << "cannot bind a loopback socket here: "
+                 << started.ToString();
+  }
+
+  RetryOptions options = FastRetry(/*retries=*/2);
+  options.timeout_ms = 50;
+  auto outcome =
+      CallWithRetry("127.0.0.1", relay.port(), CountRequest({1}), options);
+
+  // COUNT is idempotent: every attempt may be re-sent, and when they all
+  // time out the final status is the retryable kUnavailable — never
+  // kIndeterminate.
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kUnavailable)
+      << outcome.status().ToString();
+  ASSERT_TRUE(relay.WaitForHandled(3));  // 1 initial + 2 retries
+  relay.Stop();
+  EXPECT_EQ(relay.handled(), 3);
 }
 
 TEST(ClientRetryTest, TransportErrorsAreNotRetried) {

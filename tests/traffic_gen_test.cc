@@ -1,0 +1,192 @@
+// Tests for the open-loop traffic generator behind bbsbench.
+//
+// The property the whole harness leans on is *naming*: a (spec, seed)
+// pair names one exact request stream, so a benchmark run can be
+// reproduced bit-for-bit from its recorded config. The rest checks the
+// statistical shape: mean rate, verb mix, Zipf skew, burst structure.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "datagen/traffic_gen.h"
+
+namespace bbsmine {
+namespace {
+
+bool SameStream(const std::vector<TrafficRequest>& a,
+                const std::vector<TrafficRequest>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].scheduled_us != b[i].scheduled_us || a[i].verb != b[i].verb ||
+        a[i].items != b[i].items) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TrafficSpec BaseSpec() {
+  TrafficSpec spec;
+  spec.seed = 7;
+  spec.rate_rps = 2000;
+  spec.duration_s = 5;
+  spec.item_universe = 500;
+  return spec;
+}
+
+TEST(TrafficGenTest, SameSeedNamesTheSameStream) {
+  TrafficSpec spec = BaseSpec();
+  auto a = GenerateTraffic(spec);
+  auto b = GenerateTraffic(spec);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_FALSE(a->empty());
+  EXPECT_TRUE(SameStream(*a, *b));
+
+  spec.seed = 8;
+  auto c = GenerateTraffic(spec);
+  ASSERT_TRUE(c.ok());
+  EXPECT_FALSE(SameStream(*a, *c));
+}
+
+TEST(TrafficGenTest, StreamIsSortedWithinDurationAtTheMeanRate) {
+  TrafficSpec spec = BaseSpec();
+  auto stream = GenerateTraffic(spec);
+  ASSERT_TRUE(stream.ok());
+  const uint64_t duration_us =
+      static_cast<uint64_t>(spec.duration_s * 1e6);
+  uint64_t prev = 0;
+  for (const TrafficRequest& r : *stream) {
+    EXPECT_GE(r.scheduled_us, prev);
+    EXPECT_LT(r.scheduled_us, duration_us);
+    prev = r.scheduled_us;
+  }
+  // Poisson count concentrates tightly around rate * duration; 10% slack
+  // is many standard deviations at 10k expected arrivals.
+  double expected = spec.rate_rps * spec.duration_s;
+  EXPECT_NEAR(static_cast<double>(stream->size()), expected,
+              0.1 * expected);
+}
+
+TEST(TrafficGenTest, VerbMixAndPayloadsFollowTheSpec) {
+  TrafficSpec spec = BaseSpec();
+  spec.mix.ping = 10;
+  spec.mix.count = 40;
+  spec.mix.insert = 30;
+  spec.mix.mine = 10;
+  spec.mix.stats = 10;
+  spec.query_len = 3;
+  auto stream = GenerateTraffic(spec);
+  ASSERT_TRUE(stream.ok());
+
+  std::map<TrafficVerb, size_t> by_verb;
+  for (const TrafficRequest& r : *stream) {
+    ++by_verb[r.verb];
+    switch (r.verb) {
+      case TrafficVerb::kCount:
+        // COUNT queries are exactly query_len distinct sorted items.
+        ASSERT_EQ(r.items.size(), spec.query_len);
+        EXPECT_TRUE(std::is_sorted(r.items.begin(), r.items.end()));
+        EXPECT_EQ(std::adjacent_find(r.items.begin(), r.items.end()),
+                  r.items.end());
+        EXPECT_LT(r.items.back(), spec.item_universe);
+        break;
+      case TrafficVerb::kInsert:
+        ASSERT_GE(r.items.size(), 1u);
+        EXPECT_TRUE(std::is_sorted(r.items.begin(), r.items.end()));
+        break;
+      default:
+        EXPECT_TRUE(r.items.empty());
+    }
+  }
+  double total = static_cast<double>(stream->size());
+  EXPECT_NEAR(by_verb[TrafficVerb::kPing] / total, 0.10, 0.02);
+  EXPECT_NEAR(by_verb[TrafficVerb::kCount] / total, 0.40, 0.02);
+  EXPECT_NEAR(by_verb[TrafficVerb::kInsert] / total, 0.30, 0.02);
+  EXPECT_NEAR(by_verb[TrafficVerb::kMine] / total, 0.10, 0.02);
+  EXPECT_NEAR(by_verb[TrafficVerb::kStats] / total, 0.10, 0.02);
+}
+
+TEST(TrafficGenTest, ZipfSkewConcentratesOnLowRanks) {
+  // With s ~ 1, rank 0 should dominate; with s = 0 sampling is uniform.
+  Rng rng(3);
+  ZipfSampler skewed(1000, 1.0);
+  std::vector<uint64_t> hits(1000, 0);
+  for (int i = 0; i < 100'000; ++i) ++hits[skewed.Sample(rng)];
+  // Under Zipf(1.0, n=1000) rank 0 carries ~13% of the mass; uniform
+  // would give 0.1%.
+  EXPECT_GT(hits[0], hits[500] * 20);
+  EXPECT_NEAR(static_cast<double>(hits[0]) / 100'000, 0.133, 0.02);
+
+  ZipfSampler uniform(1000, 0.0);
+  std::fill(hits.begin(), hits.end(), 0);
+  for (int i = 0; i < 100'000; ++i) ++hits[uniform.Sample(rng)];
+  EXPECT_NEAR(static_cast<double>(hits[0]) / 100'000, 0.001, 0.001);
+}
+
+TEST(TrafficGenTest, BurstyArrivalsLandOnlyInOnWindowsAtTheSameMeanRate) {
+  TrafficSpec spec = BaseSpec();
+  spec.arrival = ArrivalProcess::kBursty;
+  spec.burst_on_ms = 100;
+  spec.burst_off_ms = 400;
+  auto stream = GenerateTraffic(spec);
+  ASSERT_TRUE(stream.ok());
+
+  const uint64_t cycle_us = 500'000;
+  const uint64_t on_us = 100'000;
+  for (const TrafficRequest& r : *stream) {
+    EXPECT_LT(r.scheduled_us % cycle_us, on_us)
+        << "arrival at " << r.scheduled_us << " falls in an off-window";
+  }
+  // Compressing arrivals into 20% of the time must preserve the mean.
+  double expected = spec.rate_rps * spec.duration_s;
+  EXPECT_NEAR(static_cast<double>(stream->size()), expected,
+              0.1 * expected);
+}
+
+TEST(TrafficGenTest, RejectsDegenerateSpecs) {
+  TrafficSpec spec = BaseSpec();
+  spec.rate_rps = 0;
+  EXPECT_FALSE(GenerateTraffic(spec).ok());
+
+  spec = BaseSpec();
+  spec.item_universe = 0;
+  EXPECT_FALSE(GenerateTraffic(spec).ok());
+
+  spec = BaseSpec();
+  spec.query_len = 0;
+  EXPECT_FALSE(GenerateTraffic(spec).ok());
+
+  spec = BaseSpec();
+  spec.mix = TrafficMix{0, 0, 0, 0, 0};
+  EXPECT_FALSE(GenerateTraffic(spec).ok());
+
+  spec = BaseSpec();
+  spec.arrival = ArrivalProcess::kBursty;
+  spec.burst_on_ms = 0;
+  EXPECT_FALSE(GenerateTraffic(spec).ok());
+}
+
+TEST(TrafficGenTest, QueryLengthIsClampedToTheUniverse) {
+  // Asking for more distinct items than exist must terminate (clamped),
+  // not spin in the rejection loop.
+  TrafficSpec spec = BaseSpec();
+  spec.item_universe = 3;
+  spec.query_len = 10;
+  spec.duration_s = 0.2;
+  spec.mix = TrafficMix{0, 1, 0, 0, 0};  // COUNT only
+  auto stream = GenerateTraffic(spec);
+  ASSERT_TRUE(stream.ok());
+  ASSERT_FALSE(stream->empty());
+  for (const TrafficRequest& r : *stream) {
+    EXPECT_EQ(r.items.size(), 3u);
+    EXPECT_EQ(r.items, (Itemset{0, 1, 2}));
+  }
+}
+
+}  // namespace
+}  // namespace bbsmine

@@ -555,10 +555,13 @@ int CmdApprox(const Args& args) {
 /// prints the response. --json dumps the raw response document (what the
 /// CI smoke test parses); the default output is a human-readable summary.
 ///
-/// Backpressure (Unavailable) responses and response timeouts are retried
-/// --retries times with exponential backoff; transport failures are not.
+/// Backpressure (Unavailable) responses are retried --retries times with
+/// exponential backoff; response timeouts are retried only for idempotent
+/// verbs (PING/COUNT/STATS/MINE); transport failures are not retried.
 /// Exit codes: 0 ok, 1 application error, 2 usage, 3 transport error,
-/// 4 retries exhausted on backpressure.
+/// 4 retries exhausted on backpressure, 5 indeterminate (a non-idempotent
+/// request such as INSERT was sent but its response timed out — it may or
+/// may not have been applied; reconcile before re-sending).
 int CmdClient(const Args& args) {
   std::string host = args.GetString("host", "127.0.0.1");
   uint16_t port = static_cast<uint16_t>(args.GetUint("port", 7071));
@@ -581,6 +584,8 @@ int CmdClient(const Args& args) {
   service::RetryOptions retry;
   retry.retries = static_cast<uint32_t>(args.GetUint("retries", 0));
   retry.backoff_ms = static_cast<uint32_t>(args.GetUint("backoff-ms", 100));
+  retry.max_backoff_ms =
+      static_cast<uint32_t>(args.GetUint("max-backoff-ms", 5000));
   retry.timeout_ms = static_cast<int>(args.GetUint("timeout-ms", 30'000));
   retry.jitter_seed = args.GetUint("jitter-seed", 1);
 
@@ -589,8 +594,10 @@ int CmdClient(const Args& args) {
     std::fprintf(stderr, "%s failed: %s\n", verb.c_str(),
                  outcome.status().ToString().c_str());
     // Exhausting retries against a live-but-overloaded daemon (every
-    // attempt timed out) is backpressure (4); anything else is transport
-    // (3).
+    // attempt timed out) is backpressure (4); a timed-out non-idempotent
+    // request is indeterminate (5) — it was NOT re-sent and the caller
+    // must reconcile; anything else is transport (3).
+    if (outcome.status().code() == StatusCode::kIndeterminate) return 5;
     return outcome.status().code() == StatusCode::kUnavailable ? 4 : 3;
   }
   const obs::JsonValue* response = &outcome->response;
@@ -668,10 +675,13 @@ void Usage() {
       "           index or segmented-index prefix)\n"
       "  client   [--host A] [--port N] [--verb PING|COUNT|MINE|INSERT|\n"
       "           STATS|CHECKPOINT] [--items A,B,C] [--minsup F] [--top N]\n"
-      "           [--json] [--retries N] [--backoff-ms N] [--timeout-ms N]\n"
+      "           [--json] [--retries N] [--backoff-ms N]\n"
+      "           [--max-backoff-ms N] [--timeout-ms N]\n"
       "           (talks to a running bbsmined; retries Unavailable with\n"
-      "           exponential backoff; exit 0 ok, 1 application error,\n"
-      "           3 transport error, 4 backpressure retries exhausted)\n"
+      "           exponential backoff; response timeouts retry only for\n"
+      "           idempotent verbs; exit 0 ok, 1 application error,\n"
+      "           3 transport error, 4 backpressure retries exhausted,\n"
+      "           5 indeterminate: INSERT sent but response timed out)\n"
       "  rules    --db FILE [--minsup F] [--minconf F] [--top N]\n"
       "  approx   --db FILE --index FILE [--minsup F] [--minconf F]\n"
       "           [--top N]\n";
