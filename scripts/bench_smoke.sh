@@ -13,15 +13,22 @@
 #      service time dominates transport noise — client and daemon p50 must
 #      land within one log2 bucket of each other;
 #   5. run a tiny stepped-rate saturation search and require a populated
-#      `saturation` section.
+#      `saturation` section;
+#   6. run the read-path benchmark (resident vs mmap-cold vs mmap-warm vs
+#      folded) in quick mode and validate BENCH_readpath.json: the index
+#      must exceed the synthetic memory budget, all backends must agree
+#      bit-for-bit, and folding must shrink bytes >= 2x with zero
+#      upper-bound violations.
 #
-# Usage: scripts/bench_smoke.sh [BUILD_DIR] [OUT_JSON]
-#   (defaults: build, BENCH_service.json in the current directory)
+# Usage: scripts/bench_smoke.sh [BUILD_DIR] [OUT_JSON] [READPATH_JSON]
+#   (defaults: build, BENCH_service.json / BENCH_readpath.json in the
+#   current directory)
 
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT_JSON="${2:-BENCH_service.json}"
+READPATH_JSON="${3:-BENCH_readpath.json}"
 BBSMINE="$BUILD_DIR/tools/bbsmine"
 BBSMINED="$BUILD_DIR/tools/bbsmined"
 BBSBENCH="$BUILD_DIR/tools/bbsbench"
@@ -126,4 +133,47 @@ EOF
 kill -TERM "$DAEMON_PID"
 wait "$DAEMON_PID" || true
 DAEMON_PID=""
+
+echo "== read-path benchmark (resident / mmap / folded)"
+# Quick mode builds a ~1.5 MB index; the 1 MiB budget keeps the
+# larger-than-memory demonstration honest at smoke scale.
+"$BUILD_DIR/bench/readpath" --quick --budget-bytes $((1 << 20)) \
+  --out "$READPATH_JSON"
+
+echo "== validating $READPATH_JSON"
+python3 - "$READPATH_JSON" <<'EOF'
+import json, sys
+
+r = json.load(open(sys.argv[1]))
+assert r["schema_version"] == 1, r["schema_version"]
+assert r["kind"] == "bbsmine_readpath", r["kind"]
+
+# The point of the benchmark: the slice data must not fit the synthetic
+# resident-memory budget, yet the mmap legs serve it with zero heap bytes.
+assert r["index"]["exceeds_budget"] is True, r["index"]
+assert r["index"]["slice_bytes"] > r["config"]["budget_bytes"]
+
+legs = r["legs"]
+for name in ("resident", "mmap_cold", "mmap_warm", "folded"):
+    assert name in legs, f"missing leg {name}"
+    assert legs[name]["seconds"] > 0, name
+assert legs["mmap_cold"]["resident_slice_bytes"] == 0
+assert legs["mmap_warm"]["resident_slice_bytes"] == 0
+
+# All exact backends agree bit-for-bit.
+assert r["parity"]["mmap_matches_resident"] is True
+assert legs["resident"]["checksum"] == legs["mmap_cold"]["checksum"]
+assert legs["mmap_cold"]["checksum"] == legs["mmap_warm"]["checksum"]
+
+# Fold compaction: >= 2x smaller, every estimate still an upper bound.
+folded = legs["folded"]
+assert folded["bytes_ratio"] >= 2.0, folded
+assert folded["upper_bound_violations"] == 0, folded
+
+print("   BENCH_readpath.json OK:",
+      r["index"]["slice_bytes"], "slice bytes vs budget",
+      r["config"]["budget_bytes"], "| fold ratio",
+      folded["bytes_ratio"])
+EOF
+
 echo "== bench smoke passed"

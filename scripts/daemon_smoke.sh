@@ -12,7 +12,12 @@
 #      service report with non-empty latency histograms;
 #   6. durable leg: restart with --durable-dir, INSERT, SIGTERM, restart
 #      again and require the insert to survive — checking the recovery
-#      counters in both the startup banner and the STATS report.
+#      counters in both the startup banner and the STATS report;
+#   7. mmap leg: serve the same index with --index-backend mmap, diff the
+#      full query list against the offline oracle again (answers must stay
+#      bit-identical when slices are paged from disk instead of heap), and
+#      require STATS to report the mmap backend with zero resident slice
+#      bytes.
 #
 # Usage: scripts/daemon_smoke.sh [BUILD_DIR]   (default: build)
 
@@ -192,6 +197,53 @@ EOF
 
 kill -TERM "$DAEMON_PID"
 wait "$DAEMON_PID" || { echo "durable daemon died on SIGTERM"; exit 1; }
+DAEMON_PID=""
+
+echo "== mmap leg: serve sealed segments from disk, diff vs oracle"
+"$BBSMINED" --index "$WORK/smoke.seg" --db "$WORK/smoke.db" \
+  --index-backend mmap --port 0 > "$WORK/mmap.log" 2>&1 &
+DAEMON_PID=$!
+PORT=""
+for _ in $(seq 1 50); do
+  PORT=$(sed -n 's/^bbsmined listening on [0-9.]*:\([0-9]*\).*/\1/p' \
+    "$WORK/mmap.log" | head -1)
+  [[ -n "$PORT" ]] && break
+  kill -0 "$DAEMON_PID" || { cat "$WORK/mmap.log"; exit 1; }
+  sleep 0.2
+done
+[[ -n "$PORT" ]] || { echo "mmap daemon never reported its port"; exit 1; }
+
+for i in "${!QUERIES[@]}"; do
+  daemon_count=$("$BBSMINE" client --port "$PORT" --verb COUNT \
+    --items "${QUERIES[$i]}" --json | python3 -c \
+    "import json,sys;r=json.load(sys.stdin);assert r['ok'],r;print(r['count'])")
+  oracle_count=$("$BBSMINE" count --index "$WORK/smoke.seg" \
+    --items "${QUERIES[$i]}" | sed -n 's/^ *estimate \([0-9][0-9]*\).*/\1/p')
+  if [[ "$daemon_count" != "$oracle_count" ]]; then
+    echo "MMAP MISMATCH on {${QUERIES[$i]}}: daemon=$daemon_count oracle=$oracle_count"
+    exit 1
+  fi
+done
+echo "   all ${#QUERIES[@]} answers match the oracle through the mmap backend"
+
+"$BBSMINE" client --port "$PORT" --verb STATS --json > "$WORK/mmap-stats.json"
+python3 - "$WORK/mmap-stats.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r['ok'], r
+svc = r['report']['service']
+assert svc['index_backend'] == 'mmap', svc['index_backend']
+# Only the (initially empty) materialized tail may pin heap bytes; sealed
+# slice data stays on disk behind the mapping.
+assert svc['resident_slice_bytes'] < 100_000, svc['resident_slice_bytes']
+for key in ('minor_faults', 'major_faults'):
+    assert key in svc, f'missing service.{key}'
+print('mmap STATS OK: backend', svc['index_backend'] + ',',
+      svc['resident_slice_bytes'], 'resident slice bytes')
+EOF
+
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" || { echo "mmap daemon died on SIGTERM"; exit 1; }
 DAEMON_PID=""
 
 echo "daemon smoke test PASSED"

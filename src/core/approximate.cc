@@ -130,7 +130,8 @@ std::vector<ApproxPattern> MineApproximate(const BbsIndex& bbs,
         for (uint32_t pos : item_positions) {
           if (parent_sig.Get(pos)) continue;  // bit already required
           has_unique_bit = true;
-          cover = scratch.AndWithCount(bbs.Slice(pos));
+          const SliceView slice = bbs.Slice(pos);
+          cover = scratch.AndWithCount(slice.words, slice.num_words);
         }
         double coverage =
             !has_unique_bit || n == 0

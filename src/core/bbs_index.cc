@@ -1,14 +1,17 @@
 #include "core/bbs_index.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cstring>
 #include <string_view>
+#include <utility>
 
 #include "storage/transaction_db.h"
 #include "util/bitvector_kernels.h"
 #include "util/crc32.h"
 #include "util/file_io.h"
+#include "util/mmap_file.h"
 
 namespace bbsmine {
 
@@ -16,8 +19,27 @@ using Word = BitVector::Word;
 
 namespace {
 
-constexpr char kMagic[8] = {'B', 'B', 'S', 'I', 'D', 'X', '0', '1'};
-constexpr uint32_t kFormatVersion = 1;
+// v1: packed layout, one CRC over the whole payload. Read-only legacy path.
+constexpr char kMagicV1[8] = {'B', 'B', 'S', 'I', 'D', 'X', '0', '1'};
+constexpr uint32_t kFormatVersionV1 = 1;
+
+// v2: aligned layout (docs/FORMATS.md). Checksummed metadata block, then
+// each slice's word array at a 64-byte-aligned file offset so the file can
+// be mmap'd and handed to the SIMD kernels without copying.
+constexpr char kMagicV2[8] = {'B', 'B', 'S', 'I', 'D', 'X', '0', '2'};
+constexpr uint32_t kFormatVersionV2 = 2;
+
+/// On-disk alignment of every slice's word array (cache line / AVX-512).
+constexpr uint64_t kSliceAlignment = 64;
+
+/// Bytes of fixed v2 metadata between the 16-byte prelude and the
+/// variable-length arrays (see the offsets table in docs/FORMATS.md).
+constexpr uint64_t kV2FixedMetaBytes = 72;
+constexpr uint64_t kV2ArraysOffset = 16 + kV2FixedMetaBytes;
+
+constexpr uint64_t RoundUpToAlignment(uint64_t v) {
+  return (v + kSliceAlignment - 1) / kSliceAlignment * kSliceAlignment;
+}
 
 void AppendU32(std::string* out, uint32_t v) {
   for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
@@ -49,13 +71,162 @@ bool ReadU64(std::string_view in, size_t* pos, uint64_t* v) {
   return true;
 }
 
+/// Parsed + structurally validated v2 header. Every field below is covered
+/// by the header CRC, and the structural checks (exact offsets, strides and
+/// file size) guarantee that slice reads stay inside the file — the mmap
+/// path relies on that to never SIGBUS on a truncated map.
+struct V2Header {
+  BbsConfig config;
+  uint32_t folded = 0;
+  uint64_t num_transactions = 0;
+  uint64_t words_per_slice = 0;
+  uint64_t stride_bytes = 0;
+  uint64_t data_offset = 0;
+  uint64_t num_item_counts = 0;
+  uint32_t data_crc = 0;
+
+  uint32_t effective_bits() const {
+    return folded != 0 ? folded : config.num_bits;
+  }
+};
+
+Status ParseV2Header(std::string_view file, const std::string& path,
+                     V2Header* h) {
+  if (file.size() < kV2ArraysOffset) {
+    return Status::Corruption("truncated header in " + path);
+  }
+  size_t pos = 8;
+  uint32_t version = 0;
+  uint32_t header_crc = 0;
+  uint32_t hash_kind = 0;
+  uint32_t track = 0;
+  if (!ReadU32(file, &pos, &version) || !ReadU32(file, &pos, &header_crc) ||
+      !ReadU32(file, &pos, &h->config.num_bits) ||
+      !ReadU32(file, &pos, &h->config.num_hashes) ||
+      !ReadU32(file, &pos, &hash_kind) ||
+      !ReadU64(file, &pos, &h->config.seed) ||
+      !ReadU32(file, &pos, &track) || !ReadU32(file, &pos, &h->folded) ||
+      !ReadU64(file, &pos, &h->num_transactions) ||
+      !ReadU64(file, &pos, &h->words_per_slice) ||
+      !ReadU64(file, &pos, &h->stride_bytes) ||
+      !ReadU64(file, &pos, &h->data_offset) ||
+      !ReadU64(file, &pos, &h->num_item_counts) ||
+      !ReadU32(file, &pos, &h->data_crc)) {
+    return Status::Corruption("truncated header in " + path);
+  }
+  if (version != kFormatVersionV2) {
+    return Status::Corruption("unsupported format version " +
+                              std::to_string(version));
+  }
+  if (h->data_offset < kV2ArraysOffset || h->data_offset > file.size()) {
+    return Status::Corruption("slice data offset out of bounds in " + path);
+  }
+  // The header CRC covers everything between the prelude and the slice
+  // data: fixed fields, the variable arrays, and the alignment padding —
+  // so no metadata byte is unchecked.
+  if (Crc32(std::string_view(file.data() + 16, h->data_offset - 16)) !=
+      header_crc) {
+    return Status::Corruption("header checksum mismatch in " + path);
+  }
+
+  if (hash_kind > static_cast<uint32_t>(HashKind::kModulo)) {
+    return Status::Corruption("unknown hash kind in " + path);
+  }
+  h->config.hash_kind = static_cast<HashKind>(hash_kind);
+  h->config.track_item_counts = track != 0;
+  if (h->folded > h->config.num_bits) {
+    return Status::Corruption("fold target exceeds num_bits in " + path);
+  }
+
+  // Structural checks. Bounds-check each array length before multiplying so
+  // a crafted header cannot overflow the arithmetic below.
+  const uint64_t avail = h->data_offset - kV2ArraysOffset;
+  if (h->num_item_counts > avail / 8 ||
+      h->num_transactions > avail / 4 + BitVector::kWordBits) {
+    return Status::Corruption("metadata arrays exceed header in " + path);
+  }
+  const uint64_t expected_words =
+      (h->num_transactions + BitVector::kWordBits - 1) / BitVector::kWordBits;
+  if (h->words_per_slice != expected_words) {
+    return Status::Corruption("slice word count mismatch in " + path);
+  }
+  if (h->stride_bytes != RoundUpToAlignment(h->words_per_slice *
+                                            sizeof(Word))) {
+    return Status::Corruption("bad slice stride in " + path);
+  }
+  const uint64_t meta_end = kV2ArraysOffset + 8 * h->num_item_counts +
+                            8 * static_cast<uint64_t>(h->effective_bits()) +
+                            4 * h->num_transactions;
+  if (h->data_offset != RoundUpToAlignment(meta_end)) {
+    return Status::Corruption("misaligned slice data offset in " + path);
+  }
+  const uint64_t data_bytes = file.size() - h->data_offset;
+  if (h->stride_bytes == 0) {
+    if (data_bytes != 0) {
+      return Status::Corruption("index size mismatch in " + path);
+    }
+  } else if (data_bytes / h->stride_bytes != h->effective_bits() ||
+             data_bytes % h->stride_bytes != 0) {
+    return Status::Corruption("index size mismatch in " + path);
+  }
+  return Status::Ok();
+}
+
+/// Reads the v2 metadata arrays (item counts, slice popcounts, signature
+/// bits) that sit between the fixed header and the slice data.
+Status ReadV2Arrays(std::string_view file, const std::string& path,
+                    const V2Header& h, std::vector<uint64_t>* item_counts,
+                    std::vector<size_t>* popcounts,
+                    std::vector<uint32_t>* signature_bits) {
+  size_t pos = kV2ArraysOffset;
+  item_counts->resize(h.num_item_counts);
+  for (uint64_t& count : *item_counts) {
+    if (!ReadU64(file, &pos, &count)) {
+      return Status::Corruption("truncated item counts in " + path);
+    }
+  }
+  popcounts->resize(h.effective_bits());
+  for (size_t& count : *popcounts) {
+    uint64_t v = 0;
+    if (!ReadU64(file, &pos, &v)) {
+      return Status::Corruption("truncated slice popcounts in " + path);
+    }
+    count = static_cast<size_t>(v);
+  }
+  signature_bits->resize(h.num_transactions);
+  for (uint32_t& bits : *signature_bits) {
+    if (!ReadU32(file, &pos, &bits)) {
+      return Status::Corruption("truncated signature bits in " + path);
+    }
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 BbsIndex::BbsIndex(const BbsConfig& config, BloomHashFamily family,
                    uint32_t folded)
     : config_(config), family_(std::move(family)), folded_bits_(folded) {
-  slices_.resize(num_bits());
+  source_ = std::make_unique<ResidentSliceSource>(num_bits());
   slice_popcount_.resize(num_bits(), 0);
+}
+
+BbsIndex::BbsIndex(const BbsIndex& other)
+    : config_(other.config_),
+      family_(other.family_),
+      folded_bits_(other.folded_bits_),
+      num_transactions_(other.num_transactions_),
+      source_(other.source_->Clone()),
+      slice_popcount_(other.slice_popcount_),
+      item_counts_(other.item_counts_),
+      signature_bits_(other.signature_bits_) {}
+
+BbsIndex& BbsIndex::operator=(const BbsIndex& other) {
+  if (this != &other) {
+    BbsIndex copy(other);
+    *this = std::move(copy);
+  }
+  return *this;
 }
 
 Result<BbsIndex> BbsIndex::Create(const BbsConfig& config) {
@@ -66,16 +237,20 @@ Result<BbsIndex> BbsIndex::Create(const BbsConfig& config) {
 }
 
 void BbsIndex::Insert(const Itemset& items) {
+  ResidentSliceSource* res = source_->AsResident();
+  assert(res != nullptr && "Insert requires the resident backend");
+  std::vector<BitVector>& slices = res->slices();
+
   size_t position = num_transactions_;
   ++num_transactions_;
-  for (BitVector& slice : slices_) slice.PushBack(false);
+  for (BitVector& slice : slices) slice.PushBack(false);
   signature_bits_.push_back(0);
 
   for (ItemId item : items) {
     for (uint32_t raw : family_.Positions(item)) {
       uint32_t pos = folded_bits_ != 0 ? raw % folded_bits_ : raw;
-      if (!slices_[pos].Get(position)) {
-        slices_[pos].Set(position);
+      if (!slices[pos].Get(position)) {
+        slices[pos].Set(position);
         ++slice_popcount_[pos];
         ++signature_bits_.back();
       }
@@ -163,7 +338,7 @@ size_t BbsIndex::CountWithSeed(const std::vector<uint32_t>& positions,
   // dozen slices, but signatures of long itemsets can.
   std::vector<const Word*> srcs(k);
   for (size_t i = 0; i < k; ++i) {
-    srcs[i] = slices_[positions[i]].words().data();
+    srcs[i] = SliceWords(positions[i]);
   }
 
   out.Resize(num_transactions_);
@@ -210,10 +385,16 @@ size_t BbsIndex::CountWithSeed(const std::vector<uint32_t>& positions,
   if (io != nullptr) {
     // Charge only what was actually streamed (the abort above may leave
     // whole slice suffixes unread), capped at the slice's serialized size.
+    // Backends that fault real pages (mmap) skip the synthetic block
+    // charge — getrusage sees the true cost — but the words-streamed
+    // instrumentation stays backend-agnostic.
+    const bool bill = source_->charges_synthetic_io();
     for (size_t i = 0; i < k; ++i) {
-      uint64_t bytes = std::min<uint64_t>(
-          static_cast<uint64_t>(touched[i]) * sizeof(Word), SliceBytes());
-      io->sequential_reads += BlocksFor(bytes, 4096);
+      if (bill) {
+        uint64_t bytes = std::min<uint64_t>(
+            static_cast<uint64_t>(touched[i]) * sizeof(Word), SliceBytes());
+        io->sequential_reads += BlocksFor(bytes, 4096);
+      }
       io->slice_words_touched += touched[i];
     }
   }
@@ -238,7 +419,7 @@ size_t BbsIndex::CountItemSetAtLeast(const Itemset& items, uint64_t tau,
     // the estimate from above: below tau means no AND is needed at all.
     size_t bound = slice_popcount_[positions.front()];
     if (bound < tau) {
-      if (io != nullptr) {
+      if (io != nullptr && source_->charges_synthetic_io()) {
         io->sequential_reads += BlocksFor(SliceBytes(), 4096);
       }
       return bound;
@@ -269,11 +450,12 @@ size_t BbsIndex::AndItemSlices(ItemId item, BitVector* result,
   size_t count = 0;
   size_t slices_read = 0;
   for (size_t i = 0; i < positions.size(); ++i) {
-    count = result->AndWithCount(slices_[positions[i]]);
+    count = result->AndWithCount(SliceWords(positions[i]),
+                                 result->num_words());
     ++slices_read;
     if (count == 0) break;
   }
-  if (io != nullptr) {
+  if (io != nullptr && source_->charges_synthetic_io()) {
     // Charge only the slices the loop actually streamed; the count == 0
     // break above leaves the rest unread.
     io->sequential_reads += slices_read * BlocksFor(SliceBytes(), 4096);
@@ -294,64 +476,115 @@ BbsIndex BbsIndex::Fold(uint32_t new_bits) const {
                                            config_.hash_kind, config_.seed),
                   new_bits);
   folded.num_transactions_ = num_transactions_;
+  ResidentSliceSource* res = folded.source_->AsResident();
   for (uint32_t pos = 0; pos < new_bits; ++pos) {
-    folded.slices_[pos].Resize(num_transactions_);
+    res->slice(pos).Resize(num_transactions_);
   }
+  const size_t wps = WordsPerSlice();
   for (uint32_t pos = 0; pos < num_bits(); ++pos) {
-    folded.slices_[pos % new_bits].OrWith(slices_[pos]);
+    res->slice(pos % new_bits).OrWithWords(SliceWords(pos), wps);
   }
   for (uint32_t pos = 0; pos < new_bits; ++pos) {
-    folded.slice_popcount_[pos] = folded.slices_[pos].Count();
+    folded.slice_popcount_[pos] = res->slice(pos).Count();
   }
   folded.item_counts_ = item_counts_;
   folded.RecomputeSignatureBits();
   return folded;
 }
 
-void BbsIndex::RecomputeSignatureBits() {
-  signature_bits_.assign(num_transactions_, 0);
-  std::vector<uint32_t> set_positions;
+BbsIndex BbsIndex::Materialize() const {
+  BbsIndex out(config_, family_, folded_bits_);
+  out.num_transactions_ = num_transactions_;
+  out.slice_popcount_ = slice_popcount_;
+  out.item_counts_ = item_counts_;
+  out.signature_bits_ = signature_bits_;
+  ResidentSliceSource* res = out.source_->AsResident();
+  const size_t wps = WordsPerSlice();
   for (uint32_t pos = 0; pos < num_bits(); ++pos) {
-    set_positions.clear();
-    set_positions.reserve(slice_popcount_[pos]);
-    const BitVector& slice = slices_[pos];
-    slice.AppendSetBits(&set_positions);
-    for (uint32_t t : set_positions) ++signature_bits_[t];
+    res->slice(pos).AssignWords(SliceWords(pos), wps, num_transactions_);
   }
+  return out;
 }
 
-size_t BbsIndex::MemoryUsage() const {
-  size_t total = 0;
-  for (const BitVector& slice : slices_) total += slice.MemoryUsage();
-  return total;
+std::vector<uint32_t> BbsIndex::ComputeSignatureBits() const {
+  std::vector<uint32_t> bits(num_transactions_, 0);
+  const size_t wps = WordsPerSlice();
+  for (uint32_t pos = 0; pos < num_bits(); ++pos) {
+    const Word* words = SliceWords(pos);
+    for (size_t w = 0; w < wps; ++w) {
+      Word x = words[w];
+      while (x != 0) {
+        const size_t t = w * BitVector::kWordBits +
+                         static_cast<size_t>(std::countr_zero(x));
+        ++bits[t];
+        x &= x - 1;
+      }
+    }
+  }
+  return bits;
+}
+
+void BbsIndex::RecomputeSignatureBits() {
+  signature_bits_ = ComputeSignatureBits();
 }
 
 void BbsIndex::ChargeFullScan(IoStats* io, uint32_t block_size) const {
-  if (io != nullptr) {
+  // A full filter pass reads every slice front to back — tell the backend
+  // (mmap readahead) regardless of whether the synthetic model is billed.
+  source_->AdviseSequentialScan();
+  if (io != nullptr && source_->charges_synthetic_io()) {
     io->sequential_reads += BlocksFor(SerializedBytes(), block_size);
   }
 }
 
 std::string BbsIndex::Serialize() const {
-  std::string payload;
-  AppendU32(&payload, config_.num_bits);
-  AppendU32(&payload, config_.num_hashes);
-  AppendU32(&payload, static_cast<uint32_t>(config_.hash_kind));
-  AppendU64(&payload, config_.seed);
-  AppendU32(&payload, config_.track_item_counts ? 1 : 0);
-  AppendU32(&payload, folded_bits_);
-  AppendU64(&payload, num_transactions_);
-  AppendU64(&payload, item_counts_.size());
-  for (uint64_t count : item_counts_) AppendU64(&payload, count);
-  for (const BitVector& slice : slices_) {
-    for (BitVector::Word word : slice.words()) AppendU64(&payload, word);
+  const uint32_t bits = num_bits();
+  const size_t wps = WordsPerSlice();
+  const uint64_t stride = RoundUpToAlignment(wps * sizeof(Word));
+  const uint64_t meta_end = kV2ArraysOffset + 8 * item_counts_.size() +
+                            8 * static_cast<uint64_t>(bits) +
+                            4 * num_transactions_;
+  const uint64_t data_offset = RoundUpToAlignment(meta_end);
+
+  // Slice area first so its checksum can be embedded in the metadata. Each
+  // slice's words are zero-padded to the 64-byte stride.
+  std::string data;
+  data.reserve(static_cast<size_t>(bits) * stride);
+  for (uint32_t pos = 0; pos < bits; ++pos) {
+    const Word* words = SliceWords(pos);
+    for (size_t w = 0; w < wps; ++w) AppendU64(&data, words[w]);
+    data.append(stride - wps * sizeof(Word), '\0');
   }
+  const uint32_t data_crc = Crc32(data);
+
+  std::string meta;
+  meta.reserve(static_cast<size_t>(data_offset - 16));
+  AppendU32(&meta, config_.num_bits);
+  AppendU32(&meta, config_.num_hashes);
+  AppendU32(&meta, static_cast<uint32_t>(config_.hash_kind));
+  AppendU64(&meta, config_.seed);
+  AppendU32(&meta, config_.track_item_counts ? 1 : 0);
+  AppendU32(&meta, folded_bits_);
+  AppendU64(&meta, num_transactions_);
+  AppendU64(&meta, wps);
+  AppendU64(&meta, stride);
+  AppendU64(&meta, data_offset);
+  AppendU64(&meta, item_counts_.size());
+  AppendU32(&meta, data_crc);
+  for (uint64_t count : item_counts_) AppendU64(&meta, count);
+  for (uint32_t pos = 0; pos < bits; ++pos) {
+    AppendU64(&meta, slice_popcount_[pos]);
+  }
+  for (uint32_t sig : signature_bits_) AppendU32(&meta, sig);
+  meta.append(static_cast<size_t>(data_offset - meta_end), '\0');
 
   std::string file;
-  file.append(kMagic, sizeof(kMagic));
-  AppendU32(&file, kFormatVersion);
-  AppendU32(&file, Crc32(payload));
-  file += payload;
+  file.reserve(16 + meta.size() + data.size());
+  file.append(kMagicV2, sizeof(kMagicV2));
+  AppendU32(&file, kFormatVersionV2);
+  AppendU32(&file, Crc32(meta));
+  file += meta;
+  file += data;
   return file;
 }
 
@@ -367,17 +600,78 @@ Result<BbsIndex> BbsIndex::Load(const std::string& path) {
 
 Result<BbsIndex> BbsIndex::Deserialize(std::string_view file,
                                        const std::string& path) {
-  if (file.size() < sizeof(kMagic) + 8 ||
-      std::memcmp(file.data(), kMagic, sizeof(kMagic)) != 0) {
+  if (file.size() < sizeof(kMagicV2)) {
     return Status::Corruption("bad magic in " + path);
   }
-  size_t pos = sizeof(kMagic);
+
+  if (std::memcmp(file.data(), kMagicV2, sizeof(kMagicV2)) == 0) {
+    // --- v2 aligned layout, resident load --------------------------------
+    V2Header header;
+    BBSMINE_RETURN_IF_ERROR(ParseV2Header(file, path, &header));
+    // Resident loads read every slice anyway, so the full data checksum is
+    // verified here. The mmap path skips this (it would fault every page)
+    // and relies on the header CRC + structural bounds instead.
+    if (Crc32(std::string_view(file.data() + header.data_offset,
+                               file.size() - header.data_offset)) !=
+        header.data_crc) {
+      return Status::Corruption("slice data checksum mismatch in " + path);
+    }
+    std::vector<uint64_t> item_counts;
+    std::vector<size_t> popcounts;
+    std::vector<uint32_t> signature_bits;
+    BBSMINE_RETURN_IF_ERROR(ReadV2Arrays(file, path, header, &item_counts,
+                                         &popcounts, &signature_bits));
+
+    Result<BloomHashFamily> family = BloomHashFamily::Create(
+        header.config.num_bits, header.config.num_hashes,
+        header.config.hash_kind, header.config.seed);
+    if (!family.ok()) return family.status();
+
+    BbsIndex index(header.config, std::move(family).value(), header.folded);
+    index.num_transactions_ = header.num_transactions;
+    index.item_counts_ = std::move(item_counts);
+
+    ResidentSliceSource* res = index.source_->AsResident();
+    const size_t wps = header.words_per_slice;
+    std::vector<Word> slice_words(wps);
+    for (uint32_t pos = 0; pos < index.num_bits(); ++pos) {
+      // memcpy: the slice bytes are 64-byte aligned in the *file*, but the
+      // in-memory string buffer carries no such guarantee.
+      std::memcpy(slice_words.data(),
+                  file.data() + header.data_offset +
+                      static_cast<uint64_t>(pos) * header.stride_bytes,
+                  wps * sizeof(Word));
+      BitVector& slice = res->slice(pos);
+      slice.AssignWords(slice_words.data(), wps, header.num_transactions);
+      // The stored popcounts are what query planning trusts — cross-check
+      // them against the actual slice data (load parity fix-up).
+      if (slice.Count() != popcounts[pos]) {
+        return Status::Corruption("slice popcount mismatch in " + path);
+      }
+      index.slice_popcount_[pos] = popcounts[pos];
+    }
+    if (index.ComputeSignatureBits() != signature_bits) {
+      return Status::Corruption("signature bits mismatch in " + path);
+    }
+    index.signature_bits_ = std::move(signature_bits);
+    return index;
+  }
+
+  if (std::memcmp(file.data(), kMagicV1, sizeof(kMagicV1)) != 0) {
+    return Status::Corruption("bad magic in " + path);
+  }
+
+  // --- legacy v1 packed layout (read-only back-compat) -------------------
+  if (file.size() < sizeof(kMagicV1) + 8) {
+    return Status::Corruption("bad magic in " + path);
+  }
+  size_t pos = sizeof(kMagicV1);
   uint32_t version = 0;
   uint32_t expected_crc = 0;
   if (!ReadU32(file, &pos, &version) || !ReadU32(file, &pos, &expected_crc)) {
     return Status::Corruption("truncated header in " + path);
   }
-  if (version != kFormatVersion) {
+  if (version != kFormatVersionV1) {
     return Status::Corruption("unsupported format version " +
                               std::to_string(version));
   }
@@ -424,6 +718,7 @@ Result<BbsIndex> BbsIndex::Deserialize(std::string_view file,
   size_t words_per_slice =
       (num_transactions + BitVector::kWordBits - 1) / BitVector::kWordBits;
   std::vector<BitVector::Word> slice_words(words_per_slice);
+  ResidentSliceSource* res = index.source_->AsResident();
   for (uint32_t slice_idx = 0; slice_idx < index.num_bits(); ++slice_idx) {
     for (size_t w = 0; w < words_per_slice; ++w) {
       if (!ReadU64(file, &pos, &slice_words[w])) {
@@ -431,7 +726,7 @@ Result<BbsIndex> BbsIndex::Deserialize(std::string_view file,
       }
     }
     // Bulk word-level assign: O(words) per slice instead of O(bits).
-    BitVector& slice = index.slices_[slice_idx];
+    BitVector& slice = res->slice(slice_idx);
     slice.AssignWords(slice_words.data(), slice_words.size(),
                       num_transactions);
     index.slice_popcount_[slice_idx] = slice.Count();
@@ -443,10 +738,72 @@ Result<BbsIndex> BbsIndex::Deserialize(std::string_view file,
   return index;
 }
 
+Result<BbsIndex> BbsIndex::OpenMmap(const std::string& path) {
+  Result<std::shared_ptr<MmapFile>> map = MmapFile::Open(path);
+  if (!map.ok()) return map.status();
+  std::string_view file(reinterpret_cast<const char*>((*map)->data()),
+                        (*map)->size());
+
+  if (file.size() < sizeof(kMagicV2) ||
+      std::memcmp(file.data(), kMagicV2, sizeof(kMagicV2)) != 0) {
+    if (file.size() >= sizeof(kMagicV1) &&
+        std::memcmp(file.data(), kMagicV1, sizeof(kMagicV1)) == 0) {
+      return Status::InvalidArgument(
+          path + " uses the v1 packed layout, which cannot be served in "
+                 "place; rebuild the index (v2 aligns slices for mmap) or "
+                 "use --index-backend=resident");
+    }
+    return Status::Corruption("bad magic in " + path);
+  }
+
+  // Validates magic/version/header CRC and every structural bound — in
+  // particular that the file covers all slices, so demand faults can never
+  // run past the mapping (truncation is a clean Corruption, not a SIGBUS).
+  // Only metadata pages are touched; slice data faults in lazily and its
+  // checksum is deliberately not verified here.
+  V2Header header;
+  BBSMINE_RETURN_IF_ERROR(ParseV2Header(file, path, &header));
+
+  std::vector<uint64_t> item_counts;
+  std::vector<size_t> popcounts;
+  std::vector<uint32_t> signature_bits;
+  BBSMINE_RETURN_IF_ERROR(ReadV2Arrays(file, path, header, &item_counts,
+                                       &popcounts, &signature_bits));
+
+  Result<BloomHashFamily> family = BloomHashFamily::Create(
+      header.config.num_bits, header.config.num_hashes,
+      header.config.hash_kind, header.config.seed);
+  if (!family.ok()) return family.status();
+
+  BbsIndex index(header.config, std::move(family).value(), header.folded);
+  index.num_transactions_ = header.num_transactions;
+  index.slice_popcount_ = std::move(popcounts);
+  index.item_counts_ = std::move(item_counts);
+  index.signature_bits_ = std::move(signature_bits);
+  index.source_ = std::make_unique<MmapSliceSource>(
+      *map, header.data_offset, header.stride_bytes, header.effective_bits(),
+      header.words_per_slice, header.num_transactions);
+  // Point queries touch scattered slices; suppress the kernel's default
+  // readahead until a full scan announces itself (AdviseSequentialScan).
+  (*map)->AdviseRandom(header.data_offset, file.size() - header.data_offset);
+  return index;
+}
+
 bool BbsIndex::operator==(const BbsIndex& other) const {
-  return config_ == other.config_ && folded_bits_ == other.folded_bits_ &&
-         num_transactions_ == other.num_transactions_ &&
-         slices_ == other.slices_ && item_counts_ == other.item_counts_;
+  if (!(config_ == other.config_) || folded_bits_ != other.folded_bits_ ||
+      num_transactions_ != other.num_transactions_ ||
+      item_counts_ != other.item_counts_) {
+    return false;
+  }
+  const size_t wps = WordsPerSlice();
+  if (wps == 0) return true;
+  for (uint32_t pos = 0; pos < num_bits(); ++pos) {
+    if (std::memcmp(SliceWords(pos), other.SliceWords(pos),
+                    wps * sizeof(Word)) != 0) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace bbsmine

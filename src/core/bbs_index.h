@@ -13,6 +13,12 @@
 // (bit per slice) without rebuilding anything, and Save/Load round-trips the
 // index through a checksummed file.
 //
+// Slice words live behind a SliceSource (core/slice_source.h): the resident
+// backend (heap BitVectors, mutable) or the mmap backend (zero-copy over the
+// v2 aligned on-disk layout, read-only — OpenMmap). The query path is
+// backend-agnostic and bit-identical across backends; only the resident
+// backend supports Insert.
+//
 // Thread safety: all const methods (the whole query path — CountItemSet and
 // friends, ItemPositions, AndItemSlices, Fold, Save) are safe to call
 // concurrently from any number of threads; they share no mutable state.
@@ -22,12 +28,14 @@
 #define BBSMINE_CORE_BBS_INDEX_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "core/bbs_config.h"
 #include "core/bloom_hash.h"
+#include "core/slice_source.h"
 #include "storage/transaction.h"
 #include "util/bitvector.h"
 #include "util/iomodel.h"
@@ -38,8 +46,16 @@ namespace bbsmine {
 /// The bit-sliced Bloom-filtered signature file.
 class BbsIndex {
  public:
-  /// Validates `config` and constructs an empty index.
+  /// Validates `config` and constructs an empty index (resident backend).
   static Result<BbsIndex> Create(const BbsConfig& config);
+
+  // Deep-copies resident slice data; mmap copies share the file mapping
+  // (SliceSource::Clone), which is how snapshots of sealed mmap segments
+  // stay O(1).
+  BbsIndex(const BbsIndex& other);
+  BbsIndex& operator=(const BbsIndex& other);
+  BbsIndex(BbsIndex&&) = default;
+  BbsIndex& operator=(BbsIndex&&) = default;
 
   const BbsConfig& config() const { return config_; }
 
@@ -55,7 +71,21 @@ class BbsIndex {
   /// Number of transactions inserted.
   size_t num_transactions() const { return num_transactions_; }
 
+  /// True when the slice words are heap-resident (and therefore mutable).
+  bool resident() const { return source_->AsResident() != nullptr; }
+
+  /// Backend name as reported by stats: "resident" or "mmap".
+  const char* backend_name() const { return source_->name(); }
+
+  /// Heap bytes pinned by the slice data: the full slice payload for the
+  /// resident backend, 0 for mmap (pages are clean, file-backed, and
+  /// reclaimable by the OS).
+  size_t ApproxResidentBytes() const {
+    return source_->ApproxResidentBytes();
+  }
+
   /// Appends one transaction. `items` must be canonical.
+  /// Precondition: resident().
   void Insert(const Itemset& items);
 
   /// Bulk helper: inserts every transaction of `db` in order.
@@ -68,8 +98,9 @@ class BbsIndex {
   /// (the bit at every hash position of every item is set).
   BitVector MakeSignature(const Itemset& items) const;
 
-  /// Bit-slice at position `pos` (one bit per transaction).
-  const BitVector& Slice(uint32_t pos) const { return slices_[pos]; }
+  /// Bit-slice at position `pos` (one bit per transaction). The view
+  /// borrows the backend's words and stays valid while the index is alive.
+  SliceView Slice(uint32_t pos) const { return source_->View(pos); }
 
   /// Cached popcount of slice `pos`.
   size_t SlicePopcount(uint32_t pos) const { return slice_popcount_[pos]; }
@@ -79,7 +110,8 @@ class BbsIndex {
   /// If `result` is non-null it receives the resulting transaction bit
   /// vector (bit t set => transaction t is a potential container).
   /// If `io` is non-null, one sequential slice read is charged per slice
-  /// touched (for the non-memory-resident cost model).
+  /// touched (for the non-memory-resident cost model). Backends that do
+  /// real I/O (mmap) skip the synthetic charge — see slice_source.h.
   size_t CountItemSet(const Itemset& items, BitVector* result = nullptr,
                       IoStats* io = nullptr) const;
 
@@ -123,9 +155,14 @@ class BbsIndex {
   /// Builds a folded MemBBS view with `new_bits` slices: the slice at
   /// position p of this index is folded into position (p % new_bits)
   /// (preprocessing phase of the adaptive filter, Section 3.1). Counts from
-  /// the folded index are still upper bounds on true support.
+  /// the folded index are still upper bounds on true support. The result is
+  /// always resident — folding is the compaction path for cold segments.
   /// Precondition: 0 < new_bits <= num_bits().
   BbsIndex Fold(uint32_t new_bits) const;
+
+  /// Deep copy with a resident backend (identity copy when already
+  /// resident). The adoption path for mutable tails built from mmap files.
+  BbsIndex Materialize() const;
 
   /// Size of one serialized slice, in bytes.
   uint64_t SliceBytes() const { return (num_transactions_ + 7) / 8; }
@@ -136,33 +173,61 @@ class BbsIndex {
   }
 
   /// Approximate resident memory of the slice data, in bytes.
-  size_t MemoryUsage() const;
+  size_t MemoryUsage() const { return source_->ApproxResidentBytes(); }
 
-  /// Charges a full sequential pass over all slices to `io`.
+  /// Charges a full sequential pass over all slices to `io` (resident cost
+  /// model) and hints the backend that a sequential scan is coming (mmap
+  /// readahead).
   void ChargeFullScan(IoStats* io, uint32_t block_size = 4096) const;
 
-  /// Serializes the index into the on-disk byte layout (magic + version +
-  /// CRC + payload). Save is Serialize + one atomic file write; exposed
+  /// Serializes the index into the v2 aligned on-disk byte layout
+  /// (docs/FORMATS.md): checksummed metadata, then each slice's word array
+  /// 64-byte-aligned so the file can be mmap'd and fed to the SIMD kernels
+  /// directly. Save is Serialize + one atomic file write; exposed
   /// separately so multi-file containers (SegmentedBbs manifests,
   /// checkpoints) can checksum and write segment images themselves.
   std::string Serialize() const;
 
-  /// Parses bytes produced by Serialize. `context` names the source (file
-  /// path) in error messages.
+  /// Parses bytes produced by Serialize — the v2 aligned layout or the
+  /// legacy v1 packed layout — into a resident index. `context` names the
+  /// source (file path) in error messages.
   static Result<BbsIndex> Deserialize(std::string_view file,
                                       const std::string& context);
 
   /// Writes the index to `path` (atomic replace; see util/file_io.h).
   Status Save(const std::string& path) const;
 
-  /// Reads an index previously written by Save.
+  /// Reads an index previously written by Save (resident backend).
   static Result<BbsIndex> Load(const std::string& path);
 
-  /// Structural equality (config, transactions, slice contents).
+  /// Opens a v2 index file zero-copy via mmap. Only the metadata prefix is
+  /// validated and faulted in (magic, version, header checksum, structural
+  /// bounds — including that the file covers every slice, so a truncated
+  /// map fails cleanly instead of SIGBUSing); slice pages fault in on
+  /// demand. v1 files are rejected: the packed layout cannot be served
+  /// in place (rebuild or load resident).
+  static Result<BbsIndex> OpenMmap(const std::string& path);
+
+  /// Structural equality (config, transactions, slice contents); backend
+  /// agnostic, so an mmap'd index equals its resident twin.
   bool operator==(const BbsIndex& other) const;
 
  private:
   BbsIndex(const BbsConfig& config, BloomHashFamily family, uint32_t folded);
+
+  /// Word array of slice `pos`, whatever the backend.
+  const BitVector::Word* SliceWords(uint32_t pos) const {
+    return source_->Words(pos);
+  }
+
+  /// Words per slice: ceil(num_transactions / 64).
+  size_t WordsPerSlice() const {
+    return (num_transactions_ + BitVector::kWordBits - 1) /
+           BitVector::kWordBits;
+  }
+
+  /// Per-transaction signature popcounts recomputed from the slice data.
+  std::vector<uint32_t> ComputeSignatureBits() const;
 
   /// Rebuilds signature_bits_ by summing slice columns (after Fold/Load).
   void RecomputeSignatureBits();
@@ -183,7 +248,7 @@ class BbsIndex {
   BloomHashFamily family_;
   uint32_t folded_bits_;  // 0 = unfolded
   size_t num_transactions_ = 0;
-  std::vector<BitVector> slices_;        // num_bits() slices of N bits each
+  std::unique_ptr<SliceSource> source_;  // owns the num_bits() slices
   std::vector<size_t> slice_popcount_;   // cached popcounts
   std::vector<uint64_t> item_counts_;    // exact 1-itemset counts (optional)
   std::vector<uint32_t> signature_bits_; // per-transaction signature popcount

@@ -95,6 +95,11 @@ Status SegmentedBbs::Insert(const Itemset& items) {
   if (segments_.back().num_transactions() >= segment_capacity_) {
     BBSMINE_RETURN_IF_ERROR(AppendSegment());
   }
+  // A tail opened from an mmap'd file is read-only; first insert copies it
+  // to the resident backend (sealed segments stay zero-copy).
+  if (!segments_.back().resident()) {
+    segments_.back() = segments_.back().Materialize();
+  }
   segments_.back().Insert(items);
   ++num_transactions_;
   return Status::Ok();
@@ -182,8 +187,28 @@ Status SegmentedBbs::Save(const std::string& prefix) const {
                                 /*epoch=*/0, infos);
 }
 
+Status SegmentedBbs::FoldSegment(size_t idx, uint32_t new_bits) {
+  if (idx >= segments_.size()) {
+    return Status::OutOfRange("no segment " + std::to_string(idx));
+  }
+  if (idx + 1 == segments_.size()) {
+    return Status::InvalidArgument(
+        "cannot fold the open tail segment (it still takes inserts)");
+  }
+  BbsIndex& segment = segments_[idx];
+  if (new_bits == 0 || new_bits > segment.num_bits()) {
+    return Status::InvalidArgument("fold target must be in (0, num_bits]");
+  }
+  if (segment.is_folded() && segment.num_bits() <= new_bits) {
+    return Status::InvalidArgument("segment already folded at least as far");
+  }
+  segment = segment.Fold(new_bits);
+  return Status::Ok();
+}
+
 Result<SegmentedBbs> SegmentedBbs::Load(const std::string& prefix,
-                                        uint64_t* epoch) {
+                                        uint64_t* epoch,
+                                        IndexBackend backend) {
   Result<std::string> contents = ReadBinaryFile(prefix + ".manifest");
   if (!contents.ok()) return contents.status();
   const std::string& file = *contents;
@@ -219,17 +244,25 @@ Result<SegmentedBbs> SegmentedBbs::Load(const std::string& prefix,
     uint64_t manifest_txns = ParseU64(file, &pos);
     uint32_t manifest_crc = ParseU32(file, &pos);
     const std::string path = SegmentFilePath(prefix, idx);
-    Result<std::string> image = ReadBinaryFile(path);
-    if (!image.ok()) return image.status();
-    // The file CRC ties this segment to this manifest's generation: a
-    // segment left over from (or overwritten by) a different save fails
-    // here even though it is a perfectly valid BbsIndex on its own.
-    if (Crc32(*image) != manifest_crc) {
-      return Status::Corruption("segment file " + path +
-                                " does not match manifest (stale or "
-                                "mixed-generation segment set)");
+    Result<BbsIndex> segment = Status::Internal("unset");
+    if (backend == IndexBackend::kMmap) {
+      // Zero-copy open: header CRC + structural bounds only. The full-file
+      // CRC below would fault in every slice page, so the mmap path trades
+      // the whole-generation binding for lazy serving (see header comment).
+      segment = BbsIndex::OpenMmap(path);
+    } else {
+      Result<std::string> image = ReadBinaryFile(path);
+      if (!image.ok()) return image.status();
+      // The file CRC ties this segment to this manifest's generation: a
+      // segment left over from (or overwritten by) a different save fails
+      // here even though it is a perfectly valid BbsIndex on its own.
+      if (Crc32(*image) != manifest_crc) {
+        return Status::Corruption("segment file " + path +
+                                  " does not match manifest (stale or "
+                                  "mixed-generation segment set)");
+      }
+      segment = BbsIndex::Deserialize(*image, path);
     }
-    Result<BbsIndex> segment = BbsIndex::Deserialize(*image, path);
     if (!segment.ok()) return segment.status();
     if (segment->num_transactions() != manifest_txns) {
       return Status::Corruption("segment " + path +

@@ -128,12 +128,28 @@ class SegmentedBbs {
   Status Save(const std::string& prefix) const;
 
   /// Reads an index previously written by Save (or by a checkpoint).
-  /// Verifies each segment file's CRC against the manifest and fails with
-  /// Corruption on an epoch-inconsistent (mixed-generation) segment set.
+  /// With the resident backend, each segment file's CRC is verified against
+  /// the manifest and Load fails with Corruption on an epoch-inconsistent
+  /// (mixed-generation) segment set. With the mmap backend, segments are
+  /// opened zero-copy (BbsIndex::OpenMmap): each file's v2 header checksum
+  /// and structural bounds are verified and its transaction count is
+  /// cross-checked against the manifest, but the full-file CRC binding is
+  /// deliberately skipped — verifying it would fault in every slice page
+  /// and defeat lazy serving (docs/FORMATS.md covers the trade-off).
   /// `epoch`, when non-null, receives the generation stamp the manifest
   /// was saved with.
-  static Result<SegmentedBbs> Load(const std::string& prefix,
-                                   uint64_t* epoch = nullptr);
+  static Result<SegmentedBbs> Load(
+      const std::string& prefix, uint64_t* epoch = nullptr,
+      IndexBackend backend = IndexBackend::kResident);
+
+  /// Fold compaction of one sealed segment (cold-tier rewrite): replaces
+  /// segment `idx` with its Fold(new_bits) — resident — image. Counts from
+  /// the folded segment remain upper bounds, so the filter-and-refine
+  /// pipeline keeps working; the segment's serialized size shrinks by
+  /// roughly num_bits/new_bits. Fails on the open tail segment (it still
+  /// takes inserts at full width), on an already-narrower segment, or on
+  /// an out-of-range target.
+  Status FoldSegment(size_t idx, uint32_t new_bits);
 
   bool operator==(const SegmentedBbs& other) const;
 

@@ -1,0 +1,41 @@
+#include "core/slice_source.h"
+
+namespace bbsmine {
+
+Result<IndexBackend> ParseIndexBackend(std::string_view name) {
+  if (name == "resident") return IndexBackend::kResident;
+  if (name == "mmap") return IndexBackend::kMmap;
+  return Status::InvalidArgument("unknown index backend '" +
+                                 std::string(name) +
+                                 "' (expected resident|mmap)");
+}
+
+const char* IndexBackendName(IndexBackend backend) {
+  return backend == IndexBackend::kMmap ? "mmap" : "resident";
+}
+
+size_t ResidentSliceSource::ApproxResidentBytes() const {
+  size_t total = 0;
+  for (const BitVector& slice : slices_) total += slice.MemoryUsage();
+  return total;
+}
+
+std::unique_ptr<SliceSource> ResidentSliceSource::Clone() const {
+  auto copy = std::make_unique<ResidentSliceSource>(0);
+  copy->slices_ = slices_;
+  return copy;
+}
+
+void MmapSliceSource::AdviseSequentialScan() const {
+  const uint64_t bytes = static_cast<uint64_t>(num_slices_) * stride_bytes_;
+  file_->AdviseSequential(data_offset_, bytes);
+  file_->AdviseWillNeed(data_offset_, bytes);
+}
+
+std::unique_ptr<SliceSource> MmapSliceSource::Clone() const {
+  return std::make_unique<MmapSliceSource>(file_, data_offset_, stride_bytes_,
+                                           num_slices_, words_per_slice_,
+                                           slice_bits_);
+}
+
+}  // namespace bbsmine

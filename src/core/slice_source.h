@@ -1,0 +1,186 @@
+// SliceSource — the backend that owns a BBS index's slice words.
+//
+// The BBS query path (CountItemSet and friends) only ever consumes slices as
+// spans of 64-bit words fed to the SIMD kernels. SliceSource abstracts where
+// those words live:
+//
+//   * ResidentSliceSource — the classic backend: every slice is a BitVector
+//     on the heap. Mutable (Insert appends bits), and the only backend that
+//     charges the paper's synthetic I/O cost model (util/iomodel.h).
+//   * MmapSliceSource — zero-copy over the v2 aligned on-disk layout
+//     (docs/FORMATS.md): the sealed index file is mmap'd once and each
+//     slice's word array is served straight from the mapping. The v2 format
+//     64-byte-aligns every slice on disk, so the pointers satisfy the same
+//     cache-line alignment the resident BitVectors guarantee and the kernels
+//     run unmodified. Read-only; memory cost is page-cache residency, which
+//     the OS reclaims under pressure — indexes larger than RAM stay
+//     servable.
+//
+// Clone() is how snapshots share sealed segments: resident clones deep-copy,
+// mmap clones share the underlying mapping (shared_ptr), so publishing a
+// snapshot of an mmap'd segment costs O(1) memory.
+
+#ifndef BBSMINE_CORE_SLICE_SOURCE_H_
+#define BBSMINE_CORE_SLICE_SOURCE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/bitvector.h"
+#include "util/bitvector_kernels.h"
+#include "util/mmap_file.h"
+#include "util/status.h"
+
+namespace bbsmine {
+
+/// Which SliceSource implementation backs an index loaded from disk.
+enum class IndexBackend { kResident, kMmap };
+
+/// Parses "resident" / "mmap" (the --index-backend flag values).
+Result<IndexBackend> ParseIndexBackend(std::string_view name);
+
+/// Flag-value name of a backend ("resident" / "mmap").
+const char* IndexBackendName(IndexBackend backend);
+
+/// A borrowed, read-only view of one bit-slice: `num_bits` bits (one per
+/// transaction) backed by `num_words` 64-bit words. Bits past num_bits in
+/// the last word are zero. Valid only while the owning index is alive.
+struct SliceView {
+  const BitVector::Word* words = nullptr;
+  size_t num_words = 0;
+  size_t num_bits = 0;
+
+  bool Get(size_t i) const {
+    return (words[i / BitVector::kWordBits] >> (i % BitVector::kWordBits)) &
+           1u;
+  }
+
+  size_t Count() const { return kernels::Count(words, num_words); }
+};
+
+class ResidentSliceSource;
+
+/// Owner of an index's slice words; see file comment for the backends.
+class SliceSource {
+ public:
+  using Word = BitVector::Word;
+
+  virtual ~SliceSource() = default;
+
+  /// Backend name as reported in stats ("resident" / "mmap").
+  virtual const char* name() const = 0;
+
+  virtual uint32_t num_slices() const = 0;
+
+  /// Bits per slice (= number of transactions).
+  virtual size_t slice_bits() const = 0;
+
+  /// Words per slice: ceil(slice_bits / 64).
+  virtual size_t words_per_slice() const = 0;
+
+  /// The 64-byte-aligned word array of slice `slice`.
+  virtual const Word* Words(uint32_t slice) const = 0;
+
+  SliceView View(uint32_t slice) const {
+    return SliceView{Words(slice), words_per_slice(), slice_bits()};
+  }
+
+  /// Heap bytes pinned by the slice data. Zero for mmap (pages are clean,
+  /// file-backed, and evictable — they are not committed memory).
+  virtual size_t ApproxResidentBytes() const = 0;
+
+  /// Whether slice reads should be billed to the synthetic IoStats cost
+  /// model. False for mmap: those reads fault real pages, and charging the
+  /// model too would double-count them (see storage/page_cache.h).
+  virtual bool charges_synthetic_io() const = 0;
+
+  /// Hint that all slices are about to be read front to back (full filter
+  /// scan). No-op for resident; madvise readahead for mmap.
+  virtual void AdviseSequentialScan() const {}
+
+  /// Deep copy for resident, shared mapping for mmap.
+  virtual std::unique_ptr<SliceSource> Clone() const = 0;
+
+  /// Downcast for the mutation path (Insert / fold construction); returns
+  /// nullptr for read-only backends.
+  virtual ResidentSliceSource* AsResident() { return nullptr; }
+  virtual const ResidentSliceSource* AsResident() const { return nullptr; }
+};
+
+/// Heap-resident backend: one BitVector per slice. Mutable.
+class ResidentSliceSource final : public SliceSource {
+ public:
+  explicit ResidentSliceSource(uint32_t num_slices) : slices_(num_slices) {}
+
+  const char* name() const override { return "resident"; }
+  uint32_t num_slices() const override {
+    return static_cast<uint32_t>(slices_.size());
+  }
+  size_t slice_bits() const override {
+    return slices_.empty() ? 0 : slices_[0].size();
+  }
+  size_t words_per_slice() const override {
+    return slices_.empty() ? 0 : slices_[0].num_words();
+  }
+  const Word* Words(uint32_t slice) const override {
+    return slices_[slice].words().data();
+  }
+  size_t ApproxResidentBytes() const override;
+  bool charges_synthetic_io() const override { return true; }
+  std::unique_ptr<SliceSource> Clone() const override;
+  ResidentSliceSource* AsResident() override { return this; }
+  const ResidentSliceSource* AsResident() const override { return this; }
+
+  BitVector& slice(uint32_t s) { return slices_[s]; }
+  std::vector<BitVector>& slices() { return slices_; }
+  const std::vector<BitVector>& slices() const { return slices_; }
+
+ private:
+  std::vector<BitVector> slices_;
+};
+
+/// Zero-copy backend over an mmap'd v2 index file. Read-only; the mapping
+/// is shared between clones.
+class MmapSliceSource final : public SliceSource {
+ public:
+  MmapSliceSource(std::shared_ptr<MmapFile> file, uint64_t data_offset,
+                  uint64_t stride_bytes, uint32_t num_slices,
+                  size_t words_per_slice, size_t slice_bits)
+      : file_(std::move(file)),
+        data_offset_(data_offset),
+        stride_bytes_(stride_bytes),
+        num_slices_(num_slices),
+        words_per_slice_(words_per_slice),
+        slice_bits_(slice_bits) {}
+
+  const char* name() const override { return "mmap"; }
+  uint32_t num_slices() const override { return num_slices_; }
+  size_t slice_bits() const override { return slice_bits_; }
+  size_t words_per_slice() const override { return words_per_slice_; }
+  const Word* Words(uint32_t slice) const override {
+    return reinterpret_cast<const Word*>(file_->data() + data_offset_ +
+                                         static_cast<uint64_t>(slice) *
+                                             stride_bytes_);
+  }
+  size_t ApproxResidentBytes() const override { return 0; }
+  bool charges_synthetic_io() const override { return false; }
+  void AdviseSequentialScan() const override;
+  std::unique_ptr<SliceSource> Clone() const override;
+
+  const std::shared_ptr<MmapFile>& file() const { return file_; }
+
+ private:
+  std::shared_ptr<MmapFile> file_;
+  uint64_t data_offset_;
+  uint64_t stride_bytes_;
+  uint32_t num_slices_;
+  size_t words_per_slice_;
+  size_t slice_bits_;
+};
+
+}  // namespace bbsmine
+
+#endif  // BBSMINE_CORE_SLICE_SOURCE_H_

@@ -178,6 +178,11 @@ JsonValue BuildRunReport(const RunReportContext& ctx,
   engine.Set("resolved_threads", JsonValue::Uint(ctx.resolved_threads));
   engine.Set("index_bits", JsonValue::Uint(ctx.index_bits));
   engine.Set("index_hashes", JsonValue::Uint(ctx.index_hashes));
+  engine.Set("index_backend", JsonValue::String(ctx.index_backend));
+  engine.Set("resident_slice_bytes",
+             JsonValue::Uint(ctx.resident_slice_bytes));
+  engine.Set("minor_faults", JsonValue::Uint(ctx.minor_faults));
+  engine.Set("major_faults", JsonValue::Uint(ctx.major_faults));
   report.Set("engine", std::move(engine));
 
   report.Set("patterns", JsonValue::Uint(result.patterns.size()));

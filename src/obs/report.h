@@ -53,6 +53,14 @@ struct RunReportContext {
   /// BBS geometry: signature width in bits and hash count.
   uint32_t index_bits = 0;
   uint32_t index_hashes = 0;
+  /// SliceSource backend serving the index ("resident" or "mmap").
+  std::string index_backend = "resident";
+  /// Heap bytes pinned by the index's slice data (0 for mmap).
+  uint64_t resident_slice_bytes = 0;
+  /// Page faults incurred during the run (getrusage deltas): the
+  /// real-memory signal for mmap-backed runs that heap accounting misses.
+  uint64_t minor_faults = 0;
+  uint64_t major_faults = 0;
 };
 
 /// Builds the schema-versioned run report for one finished mining run.

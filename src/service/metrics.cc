@@ -19,6 +19,7 @@ ServiceMetrics::ServiceMetrics() {
   shared_seed_queries = registry_.AddCounter("counters.shared_seed_queries");
   inserted_transactions =
       registry_.AddCounter("counters.inserted_transactions");
+  compacted_segments = registry_.AddCounter("counters.compacted_segments");
   queue_depth = registry_.AddGauge("gauges.queue_depth");
   batch_size_peak = registry_.AddGauge("gauges.batch_size_peak");
   active_connections = registry_.AddGauge("gauges.active_connections");
@@ -74,7 +75,22 @@ obs::JsonValue BuildServiceReport(const ServiceReportContext& ctx,
   service.Set("snapshot_seals", JsonValue::Uint(ctx.snapshot_seals));
   service.Set("draining", JsonValue::Bool(ctx.draining));
   service.Set("mine_enabled", JsonValue::Bool(ctx.mine_enabled));
+  service.Set("index_backend", JsonValue::String(ctx.index_backend));
+  service.Set("resident_slice_bytes",
+              JsonValue::Uint(ctx.resident_slice_bytes));
+  service.Set("minor_faults", JsonValue::Uint(ctx.minor_faults));
+  service.Set("major_faults", JsonValue::Uint(ctx.major_faults));
   report.Set("service", std::move(service));
+
+  JsonValue compaction = JsonValue::Object();
+  compaction.Set("enabled", JsonValue::Bool(ctx.compaction_enabled));
+  if (ctx.compaction_enabled) {
+    compaction.Set("cold_epochs", JsonValue::Uint(ctx.compact_cold_epochs));
+    compaction.Set("fold_bits", JsonValue::Uint(ctx.compact_fold_bits));
+  }
+  compaction.Set("compacted_segments",
+                 JsonValue::Uint(ctx.compacted_segments));
+  report.Set("compaction", std::move(compaction));
 
   JsonValue durability = JsonValue::Object();
   durability.Set("enabled", JsonValue::Bool(ctx.durable));

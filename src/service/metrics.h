@@ -59,6 +59,7 @@ class ServiceMetrics {
   size_t shared_seed_queries;    ///< per-segment counts seeded from the
                                  ///< batch's shared single-item slice cache
   size_t inserted_transactions;
+  size_t compacted_segments;     ///< cold sealed segments fold-compacted
 
   // Gauge slots (section "gauges"; watermark semantics).
   size_t queue_depth;         ///< deepest admission-queue backlog seen
@@ -118,6 +119,22 @@ struct ServiceReportContext {
   uint64_t torn_tail_bytes = 0;
   double recovery_seconds = 0;
   bool checkpoint_loaded = false;
+
+  /// Read-path facts: which SliceSource backend serves sealed segments,
+  /// heap bytes the visible snapshot pins (0 per mmap'd segment), and
+  /// process page-fault totals (getrusage) — the real-memory signal that
+  /// heap accounting cannot see. Additive; schema stays 1.
+  std::string index_backend = "resident";
+  uint64_t resident_slice_bytes = 0;
+  uint64_t minor_faults = 0;
+  uint64_t major_faults = 0;
+
+  /// Cold-segment fold compaction (rendered as the "compaction" section;
+  /// disabled renders just {"enabled": false}).
+  bool compaction_enabled = false;
+  uint64_t compact_cold_epochs = 0;
+  uint64_t compact_fold_bits = 0;
+  uint64_t compacted_segments = 0;
 };
 
 /// Builds the schema-versioned service report (STATS payload / shutdown

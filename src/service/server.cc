@@ -6,6 +6,7 @@
 
 #include "baseline/eclat.h"
 #include "service/wire.h"
+#include "util/rusage.h"
 
 namespace bbsmine::service {
 
@@ -145,6 +146,12 @@ obs::JsonValue BbsService::HandleInsert(const obs::JsonValue& request) {
       if (!inserted.ok()) return ErrorResponse("INSERT", inserted);
       if (db_ != nullptr) db_->Append(items);
     }
+    // Fold cold sealed segments before the checkpoint below so a triggered
+    // checkpoint persists the compacted generation.
+    size_t compacted = index_->CompactColdSegments(options_.compaction);
+    if (compacted > 0) {
+      metrics_.Inc(metrics_.compacted_segments, compacted);
+    }
     epoch = index_->epoch();
     if (durability_ != nullptr && durability_->ShouldCheckpoint()) {
       // The batch is already durable in the WAL, so a failed automatic
@@ -267,6 +274,15 @@ obs::JsonValue BbsService::BuildStatsReport() const {
   ctx.segment_capacity = index_->segment_capacity();
   ctx.draining = draining_.load(std::memory_order_relaxed);
   ctx.mine_enabled = db_ != nullptr;
+  ctx.index_backend = IndexBackendName(options_.index_backend);
+  ctx.resident_slice_bytes = snap.ApproxResidentBytes();
+  const PageFaultCounters faults = CurrentPageFaults();
+  ctx.minor_faults = faults.minor;
+  ctx.major_faults = faults.major;
+  ctx.compaction_enabled = options_.compaction.enabled();
+  ctx.compact_cold_epochs = options_.compaction.cold_epochs;
+  ctx.compact_fold_bits = options_.compaction.fold_bits;
+  ctx.compacted_segments = index_->compactions();
   if (durability_ != nullptr) {
     std::lock_guard<std::mutex> lock(write_mu_);
     ctx.durable = true;

@@ -53,6 +53,15 @@ struct ServiceOptions {
   /// is live (see service/durability.h). Owned by the caller; must outlive
   /// the service. Null = the pre-durability in-memory behavior.
   DurabilityManager* durability = nullptr;
+  /// The SliceSource backend the daemon loaded its index with (the load
+  /// itself happens in the daemon main; this is echoed in STATS).
+  IndexBackend index_backend = IndexBackend::kResident;
+  /// When enabled, every INSERT batch ends with a CompactColdSegments pass
+  /// (service/snapshot.h): sealed segments untouched for `cold_epochs`
+  /// publications are folded to `fold_bits` slices. Counts from folded
+  /// segments remain upper bounds but are no longer bit-identical to the
+  /// full-width index, so this defaults off.
+  CompactionPolicy compaction;
 };
 
 class BbsService {

@@ -6,6 +6,14 @@
 
 namespace bbsmine::service {
 
+size_t Snapshot::ApproxResidentBytes() const {
+  size_t total = 0;
+  for (const auto& segment : state_->segments) {
+    total += segment->ApproxResidentBytes();
+  }
+  return total;
+}
+
 size_t Snapshot::CountItemSet(const Itemset& items, IoStats* io,
                               size_t num_threads) const {
   const auto& segments = state_->segments;
@@ -56,8 +64,12 @@ Result<SnapshotManager> SnapshotManager::FromIndex(const SegmentedBbs& index) {
     for (size_t idx = 0; idx + 1 < index.num_segments(); ++idx) {
       out->sealed_.push_back(
           std::make_shared<const BbsIndex>(index.segment(idx)));
+      out->sealed_epoch_.push_back(out->epoch_);
     }
-    *out->tail_ = index.segment(index.num_segments() - 1);
+    // An mmap-backed tail is read-only; materialize it so inserts work
+    // (adopted sealed segments above stay zero-copy — the BbsIndex copy
+    // shares the mapping).
+    *out->tail_ = index.segment(index.num_segments() - 1).Materialize();
     out->num_transactions_ = index.num_transactions();
     out->PublishLocked();
   }
@@ -72,6 +84,7 @@ Result<SnapshotManager> SnapshotManager::FromIndex(const BbsIndex& index,
     std::lock_guard<std::mutex> lock(*out->mu_);
     if (index.num_transactions() > 0) {
       out->sealed_.push_back(std::make_shared<const BbsIndex>(index));
+      out->sealed_epoch_.push_back(out->epoch_);
       out->num_transactions_ = index.num_transactions();
     }
     out->PublishLocked();
@@ -85,9 +98,37 @@ Status SnapshotManager::MaybeSealLocked() {
   if (!fresh.ok()) return fresh.status();
   sealed_.push_back(
       std::make_shared<const BbsIndex>(std::move(*tail_)));
+  sealed_epoch_.push_back(epoch_);
   *tail_ = std::move(fresh).value();
   ++seals_;
   return Status::Ok();
+}
+
+size_t SnapshotManager::CompactColdSegments(const CompactionPolicy& policy) {
+  if (!policy.enabled()) return 0;
+  std::lock_guard<std::mutex> lock(*mu_);
+  size_t folded = 0;
+  for (size_t idx = 0; idx < sealed_.size(); ++idx) {
+    const BbsIndex& segment = *sealed_[idx];
+    if (segment.is_folded()) continue;
+    if (policy.fold_bits >= segment.num_bits()) continue;
+    if (epoch_ - sealed_epoch_[idx] < policy.cold_epochs) continue;
+    // Replace the shared_ptr in place: snapshots already holding the
+    // unfolded segment keep it alive; new acquisitions see the compact one.
+    sealed_[idx] =
+        std::make_shared<const BbsIndex>(segment.Fold(policy.fold_bits));
+    ++folded;
+  }
+  if (folded > 0) {
+    compactions_ += folded;
+    PublishLocked();
+  }
+  return folded;
+}
+
+uint64_t SnapshotManager::compactions() const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  return compactions_;
 }
 
 uint64_t SnapshotManager::publications() const {

@@ -56,6 +56,20 @@
 
 namespace bbsmine::service {
 
+/// When and how far to fold cold sealed segments (the compact tier).
+/// Disabled unless both fields are non-zero.
+struct CompactionPolicy {
+  /// A sealed segment is cold once this many publication epochs have
+  /// passed since it was sealed (sealed segments never mutate again, so
+  /// age-since-seal is the access-independent coldness signal).
+  uint64_t cold_epochs = 0;
+  /// Fold target: the cold segment is rewritten with this many slices
+  /// (counts stay upper bounds — Section 3.1's MemBBS fold).
+  uint32_t fold_bits = 0;
+
+  bool enabled() const { return cold_epochs != 0 && fold_bits != 0; }
+};
+
 /// An immutable view of the index at one publication epoch. Cheap to copy
 /// (one shared_ptr); safe to query from any thread; keeps the segments it
 /// references alive for its own lifetime.
@@ -75,6 +89,10 @@ class Snapshot {
   size_t num_segments() const { return state_->segments.size(); }
   const BbsIndex& segment(size_t idx) const { return *state_->segments[idx]; }
   const BbsConfig& config() const { return state_->config; }
+
+  /// Heap bytes pinned by the visible segments' slice data (0 per mmap'd
+  /// segment — their pages are file-backed and reclaimable).
+  size_t ApproxResidentBytes() const;
 
   /// Estimated number of visible transactions containing `items`,
   /// accumulated segment by segment exactly like SegmentedBbs::CountItemSet
@@ -147,6 +165,19 @@ class SnapshotManager {
   /// Number of tail seals (segments frozen because they reached capacity).
   uint64_t seals() const;
 
+  /// Fold compaction of cold sealed segments. Every sealed segment that
+  /// (a) is not yet folded, (b) was sealed at least `policy.cold_epochs`
+  /// publications ago, and (c) is wider than `policy.fold_bits` is replaced
+  /// with its Fold(policy.fold_bits) image and the result is published as a
+  /// new epoch. Snapshots acquired earlier keep the unfolded originals
+  /// alive until released; counts from folded segments remain upper bounds.
+  /// Returns the number of segments compacted (0 when the policy is
+  /// disabled or nothing is cold).
+  size_t CompactColdSegments(const CompactionPolicy& policy);
+
+  /// Total segments compacted by CompactColdSegments so far.
+  uint64_t compactions() const;
+
   uint64_t segment_capacity() const { return segment_capacity_; }
 
  private:
@@ -165,11 +196,15 @@ class SnapshotManager {
   // Writer state; guarded by mu_. Readers never touch it.
   std::unique_ptr<std::mutex> mu_ = std::make_unique<std::mutex>();
   std::vector<std::shared_ptr<const BbsIndex>> sealed_;
+  // sealed_epoch_[i]: the epoch current when sealed_[i] froze (parallel to
+  // sealed_). Drives the CompactionPolicy coldness test.
+  std::vector<uint64_t> sealed_epoch_;
   std::unique_ptr<BbsIndex> tail_;  // writer-private mutable tail
   size_t num_transactions_ = 0;
   uint64_t epoch_ = 0;
   uint64_t publications_ = 0;
   uint64_t seals_ = 0;
+  uint64_t compactions_ = 0;
 
   // The published snapshot state: a shared_ptr slot behind a leaf mutex
   // whose critical sections are pointer copies only (see the file comment

@@ -13,6 +13,14 @@
 // then depends on the probe interleaving, so miss counts may vary between
 // multi-threaded runs — exactly as on real hardware — while probe *results*
 // are unaffected.
+//
+// Scope: this cache is the *paper's cost model only* — it charges synthetic
+// IoStats reads for a 2002-era buffered-disk setup; it never stores or
+// fetches data. Runs on the mmap slice backend skip the analogous synthetic
+// slice-read charging (SliceSource::charges_synthetic_io() is false there):
+// a slice the kernel actually faulted in must not also be billed by the
+// model, so IoStats never double-counts. Real paging behavior for mmap runs
+// is observed through getrusage page-fault deltas (util/rusage.h) instead.
 
 #ifndef BBSMINE_STORAGE_PAGE_CACHE_H_
 #define BBSMINE_STORAGE_PAGE_CACHE_H_

@@ -1,0 +1,69 @@
+#include "util/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <utility>
+
+namespace bbsmine {
+
+Result<std::shared_ptr<MmapFile>> MmapFile::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return StatusFromErrno("open " + path);
+
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    Status status = StatusFromErrno("fstat " + path);
+    ::close(fd);
+    return status;
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+
+  uint8_t* data = nullptr;
+  if (size > 0) {
+    void* mapped = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (mapped == MAP_FAILED) {
+      Status status = StatusFromErrno("mmap " + path);
+      ::close(fd);
+      return status;
+    }
+    data = static_cast<uint8_t*>(mapped);
+  }
+  ::close(fd);
+  return std::shared_ptr<MmapFile>(new MmapFile(path, data, size));
+}
+
+MmapFile::~MmapFile() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+}
+
+void MmapFile::Advise(size_t offset, size_t length, int advice) const {
+  if (data_ == nullptr || length == 0 || offset >= size_) return;
+  length = std::min(length, size_ - offset);
+  // Widen to page boundaries: madvise requires a page-aligned start.
+  const size_t page = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+  const size_t begin = offset / page * page;
+  const size_t end = offset + length;
+  (void)::madvise(data_ + begin, end - begin, advice);
+}
+
+void MmapFile::AdviseSequential(size_t offset, size_t length) const {
+  Advise(offset, length, MADV_SEQUENTIAL);
+}
+
+void MmapFile::AdviseWillNeed(size_t offset, size_t length) const {
+  Advise(offset, length, MADV_WILLNEED);
+}
+
+void MmapFile::AdviseRandom(size_t offset, size_t length) const {
+  Advise(offset, length, MADV_RANDOM);
+}
+
+void MmapFile::AdviseDontNeed(size_t offset, size_t length) const {
+  Advise(offset, length, MADV_DONTNEED);
+}
+
+}  // namespace bbsmine

@@ -1,0 +1,60 @@
+// Read-only memory-mapped files.
+//
+// MmapFile is the substrate of the mmap slice backend (core/slice_source.h):
+// a sealed index file is mapped once and its 64-byte-aligned slice arrays are
+// handed to the SIMD kernels directly, so serving cost is page-cache
+// residency, not heap bytes. The mapping is shared (shared_ptr) between every
+// index clone that serves the same file, and madvise wrappers let callers
+// hint sequential scans / drop pages without owning the raw pointers.
+
+#ifndef BBSMINE_UTIL_MMAP_FILE_H_
+#define BBSMINE_UTIL_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/status.h"
+
+namespace bbsmine {
+
+/// An immutable byte range backed by a private read-only file mapping.
+class MmapFile {
+ public:
+  /// Maps `path` read-only. The file descriptor is closed before returning;
+  /// the mapping stays valid until the MmapFile is destroyed. An empty file
+  /// yields data() == nullptr, size() == 0 (no mapping is created).
+  static Result<std::shared_ptr<MmapFile>> Open(const std::string& path);
+
+  ~MmapFile();
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+  // Best-effort page-residency hints over [offset, offset + length). The
+  // range is widened to page boundaries; errors are ignored (hints only).
+  void AdviseSequential(size_t offset, size_t length) const;
+  void AdviseWillNeed(size_t offset, size_t length) const;
+  void AdviseRandom(size_t offset, size_t length) const;
+  /// Drops the range's page-table entries (and, for private mappings, any
+  /// resident copies). Used by benchmarks to measure a cold read path.
+  void AdviseDontNeed(size_t offset, size_t length) const;
+
+ private:
+  MmapFile(std::string path, uint8_t* data, size_t size)
+      : path_(std::move(path)), data_(data), size_(size) {}
+
+  void Advise(size_t offset, size_t length, int advice) const;
+
+  std::string path_;
+  uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace bbsmine
+
+#endif  // BBSMINE_UTIL_MMAP_FILE_H_

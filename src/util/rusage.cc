@@ -1,0 +1,14 @@
+#include "util/rusage.h"
+
+#include <sys/resource.h>
+
+namespace bbsmine {
+
+PageFaultCounters CurrentPageFaults() {
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return {};
+  return {static_cast<uint64_t>(usage.ru_minflt),
+          static_cast<uint64_t>(usage.ru_majflt)};
+}
+
+}  // namespace bbsmine

@@ -1,0 +1,31 @@
+// Process page-fault counters, for observing real memory behavior.
+//
+// The mmap slice backend trades heap residency for demand paging; heap
+// accounting alone cannot see that. getrusage exposes the ground truth:
+// minor faults (page present in the page cache, only a PTE is installed)
+// and major faults (the page had to be read from disk). Reports and
+// benchmarks record deltas of these around a measured region.
+
+#ifndef BBSMINE_UTIL_RUSAGE_H_
+#define BBSMINE_UTIL_RUSAGE_H_
+
+#include <cstdint>
+
+namespace bbsmine {
+
+/// Cumulative page-fault counts of the calling process.
+struct PageFaultCounters {
+  uint64_t minor = 0;  ///< Faults served without disk I/O.
+  uint64_t major = 0;  ///< Faults that required reading from disk.
+
+  PageFaultCounters operator-(const PageFaultCounters& other) const {
+    return {minor - other.minor, major - other.major};
+  }
+};
+
+/// Snapshot of the process's page-fault counters (getrusage RUSAGE_SELF).
+PageFaultCounters CurrentPageFaults();
+
+}  // namespace bbsmine
+
+#endif  // BBSMINE_UTIL_RUSAGE_H_

@@ -201,11 +201,32 @@ TEST(CorruptionMatrixTest, BbsIndexRegions) {
   std::string path = TempPath("bbsmine_matrix_idx.bin");
   ASSERT_TRUE(bbs->Save(path).ok());
   std::string original = ReadFile(path);
+  // v2 layout (docs/FORMATS.md): magic[0,8) version[8,12) header_crc[12,16)
+  // fixed metadata + arrays + padding [16, slice_data_offset) covered by the
+  // header CRC, then 64-byte-aligned slice data covered by data_crc. The
+  // slice_data_offset field sits at bytes [68,76).
+  uint64_t data_offset = 0;
+  std::memcpy(&data_offset, original.data() + 68, 8);
+  ASSERT_GT(data_offset, 88u);
+  ASSERT_LT(data_offset, original.size());
   auto load = [&] { return BbsIndex::Load(path).status(); };
-  for (Region region : {Region{"magic", 0, 8}, Region{"version", 8, 12},
-                        Region{"crc", 12, 16},
-                        Region{"payload", 16, original.size()}}) {
+  for (Region region :
+       {Region{"magic", 0, 8}, Region{"version", 8, 12},
+        Region{"header crc", 12, 16},
+        Region{"metadata", 16, static_cast<size_t>(data_offset)},
+        Region{"slice data", static_cast<size_t>(data_offset),
+               original.size()}}) {
     ExpectRegionFlipsRejected(original, path, region, load);
+  }
+  // The mmap open verifies the header CRC and structural bounds but skips
+  // the slice-data checksum (lazy serving); header-region flips must still
+  // be rejected through it.
+  auto open_mmap = [&] { return BbsIndex::OpenMmap(path).status(); };
+  for (Region region :
+       {Region{"magic (mmap)", 0, 8}, Region{"version (mmap)", 8, 12},
+        Region{"header crc (mmap)", 12, 16},
+        Region{"metadata (mmap)", 16, static_cast<size_t>(data_offset)}}) {
+    ExpectRegionFlipsRejected(original, path, region, open_mmap);
   }
   std::remove(path.c_str());
 }

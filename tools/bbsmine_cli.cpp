@@ -45,6 +45,7 @@
 #include "storage/fimi_io.h"
 #include "storage/transaction_db.h"
 #include "util/bitvector_kernels.h"
+#include "util/rusage.h"
 #include "util/socket.h"
 #include "util/thread_pool.h"
 
@@ -129,6 +130,21 @@ TransactionDatabase LoadDb(const std::string& path) {
   auto db = TransactionDatabase::Load(path);
   if (!db.ok()) Die(db.status());
   return std::move(db).value();
+}
+
+IndexBackend ParseBackendFlag(const Args& args) {
+  auto backend = ParseIndexBackend(args.GetString("index-backend", "resident"));
+  if (!backend.ok()) Die(backend.status());
+  return *backend;
+}
+
+/// Loads a monolithic index honoring --index-backend: "resident" reads and
+/// fully verifies the file into heap slices; "mmap" serves the v2 aligned
+/// file in place (header-verified, slice pages faulted on demand).
+Result<BbsIndex> LoadIndexWithBackend(const std::string& path,
+                                      IndexBackend backend) {
+  return backend == IndexBackend::kMmap ? BbsIndex::OpenMmap(path)
+                                        : BbsIndex::Load(path);
 }
 
 Itemset ParseItems(const std::string& spec) {
@@ -295,6 +311,9 @@ int CmdMine(const Args& args) {
   MineConfig config;
   uint32_t index_bits = 0;
   uint32_t index_hashes = 0;
+  std::string index_backend = "resident";
+  uint64_t resident_slice_bytes = 0;
+  PageFaultCounters fault_delta;
   bool is_bbs = false;
 
   MiningResult result;
@@ -331,7 +350,8 @@ int CmdMine(const Args& args) {
           << "unknown --algo (sfs|sfp|dfs|dfp|apriori|fpgrowth|eclat)\n";
       return 2;
     }
-    auto bbs = BbsIndex::Load(args.Require("index"));
+    auto bbs = LoadIndexWithBackend(args.Require("index"),
+                                    ParseBackendFlag(args));
     if (!bbs.ok()) Die(bbs.status());
     if (bbs->num_transactions() != db.size()) {
       std::cerr << "index/database mismatch: " << bbs->num_transactions()
@@ -340,7 +360,11 @@ int CmdMine(const Args& args) {
     }
     index_bits = bbs->num_bits();
     index_hashes = bbs->config().num_hashes;
+    index_backend = bbs->backend_name();
+    resident_slice_bytes = bbs->ApproxResidentBytes();
+    const PageFaultCounters faults_before = CurrentPageFaults();
     result = MineFrequentPatterns(db, *bbs, config);
+    fault_delta = CurrentPageFaults() - faults_before;
   }
 
   if (!stats_json.empty() || args.GetBool("report")) {
@@ -356,6 +380,10 @@ int CmdMine(const Args& args) {
     ctx.kernel = kernels::ActiveName();
     ctx.index_bits = index_bits;
     ctx.index_hashes = index_hashes;
+    ctx.index_backend = index_backend;
+    ctx.resident_slice_bytes = resident_slice_bytes;
+    ctx.minor_faults = fault_delta.minor;
+    ctx.major_faults = fault_delta.major;
     obs::JsonValue report = obs::BuildRunReport(ctx, result);
     if (!stats_json.empty()) {
       if (Status st = obs::WriteJsonFile(report, stats_json); !st.ok()) {
@@ -434,13 +462,14 @@ int CmdCountIndexOnly(const Args& args) {
   Itemset items = ParseItems(args.Require("items"));
   size_t estimate;
   size_t transactions;
+  const IndexBackend backend = ParseBackendFlag(args);
   if (FileExists(index_arg + ".manifest")) {
-    auto segmented = SegmentedBbs::Load(index_arg);
+    auto segmented = SegmentedBbs::Load(index_arg, nullptr, backend);
     if (!segmented.ok()) Die(segmented.status());
     estimate = segmented->CountItemSet(items);
     transactions = segmented->num_transactions();
   } else {
-    auto bbs = BbsIndex::Load(index_arg);
+    auto bbs = LoadIndexWithBackend(index_arg, backend);
     if (!bbs.ok()) Die(bbs.status());
     estimate = bbs->CountItemSet(items);
     transactions = bbs->num_transactions();
@@ -454,7 +483,8 @@ int CmdCountIndexOnly(const Args& args) {
 int CmdCount(const Args& args) {
   if (args.GetString("db").empty()) return CmdCountIndexOnly(args);
   TransactionDatabase db = LoadDb(args.Require("db"));
-  auto bbs = BbsIndex::Load(args.Require("index"));
+  auto bbs = LoadIndexWithBackend(args.Require("index"),
+                                  ParseBackendFlag(args));
   if (!bbs.ok()) Die(bbs.status());
   Itemset items = ParseItems(args.Require("items"));
 
@@ -670,9 +700,13 @@ void Usage() {
       "           [--trace-out FILE]   (Chrome trace-event JSON; view at\n"
       "           chrome://tracing or ui.perfetto.dev; BBS algos only)\n"
       "           [--trace-kernels]    (also trace per-kernel-call spans)\n"
+      "           [--index-backend resident|mmap]  (mmap serves the v2\n"
+      "           aligned index in place: near-zero heap, pages faulted on\n"
+      "           demand; results are bit-identical to resident)\n"
       "  count    --db FILE --index FILE --items A,B,C [--tid-mod M:R]\n"
       "           (omit --db for the estimate-only oracle over a saved\n"
       "           index or segmented-index prefix)\n"
+      "           [--index-backend resident|mmap]\n"
       "  client   [--host A] [--port N] [--verb PING|COUNT|MINE|INSERT|\n"
       "           STATS|CHECKPOINT] [--items A,B,C] [--minsup F] [--top N]\n"
       "           [--json] [--retries N] [--backoff-ms N]\n"

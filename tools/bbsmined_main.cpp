@@ -109,6 +109,16 @@ void Usage() {
       "  --bits N            when no --index: create empty (default 1600)\n"
       "  --hashes N          when no --index: hashes per item (default 4)\n"
       "  --segment-capacity N  transactions per segment (default 4096)\n"
+      "  --index-backend B   resident (default: heap slices, fully\n"
+      "                      verified at load) or mmap (serve the v2\n"
+      "                      aligned index in place: near-zero heap, pages\n"
+      "                      faulted on demand; answers are bit-identical;\n"
+      "                      incompatible with --durable-dir)\n"
+      "  --compact-cold-epochs N  with --compact-fold-bits: after each\n"
+      "                      INSERT, fold sealed segments untouched for N\n"
+      "                      publication epochs (counts become upper\n"
+      "                      bounds; default off)\n"
+      "  --compact-fold-bits M  fold target width for cold segments\n"
       "  --host A.B.C.D      bind address (default 127.0.0.1)\n"
       "  --port N            TCP port; 0 = ephemeral (default 7071)\n"
       "  --threads N         per-batch worker threads (0 = hw threads)\n"
@@ -140,6 +150,14 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  auto backend_flag =
+      ParseIndexBackend(args.GetString("index-backend", "resident"));
+  if (!backend_flag.ok()) {
+    std::cerr << "bbsmined: " << backend_flag.status().ToString() << "\n";
+    return 2;
+  }
+  const IndexBackend backend = *backend_flag;
+
   // Assemble the snapshot manager from the requested source.
   std::optional<service::SnapshotManager> index;
   std::optional<TransactionDatabase> db;
@@ -147,7 +165,22 @@ int main(int argc, char** argv) {
   std::string index_arg = args.GetString("index");
   std::string durable_dir = args.GetString("durable-dir");
 
+  if (backend == IndexBackend::kMmap && index_arg.empty()) {
+    // An empty index has no file to map; the flag would silently serve a
+    // heap-backed index while STATS claims mmap.
+    std::cerr << "bbsmined: --index-backend=mmap requires --index\n";
+    return 2;
+  }
+
   if (!durable_dir.empty()) {
+    if (backend == IndexBackend::kMmap) {
+      // Checkpoints rewrite the segment files the mappings would be backed
+      // by, so durable mode pins the resident backend.
+      std::cerr << "bbsmined: --index-backend=mmap is incompatible with "
+                   "--durable-dir (checkpoints rewrite the mapped files); "
+                   "use the resident backend\n";
+      return 2;
+    }
     // Durable mode: the durable directory is the source of truth; --index
     // and --db only seed the very first start (before any checkpoint/WAL
     // exists there).
@@ -215,13 +248,15 @@ int main(int argc, char** argv) {
     index.emplace(std::move(*manager));
   } else if (!index_arg.empty()) {
     if (FileExists(index_arg + ".manifest")) {
-      auto segmented = SegmentedBbs::Load(index_arg);
+      auto segmented = SegmentedBbs::Load(index_arg, nullptr, backend);
       if (!segmented.ok()) Die(segmented.status());
       auto manager = service::SnapshotManager::FromIndex(*segmented);
       if (!manager.ok()) Die(manager.status());
       index.emplace(std::move(*manager));
     } else {
-      auto monolithic = BbsIndex::Load(index_arg);
+      auto monolithic = backend == IndexBackend::kMmap
+                            ? BbsIndex::OpenMmap(index_arg)
+                            : BbsIndex::Load(index_arg);
       if (!monolithic.ok()) Die(monolithic.status());
       auto manager =
           service::SnapshotManager::FromIndex(*monolithic, segment_capacity);
@@ -257,6 +292,18 @@ int main(int argc, char** argv) {
   options.scheduler.max_batch = args.GetUint("max-batch", 256);
   options.default_min_support = args.GetDouble("minsup", 0.003);
   options.durability = durability.get();
+  options.index_backend = backend;
+  options.compaction.cold_epochs = args.GetUint("compact-cold-epochs", 0);
+  options.compaction.fold_bits =
+      static_cast<uint32_t>(args.GetUint("compact-fold-bits", 0));
+  if (options.compaction.cold_epochs != 0 ||
+      options.compaction.fold_bits != 0) {
+    if (!options.compaction.enabled()) {
+      std::cerr << "bbsmined: --compact-cold-epochs and --compact-fold-bits "
+                   "must be set together (both positive)\n";
+      return 2;
+    }
+  }
   service::BbsService bbs_service(&*index, db ? &*db : nullptr, options);
 
   service::SocketServerOptions server_options;
