@@ -121,13 +121,25 @@ assert mine["daemon_latency_us"]["total"] > 0
 delta = mine["p50_bucket_delta"]
 assert abs(delta) <= 1, f"MINE client/daemon p50 differ by {delta} buckets"
 
+# Windowed-metrics cross-check: the run is shorter than the 60 s lookback
+# on a fresh daemon, so STATS' last_60s section covers the whole run and
+# its MINE p50 must also land within one log2 bucket of the client
+# reservoir. COUNT only checks presence — transport dominates fast verbs.
+recent = mine["daemon_recent_latency_us"]
+assert recent["total"] > 0, "empty last_60s MINE histogram"
+rdelta = mine["recent_p50_bucket_delta"]
+assert abs(rdelta) <= 1, f"MINE client/last_60s p50 differ by {rdelta} buckets"
+count_recent = verbs["COUNT"]["daemon_recent_latency_us"]
+assert count_recent["total"] > 0, "empty last_60s COUNT histogram"
+
 sat = r["saturation"]
 assert sat["slo_verb"] == "COUNT"
 assert len(sat["steps"]) == 2
 for step in sat["steps"]:
     assert step["offered_rps"] > 0 and step["p99_ms"] >= 0
 
-print("   BENCH_service.json schema OK; MINE p50 bucket delta =", delta)
+print("   BENCH_service.json schema OK; MINE p50 bucket delta =", delta,
+      "(lifetime),", rdelta, "(last_60s)")
 EOF
 
 kill -TERM "$DAEMON_PID"

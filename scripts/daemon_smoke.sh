@@ -26,6 +26,7 @@ set -euo pipefail
 BUILD_DIR="${1:-build}"
 BBSMINE="$BUILD_DIR/tools/bbsmine"
 BBSMINED="$BUILD_DIR/tools/bbsmined"
+BBSBENCH="$BUILD_DIR/tools/bbsbench"
 WORK="$(mktemp -d)"
 DAEMON_PID=""
 
@@ -132,8 +133,23 @@ for verb in ('ping', 'count', 'insert', 'mine', 'stats'):
     assert sum(h['by_depth']) + h['overflow'] == h['total'], verb
     assert h['total'] > 0, f'empty latency histogram for {verb}'
 assert m['counters']['requests_count'] == m['latency_us']['count']['total']
+# Live gauges sit next to the lifetime watermarks.
+for key in ('queue_depth_now', 'active_connections_now'):
+    assert key in m['gauges'], f'missing gauges.{key}'
+assert m['gauges']['active_connections_now'] == 0  # report written post-drain
+# Windowed metrics: the run is shorter than the lookback on a fresh
+# daemon, so the recent deltas must equal the lifetime totals.
+w = r['window']
+for key in ('interval_seconds', 'slots', 'lookback_seconds',
+            'covered_seconds', 'last_60s'):
+    assert key in w, f'missing window.{key}'
+recent = w['last_60s']
+assert recent['counters']['requests_total'] == m['counters']['requests_total']
+assert recent['latency_us']['count']['total'] == m['latency_us']['count']['total']
+assert 'p50' in recent['latency_us']['count']
 print('service report OK:', m['counters']['requests_total'], 'requests,',
-      svc['transactions'], 'transactions at epoch', svc['epoch'])
+      svc['transactions'], 'transactions at epoch', svc['epoch'],
+      '| window covers', w['covered_seconds'], 's')
 EOF
 
 echo "== durable leg: INSERT -> SIGTERM -> restart -> COUNT"
@@ -245,5 +261,149 @@ EOF
 kill -TERM "$DAEMON_PID"
 wait "$DAEMON_PID" || { echo "mmap daemon died on SIGTERM"; exit 1; }
 DAEMON_PID=""
+
+echo "== observability leg: sampled trace, slow log, flight recorder, DUMP"
+"$BBSMINED" --index "$WORK/smoke.seg" --db "$WORK/smoke.db" --port 0 \
+  --trace-out "$WORK/obs-trace.json" --trace-sample 1 \
+  --slow-log "$WORK/obs-slow.jsonl" --slow-query-us 0 \
+  --flight-recorder-size 32 --flight-out "$WORK/obs-flight.json" \
+  > "$WORK/obs.log" 2>&1 &
+DAEMON_PID=$!
+PORT=""
+for _ in $(seq 1 50); do
+  PORT=$(sed -n 's/^bbsmined listening on [0-9.]*:\([0-9]*\).*/\1/p' \
+    "$WORK/obs.log" | head -1)
+  [[ -n "$PORT" ]] && break
+  kill -0 "$DAEMON_PID" || { cat "$WORK/obs.log"; exit 1; }
+  sleep 0.2
+done
+[[ -n "$PORT" ]] || { echo "obs daemon never reported its port"; exit 1; }
+
+# An open-loop COUNT burst over 16 connections: concurrent arrivals make
+# the scheduler fuse batches, which the trace must show. --trace-ids tags
+# every request "b7-<index>" so trace / slow-log records correlate.
+"$BBSBENCH" --port "$PORT" --seed 7 --rate 2000 --duration-s 2 \
+  --connections 16 --items 200 --query-len 2 --trace-ids \
+  --mix-ping 0 --mix-count 100 --mix-insert 0 --mix-mine 0 --mix-stats 0 \
+  --out "$WORK/obs-bench.json" >/dev/null
+
+# One hand-tagged request, then DUMP must return its flight event.
+"$BBSMINE" client --port "$PORT" --verb COUNT --items "128,161" \
+  --trace-id "smoke-tagged" --json > /dev/null
+"$BBSMINE" client --port "$PORT" --verb DUMP --json > "$WORK/obs-dump.json"
+python3 - "$WORK/obs-dump.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r['ok'], r
+f = r['flight']
+assert f['kind'] == 'bbsmined_flight_recorder', f['kind']
+events = [e for c in f['connections'] for e in c['events']]
+assert events, 'DUMP returned no flight events'
+ids = {e['trace_id'] for e in events}
+assert 'smoke-tagged' in ids, sorted(ids)[:10]
+print('   DUMP OK:', len(f['connections']), 'connections,',
+      len(events), 'recent events')
+EOF
+
+echo "== SIGTERM writes the trace and the flight dump"
+kill -TERM "$DAEMON_PID"
+EXIT_CODE=0
+wait "$DAEMON_PID" || EXIT_CODE=$?
+DAEMON_PID=""
+[[ "$EXIT_CODE" -eq 0 ]] || {
+  echo "obs daemon exited with $EXIT_CODE"; cat "$WORK/obs.log"; exit 1; }
+
+echo "== validating sampled request trace"
+python3 - "$WORK/obs-trace.json" <<'EOF'
+import json, sys
+from collections import defaultdict
+
+t = json.load(open(sys.argv[1]))
+events = t['traceEvents']
+assert events, 'trace is empty'
+for e in events:
+    assert e['ph'] == 'X'
+    for key in ('name', 'cat', 'ts', 'dur', 'pid', 'tid'):
+        assert key in e, f'event missing {key}'
+cats = {e['cat'] for e in events}
+assert {'request', 'queue', 'batch', 'segment'} <= cats, cats
+
+# Batch fusion must be visible: >= 2 request spans referencing the same
+# count.batch span, each with its own queue-wait span.
+requests_by_batch = defaultdict(list)
+for e in events:
+    if e['name'] == 'request' and 'batch' in e['args']:
+        requests_by_batch[e['args']['batch']].append(e['args']['trace_id'])
+batches = {e['args']['batch']: e['args'] for e in events
+           if e['name'] == 'count.batch'}
+waits_by_batch = defaultdict(set)
+for e in events:
+    if e['name'] == 'count.queue_wait':
+        waits_by_batch[e['args']['batch']].add(e['args']['trace_id'])
+fused = [b for b, ids in requests_by_batch.items()
+         if len(ids) >= 2 and b in batches and batches[b]['size'] >= 2
+         and len(waits_by_batch[b]) >= 2]
+assert fused, (
+    'no fused batch in the trace: '
+    f'{len(requests_by_batch)} batches, all singletons')
+assert any(tid.startswith('b7-') for ids in requests_by_batch.values()
+           for tid in ids), 'bbsbench --trace-ids tags missing'
+assert any('smoke-tagged' in ids for ids in requests_by_batch.values()), \
+    'client --trace-id missing from the trace'
+biggest = max(fused, key=lambda b: batches[b]['size'])
+print('   trace OK:', len(events), 'events,', len(fused),
+      'fused batches (largest size', str(batches[biggest]['size']) + ')')
+EOF
+
+echo "== validating slow-query log"
+python3 - "$WORK/obs-slow.jsonl" "$WORK/obs-trace.json" <<'EOF'
+import json, sys
+
+records = [json.loads(line) for line in open(sys.argv[1]) if line.strip()]
+assert records, 'slow log is empty despite --slow-query-us 0'
+for r in records:
+    for key in ('at_us', 'trace_id', 'verb', 'latency_us', 'queue_wait_us',
+                'batch_size', 'items', 'epoch', 'slice_words', 'backend',
+                'outcome'):
+        assert key in r, f'slow record missing {key}: {r}'
+    assert r['outcome'] in ('ok', 'error'), r['outcome']
+# Duplicate queries fused into one batch are answered from the shared
+# unique's work, so individual records may touch 0 slice words — but the
+# burst as a whole must show real slice traffic.
+counts = [r for r in records if r['verb'] == 'COUNT']
+assert counts, 'no COUNT records in the slow log'
+assert any(r['slice_words'] > 0 for r in counts if r['outcome'] == 'ok')
+
+# Every request was sampled (--trace-sample 1), so slow-log trace ids must
+# also appear in the trace: the two planes correlate.
+t = json.load(open(sys.argv[2]))
+traced = {e['args']['trace_id'] for e in t['traceEvents']
+          if 'trace_id' in e.get('args', {})}
+overlap = {r['trace_id'] for r in counts} & traced
+assert overlap, 'no slow-log trace_id found in the trace'
+print('   slow log OK:', len(records), 'records,',
+      len(overlap), 'trace-correlated COUNT ids')
+EOF
+
+echo "== validating shutdown flight dump"
+python3 - "$WORK/obs-flight.json" <<'EOF'
+import json, sys
+f = json.load(open(sys.argv[1]))
+assert f['schema_version'] == 1, f['schema_version']
+assert f['kind'] == 'bbsmined_flight_recorder', f['kind']
+assert f['ring_capacity'] == 32
+conns = f['connections']
+assert conns, 'flight dump has no connections'
+total = 0
+for c in conns:
+    for key in ('connection', 'active', 'recorded', 'events'):
+        assert key in c, f'connection missing {key}'
+    for e in c['events']:
+        for key in ('trace_id', 'verb', 'ok', 'latency_us'):
+            assert key in e, f'flight event missing {key}'
+    total += len(c['events'])
+assert total > 0, 'flight dump holds no events'
+print('   flight dump OK:', len(conns), 'connections,', total, 'events')
+EOF
 
 echo "daemon smoke test PASSED"

@@ -20,6 +20,14 @@ const char* TraceCategoryName(TraceCategory category) {
       return "probe";
     case kTraceKernel:
       return "kernel";
+    case kTraceRequest:
+      return "request";
+    case kTraceQueue:
+      return "queue";
+    case kTraceBatch:
+      return "batch";
+    case kTraceSegment:
+      return "segment";
     default:
       return "other";
   }

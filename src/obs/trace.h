@@ -43,7 +43,18 @@ enum TraceCategory : uint32_t {
   kTraceProbe = 1u << 3,   // per-candidate probe fetches
   kTraceKernel = 1u << 4,  // per-CountItemSet kernel calls (hot; opt-in)
 
+  // Service (bbsmined) categories: one span per sampled request, its
+  // admission-to-batch queue wait, the scheduler batch that answered it,
+  // and the per-(query, segment) fan-out cells of that batch. Correlated
+  // by "trace_id" / "batch" args rather than nesting, since the spans land
+  // on different threads (connection, dispatcher, pool workers).
+  kTraceRequest = 1u << 5,  // whole-request spans in Server::Handle
+  kTraceQueue = 1u << 6,    // scheduler admission queue wait
+  kTraceBatch = 1u << 7,    // scheduler batch execution
+  kTraceSegment = 1u << 8,  // per-(query, segment) count cells
+
   kTraceDefault = kTracePhase | kTraceFilter | kTraceRefine | kTraceProbe,
+  kTraceService = kTraceRequest | kTraceQueue | kTraceBatch | kTraceSegment,
   kTraceAll = 0xffffffffu,
 };
 

@@ -44,7 +44,7 @@ bool IsIdempotentVerb(const std::string& verb) {
   // but the at-most-once default for anything not on this list means a new
   // verb added to the daemon can never be double-applied by an old client.
   return verb == "PING" || verb == "COUNT" || verb == "STATS" ||
-         verb == "MINE";
+         verb == "MINE" || verb == "DUMP";
 }
 
 uint64_t RetryBackoffMs(const RetryOptions& options, uint32_t attempt,

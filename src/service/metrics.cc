@@ -1,60 +1,213 @@
 #include "service/metrics.h"
 
+#include <algorithm>
+#include <utility>
+
 namespace bbsmine::service {
 
-ServiceMetrics::ServiceMetrics() {
-  requests_total = registry_.AddCounter("counters.requests_total");
-  requests_ping = registry_.AddCounter("counters.requests_ping");
-  requests_count = registry_.AddCounter("counters.requests_count");
-  requests_insert = registry_.AddCounter("counters.requests_insert");
-  requests_mine = registry_.AddCounter("counters.requests_mine");
-  requests_stats = registry_.AddCounter("counters.requests_stats");
-  requests_checkpoint = registry_.AddCounter("counters.requests_checkpoint");
-  errors = registry_.AddCounter("counters.errors");
-  rejected_backpressure =
-      registry_.AddCounter("counters.rejected_backpressure");
-  batches = registry_.AddCounter("counters.batches");
-  batch_fused_requests =
-      registry_.AddCounter("counters.batch_fused_requests");
-  shared_seed_queries = registry_.AddCounter("counters.shared_seed_queries");
-  inserted_transactions =
-      registry_.AddCounter("counters.inserted_transactions");
-  compacted_segments = registry_.AddCounter("counters.compacted_segments");
-  queue_depth = registry_.AddGauge("gauges.queue_depth");
-  batch_size_peak = registry_.AddGauge("gauges.batch_size_peak");
-  active_connections = registry_.AddGauge("gauges.active_connections");
-  latency_ping = registry_.AddHistogram("latency_us.ping");
-  latency_count = registry_.AddHistogram("latency_us.count");
-  latency_insert = registry_.AddHistogram("latency_us.insert");
-  latency_mine = registry_.AddHistogram("latency_us.mine");
-  latency_stats = registry_.AddHistogram("latency_us.stats");
-  latency_checkpoint = registry_.AddHistogram("latency_us.checkpoint");
-  batch_size_hist = registry_.AddHistogram("batch.size");
+size_t ServiceMetrics::AddCounter(std::string name) {
+  size_t slot = num_scalars_++;
+  metas_.push_back(Meta{std::move(name), obs::MetricKind::kCounter, slot});
+  return slot;
 }
 
-void ServiceMetrics::Inc(size_t slot, uint64_t n) {
-  std::lock_guard<std::mutex> lock(mu_);
-  registry_.Inc(slot, n);
+size_t ServiceMetrics::AddGauge(std::string name) {
+  size_t slot = num_scalars_++;
+  metas_.push_back(Meta{std::move(name), obs::MetricKind::kGauge, slot});
+  return slot;
 }
 
-void ServiceMetrics::GaugeMax(size_t slot, uint64_t v) {
-  std::lock_guard<std::mutex> lock(mu_);
-  registry_.GaugeMax(slot, v);
+size_t ServiceMetrics::AddHistogram(std::string name) {
+  size_t slot = num_hists_++;
+  metas_.push_back(Meta{std::move(name), obs::MetricKind::kHistogram, slot});
+  return slot;
 }
 
-void ServiceMetrics::ObserveLog2(size_t slot, uint64_t magnitude) {
-  std::lock_guard<std::mutex> lock(mu_);
-  registry_.Observe(slot, obs::Log2Bucket(magnitude));
+ServiceMetrics::ServiceMetrics(const WindowOptions& windows)
+    : window_options_(windows),
+      next_rotation_us_(std::max<uint64_t>(1, windows.interval_us)),
+      ring_(std::max<size_t>(1, windows.slots)) {
+  window_options_.interval_us = std::max<uint64_t>(1, windows.interval_us);
+  window_options_.slots = ring_.size();
+
+  requests_total = AddCounter("counters.requests_total");
+  requests_ping = AddCounter("counters.requests_ping");
+  requests_count = AddCounter("counters.requests_count");
+  requests_insert = AddCounter("counters.requests_insert");
+  requests_mine = AddCounter("counters.requests_mine");
+  requests_stats = AddCounter("counters.requests_stats");
+  requests_checkpoint = AddCounter("counters.requests_checkpoint");
+  requests_dump = AddCounter("counters.requests_dump");
+  errors = AddCounter("counters.errors");
+  rejected_backpressure = AddCounter("counters.rejected_backpressure");
+  batches = AddCounter("counters.batches");
+  batch_fused_requests = AddCounter("counters.batch_fused_requests");
+  shared_seed_queries = AddCounter("counters.shared_seed_queries");
+  inserted_transactions = AddCounter("counters.inserted_transactions");
+  compacted_segments = AddCounter("counters.compacted_segments");
+  slow_queries = AddCounter("counters.slow_queries");
+  traced_requests = AddCounter("counters.traced_requests");
+  queue_depth = AddGauge("gauges.queue_depth");
+  batch_size_peak = AddGauge("gauges.batch_size_peak");
+  active_connections = AddGauge("gauges.active_connections");
+  latency_ping = AddHistogram("latency_us.ping");
+  latency_count = AddHistogram("latency_us.count");
+  latency_insert = AddHistogram("latency_us.insert");
+  latency_mine = AddHistogram("latency_us.mine");
+  latency_stats = AddHistogram("latency_us.stats");
+  latency_checkpoint = AddHistogram("latency_us.checkpoint");
+  latency_dump = AddHistogram("latency_us.dump");
+  batch_size_hist = AddHistogram("batch.size");
+
+  scalars_ = std::make_unique<std::atomic<uint64_t>[]>(num_scalars_);
+  hist_ = std::make_unique<std::atomic<uint64_t>[]>(num_hists_ * kBuckets);
+  for (size_t i = 0; i < num_scalars_; ++i) {
+    scalars_[i].store(0, std::memory_order_relaxed);
+  }
+  for (size_t i = 0; i < num_hists_ * kBuckets; ++i) {
+    hist_[i].store(0, std::memory_order_relaxed);
+  }
 }
 
-uint64_t ServiceMetrics::counter(size_t slot) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return registry_.counter(slot);
+ServiceMetrics::Cumulative ServiceMetrics::CaptureCumulative() const {
+  Cumulative cum;
+  cum.scalars.resize(num_scalars_);
+  cum.hist.resize(num_hists_ * kBuckets);
+  for (size_t i = 0; i < num_scalars_; ++i) {
+    cum.scalars[i] = scalars_[i].load(std::memory_order_relaxed);
+  }
+  for (size_t i = 0; i < num_hists_ * kBuckets; ++i) {
+    cum.hist[i] = hist_[i].load(std::memory_order_relaxed);
+  }
+  return cum;
 }
 
 std::vector<obs::MetricSample> ServiceMetrics::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return registry_.Snapshot();
+  Cumulative cum = CaptureCumulative();
+  std::vector<obs::MetricSample> samples;
+  samples.reserve(metas_.size());
+  for (const Meta& meta : metas_) {
+    obs::MetricSample sample;
+    sample.name = meta.name;
+    sample.kind = meta.kind;
+    if (meta.kind == obs::MetricKind::kHistogram) {
+      sample.buckets.resize(kBuckets, 0);
+      uint64_t total = 0;
+      for (size_t b = 0; b < kBuckets; ++b) {
+        sample.buckets[b] = cum.hist[meta.slot * kBuckets + b];
+        total += sample.buckets[b];
+      }
+      sample.value = total;
+    } else {
+      sample.value = cum.scalars[meta.slot];
+    }
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+void ServiceMetrics::MaybeRotateWindows(uint64_t now_rel_us) const {
+  uint64_t next = next_rotation_us_.load(std::memory_order_relaxed);
+  if (now_rel_us < next) return;
+  // A rotation is due. One thread wins the lock and writes the catch-up
+  // snapshots; losers simply proceed — their rotation is already being
+  // taken care of.
+  if (!window_mu_.try_lock()) return;
+  std::lock_guard<std::mutex> lock(window_mu_, std::adopt_lock);
+  next = next_rotation_us_.load(std::memory_order_relaxed);
+  if (now_rel_us < next) return;
+  const uint64_t interval = window_options_.interval_us;
+  // After a long idle gap most due snapshots would be overwritten inside
+  // this same catch-up; skip straight to the last ring-full of them.
+  uint64_t due = (now_rel_us - next) / interval + 1;
+  if (due > ring_.size()) {
+    next += (due - ring_.size()) * interval;
+  }
+  while (next <= now_rel_us) {
+    ring_[ring_next_] = WindowSnap{next, true, CaptureCumulative()};
+    ring_next_ = (ring_next_ + 1) % ring_.size();
+    next += interval;
+  }
+  next_rotation_us_.store(next, std::memory_order_relaxed);
+}
+
+obs::JsonValue ServiceMetrics::WindowSectionJson(uint64_t now_rel_us) const {
+  using obs::JsonValue;
+  std::lock_guard<std::mutex> lock(window_mu_);
+
+  // Baseline: the newest snapshot at least one lookback old. A daemon
+  // younger than the lookback (or one whose windows have not rotated yet)
+  // falls back to service start — all-zero cumulative values.
+  const uint64_t horizon =
+      now_rel_us >= kWindowLookbackUs ? now_rel_us - kWindowLookbackUs : 0;
+  const WindowSnap* baseline = nullptr;
+  for (const WindowSnap& snap : ring_) {
+    if (!snap.valid || snap.end_us > horizon) continue;
+    if (baseline == nullptr || snap.end_us > baseline->end_us) {
+      baseline = &snap;
+    }
+  }
+  const uint64_t baseline_end = baseline != nullptr ? baseline->end_us : 0;
+  Cumulative current = CaptureCumulative();
+
+  // Deltas, in catalog order. Watermark gauges are lifetime-only.
+  std::vector<obs::MetricSample> deltas;
+  deltas.reserve(metas_.size());
+  for (const Meta& meta : metas_) {
+    if (meta.kind == obs::MetricKind::kGauge) continue;
+    obs::MetricSample sample;
+    sample.name = meta.name;
+    sample.kind = meta.kind;
+    if (meta.kind == obs::MetricKind::kHistogram) {
+      sample.buckets.resize(kBuckets, 0);
+      uint64_t total = 0;
+      for (size_t b = 0; b < kBuckets; ++b) {
+        size_t idx = meta.slot * kBuckets + b;
+        uint64_t base = baseline != nullptr ? baseline->cum.hist[idx] : 0;
+        uint64_t cur = current.hist[idx];
+        sample.buckets[b] = cur >= base ? cur - base : 0;
+        total += sample.buckets[b];
+      }
+      sample.value = total;
+    } else {
+      uint64_t base =
+          baseline != nullptr ? baseline->cum.scalars[meta.slot] : 0;
+      uint64_t cur = current.scalars[meta.slot];
+      sample.value = cur >= base ? cur - base : 0;
+    }
+    deltas.push_back(std::move(sample));
+  }
+
+  JsonValue last = obs::MetricsSectionJson(deltas);
+  // Annotate each histogram with recent percentiles from its delta
+  // buckets. An empty window renders p50/p95/p99 as 0.
+  for (const obs::MetricSample& sample : deltas) {
+    if (sample.kind != obs::MetricKind::kHistogram) continue;
+    size_t dot = sample.name.find('.');
+    JsonValue* section = last.MutableAt(sample.name.substr(0, dot));
+    if (section == nullptr) continue;
+    JsonValue* hist = section->MutableAt(sample.name.substr(dot + 1));
+    if (hist == nullptr) continue;
+    hist->Set("p50", JsonValue::Double(
+                         obs::PercentileFromLog2Buckets(sample.buckets, 0.50)));
+    hist->Set("p95", JsonValue::Double(
+                         obs::PercentileFromLog2Buckets(sample.buckets, 0.95)));
+    hist->Set("p99", JsonValue::Double(
+                         obs::PercentileFromLog2Buckets(sample.buckets, 0.99)));
+  }
+
+  JsonValue window = JsonValue::Object();
+  window.Set("interval_seconds",
+             JsonValue::Double(static_cast<double>(window_options_.interval_us) /
+                               1e6));
+  window.Set("slots", JsonValue::Uint(window_options_.slots));
+  window.Set("lookback_seconds",
+             JsonValue::Double(static_cast<double>(kWindowLookbackUs) / 1e6));
+  window.Set("covered_seconds",
+             JsonValue::Double(
+                 static_cast<double>(now_rel_us - baseline_end) / 1e6));
+  window.Set("last_60s", std::move(last));
+  return window;
 }
 
 obs::JsonValue BuildServiceReport(const ServiceReportContext& ctx,
@@ -110,7 +263,17 @@ obs::JsonValue BuildServiceReport(const ServiceReportContext& ctx,
   }
   report.Set("durability", std::move(durability));
 
-  report.Set("metrics", obs::MetricsSectionJson(metrics.Snapshot()));
+  JsonValue metrics_json = obs::MetricsSectionJson(metrics.Snapshot());
+  // Live values next to the watermark gauges: what the queue and the
+  // accept loop look like right now, not their historical peaks.
+  if (JsonValue* gauges = metrics_json.MutableAt("gauges")) {
+    gauges->Set("queue_depth_now", JsonValue::Uint(ctx.pending_requests));
+    gauges->Set("active_connections_now",
+                JsonValue::Uint(ctx.open_connections));
+  }
+  report.Set("metrics", std::move(metrics_json));
+
+  report.Set("window", metrics.WindowSectionJson(ctx.window_now_us));
   return report;
 }
 

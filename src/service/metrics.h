@@ -1,19 +1,34 @@
 // The service-layer metric catalog and service report.
 //
 // Exactly like obs/report.h does for mining runs, this file is the single
-// place where every `bbsmined` service metric is named. The catalog is a
-// MetricsRegistry (obs/metrics.h) wrapped with a mutex: unlike the mining
+// place where every `bbsmined` service metric is named. Unlike the mining
 // engine's per-worker shards (which merge at a barrier), service updates
-// come from connection threads with no natural join point, so a lock is
-// the honest way to keep the aggregate consistent — request handling is
-// dominated by slice streaming, and one uncontended lock per request is
-// noise next to it.
+// come from connection threads with no natural join point — so the catalog
+// is a fixed array of relaxed std::atomic<uint64_t> slots: an Inc is one
+// fetch_add, a gauge watermark is one CAS-max loop, a histogram observe is
+// one fetch_add on a per-bucket atomic. No mutex is taken on the request
+// path. Snapshot() reads every slot with relaxed loads; a histogram's
+// rendered total is derived from its bucket sum at snapshot time, so the
+// `total == sum(by_depth) + overflow` invariant the CI schema check
+// asserts holds by construction even against concurrent writers.
 //
-// Latency and batch-size histograms reuse DepthHistogram with log2 buckets
-// (obs::Log2Bucket): bucket d of a latency histogram counts requests that
-// took [2^(d-1), 2^d) microseconds. The rendered JSON has the same
+// Latency and batch-size histograms reuse log2 buckets (obs::Log2Bucket):
+// bucket d of a latency histogram counts requests that took
+// [2^(d-1), 2^d) microseconds. The rendered JSON has the same
 // {by_depth, overflow, total} shape as the mining run report's depth
 // histograms, so the CI schema check treats both the same way.
+//
+// Windowed metrics: alongside the lifetime aggregate the catalog keeps a
+// small ring of cumulative snapshots taken every `interval` of service
+// time (default 12 slots x 10 s). Rotation is lazy — MaybeRotateWindows()
+// is called from the request path and costs one relaxed load + compare
+// when no rotation is due; when one is due, one thread takes the window
+// mutex and writes catch-up snapshots. The STATS report's "window"
+// section subtracts the newest snapshot at least 60 s old from the
+// current cumulative values, yielding `last_60s` counters and latency
+// histograms with recent p50/p95/p99 (obs::PercentileFromLog2Buckets).
+// Watermark gauges are lifetime-only: a high-water mark has no meaningful
+// per-window delta.
 //
 // The service report is the STATS verb's payload and the daemon's shutdown
 // artifact (--report-out): a schema-versioned JSON document with a
@@ -23,7 +38,9 @@
 #ifndef BBSMINE_SERVICE_METRICS_H_
 #define BBSMINE_SERVICE_METRICS_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -39,10 +56,26 @@ namespace bbsmine::service {
 inline constexpr int64_t kServiceReportSchemaVersion = 1;
 
 /// Thread-safe named metric catalog for the query service. Slots are fixed
-/// at construction; updates take an internal lock.
+/// at construction; updates are single relaxed atomic operations.
 class ServiceMetrics {
  public:
-  ServiceMetrics();
+  /// Windowed-metrics shape: `slots` cumulative snapshots taken every
+  /// `interval_us` of service time. The defaults (12 x 10 s) retain two
+  /// minutes of history, enough to answer "last 60 s" with one-interval
+  /// granularity. Tests shrink both to drive rotation synthetically.
+  struct WindowOptions {
+    uint64_t interval_us = 10'000'000;
+    size_t slots = 12;
+  };
+
+  /// Lookback horizon of the rendered "last_60s" window section.
+  static constexpr uint64_t kWindowLookbackUs = 60'000'000;
+
+  ServiceMetrics() : ServiceMetrics(WindowOptions{}) {}
+  explicit ServiceMetrics(const WindowOptions& windows);
+
+  ServiceMetrics(const ServiceMetrics&) = delete;
+  ServiceMetrics& operator=(const ServiceMetrics&) = delete;
 
   // Counter slots (section "counters").
   size_t requests_total;         ///< every frame handled, any verb
@@ -52,6 +85,7 @@ class ServiceMetrics {
   size_t requests_mine;
   size_t requests_stats;
   size_t requests_checkpoint;
+  size_t requests_dump;          ///< flight-recorder DUMP verb
   size_t errors;                 ///< requests answered with ok=false
   size_t rejected_backpressure;  ///< COUNTs bounced by the admission queue
   size_t batches;                ///< scheduler batches executed
@@ -60,6 +94,8 @@ class ServiceMetrics {
                                  ///< batch's shared single-item slice cache
   size_t inserted_transactions;
   size_t compacted_segments;     ///< cold sealed segments fold-compacted
+  size_t slow_queries;           ///< requests over the slow-query threshold
+  size_t traced_requests;        ///< requests that emitted a sampled span
 
   // Gauge slots (section "gauges"; watermark semantics).
   size_t queue_depth;         ///< deepest admission-queue backlog seen
@@ -73,23 +109,89 @@ class ServiceMetrics {
   size_t latency_mine;
   size_t latency_stats;
   size_t latency_checkpoint;
+  size_t latency_dump;
   size_t batch_size_hist;
 
-  void Inc(size_t slot, uint64_t n = 1);
-  void GaugeMax(size_t slot, uint64_t v);
+  void Inc(size_t slot, uint64_t n = 1) {
+    scalars_[slot].fetch_add(n, std::memory_order_relaxed);
+  }
+
+  void GaugeMax(size_t slot, uint64_t v) {
+    uint64_t cur = scalars_[slot].load(std::memory_order_relaxed);
+    while (v > cur && !scalars_[slot].compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  }
 
   /// Records `magnitude` (a latency in microseconds, a batch size) into a
   /// log2-bucketed histogram slot.
-  void ObserveLog2(size_t slot, uint64_t magnitude);
+  void ObserveLog2(size_t slot, uint64_t magnitude) {
+    size_t bucket = obs::Log2Bucket(magnitude);
+    if (bucket > obs::DepthHistogram::kMaxTrackedDepth) bucket = 0;
+    hist_[slot * kBuckets + bucket].fetch_add(1, std::memory_order_relaxed);
+  }
 
-  uint64_t counter(size_t slot) const;
+  uint64_t counter(size_t slot) const {
+    return scalars_[slot].load(std::memory_order_relaxed);
+  }
 
-  /// Consistent point-in-time export of every metric.
+  /// Point-in-time export of every metric. Each histogram's total is the
+  /// sum of its bucket loads, so per-histogram invariants hold even when
+  /// writers race the snapshot.
   std::vector<obs::MetricSample> Snapshot() const;
 
+  /// Lazily takes any cumulative window snapshots that have come due by
+  /// `now_rel_us` (µs since service start). Cheap when none is due (one
+  /// relaxed load); called from the request path and before reports.
+  /// Const because rotation only refreshes the window ring — logically a
+  /// cache of the (unchanged) cumulative counters.
+  void MaybeRotateWindows(uint64_t now_rel_us) const;
+
+  /// The report's "window" section: interval/slot shape plus a `last_60s`
+  /// object of counter deltas and latency histogram deltas (with
+  /// p50/p95/p99) relative to the newest snapshot at least 60 s old — or
+  /// service start, when the daemon is younger than the lookback.
+  obs::JsonValue WindowSectionJson(uint64_t now_rel_us) const;
+
+  const WindowOptions& window_options() const { return window_options_; }
+
  private:
-  mutable std::mutex mu_;
-  obs::MetricsRegistry registry_;
+  static constexpr size_t kBuckets = obs::DepthHistogram::kMaxTrackedDepth + 1;
+
+  struct Meta {
+    std::string name;
+    obs::MetricKind kind;
+    size_t slot;
+  };
+
+  /// Cumulative values of every slot at one instant (relaxed loads).
+  struct Cumulative {
+    std::vector<uint64_t> scalars;
+    std::vector<uint64_t> hist;
+  };
+
+  struct WindowSnap {
+    uint64_t end_us = 0;
+    bool valid = false;
+    Cumulative cum;
+  };
+
+  size_t AddCounter(std::string name);
+  size_t AddGauge(std::string name);
+  size_t AddHistogram(std::string name);
+  Cumulative CaptureCumulative() const;
+
+  std::vector<Meta> metas_;
+  size_t num_scalars_ = 0;
+  size_t num_hists_ = 0;
+  std::unique_ptr<std::atomic<uint64_t>[]> scalars_;
+  std::unique_ptr<std::atomic<uint64_t>[]> hist_;  // num_hists_ x kBuckets
+
+  WindowOptions window_options_;
+  mutable std::atomic<uint64_t> next_rotation_us_;
+  mutable std::mutex window_mu_;
+  mutable std::vector<WindowSnap> ring_;  // guarded by window_mu_
+  mutable size_t ring_next_ = 0;          // guarded by window_mu_
 };
 
 /// Identity / liveness facts that frame the metric snapshot.
@@ -135,6 +237,14 @@ struct ServiceReportContext {
   uint64_t compact_cold_epochs = 0;
   uint64_t compact_fold_bits = 0;
   uint64_t compacted_segments = 0;
+
+  /// Live (non-watermark) values rendered next to the watermark gauges:
+  /// the admission queue depth and open connection count at report time.
+  uint64_t pending_requests = 0;
+  uint64_t open_connections = 0;
+
+  /// Service-relative timestamp (µs) the "window" section is rendered at.
+  uint64_t window_now_us = 0;
 };
 
 /// Builds the schema-versioned service report (STATS payload / shutdown

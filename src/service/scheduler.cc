@@ -6,20 +6,25 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/json.h"
+#include "util/iomodel.h"
+
 namespace bbsmine::service {
 
 CountScheduler::CountScheduler(const SnapshotManager* index,
                                const SchedulerOptions& options,
-                               ServiceMetrics* metrics)
+                               ServiceMetrics* metrics, obs::Tracer* tracer)
     : index_(index),
       options_(options),
       metrics_(metrics),
+      tracer_(tracer),
       pool_(ResolveThreads(options.num_threads)),
       dispatcher_([this] { DispatcherLoop(); }) {}
 
 CountScheduler::~CountScheduler() { Shutdown(); }
 
-Status CountScheduler::Count(const Itemset& items, CountResult* out) {
+Status CountScheduler::Count(const Itemset& items, const CountObs& obs,
+                             CountResult* out) {
   Itemset canonical = items;
   Canonicalize(&canonical);
   if (canonical.empty()) {
@@ -41,6 +46,10 @@ Status CountScheduler::Count(const Itemset& items, CountResult* out) {
     }
     Request request;
     request.items = std::move(canonical);
+    request.trace_id = obs.trace_id;
+    request.sampled = obs.sampled && tracer_ != nullptr;
+    request.admitted_at = std::chrono::steady_clock::now();
+    if (request.sampled) request.admit_ts_us = tracer_->NowMicros();
     answer = request.promise.get_future();
     queue_.push_back(std::move(request));
     if (metrics_ != nullptr) {
@@ -86,6 +95,27 @@ void CountScheduler::DispatcherLoop() {
 }
 
 void CountScheduler::RunBatch(std::vector<Request>* batch) {
+  const uint64_t batch_id = ++next_batch_id_;
+  const auto batch_started_at = std::chrono::steady_clock::now();
+  const bool any_sampled =
+      std::any_of(batch->begin(), batch->end(),
+                  [](const Request& r) { return r.sampled; });
+  const double batch_ts_us =
+      (tracer_ != nullptr && any_sampled) ? tracer_->NowMicros() : 0;
+
+  // Queue-wait spans: admission to batch start, recorded on the dispatcher
+  // thread but attributed to the request via its trace_id arg.
+  if (tracer_ != nullptr && tracer_->enabled(obs::kTraceQueue)) {
+    for (const Request& r : *batch) {
+      if (!r.sampled) continue;
+      std::string args = "\"trace_id\": \"" + obs::JsonEscape(r.trace_id) +
+                         "\", \"batch\": " + std::to_string(batch_id);
+      tracer_->AddComplete(obs::kTraceQueue, "count.queue_wait",
+                           r.admit_ts_us, batch_ts_us - r.admit_ts_us,
+                           std::move(args));
+    }
+  }
+
   Snapshot snap = index_->Acquire();
   size_t num_segments = snap.num_segments();
 
@@ -98,6 +128,18 @@ void CountScheduler::RunBatch(std::vector<Request>* batch) {
         group_of.emplace((*batch)[r].items, uniques.size());
     if (inserted) uniques.push_back(&it->first);
     request_group[r] = it->second;
+  }
+
+  // A sampled trace id per query group (the first sampled request's), for
+  // attributing per-segment spans of the fan-out below.
+  std::vector<const std::string*> group_trace(uniques.size(), nullptr);
+  if (tracer_ != nullptr && tracer_->enabled(obs::kTraceSegment)) {
+    for (size_t r = 0; r < batch->size(); ++r) {
+      const Request& req = (*batch)[r];
+      if (req.sampled && group_trace[request_group[r]] == nullptr) {
+        group_trace[request_group[r]] = &req.trace_id;
+      }
+    }
   }
 
   // Items appearing in two or more distinct queries share their slice
@@ -135,12 +177,17 @@ void CountScheduler::RunBatch(std::vector<Request>* batch) {
   // Per-(query, segment) counts. Each cell is independent; the reduction
   // below runs in segment order so totals match a serial count.
   std::vector<size_t> cell_counts(uniques.size() * num_segments, 0);
+  std::vector<uint64_t> cell_words(cell_counts.size(), 0);
   std::atomic<uint64_t> seeded{0};
   pool_.ParallelFor(cell_counts.size(), [&](size_t cell) {
     size_t q_idx = cell / num_segments;
     size_t seg_idx = cell % num_segments;
     const Itemset& query = *uniques[q_idx];
     const BbsIndex& segment = snap.segment(seg_idx);
+    const std::string* trace_id = group_trace[q_idx];
+    const double cell_ts_us =
+        trace_id != nullptr ? tracer_->NowMicros() : 0;
+    IoStats io;
 
     // Seed from the sparsest cached vector the query contains, if any.
     size_t best = SIZE_MAX;
@@ -155,27 +202,40 @@ void CountScheduler::RunBatch(std::vector<Request>* batch) {
       }
     }
     if (best == SIZE_MAX) {
-      cell_counts[cell] = segment.CountItemSet(query);
-      return;
+      cell_counts[cell] = segment.CountItemSet(query, nullptr, &io);
+    } else {
+      seeded.fetch_add(1, std::memory_order_relaxed);
+      if (query.size() == 1) {
+        cell_counts[cell] = cache[best].count;
+      } else {
+        BitVector vec = cache[best].vec;
+        size_t count = cache[best].count;
+        for (ItemId item : query) {
+          if (item == best_item) continue;
+          count = segment.AndItemSlices(item, &vec, &io);
+        }
+        cell_counts[cell] = count;
+      }
     }
-    seeded.fetch_add(1, std::memory_order_relaxed);
-    if (query.size() == 1) {
-      cell_counts[cell] = cache[best].count;
-      return;
+    cell_words[cell] = io.slice_words_touched;
+    if (trace_id != nullptr) {
+      std::string args = "\"trace_id\": \"" + obs::JsonEscape(*trace_id) +
+                         "\", \"batch\": " + std::to_string(batch_id) +
+                         ", \"segment\": " + std::to_string(seg_idx) +
+                         ", \"slice_words\": " +
+                         std::to_string(io.slice_words_touched);
+      tracer_->AddComplete(obs::kTraceSegment, "count.segment", cell_ts_us,
+                           tracer_->NowMicros() - cell_ts_us,
+                           std::move(args));
     }
-    BitVector vec = cache[best].vec;
-    size_t count = cache[best].count;
-    for (ItemId item : query) {
-      if (item == best_item) continue;
-      count = segment.AndItemSlices(item, &vec);
-    }
-    cell_counts[cell] = count;
   });
 
   std::vector<uint64_t> totals(uniques.size(), 0);
+  std::vector<uint64_t> group_words(uniques.size(), 0);
   for (size_t q = 0; q < uniques.size(); ++q) {
     for (size_t s = 0; s < num_segments; ++s) {
       totals[q] += cell_counts[q * num_segments + s];
+      group_words[q] += cell_words[q * num_segments + s];
     }
   }
 
@@ -183,10 +243,29 @@ void CountScheduler::RunBatch(std::vector<Request>* batch) {
   base.epoch = snap.epoch();
   base.visible_transactions = snap.num_transactions();
   base.batch_size = static_cast<uint32_t>(batch->size());
+  base.batch_id = batch_id;
   for (size_t r = 0; r < batch->size(); ++r) {
     CountResult result = base;
     result.count = totals[request_group[r]];
+    result.slice_words = group_words[request_group[r]];
+    result.queue_wait_us = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            batch_started_at - (*batch)[r].admitted_at)
+            .count());
     (*batch)[r].promise.set_value(result);
+  }
+
+  if (tracer_ != nullptr && any_sampled &&
+      tracer_->enabled(obs::kTraceBatch)) {
+    std::string args = "\"batch\": " + std::to_string(batch_id) +
+                       ", \"size\": " + std::to_string(batch->size()) +
+                       ", \"uniques\": " + std::to_string(uniques.size()) +
+                       ", \"shared_items\": " +
+                       std::to_string(shared_items.size()) +
+                       ", \"segments\": " + std::to_string(num_segments);
+    tracer_->AddComplete(obs::kTraceBatch, "count.batch", batch_ts_us,
+                         tracer_->NowMicros() - batch_ts_us,
+                         std::move(args));
   }
 
   if (metrics_ != nullptr) {

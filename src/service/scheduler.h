@@ -27,14 +27,17 @@
 #ifndef BBSMINE_SERVICE_SCHEDULER_H_
 #define BBSMINE_SERVICE_SCHEDULER_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/trace.h"
 #include "service/metrics.h"
 #include "service/snapshot.h"
 #include "util/thread_pool.h"
@@ -60,13 +63,31 @@ struct CountResult {
   uint64_t visible_transactions = 0;
   /// Number of requests fused into the same batch (>= 1).
   uint32_t batch_size = 1;
+  /// Time the request waited in the admission queue before its batch
+  /// started executing.
+  uint64_t queue_wait_us = 0;
+  /// Which batch answered the request (monotonic per scheduler, 1-based).
+  uint64_t batch_id = 0;
+  /// 64-bit BBS slice words streamed to answer this request's query
+  /// (summed over segments; excludes the batch's shared seed cache, whose
+  /// cost is amortized across the queries that reuse it).
+  uint64_t slice_words = 0;
+};
+
+/// Per-request observability context threaded through admission. `sampled`
+/// requests emit queue-wait and per-segment spans attributed to
+/// `trace_id`; unsampled requests still get queue_wait_us/batch_id back.
+struct CountObs {
+  std::string trace_id;
+  bool sampled = false;
 };
 
 class CountScheduler {
  public:
-  /// `index` must outlive the scheduler. `metrics` may be null.
+  /// `index` must outlive the scheduler. `metrics` and `tracer` may be
+  /// null; a null (or category-disabled) tracer makes every span a no-op.
   CountScheduler(const SnapshotManager* index, const SchedulerOptions& options,
-                 ServiceMetrics* metrics);
+                 ServiceMetrics* metrics, obs::Tracer* tracer = nullptr);
 
   /// Drains pending requests, then stops the dispatcher.
   ~CountScheduler();
@@ -78,7 +99,12 @@ class CountScheduler {
   /// until the batch containing it executes, and fills `out`.
   /// Returns Unavailable under backpressure or after Shutdown;
   /// InvalidArgument for an empty itemset.
-  Status Count(const Itemset& items, CountResult* out);
+  Status Count(const Itemset& items, CountResult* out) {
+    return Count(items, CountObs{}, out);
+  }
+
+  /// Same, with per-request observability context.
+  Status Count(const Itemset& items, const CountObs& obs, CountResult* out);
 
   /// Stops admitting, executes every already-admitted request, joins the
   /// dispatcher. Idempotent.
@@ -91,6 +117,10 @@ class CountScheduler {
   struct Request {
     Itemset items;
     std::promise<CountResult> promise;
+    std::string trace_id;
+    bool sampled = false;
+    std::chrono::steady_clock::time_point admitted_at;
+    double admit_ts_us = 0;  ///< tracer timestamp at admission (if tracing)
   };
 
   void DispatcherLoop();
@@ -99,6 +129,8 @@ class CountScheduler {
   const SnapshotManager* index_;
   SchedulerOptions options_;
   ServiceMetrics* metrics_;
+  obs::Tracer* tracer_;
+  uint64_t next_batch_id_ = 0;  // dispatcher thread only
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cinttypes>
+#include <cstring>
 #include <utility>
 
 #include "baseline/eclat.h"
+#include "obs/json.h"
 #include "service/wire.h"
 #include "util/rusage.h"
 
@@ -20,6 +23,25 @@ uint64_t MicrosSince(std::chrono::steady_clock::time_point since) {
           .count());
 }
 
+/// "epoch" member of an ok response, if present (error responses and MINE
+/// have none).
+uint64_t EpochOf(const obs::JsonValue& response) {
+  if (response.kind() != obs::JsonValue::Kind::kObject ||
+      !response.Has("epoch")) {
+    return 0;
+  }
+  const obs::JsonValue& epoch = response.at("epoch");
+  return epoch.is_number() ? epoch.AsUint() : 0;
+}
+
+/// The id minted for requests the client did not tag: "t<seq>", unique
+/// per service instance.
+void MintTraceId(uint64_t seq, std::string* out) {
+  char minted[24];
+  std::snprintf(minted, sizeof(minted), "t%" PRIu64, seq);
+  *out = minted;
+}
+
 }  // namespace
 
 BbsService::BbsService(SnapshotManager* index, TransactionDatabase* db,
@@ -28,11 +50,17 @@ BbsService::BbsService(SnapshotManager* index, TransactionDatabase* db,
       db_(db),
       durability_(options.durability),
       options_(options),
-      scheduler_(index, options.scheduler, &metrics_),
+      metrics_(options.stats_windows),
+      scheduler_(index, options.scheduler, &metrics_, options.tracer),
       start_(std::chrono::steady_clock::now()) {}
 
-obs::JsonValue BbsService::Handle(const obs::JsonValue& request) {
+uint64_t BbsService::NowRelMicros() const { return MicrosSince(start_); }
+
+obs::JsonValue BbsService::Handle(const obs::JsonValue& request,
+                                  const RequestContext& ctx) {
   metrics_.Inc(metrics_.requests_total);
+  const uint64_t start_rel_us = NowRelMicros();
+  metrics_.MaybeRotateWindows(start_rel_us);
   if (request.kind() != obs::JsonValue::Kind::kObject ||
       !request.Has("verb") ||
       request.at("verb").kind() != obs::JsonValue::Kind::kString) {
@@ -42,7 +70,31 @@ obs::JsonValue BbsService::Handle(const obs::JsonValue& request) {
                                     "string \"verb\" member"));
   }
   const std::string& verb = request.at("verb").AsString();
-  auto begin = std::chrono::steady_clock::now();
+
+  // Request identity: honor a client-supplied trace_id; otherwise mint one
+  // when some sink (tracer, slow log, flight ring) will use it.
+  const uint64_t seq = request_seq_.fetch_add(1, std::memory_order_relaxed);
+  obs::Tracer* tracer = options_.tracer;
+  const bool sampled = tracer != nullptr && options_.trace_sample > 0 &&
+                       seq % options_.trace_sample == 0;
+  std::string trace_id;
+  if (request.Has("trace_id") &&
+      request.at("trace_id").kind() == obs::JsonValue::Kind::kString) {
+    trace_id = request.at("trace_id").AsString();
+  } else if (sampled) {
+    // Minting is deliberately lazy: only a sink that actually records the
+    // id pays for it (here, and again below if the request turns out
+    // slow). Flight events with no id stay unattributed — the dump's
+    // connection + seq already identifies them, and there is no trace or
+    // slow-log line to correlate with.
+    MintTraceId(seq, &trace_id);
+  }
+  if (sampled) metrics_.Inc(metrics_.traced_requests);
+
+  const auto begin = std::chrono::steady_clock::now();
+  const double span_ts_us = sampled ? tracer->NowMicros() : 0;
+  CountResult count_result;
+  bool counted = false;
   obs::JsonValue response;
   size_t latency_slot;
   if (verb == "PING") {
@@ -52,7 +104,10 @@ obs::JsonValue BbsService::Handle(const obs::JsonValue& request) {
   } else if (verb == "COUNT") {
     latency_slot = metrics_.latency_count;
     metrics_.Inc(metrics_.requests_count);
-    response = HandleCount(request);
+    CountObs count_obs;
+    count_obs.trace_id = trace_id;
+    count_obs.sampled = sampled;
+    response = HandleCount(request, count_obs, &count_result, &counted);
   } else if (verb == "INSERT") {
     latency_slot = metrics_.latency_insert;
     metrics_.Inc(metrics_.requests_insert);
@@ -69,13 +124,64 @@ obs::JsonValue BbsService::Handle(const obs::JsonValue& request) {
     latency_slot = metrics_.latency_checkpoint;
     metrics_.Inc(metrics_.requests_checkpoint);
     response = HandleCheckpoint();
+  } else if (verb == "DUMP") {
+    latency_slot = metrics_.latency_dump;
+    metrics_.Inc(metrics_.requests_dump);
+    response = HandleDump();
   } else {
     metrics_.Inc(metrics_.errors);
     return ErrorResponse(
         verb, Status::InvalidArgument("unknown verb: " + verb));
   }
-  metrics_.ObserveLog2(latency_slot, MicrosSince(begin));
-  if (!response.at("ok").AsBool()) metrics_.Inc(metrics_.errors);
+  const uint64_t latency_us = MicrosSince(begin);
+  metrics_.ObserveLog2(latency_slot, latency_us);
+  const bool ok = response.at("ok").AsBool();
+  if (!ok) metrics_.Inc(metrics_.errors);
+
+  if (sampled && tracer->enabled(obs::kTraceRequest)) {
+    std::string args = "\"trace_id\": \"" + obs::JsonEscape(trace_id) +
+                       "\", \"verb\": \"" + verb + "\"";
+    if (counted) {
+      args += ", \"batch\": " + std::to_string(count_result.batch_id);
+    }
+    tracer->AddComplete(obs::kTraceRequest, "request", span_ts_us,
+                        tracer->NowMicros() - span_ts_us, std::move(args));
+  }
+
+  if (options_.slow_log != nullptr && latency_us >= options_.slow_query_us) {
+    metrics_.Inc(metrics_.slow_queries);
+    if (trace_id.empty()) MintTraceId(seq, &trace_id);
+    SlowQueryRecord record;
+    record.at_rel_us = start_rel_us;
+    record.trace_id = trace_id;
+    record.verb = verb;
+    record.latency_us = latency_us;
+    record.queue_wait_us = counted ? count_result.queue_wait_us : 0;
+    record.batch_size = counted ? count_result.batch_size : 0;
+    if (request.Has("items") &&
+        request.at("items").kind() == obs::JsonValue::Kind::kArray) {
+      record.items = request.at("items").size();
+    }
+    record.epoch = EpochOf(response);
+    record.slice_words = counted ? count_result.slice_words : 0;
+    record.backend = IndexBackendName(options_.index_backend);
+    record.ok = ok;
+    options_.slow_log->Append(record);
+  }
+
+  if (ctx.flight != nullptr) {
+    FlightEvent event;
+    event.start_rel_us = start_rel_us;
+    event.latency_us = latency_us;
+    event.queue_wait_us = counted ? count_result.queue_wait_us : 0;
+    event.epoch = counted ? count_result.epoch : EpochOf(response);
+    event.batch_size = counted ? count_result.batch_size : 0;
+    event.verb = RecordedVerbFromString(verb);
+    event.ok = ok;
+    std::strncpy(event.trace_id, trace_id.c_str(),
+                 FlightEvent::kTraceIdBytes - 1);
+    ctx.flight->Record(event);
+  }
   return response;
 }
 
@@ -85,19 +191,22 @@ obs::JsonValue BbsService::HandlePing() {
   return response;
 }
 
-obs::JsonValue BbsService::HandleCount(const obs::JsonValue& request) {
+obs::JsonValue BbsService::HandleCount(const obs::JsonValue& request,
+                                       const CountObs& count_obs,
+                                       CountResult* out, bool* counted) {
   Result<Itemset> items = ItemsFromJson(request.at("items"));
   if (!items.ok()) return ErrorResponse("COUNT", items.status());
-  CountResult result;
-  Status counted = scheduler_.Count(*items, &result);
-  if (!counted.ok()) return ErrorResponse("COUNT", counted);
+  Status status = scheduler_.Count(*items, count_obs, out);
+  if (!status.ok()) return ErrorResponse("COUNT", status);
+  *counted = true;
   obs::JsonValue response = OkResponse("COUNT");
   response.Set("items", ItemsToJson(*items));
-  response.Set("count", obs::JsonValue::Uint(result.count));
-  response.Set("epoch", obs::JsonValue::Uint(result.epoch));
+  response.Set("count", obs::JsonValue::Uint(out->count));
+  response.Set("epoch", obs::JsonValue::Uint(out->epoch));
   response.Set("visible_transactions",
-               obs::JsonValue::Uint(result.visible_transactions));
-  response.Set("batch_size", obs::JsonValue::Uint(result.batch_size));
+               obs::JsonValue::Uint(out->visible_transactions));
+  response.Set("batch_size", obs::JsonValue::Uint(out->batch_size));
+  response.Set("queue_wait_us", obs::JsonValue::Uint(out->queue_wait_us));
   return response;
 }
 
@@ -261,6 +370,19 @@ obs::JsonValue BbsService::HandleStats() {
   return response;
 }
 
+obs::JsonValue BbsService::HandleDump() {
+  if (options_.flight_recorder == nullptr) {
+    return ErrorResponse(
+        "DUMP", Status::InvalidArgument(
+                    "DUMP requires the daemon's flight recorder (started "
+                    "with --flight-recorder-size > 0)"));
+  }
+  obs::JsonValue response = OkResponse("DUMP");
+  response.Set("flight",
+               options_.flight_recorder->DumpJson(NowRelMicros()));
+  return response;
+}
+
 obs::JsonValue BbsService::BuildStatsReport() const {
   Snapshot snap = index_->Acquire();
   ServiceReportContext ctx;
@@ -283,6 +405,14 @@ obs::JsonValue BbsService::BuildStatsReport() const {
   ctx.compact_cold_epochs = options_.compaction.cold_epochs;
   ctx.compact_fold_bits = options_.compaction.fold_bits;
   ctx.compacted_segments = index_->compactions();
+  ctx.pending_requests = scheduler_.pending();
+  if (const std::atomic<uint64_t>* live =
+          live_connections_.load(std::memory_order_acquire);
+      live != nullptr) {
+    ctx.open_connections = live->load(std::memory_order_relaxed);
+  }
+  ctx.window_now_us = MicrosSince(start_);
+  metrics_.MaybeRotateWindows(ctx.window_now_us);
   if (durability_ != nullptr) {
     std::lock_guard<std::mutex> lock(write_mu_);
     ctx.durable = true;
@@ -321,6 +451,7 @@ Status SocketServer::Start() {
   if (!port.ok()) return port.status();
   listener_ = std::move(*listener);
   port_ = *port;
+  service_->AttachConnectionCounter(&open_connections_);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::Ok();
 }
@@ -341,15 +472,21 @@ void SocketServer::AcceptLoop() {
     uint64_t open = open_connections_.fetch_add(1) + 1;
     service_->metrics().GaugeMax(service_->metrics().active_connections,
                                  open);
+    uint64_t connection_id = next_connection_id_.fetch_add(1) + 1;
     slot->thread = std::thread(
-        [this, fd = std::move(*accepted), slot]() mutable {
-          ServeConnection(std::move(fd), slot);
+        [this, fd = std::move(*accepted), slot, connection_id]() mutable {
+          ServeConnection(std::move(fd), slot, connection_id);
         });
     connections_.push_back(std::move(conn));
   }
 }
 
-void SocketServer::ServeConnection(OwnedFd fd, Connection* slot) {
+void SocketServer::ServeConnection(OwnedFd fd, Connection* slot,
+                                   uint64_t connection_id) {
+  RequestContext ctx;
+  ctx.connection_id = connection_id;
+  FlightRecorder* recorder = service_->flight_recorder();
+  if (recorder != nullptr) ctx.flight = recorder->AcquireRing(connection_id);
   while (!stop_.load(std::memory_order_acquire)) {
     Result<obs::JsonValue> request =
         ReadFrame(fd.get(), options_.poll_interval_ms);
@@ -363,10 +500,11 @@ void SocketServer::ServeConnection(OwnedFd fd, Connection* slot) {
       }
       break;  // clean disconnect or broken transport either way
     }
-    obs::JsonValue response = service_->Handle(*request);
+    obs::JsonValue response = service_->Handle(*request, ctx);
     if (!WriteFrame(fd.get(), response).ok()) break;
   }
   fd.Reset();
+  if (recorder != nullptr) recorder->ReleaseRing(ctx.flight);
   open_connections_.fetch_sub(1);
   slot->done.store(true, std::memory_order_release);
 }

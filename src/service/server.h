@@ -34,9 +34,12 @@
 #include <string>
 #include <thread>
 
+#include "obs/trace.h"
 #include "service/durability.h"
+#include "service/flight_recorder.h"
 #include "service/metrics.h"
 #include "service/scheduler.h"
+#include "service/slow_log.h"
 #include "service/snapshot.h"
 #include "storage/transaction_db.h"
 #include "util/socket.h"
@@ -62,6 +65,35 @@ struct ServiceOptions {
   /// segments remain upper bounds but are no longer bit-identical to the
   /// full-width index, so this defaults off.
   CompactionPolicy compaction;
+
+  // --- Observability plane (docs/OBSERVABILITY.md). All four hooks are
+  // caller-owned, optional, and passive when unset: a null tracer /
+  // slow_log / flight_recorder costs one branch per request. ---
+
+  /// Span sink for sampled requests; must outlive the service.
+  obs::Tracer* tracer = nullptr;
+  /// Sample 1-in-N requests into the tracer (0 = trace nothing). A sampled
+  /// request emits a request span plus, for COUNT, queue-wait / batch /
+  /// per-segment spans correlated by its trace_id.
+  uint64_t trace_sample = 0;
+  /// Slow-query sink; requests with latency >= slow_query_us append one
+  /// JSON line. Must outlive the service.
+  SlowQueryLog* slow_log = nullptr;
+  /// Threshold for the slow-query log, microseconds. 0 logs every request
+  /// (useful in CI to force a record).
+  uint64_t slow_query_us = 0;
+  /// Per-connection flight recorder (DUMP verb / shutdown dump). Must
+  /// outlive the service.
+  FlightRecorder* flight_recorder = nullptr;
+  /// Shape of the windowed-metrics ring behind the STATS "window" section.
+  ServiceMetrics::WindowOptions stats_windows;
+};
+
+/// Per-request transport context: which connection the request arrived on
+/// and that connection's flight-recorder ring (null = no recording).
+struct RequestContext {
+  FlightRing* flight = nullptr;
+  uint64_t connection_id = 0;
 };
 
 class BbsService {
@@ -73,7 +105,13 @@ class BbsService {
 
   /// Maps one request to one response. Never throws; protocol errors come
   /// back as {"ok": false, "error": {...}} responses. Thread-safe.
-  obs::JsonValue Handle(const obs::JsonValue& request);
+  obs::JsonValue Handle(const obs::JsonValue& request) {
+    return Handle(request, RequestContext{});
+  }
+
+  /// Same, with transport context (flight-recorder ring, connection id).
+  obs::JsonValue Handle(const obs::JsonValue& request,
+                        const RequestContext& ctx);
 
   /// The schema-versioned service report (STATS payload, shutdown
   /// artifact).
@@ -86,13 +124,29 @@ class BbsService {
   ServiceMetrics& metrics() { return metrics_; }
   const ServiceMetrics& metrics() const { return metrics_; }
 
+  FlightRecorder* flight_recorder() const { return options_.flight_recorder; }
+
+  /// Lets the transport publish its live connection counter so STATS can
+  /// report the current count next to the watermark gauge. `counter` must
+  /// outlive the service.
+  void AttachConnectionCounter(const std::atomic<uint64_t>* counter) {
+    live_connections_.store(counter, std::memory_order_release);
+  }
+
+  /// Microseconds since service start (the timebase of window rotation,
+  /// slow-log records, and flight-recorder events).
+  uint64_t NowRelMicros() const;
+
  private:
   obs::JsonValue HandlePing();
-  obs::JsonValue HandleCount(const obs::JsonValue& request);
+  obs::JsonValue HandleCount(const obs::JsonValue& request,
+                             const CountObs& count_obs, CountResult* out,
+                             bool* counted);
   obs::JsonValue HandleInsert(const obs::JsonValue& request);
   obs::JsonValue HandleMine(const obs::JsonValue& request);
   obs::JsonValue HandleStats();
   obs::JsonValue HandleCheckpoint();
+  obs::JsonValue HandleDump();
 
   SnapshotManager* index_;
   TransactionDatabase* db_;
@@ -104,6 +158,8 @@ class BbsService {
   // path can take it briefly to read durability counters consistently.
   mutable std::mutex write_mu_;
   std::atomic<bool> draining_{false};
+  std::atomic<uint64_t> request_seq_{0};
+  std::atomic<const std::atomic<uint64_t>*> live_connections_{nullptr};
   std::chrono::steady_clock::time_point start_;
 };
 
@@ -142,7 +198,7 @@ class SocketServer {
   };
 
   void AcceptLoop();
-  void ServeConnection(OwnedFd fd, Connection* slot);
+  void ServeConnection(OwnedFd fd, Connection* slot, uint64_t connection_id);
   void ReapFinishedLocked();
 
   BbsService* service_;
@@ -151,6 +207,7 @@ class SocketServer {
   uint16_t port_ = 0;
   std::atomic<bool> stop_{false};
   std::atomic<uint64_t> open_connections_{0};
+  std::atomic<uint64_t> next_connection_id_{0};
   std::thread accept_thread_;
   std::mutex conn_mu_;
   std::list<std::unique_ptr<Connection>> connections_;

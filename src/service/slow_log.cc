@@ -1,0 +1,68 @@
+#include "service/slow_log.h"
+
+#include <cinttypes>
+
+#include "obs/json.h"
+
+namespace bbsmine::service {
+
+SlowQueryLog::~SlowQueryLog() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<std::unique_ptr<SlowQueryLog>> SlowQueryLog::Open(
+    const std::string& path) {
+  // Heal a torn tail: if the file ends mid-line (crash during a write),
+  // the first new record must start on its own line.
+  bool needs_newline = false;
+  if (std::FILE* probe = std::fopen(path.c_str(), "rb"); probe != nullptr) {
+    if (std::fseek(probe, -1, SEEK_END) == 0) {
+      int last = std::fgetc(probe);
+      needs_newline = last != EOF && last != '\n';
+    }
+    std::fclose(probe);
+  }
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) {
+    return Status::NotFound("cannot open slow-query log " + path);
+  }
+  if (needs_newline) std::fputc('\n', file);
+  return std::unique_ptr<SlowQueryLog>(new SlowQueryLog(path, file));
+}
+
+void SlowQueryLog::Append(const SlowQueryRecord& record) {
+  // Compact one-object-per-line JSON, keys in schema order
+  // (docs/OBSERVABILITY.md).
+  std::string line;
+  line.reserve(256);
+  char buf[64];
+  auto add_uint = [&](const char* key, uint64_t value) {
+    std::snprintf(buf, sizeof(buf), "\"%s\":%" PRIu64 ",", key, value);
+    line += buf;
+  };
+  line += "{";
+  add_uint("at_us", record.at_rel_us);
+  line += "\"trace_id\":\"" + obs::JsonEscape(record.trace_id) + "\",";
+  line += "\"verb\":\"" + obs::JsonEscape(record.verb) + "\",";
+  add_uint("latency_us", record.latency_us);
+  add_uint("queue_wait_us", record.queue_wait_us);
+  add_uint("batch_size", record.batch_size);
+  add_uint("items", record.items);
+  add_uint("epoch", record.epoch);
+  add_uint("slice_words", record.slice_words);
+  line += "\"backend\":\"" + obs::JsonEscape(record.backend) + "\",";
+  line += record.ok ? "\"outcome\":\"ok\"}" : "\"outcome\":\"error\"}";
+  line += "\n";
+
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fflush(file_);
+  ++appended_;
+}
+
+uint64_t SlowQueryLog::appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appended_;
+}
+
+}  // namespace bbsmine::service

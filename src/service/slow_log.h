@@ -1,0 +1,73 @@
+// The slow-query log: one structured JSON line per request whose latency
+// crossed the daemon's --slow-query-us threshold.
+//
+// Metrics tell you the p99 moved; the slow log tells you *which* requests
+// moved it, with enough attribution (trace_id, queue wait, batch fusion
+// width, slice words streamed) to decide whether the request was expensive
+// or just unlucky. Each record is a single line of compact JSON, so the
+// file greps and tails like any structured log.
+//
+// Torn-line tolerance: a crash can leave a half-written final line. On
+// reopen the log checks the last byte and starts appends on a fresh line,
+// so one torn record never corrupts the records after it — readers skip
+// lines that fail to parse and keep everything else.
+
+#ifndef BBSMINE_SERVICE_SLOW_LOG_H_
+#define BBSMINE_SERVICE_SLOW_LOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "util/status.h"
+
+namespace bbsmine::service {
+
+/// One slow request's attribution, rendered as a JSON line.
+struct SlowQueryRecord {
+  uint64_t at_rel_us = 0;  ///< request start, µs since service start
+  std::string trace_id;
+  std::string verb;
+  uint64_t latency_us = 0;
+  uint64_t queue_wait_us = 0;  ///< COUNT admission wait (0 otherwise)
+  uint32_t batch_size = 0;     ///< COUNT batch fusion width (0 otherwise)
+  uint64_t items = 0;          ///< itemset size of a COUNT/INSERT
+  uint64_t epoch = 0;          ///< snapshot epoch the answer saw (if any)
+  uint64_t slice_words = 0;    ///< BBS slice words streamed for the answer
+  std::string backend;         ///< index backend serving the request
+  bool ok = false;
+};
+
+/// Append-only JSON-lines sink. Thread-safe; appends take one mutex and
+/// one buffered fwrite + flush (the slow path is already slow).
+class SlowQueryLog {
+ public:
+  ~SlowQueryLog();
+
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  /// Opens `path` for appending, healing a torn final line first.
+  static Result<std::unique_ptr<SlowQueryLog>> Open(const std::string& path);
+
+  void Append(const SlowQueryRecord& record);
+
+  uint64_t appended() const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  explicit SlowQueryLog(std::string path, std::FILE* file)
+      : path_(std::move(path)), file_(file) {}
+
+  std::string path_;
+  std::FILE* file_;
+  mutable std::mutex mu_;
+  uint64_t appended_ = 0;
+};
+
+}  // namespace bbsmine::service
+
+#endif  // BBSMINE_SERVICE_SLOW_LOG_H_

@@ -142,6 +142,11 @@ EnvArmer env_armer;
 }  // namespace
 
 std::atomic<bool> FaultInjector::armed_{false};
+std::atomic<void (*)()> FaultInjector::crash_hook_{nullptr};
+
+void FaultInjector::SetCrashHook(void (*hook)()) {
+  crash_hook_.store(hook, std::memory_order_release);
+}
 
 Status FaultInjector::Arm(const std::string& spec) {
   std::map<std::string, FaultRule> rules;
@@ -181,14 +186,20 @@ uint64_t FaultInjector::HitCount(const std::string& point) {
 Status FaultInjector::HitSlow(const char* point, size_t want,
                               size_t* allowed) {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  std::unique_lock<std::mutex> lock(registry.mu);
   auto it = registry.rules.find(point);
   if (it == registry.rules.end()) return Status::Ok();
   FaultRule& rule = it->second;
   ++rule.hits;
   if (rule.has_crash_after && rule.hits > rule.crash_after) {
     // A crash-point: die exactly here, like kill -9 would. 137 = 128+SIGKILL,
-    // so harnesses treat it like a real kill.
+    // so harnesses treat it like a real kill. The crash hook (if any) runs
+    // first, outside the registry lock — it may do I/O that consults other
+    // fault points, so exchanging it to null guards against recursion.
+    lock.unlock();
+    if (void (*hook)() = crash_hook_.exchange(nullptr); hook != nullptr) {
+      hook();
+    }
     std::fflush(nullptr);
     std::_Exit(137);
   }

@@ -85,10 +85,20 @@ class FaultInjector {
   /// Testing / diagnostics only.
   static uint64_t HitCount(const std::string& point);
 
+  /// Registers a hook run once, right before a crash_after boundary calls
+  /// _Exit(137) — the daemon uses it to dump the flight recorder so the
+  /// post-mortem artifact exists for exactly the runs that die mid-write.
+  /// The hook runs with the fault registry unlocked and re-entry guarded
+  /// (a hook that itself trips fault points will not recurse). Pass
+  /// nullptr to clear. Not thread-safe against concurrent crashes by
+  /// design: the process is dying either way.
+  static void SetCrashHook(void (*hook)());
+
  private:
   static Status HitSlow(const char* point, size_t want, size_t* allowed);
 
   static std::atomic<bool> armed_;
+  static std::atomic<void (*)()> crash_hook_;
 };
 
 }  // namespace bbsmine

@@ -130,6 +130,10 @@ void Usage() {
       "output:\n"
       "  --out FILE          report path (default BENCH_service.json)\n"
       "  --reservoir N       latency samples kept per verb (default 65536)\n"
+      "  --trace-ids         tag every request with a deterministic\n"
+      "                      trace_id (b<seed>-<stream index>) so daemon\n"
+      "                      traces / slow-log lines correlate to the\n"
+      "                      generated stream\n"
       "  --dry-run           generate the stream only; no daemon needed\n"
       "  --dump-stream FILE  write the request stream as text (for\n"
       "                      reproducibility diffs)\n";
@@ -201,7 +205,8 @@ Result<obs::JsonValue> CallOnce(const std::string& host, uint16_t port,
 void Worker(const std::vector<TrafficRequest>& stream, size_t worker_id,
             size_t num_workers, const TrafficSpec& spec,
             const std::string& host, uint16_t port, int timeout_ms,
-            std::chrono::steady_clock::time_point start, RunResult* result) {
+            std::chrono::steady_clock::time_point start,
+            const std::string* trace_prefix, RunResult* result) {
   OwnedFd fd;
   for (size_t i = worker_id; i < stream.size(); i += num_workers) {
     const TrafficRequest& request = stream[i];
@@ -211,6 +216,13 @@ void Worker(const std::vector<TrafficRequest>& stream, size_t worker_id,
 
     VerbStats& stats = *result->verbs[static_cast<size_t>(request.verb)];
     obs::JsonValue wire = BuildWireRequest(request, spec);
+    if (trace_prefix != nullptr) {
+      // Deterministic per-request id: "b<seed>-<stream index>". The index
+      // is the position in the generated stream, so a slow-log line or a
+      // trace span names exactly one request of the replayed workload.
+      wire.Set("trace_id",
+               obs::JsonValue::String(*trace_prefix + std::to_string(i)));
+    }
 
     enum class Outcome { kOk, kError, kTimeout, kTransport } outcome;
     if (!fd.valid()) {
@@ -289,6 +301,26 @@ std::vector<uint64_t> DaemonLatencyBuckets(const obs::JsonValue& stats_report,
   return buckets;
 }
 
+/// Points at `report.window.last_60s.latency_us.<verb>` in a STATS
+/// response — the daemon's recent-window histogram, already annotated with
+/// p50/p95/p99 — or nullptr when the daemon predates windowed metrics or
+/// the verb never appears in the recent window.
+const obs::JsonValue* DaemonRecentLatency(const obs::JsonValue& stats_report,
+                                          const std::string& verb_lower) {
+  const obs::JsonValue* node = &stats_report;
+  for (const char* key : {"window", "last_60s", "latency_us"}) {
+    if (node->kind() != obs::JsonValue::Kind::kObject || !node->Has(key)) {
+      return nullptr;
+    }
+    node = &node->at(key);
+  }
+  if (node->kind() != obs::JsonValue::Kind::kObject ||
+      !node->Has(verb_lower)) {
+    return nullptr;
+  }
+  return &node->at(verb_lower);
+}
+
 std::string LowerVerb(TrafficVerb verb) {
   std::string name = TrafficVerbName(verb);
   std::transform(name.begin(), name.end(), name.begin(),
@@ -300,7 +332,8 @@ std::string LowerVerb(TrafficVerb verb) {
 /// client stats plus daemon STATS snapshots bracketing the run.
 Result<RunResult> RunTraffic(const TrafficSpec& spec, const std::string& host,
                              uint16_t port, size_t connections,
-                             int timeout_ms, size_t reservoir_capacity) {
+                             int timeout_ms, size_t reservoir_capacity,
+                             bool trace_ids) {
   Result<std::vector<TrafficRequest>> stream = GenerateTraffic(spec);
   if (!stream.ok()) return stream.status();
 
@@ -322,13 +355,15 @@ Result<RunResult> RunTraffic(const TrafficSpec& spec, const std::string& host,
 
   size_t num_workers = std::max<size_t>(1, std::min(connections,
                                                     stream->size()));
+  // Outlives the workers: RunTraffic joins them before returning.
+  const std::string trace_prefix = "b" + std::to_string(spec.seed) + "-";
   auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> workers;
   workers.reserve(num_workers);
   for (size_t w = 0; w < num_workers; ++w) {
     workers.emplace_back(Worker, std::cref(*stream), w, num_workers,
                          std::cref(spec), std::cref(host), port, timeout_ms,
-                         start, &result);
+                         start, trace_ids ? &trace_prefix : nullptr, &result);
   }
   for (std::thread& t : workers) t.join();
   result.elapsed_s =
@@ -359,7 +394,7 @@ obs::JsonValue MixJson(const TrafficMix& mix) {
 }
 
 obs::JsonValue ConfigJson(const TrafficSpec& spec, size_t connections,
-                          int timeout_ms) {
+                          int timeout_ms, bool trace_ids) {
   obs::JsonValue config = obs::JsonValue::Object();
   config.Set("seed", obs::JsonValue::Uint(spec.seed));
   config.Set("rate_rps", obs::JsonValue::Double(spec.rate_rps));
@@ -381,13 +416,17 @@ obs::JsonValue ConfigJson(const TrafficSpec& spec, size_t connections,
   config.Set("mine_top", obs::JsonValue::Uint(spec.mine_top));
   config.Set("connections", obs::JsonValue::Uint(connections));
   config.Set("timeout_ms", obs::JsonValue::Int(timeout_ms));
+  config.Set("trace_ids", obs::JsonValue::Bool(trace_ids));
   return config;
 }
 
 /// Renders one verb's client + daemon view. `daemon_diff` is the
-/// after-minus-before daemon histogram (absent when STATS failed).
+/// after-minus-before daemon histogram (absent when STATS failed);
+/// `recent` is the daemon's `window.last_60s` histogram for the verb
+/// (absent when the daemon predates windowed metrics).
 obs::JsonValue VerbJson(VerbStats& stats,
-                        const std::vector<uint64_t>* daemon_diff) {
+                        const std::vector<uint64_t>* daemon_diff,
+                        const obs::JsonValue* recent) {
   obs::JsonValue v = obs::JsonValue::Object();
   v.Set("sent", obs::JsonValue::Uint(stats.sent));
   v.Set("ok", obs::JsonValue::Uint(stats.ok));
@@ -432,15 +471,45 @@ obs::JsonValue VerbJson(VerbStats& stats,
             obs::JsonValue::Int(client_bucket - daemon_bucket));
     }
   }
+
+  if (recent != nullptr && recent->Has("total") &&
+      recent->at("total").AsUint() > 0) {
+    obs::JsonValue rec = obs::JsonValue::Object();
+    double recent_p50 =
+        recent->Has("p50") ? recent->at("p50").AsDouble() : 0.0;
+    rec.Set("p50", obs::JsonValue::Double(recent_p50));
+    if (recent->Has("p95")) {
+      rec.Set("p95", obs::JsonValue::Double(recent->at("p95").AsDouble()));
+    }
+    if (recent->Has("p99")) {
+      rec.Set("p99", obs::JsonValue::Double(recent->at("p99").AsDouble()));
+    }
+    rec.Set("total", obs::JsonValue::Uint(recent->at("total").AsUint()));
+    v.Set("daemon_recent_latency_us", std::move(rec));
+    if (stats.sent > 0 && recent_p50 > 0) {
+      // The recent window covers the whole run when the run is shorter
+      // than the daemon's lookback, so for a freshly started daemon the
+      // client reservoir p50 and the windowed p50 should land in the
+      // same (or adjacent) log2 bucket — bench_smoke asserts exactly
+      // that.
+      int client_bucket = static_cast<int>(obs::Log2Bucket(
+          static_cast<uint64_t>(std::max(0.0, client_p50))));
+      int recent_bucket = static_cast<int>(
+          obs::Log2Bucket(static_cast<uint64_t>(recent_p50)));
+      v.Set("recent_p50_bucket_delta",
+            obs::JsonValue::Int(client_bucket - recent_bucket));
+    }
+  }
   return v;
 }
 
 obs::JsonValue ReportJson(const TrafficSpec& spec, RunResult& run,
-                          size_t connections, int timeout_ms) {
+                          size_t connections, int timeout_ms,
+                          bool trace_ids) {
   obs::JsonValue report = obs::JsonValue::Object();
   report.Set("schema_version", obs::JsonValue::Int(1));
   report.Set("kind", obs::JsonValue::String("bbsbench_service"));
-  report.Set("config", ConfigJson(spec, connections, timeout_ms));
+  report.Set("config", ConfigJson(spec, connections, timeout_ms, trace_ids));
 
   uint64_t sent = 0, ok = 0, errors = 0, timeouts = 0, indeterminate = 0,
            transport = 0;
@@ -450,6 +519,7 @@ obs::JsonValue ReportJson(const TrafficSpec& spec, RunResult& run,
     if (stats.sent == 0) continue;
     std::vector<uint64_t> diff;
     const std::vector<uint64_t>* diff_ptr = nullptr;
+    const obs::JsonValue* recent = nullptr;
     if (run.daemon_stats_ok) {
       std::string lower = LowerVerb(verb);
       std::vector<uint64_t> before =
@@ -459,8 +529,9 @@ obs::JsonValue ReportJson(const TrafficSpec& spec, RunResult& run,
         diff[i] -= std::min(before[i], diff[i]);
       }
       diff_ptr = &diff;
+      recent = DaemonRecentLatency(run.daemon_after, lower);
     }
-    verbs.Set(TrafficVerbName(verb), VerbJson(stats, diff_ptr));
+    verbs.Set(TrafficVerbName(verb), VerbJson(stats, diff_ptr, recent));
     sent += stats.sent;
     ok += stats.ok;
     errors += stats.errors;
@@ -557,6 +628,7 @@ int main(int argc, char** argv) {
   const size_t reservoir = args.GetUint("reservoir", 65536);
   const std::string out_path = args.GetString("out", "BENCH_service.json");
   const bool dry_run = args.Has("dry-run");
+  const bool trace_ids = args.Has("trace-ids");
 
   if (!dry_run && port == 0) {
     std::cerr << "bbsbench: --port is required (or use --dry-run)\n";
@@ -591,12 +663,13 @@ int main(int argc, char** argv) {
 
   // Main measured run.
   Result<RunResult> run = RunTraffic(spec, host, port, connections,
-                                     timeout_ms, reservoir);
+                                     timeout_ms, reservoir, trace_ids);
   if (!run.ok()) {
     std::cerr << "bbsbench: " << run.status().ToString() << "\n";
     return 1;
   }
-  obs::JsonValue report = ReportJson(spec, *run, connections, timeout_ms);
+  obs::JsonValue report =
+      ReportJson(spec, *run, connections, timeout_ms, trace_ids);
 
   // Optional stepped-rate saturation search: probe increasing offered
   // loads and report the highest one whose client p99 for --slo-verb
@@ -617,7 +690,7 @@ int main(int argc, char** argv) {
       step_spec.rate_rps = step_rate;
       step_spec.seed = spec.seed + 1000 + s;  // a fresh stream per step
       Result<RunResult> step = RunTraffic(step_spec, host, port, connections,
-                                          timeout_ms, reservoir);
+                                          timeout_ms, reservoir, trace_ids);
       if (!step.ok()) {
         std::cerr << "bbsbench: saturation step failed: "
                   << step.status().ToString() << "\n";

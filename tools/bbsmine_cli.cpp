@@ -610,6 +610,11 @@ int CmdClient(const Args& args) {
   if (std::string top = args.GetString("top"); !top.empty()) {
     request.Set("top", obs::JsonValue::Uint(args.GetUint("top", 10)));
   }
+  if (std::string trace_id = args.GetString("trace-id"); !trace_id.empty()) {
+    // Client-supplied request identity: the daemon tags this request's
+    // spans, slow-log line, and flight-recorder event with it.
+    request.Set("trace_id", obs::JsonValue::String(trace_id));
+  }
 
   service::RetryOptions retry;
   retry.retries = static_cast<uint32_t>(args.GetUint("retries", 0));
@@ -708,7 +713,9 @@ void Usage() {
       "           index or segmented-index prefix)\n"
       "           [--index-backend resident|mmap]\n"
       "  client   [--host A] [--port N] [--verb PING|COUNT|MINE|INSERT|\n"
-      "           STATS|CHECKPOINT] [--items A,B,C] [--minsup F] [--top N]\n"
+      "           STATS|CHECKPOINT|DUMP] [--items A,B,C] [--minsup F]\n"
+      "           [--top N] [--trace-id ID] (tag the request's spans,\n"
+      "           slow-log line, and flight-recorder event)\n"
       "           [--json] [--retries N] [--backoff-ms N]\n"
       "           [--max-backoff-ms N] [--timeout-ms N]\n"
       "           (talks to a running bbsmined; retries Unavailable with\n"

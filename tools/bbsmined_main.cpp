@@ -32,9 +32,11 @@
 #include "core/bbs_index.h"
 #include "core/segmented_bbs.h"
 #include "obs/json.h"
+#include "obs/trace.h"
 #include "service/durability.h"
 #include "service/server.h"
 #include "storage/transaction_db.h"
+#include "util/fault_injector.h"
 
 using namespace bbsmine;
 
@@ -43,6 +45,26 @@ namespace {
 std::atomic<bool> g_stop{false};
 
 void HandleSignal(int) { g_stop.store(true, std::memory_order_release); }
+
+// Crash-hook plumbing: the fault-injection crash path (_Exit(137) at an
+// armed boundary) dumps the flight recorder first, so post-mortem
+// artifacts exist for exactly the runs that die mid-write. Plain stdio on
+// purpose — the injected-fault file_io layer is what just "failed".
+service::FlightRecorder* g_crash_recorder = nullptr;
+service::BbsService* g_crash_service = nullptr;
+std::string g_crash_flight_path;
+
+void CrashDumpHook() {
+  if (g_crash_recorder == nullptr || g_crash_flight_path.empty()) return;
+  uint64_t now_rel_us =
+      g_crash_service != nullptr ? g_crash_service->NowRelMicros() : 0;
+  std::string text =
+      g_crash_recorder->DumpJsonForCrash(now_rel_us).Serialize();
+  if (std::FILE* out = std::fopen(g_crash_flight_path.c_str(), "wb")) {
+    std::fwrite(text.data(), 1, text.size(), out);
+    std::fclose(out);
+  }
+}
 
 /// Minimal flag parser: accepts `--flag value` and `--flag=value`;
 /// bare flags map to "true". (Mirrors the bbsmine CLI parser.)
@@ -126,6 +148,19 @@ void Usage() {
       "  --max-batch N       requests fused per batch (default 256)\n"
       "  --minsup F          default MINE minimum support (default 0.003)\n"
       "  --report-out FILE   write the service report on shutdown\n"
+      "  --trace-out FILE    write a Chrome trace of sampled requests on\n"
+      "                      shutdown (load in Perfetto)\n"
+      "  --trace-sample N    trace 1-in-N requests (default 1 when\n"
+      "                      --trace-out is set, else off)\n"
+      "  --slow-log FILE     append one JSON line per slow request\n"
+      "  --slow-query-us N   slow-query threshold, microseconds (default\n"
+      "                      10000; 0 logs every request)\n"
+      "  --flight-recorder-size N  per-connection flight-ring capacity in\n"
+      "                      events (default 64; 0 disables DUMP)\n"
+      "  --flight-out FILE   write the flight-recorder dump on shutdown\n"
+      "                      and from the fault-injection crash path\n"
+      "  --stats-window-s N  windowed-metrics rotation interval, seconds\n"
+      "                      (default 10; 12 slots are retained)\n"
       "  --durable-dir DIR   crash-safe durability: WAL + checkpoints in\n"
       "                      DIR; recovers state from DIR on startup\n"
       "  --fsync POLICY      WAL fsync policy: always | none | every=N\n"
@@ -286,6 +321,33 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Observability plane: tracer, slow-query log, flight recorder, window
+  // shape. All off (or passive) unless their flags are given.
+  const std::string trace_out = args.GetString("trace-out");
+  uint64_t trace_sample =
+      args.GetUint("trace-sample", trace_out.empty() ? 0 : 1);
+  std::unique_ptr<obs::Tracer> tracer;
+  if (!trace_out.empty() && trace_sample > 0) {
+    tracer = std::make_unique<obs::Tracer>(obs::kTraceService);
+  }
+  std::unique_ptr<service::SlowQueryLog> slow_log;
+  if (std::string path = args.GetString("slow-log"); !path.empty()) {
+    auto opened = service::SlowQueryLog::Open(path);
+    if (!opened.ok()) Die(opened.status());
+    slow_log = std::move(*opened);
+  }
+  const uint64_t flight_size = args.GetUint("flight-recorder-size", 64);
+  std::unique_ptr<service::FlightRecorder> flight_recorder;
+  if (flight_size > 0) {
+    flight_recorder = std::make_unique<service::FlightRecorder>(flight_size);
+  }
+  const std::string flight_out = args.GetString("flight-out");
+  const uint64_t stats_window_s = args.GetUint("stats-window-s", 10);
+  if (stats_window_s == 0) {
+    std::cerr << "bbsmined: --stats-window-s must be positive\n";
+    return 2;
+  }
+
   service::ServiceOptions options;
   options.scheduler.num_threads = args.GetUint("threads", 0);
   options.scheduler.max_pending = args.GetUint("max-pending", 1024);
@@ -293,6 +355,12 @@ int main(int argc, char** argv) {
   options.default_min_support = args.GetDouble("minsup", 0.003);
   options.durability = durability.get();
   options.index_backend = backend;
+  options.tracer = tracer.get();
+  options.trace_sample = trace_sample;
+  options.slow_log = slow_log.get();
+  options.slow_query_us = args.GetUint("slow-query-us", 10000);
+  options.flight_recorder = flight_recorder.get();
+  options.stats_windows.interval_us = stats_window_s * 1'000'000;
   options.compaction.cold_epochs = args.GetUint("compact-cold-epochs", 0);
   options.compaction.fold_bits =
       static_cast<uint32_t>(args.GetUint("compact-fold-bits", 0));
@@ -305,6 +373,13 @@ int main(int argc, char** argv) {
     }
   }
   service::BbsService bbs_service(&*index, db ? &*db : nullptr, options);
+
+  if (flight_recorder != nullptr && !flight_out.empty()) {
+    g_crash_recorder = flight_recorder.get();
+    g_crash_service = &bbs_service;
+    g_crash_flight_path = flight_out;
+    FaultInjector::SetCrashHook(CrashDumpHook);
+  }
 
   service::SocketServerOptions server_options;
   server_options.host = args.GetString("host", "127.0.0.1");
@@ -356,6 +431,27 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("bbsmined wrote service report to %s\n", path.c_str());
+  }
+  if (flight_recorder != nullptr && !flight_out.empty()) {
+    obs::JsonValue dump =
+        flight_recorder->DumpJson(bbs_service.NowRelMicros());
+    if (Status written = obs::WriteJsonFile(dump, flight_out);
+        !written.ok()) {
+      std::cerr << "bbsmined: cannot write flight dump: "
+                << written.ToString() << "\n";
+      return 1;
+    }
+    std::printf("bbsmined wrote flight-recorder dump to %s\n",
+                flight_out.c_str());
+  }
+  if (tracer != nullptr && !trace_out.empty()) {
+    if (Status written = tracer->WriteJson(trace_out); !written.ok()) {
+      std::cerr << "bbsmined: cannot write trace: " << written.ToString()
+                << "\n";
+      return 1;
+    }
+    std::printf("bbsmined wrote trace (%zu events) to %s\n",
+                tracer->event_count(), trace_out.c_str());
   }
   std::printf("bbsmined exited cleanly (epoch %llu, %zu transactions)\n",
               static_cast<unsigned long long>(index->epoch()),
