@@ -1,0 +1,331 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the bbsrouter sharded cluster (run by the CI
+# cluster-smoke job, and runnable locally):
+#
+#   1. generate a dataset, split it 3 ways with `bbsmine split`, build a
+#      per-shard segmented index for each part plus a full index and a
+#      single-node oracle daemon over the concatenated data;
+#   2. start 3 bbsmined shards and a bbsrouter in front of them;
+#   3. diff router COUNT answers against the offline oracle and router
+#      MINE output against the oracle daemon — both must be bit-identical;
+#   4. INSERT through the router (tail-shard routing) and verify the count
+#      and the cluster-wide transaction total move;
+#   5. require the Bloofi routing tree to have pruned at least one shard
+#      fan-out (absent-item queries cannot cover any shard signature);
+#   6. kill one shard with SIGKILL mid-traffic and require degraded-but-
+#      answering COUNT/MINE responses carrying the missing-shard list;
+#   7. SIGTERM the router and require a clean drain plus a schema-valid
+#      bbsrouter service report with a populated cluster section;
+#   8. bench leg: run the same fixed-seed bbsbench --target load against
+#      fleets of 1, 2 and 4 shards over the same total data and compose
+#      the tracked BENCH_cluster.json (schema + per-shard breakdown
+#      validated).
+#
+# Usage: scripts/cluster_smoke.sh [BUILD_DIR] [CLUSTER_JSON]
+#   (defaults: build, BENCH_cluster.json in the current directory)
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+CLUSTER_JSON="${2:-BENCH_cluster.json}"
+BBSMINE="$BUILD_DIR/tools/bbsmine"
+BBSMINED="$BUILD_DIR/tools/bbsmined"
+BBSROUTER="$BUILD_DIR/tools/bbsrouter"
+BBSBENCH="$BUILD_DIR/tools/bbsbench"
+WORK="$(mktemp -d)"
+
+# Every spawned process, tracked by PID saved at spawn time — never matched
+# by name (pgrep -f would race other jobs and even this script's own shell).
+ALL_PIDS=()
+
+cleanup() {
+  for pid in "${ALL_PIDS[@]:-}"; do
+    if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+      kill -KILL "$pid" 2>/dev/null || true
+    fi
+  done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# start_daemon LOG INDEX DB -> sets DPID / DPORT.
+start_daemon() {
+  local log=$1 index=$2 db=$3
+  "$BBSMINED" --index "$index" --db "$db" --port 0 > "$log" 2>&1 &
+  DPID=$!
+  ALL_PIDS+=("$DPID")
+  DPORT=""
+  for _ in $(seq 1 50); do
+    DPORT=$(sed -n 's/^bbsmined listening on [0-9.]*:\([0-9]*\).*/\1/p' \
+      "$log" | head -1)
+    [[ -n "$DPORT" ]] && break
+    kill -0 "$DPID" || { cat "$log"; exit 1; }
+    sleep 0.2
+  done
+  [[ -n "$DPORT" ]] || { echo "daemon never reported its port"; cat "$log"; exit 1; }
+}
+
+# start_router LOG SHARDSPEC [extra flags...] -> sets RPID / RPORT.
+start_router() {
+  local log=$1 spec=$2
+  shift 2
+  "$BBSROUTER" --shards "$spec" --port 0 "$@" > "$log" 2>&1 &
+  RPID=$!
+  ALL_PIDS+=("$RPID")
+  RPORT=""
+  for _ in $(seq 1 50); do
+    RPORT=$(sed -n 's/^bbsrouter listening on [0-9.]*:\([0-9]*\).*/\1/p' \
+      "$log" | head -1)
+    [[ -n "$RPORT" ]] && break
+    kill -0 "$RPID" || { cat "$log"; exit 1; }
+    sleep 0.2
+  done
+  [[ -n "$RPORT" ]] || { echo "router never reported its port"; cat "$log"; exit 1; }
+}
+
+# split_and_index N PREFIX -> builds PREFIX.<i>.db / PREFIX.<i>.seg and
+# sets SHARD_SPEC / SHARD_PIDS / SHARD_PORTS for a running fleet of N.
+start_fleet() {
+  local n=$1 prefix=$2
+  "$BBSMINE" split --db "$WORK/smoke.db" --shards "$n" \
+    --out-prefix "$prefix" >/dev/null
+  SHARD_SPEC=""
+  SHARD_PIDS=()
+  SHARD_PORTS=()
+  for i in $(seq 0 $((n - 1))); do
+    "$BBSMINE" build --db "$prefix.$i.db" --out "$prefix.$i.seg" \
+      --bits 800 --hashes 3 --segment-capacity 512 >/dev/null
+    start_daemon "$prefix.$i.log" "$prefix.$i.seg" "$prefix.$i.db"
+    SHARD_PIDS+=("$DPID")
+    SHARD_PORTS+=("$DPORT")
+    SHARD_SPEC+="${SHARD_SPEC:+,}127.0.0.1:$DPORT"
+  done
+}
+
+stop_pid() {
+  local pid=$1
+  kill -TERM "$pid" 2>/dev/null || true
+  wait "$pid" 2>/dev/null || true
+}
+
+json_field() {
+  python3 -c "import json,sys;r=json.load(open(sys.argv[1]));print(r$2)" "$1"
+}
+
+echo "== generating dataset, full oracle index, 3-way split"
+"$BBSMINE" gen --out "$WORK/smoke.db" --txns 3000 --items 200 --t 8 --i 4 \
+  --patterns 50 --seed 11 >/dev/null
+"$BBSMINE" build --db "$WORK/smoke.db" --out "$WORK/smoke.seg" \
+  --bits 800 --hashes 3 --segment-capacity 512 >/dev/null
+start_daemon "$WORK/oracle.log" "$WORK/smoke.seg" "$WORK/smoke.db"
+ORACLE_PID=$DPID
+ORACLE_PORT=$DPORT
+start_fleet 3 "$WORK/shard"
+echo "   3 shards up (ports ${SHARD_PORTS[*]}), oracle on $ORACLE_PORT"
+
+echo "== starting bbsrouter"
+start_router "$WORK/router.log" "$SHARD_SPEC" \
+  --report-out "$WORK/router-report.json"
+grep -q "(3 shards, 3 up" "$WORK/router.log" || {
+  echo "router banner reports a partial fleet"; cat "$WORK/router.log"; exit 1; }
+echo "   router on port $RPORT (pid $RPID)"
+
+"$BBSMINE" client --port "$RPORT" --verb PING >/dev/null
+
+# The daemon_smoke query mix: frequent heads of seed 11's distribution,
+# pairs, a triple, and absent items (both zero paths and pruning bait).
+QUERIES=(161 27 111 "128,161" "111,161" "27,128" "27,111,161" 17 "3,17,42"
+         199 "161,199")
+
+echo "== ${#QUERIES[@]} router COUNT answers vs offline oracle"
+for i in "${!QUERIES[@]}"; do
+  router_count=$("$BBSMINE" client --port "$RPORT" --verb COUNT \
+    --items "${QUERIES[$i]}" --json | python3 -c \
+    "import json,sys;r=json.load(sys.stdin);assert r['ok'],r;\
+assert not r['degraded'],r;print(r['count'])")
+  oracle_count=$("$BBSMINE" count --index "$WORK/smoke.seg" \
+    --items "${QUERIES[$i]}" | sed -n 's/^ *estimate \([0-9][0-9]*\).*/\1/p')
+  if [[ "$router_count" != "$oracle_count" ]]; then
+    echo "MISMATCH on {${QUERIES[$i]}}: router=$router_count oracle=$oracle_count"
+    exit 1
+  fi
+  echo "   {${QUERIES[$i]}} -> $router_count (matches oracle)"
+done
+
+echo "== router MINE vs single-node oracle daemon (bit-identity)"
+"$BBSMINE" client --port "$RPORT" --verb MINE --minsup 0.01 --top 15 \
+  --json > "$WORK/mine-router.json"
+"$BBSMINE" client --port "$ORACLE_PORT" --verb MINE --minsup 0.01 --top 15 \
+  --json > "$WORK/mine-oracle.json"
+python3 - "$WORK/mine-router.json" "$WORK/mine-oracle.json" <<'EOF'
+import json, sys
+router = json.load(open(sys.argv[1]))
+oracle = json.load(open(sys.argv[2]))
+assert router['ok'] and oracle['ok'], (router, oracle)
+assert not router['degraded'], router
+for key in ('patterns', 'total_frequent', 'transactions', 'min_support'):
+    assert router[key] == oracle[key], (
+        f'MINE {key} differs:\n  router: {router[key]}\n  oracle: {oracle[key]}')
+ex = router['exchange']
+assert ex['tau'] >= 1 and ex['candidates'] > 0, ex
+print('   MINE bit-identical:', router['total_frequent'], 'frequent,',
+      len(router['patterns']), 'returned, tau', ex['tau'])
+EOF
+
+echo "== INSERT routes to the tail shard and moves the cluster count"
+before=$("$BBSMINE" client --port "$RPORT" --verb COUNT --items "3,17,42" \
+  --json | python3 -c "import json,sys;print(json.load(sys.stdin)['count'])")
+"$BBSMINE" client --port "$RPORT" --verb INSERT --items "3,17,42" \
+  --json > "$WORK/insert.json"
+python3 - "$WORK/insert.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r['ok'], r
+assert r['shard'] == 2, r  # the tail of the transaction-range partition
+assert r['transactions'] == 3001, r  # cluster-wide total
+print('   INSERT landed on shard', r['shard'], 'cluster total', r['transactions'])
+EOF
+after=$("$BBSMINE" client --port "$RPORT" --verb COUNT --items "3,17,42" \
+  --json | python3 -c "import json,sys;print(json.load(sys.stdin)['count'])")
+[[ "$after" -eq $((before + 1)) ]] || {
+  echo "INSERT did not advance the routed count: $before -> $after"; exit 1; }
+echo "   count {3,17,42}: $before -> $after"
+
+echo "== Bloofi pruning skipped at least one shard"
+"$BBSMINE" client --port "$RPORT" --verb STATS --json > "$WORK/stats.json"
+python3 - "$WORK/stats.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r['ok'], r
+report = r['report']
+assert report['kind'] == 'bbsrouter_service', report['kind']
+cluster = report['cluster']
+assert cluster['role'] == 'router'
+assert cluster['shards_total'] == 3 and cluster['shards_up'] == 3, cluster
+pruned = cluster['pruned_shard_queries']
+assert pruned > 0, 'absent-item queries never pruned a shard'
+assert sum(s['requests'] for s in cluster['shards']) > 0
+print('   pruning OK:', pruned, 'shard fan-outs skipped;',
+      'per-shard requests', [s['requests'] for s in cluster['shards']])
+EOF
+
+echo "== SIGKILL shard 1 mid-traffic -> degraded answers, not failures"
+(
+  for _ in $(seq 1 40); do
+    "$BBSMINE" client --port "$RPORT" --verb COUNT --items 161 \
+      --json >/dev/null 2>&1 || true
+    sleep 0.05
+  done
+) &
+TRAFFIC_PID=$!
+ALL_PIDS+=("$TRAFFIC_PID")
+sleep 0.4
+kill -KILL "${SHARD_PIDS[1]}"
+wait "$TRAFFIC_PID" || true
+
+"$BBSMINE" client --port "$RPORT" --verb COUNT --items 161 \
+  --json > "$WORK/degraded.json" 2> "$WORK/degraded.err"
+grep -q "degraded answer" "$WORK/degraded.err" || {
+  echo "client printed no degraded warning"; cat "$WORK/degraded.err"; exit 1; }
+python3 - "$WORK/degraded.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r['ok'], r  # degraded, but still an answer
+assert r['degraded'] is True, r
+assert r['missing_shards'] == [1], r
+assert r['count'] > 0
+print('   degraded COUNT OK:', r['count'], 'from the survivors, missing', r['missing_shards'])
+EOF
+"$BBSMINE" client --port "$RPORT" --verb MINE --minsup 0.05 --top 5 \
+  --json | python3 -c "import json,sys;r=json.load(sys.stdin);\
+assert r['ok'] and r['degraded'] and r['missing_shards']==[1],r;\
+print('   degraded MINE OK:', r['total_frequent'], 'frequent from the survivors')"
+
+echo "== graceful SIGTERM drain"
+kill -TERM "$RPID"
+EXIT_CODE=0
+wait "$RPID" || EXIT_CODE=$?
+[[ "$EXIT_CODE" -eq 0 ]] || {
+  echo "router exited with $EXIT_CODE"; cat "$WORK/router.log"; exit 1; }
+grep -q "bbsrouter draining" "$WORK/router.log"
+grep -q "bbsrouter exited cleanly (2/3 shards up" "$WORK/router.log"
+
+echo "== validating router service report"
+python3 - "$WORK/router-report.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r['schema_version'] == 1, r['schema_version']
+assert r['kind'] == 'bbsrouter_service', r['kind']
+svc = r['service']
+assert svc['draining'] is True
+assert svc['transactions'] == 3001, svc['transactions']
+c = r['cluster']
+assert c['role'] == 'router'
+assert c['shards_total'] == 3 and c['shards_up'] == 2, c
+shards = c['shards']
+assert len(shards) == 3
+assert shards[1]['up'] is False and shards[1]['errors'] > 0, shards[1]
+for s in shards:
+    for key in ('endpoint', 'requests', 'pruned_queries', 'hedged', 'latency_us'):
+        assert key in s, f'shard row missing {key}'
+assert c['degraded_responses'] > 0, c
+assert 'fanout_us' in c, 'cluster fan-out histogram missing'
+print('   router report OK:', c['shards_up'], 'of', c['shards_total'],
+      'shards up,', r['metrics']['counters']['requests_total'], 'requests')
+EOF
+
+for pid in "${SHARD_PIDS[0]}" "${SHARD_PIDS[2]}"; do stop_pid "$pid"; done
+
+echo "== bench leg: same data behind 1 / 2 / 4 shards -> $CLUSTER_JSON"
+for n in 1 2 4; do
+  start_fleet "$n" "$WORK/bench$n"
+  start_router "$WORK/bench$n.router.log" "$SHARD_SPEC"
+  "$BBSBENCH" --target "127.0.0.1:$RPORT" --seed 42 --rate 200 \
+    --duration-s 2 --items 200 --connections 8 \
+    --mix-ping 5 --mix-count 80 --mix-insert 0 --mix-mine 10 --mix-stats 5 \
+    --out "$WORK/bench$n.json" >/dev/null
+  stop_pid "$RPID"
+  for pid in "${SHARD_PIDS[@]}"; do stop_pid "$pid"; done
+  echo "   fleet of $n benched"
+done
+
+python3 - "$WORK" "$CLUSTER_JSON" <<'EOF'
+import json, sys
+work, out = sys.argv[1], sys.argv[2]
+fleets = []
+for n in (1, 2, 4):
+    r = json.load(open(f'{work}/bench{n}.json'))
+    assert r['kind'] == 'bbsbench_service', r['kind']
+    totals = r['totals']
+    assert totals['ok'] == totals['sent'], (n, totals)
+    cluster = r['cluster']
+    assert cluster['role'] == 'router', (n, cluster)
+    assert cluster['shards_total'] == n and cluster['shards_up'] == n, (n, cluster)
+    shards = cluster['shards']
+    assert len(shards) == n
+    assert sum(s['requests'] for s in shards) > 0, (n, shards)
+    fleets.append({
+        'shards': n,
+        'totals': totals,
+        'count_latency_us': r['verbs']['COUNT']['latency_us'],
+        'mine_latency_us': r['verbs']['MINE']['latency_us'],
+        'cluster': cluster,
+    })
+report = {
+    'schema_version': 1,
+    'kind': 'bbsmine_cluster_bench',
+    'config': {
+        'transactions': 3000, 'items': 200, 'data_seed': 11,
+        'bench_seed': 42, 'rate_rps': 200.0, 'duration_s': 2,
+        'note': 'same total data split across 1 / 2 / 4 bbsmined shards '
+                'behind one bbsrouter',
+    },
+    'fleets': fleets,
+}
+json.dump(report, open(out, 'w'), indent=2)
+print('   BENCH_cluster.json OK: COUNT p50 by fleet size',
+      {f['shards']: f['count_latency_us']['p50'] for f in fleets})
+EOF
+
+stop_pid "$ORACLE_PID"
+echo "cluster smoke test PASSED"

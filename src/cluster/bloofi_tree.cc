@@ -1,0 +1,127 @@
+#include "cluster/bloofi_tree.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace bbsmine::cluster {
+
+namespace {
+
+void OrInto(const BitVector& src, BitVector* dst) {
+  const BitVector::Word* from = src.words().data();
+  BitVector::Word* to = dst->MutableWords();
+  const size_t words = std::min(src.num_words(), dst->num_words());
+  for (size_t w = 0; w < words; ++w) to[w] |= from[w];
+}
+
+bool Covers(const BitVector& signature,
+            const std::vector<uint32_t>& positions) {
+  for (uint32_t pos : positions) {
+    if (pos >= signature.size() || !signature.Get(pos)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+BloofiTree BloofiTree::Build(std::vector<BitVector> leaves, size_t branching) {
+  BloofiTree tree;
+  tree.branching_ = std::max<size_t>(2, branching);
+  if (leaves.empty()) return tree;
+
+  // Level 0: one node per shard, in shard order.
+  std::vector<size_t> level;
+  level.reserve(leaves.size());
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    Node node;
+    node.signature = std::move(leaves[i]);
+    node.leaf = i;
+    node.leaf_count = 1;
+    tree.leaf_nodes_.push_back(tree.nodes_.size());
+    level.push_back(tree.nodes_.size());
+    tree.nodes_.push_back(std::move(node));
+  }
+
+  // Fold levels bottom-up until one root remains. Grouping consecutive
+  // children keeps neighboring shards (adjacent transaction ranges) under
+  // shared subtrees.
+  while (level.size() > 1) {
+    std::vector<size_t> next;
+    for (size_t begin = 0; begin < level.size(); begin += tree.branching_) {
+      const size_t end = std::min(begin + tree.branching_, level.size());
+      Node parent;
+      parent.signature = BitVector(tree.nodes_[level[begin]].signature.size());
+      for (size_t c = begin; c < end; ++c) {
+        parent.children.push_back(level[c]);
+        parent.leaf_count += tree.nodes_[level[c]].leaf_count;
+        OrInto(tree.nodes_[level[c]].signature, &parent.signature);
+      }
+      const size_t parent_idx = tree.nodes_.size();
+      for (size_t child : parent.children) {
+        tree.nodes_[child].parent = parent_idx;
+      }
+      next.push_back(parent_idx);
+      tree.nodes_.push_back(std::move(parent));
+    }
+    level = std::move(next);
+  }
+  tree.root_ = level.front();
+  return tree;
+}
+
+std::vector<size_t> BloofiTree::Query(const std::vector<uint32_t>& positions,
+                                      QueryStats* stats) const {
+  std::vector<size_t> matched;
+  if (root_ == kNoNode) return matched;
+  std::vector<size_t> stack{root_};
+  while (!stack.empty()) {
+    const size_t idx = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[idx];
+    if (stats != nullptr) ++stats->nodes_visited;
+    if (!Covers(node.signature, positions)) {
+      if (stats != nullptr) {
+        ++stats->subtrees_pruned;
+        stats->leaves_pruned += node.leaf_count;
+      }
+      continue;
+    }
+    if (node.leaf != kNoNode) {
+      matched.push_back(node.leaf);
+      continue;
+    }
+    // Push in reverse so children pop in order; matched stays sorted by
+    // shard index without a final sort.
+    for (size_t c = node.children.size(); c-- > 0;) {
+      stack.push_back(node.children[c]);
+    }
+  }
+  return matched;
+}
+
+void BloofiTree::OrIntoLeaf(size_t leaf,
+                            const std::vector<uint32_t>& positions) {
+  for (size_t idx = leaf_nodes_[leaf]; idx != kNoNode;
+       idx = nodes_[idx].parent) {
+    BitVector& signature = nodes_[idx].signature;
+    for (uint32_t pos : positions) {
+      if (pos < signature.size()) signature.Set(pos);
+    }
+  }
+}
+
+void BloofiTree::SetLeaf(size_t leaf, const BitVector& signature) {
+  nodes_[leaf_nodes_[leaf]].signature = signature;
+  // A replace may clear bits, so every ancestor is recomputed from its
+  // children rather than ORed in place.
+  for (size_t idx = nodes_[leaf_nodes_[leaf]].parent; idx != kNoNode;
+       idx = nodes_[idx].parent) {
+    Node& node = nodes_[idx];
+    node.signature = BitVector(node.signature.size());
+    for (size_t child : node.children) {
+      OrInto(nodes_[child].signature, &node.signature);
+    }
+  }
+}
+
+}  // namespace bbsmine::cluster

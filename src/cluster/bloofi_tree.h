@@ -1,0 +1,95 @@
+// The router's shard-pruning structure: a Bloofi-style hierarchical OR
+// tree over shard signatures (Crainiceanu & Lemire, "Bloofi: multi-
+// dimensional Bloom filters", PAPERS.md).
+//
+// Each leaf holds one shard's routing signature — bit p set iff slice p is
+// non-empty anywhere in that shard's segmented BBS index (the OR-fold the
+// SHARDINFO verb reports). Each interior node holds the OR of its
+// children. A query whose signature positions are not all covered by a
+// node's bits cannot match *any* transaction in that subtree, because a
+// transaction containing the query items would have set every one of those
+// slice bits — so the whole subtree is skipped without touching a socket.
+//
+// Pruning is answer-preserving by the same argument that makes Bloom
+// signatures safe: a skipped shard's AND-of-slices for the query is the
+// all-zero vector, so its COUNT contribution is exactly 0 and summing over
+// the surviving shards equals summing over all of them. False positives
+// (a covered shard with no matches) only cost a fan-out leg, never
+// correctness.
+//
+// Mutability: signatures only ever gain bits under INSERT, so the router
+// ORs the inserted items' positions into the target leaf and its ancestor
+// path (OrIntoLeaf) — no recompute. SetLeaf (full replace, e.g. after a
+// shard restarts) recomputes the ancestor path, since a replace may clear
+// bits.
+
+#ifndef BBSMINE_CLUSTER_BLOOFI_TREE_H_
+#define BBSMINE_CLUSTER_BLOOFI_TREE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/bitvector.h"
+
+namespace bbsmine::cluster {
+
+class BloofiTree {
+ public:
+  struct QueryStats {
+    size_t nodes_visited = 0;
+    size_t subtrees_pruned = 0;  ///< interior/leaf nodes cut by coverage
+    size_t leaves_pruned = 0;    ///< shards those cuts removed
+  };
+
+  BloofiTree() = default;
+
+  /// Builds the tree bottom-up over `leaves` (leaf i = shard i's
+  /// signature; all must share one width). `branching` >= 2 children per
+  /// interior node.
+  static BloofiTree Build(std::vector<BitVector> leaves, size_t branching = 4);
+
+  size_t num_leaves() const { return leaf_nodes_.size(); }
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t branching() const { return branching_; }
+
+  /// Shards whose subtree covers every position in `positions` (ascending
+  /// shard order). Empty `positions` matches every shard — an empty query
+  /// constrains nothing.
+  std::vector<size_t> Query(const std::vector<uint32_t>& positions,
+                            QueryStats* stats = nullptr) const;
+
+  /// ORs `positions` into leaf `leaf` and its ancestor path (INSERT).
+  void OrIntoLeaf(size_t leaf, const std::vector<uint32_t>& positions);
+
+  /// Replaces leaf `leaf`'s signature and recomputes its ancestor path.
+  void SetLeaf(size_t leaf, const BitVector& signature);
+
+  const BitVector& leaf_signature(size_t leaf) const {
+    return nodes_[leaf_nodes_[leaf]].signature;
+  }
+
+  /// The root OR of every shard signature (the fleet's own SHARDINFO
+  /// answer, letting routers stack). Valid when num_leaves() > 0.
+  const BitVector& root_signature() const { return nodes_[root_].signature; }
+
+ private:
+  struct Node {
+    BitVector signature;
+    std::vector<size_t> children;  ///< empty for leaves
+    size_t parent = kNoNode;
+    size_t leaf = kNoNode;         ///< shard index when this is a leaf
+    size_t leaf_count = 0;         ///< shards under this subtree
+  };
+
+  static constexpr size_t kNoNode = static_cast<size_t>(-1);
+
+  std::vector<Node> nodes_;
+  std::vector<size_t> leaf_nodes_;  ///< shard index -> node index
+  size_t root_ = kNoNode;
+  size_t branching_ = 4;
+};
+
+}  // namespace bbsmine::cluster
+
+#endif  // BBSMINE_CLUSTER_BLOOFI_TREE_H_

@@ -1,0 +1,63 @@
+#include "cluster/merge.h"
+
+#include <algorithm>
+#include <set>
+
+namespace bbsmine::cluster {
+
+std::vector<Itemset> UnionCandidates(
+    const std::vector<ShardMineResult>& round1) {
+  std::set<Itemset> unioned;
+  for (const ShardMineResult& shard : round1) {
+    if (!shard.reachable) continue;
+    for (const auto& [items, support] : shard.supports) {
+      unioned.insert(items);
+    }
+  }
+  return std::vector<Itemset>(unioned.begin(), unioned.end());
+}
+
+std::vector<Itemset> MissingCandidates(const ShardMineResult& shard,
+                                       const std::vector<Itemset>& candidates) {
+  std::vector<Itemset> missing;
+  for (const Itemset& candidate : candidates) {
+    if (shard.supports.find(candidate) == shard.supports.end()) {
+      missing.push_back(candidate);
+    }
+  }
+  return missing;
+}
+
+std::vector<Pattern> MergeGlobalPatterns(
+    const std::vector<ShardMineResult>& round1,
+    const std::vector<std::map<Itemset, uint64_t>>& round2,
+    const std::vector<Itemset>& candidates, uint64_t tau) {
+  std::vector<Pattern> patterns;
+  for (const Itemset& candidate : candidates) {
+    uint64_t support = 0;
+    for (size_t i = 0; i < round1.size(); ++i) {
+      if (!round1[i].reachable) continue;
+      auto local = round1[i].supports.find(candidate);
+      if (local != round1[i].supports.end()) {
+        support += local->second;
+      } else if (i < round2.size()) {
+        auto exact = round2[i].find(candidate);
+        if (exact != round2[i].end()) support += exact->second;
+      }
+    }
+    if (support >= tau) {
+      Pattern pattern;
+      pattern.items = candidate;
+      pattern.support = support;
+      patterns.push_back(std::move(pattern));
+    }
+  }
+  std::sort(patterns.begin(), patterns.end(),
+            [](const Pattern& a, const Pattern& b) {
+              if (a.support != b.support) return a.support > b.support;
+              return a.items < b.items;
+            });
+  return patterns;
+}
+
+}  // namespace bbsmine::cluster

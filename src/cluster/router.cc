@@ -1,0 +1,963 @@
+#include "cluster/router.h"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+#include <thread>
+#include <utility>
+
+#include "core/mining_types.h"
+#include "service/wire.h"
+
+namespace bbsmine::cluster {
+
+namespace {
+
+using obs::JsonValue;
+using service::ErrorResponse;
+using service::ItemsFromJson;
+using service::ItemsToJson;
+using service::OkResponse;
+
+uint64_t MicrosSince(std::chrono::steady_clock::time_point since) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+std::string VerbOf(const JsonValue& request) {
+  if (request.kind() != JsonValue::Kind::kObject || !request.Has("verb") ||
+      request.at("verb").kind() != JsonValue::Kind::kString) {
+    return "";
+  }
+  return request.at("verb").AsString();
+}
+
+/// The error code of a failed response ("" for ok / malformed responses).
+std::string ErrorCodeOf(const JsonValue& response) {
+  if (response.kind() != JsonValue::Kind::kObject || !response.Has("error") ||
+      response.at("error").kind() != JsonValue::Kind::kObject ||
+      !response.at("error").Has("code")) {
+    return "";
+  }
+  return response.at("error").at("code").AsString();
+}
+
+bool IsBackpressure(const JsonValue& response) {
+  if (response.kind() != JsonValue::Kind::kObject || !response.Has("ok") ||
+      response.at("ok").AsBool()) {
+    return false;
+  }
+  return ErrorCodeOf(response) == StatusCodeName(StatusCode::kUnavailable);
+}
+
+uint64_t UintField(const JsonValue& object, const std::string& key) {
+  if (object.kind() != JsonValue::Kind::kObject || !object.Has(key)) return 0;
+  const JsonValue& v = object.at(key);
+  return v.is_number() ? v.AsUint() : 0;
+}
+
+std::string JoinIndices(const std::vector<size_t>& indices) {
+  std::string joined;
+  for (size_t idx : indices) {
+    if (!joined.empty()) joined += ", ";
+    joined += std::to_string(idx);
+  }
+  return joined;
+}
+
+/// Parses a SHARDINFO "config" object into a BbsConfig (hash-identity
+/// fields only).
+Result<BbsConfig> ConfigFromShardInfo(const JsonValue& info) {
+  if (!info.Has("config") ||
+      info.at("config").kind() != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("SHARDINFO response lacks \"config\"");
+  }
+  const JsonValue& c = info.at("config");
+  BbsConfig config;
+  config.num_bits = static_cast<uint32_t>(UintField(c, "bits"));
+  config.num_hashes = static_cast<uint32_t>(UintField(c, "hashes"));
+  config.hash_kind = static_cast<HashKind>(UintField(c, "hash_kind"));
+  config.seed = UintField(c, "seed");
+  if (config.num_bits == 0 || config.num_hashes == 0) {
+    return Status::InvalidArgument("SHARDINFO config is malformed");
+  }
+  return config;
+}
+
+bool SameHashConfig(const BbsConfig& a, const BbsConfig& b) {
+  return a.num_bits == b.num_bits && a.num_hashes == b.num_hashes &&
+         a.hash_kind == b.hash_kind && a.seed == b.seed;
+}
+
+/// Renders a per-shard latency array (ServiceMetrics bucket layout: slot 0
+/// = overflow) in the report's {by_depth, overflow, total, p50/95/99}
+/// histogram shape.
+JsonValue ShardLatencyJson(const std::vector<uint64_t>& buckets) {
+  JsonValue h = JsonValue::Object();
+  JsonValue by_depth = JsonValue::Array();
+  size_t last = 0;
+  uint64_t total = buckets[0];
+  for (size_t d = 1; d < buckets.size(); ++d) {
+    total += buckets[d];
+    if (buckets[d] != 0) last = d;
+  }
+  for (size_t d = 1; d <= last; ++d) {
+    by_depth.Append(JsonValue::Uint(buckets[d]));
+  }
+  h.Set("by_depth", std::move(by_depth));
+  h.Set("overflow", JsonValue::Uint(buckets[0]));
+  h.Set("total", JsonValue::Uint(total));
+  h.Set("p50",
+        JsonValue::Double(obs::PercentileFromLog2Buckets(buckets, 0.50)));
+  h.Set("p95",
+        JsonValue::Double(obs::PercentileFromLog2Buckets(buckets, 0.95)));
+  h.Set("p99",
+        JsonValue::Double(obs::PercentileFromLog2Buckets(buckets, 0.99)));
+  return h;
+}
+
+}  // namespace
+
+RouterService::RouterService(ShardMap map, const RouterOptions& options)
+    : map_(std::move(map)),
+      options_(options),
+      metrics_(options.stats_windows),
+      start_(std::chrono::steady_clock::now()) {
+  shards_.reserve(map_.size());
+  for (const ShardEndpoint& endpoint : map_.shards) {
+    auto shard = std::make_unique<ShardState>();
+    shard->endpoint = endpoint;
+    shards_.push_back(std::move(shard));
+  }
+}
+
+Status RouterService::Init() {
+  if (shards_.empty()) {
+    return Status::InvalidArgument("shard map is empty");
+  }
+  JsonValue request = JsonValue::Object();
+  request.Set("verb", JsonValue::String("SHARDINFO"));
+
+  // Handshake every shard in parallel, with patience — in a fresh cluster
+  // the shards and the router race to their listen sockets.
+  std::vector<JsonValue> infos(shards_.size());
+  std::vector<char> reachable(shards_.size(), 0);
+  std::vector<std::thread> threads;
+  threads.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    threads.emplace_back([this, i, &infos, &reachable, &request] {
+      ShardState& shard = *shards_[i];
+      for (uint32_t attempt = 0; attempt <= options_.connect_retries;
+           ++attempt) {
+        if (attempt > 0) {
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(options_.connect_backoff_ms));
+        }
+        Result<service::ClientSession> session = service::ClientSession::Connect(
+            shard.endpoint.host, shard.endpoint.port);
+        if (!session.ok()) continue;
+        Result<JsonValue> response =
+            session->Call(request, options_.fanout_deadline_ms);
+        if (!response.ok() || response->kind() != JsonValue::Kind::kObject ||
+            !response->Has("ok") || !response->at("ok").AsBool()) {
+          continue;
+        }
+        infos[i] = std::move(*response);
+        reachable[i] = 1;
+        std::lock_guard<std::mutex> lock(shard.pool_mu);
+        shard.idle.push_back(std::move(*session));
+        return;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // Config identity: pruning and INSERT leaf updates hash queries with the
+  // shards' own hash family, so every shard must agree on it.
+  bool have_config = false;
+  mine_enabled_ = true;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (!reachable[i]) continue;
+    Result<BbsConfig> config = ConfigFromShardInfo(infos[i]);
+    if (!config.ok()) return config.status();
+    if (!have_config) {
+      config_ = *config;
+      have_config = true;
+    } else if (!SameHashConfig(config_, *config)) {
+      return Status::InvalidArgument(
+          "shard " + std::to_string(i) + " (" +
+          shards_[i]->endpoint.ToString() +
+          ") has a different index config than shard 0; all shards must "
+          "share bits/hashes/hash_kind/seed");
+    }
+    if (infos[i].Has("mine_enabled") &&
+        !infos[i].at("mine_enabled").AsBool()) {
+      mine_enabled_ = false;
+    }
+  }
+  if (!have_config) {
+    return Status::Unavailable(
+        "no shard answered the startup handshake; is the fleet up?");
+  }
+  Result<BloomHashFamily> hash = BloomHashFamily::Create(
+      config_.num_bits, config_.num_hashes, config_.hash_kind, config_.seed);
+  if (!hash.ok()) return hash.status();
+  hash_ = std::make_unique<BloomHashFamily>(std::move(*hash));
+
+  // Leaves: real signatures for reachable shards; all-ones (never pruned,
+  // so never wrongly skipped) for shards that stayed dark.
+  std::vector<BitVector> leaves;
+  leaves.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (reachable[i]) {
+      Result<BitVector> signature = service::BitsFromHex(
+          infos[i].at("signature").AsString(), config_.num_bits);
+      if (!signature.ok()) return signature.status();
+      leaves.push_back(std::move(*signature));
+    } else {
+      leaves.push_back(BitVector(config_.num_bits, true));
+    }
+  }
+  {
+    std::unique_lock<std::shared_mutex> lock(tree_mu_);
+    tree_ = BloofiTree::Build(std::move(leaves), options_.branching);
+  }
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (!reachable[i]) continue;
+    ShardState& shard = *shards_[i];
+    shard.up.store(true, std::memory_order_relaxed);
+    shard.transactions.store(UintField(infos[i], "transactions"),
+                             std::memory_order_relaxed);
+    shard.epoch.store(UintField(infos[i], "epoch"),
+                      std::memory_order_relaxed);
+  }
+  return Status::Ok();
+}
+
+uint64_t RouterService::shards_up() const {
+  uint64_t up = 0;
+  for (const auto& shard : shards_) {
+    if (shard->up.load(std::memory_order_relaxed)) ++up;
+  }
+  return up;
+}
+
+uint64_t RouterService::TotalTransactions() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->transactions.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+obs::JsonValue RouterService::Handle(const obs::JsonValue& request,
+                                     const service::RequestContext&) {
+  metrics_.Inc(metrics_.requests_total);
+  metrics_.MaybeRotateWindows(MicrosSince(start_));
+  if (request.kind() != JsonValue::Kind::kObject || !request.Has("verb") ||
+      request.at("verb").kind() != JsonValue::Kind::kString) {
+    metrics_.Inc(metrics_.errors);
+    return ErrorResponse(
+        "", Status::InvalidArgument("request must be an object with a "
+                                    "string \"verb\" member"));
+  }
+  const std::string& verb = request.at("verb").AsString();
+  const auto begin = std::chrono::steady_clock::now();
+  JsonValue response;
+  size_t latency_slot;
+  if (verb == "PING") {
+    latency_slot = metrics_.latency_ping;
+    metrics_.Inc(metrics_.requests_ping);
+    response = HandlePing();
+  } else if (verb == "COUNT") {
+    latency_slot = metrics_.latency_count;
+    metrics_.Inc(metrics_.requests_count);
+    response = HandleCount(request);
+  } else if (verb == "INSERT") {
+    latency_slot = metrics_.latency_insert;
+    metrics_.Inc(metrics_.requests_insert);
+    response = HandleInsert(request);
+  } else if (verb == "MINE") {
+    latency_slot = metrics_.latency_mine;
+    metrics_.Inc(metrics_.requests_mine);
+    response = HandleMine(request);
+  } else if (verb == "STATS") {
+    latency_slot = metrics_.latency_stats;
+    metrics_.Inc(metrics_.requests_stats);
+    response = HandleStats();
+  } else if (verb == "CHECKPOINT") {
+    latency_slot = metrics_.latency_checkpoint;
+    metrics_.Inc(metrics_.requests_checkpoint);
+    response = HandleCheckpoint();
+  } else if (verb == "SHARDINFO") {
+    latency_slot = metrics_.latency_shardinfo;
+    metrics_.Inc(metrics_.requests_shardinfo);
+    response = HandleShardInfo();
+  } else if (verb == "DUMP") {
+    metrics_.Inc(metrics_.errors);
+    return ErrorResponse(
+        "DUMP", Status::InvalidArgument(
+                    "DUMP is daemon-local; send it to a shard directly"));
+  } else {
+    metrics_.Inc(metrics_.errors);
+    return ErrorResponse(verb,
+                         Status::InvalidArgument("unknown verb: " + verb));
+  }
+  metrics_.ObserveLog2(latency_slot, MicrosSince(begin));
+  if (!response.at("ok").AsBool()) metrics_.Inc(metrics_.errors);
+  return response;
+}
+
+RouterService::ShardReply RouterService::CallShard(
+    size_t idx, const obs::JsonValue& request) {
+  ShardState& shard = *shards_[idx];
+  const std::string verb = VerbOf(request);
+  const bool idempotent = service::IsIdempotentVerb(verb);
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline =
+      start + std::chrono::milliseconds(options_.fanout_deadline_ms);
+  shard.requests.fetch_add(1, std::memory_order_relaxed);
+
+  ShardReply reply;
+  uint64_t jitter_state = options_.retry.jitter_seed + idx;
+  uint32_t backoff_attempts = 0;
+  bool hedged = false;
+  Status failure = Status::Unavailable("fan-out deadline exhausted");
+  while (true) {
+    const int64_t remaining_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - std::chrono::steady_clock::now())
+            .count();
+    if (remaining_ms <= 0) break;
+
+    service::ClientSession session = [&] {
+      std::lock_guard<std::mutex> lock(shard.pool_mu);
+      if (!shard.idle.empty()) {
+        service::ClientSession pooled = std::move(shard.idle.back());
+        shard.idle.pop_back();
+        return pooled;
+      }
+      return service::ClientSession(shard.endpoint.host, shard.endpoint.port);
+    }();
+
+    // Hedge arming: the first idempotent attempt waits only hedge_ms; if
+    // that fires, the straggler's socket is abandoned and the request is
+    // re-issued once on a fresh connection with the remaining budget.
+    const bool hedge_armed = idempotent && !hedged && options_.hedge_ms > 0 &&
+                             options_.hedge_ms < remaining_ms;
+    const int timeout_ms =
+        hedge_armed ? options_.hedge_ms : static_cast<int>(remaining_ms);
+
+    Result<JsonValue> response = session.Call(request, timeout_ms);
+    if (response.ok()) {
+      const bool backpressured = IsBackpressure(*response);
+      {
+        std::lock_guard<std::mutex> lock(shard.pool_mu);
+        if (session.connected() && shard.idle.size() < options_.pool_size) {
+          shard.idle.push_back(std::move(session));
+        }
+      }
+      if (backpressured && backoff_attempts < options_.retry.retries) {
+        ++backoff_attempts;
+        uint64_t sleep_ms = service::RetryBackoffMs(
+            options_.retry, backoff_attempts, &jitter_state);
+        sleep_ms = std::min<uint64_t>(
+            sleep_ms, static_cast<uint64_t>(std::max<int64_t>(
+                          0, remaining_ms - 1)));
+        std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+        continue;
+      }
+      reply.has_response = true;
+      reply.response = std::move(*response);
+      size_t bucket = obs::Log2Bucket(MicrosSince(start));
+      if (bucket > obs::DepthHistogram::kMaxTrackedDepth) bucket = 0;
+      shard.latency[bucket].fetch_add(1, std::memory_order_relaxed);
+      NoteShardSuccess(idx, reply.response, verb);
+      return reply;
+    }
+
+    const Status& status = response.status();
+    if (status.code() == StatusCode::kUnavailable) {
+      // Response timeout; the session closed its socket.
+      if (hedge_armed) {
+        hedged = true;
+        shard.hedged.fetch_add(1, std::memory_order_relaxed);
+        metrics_.Inc(metrics_.hedged_requests);
+        continue;
+      }
+      failure = idempotent
+                    ? status
+                    : Status::Indeterminate(
+                          "response timed out after the request was sent; "
+                          "it may or may not have been applied (" +
+                          status.message() + ")");
+      break;
+    }
+    failure = status;  // transport: the shard is down or refusing
+    break;
+  }
+  shard.errors.fetch_add(1, std::memory_order_relaxed);
+  metrics_.Inc(metrics_.shard_errors);
+  shard.up.store(false, std::memory_order_relaxed);
+  reply.status = failure;
+  return reply;
+}
+
+void RouterService::NoteShardSuccess(size_t idx, const obs::JsonValue& response,
+                                     const std::string& verb) {
+  ShardState& shard = *shards_[idx];
+  if (response.Has("epoch") && response.at("epoch").is_number()) {
+    shard.epoch.store(response.at("epoch").AsUint(),
+                      std::memory_order_relaxed);
+  }
+  if (response.Has("visible_transactions")) {
+    shard.transactions.store(UintField(response, "visible_transactions"),
+                             std::memory_order_relaxed);
+  } else if (response.Has("transactions") &&
+             response.at("transactions").is_number()) {
+    shard.transactions.store(response.at("transactions").AsUint(),
+                             std::memory_order_relaxed);
+  }
+  const bool was_up = shard.up.exchange(true, std::memory_order_relaxed);
+  if (!was_up && verb != "SHARDINFO") {
+    // Down -> up transition: the shard may have restarted with recovered
+    // (or different) content, so its Bloofi leaf is re-pulled before the
+    // stale one can wrongly prune it.
+    RefreshShard(idx);
+  }
+}
+
+void RouterService::RefreshShard(size_t idx) {
+  JsonValue request = JsonValue::Object();
+  request.Set("verb", JsonValue::String("SHARDINFO"));
+  ShardReply reply = CallShard(idx, request);
+  if (!reply.has_response || !reply.response.at("ok").AsBool()) return;
+  Result<BitVector> signature = service::BitsFromHex(
+      reply.response.at("signature").AsString(), config_.num_bits);
+  if (!signature.ok()) return;
+  std::unique_lock<std::shared_mutex> lock(tree_mu_);
+  tree_.SetLeaf(idx, *signature);
+}
+
+std::vector<RouterService::ShardReply> RouterService::FanOut(
+    const std::vector<size_t>& targets, const obs::JsonValue& request) {
+  const auto begin = std::chrono::steady_clock::now();
+  std::vector<ShardReply> replies(shards_.size());
+  if (targets.size() == 1) {
+    replies[targets.front()] = CallShard(targets.front(), request);
+  } else if (!targets.empty()) {
+    std::vector<std::thread> threads;
+    threads.reserve(targets.size());
+    for (size_t idx : targets) {
+      threads.emplace_back([this, idx, &replies, &request] {
+        replies[idx] = CallShard(idx, request);
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  metrics_.ObserveLog2(metrics_.fanout_latency, MicrosSince(begin));
+  return replies;
+}
+
+std::vector<uint32_t> RouterService::QueryPositions(const Itemset& items) {
+  std::vector<uint32_t> positions;
+  {
+    std::lock_guard<std::mutex> lock(hash_mu_);
+    for (ItemId item : items) {
+      const std::vector<uint32_t>& p = hash_->Positions(item);
+      positions.insert(positions.end(), p.begin(), p.end());
+    }
+  }
+  std::sort(positions.begin(), positions.end());
+  positions.erase(std::unique(positions.begin(), positions.end()),
+                  positions.end());
+  return positions;
+}
+
+std::vector<size_t> RouterService::MatchShards(
+    const std::vector<uint32_t>& positions) {
+  if (!options_.prune) {
+    std::vector<size_t> all(shards_.size());
+    std::iota(all.begin(), all.end(), size_t{0});
+    return all;
+  }
+  std::vector<size_t> matched;
+  {
+    std::shared_lock<std::shared_mutex> lock(tree_mu_);
+    matched = tree_.Query(positions);
+  }
+  if (matched.size() < shards_.size()) {
+    const uint64_t pruned = shards_.size() - matched.size();
+    metrics_.Inc(metrics_.pruned_shard_queries, pruned);
+    // Per-shard attribution: walk the complement of the (sorted) match
+    // list.
+    size_t next = 0;
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      if (next < matched.size() && matched[next] == i) {
+        ++next;
+        continue;
+      }
+      shards_[i]->pruned.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return matched;
+}
+
+void RouterService::FinishClusterResponse(obs::JsonValue* response,
+                                          size_t queried, size_t pruned,
+                                          const std::vector<size_t>& missing) {
+  const bool degraded = !missing.empty();
+  if (degraded) metrics_.Inc(metrics_.degraded_responses);
+  response->Set("degraded", JsonValue::Bool(degraded));
+  JsonValue missing_json = JsonValue::Array();
+  for (size_t idx : missing) missing_json.Append(JsonValue::Uint(idx));
+  response->Set("missing_shards", std::move(missing_json));
+  JsonValue cluster = JsonValue::Object();
+  cluster.Set("shards_total", JsonValue::Uint(shards_.size()));
+  cluster.Set("shards_queried", JsonValue::Uint(queried));
+  cluster.Set("shards_pruned", JsonValue::Uint(pruned));
+  response->Set("cluster", std::move(cluster));
+}
+
+obs::JsonValue RouterService::HandlePing() {
+  JsonValue request = JsonValue::Object();
+  request.Set("verb", JsonValue::String("PING"));
+  std::vector<size_t> all(shards_.size());
+  std::iota(all.begin(), all.end(), size_t{0});
+  std::vector<ShardReply> replies = FanOut(all, request);
+  uint64_t epoch = 0;
+  std::vector<size_t> missing;
+  for (size_t i = 0; i < replies.size(); ++i) {
+    if (replies[i].has_response && replies[i].response.at("ok").AsBool()) {
+      epoch = std::max(epoch, UintField(replies[i].response, "epoch"));
+    } else {
+      missing.push_back(i);
+      epoch = std::max(epoch,
+                       shards_[i]->epoch.load(std::memory_order_relaxed));
+    }
+  }
+  // The router itself is up, so PING succeeds even with shards dark — the
+  // degraded trailer carries the bad news.
+  JsonValue response = OkResponse("PING");
+  response.Set("epoch", JsonValue::Uint(epoch));
+  FinishClusterResponse(&response, shards_.size(), 0, missing);
+  return response;
+}
+
+obs::JsonValue RouterService::HandleCount(const obs::JsonValue& request) {
+  if (draining_.load(std::memory_order_relaxed)) {
+    return ErrorResponse("COUNT", Status::Unavailable("service is draining"));
+  }
+  Result<Itemset> items = ItemsFromJson(request.at("items"));
+  if (!items.ok()) return ErrorResponse("COUNT", items.status());
+  const std::vector<uint32_t> positions = QueryPositions(*items);
+  const std::vector<size_t> targets = MatchShards(positions);
+  const size_t pruned = shards_.size() - targets.size();
+
+  std::vector<ShardReply> replies = FanOut(targets, request);
+
+  // Deterministic shard-order reduction: counts add exactly across a
+  // transaction-range partition, so this sum is bit-identical to one node
+  // holding the concatenation.
+  uint64_t count = 0;
+  uint64_t visible = 0;
+  uint64_t batch = 0;
+  uint64_t queue_wait = 0;
+  uint64_t epoch = 0;
+  std::vector<size_t> missing;
+  for (size_t idx : targets) {
+    ShardReply& reply = replies[idx];
+    if (!reply.has_response) {
+      missing.push_back(idx);
+      continue;
+    }
+    const JsonValue& r = reply.response;
+    if (!r.at("ok").AsBool()) {
+      if (ErrorCodeOf(r) ==
+          StatusCodeName(StatusCode::kInvalidArgument)) {
+        return r;  // a malformed query fails the same way everywhere
+      }
+      missing.push_back(idx);
+      continue;
+    }
+    count += UintField(r, "count");
+    visible += UintField(r, "visible_transactions");
+    batch += UintField(r, "batch_size");
+    queue_wait = std::max(queue_wait, UintField(r, "queue_wait_us"));
+    epoch = std::max(epoch, UintField(r, "epoch"));
+  }
+  // A pruned shard contributes exactly zero matches (its AND-of-slices is
+  // the zero vector), but its transactions still count toward the visible
+  // denominator; cached totals stand in for the skipped round trip.
+  {
+    size_t next = 0;
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      if (next < targets.size() && targets[next] == i) {
+        ++next;
+        continue;
+      }
+      visible += shards_[i]->transactions.load(std::memory_order_relaxed);
+      epoch = std::max(epoch,
+                       shards_[i]->epoch.load(std::memory_order_relaxed));
+    }
+  }
+  if (!missing.empty() && !options_.allow_degraded) {
+    return ErrorResponse(
+        "COUNT", Status::Unavailable("shards unreachable: [" +
+                                     JoinIndices(missing) + "]"));
+  }
+  JsonValue response = OkResponse("COUNT");
+  response.Set("items", ItemsToJson(*items));
+  response.Set("count", JsonValue::Uint(count));
+  response.Set("epoch", JsonValue::Uint(epoch));
+  response.Set("visible_transactions", JsonValue::Uint(visible));
+  response.Set("batch_size", JsonValue::Uint(batch));
+  response.Set("queue_wait_us", JsonValue::Uint(queue_wait));
+  FinishClusterResponse(&response, targets.size(), pruned, missing);
+  return response;
+}
+
+obs::JsonValue RouterService::HandleInsert(const obs::JsonValue& request) {
+  if (draining_.load(std::memory_order_relaxed)) {
+    return ErrorResponse("INSERT",
+                         Status::Unavailable("service is draining"));
+  }
+  // The range partition's tail shard takes all new transactions: shard i
+  // holding transactions before shard i+1's is the invariant every merge
+  // leans on.
+  const size_t tail = shards_.size() - 1;
+  ShardReply reply = CallShard(tail, request);
+  if (!reply.has_response) return ErrorResponse("INSERT", reply.status);
+  if (!reply.response.at("ok").AsBool()) return reply.response;
+
+  // Keep pruning truthful: OR the inserted items' positions into the tail
+  // shard's Bloofi leaf before acknowledging, so a COUNT racing this
+  // INSERT can never be pruned away from data it should see.
+  Itemset inserted;
+  if (request.Has("transactions") &&
+      request.at("transactions").kind() == JsonValue::Kind::kArray) {
+    const JsonValue& txns = request.at("transactions");
+    for (size_t i = 0; i < txns.size(); ++i) {
+      Result<Itemset> txn = ItemsFromJson(txns.at(i));
+      if (txn.ok()) {
+        inserted.insert(inserted.end(), txn->begin(), txn->end());
+      }
+    }
+    Canonicalize(&inserted);
+  } else if (request.Has("items")) {
+    Result<Itemset> txn = ItemsFromJson(request.at("items"));
+    if (txn.ok()) inserted = std::move(*txn);
+  }
+  if (!inserted.empty()) {
+    const std::vector<uint32_t> positions = QueryPositions(inserted);
+    std::unique_lock<std::shared_mutex> lock(tree_mu_);
+    tree_.OrIntoLeaf(tail, positions);
+  }
+
+  JsonValue response = reply.response;
+  response.Set("shard", JsonValue::Uint(tail));
+  // The shard reported its local total; clients of the fleet see the
+  // cluster-wide one.
+  response.Set("transactions", JsonValue::Uint(TotalTransactions()));
+  return response;
+}
+
+obs::JsonValue RouterService::HandleMine(const obs::JsonValue& request) {
+  if (draining_.load(std::memory_order_relaxed)) {
+    return ErrorResponse("MINE", Status::Unavailable("service is draining"));
+  }
+  if (!mine_enabled_) {
+    return ErrorResponse("MINE",
+                         Status::InvalidArgument(
+                             "MINE requires every shard to run with --db"));
+  }
+  double min_support = options_.default_min_support;
+  if (request.Has("minsup")) {
+    const JsonValue& minsup = request.at("minsup");
+    if (!minsup.is_number() || minsup.AsDouble() <= 0 ||
+        minsup.AsDouble() > 1) {
+      return ErrorResponse("MINE", Status::InvalidArgument(
+                                       "\"minsup\" must be in (0, 1]"));
+    }
+    min_support = minsup.AsDouble();
+  }
+  size_t top = options_.mine_top;
+  if (request.Has("top")) {
+    const JsonValue& requested = request.at("top");
+    if (!requested.is_number() || requested.AsInt() < 1) {
+      return ErrorResponse(
+          "MINE", Status::InvalidArgument("\"top\" must be a positive int"));
+    }
+    top = static_cast<size_t>(requested.AsUint());
+  }
+
+  // Round 1: every shard mines at the SAME relative minsup (its local
+  // τ_i = ceil(minsup·n_i)), untruncated. Pigeonhole guarantees the union
+  // of the local frequent sets contains every globally frequent pattern
+  // (cluster/merge.h has the argument).
+  JsonValue round1_request = JsonValue::Object();
+  round1_request.Set("verb", JsonValue::String("MINE"));
+  round1_request.Set("minsup", JsonValue::Double(min_support));
+  round1_request.Set("top", JsonValue::Uint(options_.mine_round1_top));
+  std::vector<size_t> all(shards_.size());
+  std::iota(all.begin(), all.end(), size_t{0});
+  std::vector<ShardReply> replies = FanOut(all, round1_request);
+
+  std::vector<ShardMineResult> round1(shards_.size());
+  std::vector<size_t> missing;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (!replies[i].has_response) {
+      missing.push_back(i);
+      continue;
+    }
+    const JsonValue& r = replies[i].response;
+    if (!r.at("ok").AsBool()) {
+      if (ErrorCodeOf(r) ==
+          StatusCodeName(StatusCode::kInvalidArgument)) {
+        return r;  // e.g. a shard without --db: a config error, not churn
+      }
+      missing.push_back(i);
+      continue;
+    }
+    const JsonValue& patterns = r.at("patterns");
+    if (UintField(r, "total_frequent") != patterns.size()) {
+      return ErrorResponse(
+          "MINE",
+          Status::Internal(
+              "shard " + std::to_string(i) +
+              " truncated its round-1 result; completeness (and "
+              "bit-identity) needs a larger --mine-round1-top"));
+    }
+    round1[i].reachable = true;
+    round1[i].transactions = UintField(r, "transactions");
+    for (size_t p = 0; p < patterns.size(); ++p) {
+      Result<Itemset> items = ItemsFromJson(patterns.at(p).at("items"));
+      if (!items.ok()) return ErrorResponse("MINE", items.status());
+      round1[i].supports[std::move(*items)] =
+          UintField(patterns.at(p), "support");
+    }
+  }
+  if (missing.size() == shards_.size()) {
+    return ErrorResponse("MINE",
+                         Status::Unavailable("no shard reachable"));
+  }
+  if (!missing.empty() && !options_.allow_degraded) {
+    return ErrorResponse(
+        "MINE", Status::Unavailable("shards unreachable: [" +
+                                    JoinIndices(missing) + "]"));
+  }
+
+  // Global τ over the transactions actually visible (the full total when
+  // the fleet is healthy — then bit-identical to the oracle's threshold).
+  uint64_t total = 0;
+  for (const ShardMineResult& shard : round1) {
+    if (shard.reachable) total += shard.transactions;
+  }
+  const uint64_t tau = AbsoluteThreshold(min_support, total);
+  const std::vector<Itemset> candidates = UnionCandidates(round1);
+
+  // Round 2: each shard exact-counts only the candidates it did not
+  // already report (its round-1 supports are exact). Shards with nothing
+  // missing skip the round entirely.
+  std::vector<std::map<Itemset, uint64_t>> round2(shards_.size());
+  std::vector<std::vector<Itemset>> needed(shards_.size());
+  std::vector<size_t> round2_targets;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (!round1[i].reachable) continue;
+    needed[i] = MissingCandidates(round1[i], candidates);
+    if (!needed[i].empty()) round2_targets.push_back(i);
+  }
+  uint64_t round2_requests = 0;
+  if (!round2_targets.empty()) {
+    std::vector<std::thread> threads;
+    std::mutex missing_mu;
+    threads.reserve(round2_targets.size());
+    for (size_t idx : round2_targets) {
+      threads.emplace_back([this, idx, &needed, &round2, &missing,
+                            &missing_mu] {
+        JsonValue round2_request = JsonValue::Object();
+        round2_request.Set("verb", JsonValue::String("MINE"));
+        JsonValue candidates_json = JsonValue::Array();
+        for (const Itemset& candidate : needed[idx]) {
+          candidates_json.Append(ItemsToJson(candidate));
+        }
+        round2_request.Set("candidates", std::move(candidates_json));
+        ShardReply reply = CallShard(idx, round2_request);
+        if (!reply.has_response || !reply.response.at("ok").AsBool()) {
+          // Round-1 supports still stand; the gap is surfaced as degraded.
+          std::lock_guard<std::mutex> lock(missing_mu);
+          missing.push_back(idx);
+          return;
+        }
+        const JsonValue& supports = reply.response.at("supports");
+        for (size_t c = 0;
+             c < needed[idx].size() && c < supports.size(); ++c) {
+          round2[idx][needed[idx][c]] = supports.at(c).AsUint();
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    round2_requests = round2_targets.size();
+    std::sort(missing.begin(), missing.end());
+    missing.erase(std::unique(missing.begin(), missing.end()), missing.end());
+    if (!missing.empty() && !options_.allow_degraded) {
+      return ErrorResponse(
+          "MINE", Status::Unavailable("shards unreachable: [" +
+                                      JoinIndices(missing) + "]"));
+    }
+  }
+
+  std::vector<Pattern> merged =
+      MergeGlobalPatterns(round1, round2, candidates, tau);
+  const size_t total_frequent = merged.size();
+  if (merged.size() > top) merged.resize(top);
+  JsonValue patterns = JsonValue::Array();
+  for (const Pattern& pattern : merged) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("items", ItemsToJson(pattern.items));
+    entry.Set("support", JsonValue::Uint(pattern.support));
+    patterns.Append(std::move(entry));
+  }
+  JsonValue response = OkResponse("MINE");
+  response.Set("min_support", JsonValue::Double(min_support));
+  response.Set("transactions", JsonValue::Uint(total));
+  response.Set("total_frequent", JsonValue::Uint(total_frequent));
+  response.Set("patterns", std::move(patterns));
+  // Exchange diagnostics (additive; the oracle-identity tests compare the
+  // daemon fields above).
+  JsonValue exchange = JsonValue::Object();
+  exchange.Set("tau", JsonValue::Uint(tau));
+  exchange.Set("candidates", JsonValue::Uint(candidates.size()));
+  exchange.Set("round2_requests", JsonValue::Uint(round2_requests));
+  response.Set("exchange", std::move(exchange));
+  FinishClusterResponse(&response, shards_.size(), 0, missing);
+  return response;
+}
+
+obs::JsonValue RouterService::HandleCheckpoint() {
+  if (draining_.load(std::memory_order_relaxed)) {
+    return ErrorResponse("CHECKPOINT",
+                         Status::Unavailable("service is draining"));
+  }
+  JsonValue request = JsonValue::Object();
+  request.Set("verb", JsonValue::String("CHECKPOINT"));
+  std::vector<size_t> all(shards_.size());
+  std::iota(all.begin(), all.end(), size_t{0});
+  std::vector<ShardReply> replies = FanOut(all, request);
+  uint64_t epoch = 0;
+  uint64_t checkpoints = 0;
+  std::vector<size_t> failed;
+  for (size_t i = 0; i < replies.size(); ++i) {
+    if (!replies[i].has_response ||
+        !replies[i].response.at("ok").AsBool()) {
+      failed.push_back(i);
+      continue;
+    }
+    epoch = std::max(epoch, UintField(replies[i].response, "epoch"));
+    checkpoints += UintField(replies[i].response, "checkpoints");
+  }
+  if (!failed.empty()) {
+    return ErrorResponse(
+        "CHECKPOINT",
+        Status::Unavailable("checkpoint failed on shards: [" +
+                            JoinIndices(failed) + "]"));
+  }
+  JsonValue response = OkResponse("CHECKPOINT");
+  response.Set("epoch", JsonValue::Uint(epoch));
+  response.Set("transactions", JsonValue::Uint(TotalTransactions()));
+  response.Set("checkpoints", JsonValue::Uint(checkpoints));
+  return response;
+}
+
+obs::JsonValue RouterService::HandleShardInfo() {
+  // The fleet's own SHARDINFO: the root OR signature plus totals, so a
+  // router is itself a valid shard of a bigger router.
+  uint64_t epoch = 0;
+  for (const auto& shard : shards_) {
+    epoch = std::max(epoch, shard->epoch.load(std::memory_order_relaxed));
+  }
+  JsonValue config_json = JsonValue::Object();
+  config_json.Set("bits", JsonValue::Uint(config_.num_bits));
+  config_json.Set("hashes", JsonValue::Uint(config_.num_hashes));
+  config_json.Set("hash_kind",
+                  JsonValue::Uint(static_cast<uint64_t>(config_.hash_kind)));
+  config_json.Set("seed", JsonValue::Uint(config_.seed));
+  JsonValue response = OkResponse("SHARDINFO");
+  response.Set("epoch", JsonValue::Uint(epoch));
+  response.Set("transactions", JsonValue::Uint(TotalTransactions()));
+  response.Set("segments", JsonValue::Uint(shards_.size()));
+  response.Set("shards", JsonValue::Uint(shards_.size()));
+  response.Set("mine_enabled", JsonValue::Bool(mine_enabled_));
+  response.Set("config", std::move(config_json));
+  response.Set("signature_bits", JsonValue::Uint(config_.num_bits));
+  {
+    std::shared_lock<std::shared_mutex> lock(tree_mu_);
+    response.Set("signature",
+                 JsonValue::String(service::BitsToHex(tree_.root_signature())));
+  }
+  return response;
+}
+
+obs::JsonValue RouterService::HandleStats() {
+  JsonValue response = OkResponse("STATS");
+  response.Set("report", BuildStatsReport());
+  return response;
+}
+
+obs::JsonValue RouterService::BuildStatsReport() const {
+  service::ServiceReportContext ctx;
+  ctx.kind = "bbsrouter_service";
+  ctx.cluster_role = "router";
+  ctx.uptime_seconds = static_cast<double>(MicrosSince(start_)) / 1e6;
+  ctx.transactions = TotalTransactions();
+  ctx.segments = shards_.size();
+  ctx.draining = draining_.load(std::memory_order_relaxed);
+  ctx.mine_enabled = mine_enabled_;
+  ctx.index_backend = "none";
+  ctx.shards_total = shards_.size();
+  ctx.shards_up = shards_up();
+  JsonValue shards_json = JsonValue::Array();
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const ShardState& shard = *shards_[i];
+    ctx.epoch = std::max(ctx.epoch,
+                         shard.epoch.load(std::memory_order_relaxed));
+    JsonValue entry = JsonValue::Object();
+    entry.Set("shard", JsonValue::Uint(i));
+    entry.Set("endpoint", JsonValue::String(shard.endpoint.ToString()));
+    entry.Set("up",
+              JsonValue::Bool(shard.up.load(std::memory_order_relaxed)));
+    entry.Set("transactions",
+              JsonValue::Uint(
+                  shard.transactions.load(std::memory_order_relaxed)));
+    entry.Set("epoch",
+              JsonValue::Uint(shard.epoch.load(std::memory_order_relaxed)));
+    entry.Set("requests",
+              JsonValue::Uint(
+                  shard.requests.load(std::memory_order_relaxed)));
+    entry.Set("errors",
+              JsonValue::Uint(shard.errors.load(std::memory_order_relaxed)));
+    entry.Set("pruned_queries",
+              JsonValue::Uint(shard.pruned.load(std::memory_order_relaxed)));
+    entry.Set("hedged",
+              JsonValue::Uint(shard.hedged.load(std::memory_order_relaxed)));
+    std::vector<uint64_t> buckets(shard.latency.size());
+    for (size_t b = 0; b < shard.latency.size(); ++b) {
+      buckets[b] = shard.latency[b].load(std::memory_order_relaxed);
+    }
+    entry.Set("latency_us", ShardLatencyJson(buckets));
+    shards_json.Append(std::move(entry));
+  }
+  ctx.cluster_shards = std::move(shards_json);
+  if (const std::atomic<uint64_t>* live =
+          live_connections_.load(std::memory_order_acquire);
+      live != nullptr) {
+    ctx.open_connections = live->load(std::memory_order_relaxed);
+  }
+  ctx.window_now_us = MicrosSince(start_);
+  metrics_.MaybeRotateWindows(ctx.window_now_us);
+  return BuildServiceReport(ctx, metrics_);
+}
+
+}  // namespace bbsmine::cluster

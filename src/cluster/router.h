@@ -1,0 +1,218 @@
+// The bbsrouter request handler: one process fronting N bbsmined shards.
+//
+// RouterService implements the same RequestHandler interface BbsService
+// does, so the daemon's SocketServer serves it unchanged and unmodified
+// clients (bbsmine client, bbsbench) talk to a fleet exactly as they talk
+// to one daemon. Downstream it speaks the same wire protocol over a
+// per-shard pool of persistent ClientSessions.
+//
+// Verb semantics (docs/CLUSTER.md is the spec):
+//   COUNT  — Bloofi-prune shards whose signatures cannot cover the query,
+//            fan out to the rest in parallel, sum counts in shard order.
+//            Bit-identical to a single node over the concatenated data.
+//   MINE   — two-round global-τ candidate exchange (cluster/merge.h).
+//            Bit-identical patterns, supports, order, and truncation.
+//   INSERT — routes to the LAST shard (tail of the transaction-range
+//            partition) and ORs the new items' positions into that
+//            shard's Bloofi leaf so pruning never goes stale.
+//   PING   — fans out (doubling as a health sweep); ok as long as the
+//            router itself is up.
+//   STATS  — the schema-v1 service report with kind "bbsrouter_service"
+//            and a populated cluster section (per-shard detail included).
+//   SHARDINFO — answers with the root OR signature and fleet totals, so
+//            routers stack (a router is a valid "shard" of a bigger one).
+//   CHECKPOINT — fans out to every shard; fails listing the shards that
+//            failed.
+//   DUMP   — InvalidArgument (per-connection flight recording is a
+//            daemon-local concern).
+//
+// Robustness: every fan-out leg runs under a per-leg deadline; idempotent
+// legs may hedge (re-issue on a fresh connection after hedge_ms of
+// silence — the straggler's socket is abandoned, the at-most-once rules
+// from service/client.h still hold because only idempotent verbs hedge).
+// When shards stay unreachable the router answers anyway from the
+// survivors, with "degraded": true and the missing shard list, unless
+// configured to require the full fleet.
+
+#ifndef BBSMINE_CLUSTER_ROUTER_H_
+#define BBSMINE_CLUSTER_ROUTER_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/bloofi_tree.h"
+#include "cluster/merge.h"
+#include "cluster/shard_map.h"
+#include "core/bbs_config.h"
+#include "core/bloom_hash.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "service/client.h"
+#include "service/metrics.h"
+#include "service/server.h"
+
+namespace bbsmine::cluster {
+
+struct RouterOptions {
+  /// Per-leg retry/backoff policy (backpressure retries, timeout policy);
+  /// timeout_ms inside is ignored — the fan-out deadline governs.
+  service::RetryOptions retry;
+  /// Total budget per downstream leg, hedge included.
+  int fanout_deadline_ms = 5000;
+  /// After this many ms of silence an idempotent leg is re-issued on a
+  /// fresh connection (0 = no hedging).
+  int hedge_ms = 0;
+  /// Bloofi pruning (off = every COUNT fans out everywhere; answers are
+  /// identical either way — that equivalence is pinned by tests).
+  bool prune = true;
+  size_t branching = 4;
+  /// When false a missing shard turns partial answers into Unavailable
+  /// errors instead of degraded responses.
+  bool allow_degraded = true;
+  /// MINE defaults, mirroring ServiceOptions.
+  size_t mine_top = 10;
+  double default_min_support = 0.003;
+  /// Round-1 "top" sent to shards: must exceed any shard's local frequent
+  /// set size or completeness (and thus bit-identity) is lost; the router
+  /// verifies shards did not truncate and fails the query if one did.
+  uint64_t mine_round1_top = 50'000'000;
+  /// Startup handshake patience: per shard, how many connect attempts
+  /// spaced connect_backoff_ms apart before Init gives up on it.
+  uint32_t connect_retries = 40;
+  uint32_t connect_backoff_ms = 250;
+  /// Sessions kept pooled per shard.
+  size_t pool_size = 8;
+  service::ServiceMetrics::WindowOptions stats_windows;
+};
+
+class RouterService : public service::RequestHandler {
+ public:
+  RouterService(ShardMap map, const RouterOptions& options);
+
+  /// The startup handshake: SHARDINFO every shard (with patience — shards
+  /// may still be booting), verify all reachable shards share one
+  /// BbsConfig, and build the Bloofi tree. Fails when no shard is
+  /// reachable or configs diverge; shards that stay unreachable enter
+  /// service marked down with an all-ones (never-pruned) signature.
+  Status Init();
+
+  obs::JsonValue Handle(const obs::JsonValue& request) {
+    return Handle(request, service::RequestContext{});
+  }
+  obs::JsonValue Handle(const obs::JsonValue& request,
+                        const service::RequestContext& ctx) override;
+
+  service::ServiceMetrics& metrics() override { return metrics_; }
+  const service::ServiceMetrics& metrics() const { return metrics_; }
+
+  void AttachConnectionCounter(
+      const std::atomic<uint64_t>* counter) override {
+    live_connections_.store(counter, std::memory_order_release);
+  }
+
+  /// The schema-v1 report (STATS payload / shutdown artifact), kind
+  /// "bbsrouter_service", cluster section populated.
+  obs::JsonValue BuildStatsReport() const;
+
+  /// Stops accepting work: every verb but PING/STATS answers Unavailable.
+  void Drain() { draining_.store(true, std::memory_order_relaxed); }
+
+  size_t num_shards() const { return shards_.size(); }
+  uint64_t shards_up() const;
+  /// Cluster-wide transaction total (cached from the latest responses).
+  uint64_t TotalTransactions() const;
+  const BbsConfig& shard_config() const { return config_; }
+
+ private:
+  /// One downstream exchange outcome.
+  struct ShardReply {
+    bool has_response = false;
+    obs::JsonValue response;
+    Status status = Status::Ok();
+  };
+
+  struct ShardState {
+    ShardEndpoint endpoint;
+    std::mutex pool_mu;
+    std::vector<service::ClientSession> idle;  // guarded by pool_mu
+    std::atomic<bool> up{false};
+    std::atomic<uint64_t> transactions{0};
+    std::atomic<uint64_t> epoch{0};
+    std::atomic<uint64_t> requests{0};
+    std::atomic<uint64_t> errors{0};
+    std::atomic<uint64_t> pruned{0};
+    std::atomic<uint64_t> hedged{0};
+    // Per-shard downstream latency, log2 µs buckets; slot 0 = overflow
+    // (the ServiceMetrics histogram layout).
+    std::array<std::atomic<uint64_t>,
+               obs::DepthHistogram::kMaxTrackedDepth + 1>
+        latency{};
+  };
+
+  obs::JsonValue HandlePing();
+  obs::JsonValue HandleCount(const obs::JsonValue& request);
+  obs::JsonValue HandleInsert(const obs::JsonValue& request);
+  obs::JsonValue HandleMine(const obs::JsonValue& request);
+  obs::JsonValue HandleStats();
+  obs::JsonValue HandleCheckpoint();
+  obs::JsonValue HandleShardInfo();
+
+  /// One leg: check a session out of shard `idx`'s pool, exchange
+  /// `request` under the fan-out deadline with backpressure retries and
+  /// (for idempotent verbs) hedging, update health/latency bookkeeping.
+  ShardReply CallShard(size_t idx, const obs::JsonValue& request);
+
+  /// Runs CallShard for every index in `targets` in parallel; results land
+  /// at their shard index in the returned vector (non-targets stay
+  /// empty-handed with has_response == false).
+  std::vector<ShardReply> FanOut(const std::vector<size_t>& targets,
+                                 const obs::JsonValue& request);
+
+  /// The sorted union of the query items' hash positions (guards the
+  /// non-thread-safe BloomHashFamily cache).
+  std::vector<uint32_t> QueryPositions(const Itemset& items);
+
+  /// Bloofi-matched shard indices for the query (everything when pruning
+  /// is off); records pruned-shard counters.
+  std::vector<size_t> MatchShards(const std::vector<uint32_t>& positions);
+
+  /// Re-pulls SHARDINFO from shard `idx` and replaces its Bloofi leaf —
+  /// run when a shard transitions down -> up (its content may have moved
+  /// while we could not see it).
+  void RefreshShard(size_t idx);
+
+  void NoteShardSuccess(size_t idx, const obs::JsonValue& response,
+                        const std::string& verb);
+
+  /// Appends degraded/cluster trailer fields shared by COUNT and MINE.
+  void FinishClusterResponse(obs::JsonValue* response, size_t queried,
+                             size_t pruned,
+                             const std::vector<size_t>& missing);
+
+  ShardMap map_;
+  RouterOptions options_;
+  service::ServiceMetrics metrics_;
+  std::vector<std::unique_ptr<ShardState>> shards_;
+
+  BbsConfig config_;
+  bool mine_enabled_ = false;
+  std::unique_ptr<BloomHashFamily> hash_;
+  mutable std::mutex hash_mu_;
+
+  BloofiTree tree_;
+  mutable std::shared_mutex tree_mu_;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<const std::atomic<uint64_t>*> live_connections_{nullptr};
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace bbsmine::cluster
+
+#endif  // BBSMINE_CLUSTER_ROUTER_H_

@@ -1,0 +1,86 @@
+#include "cluster/shard_map.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace bbsmine::cluster {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  size_t end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+Result<ShardEndpoint> ParseEndpoint(const std::string& spec) {
+  size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == spec.size()) {
+    return Status::InvalidArgument("shard endpoint must be host:port, got \"" +
+                                   spec + "\"");
+  }
+  ShardEndpoint endpoint;
+  endpoint.host = spec.substr(0, colon);
+  const std::string port_text = spec.substr(colon + 1);
+  uint64_t port = 0;
+  for (char c : port_text) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("shard port must be numeric, got \"" +
+                                     port_text + "\"");
+    }
+    port = port * 10 + static_cast<uint64_t>(c - '0');
+    if (port > 65535) break;
+  }
+  if (port == 0 || port > 65535) {
+    return Status::InvalidArgument("shard port out of range: \"" + port_text +
+                                   "\"");
+  }
+  endpoint.port = static_cast<uint16_t>(port);
+  return endpoint;
+}
+
+Result<ShardMap> ParseShardSpec(const std::string& spec) {
+  ShardMap map;
+  std::stringstream stream(spec);
+  std::string entry;
+  while (std::getline(stream, entry, ',')) {
+    entry = Trim(entry);
+    if (entry.empty()) continue;
+    Result<ShardEndpoint> endpoint = ParseEndpoint(entry);
+    if (!endpoint.ok()) return endpoint.status();
+    map.shards.push_back(std::move(*endpoint));
+  }
+  if (map.empty()) {
+    return Status::InvalidArgument("shard spec names no endpoints: \"" + spec +
+                                   "\"");
+  }
+  return map;
+}
+
+Result<ShardMap> LoadShardMapFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::NotFound("cannot open shard map file: " + path);
+  }
+  ShardMap map;
+  std::string line;
+  while (std::getline(file, line)) {
+    size_t comment = line.find('#');
+    if (comment != std::string::npos) line = line.substr(0, comment);
+    line = Trim(line);
+    if (line.empty()) continue;
+    Result<ShardEndpoint> endpoint = ParseEndpoint(line);
+    if (!endpoint.ok()) return endpoint.status();
+    map.shards.push_back(std::move(*endpoint));
+  }
+  if (map.empty()) {
+    return Status::InvalidArgument("shard map file names no endpoints: " +
+                                   path);
+  }
+  return map;
+}
+
+}  // namespace bbsmine::cluster

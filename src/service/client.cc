@@ -44,7 +44,7 @@ bool IsIdempotentVerb(const std::string& verb) {
   // but the at-most-once default for anything not on this list means a new
   // verb added to the daemon can never be double-applied by an old client.
   return verb == "PING" || verb == "COUNT" || verb == "STATS" ||
-         verb == "MINE" || verb == "DUMP";
+         verb == "MINE" || verb == "DUMP" || verb == "SHARDINFO";
 }
 
 uint64_t RetryBackoffMs(const RetryOptions& options, uint32_t attempt,
@@ -62,9 +62,37 @@ uint64_t RetryBackoffMs(const RetryOptions& options, uint32_t attempt,
   return std::min<uint64_t>(base + jitter, options.max_backoff_ms);
 }
 
-Result<CallOutcome> CallWithRetry(const std::string& host, uint16_t port,
-                                  const obs::JsonValue& request,
-                                  const RetryOptions& options) {
+Result<ClientSession> ClientSession::Connect(const std::string& host,
+                                             uint16_t port) {
+  Result<OwnedFd> fd = ConnectTcp(host, port);
+  if (!fd.ok()) return fd.status();
+  return ClientSession(host, port, std::move(*fd));
+}
+
+Result<obs::JsonValue> ClientSession::Call(const obs::JsonValue& request,
+                                           int timeout_ms) {
+  if (!fd_.valid()) {
+    Result<OwnedFd> fd = ConnectTcp(host_, port_);
+    if (!fd.ok()) return fd.status();
+    fd_ = std::move(*fd);
+  }
+  Status sent = WriteFrame(fd_.get(), request);
+  if (!sent.ok()) {
+    Close();
+    return sent;
+  }
+  Result<obs::JsonValue> response = ReadFrame(fd_.get(), timeout_ms);
+  if (!response.ok()) {
+    // Timeout or broken transport: the stream may still carry (part of) a
+    // stale response, so it cannot be reused for the next request.
+    Close();
+    return response.status();
+  }
+  return response;
+}
+
+Result<CallOutcome> ClientSession::CallWithRetry(const obs::JsonValue& request,
+                                                 const RetryOptions& options) {
   const bool timeout_retryable = IsIdempotentVerb(RequestVerb(request));
   uint64_t jitter_state = options.jitter_seed;
   CallOutcome outcome;
@@ -76,10 +104,7 @@ Result<CallOutcome> CallWithRetry(const std::string& host, uint16_t port,
     }
     ++outcome.attempts;
 
-    Result<OwnedFd> fd = ConnectTcp(host, port);
-    if (!fd.ok()) return fd.status();  // transport: not retryable
-    BBSMINE_RETURN_IF_ERROR(WriteFrame(fd->get(), request));
-    Result<obs::JsonValue> response = ReadFrame(fd->get(), options.timeout_ms);
+    Result<obs::JsonValue> response = Call(request, options.timeout_ms);
     if (!response.ok()) {
       if (response.status().code() == StatusCode::kUnavailable) {
         // Response timeout: the daemon is alive but slow. For idempotent
@@ -114,6 +139,13 @@ Result<CallOutcome> CallWithRetry(const std::string& host, uint16_t port,
   return last_timeout.ok()
              ? Status::Unavailable("retries exhausted")
              : last_timeout;
+}
+
+Result<CallOutcome> CallWithRetry(const std::string& host, uint16_t port,
+                                  const obs::JsonValue& request,
+                                  const RetryOptions& options) {
+  ClientSession session(host, port);
+  return session.CallWithRetry(request, options);
 }
 
 }  // namespace bbsmine::service

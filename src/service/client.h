@@ -32,6 +32,7 @@
 #include <string>
 
 #include "obs/json.h"
+#include "util/socket.h"
 #include "util/status.h"
 
 namespace bbsmine::service {
@@ -72,8 +73,61 @@ struct CallOutcome {
   bool backpressure_exhausted = false;
 };
 
-/// Connects to `host:port`, sends `request`, and reads the response,
-/// retrying per `options` on backpressure. Returns:
+/// A persistent client connection: connect once, issue many calls over the
+/// same TCP stream. The session is lazy — the first Call (or a Call after
+/// Close) reconnects — so one session object models "my link to that
+/// daemon" across its whole lifetime. Move-only; not thread-safe (the
+/// router keeps a pool and checks sessions out under a lock).
+///
+/// Stream hygiene: a response timeout or transport error closes the
+/// socket. The daemon may still write the stale response later, and a
+/// fresh request on the same stream would read it as its own answer;
+/// reconnecting is the only safe resynchronization.
+class ClientSession {
+ public:
+  /// A lazy session: no connection is made until the first Call.
+  ClientSession(std::string host, uint16_t port)
+      : host_(std::move(host)), port_(port) {}
+
+  /// An eager session: fails fast when the daemon is unreachable.
+  static Result<ClientSession> Connect(const std::string& host, uint16_t port);
+
+  ClientSession(ClientSession&&) = default;
+  ClientSession& operator=(ClientSession&&) = default;
+
+  const std::string& host() const { return host_; }
+  uint16_t port() const { return port_; }
+  bool connected() const { return fd_.valid(); }
+  void Close() { fd_.Reset(); }
+
+  /// One request/response exchange (no retries). Reconnects first when the
+  /// session is closed. Errors:
+  ///  * kUnavailable — the request was fully sent but no response arrived
+  ///    within `timeout_ms` (the socket is closed; whether the daemon
+  ///    applied the request is unknown — callers own the idempotence
+  ///    decision, or use CallWithRetry which applies the standard policy);
+  ///  * anything else — transport failure (socket closed).
+  Result<obs::JsonValue> Call(const obs::JsonValue& request,
+                              int timeout_ms = 30'000);
+
+  /// The standard retry policy (header comment above) over this session:
+  /// backpressure retries reuse the live connection; timeouts on
+  /// idempotent verbs reconnect and retry; transport errors and
+  /// non-idempotent timeouts are returned immediately.
+  Result<CallOutcome> CallWithRetry(const obs::JsonValue& request,
+                                    const RetryOptions& options);
+
+ private:
+  ClientSession(std::string host, uint16_t port, OwnedFd fd)
+      : host_(std::move(host)), port_(port), fd_(std::move(fd)) {}
+
+  std::string host_;
+  uint16_t port_ = 0;
+  OwnedFd fd_;
+};
+
+/// One-shot convenience: a throwaway session around
+/// ClientSession::CallWithRetry. Returns:
 ///  * OK outcome         — a response was obtained (inspect response["ok"];
 ///                         backpressure_exhausted marks a final
 ///                         Unavailable after all retries);

@@ -38,6 +38,7 @@ ServiceMetrics::ServiceMetrics(const WindowOptions& windows)
   requests_stats = AddCounter("counters.requests_stats");
   requests_checkpoint = AddCounter("counters.requests_checkpoint");
   requests_dump = AddCounter("counters.requests_dump");
+  requests_shardinfo = AddCounter("counters.requests_shardinfo");
   errors = AddCounter("counters.errors");
   rejected_backpressure = AddCounter("counters.rejected_backpressure");
   batches = AddCounter("counters.batches");
@@ -47,6 +48,10 @@ ServiceMetrics::ServiceMetrics(const WindowOptions& windows)
   compacted_segments = AddCounter("counters.compacted_segments");
   slow_queries = AddCounter("counters.slow_queries");
   traced_requests = AddCounter("counters.traced_requests");
+  pruned_shard_queries = AddCounter("cluster.pruned_shard_queries");
+  hedged_requests = AddCounter("cluster.hedged_requests");
+  degraded_responses = AddCounter("cluster.degraded_responses");
+  shard_errors = AddCounter("cluster.shard_errors");
   queue_depth = AddGauge("gauges.queue_depth");
   batch_size_peak = AddGauge("gauges.batch_size_peak");
   active_connections = AddGauge("gauges.active_connections");
@@ -57,7 +62,9 @@ ServiceMetrics::ServiceMetrics(const WindowOptions& windows)
   latency_stats = AddHistogram("latency_us.stats");
   latency_checkpoint = AddHistogram("latency_us.checkpoint");
   latency_dump = AddHistogram("latency_us.dump");
+  latency_shardinfo = AddHistogram("latency_us.shardinfo");
   batch_size_hist = AddHistogram("batch.size");
+  fanout_latency = AddHistogram("cluster.fanout_us");
 
   scalars_ = std::make_unique<std::atomic<uint64_t>[]>(num_scalars_);
   hist_ = std::make_unique<std::atomic<uint64_t>[]>(num_hists_ * kBuckets);
@@ -215,7 +222,7 @@ obs::JsonValue BuildServiceReport(const ServiceReportContext& ctx,
   using obs::JsonValue;
   JsonValue report = JsonValue::Object();
   report.Set("schema_version", JsonValue::Int(kServiceReportSchemaVersion));
-  report.Set("kind", JsonValue::String("bbsmined_service"));
+  report.Set("kind", JsonValue::String(ctx.kind));
 
   JsonValue service = JsonValue::Object();
   service.Set("uptime_seconds", JsonValue::Double(ctx.uptime_seconds));
@@ -271,7 +278,32 @@ obs::JsonValue BuildServiceReport(const ServiceReportContext& ctx,
     gauges->Set("active_connections_now",
                 JsonValue::Uint(ctx.open_connections));
   }
+  // The fleet view, rendered identically by daemon and router so one
+  // scraper covers both: a standalone daemon reports itself as a one-shard
+  // fleet; the router reports real totals plus per-shard detail.
+  JsonValue cluster = JsonValue::Object();
+  cluster.Set("role", JsonValue::String(ctx.cluster_role));
+  cluster.Set("shards_total", JsonValue::Uint(ctx.shards_total));
+  cluster.Set("shards_up", JsonValue::Uint(ctx.shards_up));
+  cluster.Set("pruned_shard_queries",
+              JsonValue::Uint(metrics.counter(metrics.pruned_shard_queries)));
+  cluster.Set("hedged_requests",
+              JsonValue::Uint(metrics.counter(metrics.hedged_requests)));
+  cluster.Set("degraded_responses",
+              JsonValue::Uint(metrics.counter(metrics.degraded_responses)));
+  cluster.Set("shard_errors",
+              JsonValue::Uint(metrics.counter(metrics.shard_errors)));
+  // The fan-out latency histogram also lives under metrics.cluster; the
+  // copy here keeps the fleet section self-contained for dashboards.
+  if (const JsonValue* cluster_metrics = metrics_json.MutableAt("cluster");
+      cluster_metrics != nullptr && cluster_metrics->Has("fanout_us")) {
+    cluster.Set("fanout_us", cluster_metrics->at("fanout_us"));
+  }
+  if (ctx.cluster_shards.kind() == JsonValue::Kind::kArray) {
+    cluster.Set("shards", ctx.cluster_shards);
+  }
   report.Set("metrics", std::move(metrics_json));
+  report.Set("cluster", std::move(cluster));
 
   report.Set("window", metrics.WindowSectionJson(ctx.window_now_us));
   return report;

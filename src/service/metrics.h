@@ -86,6 +86,7 @@ class ServiceMetrics {
   size_t requests_stats;
   size_t requests_checkpoint;
   size_t requests_dump;          ///< flight-recorder DUMP verb
+  size_t requests_shardinfo;     ///< cluster SHARDINFO verb
   size_t errors;                 ///< requests answered with ok=false
   size_t rejected_backpressure;  ///< COUNTs bounced by the admission queue
   size_t batches;                ///< scheduler batches executed
@@ -96,6 +97,15 @@ class ServiceMetrics {
   size_t compacted_segments;     ///< cold sealed segments fold-compacted
   size_t slow_queries;           ///< requests over the slow-query threshold
   size_t traced_requests;        ///< requests that emitted a sampled span
+
+  // Cluster counters (section "cluster"; all zero on a standalone daemon —
+  // only the router's fan-out path increments them).
+  size_t pruned_shard_queries;   ///< shard fan-outs skipped by the Bloofi tree
+  size_t hedged_requests;        ///< fan-out legs re-issued after the hedge
+                                 ///< timeout fired
+  size_t degraded_responses;     ///< answers served with shards missing
+  size_t shard_errors;           ///< downstream legs that failed (transport,
+                                 ///< timeout, or error response)
 
   // Gauge slots (section "gauges"; watermark semantics).
   size_t queue_depth;         ///< deepest admission-queue backlog seen
@@ -110,7 +120,9 @@ class ServiceMetrics {
   size_t latency_stats;
   size_t latency_checkpoint;
   size_t latency_dump;
+  size_t latency_shardinfo;
   size_t batch_size_hist;
+  size_t fanout_latency;  ///< "cluster.fanout_us": whole fan-out round trips
 
   void Inc(size_t slot, uint64_t n = 1) {
     scalars_[slot].fetch_add(n, std::memory_order_relaxed);
@@ -245,6 +257,20 @@ struct ServiceReportContext {
 
   /// Service-relative timestamp (µs) the "window" section is rendered at.
   uint64_t window_now_us = 0;
+
+  /// Report identity: "bbsmined_service" for a daemon, "bbsrouter_service"
+  /// for the router — both share schema version 1.
+  std::string kind = "bbsmined_service";
+
+  /// Cluster facts (rendered as the report's "cluster" section on daemon
+  /// and router alike). A standalone daemon is a one-shard fleet of
+  /// itself: role "shard", 1/1 up. The router sets role "router", the real
+  /// fleet size, and a per-shard detail array.
+  std::string cluster_role = "shard";
+  uint64_t shards_total = 1;
+  uint64_t shards_up = 1;
+  /// Per-shard detail (router only): JSON array, or null to omit.
+  obs::JsonValue cluster_shards;
 };
 
 /// Builds the schema-versioned service report (STATS payload / shutdown

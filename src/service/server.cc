@@ -128,6 +128,10 @@ obs::JsonValue BbsService::Handle(const obs::JsonValue& request,
     latency_slot = metrics_.latency_dump;
     metrics_.Inc(metrics_.requests_dump);
     response = HandleDump();
+  } else if (verb == "SHARDINFO") {
+    latency_slot = metrics_.latency_shardinfo;
+    metrics_.Inc(metrics_.requests_shardinfo);
+    response = HandleShardInfo();
   } else {
     metrics_.Inc(metrics_.errors);
     return ErrorResponse(
@@ -288,6 +292,7 @@ obs::JsonValue BbsService::HandleMine(const obs::JsonValue& request) {
         "MINE", Status::InvalidArgument(
                     "MINE requires the daemon to be started with --db"));
   }
+  if (request.Has("candidates")) return HandleMineCandidates(request);
   EclatConfig config;
   config.min_support = options_.default_min_support;
   if (request.Has("minsup")) {
@@ -336,6 +341,86 @@ obs::JsonValue BbsService::HandleMine(const obs::JsonValue& request) {
   response.Set("transactions", obs::JsonValue::Uint(mined_over));
   response.Set("total_frequent", obs::JsonValue::Uint(total_frequent));
   response.Set("patterns", std::move(patterns));
+  return response;
+}
+
+obs::JsonValue BbsService::HandleMineCandidates(const obs::JsonValue& request) {
+  // The second round of the router's global-τ exchange: exact supports for
+  // an explicit candidate list, no local mining. Counting scans the
+  // database (not the Bloom index) so the supports are exact — the router
+  // merges them with round-1 supports into a globally bit-identical answer.
+  const obs::JsonValue& array = request.at("candidates");
+  if (array.kind() != obs::JsonValue::Kind::kArray) {
+    return ErrorResponse("MINE", Status::InvalidArgument(
+                                     "\"candidates\" must be an array of "
+                                     "item arrays"));
+  }
+  std::vector<Itemset> candidates;
+  candidates.reserve(array.size());
+  for (size_t i = 0; i < array.size(); ++i) {
+    Result<Itemset> items = ItemsFromJson(array.at(i));
+    if (!items.ok()) return ErrorResponse("MINE", items.status());
+    candidates.push_back(std::move(*items));
+  }
+  std::vector<uint64_t> supports(candidates.size(), 0);
+  size_t counted_over;
+  {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    counted_over = db_->size();
+    for (size_t t = 0; t < counted_over; ++t) {
+      const Itemset& txn = db_->At(t).items;
+      for (size_t c = 0; c < candidates.size(); ++c) {
+        if (std::includes(txn.begin(), txn.end(), candidates[c].begin(),
+                          candidates[c].end())) {
+          ++supports[c];
+        }
+      }
+    }
+  }
+  obs::JsonValue supports_json = obs::JsonValue::Array();
+  for (uint64_t support : supports) {
+    supports_json.Append(obs::JsonValue::Uint(support));
+  }
+  obs::JsonValue response = OkResponse("MINE");
+  response.Set("transactions", obs::JsonValue::Uint(counted_over));
+  response.Set("candidates", obs::JsonValue::Uint(candidates.size()));
+  response.Set("supports", std::move(supports_json));
+  return response;
+}
+
+obs::JsonValue BbsService::HandleShardInfo() {
+  // The shard's routing signature: the OR-fold of its segment signature
+  // columns — bit p is set iff any segment has a non-empty slice p. A
+  // folded (compacted) segment stores slice p%f for full-width position p,
+  // so its fold is expanded back to full width; that can only over-set
+  // bits, which keeps router pruning conservative (never wrong, possibly
+  // less effective on folded shards).
+  Snapshot snap = index_->Acquire();
+  const BbsConfig& config = snap.config();
+  BitVector signature(config.num_bits);
+  for (size_t s = 0; s < snap.num_segments(); ++s) {
+    const BbsIndex& segment = snap.segment(s);
+    const uint32_t width = segment.num_bits();
+    for (uint32_t pos = 0; pos < config.num_bits; ++pos) {
+      if (!signature.Get(pos) && segment.SlicePopcount(pos % width) > 0) {
+        signature.Set(pos);
+      }
+    }
+  }
+  obs::JsonValue config_json = obs::JsonValue::Object();
+  config_json.Set("bits", obs::JsonValue::Uint(config.num_bits));
+  config_json.Set("hashes", obs::JsonValue::Uint(config.num_hashes));
+  config_json.Set("hash_kind",
+                  obs::JsonValue::Uint(static_cast<uint64_t>(config.hash_kind)));
+  config_json.Set("seed", obs::JsonValue::Uint(config.seed));
+  obs::JsonValue response = OkResponse("SHARDINFO");
+  response.Set("epoch", obs::JsonValue::Uint(snap.epoch()));
+  response.Set("transactions", obs::JsonValue::Uint(snap.num_transactions()));
+  response.Set("segments", obs::JsonValue::Uint(snap.num_segments()));
+  response.Set("mine_enabled", obs::JsonValue::Bool(db_ != nullptr));
+  response.Set("config", std::move(config_json));
+  response.Set("signature_bits", obs::JsonValue::Uint(config.num_bits));
+  response.Set("signature", obs::JsonValue::String(BitsToHex(signature)));
   return response;
 }
 
@@ -437,7 +522,7 @@ void BbsService::Drain() {
   scheduler_.Shutdown();
 }
 
-SocketServer::SocketServer(BbsService* service,
+SocketServer::SocketServer(RequestHandler* service,
                            const SocketServerOptions& options)
     : service_(service), options_(options) {}
 

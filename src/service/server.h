@@ -96,7 +96,29 @@ struct RequestContext {
   uint64_t connection_id = 0;
 };
 
-class BbsService {
+/// The transport-facing request interface SocketServer serves. BbsService
+/// (below) and cluster::RouterService (src/cluster/router.h) both implement
+/// it, so one accept loop fronts a single shard and a whole fleet alike.
+class RequestHandler {
+ public:
+  virtual ~RequestHandler() = default;
+
+  /// Maps one request document to one response document. Thread-safe.
+  virtual obs::JsonValue Handle(const obs::JsonValue& request,
+                                const RequestContext& ctx) = 0;
+
+  virtual ServiceMetrics& metrics() = 0;
+
+  /// Per-connection flight recorder, when the handler keeps one.
+  virtual FlightRecorder* flight_recorder() const { return nullptr; }
+
+  /// Lets the transport publish its live connection counter (reported by
+  /// STATS next to the watermark gauge). `counter` must outlive the
+  /// handler.
+  virtual void AttachConnectionCounter(const std::atomic<uint64_t>*) {}
+};
+
+class BbsService : public RequestHandler {
  public:
   /// `index` must outlive the service. `db` may be null (MINE disabled;
   /// INSERT updates only the index).
@@ -111,7 +133,7 @@ class BbsService {
 
   /// Same, with transport context (flight-recorder ring, connection id).
   obs::JsonValue Handle(const obs::JsonValue& request,
-                        const RequestContext& ctx);
+                        const RequestContext& ctx) override;
 
   /// The schema-versioned service report (STATS payload, shutdown
   /// artifact).
@@ -121,15 +143,17 @@ class BbsService {
   /// After Drain, COUNT answers Unavailable; PING/STATS still work.
   void Drain();
 
-  ServiceMetrics& metrics() { return metrics_; }
+  ServiceMetrics& metrics() override { return metrics_; }
   const ServiceMetrics& metrics() const { return metrics_; }
 
-  FlightRecorder* flight_recorder() const { return options_.flight_recorder; }
+  FlightRecorder* flight_recorder() const override {
+    return options_.flight_recorder;
+  }
 
   /// Lets the transport publish its live connection counter so STATS can
   /// report the current count next to the watermark gauge. `counter` must
   /// outlive the service.
-  void AttachConnectionCounter(const std::atomic<uint64_t>* counter) {
+  void AttachConnectionCounter(const std::atomic<uint64_t>* counter) override {
     live_connections_.store(counter, std::memory_order_release);
   }
 
@@ -147,6 +171,8 @@ class BbsService {
   obs::JsonValue HandleStats();
   obs::JsonValue HandleCheckpoint();
   obs::JsonValue HandleDump();
+  obs::JsonValue HandleShardInfo();
+  obs::JsonValue HandleMineCandidates(const obs::JsonValue& request);
 
   SnapshotManager* index_;
   TransactionDatabase* db_;
@@ -175,7 +201,7 @@ struct SocketServerOptions {
 class SocketServer {
  public:
   /// `service` must outlive the server.
-  SocketServer(BbsService* service, const SocketServerOptions& options);
+  SocketServer(RequestHandler* service, const SocketServerOptions& options);
   ~SocketServer();
 
   SocketServer(const SocketServer&) = delete;
@@ -201,7 +227,7 @@ class SocketServer {
   void ServeConnection(OwnedFd fd, Connection* slot, uint64_t connection_id);
   void ReapFinishedLocked();
 
-  BbsService* service_;
+  RequestHandler* service_;
   SocketServerOptions options_;
   OwnedFd listener_;
   uint16_t port_ = 0;

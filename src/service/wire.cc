@@ -93,4 +93,56 @@ obs::JsonValue ItemsToJson(const Itemset& items) {
   return array;
 }
 
+std::string BitsToHex(const BitVector& bits) {
+  static constexpr char kHexDigits[] = "0123456789abcdef";
+  const size_t num_bytes = (bits.size() + 7) / 8;
+  std::string hex;
+  hex.reserve(num_bytes * 2);
+  for (size_t byte = 0; byte < num_bytes; ++byte) {
+    uint8_t value = 0;
+    for (size_t bit = 0; bit < 8; ++bit) {
+      size_t pos = byte * 8 + bit;
+      if (pos < bits.size() && bits.Get(pos)) value |= uint8_t{1} << bit;
+    }
+    hex.push_back(kHexDigits[value >> 4]);
+    hex.push_back(kHexDigits[value & 0xf]);
+  }
+  return hex;
+}
+
+Result<BitVector> BitsFromHex(const std::string& hex, size_t num_bits) {
+  const size_t num_bytes = (num_bits + 7) / 8;
+  if (hex.size() != num_bytes * 2) {
+    return Status::InvalidArgument(
+        "signature hex length " + std::to_string(hex.size()) +
+        " does not match " + std::to_string(num_bits) + " bits");
+  }
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  BitVector bits(num_bits);
+  for (size_t byte = 0; byte < num_bytes; ++byte) {
+    int hi = nibble(hex[byte * 2]);
+    int lo = nibble(hex[byte * 2 + 1]);
+    if (hi < 0 || lo < 0) {
+      return Status::InvalidArgument("signature is not valid hex");
+    }
+    uint8_t value = static_cast<uint8_t>((hi << 4) | lo);
+    for (size_t bit = 0; bit < 8; ++bit) {
+      size_t pos = byte * 8 + bit;
+      if (pos >= num_bits) {
+        if ((value >> bit) & 1) {
+          return Status::InvalidArgument("signature has bits past num_bits");
+        }
+        continue;
+      }
+      if ((value >> bit) & 1) bits.Set(pos);
+    }
+  }
+  return bits;
+}
+
 }  // namespace bbsmine::service

@@ -25,6 +25,7 @@
 
 #include "obs/json.h"
 #include "storage/transaction.h"
+#include "util/bitvector.h"
 #include "util/status.h"
 
 namespace bbsmine::service {
@@ -60,6 +61,14 @@ Result<Itemset> ItemsFromJson(const obs::JsonValue& array);
 
 /// Renders an itemset as a JSON array.
 obs::JsonValue ItemsToJson(const Itemset& items);
+
+/// Renders a bit vector as a lowercase hex string: byte i holds bits
+/// [8i, 8i+8), least-significant bit first within the byte. Used by the
+/// SHARDINFO verb to ship shard signatures compactly.
+std::string BitsToHex(const BitVector& bits);
+
+/// Parses a BitsToHex string back into a vector of exactly `num_bits` bits.
+Result<BitVector> BitsFromHex(const std::string& hex, size_t num_bits);
 
 }  // namespace bbsmine::service
 

@@ -105,6 +105,10 @@ void Usage() {
       "target:\n"
       "  --host A.B.C.D      daemon address (default 127.0.0.1)\n"
       "  --port N            daemon port (required unless --dry-run)\n"
+      "  --target H:P        daemon or bbsrouter endpoint (overrides\n"
+      "                      --host/--port); against a router the report\n"
+      "                      gains a \"cluster\" section with per-shard\n"
+      "                      fan-out deltas\n"
       "  --connections N     concurrent connections (default 32)\n"
       "  --timeout-ms N      per-request response timeout (default 5000)\n"
       "workload (see docs/BENCHMARKS.md):\n"
@@ -503,6 +507,82 @@ obs::JsonValue VerbJson(VerbStats& stats,
   return v;
 }
 
+/// A counter delta between two report "cluster" sections (0 when absent).
+uint64_t ClusterCounterDelta(const obs::JsonValue& before,
+                             const obs::JsonValue& after,
+                             const std::string& key) {
+  uint64_t b = before.Has(key) ? before.at(key).AsUint() : 0;
+  uint64_t a = after.Has(key) ? after.at(key).AsUint() : 0;
+  return a - std::min(a, b);
+}
+
+/// The report's "cluster" section: present only when the target's STATS
+/// reports carry one (a bbsrouter, or a cluster-aware daemon). Counters
+/// are after-minus-before deltas, so the section describes this run's
+/// fan-out behavior; per-shard rows (router only) carry the same deltas
+/// broken down by shard.
+obs::JsonValue BenchClusterJson(const RunResult& run) {
+  if (!run.daemon_stats_ok || !run.daemon_after.Has("cluster")) {
+    return obs::JsonValue::Null();
+  }
+  const obs::JsonValue& before = run.daemon_before.at("cluster");
+  const obs::JsonValue& after = run.daemon_after.at("cluster");
+  obs::JsonValue section = obs::JsonValue::Object();
+  if (after.Has("role")) {
+    section.Set("role", obs::JsonValue::String(after.at("role").AsString()));
+  }
+  if (after.Has("shards_total")) {
+    section.Set("shards_total",
+                obs::JsonValue::Uint(after.at("shards_total").AsUint()));
+  }
+  if (after.Has("shards_up")) {
+    section.Set("shards_up",
+                obs::JsonValue::Uint(after.at("shards_up").AsUint()));
+  }
+  for (const char* key : {"pruned_shard_queries", "hedged_requests",
+                          "degraded_responses", "shard_errors"}) {
+    section.Set(key,
+                obs::JsonValue::Uint(ClusterCounterDelta(before, after, key)));
+  }
+  if (after.Has("shards") &&
+      after.at("shards").kind() == obs::JsonValue::Kind::kArray) {
+    const obs::JsonValue& shards_after = after.at("shards");
+    const obs::JsonValue* shards_before =
+        before.Has("shards") &&
+                before.at("shards").kind() == obs::JsonValue::Kind::kArray
+            ? &before.at("shards")
+            : nullptr;
+    obs::JsonValue rows = obs::JsonValue::Array();
+    for (size_t i = 0; i < shards_after.size(); ++i) {
+      const obs::JsonValue& a = shards_after.at(i);
+      static const obs::JsonValue kEmpty = obs::JsonValue::Object();
+      const obs::JsonValue& b =
+          shards_before != nullptr && i < shards_before->size()
+              ? shards_before->at(i)
+              : kEmpty;
+      obs::JsonValue row = obs::JsonValue::Object();
+      row.Set("shard", obs::JsonValue::Uint(a.at("shard").AsUint()));
+      row.Set("endpoint",
+              obs::JsonValue::String(a.at("endpoint").AsString()));
+      row.Set("up", obs::JsonValue::Bool(a.at("up").AsBool()));
+      row.Set("transactions",
+              obs::JsonValue::Uint(a.at("transactions").AsUint()));
+      row.Set("requests",
+              obs::JsonValue::Uint(ClusterCounterDelta(b, a, "requests")));
+      row.Set("errors",
+              obs::JsonValue::Uint(ClusterCounterDelta(b, a, "errors")));
+      row.Set("pruned_queries",
+              obs::JsonValue::Uint(
+                  ClusterCounterDelta(b, a, "pruned_queries")));
+      row.Set("hedged",
+              obs::JsonValue::Uint(ClusterCounterDelta(b, a, "hedged")));
+      rows.Append(std::move(row));
+    }
+    section.Set("shards", std::move(rows));
+  }
+  return section;
+}
+
 obs::JsonValue ReportJson(const TrafficSpec& spec, RunResult& run,
                           size_t connections, int timeout_ms,
                           bool trace_ids) {
@@ -555,6 +635,10 @@ obs::JsonValue ReportJson(const TrafficSpec& spec, RunResult& run,
                  run.elapsed_s > 0 ? static_cast<double>(sent) / run.elapsed_s
                                    : 0.0));
   report.Set("totals", std::move(totals));
+  if (obs::JsonValue cluster = BenchClusterJson(run);
+      cluster.kind() == obs::JsonValue::Kind::kObject) {
+    report.Set("cluster", std::move(cluster));
+  }
   return report;
 }
 
@@ -621,8 +705,24 @@ int main(int argc, char** argv) {
   spec.mine_minsup = args.GetDouble("minsup", 0.1);
   spec.mine_top = static_cast<uint32_t>(args.GetUint("top", 10));
 
-  const std::string host = args.GetString("host", "127.0.0.1");
-  const uint16_t port = static_cast<uint16_t>(args.GetUint("port", 0));
+  std::string host = args.GetString("host", "127.0.0.1");
+  uint16_t port = static_cast<uint16_t>(args.GetUint("port", 0));
+  if (std::string target = args.GetString("target"); !target.empty()) {
+    // --target H:P addresses a daemon or a bbsrouter alike (they speak the
+    // same protocol); it overrides --host/--port.
+    size_t colon = target.rfind(':');
+    unsigned long parsed =
+        colon == std::string::npos
+            ? 0
+            : std::strtoul(target.substr(colon + 1).c_str(), nullptr, 10);
+    if (colon == 0 || colon == std::string::npos || parsed == 0 ||
+        parsed > 65535) {
+      std::cerr << "bbsbench: --target must be host:port\n";
+      return 2;
+    }
+    host = target.substr(0, colon);
+    port = static_cast<uint16_t>(parsed);
+  }
   const size_t connections = args.GetUint("connections", 32);
   const int timeout_ms = static_cast<int>(args.GetUint("timeout-ms", 5000));
   const size_t reservoir = args.GetUint("reservoir", 65536);

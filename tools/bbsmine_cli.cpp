@@ -592,6 +592,37 @@ int CmdApprox(const Args& args) {
 /// 4 retries exhausted on backpressure, 5 indeterminate (a non-idempotent
 /// request such as INSERT was sent but its response timed out — it may or
 /// may not have been applied; reconcile before re-sending).
+int CmdSplit(const Args& args) {
+  // Contiguous transaction-range partition for a bbsrouter fleet: shard i
+  // holds the i-th range, so concatenating the shard databases in shard
+  // order reproduces the input exactly — the invariant cluster answers
+  // (and their bit-identity tests) rest on. When the count does not divide
+  // evenly the first (size % shards) shards take one extra transaction.
+  TransactionDatabase db = LoadDb(args.Require("db"));
+  const uint64_t shards = args.GetUint("shards", 0);
+  if (shards == 0 || shards > db.size()) {
+    std::cerr << "--shards must be in [1, " << db.size()
+              << "] (the database size)\n";
+    return 2;
+  }
+  const std::string prefix = args.Require("out-prefix");
+  const size_t base = db.size() / shards;
+  const size_t extra = db.size() % shards;
+  size_t next = 0;
+  for (size_t s = 0; s < shards; ++s) {
+    const size_t take = base + (s < extra ? 1 : 0);
+    TransactionDatabase part;
+    for (size_t t = 0; t < take; ++t) {
+      part.Append(db.At(next++).items);
+    }
+    const std::string path = prefix + "." + std::to_string(s) + ".db";
+    if (Status saved = part.Save(path); !saved.ok()) Die(saved);
+    std::printf("shard %zu: %zu transactions -> %s\n", s, part.size(),
+                path.c_str());
+  }
+  return 0;
+}
+
 int CmdClient(const Args& args) {
   std::string host = args.GetString("host", "127.0.0.1");
   uint16_t port = static_cast<uint16_t>(args.GetUint("port", 7071));
@@ -624,7 +655,10 @@ int CmdClient(const Args& args) {
   retry.timeout_ms = static_cast<int>(args.GetUint("timeout-ms", 30'000));
   retry.jitter_seed = args.GetUint("jitter-seed", 1);
 
-  auto outcome = service::CallWithRetry(host, port, request, retry);
+  // One persistent session (the router-pool API); still one-shot here —
+  // the process exits after a single exchange, so behavior is unchanged.
+  service::ClientSession session(host, port);
+  auto outcome = session.CallWithRetry(request, retry);
   if (!outcome.ok()) {
     std::fprintf(stderr, "%s failed: %s\n", verb.c_str(),
                  outcome.status().ToString().c_str());
@@ -679,6 +713,18 @@ int CmdClient(const Args& args) {
   } else {
     std::printf("%s\n", response->Serialize(2).c_str());
   }
+  // A router may answer from a partial fleet; make that loudly visible
+  // even in the human-readable output (the JSON carries the same fields).
+  if (response->Has("degraded") && response->at("degraded").AsBool()) {
+    std::string missing;
+    const obs::JsonValue& shards = response->at("missing_shards");
+    for (size_t i = 0; i < shards.size(); ++i) {
+      if (!missing.empty()) missing += ",";
+      missing += std::to_string(shards.at(i).AsUint());
+    }
+    std::fprintf(stderr, "warning: degraded answer (missing shards: %s)\n",
+                 missing.c_str());
+  }
   if (outcome->backpressure_exhausted) return 4;
   return response->at("ok").AsBool() ? 0 : 1;
 }
@@ -713,7 +759,8 @@ void Usage() {
       "           index or segmented-index prefix)\n"
       "           [--index-backend resident|mmap]\n"
       "  client   [--host A] [--port N] [--verb PING|COUNT|MINE|INSERT|\n"
-      "           STATS|CHECKPOINT|DUMP] [--items A,B,C] [--minsup F]\n"
+      "           STATS|CHECKPOINT|DUMP|SHARDINFO] [--items A,B,C]\n"
+      "           [--minsup F]\n"
       "           [--top N] [--trace-id ID] (tag the request's spans,\n"
       "           slow-log line, and flight-recorder event)\n"
       "           [--json] [--retries N] [--backoff-ms N]\n"
@@ -723,6 +770,10 @@ void Usage() {
       "           idempotent verbs; exit 0 ok, 1 application error,\n"
       "           3 transport error, 4 backpressure retries exhausted,\n"
       "           5 indeterminate: INSERT sent but response timed out)\n"
+      "  split    --db FILE --shards N --out-prefix P\n"
+      "           (contiguous transaction-range partition for a bbsrouter\n"
+      "           fleet: writes P.0.db .. P.N-1.db; concatenating them in\n"
+      "           shard order reproduces the input exactly)\n"
       "  rules    --db FILE [--minsup F] [--minconf F] [--top N]\n"
       "  approx   --db FILE --index FILE [--minsup F] [--minconf F]\n"
       "           [--top N]\n";
@@ -744,6 +795,7 @@ int main(int argc, char** argv) {
   if (command == "mine") return CmdMine(args);
   if (command == "count") return CmdCount(args);
   if (command == "client") return CmdClient(args);
+  if (command == "split") return CmdSplit(args);
   if (command == "rules") return CmdRules(args);
   if (command == "approx") return CmdApprox(args);
   Usage();
