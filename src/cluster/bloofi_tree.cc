@@ -110,6 +110,13 @@ void BloofiTree::OrIntoLeaf(size_t leaf,
   }
 }
 
+void BloofiTree::OrSignatureIntoLeaf(size_t leaf, const BitVector& signature) {
+  for (size_t idx = leaf_nodes_[leaf]; idx != kNoNode;
+       idx = nodes_[idx].parent) {
+    OrInto(signature, &nodes_[idx].signature);
+  }
+}
+
 void BloofiTree::SetLeaf(size_t leaf, const BitVector& signature) {
   nodes_[leaf_nodes_[leaf]].signature = signature;
   // A replace may clear bits, so every ancestor is recomputed from its

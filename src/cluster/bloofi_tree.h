@@ -21,7 +21,9 @@
 // ORs the inserted items' positions into the target leaf and its ancestor
 // path (OrIntoLeaf) — no recompute. SetLeaf (full replace, e.g. after a
 // shard restarts) recomputes the ancestor path, since a replace may clear
-// bits.
+// bits — which is exactly why it must never be fed a signature captured
+// before a concurrent addition; when that cannot be ruled out,
+// OrSignatureIntoLeaf applies the capture additively instead.
 
 #ifndef BBSMINE_CLUSTER_BLOOFI_TREE_H_
 #define BBSMINE_CLUSTER_BLOOFI_TREE_H_
@@ -61,6 +63,13 @@ class BloofiTree {
 
   /// ORs `positions` into leaf `leaf` and its ancestor path (INSERT).
   void OrIntoLeaf(size_t leaf, const std::vector<uint32_t>& positions);
+
+  /// ORs a whole signature into leaf `leaf` and its ancestor path. The
+  /// additive cousin of SetLeaf: safe when concurrent additions may have
+  /// landed since `signature` was captured (a replace could clear them);
+  /// any bits the capture is missing stay set, costing at most a
+  /// false-positive fan-out leg, never a wrong prune.
+  void OrSignatureIntoLeaf(size_t leaf, const BitVector& signature);
 
   /// Replaces leaf `leaf`'s signature and recomputes its ancestor path.
   void SetLeaf(size_t leaf, const BitVector& signature);

@@ -324,6 +324,10 @@ RouterService::ShardReply RouterService::CallShard(
   uint64_t jitter_state = options_.retry.jitter_seed + idx;
   uint32_t backoff_attempts = 0;
   bool hedged = false;
+  // Latest downstream evidence: true after a backpressure response (the
+  // shard answered — alive, just shedding load), false after silence or a
+  // transport error. Only the latter flips the shard to down.
+  bool shard_answering = false;
   Status failure = Status::Unavailable("fan-out deadline exhausted");
   while (true) {
     const int64_t remaining_ms =
@@ -360,6 +364,10 @@ RouterService::ShardReply RouterService::CallShard(
         }
       }
       if (backpressured && backoff_attempts < options_.retry.retries) {
+        shard_answering = true;
+        failure = Status::Unavailable(
+            "fan-out deadline exhausted while the shard shed load "
+            "(backpressure)");
         ++backoff_attempts;
         uint64_t sleep_ms = service::RetryBackoffMs(
             options_.retry, backoff_attempts, &jitter_state);
@@ -381,6 +389,7 @@ RouterService::ShardReply RouterService::CallShard(
     const Status& status = response.status();
     if (status.code() == StatusCode::kUnavailable) {
       // Response timeout; the session closed its socket.
+      shard_answering = false;
       if (hedge_armed) {
         hedged = true;
         shard.hedged.fetch_add(1, std::memory_order_relaxed);
@@ -395,12 +404,16 @@ RouterService::ShardReply RouterService::CallShard(
                           status.message() + ")");
       break;
     }
+    shard_answering = false;
     failure = status;  // transport: the shard is down or refusing
     break;
   }
   shard.errors.fetch_add(1, std::memory_order_relaxed);
   metrics_.Inc(metrics_.shard_errors);
-  shard.up.store(false, std::memory_order_relaxed);
+  // A shard that answered with backpressure is alive — shedding load is
+  // not downtime, and flipping it down here would both skew shards_up and
+  // force a pointless (race-prone) leaf refresh on its next success.
+  if (!shard_answering) shard.up.store(false, std::memory_order_relaxed);
   reply.status = failure;
   return reply;
 }
@@ -432,13 +445,30 @@ void RouterService::NoteShardSuccess(size_t idx, const obs::JsonValue& response,
 void RouterService::RefreshShard(size_t idx) {
   JsonValue request = JsonValue::Object();
   request.Set("verb", JsonValue::String("SHARDINFO"));
+  // Sample the leaf version BEFORE the fetch: any INSERT leaf update not
+  // counted here was acked by the shard before the request below was even
+  // sent, so the signature it answers with already contains those bits.
+  const uint64_t version_before =
+      shards_[idx]->leaf_version.load(std::memory_order_acquire);
   ShardReply reply = CallShard(idx, request);
   if (!reply.has_response || !reply.response.at("ok").AsBool()) return;
   Result<BitVector> signature = service::BitsFromHex(
       reply.response.at("signature").AsString(), config_.num_bits);
   if (!signature.ok()) return;
   std::unique_lock<std::shared_mutex> lock(tree_mu_);
-  tree_.SetLeaf(idx, *signature);
+  if (shards_[idx]->leaf_version.load(std::memory_order_relaxed) ==
+      version_before) {
+    // No INSERT touched the leaf while the fetch was in flight: a full
+    // replace is safe, and lets a restarted shard's leaf shrink back to
+    // its actual content.
+    tree_.SetLeaf(idx, *signature);
+  } else {
+    // An INSERT ORed bits in mid-fetch and the snapshot may predate them;
+    // replacing would clear bits of acked data and let COUNT wrongly
+    // prune. OR the snapshot in instead — stale extra bits only cost a
+    // false-positive fan-out leg.
+    tree_.OrSignatureIntoLeaf(idx, *signature);
+  }
 }
 
 std::vector<RouterService::ShardReply> RouterService::FanOut(
@@ -653,6 +683,7 @@ obs::JsonValue RouterService::HandleInsert(const obs::JsonValue& request) {
   if (!inserted.empty()) {
     const std::vector<uint32_t> positions = QueryPositions(inserted);
     std::unique_lock<std::shared_mutex> lock(tree_mu_);
+    shards_[tail]->leaf_version.fetch_add(1, std::memory_order_release);
     tree_.OrIntoLeaf(tail, positions);
   }
 
@@ -693,6 +724,27 @@ obs::JsonValue RouterService::HandleMine(const obs::JsonValue& request) {
     top = static_cast<size_t>(requested.AsUint());
   }
 
+  // The exchange computes τ from round-1 totals but round-2 counts scan
+  // the shards' databases at round-2 time, so concurrent INSERTs between
+  // the rounds would mix snapshots. Growth is detected (a round-2 shard
+  // reporting a transaction total that moved since round 1) and the whole
+  // exchange re-runs — the retry's round 1 sees the newer data. A pass
+  // that still lands inconsistent after the retry budget is answered
+  // anyway, flagged exchange.snapshot_consistent = false.
+  JsonValue response;
+  for (uint32_t attempt = 0;; ++attempt) {
+    bool consistent = true;
+    response = MineExchange(min_support, top, attempt, &consistent);
+    if (!response.at("ok").AsBool() || consistent ||
+        attempt >= options_.mine_snapshot_retries) {
+      return response;
+    }
+  }
+}
+
+obs::JsonValue RouterService::MineExchange(double min_support, size_t top,
+                                           uint32_t attempt,
+                                           bool* consistent) {
   // Round 1: every shard mines at the SAME relative minsup (its local
   // τ_i = ceil(minsup·n_i)), untruncated. Pigeonhole guarantees the union
   // of the local frequent sets contains every globally frequent pattern
@@ -770,13 +822,14 @@ obs::JsonValue RouterService::HandleMine(const obs::JsonValue& request) {
     if (!needed[i].empty()) round2_targets.push_back(i);
   }
   uint64_t round2_requests = 0;
+  std::atomic<bool> snapshot_moved{false};
   if (!round2_targets.empty()) {
     std::vector<std::thread> threads;
     std::mutex missing_mu;
     threads.reserve(round2_targets.size());
     for (size_t idx : round2_targets) {
-      threads.emplace_back([this, idx, &needed, &round2, &missing,
-                            &missing_mu] {
+      threads.emplace_back([this, idx, &needed, &round1, &round2, &missing,
+                            &missing_mu, &snapshot_moved] {
         JsonValue round2_request = JsonValue::Object();
         round2_request.Set("verb", JsonValue::String("MINE"));
         JsonValue candidates_json = JsonValue::Array();
@@ -790,6 +843,13 @@ obs::JsonValue RouterService::HandleMine(const obs::JsonValue& request) {
           std::lock_guard<std::mutex> lock(missing_mu);
           missing.push_back(idx);
           return;
+        }
+        // The shard echoes the transaction total its candidate scan
+        // covered; movement since round 1 means an INSERT landed between
+        // the rounds and this pass mixes snapshots.
+        if (UintField(reply.response, "transactions") !=
+            round1[idx].transactions) {
+          snapshot_moved.store(true, std::memory_order_relaxed);
         }
         const JsonValue& supports = reply.response.at("supports");
         for (size_t c = 0;
@@ -827,10 +887,13 @@ obs::JsonValue RouterService::HandleMine(const obs::JsonValue& request) {
   response.Set("patterns", std::move(patterns));
   // Exchange diagnostics (additive; the oracle-identity tests compare the
   // daemon fields above).
+  *consistent = !snapshot_moved.load(std::memory_order_relaxed);
   JsonValue exchange = JsonValue::Object();
   exchange.Set("tau", JsonValue::Uint(tau));
   exchange.Set("candidates", JsonValue::Uint(candidates.size()));
   exchange.Set("round2_requests", JsonValue::Uint(round2_requests));
+  exchange.Set("snapshot_consistent", JsonValue::Bool(*consistent));
+  exchange.Set("snapshot_retries", JsonValue::Uint(attempt));
   response.Set("exchange", std::move(exchange));
   FinishClusterResponse(&response, shards_.size(), 0, missing);
   return response;

@@ -82,6 +82,13 @@ struct RouterOptions {
   /// set size or completeness (and thus bit-identity) is lost; the router
   /// verifies shards did not truncate and fails the query if one did.
   uint64_t mine_round1_top = 50'000'000;
+  /// The two-round MINE exchange assumes the database does not grow
+  /// between rounds (τ comes from round-1 totals, round-2 counts scan at
+  /// round-2 time). When a round-2 shard reports a transaction total that
+  /// moved since round 1, the whole exchange re-runs — up to this many
+  /// extra passes — before answering with
+  /// exchange.snapshot_consistent = false.
+  uint32_t mine_snapshot_retries = 2;
   /// Startup handshake patience: per shard, how many connect attempts
   /// spaced connect_backoff_ms apart before Init gives up on it.
   uint32_t connect_retries = 40;
@@ -148,6 +155,12 @@ class RouterService : public service::RequestHandler {
     std::atomic<uint64_t> errors{0};
     std::atomic<uint64_t> pruned{0};
     std::atomic<uint64_t> hedged{0};
+    /// Bumped (under tree_mu_) every time an INSERT ORs new positions
+    /// into this shard's Bloofi leaf. RefreshShard samples it before
+    /// fetching SHARDINFO: if it moved by apply time, an acked INSERT
+    /// raced the fetch and the snapshot may predate that insert's bits,
+    /// so the leaf is ORed instead of replaced (bits are never cleared).
+    std::atomic<uint64_t> leaf_version{0};
     // Per-shard downstream latency, log2 µs buckets; slot 0 = overflow
     // (the ServiceMetrics histogram layout).
     std::array<std::atomic<uint64_t>,
@@ -159,6 +172,14 @@ class RouterService : public service::RequestHandler {
   obs::JsonValue HandleCount(const obs::JsonValue& request);
   obs::JsonValue HandleInsert(const obs::JsonValue& request);
   obs::JsonValue HandleMine(const obs::JsonValue& request);
+
+  /// One full two-round candidate exchange at `min_support`, truncated to
+  /// `top`. Sets *consistent to false when a round-2 shard's transaction
+  /// total moved between the rounds (concurrent INSERTs) — HandleMine
+  /// then re-runs the exchange, bounded by mine_snapshot_retries;
+  /// `attempt` is echoed as exchange.snapshot_retries.
+  obs::JsonValue MineExchange(double min_support, size_t top,
+                              uint32_t attempt, bool* consistent);
   obs::JsonValue HandleStats();
   obs::JsonValue HandleCheckpoint();
   obs::JsonValue HandleShardInfo();
@@ -182,9 +203,13 @@ class RouterService : public service::RequestHandler {
   /// is off); records pruned-shard counters.
   std::vector<size_t> MatchShards(const std::vector<uint32_t>& positions);
 
-  /// Re-pulls SHARDINFO from shard `idx` and replaces its Bloofi leaf —
+  /// Re-pulls SHARDINFO from shard `idx` and refreshes its Bloofi leaf —
   /// run when a shard transitions down -> up (its content may have moved
-  /// while we could not see it).
+  /// while we could not see it). The leaf is fully replaced only when no
+  /// INSERT updated it while the fetch was in flight (leaf_version
+  /// check); otherwise the fetched signature is ORed in, so a snapshot
+  /// that predates a concurrently acked INSERT can never clear that
+  /// insert's bits.
   void RefreshShard(size_t idx);
 
   void NoteShardSuccess(size_t idx, const obs::JsonValue& response,

@@ -367,7 +367,21 @@ obs::JsonValue BbsService::HandleMineCandidates(const obs::JsonValue& request) {
   {
     std::lock_guard<std::mutex> lock(write_mu_);
     counted_over = db_->size();
-    for (size_t t = 0; t < counted_over; ++t) {
+  }
+  // The O(transactions x candidates) scan is chunked so write_mu_ is
+  // released between chunks and INSERTs interleave instead of stalling
+  // for the whole pass (a stall past the router's fan-out deadline would
+  // read as a dead shard). The database is append-only, so the fixed
+  // prefix [0, counted_over) stays a consistent snapshot however many
+  // INSERTs land mid-scan — supports and the reported transaction total
+  // describe exactly that prefix.
+  constexpr size_t kChunkSubsetChecks = 65536;
+  const size_t per_chunk = std::max<size_t>(
+      1, kChunkSubsetChecks / std::max<size_t>(1, candidates.size()));
+  for (size_t begin = 0; begin < counted_over; begin += per_chunk) {
+    const size_t end = std::min(begin + per_chunk, counted_over);
+    std::lock_guard<std::mutex> lock(write_mu_);
+    for (size_t t = begin; t < end; ++t) {
       const Itemset& txn = db_->At(t).items;
       for (size_t c = 0; c < candidates.size(); ++c) {
         if (std::includes(txn.begin(), txn.end(), candidates[c].begin(),

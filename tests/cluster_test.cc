@@ -302,6 +302,26 @@ TEST(BloofiTreeTest, SetLeafRecomputesAncestorsAfterClearing) {
   EXPECT_EQ(tree.Query({3}), (std::vector<size_t>{2}));
 }
 
+TEST(BloofiTreeTest, OrSignatureIntoLeafAddsWithoutClearing) {
+  std::vector<BitVector> leaves;
+  leaves.push_back(LeafWithBits(16, {1}));
+  leaves.push_back(LeafWithBits(16, {2}));
+  BloofiTree tree = BloofiTree::Build(std::move(leaves), 2);
+  // A racing INSERT adds bit 5 to leaf 0; a snapshot captured before that
+  // insert is then applied additively (the RefreshShard fallback): the
+  // insert's bit must survive, the snapshot's bits must land, and nothing
+  // is cleared — contrast SetLeaf above, which may clear.
+  tree.OrIntoLeaf(0, {5});
+  tree.OrSignatureIntoLeaf(0, LeafWithBits(16, {1, 9}));
+  EXPECT_EQ(tree.Query({5}), (std::vector<size_t>{0}));
+  EXPECT_EQ(tree.Query({9}), (std::vector<size_t>{0}));
+  EXPECT_EQ(tree.Query({1}), (std::vector<size_t>{0}));
+  EXPECT_TRUE(tree.root_signature().Get(5));
+  EXPECT_TRUE(tree.root_signature().Get(9));
+  // The sibling is untouched.
+  EXPECT_EQ(tree.Query({2}), (std::vector<size_t>{1}));
+}
+
 TEST(BloofiTreeTest, SingleLeafAndWideBranchingDegenerate) {
   {
     std::vector<BitVector> one;
@@ -697,6 +717,8 @@ TEST(RouterDegradedTest, DeadShardYieldsDegradedAnswers) {
   EXPECT_GT(router.metrics().counter(router.metrics().degraded_responses),
             0u);
   EXPECT_GT(router.metrics().counter(router.metrics().shard_errors), 0u);
+  // A transport failure is real downtime: the dead shard is marked down.
+  EXPECT_EQ(router.shards_up(), 2u);
 
   // MINE degrades the same way: answers from the survivors, flagged.
   JsonValue mine = router.Handle(MineRequest(0.05, 20));
@@ -872,6 +894,253 @@ TEST(RouterHedgeTest, DeadlineExhaustionDegradesInsteadOfHanging) {
   ASSERT_EQ(response.at("missing_shards").size(), 1u);
   EXPECT_EQ(response.at("missing_shards").at(0).AsUint(), 0u);
   EXPECT_LT(elapsed, 5000) << "fan-out must be bounded by the deadline";
+  relay.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Backpressure: a shard shedding load is alive, not down.
+
+/// A relay that answers COUNT with backpressure (Unavailable) while
+/// passing every other verb through to a real BbsService — the downstream
+/// shape of a shard that is alive but refusing work.
+class BackpressureRelay {
+ public:
+  explicit BackpressureRelay(service::BbsService* service)
+      : service_(service) {}
+
+  Status Start() {
+    auto listener = ListenTcp("127.0.0.1", 0);
+    if (!listener.ok()) return listener.status();
+    auto port = BoundPort(listener->get());
+    if (!port.ok()) return port.status();
+    listener_ = std::move(*listener);
+    port_ = *port;
+    accept_thread_ = std::thread([this] { AcceptLoop(); });
+    return Status::Ok();
+  }
+
+  void Stop() {
+    stop_.store(true);
+    if (accept_thread_.joinable()) accept_thread_.join();
+    for (std::thread& worker : workers_) {
+      if (worker.joinable()) worker.join();
+    }
+  }
+
+  uint16_t port() const { return port_; }
+
+ private:
+  void AcceptLoop() {
+    while (!stop_.load()) {
+      auto conn = AcceptWithTimeout(listener_.get(), 20);
+      if (!conn.ok() || !conn->valid()) continue;
+      workers_.emplace_back(
+          [this, fd = std::move(*conn)] { Serve(fd.get()); });
+    }
+  }
+
+  void Serve(int fd) {
+    while (!stop_.load()) {
+      auto request = service::ReadFrame(fd, 200);
+      if (!request.ok()) {
+        if (request.status().code() == StatusCode::kUnavailable) continue;
+        return;
+      }
+      JsonValue response =
+          request->at("verb").AsString() == "COUNT"
+              ? service::ErrorResponse(
+                    "COUNT", Status::Unavailable("shedding load"))
+              : service_->Handle(*request);
+      if (!service::WriteFrame(fd, response).ok()) return;
+    }
+  }
+
+  service::BbsService* service_;
+  OwnedFd listener_;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stop_{false};
+};
+
+TEST(RouterBackpressureTest, SheddingShardStaysUpThroughDeadline) {
+  TransactionDatabase full = bbsmine::testing::RandomDb(61, 80, 16, 5.0);
+  Fleet fleet(full, 2);
+  BackpressureRelay relay(fleet.shard(0).service.get());
+  Status started = relay.Start();
+  if (!started.ok()) {
+    GTEST_SKIP() << "cannot bind a loopback socket here: "
+                 << started.ToString();
+  }
+  ShardMap map = fleet.map();
+  map.shards[0].port = relay.port();  // shard 0 now sheds all COUNTs
+
+  // A retry budget far beyond the deadline: the leg ends by deadline
+  // exhaustion with backpressure as the latest evidence — the shard
+  // answered every probe, so it must NOT be marked down.
+  RouterOptions options = Fleet::FastOptions();
+  options.fanout_deadline_ms = 400;
+  options.retry.retries = 1000;
+  options.retry.backoff_ms = 25;
+  options.retry.max_backoff_ms = 50;
+  RouterService router(map, options);
+  ASSERT_TRUE(router.Init().ok());
+  ASSERT_EQ(router.shards_up(), 2u);
+
+  JsonValue response = router.Handle(CountRequest({1}));
+  ASSERT_TRUE(response.at("ok").AsBool()) << response.Serialize();
+  EXPECT_TRUE(response.at("degraded").AsBool());
+  ASSERT_EQ(response.at("missing_shards").size(), 1u);
+  EXPECT_EQ(response.at("missing_shards").at(0).AsUint(), 0u);
+  EXPECT_EQ(router.shards_up(), 2u)
+      << "backpressure must not read as downtime";
+  relay.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// MINE snapshot consistency: INSERTs landing between the two rounds.
+
+/// A relay that appends one transaction to the backing shard right after
+/// answering the first round-1 MINE — the wire-visible shape of a client
+/// INSERT landing between the exchange's two rounds.
+class GrowBetweenRoundsRelay {
+ public:
+  GrowBetweenRoundsRelay(service::BbsService* service, Itemset grow_items)
+      : service_(service), grow_items_(std::move(grow_items)) {}
+
+  Status Start() {
+    auto listener = ListenTcp("127.0.0.1", 0);
+    if (!listener.ok()) return listener.status();
+    auto port = BoundPort(listener->get());
+    if (!port.ok()) return port.status();
+    listener_ = std::move(*listener);
+    port_ = *port;
+    accept_thread_ = std::thread([this] { AcceptLoop(); });
+    return Status::Ok();
+  }
+
+  void Stop() {
+    stop_.store(true);
+    if (accept_thread_.joinable()) accept_thread_.join();
+    for (std::thread& worker : workers_) {
+      if (worker.joinable()) worker.join();
+    }
+  }
+
+  uint16_t port() const { return port_; }
+  bool grew() const { return grown_.load(); }
+
+ private:
+  void AcceptLoop() {
+    while (!stop_.load()) {
+      auto conn = AcceptWithTimeout(listener_.get(), 20);
+      if (!conn.ok() || !conn->valid()) continue;
+      workers_.emplace_back(
+          [this, fd = std::move(*conn)] { Serve(fd.get()); });
+    }
+  }
+
+  void Serve(int fd) {
+    while (!stop_.load()) {
+      auto request = service::ReadFrame(fd, 200);
+      if (!request.ok()) {
+        if (request.status().code() == StatusCode::kUnavailable) continue;
+        return;
+      }
+      // The round-1 answer reflects the pre-growth database; the INSERT
+      // lands before the router can issue round 2.
+      JsonValue response = service_->Handle(*request);
+      if (request->at("verb").AsString() == "MINE" &&
+          !request->Has("candidates") && !grown_.exchange(true)) {
+        JsonValue insert = MakeRequest("INSERT");
+        insert.Set("items", service::ItemsToJson(grow_items_));
+        JsonValue acked = service_->Handle(insert);
+        EXPECT_TRUE(acked.at("ok").AsBool()) << acked.Serialize();
+      }
+      if (!service::WriteFrame(fd, response).ok()) return;
+    }
+  }
+
+  service::BbsService* service_;
+  Itemset grow_items_;
+  OwnedFd listener_;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> grown_{false};
+};
+
+TEST(RouterMineSnapshotTest, InsertBetweenRoundsIsDetectedAndRetried) {
+  // Crafted so shard 1 is guaranteed a round-2 leg: every shard-0
+  // transaction carries item 7, while shard 1 sees it exactly once —
+  // locally infrequent there, so {7} is always a missing candidate shard 1
+  // must exact-count in round 2.
+  TransactionDatabase full;
+  for (size_t t = 0; t < 50; ++t) {
+    Itemset items{7, static_cast<ItemId>(t % 10),
+                  static_cast<ItemId>(10 + t % 7)};
+    Canonicalize(&items);
+    full.Append(std::move(items));
+  }
+  for (size_t t = 0; t < 50; ++t) {
+    Itemset items{static_cast<ItemId>(t % 6),
+                  static_cast<ItemId>(20 + t % 5)};
+    if (t == 0) items.push_back(7);
+    Canonicalize(&items);
+    full.Append(std::move(items));
+  }
+  const double minsup = 0.05;
+  const Itemset extra{30};
+
+  Fleet fleet(full, 2);
+  GrowBetweenRoundsRelay relay(fleet.shard(1).service.get(), extra);
+  Status started = relay.Start();
+  if (!started.ok()) {
+    GTEST_SKIP() << "cannot bind a loopback socket here: "
+                 << started.ToString();
+  }
+  ShardMap map = fleet.map();
+  map.shards[1].port = relay.port();  // the tail grows mid-exchange
+
+  RouterService router(map, Fleet::FastOptions());
+  ASSERT_TRUE(router.Init().ok());
+  JsonValue got = router.Handle(MineRequest(minsup, 100000));
+  ASSERT_TRUE(got.at("ok").AsBool()) << got.Serialize();
+  EXPECT_TRUE(relay.grew());
+
+  // The first pass mixed snapshots (round-2 scanned 51 transactions where
+  // round 1 reported 50); the router must have detected it, re-run the
+  // exchange, and landed consistent.
+  const JsonValue& exchange = got.at("exchange");
+  EXPECT_TRUE(exchange.at("snapshot_consistent").AsBool())
+      << got.Serialize();
+  EXPECT_EQ(exchange.at("snapshot_retries").AsUint(), 1u);
+  EXPECT_EQ(got.at("transactions").AsUint(), full.size() + 1);
+  EXPECT_FALSE(got.at("degraded").AsBool());
+
+  // And the retried answer is the oracle answer over the GROWN data.
+  TransactionDatabase grown = full;
+  Itemset extra_txn = extra;
+  grown.Append(std::move(extra_txn));
+  EclatConfig oracle_config;
+  oracle_config.min_support = minsup;
+  MiningResult oracle = MineEclat(grown, oracle_config);
+  std::sort(oracle.patterns.begin(), oracle.patterns.end(),
+            [](const Pattern& a, const Pattern& b) {
+              if (a.support != b.support) return a.support > b.support;
+              return a.items < b.items;
+            });
+  const JsonValue& patterns = got.at("patterns");
+  ASSERT_EQ(patterns.size(), oracle.patterns.size());
+  for (size_t i = 0; i < oracle.patterns.size(); ++i) {
+    auto items = service::ItemsFromJson(patterns.at(i).at("items"));
+    ASSERT_TRUE(items.ok());
+    EXPECT_EQ(*items, oracle.patterns[i].items) << "pattern " << i;
+    EXPECT_EQ(patterns.at(i).at("support").AsUint(),
+              oracle.patterns[i].support)
+        << "pattern " << i;
+  }
   relay.Stop();
 }
 

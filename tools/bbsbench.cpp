@@ -706,7 +706,13 @@ int main(int argc, char** argv) {
   spec.mine_top = static_cast<uint32_t>(args.GetUint("top", 10));
 
   std::string host = args.GetString("host", "127.0.0.1");
-  uint16_t port = static_cast<uint16_t>(args.GetUint("port", 0));
+  const uint64_t port_value = args.GetUint("port", 0);
+  if (port_value > 65535) {
+    std::cerr << "bbsbench: --port must be in [0, 65535], got " << port_value
+              << "\n";
+    return 2;
+  }
+  uint16_t port = static_cast<uint16_t>(port_value);
   if (std::string target = args.GetString("target"); !target.empty()) {
     // --target H:P addresses a daemon or a bbsrouter alike (they speak the
     // same protocol); it overrides --host/--port.

@@ -625,7 +625,13 @@ int CmdSplit(const Args& args) {
 
 int CmdClient(const Args& args) {
   std::string host = args.GetString("host", "127.0.0.1");
-  uint16_t port = static_cast<uint16_t>(args.GetUint("port", 7071));
+  const uint64_t port_value = args.GetUint("port", 7071);
+  if (port_value > 65535) {
+    std::cerr << "bbsmine client: --port must be in [0, 65535], got "
+              << port_value << "\n";
+    return 2;
+  }
+  uint16_t port = static_cast<uint16_t>(port_value);
   std::string verb = args.GetString("verb", "PING");
   for (char& c : verb) c = static_cast<char>(std::toupper(c));
 

@@ -381,9 +381,15 @@ int main(int argc, char** argv) {
     FaultInjector::SetCrashHook(CrashDumpHook);
   }
 
+  const uint64_t port = args.GetUint("port", 7071);
+  if (port > 65535) {
+    std::cerr << "bbsmined: --port must be in [0, 65535], got " << port
+              << "\n";
+    return 2;
+  }
   service::SocketServerOptions server_options;
   server_options.host = args.GetString("host", "127.0.0.1");
-  server_options.port = static_cast<uint16_t>(args.GetUint("port", 7071));
+  server_options.port = static_cast<uint16_t>(port);
   service::SocketServer server(&bbs_service, server_options);
   if (Status started = server.Start(); !started.ok()) Die(started);
 

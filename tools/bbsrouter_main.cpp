@@ -115,6 +115,9 @@ void Usage() {
       "  --mine-top N        default MINE result cap (default 10)\n"
       "  --mine-round1-top N round-1 'top' sent to shards; must exceed any\n"
       "                      shard's local frequent-set size (default 5e7)\n"
+      "  --mine-snapshot-retries N  extra MINE exchange passes when\n"
+      "                      concurrent INSERTs land between the rounds\n"
+      "                      (default 2; exhaustion is flagged, not fatal)\n"
       "  --connect-retries N startup handshake attempts per shard\n"
       "                      (default 40, spaced --connect-backoff-ms)\n"
       "  --connect-backoff-ms N  handshake retry spacing (default 250)\n"
@@ -173,6 +176,8 @@ int main(int argc, char** argv) {
   options.default_min_support = args.GetDouble("minsup", 0.003);
   options.mine_top = args.GetUint("mine-top", 10);
   options.mine_round1_top = args.GetUint("mine-round1-top", 50'000'000);
+  options.mine_snapshot_retries =
+      static_cast<uint32_t>(args.GetUint("mine-snapshot-retries", 2));
   options.connect_retries =
       static_cast<uint32_t>(args.GetUint("connect-retries", 40));
   options.connect_backoff_ms =
@@ -183,9 +188,15 @@ int main(int argc, char** argv) {
   cluster::RouterService router(std::move(map), options);
   if (Status initialized = router.Init(); !initialized.ok()) Die(initialized);
 
+  const uint64_t port = args.GetUint("port", 7070);
+  if (port > 65535) {
+    std::cerr << "bbsrouter: --port must be in [0, 65535], got " << port
+              << "\n";
+    return 2;
+  }
   service::SocketServerOptions server_options;
   server_options.host = args.GetString("host", "127.0.0.1");
-  server_options.port = static_cast<uint16_t>(args.GetUint("port", 7070));
+  server_options.port = static_cast<uint16_t>(port);
   service::SocketServer server(&router, server_options);
   if (Status started = server.Start(); !started.ok()) Die(started);
 
