@@ -147,6 +147,9 @@ recent = w['last_60s']
 assert recent['counters']['requests_total'] == m['counters']['requests_total']
 assert recent['latency_us']['count']['total'] == m['latency_us']['count']['total']
 assert 'p50' in recent['latency_us']['count']
+# A standalone daemon (no --durable-dir, no --follow) has no replication
+# role; the section must still be present and explicitly disabled.
+assert r['replication'] == {'enabled': False}, r['replication']
 print('service report OK:', m['counters']['requests_total'], 'requests,',
       svc['transactions'], 'transactions at epoch', svc['epoch'],
       '| window covers', w['covered_seconds'], 's')
@@ -202,13 +205,25 @@ d = r['report']['durability']
 assert d['enabled'] is True
 for key in ('fsync_policy', 'checkpoint_every', 'wal_appends', 'wal_bytes',
             'checkpoints', 'checkpoint_loaded', 'recovered_records',
-            'torn_tail_bytes', 'recovery_seconds'):
+            'torn_tail_bytes', 'recovery_seconds',
+            'wal_truncations_deferred'):
     assert key in d, f'missing durability.{key}'
+assert d['wal_truncations_deferred'] == 0, 'no follower ever attached'
 assert d['fsync_policy'] == 'always'
 assert d['checkpoint_loaded'] is True, 'restart should load the checkpoint'
 assert d['torn_tail_bytes'] == 0
+# A durable daemon is a WALSTREAM-capable primary even with no follower
+# attached: the replication section reports the source-side counters.
+repl = r['report']['replication']
+assert repl['enabled'] is True and repl['role'] == 'primary', repl
+assert repl['term'] >= 1 and repl['promotions'] == 0, repl
+assert repl['semi_sync'] is False and repl['followers'] == 0, repl
+for key in ('last_acked_txn', 'lag_records', 'lag_bytes', 'records_shipped',
+            'bytes_shipped', 'ack_timeouts'):
+    assert key in repl, f'missing replication.{key}'
 print('durability report OK: checkpoint loaded,',
-      d['recovered_records'], 'WAL records replayed')
+      d['recovered_records'], 'WAL records replayed,',
+      'replication role', repl['role'])
 EOF
 
 kill -TERM "$DAEMON_PID"

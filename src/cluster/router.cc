@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <numeric>
 #include <thread>
 #include <utility>
@@ -126,11 +127,17 @@ RouterService::RouterService(ShardMap map, const RouterOptions& options)
       metrics_(options.stats_windows),
       start_(std::chrono::steady_clock::now()) {
   shards_.reserve(map_.size());
-  for (const ShardEndpoint& endpoint : map_.shards) {
+  for (const ShardEntry& entry : map_.shards) {
     auto shard = std::make_unique<ShardState>();
-    shard->endpoint = endpoint;
+    shard->entry = entry;
     shards_.push_back(std::move(shard));
   }
+}
+
+RouterService::~RouterService() {
+  prober_stop_.store(true, std::memory_order_relaxed);
+  prober_cv_.notify_all();
+  if (prober_.joinable()) prober_.join();
 }
 
 Status RouterService::Init() {
@@ -156,7 +163,7 @@ Status RouterService::Init() {
               std::chrono::milliseconds(options_.connect_backoff_ms));
         }
         Result<service::ClientSession> session = service::ClientSession::Connect(
-            shard.endpoint.host, shard.endpoint.port);
+            shard.entry.primary.host, shard.entry.primary.port);
         if (!session.ok()) continue;
         Result<JsonValue> response =
             session->Call(request, options_.fanout_deadline_ms);
@@ -188,7 +195,7 @@ Status RouterService::Init() {
     } else if (!SameHashConfig(config_, *config)) {
       return Status::InvalidArgument(
           "shard " + std::to_string(i) + " (" +
-          shards_[i]->endpoint.ToString() +
+          shards_[i]->entry.primary.ToString() +
           ") has a different index config than shard 0; all shards must "
           "share bits/hashes/hash_kind/seed");
     }
@@ -232,8 +239,22 @@ Status RouterService::Init() {
                              std::memory_order_relaxed);
     shard.epoch.store(UintField(infos[i], "epoch"),
                       std::memory_order_relaxed);
+    // The shard's fencing term starts at whatever its primary reported
+    // (pre-replication daemons omit the field; 0 fences nothing).
+    shard.term.store(UintField(infos[i], "term"), std::memory_order_relaxed);
+  }
+  if (options_.probe_interval_ms > 0) {
+    prober_ = std::thread(&RouterService::ProbeLoop, this);
   }
   return Status::Ok();
+}
+
+uint64_t RouterService::failovers() const {
+  return metrics_.counter(metrics_.failovers);
+}
+
+ShardEndpoint RouterService::active_endpoint(size_t idx) const {
+  return ActiveEndpoint(*shards_[idx]);
 }
 
 uint64_t RouterService::shards_up() const {
@@ -324,6 +345,7 @@ RouterService::ShardReply RouterService::CallShard(
   uint64_t jitter_state = options_.retry.jitter_seed + idx;
   uint32_t backoff_attempts = 0;
   bool hedged = false;
+  bool failover_retried = false;
   // Latest downstream evidence: true after a backpressure response (the
   // shard answered — alive, just shedding load), false after silence or a
   // transport error. Only the latter flips the shard to down.
@@ -336,14 +358,17 @@ RouterService::ShardReply RouterService::CallShard(
             .count();
     if (remaining_ms <= 0) break;
 
+    uint64_t session_gen = 0;
     service::ClientSession session = [&] {
+      const ShardEndpoint endpoint = ActiveEndpoint(shard);
       std::lock_guard<std::mutex> lock(shard.pool_mu);
+      session_gen = shard.pool_gen;
       if (!shard.idle.empty()) {
         service::ClientSession pooled = std::move(shard.idle.back());
         shard.idle.pop_back();
         return pooled;
       }
-      return service::ClientSession(shard.endpoint.host, shard.endpoint.port);
+      return service::ClientSession(endpoint.host, endpoint.port);
     }();
 
     // Hedge arming: the first idempotent attempt waits only hedge_ms; if
@@ -358,8 +383,12 @@ RouterService::ShardReply RouterService::CallShard(
     if (response.ok()) {
       const bool backpressured = IsBackpressure(*response);
       {
+        // The generation check drops sessions checked out before a
+        // failover: a pooled socket to the demoted primary must never
+        // serve a post-promotion request.
         std::lock_guard<std::mutex> lock(shard.pool_mu);
-        if (session.connected() && shard.idle.size() < options_.pool_size) {
+        if (session.connected() && shard.idle.size() < options_.pool_size &&
+            shard.pool_gen == session_gen) {
           shard.idle.push_back(std::move(session));
         }
       }
@@ -402,10 +431,20 @@ RouterService::ShardReply RouterService::CallShard(
                           "response timed out after the request was sent; "
                           "it may or may not have been applied (" +
                           status.message() + ")");
-      break;
+    } else {
+      shard_answering = false;
+      failure = status;  // transport: the shard is down or refusing
     }
-    shard_answering = false;
-    failure = status;  // transport: the shard is down or refusing
+    // The shard went dark mid-request: mark it down now, and when a warm
+    // replica is standing by, promote it. Idempotent legs then retry once
+    // on the new primary inside the original deadline; INSERT never
+    // retries (at-most-once — the caller reconciles, and the NEXT insert
+    // routes to the promoted replica).
+    shard.up.store(false, std::memory_order_relaxed);
+    if (!failover_retried && TryFailover(idx) && idempotent) {
+      failover_retried = true;
+      continue;
+    }
     break;
   }
   shard.errors.fetch_add(1, std::memory_order_relaxed);
@@ -421,6 +460,16 @@ RouterService::ShardReply RouterService::CallShard(
 void RouterService::NoteShardSuccess(size_t idx, const obs::JsonValue& response,
                                      const std::string& verb) {
   ShardState& shard = *shards_[idx];
+  if (response.Has("term") && response.at("term").is_number()) {
+    // Terms only ratchet up (monotonic fencing); a response can raise the
+    // shard's term but never lower it.
+    uint64_t term = response.at("term").AsUint();
+    uint64_t current = shard.term.load(std::memory_order_relaxed);
+    while (term > current &&
+           !shard.term.compare_exchange_weak(current, term,
+                                             std::memory_order_relaxed)) {
+    }
+  }
   if (response.Has("epoch") && response.at("epoch").is_number()) {
     shard.epoch.store(response.at("epoch").AsUint(),
                       std::memory_order_relaxed);
@@ -469,6 +518,170 @@ void RouterService::RefreshShard(size_t idx) {
     // false-positive fan-out leg.
     tree_.OrSignatureIntoLeaf(idx, *signature);
   }
+}
+
+bool RouterService::TryFailover(size_t idx) {
+  ShardState& shard = *shards_[idx];
+  if (!shard.entry.has_replica) return false;
+  if (shard.on_replica.load(std::memory_order_acquire)) {
+    // Already promoted (possibly by a racing leg): the shard is as failed
+    // over as it will get; report whether it is serving.
+    return shard.up.load(std::memory_order_relaxed);
+  }
+  std::unique_lock<std::mutex> lock(shard.failover_mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    // Another thread is mid-promotion; do not stampede PROMOTE. The loser
+    // reports failure and lets client-level retries find the new primary.
+    return false;
+  }
+  if (shard.on_replica.load(std::memory_order_relaxed)) {
+    return shard.up.load(std::memory_order_relaxed);
+  }
+
+  // Probe the replica on a fresh connection (the pool belongs to the dead
+  // primary).
+  const ShardEndpoint replica = shard.entry.replica;
+  Result<service::ClientSession> session =
+      service::ClientSession::Connect(replica.host, replica.port);
+  if (!session.ok()) return false;
+  JsonValue info_request = JsonValue::Object();
+  info_request.Set("verb", JsonValue::String("SHARDINFO"));
+  Result<JsonValue> info = session->Call(info_request, options_.probe_timeout_ms);
+  if (!info.ok() || info->kind() != JsonValue::Kind::kObject ||
+      !info->Has("ok") || !info->at("ok").AsBool()) {
+    return false;
+  }
+  // Never promote a replica of the wrong fleet: config identity is the
+  // same invariant Init enforces for primaries.
+  Result<BbsConfig> config = ConfigFromShardInfo(*info);
+  if (!config.ok() || !SameHashConfig(config_, *config)) {
+    std::fprintf(stderr,
+                 "bbsrouter: shard %zu replica %s has a mismatched index "
+                 "config; refusing to promote\n",
+                 idx, replica.ToString().c_str());
+    return false;
+  }
+
+  // PROMOTE at a term strictly above everything seen for this shard; the
+  // daemon persists it and will fence any later PROMOTE (or the demoted
+  // primary's stale term) below it.
+  const uint64_t new_term =
+      std::max(shard.term.load(std::memory_order_relaxed),
+               UintField(*info, "term")) +
+      1;
+  JsonValue promote_request = JsonValue::Object();
+  promote_request.Set("verb", JsonValue::String("PROMOTE"));
+  promote_request.Set("term", JsonValue::Uint(new_term));
+  Result<JsonValue> promoted =
+      session->Call(promote_request, options_.probe_timeout_ms);
+  if (!promoted.ok() || promoted->kind() != JsonValue::Kind::kObject ||
+      !promoted->Has("ok") || !promoted->at("ok").AsBool()) {
+    return false;
+  }
+
+  // Commit the failover: raise the fencing term, swap the active
+  // endpoint, and invalidate every pooled connection to the old primary.
+  shard.term.store(new_term, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> pool_lock(shard.pool_mu);
+    shard.idle.clear();
+    ++shard.pool_gen;
+  }
+  shard.on_replica.store(true, std::memory_order_release);
+  shard.probe_failures.store(0, std::memory_order_relaxed);
+  metrics_.Inc(metrics_.failovers);
+  std::fprintf(stderr,
+               "bbsrouter: shard %zu failed over to replica %s at term %llu\n",
+               idx, replica.ToString().c_str(),
+               static_cast<unsigned long long>(new_term));
+  lock.unlock();
+  // Pull the promoted node's own signature (it may have applied WAL
+  // records after the probe above) and mark the shard up — RefreshShard's
+  // replace-or-OR rule keeps concurrently acked INSERT bits intact.
+  RefreshShard(idx);
+  return shard.up.load(std::memory_order_relaxed);
+}
+
+void RouterService::ProbeLoop() {
+  // Deterministic jitter (tests stay reproducible): an LCG stepped per
+  // backoff decision, seeded off the retry jitter seed.
+  uint64_t rng = options_.retry.jitter_seed ^ 0x9e3779b97f4a7c15ull;
+  std::vector<std::chrono::steady_clock::time_point> next_probe(
+      shards_.size(), std::chrono::steady_clock::now());
+  std::unique_lock<std::mutex> lock(prober_mu_);
+  while (!prober_stop_.load(std::memory_order_relaxed)) {
+    prober_cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.probe_interval_ms),
+        [this] { return prober_stop_.load(std::memory_order_relaxed); });
+    if (prober_stop_.load(std::memory_order_relaxed)) break;
+    lock.unlock();
+    const auto now = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      ShardState& shard = *shards_[i];
+      if (now < next_probe[i]) continue;
+      // Up shards are probed too — a primary can die with no client
+      // traffic to notice, and failover must not wait for a request. A
+      // healthy probe is one SHARDINFO and no leaf work, so the health
+      // check costs the fleet almost nothing.
+      if (ProbeShard(i)) {
+        shard.probe_failures.store(0, std::memory_order_relaxed);
+        next_probe[i] = now;
+        continue;
+      }
+      // Jittered exponential backoff, capped around 15s: a shard that
+      // stays dead is not hammered, a fresh recovery is noticed within
+      // about a second.
+      const uint32_t failures =
+          shard.probe_failures.fetch_add(1, std::memory_order_relaxed) + 1;
+      uint64_t backoff_ms = static_cast<uint64_t>(options_.probe_interval_ms)
+                            << std::min(failures, 4u);
+      backoff_ms = std::min<uint64_t>(backoff_ms, 15'000);
+      rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+      const uint64_t jitter = (rng >> 33) % (backoff_ms / 2 + 1);
+      next_probe[i] = now + std::chrono::milliseconds(backoff_ms / 2 + jitter);
+    }
+    lock.lock();
+  }
+}
+
+bool RouterService::ProbeShard(size_t idx) {
+  ShardState& shard = *shards_[idx];
+  const ShardEndpoint endpoint = ActiveEndpoint(shard);
+  Result<service::ClientSession> session =
+      service::ClientSession::Connect(endpoint.host, endpoint.port);
+  if (!session.ok()) {
+    // The active endpoint is dark. When that endpoint is a primary with a
+    // warm replica, drive promotion from here — failover must not wait
+    // for client traffic to notice.
+    return TryFailover(idx);
+  }
+  JsonValue request = JsonValue::Object();
+  request.Set("verb", JsonValue::String("SHARDINFO"));
+  Result<JsonValue> response = session->Call(request, options_.probe_timeout_ms);
+  if (!response.ok() || response->kind() != JsonValue::Kind::kObject ||
+      !response->Has("ok") || !response->at("ok").AsBool()) {
+    return TryFailover(idx);
+  }
+  // Fencing: an endpoint answering with a term below the shard's is a
+  // stale demoted primary (e.g. restarted after the replica took over
+  // behind a repaired map). It is never marked up — no read or write
+  // reaches it until an operator re-adds it with a fresh term.
+  const uint64_t term = UintField(*response, "term");
+  if (term < shard.term.load(std::memory_order_relaxed)) {
+    std::fprintf(stderr,
+                 "bbsrouter: shard %zu endpoint %s is fenced (term %llu < "
+                 "shard term %llu); leaving it down\n",
+                 idx, endpoint.ToString().c_str(),
+                 static_cast<unsigned long long>(term),
+                 static_cast<unsigned long long>(
+                     shard.term.load(std::memory_order_relaxed)));
+    return false;
+  }
+  // A non-SHARDINFO verb name forces NoteShardSuccess's down->up path to
+  // re-pull the Bloofi leaf — the shard's content may have moved while it
+  // was dark.
+  NoteShardSuccess(idx, *response, "PROBE");
+  return true;
 }
 
 std::vector<RouterService::ShardReply> RouterService::FanOut(
@@ -986,9 +1199,21 @@ obs::JsonValue RouterService::BuildStatsReport() const {
     const ShardState& shard = *shards_[i];
     ctx.epoch = std::max(ctx.epoch,
                          shard.epoch.load(std::memory_order_relaxed));
+    const bool failed_over = shard.on_replica.load(std::memory_order_acquire);
     JsonValue entry = JsonValue::Object();
     entry.Set("shard", JsonValue::Uint(i));
-    entry.Set("endpoint", JsonValue::String(shard.endpoint.ToString()));
+    // "endpoint" stays the address requests actually route to (scrapers
+    // predate replicas); primary/replica/active spell the topology out.
+    entry.Set("endpoint", JsonValue::String(ActiveEndpoint(shard).ToString()));
+    entry.Set("primary", JsonValue::String(shard.entry.primary.ToString()));
+    if (shard.entry.has_replica) {
+      entry.Set("replica", JsonValue::String(shard.entry.replica.ToString()));
+    }
+    entry.Set("active",
+              JsonValue::String(failed_over ? "replica" : "primary"));
+    entry.Set("term",
+              JsonValue::Uint(shard.term.load(std::memory_order_relaxed)));
+    entry.Set("failed_over", JsonValue::Bool(failed_over));
     entry.Set("up",
               JsonValue::Bool(shard.up.load(std::memory_order_relaxed)));
     entry.Set("transactions",
@@ -1013,6 +1238,20 @@ obs::JsonValue RouterService::BuildStatsReport() const {
     shards_json.Append(std::move(entry));
   }
   ctx.cluster_shards = std::move(shards_json);
+  // The router's replication view: whether any shard has a warm replica,
+  // and how many promotions this router has driven.
+  {
+    bool any_replica = false;
+    for (const auto& shard : shards_) {
+      if (shard->entry.has_replica) any_replica = true;
+    }
+    JsonValue replication = JsonValue::Object();
+    replication.Set("enabled", JsonValue::Bool(any_replica));
+    replication.Set("role", JsonValue::String("router"));
+    replication.Set("failovers",
+                    JsonValue::Uint(metrics_.counter(metrics_.failovers)));
+    ctx.replication = std::move(replication);
+  }
   if (const std::atomic<uint64_t>* live =
           live_connections_.load(std::memory_order_acquire);
       live != nullptr) {

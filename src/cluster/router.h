@@ -33,17 +33,39 @@
 // When shards stay unreachable the router answers anyway from the
 // survivors, with "degraded": true and the missing shard list, unless
 // configured to require the full fleet.
+//
+// Failover: a shard spec may name a warm replica ("host:port/host:port",
+// a bbsmined following the primary over WALSTREAM). When the primary
+// goes dark the router promotes the replica without operator action:
+//   1. probe the replica with SHARDINFO (config identity checked — a
+//      replica of the wrong fleet is never promoted);
+//   2. PROMOTE it at term = shard term + 1 (terms are monotonic per
+//      shard; the daemon persists its term and rejects PROMOTE below it);
+//   3. swap the shard's active endpoint, drop pooled connections to the
+//      dead primary, and rebuild the shard's Bloofi leaf from the
+//      replica's signature (replace-or-OR, same rule as RefreshShard).
+// The demoted primary is FENCED by its stale term: when it restarts, the
+// prober sees term < shard term and refuses to mark it up, so no read or
+// write ever reaches a stale primary after promotion. Idempotent legs
+// retry on the promoted replica inside the original fan-out deadline;
+// INSERT never retries (at-most-once), the next INSERT routes to the new
+// primary. A background prober re-probes down shards with jittered
+// exponential backoff so recovered or promoted shards rejoin (and their
+// leaves refresh) without client traffic — and drives promotion when the
+// fleet is idle.
 
 #ifndef BBSMINE_CLUSTER_ROUTER_H_
 #define BBSMINE_CLUSTER_ROUTER_H_
 
 #include <array>
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cluster/bloofi_tree.h"
@@ -95,12 +117,22 @@ struct RouterOptions {
   uint32_t connect_backoff_ms = 250;
   /// Sessions kept pooled per shard.
   size_t pool_size = 8;
+  /// Background health-probe cadence (0 disables the prober thread). Up
+  /// shards are probed at this interval so a primary that dies with no
+  /// client traffic still fails over promptly; consecutive failures back
+  /// a down shard's cadence off exponentially (jittered, capped at ~15s)
+  /// so a dead shard is not hammered while a freshly recovered one
+  /// rejoins within ~a second.
+  uint32_t probe_interval_ms = 1000;
+  /// Per-probe SHARDINFO budget.
+  int probe_timeout_ms = 1000;
   service::ServiceMetrics::WindowOptions stats_windows;
 };
 
 class RouterService : public service::RequestHandler {
  public:
   RouterService(ShardMap map, const RouterOptions& options);
+  ~RouterService();
 
   /// The startup handshake: SHARDINFO every shard (with patience — shards
   /// may still be booting), verify all reachable shards share one
@@ -132,6 +164,12 @@ class RouterService : public service::RequestHandler {
 
   size_t num_shards() const { return shards_.size(); }
   uint64_t shards_up() const;
+  /// Total promotions driven by this router (the cluster.failovers
+  /// counter).
+  uint64_t failovers() const;
+  /// The endpoint shard `idx` currently routes to (primary, or the
+  /// replica after a failover).
+  ShardEndpoint active_endpoint(size_t idx) const;
   /// Cluster-wide transaction total (cached from the latest responses).
   uint64_t TotalTransactions() const;
   const BbsConfig& shard_config() const { return config_; }
@@ -145,9 +183,26 @@ class RouterService : public service::RequestHandler {
   };
 
   struct ShardState {
-    ShardEndpoint endpoint;
+    ShardEntry entry;
+    /// True once the replica has been promoted: the shard's active
+    /// endpoint is entry.replica until an operator repairs the map.
+    std::atomic<bool> on_replica{false};
+    /// The shard's fencing term (max term any PROMOTE or SHARDINFO
+    /// reported). An endpoint answering with a smaller term is a stale
+    /// demoted primary and is never marked up.
+    std::atomic<uint64_t> term{0};
+    /// Serializes promotion attempts; try_lock so concurrent failed legs
+    /// do not stampede PROMOTE.
+    std::mutex failover_mu;
     std::mutex pool_mu;
     std::vector<service::ClientSession> idle;  // guarded by pool_mu
+    /// Bumped (under pool_mu) when the active endpoint changes; sessions
+    /// checked out under an older generation are dropped instead of
+    /// returned, so a pooled socket to a demoted primary can never serve
+    /// a post-failover request.
+    uint64_t pool_gen = 0;  // guarded by pool_mu
+    /// Consecutive background-probe failures (drives the prober backoff).
+    std::atomic<uint32_t> probe_failures{0};
     std::atomic<bool> up{false};
     std::atomic<uint64_t> transactions{0};
     std::atomic<uint64_t> epoch{0};
@@ -203,6 +258,27 @@ class RouterService : public service::RequestHandler {
   /// is off); records pruned-shard counters.
   std::vector<size_t> MatchShards(const std::vector<uint32_t>& positions);
 
+  /// Promotes shard `idx`'s replica after its primary went dark. Probes
+  /// the replica (SHARDINFO: config identity + term sanity), issues
+  /// PROMOTE at term + 1, swaps the active endpoint, clears the pool,
+  /// rebuilds the Bloofi leaf from the replica's signature, and marks the
+  /// shard up. Returns true when the shard ends the call promoted and up
+  /// (including when another thread won the race). No-op for shards
+  /// without a replica or already failed over.
+  bool TryFailover(size_t idx);
+
+  /// The background prober: wakes every probe_interval_ms and SHARDINFO-
+  /// probes every shard — up shards as cheap health checks (so a traffic-
+  /// less primary death still fails over), down shards with jittered
+  /// exponential backoff per shard. Fences stale terms, marks recovered
+  /// shards up (leaf refresh included), and drives failover when a
+  /// primary stays dark with a warm replica standing by.
+  void ProbeLoop();
+
+  /// One background probe of shard `idx`'s active endpoint. Returns true
+  /// when the shard came back up.
+  bool ProbeShard(size_t idx);
+
   /// Re-pulls SHARDINFO from shard `idx` and refreshes its Bloofi leaf —
   /// run when a shard transitions down -> up (its content may have moved
   /// while we could not see it). The leaf is fully replaced only when no
@@ -214,6 +290,14 @@ class RouterService : public service::RequestHandler {
 
   void NoteShardSuccess(size_t idx, const obs::JsonValue& response,
                         const std::string& verb);
+
+  /// The endpoint shard routing currently targets (primary, or the
+  /// replica once failed over).
+  ShardEndpoint ActiveEndpoint(const ShardState& shard) const {
+    return shard.on_replica.load(std::memory_order_acquire)
+               ? shard.entry.replica
+               : shard.entry.primary;
+  }
 
   /// Appends degraded/cluster trailer fields shared by COUNT and MINE.
   void FinishClusterResponse(obs::JsonValue* response, size_t queried,
@@ -236,6 +320,12 @@ class RouterService : public service::RequestHandler {
   std::atomic<bool> draining_{false};
   std::atomic<const std::atomic<uint64_t>*> live_connections_{nullptr};
   std::chrono::steady_clock::time_point start_;
+
+  // The background prober (started by Init when probe_interval_ms > 0).
+  std::thread prober_;
+  std::atomic<bool> prober_stop_{false};
+  std::mutex prober_mu_;
+  std::condition_variable prober_cv_;
 };
 
 }  // namespace bbsmine::cluster

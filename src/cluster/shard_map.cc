@@ -42,6 +42,25 @@ Result<ShardEndpoint> ParseEndpoint(const std::string& spec) {
   return endpoint;
 }
 
+Result<ShardEntry> ParseShardEntry(const std::string& spec) {
+  ShardEntry entry;
+  size_t slash = spec.find('/');
+  if (slash == std::string::npos) {
+    Result<ShardEndpoint> primary = ParseEndpoint(spec);
+    if (!primary.ok()) return primary.status();
+    entry.primary = std::move(*primary);
+    return entry;
+  }
+  Result<ShardEndpoint> primary = ParseEndpoint(Trim(spec.substr(0, slash)));
+  if (!primary.ok()) return primary.status();
+  Result<ShardEndpoint> replica = ParseEndpoint(Trim(spec.substr(slash + 1)));
+  if (!replica.ok()) return replica.status();
+  entry.primary = std::move(*primary);
+  entry.has_replica = true;
+  entry.replica = std::move(*replica);
+  return entry;
+}
+
 Result<ShardMap> ParseShardSpec(const std::string& spec) {
   ShardMap map;
   std::stringstream stream(spec);
@@ -49,9 +68,9 @@ Result<ShardMap> ParseShardSpec(const std::string& spec) {
   while (std::getline(stream, entry, ',')) {
     entry = Trim(entry);
     if (entry.empty()) continue;
-    Result<ShardEndpoint> endpoint = ParseEndpoint(entry);
-    if (!endpoint.ok()) return endpoint.status();
-    map.shards.push_back(std::move(*endpoint));
+    Result<ShardEntry> parsed = ParseShardEntry(entry);
+    if (!parsed.ok()) return parsed.status();
+    map.shards.push_back(std::move(*parsed));
   }
   if (map.empty()) {
     return Status::InvalidArgument("shard spec names no endpoints: \"" + spec +
@@ -72,9 +91,9 @@ Result<ShardMap> LoadShardMapFile(const std::string& path) {
     if (comment != std::string::npos) line = line.substr(0, comment);
     line = Trim(line);
     if (line.empty()) continue;
-    Result<ShardEndpoint> endpoint = ParseEndpoint(line);
-    if (!endpoint.ok()) return endpoint.status();
-    map.shards.push_back(std::move(*endpoint));
+    Result<ShardEntry> parsed = ParseShardEntry(line);
+    if (!parsed.ok()) return parsed.status();
+    map.shards.push_back(std::move(*parsed));
   }
   if (map.empty()) {
     return Status::InvalidArgument("shard map file names no endpoints: " +

@@ -9,9 +9,13 @@
 // writes.
 //
 // Two spec formats, both producing the same ShardMap:
-//   * inline:  "host:port,host:port,..."          (--shards flag)
-//   * file:    one "host:port" per line, '#' comments and blank lines
-//              ignored                            (--shard-map flag)
+//   * inline:  "host:port[/host:port],..."        (--shards flag)
+//   * file:    one "host:port[/host:port]" per line, '#' comments and
+//              blank lines ignored                (--shard-map flag)
+//
+// The optional "/host:port" suffix names the shard's warm replica (a
+// bbsmined started with --follow pointing at the primary). The router
+// probes and promotes it when the primary dies (router.h, "Failover").
 
 #ifndef BBSMINE_CLUSTER_SHARD_MAP_H_
 #define BBSMINE_CLUSTER_SHARD_MAP_H_
@@ -33,8 +37,21 @@ struct ShardEndpoint {
   }
 };
 
+/// One shard: its primary endpoint plus an optional warm replica.
+struct ShardEntry {
+  ShardEndpoint primary;
+  bool has_replica = false;
+  ShardEndpoint replica;
+
+  /// Renders the spec form: "host:port" or "host:port/host:port".
+  std::string ToString() const {
+    return has_replica ? primary.ToString() + "/" + replica.ToString()
+                       : primary.ToString();
+  }
+};
+
 struct ShardMap {
-  std::vector<ShardEndpoint> shards;
+  std::vector<ShardEntry> shards;
 
   size_t size() const { return shards.size(); }
   bool empty() const { return shards.empty(); }
@@ -42,6 +59,9 @@ struct ShardMap {
 
 /// Parses one "host:port" endpoint.
 Result<ShardEndpoint> ParseEndpoint(const std::string& spec);
+
+/// Parses one "host:port[/host:port]" shard entry.
+Result<ShardEntry> ParseShardEntry(const std::string& spec);
 
 /// Parses the inline comma-separated form.
 Result<ShardMap> ParseShardSpec(const std::string& spec);

@@ -72,7 +72,9 @@ Result<ClientSession> ClientSession::Connect(const std::string& host,
 Result<obs::JsonValue> ClientSession::Call(const obs::JsonValue& request,
                                            int timeout_ms) {
   if (!fd_.valid()) {
-    Result<OwnedFd> fd = ConnectTcp(host_, port_);
+    // The connect shares the call's deadline: against a blackholed daemon
+    // a default (blocking) connect would stall far past `timeout_ms`.
+    Result<OwnedFd> fd = ConnectTcp(host_, port_, timeout_ms);
     if (!fd.ok()) return fd.status();
     fd_ = std::move(*fd);
   }

@@ -175,8 +175,13 @@ Status DurabilityManager::Checkpoint(const Snapshot& snap,
   if (snap.num_transactions() == 0) {
     // Nothing durable to write — snapshots never publish empty segments,
     // and the empty state is exactly what recovery bootstraps to. Restart
-    // the WAL so its base stays in step.
-    BBSMINE_RETURN_IF_ERROR(wal_->Truncate(0));
+    // the WAL so its base stays in step (unless the replication floor
+    // holds records a follower still needs).
+    if (CanTruncateWal(snap.num_transactions())) {
+      BBSMINE_RETURN_IF_ERROR(wal_->Truncate(0));
+    } else {
+      ++wal_retained_;
+    }
     txns_since_checkpoint_ = 0;
     ++checkpoints_;
     return Status::Ok();
@@ -203,10 +208,23 @@ Status DurabilityManager::Checkpoint(const Snapshot& snap,
       CheckpointPrefix(), capacity_, snap.num_transactions(), snap.epoch(),
       infos, file_options));
 
-  BBSMINE_RETURN_IF_ERROR(wal_->Truncate(snap.num_transactions()));
+  // Replication floor: Truncate restarts the whole file, so while a
+  // follower still lacks records it stays untouched — recovery already
+  // tolerates a WAL based earlier than the checkpoint (the per-store skip
+  // above), so a retained log costs replay time, never correctness.
+  if (CanTruncateWal(snap.num_transactions())) {
+    BBSMINE_RETURN_IF_ERROR(wal_->Truncate(snap.num_transactions()));
+  } else {
+    ++wal_retained_;
+  }
   txns_since_checkpoint_ = 0;
   ++checkpoints_;
   return Status::Ok();
+}
+
+bool DurabilityManager::CanTruncateWal(uint64_t covered) const {
+  return !repl_retain_.load(std::memory_order_relaxed) ||
+         repl_acked_txn_.load(std::memory_order_relaxed) >= covered;
 }
 
 }  // namespace bbsmine::service

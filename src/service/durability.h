@@ -33,6 +33,7 @@
 #ifndef BBSMINE_SERVICE_DURABILITY_H_
 #define BBSMINE_SERVICE_DURABILITY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -109,6 +110,31 @@ class DurabilityManager {
   /// fsyncs the WAL regardless of policy (graceful-shutdown path).
   Status SyncWal() { return wal_->Sync(); }
 
+  /// Arms the replication floor: once called, Checkpoint skips the WAL
+  /// truncation while any record past the follower's acked watermark is
+  /// still in the log — the WAL is the only copy of those records the
+  /// follower can fetch, and Truncate (a whole-file restart) would drop
+  /// them. Called by the replication source when a follower attaches, not
+  /// at startup: a primary with no follower must keep truncating freely.
+  void EnableReplicationRetention() {
+    repl_retain_.store(true, std::memory_order_relaxed);
+  }
+
+  /// Advances the follower's durable watermark (monotonic max).
+  void NoteReplicationAck(uint64_t txn) {
+    uint64_t seen = repl_acked_txn_.load(std::memory_order_relaxed);
+    while (txn > seen && !repl_acked_txn_.compare_exchange_weak(
+                             seen, txn, std::memory_order_relaxed)) {
+    }
+  }
+
+  uint64_t replication_acked_txn() const {
+    return repl_acked_txn_.load(std::memory_order_relaxed);
+  }
+  /// Checkpoints whose WAL truncation was deferred by the floor.
+  uint64_t wal_truncations_deferred() const { return wal_retained_; }
+  std::string wal_path() const { return WalPath(); }
+
   // Lifetime counters for the service report.
   uint64_t wal_appends() const { return wal_->appended_records(); }
   uint64_t wal_bytes() const { return wal_->appended_bytes(); }
@@ -124,6 +150,10 @@ class DurabilityManager {
   DurabilityManager(const DurabilityOptions& options, SegmentedBbs recovered)
       : options_(options), recovered_(std::move(recovered)) {}
 
+  /// False while the replication floor still needs WAL records that a
+  /// truncation to `covered` would drop.
+  bool CanTruncateWal(uint64_t covered) const;
+
   std::string CheckpointPrefix() const { return options_.dir + "/checkpoint"; }
   std::string DbPath() const { return options_.dir + "/checkpoint.db"; }
   std::string WalPath() const { return options_.dir + "/wal"; }
@@ -135,6 +165,11 @@ class DurabilityManager {
   std::unique_ptr<WriteAheadLog> wal_;
   uint64_t checkpoints_ = 0;
   uint64_t txns_since_checkpoint_ = 0;
+  /// Replication floor (atomics: the source's stream thread reads/advances
+  /// them while Checkpoint runs under the service write mutex).
+  std::atomic<bool> repl_retain_{false};
+  std::atomic<uint64_t> repl_acked_txn_{0};
+  uint64_t wal_retained_ = 0;
 };
 
 }  // namespace bbsmine::service

@@ -39,6 +39,7 @@ ServiceMetrics::ServiceMetrics(const WindowOptions& windows)
   requests_checkpoint = AddCounter("counters.requests_checkpoint");
   requests_dump = AddCounter("counters.requests_dump");
   requests_shardinfo = AddCounter("counters.requests_shardinfo");
+  requests_promote = AddCounter("counters.requests_promote");
   errors = AddCounter("counters.errors");
   rejected_backpressure = AddCounter("counters.rejected_backpressure");
   batches = AddCounter("counters.batches");
@@ -52,6 +53,7 @@ ServiceMetrics::ServiceMetrics(const WindowOptions& windows)
   hedged_requests = AddCounter("cluster.hedged_requests");
   degraded_responses = AddCounter("cluster.degraded_responses");
   shard_errors = AddCounter("cluster.shard_errors");
+  failovers = AddCounter("cluster.failovers");
   queue_depth = AddGauge("gauges.queue_depth");
   batch_size_peak = AddGauge("gauges.batch_size_peak");
   active_connections = AddGauge("gauges.active_connections");
@@ -63,6 +65,7 @@ ServiceMetrics::ServiceMetrics(const WindowOptions& windows)
   latency_checkpoint = AddHistogram("latency_us.checkpoint");
   latency_dump = AddHistogram("latency_us.dump");
   latency_shardinfo = AddHistogram("latency_us.shardinfo");
+  latency_promote = AddHistogram("latency_us.promote");
   batch_size_hist = AddHistogram("batch.size");
   fanout_latency = AddHistogram("cluster.fanout_us");
 
@@ -263,12 +266,22 @@ obs::JsonValue BuildServiceReport(const ServiceReportContext& ctx,
     durability.Set("checkpoints", JsonValue::Uint(ctx.checkpoints));
     durability.Set("wal_txns_since_checkpoint",
                    JsonValue::Uint(ctx.wal_txns_since_checkpoint));
+    durability.Set("wal_truncations_deferred",
+                   JsonValue::Uint(ctx.wal_truncations_deferred));
     durability.Set("checkpoint_loaded", JsonValue::Bool(ctx.checkpoint_loaded));
     durability.Set("recovered_records", JsonValue::Uint(ctx.recovered_records));
     durability.Set("torn_tail_bytes", JsonValue::Uint(ctx.torn_tail_bytes));
     durability.Set("recovery_seconds", JsonValue::Double(ctx.recovery_seconds));
   }
   report.Set("durability", std::move(durability));
+
+  if (ctx.replication.kind() == JsonValue::Kind::kObject) {
+    report.Set("replication", ctx.replication);
+  } else {
+    JsonValue replication = JsonValue::Object();
+    replication.Set("enabled", JsonValue::Bool(false));
+    report.Set("replication", std::move(replication));
+  }
 
   JsonValue metrics_json = obs::MetricsSectionJson(metrics.Snapshot());
   // Live values next to the watermark gauges: what the queue and the
@@ -293,6 +306,7 @@ obs::JsonValue BuildServiceReport(const ServiceReportContext& ctx,
               JsonValue::Uint(metrics.counter(metrics.degraded_responses)));
   cluster.Set("shard_errors",
               JsonValue::Uint(metrics.counter(metrics.shard_errors)));
+  cluster.Set("failovers", JsonValue::Uint(metrics.counter(metrics.failovers)));
   // The fan-out latency histogram also lives under metrics.cluster; the
   // copy here keeps the fleet section self-contained for dashboards.
   if (const JsonValue* cluster_metrics = metrics_json.MutableAt("cluster");

@@ -87,6 +87,7 @@ class ServiceMetrics {
   size_t requests_checkpoint;
   size_t requests_dump;          ///< flight-recorder DUMP verb
   size_t requests_shardinfo;     ///< cluster SHARDINFO verb
+  size_t requests_promote;       ///< replication PROMOTE verb
   size_t errors;                 ///< requests answered with ok=false
   size_t rejected_backpressure;  ///< COUNTs bounced by the admission queue
   size_t batches;                ///< scheduler batches executed
@@ -106,6 +107,7 @@ class ServiceMetrics {
   size_t degraded_responses;     ///< answers served with shards missing
   size_t shard_errors;           ///< downstream legs that failed (transport,
                                  ///< timeout, or error response)
+  size_t failovers;              ///< replicas promoted after a primary died
 
   // Gauge slots (section "gauges"; watermark semantics).
   size_t queue_depth;         ///< deepest admission-queue backlog seen
@@ -121,6 +123,7 @@ class ServiceMetrics {
   size_t latency_checkpoint;
   size_t latency_dump;
   size_t latency_shardinfo;
+  size_t latency_promote;
   size_t batch_size_hist;
   size_t fanout_latency;  ///< "cluster.fanout_us": whole fan-out round trips
 
@@ -229,6 +232,7 @@ struct ServiceReportContext {
   uint64_t wal_fsyncs = 0;
   uint64_t checkpoints = 0;
   uint64_t wal_txns_since_checkpoint = 0;
+  uint64_t wal_truncations_deferred = 0;
   uint64_t recovered_records = 0;
   uint64_t torn_tail_bytes = 0;
   double recovery_seconds = 0;
@@ -249,6 +253,12 @@ struct ServiceReportContext {
   uint64_t compact_cold_epochs = 0;
   uint64_t compact_fold_bits = 0;
   uint64_t compacted_segments = 0;
+
+  /// Replication facts (rendered as the report's "replication" section).
+  /// The caller builds the whole object — primary, follower, and router
+  /// render different members — and leaves it null for {"enabled": false}.
+  /// Additive; schema stays 1.
+  obs::JsonValue replication;
 
   /// Live (non-watermark) values rendered next to the watermark gauges:
   /// the admission queue depth and open connection count at report time.

@@ -6,8 +6,11 @@
 #include <cstring>
 #include <utility>
 
+#include <unistd.h>
+
 #include "baseline/eclat.h"
 #include "obs/json.h"
+#include "service/replication.h"
 #include "service/wire.h"
 #include "util/rusage.h"
 
@@ -42,7 +45,37 @@ void MintTraceId(uint64_t seq, std::string* out) {
   *out = minted;
 }
 
+/// Persists the fencing term as a decimal line, atomically (write + rename)
+/// so a crash mid-promotion leaves the previous term, never a torn file.
+Status PersistTerm(const std::string& path, uint64_t term) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return StatusFromErrno("cannot write term file: " + tmp);
+  const std::string line = std::to_string(term) + "\n";
+  bool ok = std::fwrite(line.data(), 1, line.size(), f) == line.size();
+  ok = std::fflush(f) == 0 && ok;
+  ok = ::fsync(::fileno(f)) == 0 && ok;
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok || ::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::IoError("cannot persist term file: " + path);
+  }
+  return Status::Ok();
+}
+
 }  // namespace
+
+const char* ServiceRoleName(ServiceRole role) {
+  switch (role) {
+    case ServiceRole::kStandalone:
+      return "standalone";
+    case ServiceRole::kPrimary:
+      return "primary";
+    case ServiceRole::kFollower:
+      return "follower";
+  }
+  return "unknown";
+}
 
 BbsService::BbsService(SnapshotManager* index, TransactionDatabase* db,
                        const ServiceOptions& options)
@@ -52,6 +85,8 @@ BbsService::BbsService(SnapshotManager* index, TransactionDatabase* db,
       options_(options),
       metrics_(options.stats_windows),
       scheduler_(index, options.scheduler, &metrics_, options.tracer),
+      role_(static_cast<int>(options.role)),
+      term_(options.term),
       start_(std::chrono::steady_clock::now()) {}
 
 uint64_t BbsService::NowRelMicros() const { return MicrosSince(start_); }
@@ -132,6 +167,17 @@ obs::JsonValue BbsService::Handle(const obs::JsonValue& request,
     latency_slot = metrics_.latency_shardinfo;
     metrics_.Inc(metrics_.requests_shardinfo);
     response = HandleShardInfo();
+  } else if (verb == "PROMOTE") {
+    latency_slot = metrics_.latency_promote;
+    metrics_.Inc(metrics_.requests_promote);
+    response = HandlePromote(request);
+  } else if (verb == "WALSTREAM") {
+    // Reached only when the transport did not upgrade the connection —
+    // i.e. this daemon has no replication source to stream from.
+    metrics_.Inc(metrics_.errors);
+    return ErrorResponse(
+        verb, Status::InvalidArgument(
+                  "WALSTREAM requires a durable primary (--durable-dir)"));
   } else {
     metrics_.Inc(metrics_.errors);
     return ErrorResponse(
@@ -152,8 +198,15 @@ obs::JsonValue BbsService::Handle(const obs::JsonValue& request,
                         tracer->NowMicros() - span_ts_us, std::move(args));
   }
 
-  if (options_.slow_log != nullptr && latency_us >= options_.slow_query_us) {
-    metrics_.Inc(metrics_.slow_queries);
+  // Promotions always land in the slow log regardless of latency:
+  // failovers are rare, operationally significant, and exactly what the
+  // log's forensic tail exists for.
+  const bool promotion_event = ok && verb == "PROMOTE";
+  if (options_.slow_log != nullptr &&
+      (latency_us >= options_.slow_query_us || promotion_event)) {
+    if (latency_us >= options_.slow_query_us) {
+      metrics_.Inc(metrics_.slow_queries);
+    }
     if (trace_id.empty()) MintTraceId(seq, &trace_id);
     SlowQueryRecord record;
     record.at_rel_us = start_rel_us;
@@ -219,6 +272,17 @@ obs::JsonValue BbsService::HandleInsert(const obs::JsonValue& request) {
     return ErrorResponse("INSERT",
                          Status::Unavailable("service is draining"));
   }
+  if (role() == ServiceRole::kFollower) {
+    // A follower's writes arrive only over the replication stream; a
+    // client INSERT here would fork its history from the primary's.
+    return ErrorResponse(
+        "INSERT", Status::InvalidArgument(
+                      "this daemon is a read-only follower (of " +
+                      (options_.follower != nullptr
+                           ? options_.follower->primary_endpoint()
+                           : std::string("a primary")) +
+                      "); it accepts INSERT only after PROMOTE"));
+  }
   // Accept either one transaction ("items") or several ("transactions").
   std::vector<Itemset> batch;
   if (request.Has("transactions")) {
@@ -244,6 +308,7 @@ obs::JsonValue BbsService::HandleInsert(const obs::JsonValue& request) {
         "INSERT", Status::InvalidArgument("no transactions to insert"));
   }
   uint64_t epoch;
+  uint64_t transactions;
   {
     std::lock_guard<std::mutex> lock(write_mu_);
     if (durability_ != nullptr) {
@@ -266,6 +331,7 @@ obs::JsonValue BbsService::HandleInsert(const obs::JsonValue& request) {
       metrics_.Inc(metrics_.compacted_segments, compacted);
     }
     epoch = index_->epoch();
+    transactions = index_->num_transactions();
     if (durability_ != nullptr && durability_->ShouldCheckpoint()) {
       // The batch is already durable in the WAL, so a failed automatic
       // checkpoint must not fail the insert; it just leaves more WAL to
@@ -281,8 +347,17 @@ obs::JsonValue BbsService::HandleInsert(const obs::JsonValue& request) {
   obs::JsonValue response = OkResponse("INSERT");
   response.Set("inserted", obs::JsonValue::Uint(batch.size()));
   response.Set("epoch", obs::JsonValue::Uint(epoch));
-  response.Set("transactions",
-               obs::JsonValue::Uint(index_->num_transactions()));
+  response.Set("transactions", obs::JsonValue::Uint(transactions));
+  if (options_.replication != nullptr && options_.repl_ack) {
+    // Semi-sync: hold the ack (outside the write mutex — later INSERTs
+    // keep flowing) until the follower durably has this batch. On timeout
+    // the write is still acknowledged, flagged unreplicated — degrading
+    // one response beats wedging the write path on a dead follower.
+    const bool replicated = options_.replication->WaitForAck(
+        transactions, options_.repl_ack_timeout_ms);
+    if (!replicated) options_.replication->NoteAckTimeout();
+    response.Set("replicated", obs::JsonValue::Bool(replicated));
+  }
   return response;
 }
 
@@ -432,6 +507,8 @@ obs::JsonValue BbsService::HandleShardInfo() {
   response.Set("transactions", obs::JsonValue::Uint(snap.num_transactions()));
   response.Set("segments", obs::JsonValue::Uint(snap.num_segments()));
   response.Set("mine_enabled", obs::JsonValue::Bool(db_ != nullptr));
+  response.Set("role", obs::JsonValue::String(ServiceRoleName(role())));
+  response.Set("term", obs::JsonValue::Uint(term()));
   response.Set("config", std::move(config_json));
   response.Set("signature_bits", obs::JsonValue::Uint(config.num_bits));
   response.Set("signature", obs::JsonValue::String(BitsToHex(signature)));
@@ -463,6 +540,96 @@ obs::JsonValue BbsService::HandleCheckpoint() {
   return response;
 }
 
+obs::JsonValue BbsService::HandlePromote(const obs::JsonValue& request) {
+  if (!request.Has("term") || !request.at("term").is_number()) {
+    return ErrorResponse(
+        "PROMOTE",
+        Status::InvalidArgument("PROMOTE requires a numeric \"term\""));
+  }
+  const uint64_t new_term = request.at("term").AsUint();
+  bool promoted = false;
+  uint64_t transactions;
+  {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    const uint64_t current = term();
+    if (new_term < current) {
+      // Fencing: a router working from a newer shard map has already moved
+      // the shard past this term; whoever sent this is stale.
+      return ErrorResponse(
+          "PROMOTE",
+          Status::InvalidArgument(
+              "stale term " + std::to_string(new_term) +
+              " (this node is at term " + std::to_string(current) + ")"));
+    }
+    // new_term == current re-promotes idempotently (a retried PROMOTE
+    // after a dropped response must not fail the failover).
+    if (!options_.term_file.empty()) {
+      Status persisted = PersistTerm(options_.term_file, new_term);
+      if (!persisted.ok()) return ErrorResponse("PROMOTE", persisted);
+    }
+    term_.store(new_term, std::memory_order_relaxed);
+    promoted = role() != ServiceRole::kPrimary;
+    role_.store(static_cast<int>(ServiceRole::kPrimary),
+                std::memory_order_relaxed);
+    transactions = index_->num_transactions();
+  }
+  if (promoted) {
+    promotions_.fetch_add(1, std::memory_order_relaxed);
+    if (options_.on_promote) options_.on_promote();
+    std::fprintf(stderr,
+                 "bbsmined: promoted to primary at term %llu "
+                 "(%llu transactions)\n",
+                 static_cast<unsigned long long>(new_term),
+                 static_cast<unsigned long long>(transactions));
+  }
+  obs::JsonValue response = OkResponse("PROMOTE");
+  response.Set("role", obs::JsonValue::String(ServiceRoleName(role())));
+  response.Set("term", obs::JsonValue::Uint(term()));
+  response.Set("transactions", obs::JsonValue::Uint(transactions));
+  response.Set("promoted", obs::JsonValue::Bool(promoted));
+  return response;
+}
+
+bool BbsService::IsStreamingVerb(const std::string& verb) const {
+  return verb == "WALSTREAM" && options_.replication != nullptr &&
+         durability_ != nullptr;
+}
+
+void BbsService::ServeStream(const obs::JsonValue& request, int fd,
+                             const std::atomic<bool>& stop) {
+  options_.replication->Serve(request, fd, stop);
+}
+
+Status BbsService::ApplyReplicated(
+    const std::vector<std::vector<Itemset>>& batches) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  uint64_t applied = 0;
+  for (const std::vector<Itemset>& batch : batches) {
+    // Identical to the INSERT path: WAL first (the follower's own log —
+    // its durability story is the primary's, re-proven locally), then the
+    // index and database.
+    if (durability_ != nullptr) {
+      BBSMINE_RETURN_IF_ERROR(durability_->LogInsert(batch));
+    }
+    for (const Itemset& items : batch) {
+      BBSMINE_RETURN_IF_ERROR(index_->Insert(items));
+      if (db_ != nullptr) db_->Append(items);
+    }
+    applied += batch.size();
+  }
+  size_t compacted = index_->CompactColdSegments(options_.compaction);
+  if (compacted > 0) metrics_.Inc(metrics_.compacted_segments, compacted);
+  if (durability_ != nullptr && durability_->ShouldCheckpoint()) {
+    Status checkpointed = durability_->Checkpoint(index_->Acquire(), db_);
+    if (!checkpointed.ok()) {
+      std::fprintf(stderr, "bbsmined: automatic checkpoint failed: %s\n",
+                   checkpointed.ToString().c_str());
+    }
+  }
+  metrics_.Inc(metrics_.inserted_transactions, applied);
+  return Status::Ok();
+}
+
 obs::JsonValue BbsService::HandleStats() {
   obs::JsonValue response = OkResponse("STATS");
   response.Set("report", BuildStatsReport());
@@ -480,6 +647,52 @@ obs::JsonValue BbsService::HandleDump() {
   response.Set("flight",
                options_.flight_recorder->DumpJson(NowRelMicros()));
   return response;
+}
+
+obs::JsonValue BbsService::BuildReplicationSection() const {
+  if (options_.replication == nullptr && options_.follower == nullptr &&
+      role() == ServiceRole::kStandalone) {
+    return obs::JsonValue();  // null: report renders {"enabled": false}
+  }
+  obs::JsonValue section = obs::JsonValue::Object();
+  section.Set("enabled", obs::JsonValue::Bool(true));
+  section.Set("role", obs::JsonValue::String(ServiceRoleName(role())));
+  section.Set("term", obs::JsonValue::Uint(term()));
+  section.Set("promotions",
+              obs::JsonValue::Uint(promotions_.load(std::memory_order_relaxed)));
+  if (options_.replication != nullptr) {
+    const ReplicationSource::Stats stats = options_.replication->stats();
+    const uint64_t applied = index_->num_transactions();
+    section.Set("semi_sync", obs::JsonValue::Bool(options_.repl_ack));
+    section.Set("followers", obs::JsonValue::Uint(stats.followers));
+    section.Set("last_acked_txn", obs::JsonValue::Uint(stats.last_acked_txn));
+    section.Set("lag_records",
+                obs::JsonValue::Uint(applied > stats.last_acked_txn
+                                         ? applied - stats.last_acked_txn
+                                         : 0));
+    section.Set("lag_bytes", obs::JsonValue::Uint(stats.lag_bytes));
+    section.Set("records_shipped",
+                obs::JsonValue::Uint(stats.records_shipped));
+    section.Set("bytes_shipped", obs::JsonValue::Uint(stats.bytes_shipped));
+    section.Set("ack_timeouts", obs::JsonValue::Uint(stats.ack_timeouts));
+  }
+  if (options_.follower != nullptr) {
+    const ReplicationFollower::Stats stats = options_.follower->stats();
+    const uint64_t applied = index_->num_transactions();
+    section.Set("primary",
+                obs::JsonValue::String(options_.follower->primary_endpoint()));
+    section.Set("connected", obs::JsonValue::Bool(stats.connected));
+    section.Set("last_applied_txn", obs::JsonValue::Uint(applied));
+    section.Set("lag_records",
+                obs::JsonValue::Uint(stats.primary_end_txn > applied
+                                         ? stats.primary_end_txn - applied
+                                         : 0));
+    section.Set("records_applied",
+                obs::JsonValue::Uint(stats.records_applied));
+    section.Set("crc_rejects", obs::JsonValue::Uint(stats.crc_rejects));
+    section.Set("reconnects", obs::JsonValue::Uint(stats.reconnects));
+  }
+  return section;
 }
 
 obs::JsonValue BbsService::BuildStatsReport() const {
@@ -522,12 +735,14 @@ obs::JsonValue BbsService::BuildStatsReport() const {
     ctx.wal_fsyncs = durability_->wal_fsyncs();
     ctx.checkpoints = durability_->checkpoints();
     ctx.wal_txns_since_checkpoint = durability_->txns_since_checkpoint();
+    ctx.wal_truncations_deferred = durability_->wal_truncations_deferred();
     const DurabilityManager::RecoveryInfo& recovery = durability_->recovery();
     ctx.checkpoint_loaded = recovery.checkpoint_loaded;
     ctx.recovered_records = recovery.recovered_records;
     ctx.torn_tail_bytes = recovery.torn_tail_bytes;
     ctx.recovery_seconds = recovery.recovery_seconds;
   }
+  ctx.replication = BuildReplicationSection();
   return BuildServiceReport(ctx, metrics_);
 }
 
@@ -598,6 +813,16 @@ void SocketServer::ServeConnection(OwnedFd fd, Connection* slot,
         (void)WriteFrame(fd.get(), ErrorResponse("", request.status()));
       }
       break;  // clean disconnect or broken transport either way
+    }
+    if (request->kind() == obs::JsonValue::Kind::kObject &&
+        request->Has("verb") &&
+        request->at("verb").kind() == obs::JsonValue::Kind::kString &&
+        service_->IsStreamingVerb(request->at("verb").AsString())) {
+      // The stream owns the connection from here: it writes its own
+      // frames until stop/disconnect, and the socket closes afterwards
+      // (a stream cannot fall back to request/response).
+      service_->ServeStream(*request, fd.get(), stop_);
+      break;
     }
     obs::JsonValue response = service_->Handle(*request, ctx);
     if (!WriteFrame(fd.get(), response).ok()) break;

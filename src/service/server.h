@@ -28,6 +28,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -45,6 +46,18 @@
 #include "util/socket.h"
 
 namespace bbsmine::service {
+
+class ReplicationSource;
+class ReplicationFollower;
+
+/// Replication role of a daemon (docs/CLUSTER.md "Replication & failover").
+enum class ServiceRole {
+  kStandalone,  ///< no replication configured
+  kPrimary,     ///< serves WALSTREAM; accepts INSERT
+  kFollower,    ///< tails a primary; INSERT is rejected until promotion
+};
+
+const char* ServiceRoleName(ServiceRole role);
 
 struct ServiceOptions {
   SchedulerOptions scheduler;
@@ -87,6 +100,28 @@ struct ServiceOptions {
   FlightRecorder* flight_recorder = nullptr;
   /// Shape of the windowed-metrics ring behind the STATS "window" section.
   ServiceMetrics::WindowOptions stats_windows;
+
+  // --- Replication (docs/CLUSTER.md). All caller-owned and optional. ---
+
+  /// Non-null on a primary serving followers: WALSTREAM connections are
+  /// handed to it, and STATS gains the source's replication section.
+  ReplicationSource* replication = nullptr;
+  /// Non-null on a follower: reported in STATS and stopped on promotion.
+  ReplicationFollower* follower = nullptr;
+  /// Semi-sync (--repl-ack): INSERT responses wait for the follower's ack
+  /// up to `repl_ack_timeout_ms`, then degrade to "replicated": false.
+  bool repl_ack = false;
+  int repl_ack_timeout_ms = 1'000;
+  /// Starting role and fencing term (loaded from `term_file` by the daemon
+  /// main before the service is built).
+  ServiceRole role = ServiceRole::kStandalone;
+  uint64_t term = 1;
+  /// When non-empty, PROMOTE persists the accepted term here (write +
+  /// atomic rename) so a restarted node keeps its fencing position.
+  std::string term_file;
+  /// Invoked once per accepted PROMOTE, outside the write mutex. The
+  /// daemon wires this to ReplicationFollower::Stop.
+  std::function<void()> on_promote;
 };
 
 /// Per-request transport context: which connection the request arrived on
@@ -116,6 +151,17 @@ class RequestHandler {
   /// STATS next to the watermark gauge). `counter` must outlive the
   /// handler.
   virtual void AttachConnectionCounter(const std::atomic<uint64_t>*) {}
+
+  /// True when `verb` upgrades the connection to a long-lived stream
+  /// (currently only WALSTREAM on a replicating primary). The transport
+  /// then calls ServeStream instead of Handle and closes afterwards.
+  virtual bool IsStreamingVerb(const std::string&) const { return false; }
+
+  /// Serves a streaming verb on the connection's thread until `stop`, the
+  /// peer disconnecting, or an error. Only called for verbs IsStreamingVerb
+  /// accepted.
+  virtual void ServeStream(const obs::JsonValue& /*request*/, int /*fd*/,
+                           const std::atomic<bool>& /*stop*/) {}
 };
 
 class BbsService : public RequestHandler {
@@ -161,6 +207,20 @@ class BbsService : public RequestHandler {
   /// slow-log records, and flight-recorder events).
   uint64_t NowRelMicros() const;
 
+  bool IsStreamingVerb(const std::string& verb) const override;
+  void ServeStream(const obs::JsonValue& request, int fd,
+                   const std::atomic<bool>& stop) override;
+
+  /// Applies record batches shipped over WALSTREAM: each batch goes
+  /// through the same WAL-then-apply path as an INSERT, under the write
+  /// mutex. Called from the replication follower's thread.
+  Status ApplyReplicated(const std::vector<std::vector<Itemset>>& batches);
+
+  ServiceRole role() const {
+    return static_cast<ServiceRole>(role_.load(std::memory_order_relaxed));
+  }
+  uint64_t term() const { return term_.load(std::memory_order_relaxed); }
+
  private:
   obs::JsonValue HandlePing();
   obs::JsonValue HandleCount(const obs::JsonValue& request,
@@ -173,6 +233,10 @@ class BbsService : public RequestHandler {
   obs::JsonValue HandleDump();
   obs::JsonValue HandleShardInfo();
   obs::JsonValue HandleMineCandidates(const obs::JsonValue& request);
+  obs::JsonValue HandlePromote(const obs::JsonValue& request);
+  /// The report's "replication" section for this daemon's role (null when
+  /// replication is not configured).
+  obs::JsonValue BuildReplicationSection() const;
 
   SnapshotManager* index_;
   TransactionDatabase* db_;
@@ -184,6 +248,11 @@ class BbsService : public RequestHandler {
   // path can take it briefly to read durability counters consistently.
   mutable std::mutex write_mu_;
   std::atomic<bool> draining_{false};
+  /// Replication role and fencing term; PROMOTE flips them (under
+  /// write_mu_ for the transition, atomics so readers never block).
+  std::atomic<int> role_;
+  std::atomic<uint64_t> term_;
+  std::atomic<uint64_t> promotions_{0};
   std::atomic<uint64_t> request_seq_{0};
   std::atomic<const std::atomic<uint64_t>*> live_connections_{nullptr};
   std::chrono::steady_clock::time_point start_;

@@ -328,6 +328,117 @@ Result<WriteAheadLog::ReplayStats> WriteAheadLog::Replay(
   return stats;
 }
 
+Result<WriteAheadLog::StreamChunk> WriteAheadLog::ReadRecordsFrom(
+    const std::string& path, uint64_t from_txn, uint64_t max_bytes) {
+  int raw = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (raw < 0) {
+    if (errno == ENOENT) return Status::NotFound("no WAL at " + path);
+    return StatusFromErrno("cannot open WAL: " + path);
+  }
+  OwnedFd fd(raw);
+  std::string file;
+  {
+    char buf[1 << 16];
+    ssize_t n;
+    while ((n = ::read(fd.get(), buf, sizeof(buf))) > 0) {
+      file.append(buf, static_cast<size_t>(n));
+    }
+    if (n < 0) return StatusFromErrno("read error: " + path);
+  }
+  fd.Reset();
+
+  uint64_t base = 0;
+  BBSMINE_RETURN_IF_ERROR(ParseHeader(file.data(), file.size(), path, &base));
+  if (from_txn < base) {
+    return Status::InvalidArgument(
+        "replication watermark " + std::to_string(from_txn) +
+        " precedes WAL base " + std::to_string(base) + " in " + path +
+        " (records already checkpointed away; bootstrap required)");
+  }
+
+  StreamChunk chunk;
+  chunk.start_txn = from_txn;
+  uint64_t txn = base;  // first transaction of the record at `pos`
+  size_t pos = kWalHeaderBytes;
+  std::vector<Itemset> batch;
+  while (pos < file.size()) {
+    size_t remaining = file.size() - pos;
+    if (remaining < 8) break;  // torn frame header: the writer is mid-append
+    uint32_t len = LoadU32(file.data() + pos);
+    uint32_t crc = LoadU32(file.data() + pos + 4);
+    if (len > kMaxWalRecordBytes) {
+      return Status::Corruption("absurd WAL record length at offset " +
+                                std::to_string(pos) + " in " + path);
+    }
+    if (len > remaining - 8) break;  // record extends past EOF: torn append
+    const char* payload = file.data() + pos + 8;
+    if (Crc32(payload, static_cast<size_t>(len)) != crc) {
+      if (pos + 8 + len == file.size()) break;  // bad final record: torn
+      return Status::Corruption("WAL record checksum mismatch at offset " +
+                                std::to_string(pos) + " in " + path);
+    }
+    BBSMINE_RETURN_IF_ERROR(ParseRecordPayload(payload, len, path, &batch));
+    uint64_t record_end = txn + batch.size();
+    if (from_txn > txn && from_txn < record_end) {
+      return Status::Corruption(
+          "replication watermark " + std::to_string(from_txn) +
+          " splits a WAL record covering [" + std::to_string(txn) + ", " +
+          std::to_string(record_end) + ") in " + path);
+    }
+    if (txn >= from_txn) {
+      chunk.bytes_remaining += 8 + static_cast<uint64_t>(len);
+      // Collect until the byte cap — but never return empty-handed when a
+      // record is available: one oversized record must still ship.
+      if (chunk.records > 0 && chunk.data.size() + 8 + len > max_bytes) {
+        // Past the cap; keep scanning only to learn log_end_txn.
+      } else {
+        chunk.data.append(file.data() + pos, 8 + static_cast<size_t>(len));
+        chunk.records += 1;
+        chunk.transactions += batch.size();
+      }
+    }
+    txn = record_end;
+    pos += 8 + len;
+  }
+  chunk.log_end_txn = txn;
+  if (from_txn > txn) {
+    return Status::InvalidArgument(
+        "replication watermark " + std::to_string(from_txn) +
+        " lies past WAL end " + std::to_string(txn) + " in " + path);
+  }
+  return chunk;
+}
+
+Status WriteAheadLog::DecodeRecords(const std::string& data,
+                                    std::vector<std::vector<Itemset>>* batches) {
+  batches->clear();
+  size_t pos = 0;
+  while (pos < data.size()) {
+    size_t remaining = data.size() - pos;
+    if (remaining < 8) {
+      return Status::Corruption("partial WAL record frame in stream chunk");
+    }
+    uint32_t len = LoadU32(data.data() + pos);
+    uint32_t crc = LoadU32(data.data() + pos + 4);
+    if (len > kMaxWalRecordBytes) {
+      return Status::Corruption("absurd WAL record length in stream chunk");
+    }
+    if (len > remaining - 8) {
+      return Status::Corruption("truncated WAL record in stream chunk");
+    }
+    const char* payload = data.data() + pos + 8;
+    if (Crc32(payload, static_cast<size_t>(len)) != crc) {
+      return Status::Corruption("WAL record checksum mismatch in stream chunk");
+    }
+    std::vector<Itemset> batch;
+    BBSMINE_RETURN_IF_ERROR(
+        ParseRecordPayload(payload, len, "stream chunk", &batch));
+    batches->push_back(std::move(batch));
+    pos += 8 + len;
+  }
+  return Status::Ok();
+}
+
 Status WriteAheadLog::Append(const std::vector<Itemset>& batch) {
   if (broken_) {
     return Status::IoError("WAL is broken after a failed append: " + path_);

@@ -103,6 +103,45 @@ class WriteAheadLog {
       const std::string& path,
       const std::function<Status(const std::vector<Itemset>&)>& apply);
 
+  /// One chunk of verbatim `[len | crc | payload]` record bytes, as read
+  /// for replication shipping (the WALSTREAM verb). `data` concatenates
+  /// whole records only; the first record's first transaction is number
+  /// `start_txn`, and the chunk covers `transactions` transactions across
+  /// `records` records. `log_end_txn` is where the log's valid prefix ends
+  /// (start of any torn tail), so a caller can report shipping lag even
+  /// when `data` is capped short of it.
+  struct StreamChunk {
+    uint64_t start_txn = 0;
+    uint64_t transactions = 0;
+    uint64_t records = 0;
+    uint64_t log_end_txn = 0;
+    /// Valid record bytes in the log from `start_txn` to the log's end —
+    /// including `data` — so a caller can report byte lag past the cap.
+    uint64_t bytes_remaining = 0;
+    std::string data;
+  };
+
+  /// Reads whole records starting at absolute transaction `from_txn` from
+  /// the log at `path`, verbatim, up to ~`max_bytes` of record bytes (at
+  /// least one record when any is available). Unlike Replay this NEVER
+  /// truncates a torn tail — the writer may be mid-append; the scan just
+  /// stops before it. Errors: NotFound when the file does not exist;
+  /// InvalidArgument when `from_txn` precedes the log's base (the records
+  /// were checkpointed away — the follower needs a fresh bootstrap) or
+  /// lies past the log's end; Corruption when `from_txn` falls inside a
+  /// record (batches are atomic — no valid watermark splits one).
+  static Result<StreamChunk> ReadRecordsFrom(const std::string& path,
+                                             uint64_t from_txn,
+                                             uint64_t max_bytes);
+
+  /// Validates and decodes concatenated `[len | crc | payload]` record
+  /// bytes (the StreamChunk shape) into per-record transaction batches.
+  /// Any CRC mismatch, malformed payload, or trailing partial record is
+  /// Corruption — the stream ships whole records, so a receiver must
+  /// reject the entire chunk rather than apply a prefix it cannot trust.
+  static Status DecodeRecords(const std::string& data,
+                              std::vector<std::vector<Itemset>>* batches);
+
   /// Appends one record holding `batch` and makes it durable per the fsync
   /// policy before returning. On failure the log is restored to its
   /// pre-append length (no torn record is left behind by a *reported*

@@ -4,6 +4,7 @@
 #include <arpa/inet.h>
 #include <cerrno>
 #include <cstring>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -60,18 +61,53 @@ Result<uint16_t> BoundPort(int fd) {
   return static_cast<uint16_t>(ntohs(addr.sin_port));
 }
 
-Result<OwnedFd> ConnectTcp(const std::string& host, uint16_t port) {
+Result<OwnedFd> ConnectTcp(const std::string& host, uint16_t port,
+                           int timeout_ms) {
   Result<sockaddr_in> addr = MakeAddr(host, port);
   if (!addr.ok()) return addr.status();
   OwnedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
   if (!fd.valid()) return StatusFromErrno("socket");
+  const std::string target = host + ":" + std::to_string(port);
+
+  // Non-blocking connect + poll: a blocking ::connect against a blackholed
+  // host waits for the kernel default (minutes), far past any caller
+  // deadline. EINPROGRESS hands the handshake to poll, which honors
+  // `timeout_ms`; SO_ERROR then reports how the handshake actually ended.
+  int flags = ::fcntl(fd.get(), F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd.get(), F_SETFL, flags | O_NONBLOCK) != 0) {
+    return StatusFromErrno("fcntl O_NONBLOCK");
+  }
   int rc;
   do {
     rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&*addr),
                    sizeof(*addr));
   } while (rc != 0 && errno == EINTR);
   if (rc != 0) {
-    return StatusFromErrno("connect " + host + ":" + std::to_string(port));
+    if (errno != EINPROGRESS) {
+      return StatusFromErrno("connect " + target);
+    }
+    pollfd pfd{fd.get(), POLLOUT, 0};
+    int ready;
+    do {
+      ready = ::poll(&pfd, 1, timeout_ms);
+    } while (ready < 0 && errno == EINTR);
+    if (ready < 0) return StatusFromErrno("poll");
+    if (ready == 0) {
+      return Status::Unavailable("connect " + target + " timed out after " +
+                                 std::to_string(timeout_ms) + " ms");
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      return StatusFromErrno("getsockopt SO_ERROR");
+    }
+    if (err != 0) {
+      errno = err;
+      return StatusFromErrno("connect " + target);
+    }
+  }
+  if (::fcntl(fd.get(), F_SETFL, flags) != 0) {
+    return StatusFromErrno("fcntl restore flags");
   }
   int one = 1;
   (void)::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));

@@ -61,8 +61,13 @@ Result<OwnedFd> ListenTcp(const std::string& host, uint16_t port,
 /// The local port a socket is bound to (after ListenTcp with port 0).
 Result<uint16_t> BoundPort(int fd);
 
-/// Connects to `host:port`. Blocks until connected or the OS gives up.
-Result<OwnedFd> ConnectTcp(const std::string& host, uint16_t port);
+/// Connects to `host:port`, waiting at most `timeout_ms` for the handshake
+/// (-1 = the kernel default, which can be minutes against a blackholed
+/// peer). The connect itself is non-blocking + poll, so a caller with a
+/// deadline is never stalled by an unreachable host; the returned fd is
+/// back in blocking mode. A timeout returns Unavailable.
+Result<OwnedFd> ConnectTcp(const std::string& host, uint16_t port,
+                           int timeout_ms = 10'000);
 
 /// Accepts one connection. Waits up to `timeout_ms` (-1 = forever);
 /// returns an invalid OwnedFd on timeout so pollers can check a stop flag.

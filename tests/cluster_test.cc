@@ -15,6 +15,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -128,8 +129,9 @@ class Fleet {
   ShardMap map() const {
     ShardMap map;
     for (const auto& shard : shards_) {
-      map.shards.push_back(
-          ShardEndpoint{"127.0.0.1", shard->server->port()});
+      ShardEntry entry;
+      entry.primary = ShardEndpoint{"127.0.0.1", shard->server->port()};
+      map.shards.push_back(std::move(entry));
     }
     return map;
   }
@@ -139,6 +141,9 @@ class Fleet {
     options.connect_retries = 5;
     options.connect_backoff_ms = 50;
     options.fanout_deadline_ms = 10'000;
+    // Keep the deterministic tests deterministic: no background prober
+    // racing explicit up/down choreography (failover tests opt back in).
+    options.probe_interval_ms = 0;
     return options;
   }
 
@@ -203,8 +208,9 @@ TEST(ShardMapTest, ParsesSpecAndRejectsGarbage) {
   auto map = ParseShardSpec("127.0.0.1:7071,10.0.0.2:7072");
   ASSERT_TRUE(map.ok());
   ASSERT_EQ(map->size(), 2u);
-  EXPECT_EQ(map->shards[0].host, "127.0.0.1");
-  EXPECT_EQ(map->shards[0].port, 7071);
+  EXPECT_EQ(map->shards[0].primary.host, "127.0.0.1");
+  EXPECT_EQ(map->shards[0].primary.port, 7071);
+  EXPECT_FALSE(map->shards[0].has_replica);
   EXPECT_EQ(map->shards[1].ToString(), "10.0.0.2:7072");
 
   EXPECT_FALSE(ParseShardSpec("").ok());
@@ -218,6 +224,22 @@ TEST(ShardMapTest, ParsesSpecAndRejectsGarbage) {
   EXPECT_EQ(trailing->size(), 1u);
 }
 
+TEST(ShardMapTest, ParsesReplicaSuffix) {
+  auto map = ParseShardSpec("127.0.0.1:7071/127.0.0.1:8071,10.0.0.2:7072");
+  ASSERT_TRUE(map.ok());
+  ASSERT_EQ(map->size(), 2u);
+  EXPECT_TRUE(map->shards[0].has_replica);
+  EXPECT_EQ(map->shards[0].primary.ToString(), "127.0.0.1:7071");
+  EXPECT_EQ(map->shards[0].replica.ToString(), "127.0.0.1:8071");
+  EXPECT_EQ(map->shards[0].ToString(), "127.0.0.1:7071/127.0.0.1:8071");
+  EXPECT_FALSE(map->shards[1].has_replica);
+
+  // A malformed half fails the whole entry, never silently drops it.
+  EXPECT_FALSE(ParseShardSpec("host:7071/").ok());
+  EXPECT_FALSE(ParseShardSpec("/host:7071").ok());
+  EXPECT_FALSE(ParseShardSpec("host:7071/nocolon").ok());
+}
+
 TEST(ShardMapTest, LoadsFileWithCommentsPreservingOrder) {
   std::string path = ::testing::TempDir() + "/cluster_test_shards.txt";
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -225,14 +247,16 @@ TEST(ShardMapTest, LoadsFileWithCommentsPreservingOrder) {
   std::fputs("# fleet, tail shard last\n"
              "127.0.0.1:7071\n"
              "\n"
-             "127.0.0.1:7072  # trailing comment\n",
+             "127.0.0.1:7072/127.0.0.1:8072  # trailing comment\n",
              f);
   std::fclose(f);
   auto map = LoadShardMapFile(path);
   ASSERT_TRUE(map.ok()) << map.status().ToString();
   ASSERT_EQ(map->size(), 2u);
-  EXPECT_EQ(map->shards[0].port, 7071);
-  EXPECT_EQ(map->shards[1].port, 7072);
+  EXPECT_EQ(map->shards[0].primary.port, 7071);
+  EXPECT_EQ(map->shards[1].primary.port, 7072);
+  ASSERT_TRUE(map->shards[1].has_replica);
+  EXPECT_EQ(map->shards[1].replica.port, 8072);
   std::remove(path.c_str());
 }
 
@@ -847,7 +871,7 @@ TEST(RouterHedgeTest, SlowShardIsHedgedAndStillAnswers) {
                  << started.ToString();
   }
   ShardMap map = fleet.map();
-  map.shards[0].port = relay.port();  // shard 0 now answers slowly
+  map.shards[0].primary.port = relay.port();  // shard 0 now answers slowly
 
   RouterOptions options = Fleet::FastOptions();
   options.hedge_ms = 100;
@@ -875,7 +899,7 @@ TEST(RouterHedgeTest, DeadlineExhaustionDegradesInsteadOfHanging) {
                  << started.ToString();
   }
   ShardMap map = fleet.map();
-  map.shards[0].port = relay.port();  // shard 0 now stalls past the deadline
+  map.shards[0].primary.port = relay.port();  // shard 0 now stalls past the deadline
 
   // The deadline, not the slow shard, bounds the fan-out: shard 0 never
   // answers within it, so the router degrades instead of waiting 2s.
@@ -973,7 +997,7 @@ TEST(RouterBackpressureTest, SheddingShardStaysUpThroughDeadline) {
                  << started.ToString();
   }
   ShardMap map = fleet.map();
-  map.shards[0].port = relay.port();  // shard 0 now sheds all COUNTs
+  map.shards[0].primary.port = relay.port();  // shard 0 now sheds all COUNTs
 
   // A retry budget far beyond the deadline: the leg ends by deadline
   // exhaustion with backpressure as the latest evidence — the shard
@@ -1101,7 +1125,7 @@ TEST(RouterMineSnapshotTest, InsertBetweenRoundsIsDetectedAndRetried) {
                  << started.ToString();
   }
   ShardMap map = fleet.map();
-  map.shards[1].port = relay.port();  // the tail grows mid-exchange
+  map.shards[1].primary.port = relay.port();  // the tail grows mid-exchange
 
   RouterService router(map, Fleet::FastOptions());
   ASSERT_TRUE(router.Init().ok());
@@ -1202,6 +1226,200 @@ TEST(RouterStatsTest, RouterShardInfoExposesRootSignature) {
     if (leaf->Get(b)) {
       EXPECT_TRUE(signature->Get(b)) << "bit " << b;
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Failover: replica promotion, fencing, and prober-driven rejoin.
+
+/// Polls `pred` until it holds or `timeout_ms` elapses.
+bool WaitUntil(const std::function<bool()>& pred, int timeout_ms = 15'000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return pred();
+}
+
+/// A warm replica of `primary`: same transactions, own index and server —
+/// what a bbsmined --follow that has fully caught up looks like.
+std::unique_ptr<MiniShard> MakeReplicaOf(const MiniShard& primary,
+                                         uint64_t segment_capacity = 64) {
+  auto replica = std::make_unique<MiniShard>();
+  replica->db = primary.db;
+  auto index = SegmentedBbs::Create(ClusterConfig(), segment_capacity);
+  EXPECT_TRUE(index.ok());
+  EXPECT_TRUE(index->InsertAll(replica->db).ok());
+  auto manager = service::SnapshotManager::FromIndex(*index);
+  EXPECT_TRUE(manager.ok());
+  replica->manager.emplace(std::move(*manager));
+  replica->service = std::make_unique<service::BbsService>(
+      &*replica->manager, &replica->db, service::ServiceOptions{});
+  replica->server = std::make_unique<service::SocketServer>(
+      replica->service.get(), service::SocketServerOptions{});
+  EXPECT_TRUE(replica->server->Start().ok());
+  return replica;
+}
+
+TEST(RouterFailoverTest, DeadPrimaryFailsOverToReplicaWithBitIdenticalAnswers) {
+  TransactionDatabase full = bbsmine::testing::RandomDb(61, 120, 20, 5.0);
+  Fleet fleet(full, 2);
+  auto replica = MakeReplicaOf(fleet.shard(1));
+
+  ShardMap map = fleet.map();
+  map.shards[1].has_replica = true;
+  map.shards[1].replica = ShardEndpoint{"127.0.0.1", replica->server->port()};
+  RouterOptions options = Fleet::FastOptions();
+  options.fanout_deadline_ms = 2'000;
+  RouterService router(std::move(map), options);
+  ASSERT_TRUE(router.Init().ok());
+
+  // Healthy baseline, then kill the primary out from under the router.
+  JsonValue healthy = router.Handle(CountRequest({1}));
+  ASSERT_TRUE(healthy.at("ok").AsBool());
+  EXPECT_FALSE(healthy.at("degraded").AsBool());
+  fleet.shard(1).server->Stop();
+
+  // The very request that discovers the death retries onto the promoted
+  // replica: no degraded answer, no operator in the loop.
+  JsonValue count = router.Handle(CountRequest({1}));
+  ASSERT_TRUE(count.at("ok").AsBool()) << count.Serialize();
+  EXPECT_FALSE(count.at("degraded").AsBool());
+  EXPECT_EQ(router.failovers(), 1u);
+  EXPECT_EQ(router.shards_up(), 2u);
+  EXPECT_EQ(router.active_endpoint(1).port, replica->server->port());
+
+  // The replica really was promoted, at a term above the old primary's.
+  JsonValue info = replica->service->Handle(MakeRequest("SHARDINFO"));
+  ASSERT_TRUE(info.at("ok").AsBool());
+  EXPECT_EQ(info.at("role").AsString(), "primary");
+  EXPECT_EQ(info.at("term").AsUint(), 2u);
+
+  // Post-failover COUNT and MINE stay bit-identical to the oracle.
+  for (const Itemset& probe : QueryMix(20)) {
+    JsonValue routed = router.Handle(CountRequest(probe));
+    ASSERT_TRUE(routed.at("ok").AsBool());
+    EXPECT_FALSE(routed.at("degraded").AsBool());
+    JsonValue oracle = fleet.oracle().Handle(CountRequest(probe));
+    EXPECT_EQ(routed.at("count").AsUint(), oracle.at("count").AsUint());
+  }
+  JsonValue mined = router.Handle(MineRequest(0.05, 20));
+  ASSERT_TRUE(mined.at("ok").AsBool()) << mined.Serialize();
+  EXPECT_FALSE(mined.at("degraded").AsBool());
+  JsonValue oracle_mined = fleet.oracle().Handle(MineRequest(0.05, 20));
+  EXPECT_EQ(mined.at("patterns").Serialize(),
+            oracle_mined.at("patterns").Serialize());
+
+  // INSERTs reroute to the promoted tail; the routing tree follows.
+  JsonValue insert = MakeRequest("INSERT");
+  insert.Set("items", service::ItemsToJson({777}));
+  JsonValue inserted = router.Handle(insert);
+  ASSERT_TRUE(inserted.at("ok").AsBool()) << inserted.Serialize();
+  JsonValue sentinel = router.Handle(CountRequest({777}));
+  EXPECT_EQ(sentinel.at("count").AsUint(), 1u);
+  JsonValue local = replica->service->Handle(CountRequest({777}));
+  EXPECT_EQ(local.at("count").AsUint(), 1u);
+
+  // The report tells the story: which endpoint serves, at what term.
+  JsonValue report = router.BuildStatsReport();
+  const JsonValue& cluster = report.at("cluster");
+  EXPECT_EQ(cluster.at("failovers").AsUint(), 1u);
+  const JsonValue& entry = cluster.at("shards").at(1);
+  EXPECT_TRUE(entry.at("failed_over").AsBool());
+  EXPECT_EQ(entry.at("active").AsString(), "replica");
+  EXPECT_EQ(entry.at("term").AsUint(), 2u);
+  EXPECT_TRUE(entry.Has("replica"));
+  const JsonValue& repl = report.at("replication");
+  EXPECT_TRUE(repl.at("enabled").AsBool());
+  EXPECT_EQ(repl.at("failovers").AsUint(), 1u);
+}
+
+TEST(RouterFailoverTest, ProberPromotesAndFencesWithoutClientTraffic) {
+  TransactionDatabase full = bbsmine::testing::RandomDb(67, 100, 18, 5.0);
+  Fleet fleet(full, 2);
+  auto replica = MakeReplicaOf(fleet.shard(1));
+
+  ShardMap map = fleet.map();
+  const uint16_t old_primary_port = fleet.shard(1).server->port();
+  map.shards[1].has_replica = true;
+  map.shards[1].replica = ShardEndpoint{"127.0.0.1", replica->server->port()};
+  RouterOptions options = Fleet::FastOptions();
+  options.probe_interval_ms = 50;
+  options.probe_timeout_ms = 500;
+  options.fanout_deadline_ms = 2'000;
+  RouterService router(std::move(map), options);
+  ASSERT_TRUE(router.Init().ok());
+
+  // Kill the primary and wait: the background prober must discover the
+  // death and promote the replica with zero client requests in flight.
+  fleet.shard(1).server->Stop();
+  ASSERT_TRUE(WaitUntil([&] { return router.failovers() == 1; }));
+  ASSERT_TRUE(WaitUntil([&] { return router.shards_up() == 2; }));
+
+  // The old primary restarts on its old port, stale at term 1. The router
+  // must keep serving from the promoted replica — never the zombie.
+  fleet.shard(1).server = std::make_unique<service::SocketServer>(
+      fleet.shard(1).service.get(), [&] {
+        service::SocketServerOptions server_options;
+        server_options.port = old_primary_port;
+        return server_options;
+      }());
+  ASSERT_TRUE(fleet.shard(1).server->Start().ok());
+
+  // A sentinel write lands on the replica; the zombie never sees it. If
+  // any read consulted the zombie, the count would come back 0.
+  JsonValue insert = MakeRequest("INSERT");
+  insert.Set("items", service::ItemsToJson({888}));
+  ASSERT_TRUE(router.Handle(insert).at("ok").AsBool());
+  for (int i = 0; i < 5; ++i) {
+    JsonValue count = router.Handle(CountRequest({888}));
+    ASSERT_TRUE(count.at("ok").AsBool());
+    EXPECT_FALSE(count.at("degraded").AsBool());
+    EXPECT_EQ(count.at("count").AsUint(), 1u);
+  }
+  EXPECT_EQ(router.active_endpoint(1).port, replica->server->port());
+  JsonValue zombie = fleet.shard(1).service->Handle(CountRequest({888}));
+  EXPECT_EQ(zombie.at("count").AsUint(), 0u);
+}
+
+TEST(RouterProberTest, RecoveredShardRejoinsWithoutClientTraffic) {
+  TransactionDatabase full = bbsmine::testing::RandomDb(71, 80, 16, 5.0);
+  Fleet fleet(full, 2);
+  RouterOptions options = Fleet::FastOptions();
+  options.probe_interval_ms = 50;
+  options.probe_timeout_ms = 500;
+  options.fanout_deadline_ms = 2'000;
+  RouterService router(fleet.map(), options);
+  ASSERT_TRUE(router.Init().ok());
+
+  // No replica here: the shard dies, one request notices (and degrades),
+  // and the shard stays down.
+  const uint16_t port = fleet.shard(0).server->port();
+  fleet.shard(0).server->Stop();
+  JsonValue degraded = router.Handle(CountRequest({1}));
+  ASSERT_TRUE(degraded.at("ok").AsBool());
+  EXPECT_TRUE(degraded.at("degraded").AsBool());
+  EXPECT_EQ(router.shards_up(), 1u);
+
+  // The shard comes back on the same port. The prober alone — no client
+  // traffic — must mark it up and refresh its routing leaf.
+  fleet.shard(0).server = std::make_unique<service::SocketServer>(
+      fleet.shard(0).service.get(), [&] {
+        service::SocketServerOptions server_options;
+        server_options.port = port;
+        return server_options;
+      }());
+  ASSERT_TRUE(fleet.shard(0).server->Start().ok());
+  ASSERT_TRUE(WaitUntil([&] { return router.shards_up() == 2; }));
+
+  for (const Itemset& probe : QueryMix(16)) {
+    JsonValue routed = router.Handle(CountRequest(probe));
+    ASSERT_TRUE(routed.at("ok").AsBool());
+    EXPECT_FALSE(routed.at("degraded").AsBool());
+    JsonValue oracle = fleet.oracle().Handle(CountRequest(probe));
+    EXPECT_EQ(routed.at("count").AsUint(), oracle.at("count").AsUint());
   }
 }
 

@@ -34,6 +34,7 @@
 #include "obs/json.h"
 #include "obs/trace.h"
 #include "service/durability.h"
+#include "service/replication.h"
 #include "service/server.h"
 #include "storage/transaction_db.h"
 #include "util/fault_injector.h"
@@ -120,6 +121,32 @@ bool FileExists(const std::string& path) {
   return ::stat(path.c_str(), &st) == 0;
 }
 
+/// The persisted fencing term (DIR/term), or 1 when the file is absent or
+/// unreadable (a fresh node starts at term 1).
+uint64_t LoadTermFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return 1;
+  unsigned long long term = 1;
+  if (std::fscanf(f, "%llu", &term) != 1 || term == 0) term = 1;
+  std::fclose(f);
+  return term;
+}
+
+/// Parses "host:port" for --follow.
+bool ParseHostPort(const std::string& spec, std::string* host,
+                   uint16_t* port) {
+  size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= spec.size()) {
+    return false;
+  }
+  unsigned long parsed = std::strtoul(spec.c_str() + colon + 1, nullptr, 10);
+  if (parsed == 0 || parsed > 65535) return false;
+  *host = spec.substr(0, colon);
+  *port = static_cast<uint16_t>(parsed);
+  return true;
+}
+
 void Usage() {
   std::cerr <<
       "usage: bbsmined [--flag value | --flag=value ...]\n"
@@ -166,7 +193,15 @@ void Usage() {
       "  --fsync POLICY      WAL fsync policy: always | none | every=N\n"
       "                      (default always)\n"
       "  --checkpoint-every N  auto-checkpoint after N inserted\n"
-      "                      transactions; 0 = manual only (default 4096)\n";
+      "                      transactions; 0 = manual only (default 4096)\n"
+      "  --follow HOST:PORT  run as a warm follower of that primary: tail\n"
+      "                      its WAL over WALSTREAM, apply locally, reject\n"
+      "                      INSERT until PROMOTE (requires --durable-dir)\n"
+      "  --repl-ack          semi-sync: withhold INSERT acks until the\n"
+      "                      follower has the record (requires\n"
+      "                      --durable-dir; see docs/CLUSTER.md)\n"
+      "  --repl-ack-timeout-ms N  semi-sync ack wait before degrading the\n"
+      "                      response to replicated=false (default 1000)\n";
 }
 
 }  // namespace
@@ -348,6 +383,46 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Replication wiring (docs/CLUSTER.md): a durable daemon is a primary
+  // (serves WALSTREAM); --follow makes it a warm follower instead. Both
+  // need the durable directory — the stream's positions are WAL positions.
+  const std::string follow_arg = args.GetString("follow");
+  const bool repl_ack = args.GetString("repl-ack") == "true";
+  if ((!follow_arg.empty() || repl_ack) && durable_dir.empty()) {
+    std::cerr << "bbsmined: --follow and --repl-ack require --durable-dir\n";
+    return 2;
+  }
+  std::unique_ptr<service::ReplicationSource> replication;
+  std::unique_ptr<service::ReplicationFollower> follower;
+  service::BbsService* follower_target = nullptr;  // set once built
+  if (durability != nullptr) {
+    service::ReplicationSourceOptions source_options;
+    replication = std::make_unique<service::ReplicationSource>(
+        durability.get(),
+        [&index] {
+          return static_cast<uint64_t>(index->num_transactions());
+        },
+        source_options);
+  }
+  if (!follow_arg.empty()) {
+    service::ReplicationFollowerOptions follow_options;
+    if (!ParseHostPort(follow_arg, &follow_options.host,
+                       &follow_options.port)) {
+      std::cerr << "bbsmined: --follow expects HOST:PORT, got \""
+                << follow_arg << "\"\n";
+      return 2;
+    }
+    follower = std::make_unique<service::ReplicationFollower>(
+        follow_options,
+        [&index] {
+          return static_cast<uint64_t>(index->num_transactions());
+        },
+        [&follower_target](
+            const std::vector<std::vector<Itemset>>& batches) {
+          return follower_target->ApplyReplicated(batches);
+        });
+  }
+
   service::ServiceOptions options;
   options.scheduler.num_threads = args.GetUint("threads", 0);
   options.scheduler.max_pending = args.GetUint("max-pending", 1024);
@@ -372,7 +447,24 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  options.replication = replication.get();
+  options.follower = follower.get();
+  options.repl_ack = repl_ack;
+  options.repl_ack_timeout_ms =
+      static_cast<int>(args.GetUint("repl-ack-timeout-ms", 1000));
+  if (!durable_dir.empty()) {
+    options.term_file = durable_dir + "/term";
+    options.term = LoadTermFile(options.term_file);
+  }
+  options.role = follower != nullptr ? service::ServiceRole::kFollower
+                 : durability != nullptr ? service::ServiceRole::kPrimary
+                                         : service::ServiceRole::kStandalone;
+  options.on_promote = [&follower] {
+    if (follower != nullptr) follower->Stop();
+  };
   service::BbsService bbs_service(&*index, db ? &*db : nullptr, options);
+  follower_target = &bbs_service;
+  if (follower != nullptr) follower->Start();
 
   if (flight_recorder != nullptr && !flight_out.empty()) {
     g_crash_recorder = flight_recorder.get();
@@ -401,6 +493,13 @@ int main(int argc, char** argv) {
               server_options.host.c_str(), server.port(),
               index->num_transactions(),
               static_cast<unsigned long long>(index->epoch()));
+  if (options.role != service::ServiceRole::kStandalone) {
+    std::printf("bbsmined role %s term %llu%s%s\n",
+                service::ServiceRoleName(options.role),
+                static_cast<unsigned long long>(options.term),
+                follower != nullptr ? " following " : "",
+                follower != nullptr ? follow_arg.c_str() : "");
+  }
   std::fflush(stdout);
 
   while (!g_stop.load(std::memory_order_acquire)) {
@@ -409,6 +508,9 @@ int main(int argc, char** argv) {
 
   std::printf("bbsmined draining...\n");
   std::fflush(stdout);
+  // Stop the replication tail before the final checkpoint so no stream
+  // apply races it.
+  if (follower != nullptr) follower->Stop();
   server.Stop();
   bbs_service.Drain();
   if (durability != nullptr) {

@@ -92,11 +92,14 @@ class Args {
 void Usage() {
   std::cerr <<
       "usage: bbsrouter (--shards LIST | --shard-map FILE) [--flag value ...]\n"
-      "  --shards H:P,H:P,...  comma-separated shard endpoints, in\n"
+      "  --shards H:P[/H:P],...  comma-separated shard endpoints, in\n"
       "                      transaction-range order (shard 0 holds the\n"
-      "                      first range; INSERTs route to the last)\n"
-      "  --shard-map FILE    one host:port per line ('#' comments); same\n"
-      "                      ordering contract\n"
+      "                      first range; INSERTs route to the last). An\n"
+      "                      optional /host:port names the shard's warm\n"
+      "                      replica (a bbsmined --follow of the primary);\n"
+      "                      the router promotes it when the primary dies\n"
+      "  --shard-map FILE    one host:port[/host:port] per line ('#'\n"
+      "                      comments); same ordering contract\n"
       "  --host A.B.C.D      bind address (default 127.0.0.1)\n"
       "  --port N            TCP port; 0 = ephemeral (default 7070)\n"
       "  --fanout-deadline-ms N  per-leg downstream budget (default 5000)\n"
@@ -121,6 +124,10 @@ void Usage() {
       "  --connect-retries N startup handshake attempts per shard\n"
       "                      (default 40, spaced --connect-backoff-ms)\n"
       "  --connect-backoff-ms N  handshake retry spacing (default 250)\n"
+      "  --probe-interval-ms N  background re-probe cadence for down\n"
+      "                      shards; drives failover and rejoin without\n"
+      "                      client traffic (default 1000; 0 disables)\n"
+      "  --probe-timeout-ms N  per-probe SHARDINFO budget (default 1000)\n"
       "  --report-out FILE   write the service report on shutdown\n"
       "  --stats-window-s N  windowed-metrics rotation interval, seconds\n"
       "                      (default 10; 12 slots are retained)\n";
@@ -182,6 +189,10 @@ int main(int argc, char** argv) {
       static_cast<uint32_t>(args.GetUint("connect-retries", 40));
   options.connect_backoff_ms =
       static_cast<uint32_t>(args.GetUint("connect-backoff-ms", 250));
+  options.probe_interval_ms =
+      static_cast<uint32_t>(args.GetUint("probe-interval-ms", 1000));
+  options.probe_timeout_ms =
+      static_cast<int>(args.GetUint("probe-timeout-ms", 1000));
   options.stats_windows.interval_us = stats_window_s * 1'000'000;
 
   const size_t num_shards = map.size();
