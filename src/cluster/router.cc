@@ -346,10 +346,6 @@ RouterService::ShardReply RouterService::CallShard(
   uint32_t backoff_attempts = 0;
   bool hedged = false;
   bool failover_retried = false;
-  // Latest downstream evidence: true after a backpressure response (the
-  // shard answered — alive, just shedding load), false after silence or a
-  // transport error. Only the latter flips the shard to down.
-  bool shard_answering = false;
   Status failure = Status::Unavailable("fan-out deadline exhausted");
   while (true) {
     const int64_t remaining_ms =
@@ -360,7 +356,12 @@ RouterService::ShardReply RouterService::CallShard(
 
     uint64_t session_gen = 0;
     service::ClientSession session = [&] {
-      const ShardEndpoint endpoint = ActiveEndpoint(shard);
+      // Endpoint and generation are captured under ONE pool_mu hold, and
+      // TryFailover flips the active endpoint inside the hold that bumps
+      // the generation — so a session built here can never pair the
+      // demoted primary's address with the post-failover generation (the
+      // TOCTOU that would let a fenced primary serve, and pool into, the
+      // promoted shard).
       std::lock_guard<std::mutex> lock(shard.pool_mu);
       session_gen = shard.pool_gen;
       if (!shard.idle.empty()) {
@@ -368,6 +369,7 @@ RouterService::ShardReply RouterService::CallShard(
         shard.idle.pop_back();
         return pooled;
       }
+      const ShardEndpoint endpoint = ActiveEndpoint(shard);
       return service::ClientSession(endpoint.host, endpoint.port);
     }();
 
@@ -393,7 +395,6 @@ RouterService::ShardReply RouterService::CallShard(
         }
       }
       if (backpressured && backoff_attempts < options_.retry.retries) {
-        shard_answering = true;
         failure = Status::Unavailable(
             "fan-out deadline exhausted while the shard shed load "
             "(backpressure)");
@@ -417,8 +418,14 @@ RouterService::ShardReply RouterService::CallShard(
 
     const Status& status = response.status();
     if (status.code() == StatusCode::kUnavailable) {
-      // Response timeout; the session closed its socket.
-      shard_answering = false;
+      // Silence: a connect or response timeout. A slow shard is not a
+      // dead shard — a MINE can legitimately outlive the fan-out
+      // deadline, an INSERT can stall on a slow fsync — and promotion
+      // permanently fences the primary (in async replication it also
+      // drops every acked-but-unshipped WAL record). So silence only
+      // fails this leg: no down-marking, no failover. The background
+      // prober owns that call, and only after failover_probe_failures
+      // consecutive silent probes.
       if (hedge_armed) {
         hedged = true;
         shard.hedged.fetch_add(1, std::memory_order_relaxed);
@@ -431,15 +438,17 @@ RouterService::ShardReply RouterService::CallShard(
                           "response timed out after the request was sent; "
                           "it may or may not have been applied (" +
                           status.message() + ")");
-    } else {
-      shard_answering = false;
-      failure = status;  // transport: the shard is down or refusing
+      break;
     }
-    // The shard went dark mid-request: mark it down now, and when a warm
-    // replica is standing by, promote it. Idempotent legs then retry once
-    // on the new primary inside the original deadline; INSERT never
+    // Transport-level failure (connect refused/reset, peer closed): the
+    // process is provably gone, not slow. Mark the shard down now, and
+    // when a warm replica is standing by, promote it — TryFailover still
+    // confirm-probes the primary once before PROMOTE, so a reset blip
+    // against a live primary aborts there. Idempotent legs then retry
+    // once on the new primary inside the original deadline; INSERT never
     // retries (at-most-once — the caller reconciles, and the NEXT insert
     // routes to the promoted replica).
+    failure = status;
     shard.up.store(false, std::memory_order_relaxed);
     if (!failover_retried && TryFailover(idx) && idempotent) {
       failover_retried = true;
@@ -447,12 +456,11 @@ RouterService::ShardReply RouterService::CallShard(
     }
     break;
   }
+  // Note what this loop did NOT do: a shard that answered with
+  // backpressure is alive (shedding load is not downtime), and one that
+  // merely timed out may be alive — neither is flipped down here.
   shard.errors.fetch_add(1, std::memory_order_relaxed);
   metrics_.Inc(metrics_.shard_errors);
-  // A shard that answered with backpressure is alive — shedding load is
-  // not downtime, and flipping it down here would both skew shards_up and
-  // force a pointless (race-prone) leaf refresh on its next success.
-  if (!shard_answering) shard.up.store(false, std::memory_order_relaxed);
   reply.status = failure;
   return reply;
 }
@@ -538,6 +546,29 @@ bool RouterService::TryFailover(size_t idx) {
     return shard.up.load(std::memory_order_relaxed);
   }
 
+  // Confirm the primary is actually dead before fencing it for good:
+  // whatever evidence brought us here (a transport error on a request
+  // leg, a run of failed background probes) may have been a blip, and a
+  // promoted-past primary cannot be un-fenced without an operator. One
+  // SHARDINFO answer at a current term aborts the failover and marks the
+  // shard back up.
+  {
+    service::ClientSession confirm(shard.entry.primary.host,
+                                   shard.entry.primary.port);
+    JsonValue confirm_request = JsonValue::Object();
+    confirm_request.Set("verb", JsonValue::String("SHARDINFO"));
+    Result<JsonValue> alive =
+        confirm.Call(confirm_request, options_.probe_timeout_ms);
+    if (alive.ok() && alive->kind() == JsonValue::Kind::kObject &&
+        alive->Has("ok") && alive->at("ok").AsBool() &&
+        UintField(*alive, "term") >=
+            shard.term.load(std::memory_order_relaxed)) {
+      lock.unlock();
+      NoteShardSuccess(idx, *alive, "PROBE");
+      return false;
+    }
+  }
+
   // Probe the replica on a fresh connection (the pool belongs to the dead
   // primary).
   const ShardEndpoint replica = shard.entry.replica;
@@ -581,13 +612,17 @@ bool RouterService::TryFailover(size_t idx) {
 
   // Commit the failover: raise the fencing term, swap the active
   // endpoint, and invalidate every pooled connection to the old primary.
+  // The endpoint flip happens INSIDE the pool_mu hold that bumps the
+  // generation: checkout resolves endpoint and generation under the same
+  // mutex, so no thread can pair the old endpoint with the new
+  // generation (or vice versa).
   shard.term.store(new_term, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> pool_lock(shard.pool_mu);
     shard.idle.clear();
     ++shard.pool_gen;
+    shard.on_replica.store(true, std::memory_order_release);
   }
-  shard.on_replica.store(true, std::memory_order_release);
   shard.probe_failures.store(0, std::memory_order_relaxed);
   metrics_.Inc(metrics_.failovers);
   std::fprintf(stderr,
@@ -647,20 +682,34 @@ void RouterService::ProbeLoop() {
 bool RouterService::ProbeShard(size_t idx) {
   ShardState& shard = *shards_[idx];
   const ShardEndpoint endpoint = ActiveEndpoint(shard);
-  Result<service::ClientSession> session =
-      service::ClientSession::Connect(endpoint.host, endpoint.port);
-  if (!session.ok()) {
-    // The active endpoint is dark. When that endpoint is a primary with a
-    // warm replica, drive promotion from here — failover must not wait
-    // for client traffic to notice.
-    return TryFailover(idx);
-  }
   JsonValue request = JsonValue::Object();
   request.Set("verb", JsonValue::String("SHARDINFO"));
-  Result<JsonValue> response = session->Call(request, options_.probe_timeout_ms);
+  service::ClientSession session(endpoint.host, endpoint.port);
+  Result<JsonValue> response = session.Call(request, options_.probe_timeout_ms);
   if (!response.ok() || response->kind() != JsonValue::Kind::kObject ||
       !response->Has("ok") || !response->at("ok").AsBool()) {
-    return TryFailover(idx);
+    // The active endpoint failed its health check: it is down for
+    // routing/STATS purposes even when no replica exists to promote —
+    // a replica-less shard that dies with no client traffic must not
+    // stay "up" until a real request flips it.
+    shard.up.store(false, std::memory_order_relaxed);
+    // Promotion policy (it permanently fences the primary): a
+    // transport-level failure — connect refused/reset, peer closed; the
+    // process is provably gone — drives failover immediately. Mere
+    // silence (a connect or SHARDINFO timeout: kUnavailable) may just be
+    // a slow or overloaded primary, so it only counts toward
+    // failover_probe_failures consecutive failures. ProbeLoop increments
+    // probe_failures after this returns false, so the pre-increment load
+    // + 1 is the count including this probe.
+    const bool transport_failure =
+        !response.ok() &&
+        response.status().code() != StatusCode::kUnavailable;
+    if (transport_failure ||
+        shard.probe_failures.load(std::memory_order_relaxed) + 1 >=
+            options_.failover_probe_failures) {
+      return TryFailover(idx);
+    }
+    return false;
   }
   // Fencing: an endpoint answering with a term below the shard's is a
   // stale demoted primary (e.g. restarted after the replica took over
@@ -668,6 +717,7 @@ bool RouterService::ProbeShard(size_t idx) {
   // reaches it until an operator re-adds it with a fresh term.
   const uint64_t term = UintField(*response, "term");
   if (term < shard.term.load(std::memory_order_relaxed)) {
+    shard.up.store(false, std::memory_order_relaxed);
     std::fprintf(stderr,
                  "bbsrouter: shard %zu endpoint %s is fenced (term %llu < "
                  "shard term %llu); leaving it down\n",

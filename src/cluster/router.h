@@ -36,12 +36,22 @@
 //
 // Failover: a shard spec may name a warm replica ("host:port/host:port",
 // a bbsmined following the primary over WALSTREAM). When the primary
-// goes dark the router promotes the replica without operator action:
-//   1. probe the replica with SHARDINFO (config identity checked — a
+// goes dark the router promotes the replica without operator action.
+// Promotion permanently fences the primary, so the trigger is evidence
+// the primary is DEAD, never that it is slow: a transport-level failure
+// (connect refused/reset, peer closed — the process is provably gone)
+// triggers it immediately, while silence (a connect or response timeout)
+// only marks the leg failed and leaves promotion to the background
+// prober, which requires failover_probe_failures consecutive silent
+// probes first. The promotion sequence:
+//   1. confirm-probe the primary one last time with SHARDINFO — if it
+//      answers at a current term the failover is aborted and the shard
+//      marked back up (it was a blip, not a death);
+//   2. probe the replica with SHARDINFO (config identity checked — a
 //      replica of the wrong fleet is never promoted);
-//   2. PROMOTE it at term = shard term + 1 (terms are monotonic per
+//   3. PROMOTE it at term = shard term + 1 (terms are monotonic per
 //      shard; the daemon persists its term and rejects PROMOTE below it);
-//   3. swap the shard's active endpoint, drop pooled connections to the
+//   4. swap the shard's active endpoint, drop pooled connections to the
 //      dead primary, and rebuild the shard's Bloofi leaf from the
 //      replica's signature (replace-or-OR, same rule as RefreshShard).
 // The demoted primary is FENCED by its stale term: when it restarts, the
@@ -126,6 +136,13 @@ struct RouterOptions {
   uint32_t probe_interval_ms = 1000;
   /// Per-probe SHARDINFO budget.
   int probe_timeout_ms = 1000;
+  /// Consecutive failed background probes of a SILENT primary (connect or
+  /// SHARDINFO timeout — the process may be alive but slow) before the
+  /// prober attempts promotion. Transport-level failures (connect refused
+  /// or reset: the process is provably gone) fail over immediately and do
+  /// not wait for this threshold. Promotion fences the primary
+  /// permanently, so a latency blip must never be enough to trigger it.
+  uint32_t failover_probe_failures = 3;
   service::ServiceMetrics::WindowOptions stats_windows;
 };
 
@@ -199,7 +216,11 @@ class RouterService : public service::RequestHandler {
     /// Bumped (under pool_mu) when the active endpoint changes; sessions
     /// checked out under an older generation are dropped instead of
     /// returned, so a pooled socket to a demoted primary can never serve
-    /// a post-failover request.
+    /// a post-failover request. The fence only holds because checkout
+    /// resolves the endpoint and reads the generation under the same
+    /// pool_mu hold, and TryFailover flips on_replica inside the hold
+    /// that bumps the generation — endpoint and generation move
+    /// atomically with respect to each other.
     uint64_t pool_gen = 0;  // guarded by pool_mu
     /// Consecutive background-probe failures (drives the prober backoff).
     std::atomic<uint32_t> probe_failures{0};
@@ -258,13 +279,16 @@ class RouterService : public service::RequestHandler {
   /// is off); records pruned-shard counters.
   std::vector<size_t> MatchShards(const std::vector<uint32_t>& positions);
 
-  /// Promotes shard `idx`'s replica after its primary went dark. Probes
-  /// the replica (SHARDINFO: config identity + term sanity), issues
-  /// PROMOTE at term + 1, swaps the active endpoint, clears the pool,
-  /// rebuilds the Bloofi leaf from the replica's signature, and marks the
-  /// shard up. Returns true when the shard ends the call promoted and up
-  /// (including when another thread won the race). No-op for shards
-  /// without a replica or already failed over.
+  /// Promotes shard `idx`'s replica after its primary went dark. First
+  /// confirm-probes the primary and aborts (marking the shard back up)
+  /// if it answers at a current term — promotion fences the primary
+  /// permanently, so it must never race a primary that is merely slow.
+  /// Then probes the replica (SHARDINFO: config identity + term sanity),
+  /// issues PROMOTE at term + 1, swaps the active endpoint, clears the
+  /// pool, rebuilds the Bloofi leaf from the replica's signature, and
+  /// marks the shard up. Returns true when the shard ends the call
+  /// promoted and up (including when another thread won the race). No-op
+  /// for shards without a replica or already failed over.
   bool TryFailover(size_t idx);
 
   /// The background prober: wakes every probe_interval_ms and SHARDINFO-
@@ -275,8 +299,12 @@ class RouterService : public service::RequestHandler {
   /// primary stays dark with a warm replica standing by.
   void ProbeLoop();
 
-  /// One background probe of shard `idx`'s active endpoint. Returns true
-  /// when the shard came back up.
+  /// One background probe of shard `idx`'s active endpoint. A failed
+  /// probe marks the shard down (a replica-less dead shard must not
+  /// stay "up" in STATS just because no client traffic hit it) and
+  /// drives promotion — immediately on a transport-level failure, after
+  /// failover_probe_failures consecutive failures on mere silence.
+  /// Returns true when the shard came back up.
   bool ProbeShard(size_t idx);
 
   /// Re-pulls SHARDINFO from shard `idx` and refreshes its Bloofi leaf —

@@ -120,7 +120,11 @@ class DurabilityManager {
     repl_retain_.store(true, std::memory_order_relaxed);
   }
 
-  /// Advances the follower's durable watermark (monotonic max).
+  /// Advances the follower's durable watermark (monotonic max). One
+  /// watermark means exactly ONE follower: the replication source rejects
+  /// a second concurrent WALSTREAM connection, because a faster
+  /// follower's acks would release WAL records a lagging follower still
+  /// needs (and there is no bootstrap path once they are truncated away).
   void NoteReplicationAck(uint64_t txn) {
     uint64_t seen = repl_acked_txn_.load(std::memory_order_relaxed);
     while (txn > seen && !repl_acked_txn_.compare_exchange_weak(

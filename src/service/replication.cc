@@ -136,6 +136,24 @@ void ReplicationSource::Serve(const obs::JsonValue& handshake, int fd,
                     " transactions) — it followed a different history")));
     return;
   }
+  // One follower per primary: the replication floor and the semi-sync ack
+  // are a single watermark (a monotonic max), so a second concurrent
+  // stream would let the faster follower's acks release WAL records the
+  // slower one still needs — and the slower follower has no bootstrap
+  // path once they are truncated away. Reject the newcomer outright; a
+  // legitimately reconnecting follower retries after its backoff and wins
+  // the slot once the stale connection is reaped.
+  uint64_t no_followers = 0;
+  if (!followers_.compare_exchange_strong(no_followers, 1,
+                                          std::memory_order_relaxed)) {
+    (void)WriteFrame(
+        fd, ErrorResponse(
+                "WALSTREAM",
+                Status::Unavailable(
+                    "a follower is already attached; bbsmined streams to "
+                    "exactly one follower per primary")));
+    return;
+  }
   // Arm the checkpoint-truncate floor before acknowledging the handshake:
   // from here on the WAL keeps every record past the follower's ack.
   durability_->EnableReplicationRetention();
@@ -144,13 +162,21 @@ void ReplicationSource::Serve(const obs::JsonValue& handshake, int fd,
   obs::JsonValue accepted = OkResponse("WALSTREAM");
   accepted.Set("watermark", obs::JsonValue::Uint(watermark));
   accepted.Set("end_txn", obs::JsonValue::Uint(applied));
-  if (!WriteFrame(fd, accepted).ok()) return;
+  if (!WriteFrame(fd, accepted).ok()) {
+    followers_.fetch_sub(1, std::memory_order_relaxed);
+    return;
+  }
 
-  followers_.fetch_add(1, std::memory_order_relaxed);
   uint64_t cursor = watermark;
+  // The byte-offset memo keeps the idle poll O(new records): without it
+  // every poll_interval_ms the source would re-read and re-parse the
+  // whole log from its base — and the retention floor can hold that log
+  // long past the checkpoint.
+  WriteAheadLog::StreamCursor stream_cursor;
   while (!stop.load(std::memory_order_acquire)) {
     Result<WriteAheadLog::StreamChunk> chunk = WriteAheadLog::ReadRecordsFrom(
-        durability_->wal_path(), cursor, options_.chunk_bytes);
+        durability_->wal_path(), cursor, options_.chunk_bytes,
+        &stream_cursor);
     if (!chunk.ok()) {
       (void)WriteFrame(fd, ErrorResponse("WALSTREAM", chunk.status()));
       break;

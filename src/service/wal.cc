@@ -329,14 +329,56 @@ Result<WriteAheadLog::ReplayStats> WriteAheadLog::Replay(
 }
 
 Result<WriteAheadLog::StreamChunk> WriteAheadLog::ReadRecordsFrom(
-    const std::string& path, uint64_t from_txn, uint64_t max_bytes) {
+    const std::string& path, uint64_t from_txn, uint64_t max_bytes,
+    StreamCursor* cursor) {
   int raw = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (raw < 0) {
     if (errno == ENOENT) return Status::NotFound("no WAL at " + path);
     return StatusFromErrno("cannot open WAL: " + path);
   }
   OwnedFd fd(raw);
-  std::string file;
+  struct stat st;
+  if (::fstat(fd.get(), &st) != 0) {
+    return StatusFromErrno("cannot stat WAL: " + path);
+  }
+  const uint64_t file_size = static_cast<uint64_t>(st.st_size);
+
+  // The header alone decides whether a cached cursor is still valid: a
+  // checkpoint Truncate atomically replaces the whole file with a fresh
+  // header (new base), which is exactly what invalidates cached offsets.
+  char header[kWalHeaderBytes];
+  size_t header_read = 0;
+  while (header_read < sizeof(header)) {
+    ssize_t n = ::read(fd.get(), header + header_read,
+                       sizeof(header) - header_read);
+    if (n < 0) return StatusFromErrno("read error: " + path);
+    if (n == 0) break;
+    header_read += static_cast<size_t>(n);
+  }
+  uint64_t base = 0;
+  BBSMINE_RETURN_IF_ERROR(ParseHeader(header, header_read, path, &base));
+  if (from_txn < base) {
+    return Status::InvalidArgument(
+        "replication watermark " + std::to_string(from_txn) +
+        " precedes WAL base " + std::to_string(base) + " in " + path +
+        " (records already checkpointed away; bootstrap required)");
+  }
+
+  // Scan start: right after the header, or — when the caller's cursor
+  // matches this file generation and watermark — the cached offset, so a
+  // steady-state tail poll reads only bytes appended since the last call.
+  uint64_t start = kWalHeaderBytes;
+  uint64_t txn = base;  // first transaction of the record at `start`
+  if (cursor != nullptr && cursor->base_txn == base &&
+      cursor->txn == from_txn && cursor->offset >= kWalHeaderBytes &&
+      cursor->offset <= file_size) {
+    start = cursor->offset;
+    txn = from_txn;
+  }
+  if (::lseek(fd.get(), static_cast<off_t>(start), SEEK_SET) < 0) {
+    return StatusFromErrno("seek error: " + path);
+  }
+  std::string file;  // log bytes from `start` to EOF
   {
     char buf[1 << 16];
     ssize_t n;
@@ -347,19 +389,13 @@ Result<WriteAheadLog::StreamChunk> WriteAheadLog::ReadRecordsFrom(
   }
   fd.Reset();
 
-  uint64_t base = 0;
-  BBSMINE_RETURN_IF_ERROR(ParseHeader(file.data(), file.size(), path, &base));
-  if (from_txn < base) {
-    return Status::InvalidArgument(
-        "replication watermark " + std::to_string(from_txn) +
-        " precedes WAL base " + std::to_string(base) + " in " + path +
-        " (records already checkpointed away; bootstrap required)");
-  }
-
   StreamChunk chunk;
   chunk.start_txn = from_txn;
-  uint64_t txn = base;  // first transaction of the record at `pos`
-  size_t pos = kWalHeaderBytes;
+  size_t pos = 0;  // into `file`; absolute offset = start + pos
+  // Resume point for the next call: set past the last record shipped, or
+  // (when nothing ships) left at the watermark's own record.
+  uint64_t next_txn = from_txn;
+  uint64_t next_offset = 0;
   std::vector<Itemset> batch;
   while (pos < file.size()) {
     size_t remaining = file.size() - pos;
@@ -368,14 +404,14 @@ Result<WriteAheadLog::StreamChunk> WriteAheadLog::ReadRecordsFrom(
     uint32_t crc = LoadU32(file.data() + pos + 4);
     if (len > kMaxWalRecordBytes) {
       return Status::Corruption("absurd WAL record length at offset " +
-                                std::to_string(pos) + " in " + path);
+                                std::to_string(start + pos) + " in " + path);
     }
     if (len > remaining - 8) break;  // record extends past EOF: torn append
     const char* payload = file.data() + pos + 8;
     if (Crc32(payload, static_cast<size_t>(len)) != crc) {
       if (pos + 8 + len == file.size()) break;  // bad final record: torn
       return Status::Corruption("WAL record checksum mismatch at offset " +
-                                std::to_string(pos) + " in " + path);
+                                std::to_string(start + pos) + " in " + path);
     }
     BBSMINE_RETURN_IF_ERROR(ParseRecordPayload(payload, len, path, &batch));
     uint64_t record_end = txn + batch.size();
@@ -395,6 +431,8 @@ Result<WriteAheadLog::StreamChunk> WriteAheadLog::ReadRecordsFrom(
         chunk.data.append(file.data() + pos, 8 + static_cast<size_t>(len));
         chunk.records += 1;
         chunk.transactions += batch.size();
+        next_txn = record_end;
+        next_offset = start + pos + 8 + len;
       }
     }
     txn = record_end;
@@ -405,6 +443,19 @@ Result<WriteAheadLog::StreamChunk> WriteAheadLog::ReadRecordsFrom(
     return Status::InvalidArgument(
         "replication watermark " + std::to_string(from_txn) +
         " lies past WAL end " + std::to_string(txn) + " in " + path);
+  }
+  if (cursor != nullptr) {
+    cursor->base_txn = base;
+    if (next_offset != 0) {
+      cursor->txn = next_txn;
+      cursor->offset = next_offset;
+    } else {
+      // Nothing shipped, so from_txn sits at the end of the valid prefix
+      // (anything earlier would have shipped at least one record); the
+      // scan stopped exactly there.
+      cursor->txn = from_txn;
+      cursor->offset = start + pos;
+    }
   }
   return chunk;
 }

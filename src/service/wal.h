@@ -121,6 +121,22 @@ class WriteAheadLog {
     std::string data;
   };
 
+  /// A resume position for repeated ReadRecordsFrom polls over a live log.
+  /// A caller that hands the same cursor back on every call lets the scan
+  /// seek straight to the first unread record instead of re-reading and
+  /// re-parsing the whole file from its base — a tailing source polls tens
+  /// of times a second, and the replication floor can hold the log long, so
+  /// the steady-state poll must cost O(new records), not O(WAL). The cursor
+  /// is validated before use (the header's base must match and the cached
+  /// transaction must equal `from_txn`), so a checkpoint truncation — which
+  /// atomically replaces the file with a new base — silently falls back to
+  /// a full scan. Value-initialize and never touch the fields.
+  struct StreamCursor {
+    uint64_t base_txn = 0;  ///< log base the offset was computed against
+    uint64_t txn = 0;       ///< first unread transaction
+    uint64_t offset = 0;    ///< file offset of that transaction's record
+  };
+
   /// Reads whole records starting at absolute transaction `from_txn` from
   /// the log at `path`, verbatim, up to ~`max_bytes` of record bytes (at
   /// least one record when any is available). Unlike Replay this NEVER
@@ -130,9 +146,13 @@ class WriteAheadLog {
   /// were checkpointed away — the follower needs a fresh bootstrap) or
   /// lies past the log's end; Corruption when `from_txn` falls inside a
   /// record (batches are atomic — no valid watermark splits one).
+  /// `cursor`, when non-null, is consulted to skip the already-streamed
+  /// prefix and updated to the position after this chunk (left untouched
+  /// on error).
   static Result<StreamChunk> ReadRecordsFrom(const std::string& path,
                                              uint64_t from_txn,
-                                             uint64_t max_bytes);
+                                             uint64_t max_bytes,
+                                             StreamCursor* cursor = nullptr);
 
   /// Validates and decodes concatenated `[len | crc | payload]` record
   /// bytes (the StreamChunk shape) into per-record transaction batches.

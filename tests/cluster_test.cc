@@ -1384,6 +1384,202 @@ TEST(RouterFailoverTest, ProberPromotesAndFencesWithoutClientTraffic) {
   EXPECT_EQ(zombie.at("count").AsUint(), 0u);
 }
 
+/// A relay that misbehaves ONLY on COUNT — stalling past the caller's
+/// deadline, or closing the connection outright — while serving every
+/// other verb (SHARDINFO probes included) promptly from the backing
+/// service: the wire shape of a primary that is alive but degraded.
+class CountFaultRelay {
+ public:
+  enum class Fault {
+    kStall,            ///< COUNT answers, but only after stall_ms
+    kCloseConnection,  ///< COUNT tears the connection down (reset blip)
+  };
+
+  CountFaultRelay(service::BbsService* service, Fault fault, int stall_ms = 0)
+      : service_(service), fault_(fault), stall_ms_(stall_ms) {}
+
+  Status Start() {
+    auto listener = ListenTcp("127.0.0.1", 0);
+    if (!listener.ok()) return listener.status();
+    auto port = BoundPort(listener->get());
+    if (!port.ok()) return port.status();
+    listener_ = std::move(*listener);
+    port_ = *port;
+    accept_thread_ = std::thread([this] { AcceptLoop(); });
+    return Status::Ok();
+  }
+
+  void Stop() {
+    stop_.store(true);
+    if (accept_thread_.joinable()) accept_thread_.join();
+    for (std::thread& worker : workers_) {
+      if (worker.joinable()) worker.join();
+    }
+  }
+
+  uint16_t port() const { return port_; }
+
+ private:
+  void AcceptLoop() {
+    while (!stop_.load()) {
+      auto conn = AcceptWithTimeout(listener_.get(), 20);
+      if (!conn.ok() || !conn->valid()) continue;
+      workers_.emplace_back(
+          [this, fd = std::move(*conn)] { Serve(fd.get()); });
+    }
+  }
+
+  void Serve(int fd) {
+    while (!stop_.load()) {
+      auto request = service::ReadFrame(fd, 200);
+      if (!request.ok()) {
+        if (request.status().code() == StatusCode::kUnavailable) continue;
+        return;
+      }
+      if (request->at("verb").AsString() == "COUNT") {
+        if (fault_ == Fault::kCloseConnection) return;  // peer-closed blip
+        // Stall past the caller's deadline; the eventual answer lands on
+        // a socket the router abandoned long ago.
+        std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms_));
+      }
+      JsonValue response = service_->Handle(*request);
+      if (!service::WriteFrame(fd, response).ok()) return;
+    }
+  }
+
+  service::BbsService* service_;
+  Fault fault_;
+  int stall_ms_;
+  OwnedFd listener_;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stop_{false};
+};
+
+TEST(RouterFailoverTest, SlowShardIsNeverPromotedAwayFrom) {
+  TransactionDatabase full = bbsmine::testing::RandomDb(73, 100, 18, 5.0);
+  Fleet fleet(full, 2);
+  auto replica = MakeReplicaOf(fleet.shard(1));
+  CountFaultRelay relay(fleet.shard(1).service.get(),
+                        CountFaultRelay::Fault::kStall, /*stall_ms=*/2000);
+  Status started = relay.Start();
+  if (!started.ok()) {
+    GTEST_SKIP() << "cannot bind a loopback socket here: "
+                 << started.ToString();
+  }
+  ShardMap map = fleet.map();
+  map.shards[1].primary.port = relay.port();  // COUNTs now stall 2s
+  map.shards[1].has_replica = true;
+  map.shards[1].replica = ShardEndpoint{"127.0.0.1", replica->server->port()};
+  RouterOptions options = Fleet::FastOptions();
+  options.fanout_deadline_ms = 300;  // the stall outlives every COUNT leg
+  RouterService router(std::move(map), options);
+  ASSERT_TRUE(router.Init().ok());
+  ASSERT_EQ(router.shards_up(), 2u);
+
+  // The COUNT leg times out — pure silence. Promotion would permanently
+  // fence a primary that is merely slow (and in async replication drop
+  // its acked-but-unshipped WAL records), so silence must only degrade
+  // the answer: no failover, no down-marking.
+  JsonValue response = router.Handle(CountRequest({1}));
+  ASSERT_TRUE(response.at("ok").AsBool()) << response.Serialize();
+  EXPECT_TRUE(response.at("degraded").AsBool());
+  EXPECT_EQ(router.failovers(), 0u);
+  EXPECT_EQ(router.shards_up(), 2u)
+      << "a timed-out leg must not read as shard death";
+  EXPECT_EQ(router.active_endpoint(1).port, relay.port());
+  relay.Stop();
+}
+
+TEST(RouterFailoverTest, ResetBlipAgainstAnsweringPrimaryAborts) {
+  TransactionDatabase full = bbsmine::testing::RandomDb(79, 100, 18, 5.0);
+  Fleet fleet(full, 2);
+  auto replica = MakeReplicaOf(fleet.shard(1));
+  CountFaultRelay relay(fleet.shard(1).service.get(),
+                        CountFaultRelay::Fault::kCloseConnection);
+  Status started = relay.Start();
+  if (!started.ok()) {
+    GTEST_SKIP() << "cannot bind a loopback socket here: "
+                 << started.ToString();
+  }
+  ShardMap map = fleet.map();
+  map.shards[1].primary.port = relay.port();  // COUNT connections now reset
+  map.shards[1].has_replica = true;
+  map.shards[1].replica = ShardEndpoint{"127.0.0.1", replica->server->port()};
+  RouterOptions options = Fleet::FastOptions();
+  options.fanout_deadline_ms = 2'000;
+  options.probe_timeout_ms = 1'000;
+  RouterService router(std::move(map), options);
+  ASSERT_TRUE(router.Init().ok());
+
+  // The torn COUNT connection is transport-level evidence, so the leg
+  // reaches TryFailover — but the confirm probe finds the primary
+  // answering SHARDINFO at a current term and aborts the promotion,
+  // marking the shard back up. One reset blip must never fence a
+  // serving primary.
+  JsonValue response = router.Handle(CountRequest({1}));
+  ASSERT_TRUE(response.at("ok").AsBool()) << response.Serialize();
+  EXPECT_TRUE(response.at("degraded").AsBool());
+  EXPECT_EQ(router.failovers(), 0u);
+  EXPECT_EQ(router.shards_up(), 2u)
+      << "the confirm probe must mark the answering primary back up";
+  EXPECT_EQ(router.active_endpoint(1).port, relay.port());
+  relay.Stop();
+}
+
+TEST(RouterFailoverTest, SustainedSilenceFailsOverViaProbeThreshold) {
+  TransactionDatabase full = bbsmine::testing::RandomDb(83, 100, 18, 5.0);
+  Fleet fleet(full, 2);
+  auto replica = MakeReplicaOf(fleet.shard(1));
+  // Every verb — probes included — stalls past the probe budget: the
+  // shape of a wedged (but not dead) primary that will never recover.
+  SlowRelay relay(fleet.shard(1).service.get(), /*delay_ms=*/2000);
+  Status started = relay.Start();
+  if (!started.ok()) {
+    GTEST_SKIP() << "cannot bind a loopback socket here: "
+                 << started.ToString();
+  }
+  ShardMap map = fleet.map();
+  map.shards[1].primary.port = relay.port();
+  map.shards[1].has_replica = true;
+  map.shards[1].replica = ShardEndpoint{"127.0.0.1", replica->server->port()};
+  RouterOptions options = Fleet::FastOptions();
+  options.fanout_deadline_ms = 10'000;  // Init's handshake rides the stall out
+  options.probe_interval_ms = 50;
+  options.probe_timeout_ms = 200;
+  options.failover_probe_failures = 3;
+  RouterService router(std::move(map), options);
+  ASSERT_TRUE(router.Init().ok());
+
+  // No single timeout promotes, but a primary that stays silent must not
+  // strand the shard forever: after failover_probe_failures consecutive
+  // silent probes (and a failed confirm probe) the prober promotes the
+  // replica — with zero client traffic in flight.
+  ASSERT_TRUE(WaitUntil([&] { return router.failovers() == 1; }));
+  ASSERT_TRUE(WaitUntil([&] { return router.shards_up() == 2; }));
+  EXPECT_EQ(router.active_endpoint(1).port, replica->server->port());
+  relay.Stop();
+}
+
+TEST(RouterProberTest, ReplicalessDeadShardIsMarkedDownByProberAlone) {
+  TransactionDatabase full = bbsmine::testing::RandomDb(89, 80, 16, 5.0);
+  Fleet fleet(full, 2);
+  RouterOptions options = Fleet::FastOptions();
+  options.probe_interval_ms = 50;
+  options.probe_timeout_ms = 500;
+  RouterService router(fleet.map(), options);
+  ASSERT_TRUE(router.Init().ok());
+  ASSERT_EQ(router.shards_up(), 2u);
+
+  // No replica, no client traffic: the prober alone must notice the
+  // death and flip the shard down in STATS/shards_up — a dead shard
+  // must not report healthy until a real request trips over it.
+  fleet.shard(0).server->Stop();
+  EXPECT_TRUE(WaitUntil([&] { return router.shards_up() == 1; }));
+  EXPECT_EQ(router.failovers(), 0u);
+}
+
 TEST(RouterProberTest, RecoveredShardRejoinsWithoutClientTraffic) {
   TransactionDatabase full = bbsmine::testing::RandomDb(71, 80, 16, 5.0);
   Fleet fleet(full, 2);

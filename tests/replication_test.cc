@@ -352,6 +352,60 @@ TEST(WalStreamTest, NeverShipsATornTail) {
   EXPECT_EQ(decoded, batches);
 }
 
+TEST(WalStreamTest, CursorResumesWithoutRescanningTheStreamedPrefix) {
+  std::vector<std::vector<Itemset>> batches = {{{1, 2, 3}}, {{2, 3}, {4, 5}}};
+  std::string path = MakeWal("repl_cursor", batches);
+
+  WriteAheadLog::StreamCursor cursor;
+  auto first = WriteAheadLog::ReadRecordsFrom(path, 0, 1 << 20, &cursor);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->records, 2u);
+  EXPECT_EQ(cursor.txn, 3u);
+
+  // More records land; a cursor'd poll ships exactly the new ones.
+  auto wal = WriteAheadLog::OpenForAppend(path, WalOptions());
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE(wal->Append({{7}}).ok());
+  auto second = WriteAheadLog::ReadRecordsFrom(path, 3, 1 << 20, &cursor);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->records, 1u);
+  std::vector<std::vector<Itemset>> decoded;
+  ASSERT_TRUE(WriteAheadLog::DecodeRecords(second->data, &decoded).ok());
+  const std::vector<std::vector<Itemset>> appended = {{{7}}};
+  EXPECT_EQ(decoded, appended);
+  EXPECT_EQ(cursor.txn, 4u);
+
+  // Proof the streamed prefix is genuinely skipped, not just re-parsed:
+  // flip a byte inside the FIRST record on disk. The cursor'd poll seeks
+  // past it and succeeds; a cursor-less scan of the same watermark must
+  // walk the file from its base and trips over the damage.
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(24 + 8);  // header, then the first record's 8-byte frame
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x01);
+    f.seekp(24 + 8);
+    f.write(&byte, 1);
+  }
+  auto cached = WriteAheadLog::ReadRecordsFrom(path, 4, 1 << 20, &cursor);
+  ASSERT_TRUE(cached.ok()) << cached.status().ToString();
+  EXPECT_EQ(cached->records, 0u);
+  EXPECT_EQ(WriteAheadLog::ReadRecordsFrom(path, 4, 1 << 20).status().code(),
+            StatusCode::kCorruption);
+
+  // A checkpoint truncation atomically replaces the file with a new
+  // base: the stale cursor must be detected and the scan fall back to a
+  // fresh walk of the (now empty) log rather than trust a dead offset.
+  ASSERT_TRUE(wal->Truncate(4).ok());
+  auto after = WriteAheadLog::ReadRecordsFrom(path, 4, 1 << 20, &cursor);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after->records, 0u);
+  EXPECT_EQ(cursor.base_txn, 4u);
+  EXPECT_EQ(cursor.txn, 4u);
+  EXPECT_EQ(cursor.offset, 24u);  // right after the fresh header
+}
+
 TEST(WalStreamTest, DecodeRejectsCorruptOrTruncatedChunks) {
   std::string path = MakeWal("repl_decode", {{{1, 2, 3}}, {{4, 5}}});
   auto chunk = WriteAheadLog::ReadRecordsFrom(path, 0, 1 << 20);
@@ -475,6 +529,41 @@ TEST(ReplicationE2ETest, FollowerTailsPrimaryAndMatchesEveryCount) {
   EXPECT_NE(rejected.at("error").at("message").AsString().find(
                 "read-only follower"),
             std::string::npos);
+}
+
+TEST(ReplicationE2ETest, SecondConcurrentFollowerIsRejected) {
+  auto primary = MakeNode("repl_two_p", NodeOptions{});
+  ASSERT_NE(primary, nullptr);
+  NodeOptions follow;
+  follow.follow_port = primary->port();
+  auto follower = MakeNode("repl_two_f", follow);
+  ASSERT_NE(follower, nullptr);
+  ASSERT_TRUE(
+      WaitUntil([&] { return primary->source->stats().followers == 1; }));
+
+  // A second WALSTREAM handshake must be refused outright: the
+  // replication floor and the semi-sync ack are one watermark, so a
+  // second stream would let the faster follower's acks truncate WAL
+  // records the slower one still needs — with no bootstrap path left.
+  Result<OwnedFd> fd = ConnectTcp("127.0.0.1", primary->port(), 2'000);
+  ASSERT_TRUE(fd.ok()) << fd.status().ToString();
+  obs::JsonValue handshake = obs::JsonValue::Object();
+  handshake.Set("verb", obs::JsonValue::String("WALSTREAM"));
+  handshake.Set("watermark", obs::JsonValue::Uint(0));
+  ASSERT_TRUE(WriteFrame(fd->get(), handshake).ok());
+  Result<obs::JsonValue> reply = ReadFrame(fd->get(), 5'000);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_FALSE(reply->at("ok").AsBool()) << reply->Serialize(0);
+  EXPECT_NE(reply->at("error").at("message").AsString().find(
+                "already attached"),
+            std::string::npos);
+
+  // The attached follower is untroubled and still streams.
+  EXPECT_EQ(primary->source->stats().followers, 1u);
+  obs::JsonValue inserted = primary->Call(InsertRequest({{11, 12}}));
+  ASSERT_TRUE(inserted.at("ok").AsBool());
+  ASSERT_TRUE(WaitUntil([&] { return follower->applied() == 1; }));
+  EXPECT_EQ(follower->Count({11, 12}), 1u);
 }
 
 TEST(ReplicationE2ETest, SemiSyncAcksOnlyAfterFollowerIsDurable) {

@@ -7,6 +7,7 @@
 #include "core/slice_source.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cstdio>
@@ -27,8 +28,13 @@
 namespace bbsmine {
 namespace {
 
+// Pid-qualified: ctest -j runs each test case of a fixture as its own
+// process, so a fixed name would let concurrent cases clobber each
+// other's files.
 std::string TempPath(const std::string& name) {
-  return (std::filesystem::temp_directory_path() / name).string();
+  return (std::filesystem::temp_directory_path() /
+          (std::to_string(::getpid()) + "_" + name))
+      .string();
 }
 
 std::string ReadFile(const std::string& path) {

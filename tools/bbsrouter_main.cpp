@@ -128,6 +128,11 @@ void Usage() {
       "                      shards; drives failover and rejoin without\n"
       "                      client traffic (default 1000; 0 disables)\n"
       "  --probe-timeout-ms N  per-probe SHARDINFO budget (default 1000)\n"
+      "  --failover-probe-failures N  consecutive silent (timed-out)\n"
+      "                      probes of a primary before promoting its\n"
+      "                      replica; transport failures (connection\n"
+      "                      refused/reset) fail over immediately\n"
+      "                      (default 3)\n"
       "  --report-out FILE   write the service report on shutdown\n"
       "  --stats-window-s N  windowed-metrics rotation interval, seconds\n"
       "                      (default 10; 12 slots are retained)\n";
@@ -193,6 +198,8 @@ int main(int argc, char** argv) {
       static_cast<uint32_t>(args.GetUint("probe-interval-ms", 1000));
   options.probe_timeout_ms =
       static_cast<int>(args.GetUint("probe-timeout-ms", 1000));
+  options.failover_probe_failures =
+      static_cast<uint32_t>(args.GetUint("failover-probe-failures", 3));
   options.stats_windows.interval_us = stats_window_s * 1'000'000;
 
   const size_t num_shards = map.size();
